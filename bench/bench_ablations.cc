@@ -1,0 +1,108 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+//   lazy      — the lazy update strategy vs cleaning on every ingest;
+//   xshuffle  — GPU_X_Shuffle vs brute-force 2^eta write rounds;
+//   pipeline  — pipelined message transfer vs blocking copies;
+//   earlyexit — GPU_SDist fixpoint stop vs the full |V| Bellman-Ford
+//               iterations the paper's Alg. 5 writes.
+//
+// Usage: bench_ablations [--dataset=FLA] [--scale=N] [--objects=N] ...
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/args.h"
+#include "common/scenario.h"
+#include "common/table.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace gknn::bench {
+namespace {
+
+struct Variant {
+  std::string name;
+  core::GGridOptions options;
+};
+
+void Run(const std::string& dataset, const CommonFlags& flags) {
+  auto graph = LoadDataset(dataset, flags.scale, flags.seed,
+                           flags.dimacs_dir);
+  GKNN_CHECK(graph.ok()) << graph.status().ToString();
+  util::ThreadPool pool;
+
+  std::vector<Variant> variants;
+  variants.push_back({"G-Grid (default)", core::GGridOptions{}});
+  {
+    core::GGridOptions o;
+    o.eager_updates = true;
+    variants.push_back({"eager updates", o});
+  }
+  {
+    core::GGridOptions o;
+    o.use_x_shuffle = false;
+    variants.push_back({"no X-shuffle", o});
+  }
+  {
+    core::GGridOptions o;
+    o.pipelined_transfer = false;
+    variants.push_back({"blocking transfer", o});
+  }
+  {
+    core::GGridOptions o;
+    o.sdist_early_exit = false;
+    variants.push_back({"full SDist iterations", o});
+  }
+
+  // Untimed warm-up: the first scenario in a process pays allocator and
+  // page-fault costs that would otherwise be misattributed to whichever
+  // variant runs first.
+  {
+    gpusim::Device device(ScaledDeviceConfig(flags.scale));
+    auto algorithm = BuildAlgorithm("G-Grid", &*graph, &device, &pool,
+                                    core::GGridOptions{});
+    GKNN_CHECK(algorithm.ok());
+    ScenarioOptions warmup = flags.ToScenario();
+    warmup.num_queries = std::min(5u, warmup.num_queries);
+    (void)RunScenario(algorithm->get(), *graph, warmup);
+  }
+
+  std::printf("Ablations on %s (k=%u, |O|=%u, f=%.2f/s)\n\n",
+              dataset.c_str(), flags.k, flags.num_objects, flags.frequency);
+  TablePrinter table({"Variant", "Amortized", "Update time", "Query GPU",
+                      "Transfer time", "vs default"});
+  double baseline = 0;
+  for (const Variant& v : variants) {
+    gpusim::Device device(ScaledDeviceConfig(flags.scale));
+    auto algorithm =
+        BuildAlgorithm("G-Grid", &*graph, &device, &pool, v.options);
+    GKNN_CHECK(algorithm.ok()) << algorithm.status().ToString();
+    const RunResult r =
+        RunScenario(algorithm->get(), *graph, flags.ToScenario());
+    if (baseline == 0) baseline = r.amortized_seconds;
+    table.AddRow({v.name, FormatSeconds(r.amortized_seconds),
+                  FormatSeconds(r.update_seconds / flags.num_queries),
+                  FormatSeconds(r.query_gpu_seconds / flags.num_queries),
+                  FormatSeconds(r.transfer_seconds / flags.num_queries),
+                  FormatDouble(r.amortized_seconds / baseline, 2) + "x"});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace gknn::bench
+
+int main(int argc, char** argv) {
+  using namespace gknn;  // NOLINT(build/namespaces)
+  bench::Args args(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.error().c_str());
+    return 1;
+  }
+  auto flags = bench::CommonFlags::Parse(args);
+  // The cleaning-path ablations need message pressure to be visible.
+  flags.frequency = args.GetDouble("f", 4.0);
+  bench::Run(args.GetString("dataset", "FLA"), flags);
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Batched query processing (paper §VII-C2: "our system can process
+// multiple queries in parallel" — the mechanism behind G-Grid beating
+// G-Grid (L)). Compares issuing n simultaneous queries one-by-one against
+// QueryKnnBatch, which cleans the union of their candidate regions in one
+// device pass.
+//
+// Usage: bench_batch_queries [--dataset=FLA] [--batches=2,4,8,16]
+//                            [--scale=N] [--objects=N] [--k=K]
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/ggrid_adapter.h"
+#include "common/args.h"
+#include "common/scenario.h"
+#include "common/table.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+#include "workload/moving_objects.h"
+#include "workload/queries.h"
+
+namespace gknn::bench {
+namespace {
+
+void Run(const std::string& dataset, const std::vector<uint32_t>& batches,
+         const CommonFlags& flags) {
+  auto graph = LoadDataset(dataset, flags.scale, flags.seed,
+                           flags.dimacs_dir);
+  GKNN_CHECK(graph.ok()) << graph.status().ToString();
+  util::ThreadPool pool;
+
+  std::printf("Batched queries on %s (k=%u, |O|=%u): device time per "
+              "query, one-by-one vs QueryKnnBatch\n\n",
+              dataset.c_str(), flags.k, flags.num_objects);
+  TablePrinter table({"Batch size", "Serial device/query",
+                      "Batched device/query", "Speedup"});
+  for (uint32_t batch : batches) {
+    // Two identical indexes fed the same fleet.
+    gpusim::Device serial_device(ScaledDeviceConfig(flags.scale));
+    gpusim::Device batch_device(ScaledDeviceConfig(flags.scale));
+    auto serial_index = core::GGridIndex::Build(
+        &*graph, core::GGridOptions{}, &serial_device, &pool);
+    auto batch_index = core::GGridIndex::Build(
+        &*graph, core::GGridOptions{}, &batch_device, &pool);
+    GKNN_CHECK(serial_index.ok());
+    GKNN_CHECK(batch_index.ok());
+    workload::MovingObjectSimulator sim(
+        &*graph, {.num_objects = flags.num_objects, .seed = flags.seed});
+    std::vector<workload::LocationUpdate> updates;
+    sim.AdvanceTo(2.0, &updates);
+    for (const auto& u : updates) {
+      (*serial_index)->Ingest(u.object_id, u.position, u.time);
+      (*batch_index)->Ingest(u.object_id, u.position, u.time);
+    }
+    const auto queries = workload::GenerateQueries(
+        *graph, {.num_queries = batch, .k = flags.k, .seed = flags.seed + 3});
+    std::vector<roadnet::EdgePoint> locations;
+    for (const auto& q : queries) locations.push_back(q.location);
+
+    const double serial_before = serial_device.ClockSeconds();
+    for (const auto& loc : locations) {
+      auto r = (*serial_index)->QueryKnn(loc, flags.k, 2.0);
+      GKNN_CHECK(r.ok());
+    }
+    const double serial_per_query =
+        (serial_device.ClockSeconds() - serial_before) / batch;
+
+    const double batch_before = batch_device.ClockSeconds();
+    auto rb = (*batch_index)->QueryKnnBatch(locations, flags.k, 2.0);
+    GKNN_CHECK(rb.ok());
+    const double batch_per_query =
+        (batch_device.ClockSeconds() - batch_before) / batch;
+
+    table.AddRow({std::to_string(batch), FormatSeconds(serial_per_query),
+                  FormatSeconds(batch_per_query),
+                  FormatDouble(serial_per_query / batch_per_query, 2) + "x"});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace gknn::bench
+
+int main(int argc, char** argv) {
+  using namespace gknn;  // NOLINT(build/namespaces)
+  bench::Args args(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.error().c_str());
+    return 1;
+  }
+  const auto flags = bench::CommonFlags::Parse(args);
+  std::vector<uint32_t> batches;
+  for (const auto& s :
+       bench::SplitCsv(args.GetString("batches", "2,4,8,16"))) {
+    batches.push_back(static_cast<uint32_t>(std::stoul(s)));
+  }
+  bench::Run(args.GetString("dataset", "FLA"), batches, flags);
+  return 0;
+}

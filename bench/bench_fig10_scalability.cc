@@ -1,0 +1,127 @@
+// Reproduces Fig. 10: scalability of G-Grid over the six road networks.
+//   (a) running time vs network size    — grows with the network;
+//   (b) throughput (queries/s)          — shrinks with the network;
+//   (c) DRAM-GPU transfer size per query, k in {8, 32, 128} — grows with k
+//       and network size, then flattens on large networks;
+//   (d) transfer time per query          — tracks (c).
+//
+// Usage: bench_fig10_scalability [--datasets=...] [--ks=8,32,128]
+//                                [--scale=N] [--objects=N] ...
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/args.h"
+#include "common/scenario.h"
+#include "common/table.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+#include "workload/datasets.h"
+
+namespace gknn::bench {
+namespace {
+
+void Run(const std::vector<std::string>& datasets,
+         const std::vector<uint32_t>& ks, const CommonFlags& flags) {
+  std::printf("Fig. 10(a,b): G-Grid running time and throughput vs "
+              "network size (k=%u, |O| proportional to network size)\n\n",
+              flags.k);
+  TablePrinter time_table(
+      {"Dataset", "|V|", "|O|", "Amortized time", "Throughput (q/s)"});
+
+  std::printf("(collecting...)\n");
+  struct TransferRow {
+    std::string dataset;
+    std::vector<uint64_t> bytes_per_query;   // one per k
+    std::vector<double> seconds_per_query;   // one per k
+  };
+  std::vector<TransferRow> transfer_rows;
+
+  for (const std::string& name : datasets) {
+    auto graph = LoadDataset(name, flags.scale, flags.seed,
+                             flags.dimacs_dir);
+    GKNN_CHECK(graph.ok()) << graph.status().ToString();
+    util::ThreadPool pool;
+    gpusim::Device device(ScaledDeviceConfig(flags.scale));
+    auto algorithm = BuildAlgorithm("G-Grid", &*graph, &device, &pool,
+                                    core::GGridOptions{});
+    GKNN_CHECK(algorithm.ok()) << algorithm.status().ToString();
+
+    // Panel (a)/(b) at the default k, with constant object density.
+    ScenarioOptions base = flags.ToScenario();
+    base.num_objects =
+        ScaledObjectCount(flags.num_objects, graph->num_vertices());
+    const RunResult r = RunScenario(algorithm->get(), *graph, base);
+    time_table.AddRow({name, std::to_string(graph->num_vertices()),
+                       std::to_string(base.num_objects),
+                       FormatSeconds(r.amortized_seconds),
+                       FormatDouble(r.throughput_qps(), 1)});
+
+    // Panels (c)/(d): transfer volume and modeled PCIe time per query for
+    // each k, straight from the device ledger.
+    TransferRow row;
+    row.dataset = name;
+    for (uint32_t k : ks) {
+      ScenarioOptions scenario = base;
+      scenario.k = k;
+      const RunResult rk = RunScenario(algorithm->get(), *graph, scenario);
+      row.bytes_per_query.push_back(
+          (rk.h2d_bytes + rk.d2h_bytes) / std::max(1u, rk.queries));
+      row.seconds_per_query.push_back(rk.transfer_seconds /
+                                      std::max(1u, rk.queries));
+    }
+    transfer_rows.push_back(std::move(row));
+  }
+  time_table.Print();
+  std::printf("\n");
+
+  std::vector<std::string> headers = {"Dataset"};
+  for (uint32_t k : ks) headers.push_back("bytes/query k=" + std::to_string(k));
+  TablePrinter size_table(headers);
+  for (const auto& row : transfer_rows) {
+    std::vector<std::string> cells = {row.dataset};
+    for (uint64_t b : row.bytes_per_query) cells.push_back(FormatBytes(b));
+    size_table.AddRow(std::move(cells));
+  }
+  std::printf("Fig. 10(c): DRAM-GPU transfer size per query\n\n");
+  size_table.Print();
+  std::printf("\n");
+
+  headers = {"Dataset"};
+  for (uint32_t k : ks) headers.push_back("time/query k=" + std::to_string(k));
+  TablePrinter seconds_table(headers);
+  for (const auto& row : transfer_rows) {
+    std::vector<std::string> cells = {row.dataset};
+    for (double s : row.seconds_per_query) cells.push_back(FormatSeconds(s));
+    seconds_table.AddRow(std::move(cells));
+  }
+  std::printf("Fig. 10(d): DRAM-GPU transfer time per query (modeled PCIe)\n\n");
+  seconds_table.Print();
+}
+
+}  // namespace
+}  // namespace gknn::bench
+
+int main(int argc, char** argv) {
+  using namespace gknn;  // NOLINT(build/namespaces)
+  bench::Args args(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.error().c_str());
+    return 1;
+  }
+  const auto flags = bench::CommonFlags::Parse(args);
+  std::string default_datasets;
+  for (const auto& spec : workload::PaperDatasets()) {
+    if (!default_datasets.empty()) default_datasets += ",";
+    default_datasets += spec.name;
+  }
+  const auto datasets =
+      bench::SplitCsv(args.GetString("datasets", default_datasets));
+  std::vector<uint32_t> ks;
+  for (const auto& s : bench::SplitCsv(args.GetString("ks", "8,32,128"))) {
+    ks.push_back(static_cast<uint32_t>(std::stoul(s)));
+  }
+  bench::Run(datasets, ks, flags);
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Reproduces Fig. 4: tuning the G-Grid system parameters.
+//   (a) bucket capacity delta^b in {4 .. 256}   — expect a U-shape with the
+//       minimum near 128;
+//   (b) bundle size 2^eta in {4 .. 128}         — expect degradation past
+//       the warp size 32 (cross-warp sync penalty);
+//   (c) CPU/GPU balance rho in {1.4 .. 3.0}     — expect a dip near 1.8.
+//
+// Usage: bench_fig4_tuning [--param=db|eta|rho|all] [--datasets=NY,FLA,COL]
+//                          [--scale=N] [--objects=N] [--queries=N] ...
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/args.h"
+#include "common/scenario.h"
+#include "common/table.h"
+#include "util/logging.h"
+
+namespace gknn::bench {
+namespace {
+
+/// Runs the default scenario with one G-Grid configuration.
+RunResult MeasureConfig(const roadnet::Graph& graph,
+                        const core::GGridOptions& options,
+                        const CommonFlags& flags) {
+  gpusim::Device device(ScaledDeviceConfig(flags.scale));
+  util::ThreadPool pool;
+  auto algorithm =
+      BuildAlgorithm("G-Grid", &graph, &device, &pool, options);
+  GKNN_CHECK(algorithm.ok()) << algorithm.status().ToString();
+  return RunScenario(algorithm->get(), graph, flags.ToScenario());
+}
+
+void SweepParameter(const std::string& param,
+                    const std::vector<std::string>& datasets,
+                    const CommonFlags& flags) {
+  struct Sweep {
+    std::string title;
+    std::vector<double> values;
+  };
+  Sweep sweep;
+  if (param == "db") {
+    sweep = {"Fig. 4a: varying bucket capacity delta^b",
+             {4, 8, 16, 32, 64, 128, 256}};
+  } else if (param == "eta") {
+    sweep = {"Fig. 4b: varying bundle size 2^eta",
+             {4, 8, 16, 32, 64, 128}};
+  } else {
+    sweep = {"Fig. 4c: varying rho",
+             {1.4, 1.6, 1.8, 2.0, 2.2, 2.4, 2.6, 2.8, 3.0}};
+  }
+
+  // delta_b and eta tune the cleaning kernels, so those sweeps report the
+  // modeled device time per query (kernels + transfers); the rho sweep
+  // balances CPU against GPU and reports the amortized total.
+  const bool report_device_time = param != "rho";
+  std::printf("%s (%s per query)\n\n", sweep.title.c_str(),
+              report_device_time ? "device time" : "amortized time");
+  std::vector<std::string> headers = {param};
+  for (const auto& d : datasets) headers.push_back(d);
+  TablePrinter table(headers);
+  // Load each dataset once; rebuild the index per parameter value.
+  std::vector<roadnet::Graph> graphs;
+  for (const auto& d : datasets) {
+    auto graph = LoadDataset(d, flags.scale, flags.seed, flags.dimacs_dir);
+    GKNN_CHECK(graph.ok()) << graph.status().ToString();
+    graphs.push_back(std::move(graph).ValueOrDie());
+  }
+  for (double value : sweep.values) {
+    core::GGridOptions options;
+    if (param == "db") {
+      options.delta_b = static_cast<uint32_t>(value);
+    } else if (param == "eta") {
+      uint32_t eta = 0;
+      while ((1u << eta) < static_cast<uint32_t>(value)) ++eta;
+      options.eta = eta;
+    } else {
+      options.rho = value;
+    }
+    std::vector<std::string> row = {param == "rho"
+                                        ? FormatDouble(value, 1)
+                                        : std::to_string(
+                                              static_cast<int>(value))};
+    for (const auto& graph : graphs) {
+      const RunResult r = MeasureConfig(graph, options, flags);
+      row.push_back(FormatSeconds(
+          report_device_time ? r.query_gpu_seconds / flags.num_queries
+                             : r.amortized_seconds));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace gknn::bench
+
+int main(int argc, char** argv) {
+  using namespace gknn;  // NOLINT(build/namespaces)
+  bench::Args args(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.error().c_str());
+    return 1;
+  }
+  auto flags = bench::CommonFlags::Parse(args);
+  // Tuning needs real message pressure in the buckets: a higher default
+  // update rate and more queries than the other figures.
+  flags.frequency = args.GetDouble("f", 4.0);
+  flags.num_queries = static_cast<uint32_t>(args.GetInt("queries", 40));
+  const std::string param = args.GetString("param", "all");
+  const auto datasets =
+      bench::SplitCsv(args.GetString("datasets", "NY,COL,FLA"));
+
+  if (param == "all" || param == "db") {
+    bench::SweepParameter("db", datasets, flags);
+  }
+  if (param == "all" || param == "eta") {
+    bench::SweepParameter("eta", datasets, flags);
+  }
+  if (param == "all" || param == "rho") {
+    bench::SweepParameter("rho", datasets, flags);
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Reproduces Fig. 6: index sizes vs datasets. Reports G-Grid (CPU),
+// G-Grid (GPU), G-Grid (Total), and V-Tree after loading the same fleet.
+//
+// Expected shape: V-Tree is several times larger than G-Grid (Total)
+// because it stores precomputed border-distance matrices, while the graph
+// grid "only stores the original data".
+//
+// Usage: bench_fig6_index_size [--datasets=...] [--scale=N] [--objects=N]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/ggrid_adapter.h"
+#include "baselines/vtree.h"
+#include "common/args.h"
+#include "common/scenario.h"
+#include "common/table.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+#include "workload/datasets.h"
+#include "workload/moving_objects.h"
+
+namespace gknn::bench {
+namespace {
+
+void Run(const std::vector<std::string>& datasets, const CommonFlags& flags) {
+  std::printf(
+      "Fig. 6: index size vs datasets (|O| proportional to network size)\n\n");
+  TablePrinter table({"Dataset", "|O|", "G-Grid (CPU)", "G-Grid (GPU)",
+                      "G-Grid (Total)", "V-Tree", "V-Tree / G-Grid"});
+  for (const std::string& name : datasets) {
+    auto graph = LoadDataset(name, flags.scale, flags.seed, flags.dimacs_dir);
+    GKNN_CHECK(graph.ok()) << graph.status().ToString();
+    util::ThreadPool pool(1);
+    gpusim::Device device;  // sizing only; use the full-size device
+
+    auto ggrid = baselines::GGridAlgorithm::Build(
+        &*graph, core::GGridOptions{}, &device, &pool);
+    GKNN_CHECK(ggrid.ok()) << ggrid.status().ToString();
+    auto vtree = baselines::VTree::Build(&*graph, baselines::VTree::Options{});
+    GKNN_CHECK(vtree.ok()) << vtree.status().ToString();
+
+    // Load the same fleet into both.
+    const uint32_t num_objects =
+        ScaledObjectCount(flags.num_objects, graph->num_vertices());
+    workload::MovingObjectSimulator sim(
+        &*graph, {.num_objects = num_objects, .seed = flags.seed});
+    std::vector<workload::LocationUpdate> snapshot;
+    sim.EmitFullSnapshot(&snapshot);
+    for (const auto& u : snapshot) {
+      (*ggrid)->Ingest(u.object_id, u.position, u.time);
+      (*vtree)->Ingest(u.object_id, u.position, u.time);
+    }
+
+    const auto mem = (*ggrid)->index().Memory();
+    const uint64_t vtree_bytes = (*vtree)->MemoryBytes();
+    table.AddRow({name, std::to_string(num_objects),
+                  FormatBytes(mem.cpu_total()),
+                  FormatBytes(mem.grid_gpu), FormatBytes(mem.total()),
+                  FormatBytes(vtree_bytes),
+                  FormatDouble(static_cast<double>(vtree_bytes) /
+                                   static_cast<double>(mem.total()),
+                               2)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace gknn::bench
+
+int main(int argc, char** argv) {
+  using namespace gknn;  // NOLINT(build/namespaces)
+  bench::Args args(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.error().c_str());
+    return 1;
+  }
+  const auto flags = bench::CommonFlags::Parse(args);
+  std::string default_datasets;
+  for (const auto& spec : workload::PaperDatasets()) {
+    if (!default_datasets.empty()) default_datasets += ",";
+    default_datasets += spec.name;
+  }
+  const auto datasets =
+      bench::SplitCsv(args.GetString("datasets", default_datasets));
+  bench::Run(datasets, flags);
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Reproduces Fig. 7: running time vs k in {8 .. 256} on the USA and NY
+// datasets, for G-Grid, V-Tree, V-Tree (G), and ROAD.
+//
+// Expected shape: G-Grid wins across the board; G-Grid and V-Tree grow
+// with k (search ranges widen); ROAD is the most costly and the least
+// affected by k (its cost is dominated by eager update handling).
+//
+// Usage: bench_fig7_vary_k [--datasets=NY,USA] [--ks=8,16,...]
+//                          [--scale=N] [--objects=N] [--queries=N] ...
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/args.h"
+#include "common/scenario.h"
+#include "common/table.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace gknn::bench {
+namespace {
+
+void Run(const std::vector<std::string>& datasets,
+         const std::vector<uint32_t>& ks, const CommonFlags& flags) {
+  for (const std::string& name : datasets) {
+    auto graph = LoadDataset(name, flags.scale, flags.seed, flags.dimacs_dir);
+    GKNN_CHECK(graph.ok()) << graph.status().ToString();
+    util::ThreadPool pool;
+    std::printf("Fig. 7: varying k on %s (|O|=%u, f=%.2f/s)\n\n",
+                name.c_str(), flags.num_objects, flags.frequency);
+    TablePrinter table({"k", "G-Grid", "V-Tree", "V-Tree (G)", "ROAD"});
+
+    // Indexes are built once per dataset and reused across k values (the
+    // same fleet keeps moving; k only affects the queries).
+    std::vector<std::string> names = {"G-Grid", "V-Tree", "V-Tree (G)",
+                                      "ROAD"};
+    std::vector<std::unique_ptr<gpusim::Device>> devices;
+    std::vector<std::unique_ptr<baselines::KnnAlgorithm>> algorithms;
+    std::vector<bool> available;
+    for (const auto& algo_name : names) {
+      devices.push_back(
+          std::make_unique<gpusim::Device>(ScaledDeviceConfig(flags.scale)));
+      auto algorithm = BuildAlgorithm(algo_name, &*graph,
+                                      devices.back().get(), &pool,
+                                      core::GGridOptions{});
+      if (algorithm.ok()) {
+        algorithms.push_back(std::move(algorithm).ValueOrDie());
+        available.push_back(true);
+      } else {
+        algorithms.push_back(nullptr);
+        available.push_back(false);
+      }
+    }
+
+    for (uint32_t k : ks) {
+      ScenarioOptions scenario = flags.ToScenario();
+      scenario.k = k;
+      std::vector<std::string> row = {std::to_string(k)};
+      for (size_t i = 0; i < algorithms.size(); ++i) {
+        if (!available[i]) {
+          row.push_back("OOM");
+          continue;
+        }
+        const RunResult r = RunScenario(algorithms[i].get(), *graph, scenario);
+        row.push_back(FormatSeconds(r.amortized_seconds));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace gknn::bench
+
+int main(int argc, char** argv) {
+  using namespace gknn;  // NOLINT(build/namespaces)
+  bench::Args args(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.error().c_str());
+    return 1;
+  }
+  const auto flags = bench::CommonFlags::Parse(args);
+  const auto datasets = bench::SplitCsv(args.GetString("datasets", "NY,USA"));
+  std::vector<uint32_t> ks;
+  for (const auto& s : bench::SplitCsv(
+           args.GetString("ks", "8,16,32,64,128,256"))) {
+    ks.push_back(static_cast<uint32_t>(std::stoul(s)));
+  }
+  bench::Run(datasets, ks, flags);
+  return 0;
+}

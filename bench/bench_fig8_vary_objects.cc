@@ -1,0 +1,73 @@
+// Reproduces Fig. 8: running time vs the number of data objects |O|.
+//
+// Expected shape: all algorithms grow with |O|, but G-Grid grows by less
+// than 10x across the sweep while the eager baselines grow by ~100x
+// (every additional object multiplies their per-update maintenance).
+//
+// Usage: bench_fig8_vary_objects [--dataset=FLA] [--sizes=100,1000,10000]
+//                                [--scale=N] [--queries=N] ...
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/args.h"
+#include "common/scenario.h"
+#include "common/table.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace gknn::bench {
+namespace {
+
+void Run(const std::string& dataset, const std::vector<uint32_t>& sizes,
+         const CommonFlags& flags) {
+  auto graph = LoadDataset(dataset, flags.scale, flags.seed,
+                           flags.dimacs_dir);
+  GKNN_CHECK(graph.ok()) << graph.status().ToString();
+  util::ThreadPool pool;
+  std::printf("Fig. 8: varying |O| on %s (k=%u, f=%.2f/s)\n\n",
+              dataset.c_str(), flags.k, flags.frequency);
+  TablePrinter table({"|O|", "G-Grid", "V-Tree", "V-Tree (G)", "ROAD"});
+  for (uint32_t num_objects : sizes) {
+    ScenarioOptions scenario = flags.ToScenario();
+    scenario.num_objects = num_objects;
+    std::vector<std::string> row = {std::to_string(num_objects)};
+    for (const char* name : {"G-Grid", "V-Tree", "V-Tree (G)", "ROAD"}) {
+      // Fresh index per point: the fleet size is a build-time workload
+      // property here.
+      gpusim::Device device(ScaledDeviceConfig(flags.scale));
+      auto algorithm =
+          BuildAlgorithm(name, &*graph, &device, &pool, core::GGridOptions{});
+      if (!algorithm.ok()) {
+        row.push_back("OOM");
+        continue;
+      }
+      const RunResult r = RunScenario(algorithm->get(), *graph, scenario);
+      row.push_back(FormatSeconds(r.amortized_seconds));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace gknn::bench
+
+int main(int argc, char** argv) {
+  using namespace gknn;  // NOLINT(build/namespaces)
+  bench::Args args(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.error().c_str());
+    return 1;
+  }
+  const auto flags = bench::CommonFlags::Parse(args);
+  const std::string dataset = args.GetString("dataset", "FLA");
+  std::vector<uint32_t> sizes;
+  for (const auto& s :
+       bench::SplitCsv(args.GetString("sizes", "100,1000,10000"))) {
+    sizes.push_back(static_cast<uint32_t>(std::stoul(s)));
+  }
+  bench::Run(dataset, sizes, flags);
+  return 0;
+}

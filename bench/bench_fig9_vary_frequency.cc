@@ -1,0 +1,74 @@
+// Reproduces Fig. 9: running time vs the object update frequency f.
+//
+// Expected shape: G-Grid is nearly flat in f (the lazy scheme caches
+// updates and the GPU cleans them in bulk) while the eager baselines grow
+// rapidly — "this confirms the effectiveness of our proposed lazy update
+// strategy".
+//
+// Usage: bench_fig9_vary_frequency [--dataset=FLA]
+//                                  [--frequencies=0.25,0.5,1,2,4]
+//                                  [--scale=N] [--objects=N] ...
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/args.h"
+#include "common/scenario.h"
+#include "common/table.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace gknn::bench {
+namespace {
+
+void Run(const std::string& dataset, const std::vector<double>& frequencies,
+         const CommonFlags& flags) {
+  auto graph = LoadDataset(dataset, flags.scale, flags.seed,
+                           flags.dimacs_dir);
+  GKNN_CHECK(graph.ok()) << graph.status().ToString();
+  util::ThreadPool pool;
+  std::printf("Fig. 9: varying update frequency f on %s (k=%u, |O|=%u)\n\n",
+              dataset.c_str(), flags.k, flags.num_objects);
+  TablePrinter table(
+      {"f (1/s)", "G-Grid", "V-Tree", "V-Tree (G)", "ROAD"});
+  for (double f : frequencies) {
+    ScenarioOptions scenario = flags.ToScenario();
+    scenario.update_frequency_hz = f;
+    std::vector<std::string> row = {FormatDouble(f, 2)};
+    for (const char* name : {"G-Grid", "V-Tree", "V-Tree (G)", "ROAD"}) {
+      gpusim::Device device(ScaledDeviceConfig(flags.scale));
+      auto algorithm =
+          BuildAlgorithm(name, &*graph, &device, &pool, core::GGridOptions{});
+      if (!algorithm.ok()) {
+        row.push_back("OOM");
+        continue;
+      }
+      const RunResult r = RunScenario(algorithm->get(), *graph, scenario);
+      row.push_back(FormatSeconds(r.amortized_seconds));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace gknn::bench
+
+int main(int argc, char** argv) {
+  using namespace gknn;  // NOLINT(build/namespaces)
+  bench::Args args(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.error().c_str());
+    return 1;
+  }
+  const auto flags = bench::CommonFlags::Parse(args);
+  const std::string dataset = args.GetString("dataset", "FLA");
+  std::vector<double> frequencies;
+  for (const auto& s :
+       bench::SplitCsv(args.GetString("frequencies", "0.25,0.5,1,2,4"))) {
+    frequencies.push_back(std::stod(s));
+  }
+  bench::Run(dataset, frequencies, flags);
+  return 0;
+}

@@ -1,0 +1,268 @@
+// Microbenchmarks of the hot paths (google-benchmark): Morton codec, heap
+// operations, Dijkstra, partitioning, grid construction, message caching
+// and cleaning, and per-update ingest cost of every algorithm.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "baselines/ggrid_adapter.h"
+#include "baselines/road.h"
+#include "baselines/vtree.h"
+#include "core/ggrid_index.h"
+#include "core/message_cleaner.h"
+#include "core/mu.h"
+#include "gpusim/topk.h"
+#include "roadnet/dijkstra.h"
+#include "roadnet/partitioner.h"
+#include "util/min_heap.h"
+#include "util/morton.h"
+#include "util/rng.h"
+#include "workload/moving_objects.h"
+#include "workload/synthetic_network.h"
+
+namespace gknn {
+namespace {
+
+const roadnet::Graph& BenchGraph() {
+  static const roadnet::Graph* graph = [] {
+    auto g = workload::GenerateSyntheticRoadNetwork(
+        {.num_vertices = 2000, .seed = 99});
+    return new roadnet::Graph(std::move(g).ValueOrDie());
+  }();
+  return *graph;
+}
+
+void BM_MortonEncodeDecode(benchmark::State& state) {
+  util::Rng rng(1);
+  uint32_t x = static_cast<uint32_t>(rng.Next());
+  uint32_t y = static_cast<uint32_t>(rng.Next());
+  for (auto _ : state) {
+    const uint64_t z = util::MortonEncode(x, y);
+    auto [dx, dy] = util::MortonDecode(z);
+    benchmark::DoNotOptimize(dx);
+    benchmark::DoNotOptimize(dy);
+    x += 7;
+    y += 13;
+  }
+}
+BENCHMARK(BM_MortonEncodeDecode);
+
+void BM_IndexedMinHeap(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  util::Rng rng(2);
+  std::vector<uint64_t> priorities(n);
+  for (auto& p : priorities) p = rng.Next();
+  for (auto _ : state) {
+    util::IndexedMinHeap<uint64_t> heap(n);
+    for (uint32_t i = 0; i < n; ++i) heap.PushOrDecrease(i, priorities[i]);
+    while (!heap.empty()) benchmark::DoNotOptimize(heap.Pop());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_IndexedMinHeap)->Arg(256)->Arg(4096);
+
+void BM_BoundedTopK(benchmark::State& state) {
+  util::Rng rng(3);
+  std::vector<uint64_t> values(10000);
+  for (auto& v : values) v = rng.Next();
+  for (auto _ : state) {
+    util::BoundedTopK<uint64_t> topk(16);
+    for (uint64_t v : values) topk.Offer(v);
+    benchmark::DoNotOptimize(topk.Worst());
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_BoundedTopK);
+
+void BM_Mu(benchmark::State& state) {
+  for (auto _ : state) {
+    for (uint32_t eta = 2; eta <= 8; ++eta) {
+      benchmark::DoNotOptimize(core::Mu(eta));
+    }
+  }
+}
+BENCHMARK(BM_Mu);
+
+void BM_DijkstraFull(benchmark::State& state) {
+  const auto& graph = BenchGraph();
+  uint32_t source = 0;
+  for (auto _ : state) {
+    auto dist = roadnet::ShortestPathsFrom(graph, source);
+    benchmark::DoNotOptimize(dist.data());
+    source = (source + 17) % graph.num_vertices();
+  }
+}
+BENCHMARK(BM_DijkstraFull);
+
+void BM_BoundedDijkstra(benchmark::State& state) {
+  const auto& graph = BenchGraph();
+  roadnet::BoundedDijkstra search(&graph);
+  uint32_t source = 0;
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    search.Run(source, 2000,
+               [&](roadnet::VertexId, roadnet::Distance d) { sum += d; });
+    benchmark::DoNotOptimize(sum);
+    source = (source + 31) % graph.num_vertices();
+  }
+}
+BENCHMARK(BM_BoundedDijkstra);
+
+void BM_PartitionIntoGrid(benchmark::State& state) {
+  const auto& graph = BenchGraph();
+  for (auto _ : state) {
+    auto partition =
+        roadnet::PartitionIntoGrid(graph, 3, roadnet::PartitionOptions{});
+    benchmark::DoNotOptimize(partition.ok());
+  }
+}
+BENCHMARK(BM_PartitionIntoGrid);
+
+void BM_GraphGridBuild(benchmark::State& state) {
+  const auto& graph = BenchGraph();
+  for (auto _ : state) {
+    auto grid =
+        core::GraphGrid::Build(&graph, 3, 2, roadnet::PartitionOptions{});
+    benchmark::DoNotOptimize(grid.ok());
+  }
+}
+BENCHMARK(BM_GraphGridBuild);
+
+void BM_GGridIngest(benchmark::State& state) {
+  const auto& graph = BenchGraph();
+  gpusim::Device device;
+  util::ThreadPool pool(1);
+  auto index = core::GGridIndex::Build(&graph, core::GGridOptions{}, &device,
+                                       &pool);
+  GKNN_CHECK(index.ok());
+  workload::MovingObjectSimulator sim(&graph, {.num_objects = 500, .seed = 4});
+  std::vector<workload::LocationUpdate> updates;
+  sim.AdvanceTo(60.0, &updates);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& u = updates[i % updates.size()];
+    (*index)->Ingest(u.object_id, u.position, u.time + static_cast<double>(i));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GGridIngest);
+
+void BM_VTreeIngest(benchmark::State& state) {
+  const auto& graph = BenchGraph();
+  auto vtree = baselines::VTree::Build(&graph, baselines::VTree::Options{});
+  GKNN_CHECK(vtree.ok());
+  workload::MovingObjectSimulator sim(&graph, {.num_objects = 500, .seed = 5});
+  std::vector<workload::LocationUpdate> updates;
+  sim.AdvanceTo(60.0, &updates);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& u = updates[i % updates.size()];
+    (*vtree)->Ingest(u.object_id, u.position, u.time);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VTreeIngest);
+
+void BM_RoadIngest(benchmark::State& state) {
+  const auto& graph = BenchGraph();
+  auto road = baselines::Road::Build(&graph, baselines::Road::Options{});
+  GKNN_CHECK(road.ok());
+  workload::MovingObjectSimulator sim(&graph, {.num_objects = 500, .seed = 6});
+  std::vector<workload::LocationUpdate> updates;
+  sim.AdvanceTo(60.0, &updates);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& u = updates[i % updates.size()];
+    (*road)->Ingest(u.object_id, u.position, u.time);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RoadIngest);
+
+void BM_MessageCleaning(benchmark::State& state) {
+  const uint32_t num_messages = static_cast<uint32_t>(state.range(0));
+  gpusim::Device device;
+  core::MessageCleaner::Options options;
+  options.t_delta = 1e9;
+  core::MessageCleaner cleaner(&device, options);
+  util::Rng rng(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::BucketArena arena(options.delta_b);
+    std::vector<core::MessageList> lists(16);
+    std::vector<core::CellId> cells;
+    for (core::CellId c = 0; c < 16; ++c) cells.push_back(c);
+    uint64_t seq = 0;
+    for (uint32_t i = 0; i < num_messages; ++i) {
+      core::Message m;
+      m.object = static_cast<core::ObjectId>(rng.NextBounded(200));
+      m.edge = 1;
+      m.time = 1.0;
+      m.seq = ++seq;
+      const core::CellId cell =
+          static_cast<core::CellId>(rng.NextBounded(16));
+      m.cell = cell;
+      lists[cell].Append(&arena, m);
+    }
+    state.ResumeTiming();
+    auto outcome = cleaner.Clean(cells, 1.0, &arena, &lists);
+    benchmark::DoNotOptimize(outcome.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * num_messages);
+}
+BENCHMARK(BM_MessageCleaning)->Arg(1000)->Arg(10000);
+
+void BM_TopKSelect(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  const uint32_t k = static_cast<uint32_t>(state.range(1));
+  gpusim::Device device;
+  util::Rng rng(10);
+  std::vector<uint64_t> values(n);
+  for (auto& v : values) v = rng.Next();
+  auto buf = gpusim::DeviceBuffer<uint64_t>::Allocate(&device, n);
+  GKNN_CHECK(buf.ok());
+  buf->Upload(values);
+  for (auto _ : state) {
+    auto result = gpusim::TopKSmallest<uint64_t>(
+        &device, buf->device_span(), k,
+        std::numeric_limits<uint64_t>::max());
+    benchmark::DoNotOptimize(result.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TopKSelect)->Args({1000, 16})->Args({10000, 16})->Args({10000, 256});
+
+void BM_GGridQuery(benchmark::State& state) {
+  const auto& graph = BenchGraph();
+  gpusim::Device device;
+  util::ThreadPool pool(1);
+  auto index = core::GGridIndex::Build(&graph, core::GGridOptions{}, &device,
+                                       &pool);
+  GKNN_CHECK(index.ok());
+  workload::MovingObjectSimulator sim(&graph,
+                                      {.num_objects = 1000, .seed = 8});
+  std::vector<workload::LocationUpdate> snapshot;
+  sim.EmitFullSnapshot(&snapshot);
+  for (const auto& u : snapshot) {
+    (*index)->Ingest(u.object_id, u.position, u.time);
+  }
+  util::Rng rng(9);
+  for (auto _ : state) {
+    const roadnet::EdgeId e =
+        static_cast<roadnet::EdgeId>(rng.NextBounded(graph.num_edges()));
+    auto result = (*index)->QueryKnn({e, 0}, 16, 0.0);
+    benchmark::DoNotOptimize(result.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GGridQuery);
+
+}  // namespace
+}  // namespace gknn
+
+BENCHMARK_MAIN();

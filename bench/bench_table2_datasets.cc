@@ -1,0 +1,46 @@
+// Reproduces Table II: statistics of the six road networks, plus the
+// statistics of the scaled instances this reproduction actually runs on
+// (real DIMACS files are used instead when --dimacs_dir contains them).
+//
+// Usage: bench_table2_datasets [--scale=N] [--seed=S] [--dimacs_dir=DIR]
+
+#include <cstdio>
+
+#include "common/args.h"
+#include "common/scenario.h"
+#include "common/table.h"
+#include "util/logging.h"
+#include "workload/datasets.h"
+
+int main(int argc, char** argv) {
+  using namespace gknn;  // NOLINT(build/namespaces)
+  bench::Args args(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.error().c_str());
+    return 1;
+  }
+  const auto flags = bench::CommonFlags::Parse(args);
+
+  std::printf("Table II: statistics of road networks\n");
+  std::printf("(instances scaled by 1/%u; see DESIGN.md for the dataset "
+              "substitution)\n\n",
+              flags.scale);
+  bench::TablePrinter table({"Dataset", "Region", "|V| (paper)",
+                             "|E| (paper)", "|V| (run)", "|E| (run)",
+                             "|E|/|V|", "Connected"});
+  for (const auto& spec : workload::PaperDatasets()) {
+    auto graph = bench::LoadDataset(spec.name, flags.scale, flags.seed,
+                                    flags.dimacs_dir);
+    GKNN_CHECK(graph.ok()) << graph.status().ToString();
+    const double ratio = static_cast<double>(graph->num_edges()) /
+                         graph->num_vertices();
+    table.AddRow({spec.name, spec.region, std::to_string(spec.full_vertices),
+                  std::to_string(spec.full_edges),
+                  std::to_string(graph->num_vertices()),
+                  std::to_string(graph->num_edges()),
+                  bench::FormatDouble(ratio, 2),
+                  graph->IsWeaklyConnected() ? "yes" : "no"});
+  }
+  table.Print();
+  return 0;
+}

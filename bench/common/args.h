@@ -1,0 +1,41 @@
+#ifndef GKNN_BENCH_COMMON_ARGS_H_
+#define GKNN_BENCH_COMMON_ARGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gknn::bench {
+
+/// Splits "NY,FLA,USA" into its comma-separated parts (empty parts kept).
+std::vector<std::string> SplitCsv(const std::string& csv);
+
+/// Minimal command-line parser for the benchmark binaries: flags are
+/// `--key=value` or bare `--key` (treated as "true"). Unknown positional
+/// arguments are rejected so typos fail loudly.
+class Args {
+ public:
+  Args(int argc, char** argv);
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& key, int64_t default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+
+  /// True if any argument failed to parse; main() should print usage and
+  /// exit non-zero.
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::string error_;
+};
+
+}  // namespace gknn::bench
+
+#endif  // GKNN_BENCH_COMMON_ARGS_H_

@@ -1,0 +1,74 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gknn::bench {
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : "";
+      line += cell;
+      line.append(widths[c] - cell.size() + 2, ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    std::printf("%s\n", line.c_str());
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  std::printf("%s\n", std::string(total - 2, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  if (seconds < 0) {
+    return "n/a";
+  }
+  if (seconds < 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.1f ns", seconds * 1e9);
+  } else if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  }
+  return buf;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes < 1024) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else if (bytes < 1024ull * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", b / 1024);
+  } else if (bytes < 1024ull * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB", b / (1024.0 * 1024));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", b / (1024.0 * 1024 * 1024));
+  }
+  return buf;
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace gknn::bench

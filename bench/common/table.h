@@ -1,0 +1,40 @@
+#ifndef GKNN_BENCH_COMMON_TABLE_H_
+#define GKNN_BENCH_COMMON_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gknn::bench {
+
+/// Fixed-width text table, the output format of every figure/table
+/// benchmark (one printed table per paper table or figure panel).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Renders to stdout with a separator line under the header.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "1.23 us" / "45.6 ms" / "7.89 s" — human units for running times.
+std::string FormatSeconds(double seconds);
+
+/// "1.2 KB" / "3.4 MB" — human units for sizes.
+std::string FormatBytes(uint64_t bytes);
+
+/// Fixed-precision helper.
+std::string FormatDouble(double value, int precision = 2);
+
+}  // namespace gknn::bench
+
+#endif  // GKNN_BENCH_COMMON_TABLE_H_

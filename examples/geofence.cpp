@@ -1,0 +1,84 @@
+// Geofencing: range queries over a live fleet through the thread-safe
+// QueryServer — "how many couriers are within 2 km of the depot right
+// now?". Demonstrates QueryRange, the server front end, and concurrent
+// producers.
+//
+//   ./build/examples/geofence
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "server/query_server.h"
+#include "workload/moving_objects.h"
+#include "workload/synthetic_network.h"
+
+int main() {
+  using namespace gknn;  // NOLINT(build/namespaces)
+
+  // A radial city: depot rings around a central hub.
+  auto city = workload::GenerateRadialCityNetwork(
+      {.num_rings = 20, .num_spokes = 24, .seed = 7});
+  if (!city.ok()) return 1;
+  gpusim::Device device;
+  util::ThreadPool pool;
+  auto server = server::QueryServer::Create(&*city, core::GGridOptions{},
+                                            &device, &pool);
+  if (!server.ok()) return 1;
+  std::printf("radial city: %u vertices, %u arcs\n", city->num_vertices(),
+              city->num_edges());
+
+  // Two producer threads stream courier positions; couriers run trips.
+  workload::MovingObjectSimulator fleet(
+      &*city,
+      {.num_objects = 300,
+       .update_frequency_hz = 2.0,
+       .movement = workload::MovingObjectSimulator::MovementModel::kTrips,
+       .seed = 8});
+  std::vector<workload::LocationUpdate> updates;
+  fleet.AdvanceTo(20.0, &updates);
+  std::atomic<size_t> cursor{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 2; ++t) {
+    producers.emplace_back([&] {
+      for (;;) {
+        const size_t i = cursor.fetch_add(1);
+        if (i >= updates.size()) return;
+        const auto& u = updates[i];
+        (*server)->Report(u.object_id, u.position, u.time);
+      }
+    });
+  }
+
+  // Meanwhile, the dispatcher polls the geofence around the depot (edge 0
+  // leaves the central hub).
+  const roadnet::EdgePoint depot{0, 0};
+  for (int poll = 0; poll < 5; ++poll) {
+    for (roadnet::Distance radius : {500u, 2000u, 8000u}) {
+      auto in_fence = (*server)->QueryRange(depot, radius, 20.0);
+      if (!in_fence.ok()) return 1;
+      if (poll == 4) {
+        std::printf("radius %5llu: %3zu couriers in fence",
+                    static_cast<unsigned long long>(radius),
+                    in_fence->size());
+        if (!in_fence->empty()) {
+          std::printf(" (nearest #%u at %llu)", (*in_fence)[0].object,
+                      static_cast<unsigned long long>(
+                          (*in_fence)[0].distance));
+        }
+        std::printf("\n");
+      }
+    }
+  }
+  for (auto& p : producers) p.join();
+
+  // Final authoritative count after all reports landed.
+  auto in_fence = (*server)->QueryRange(depot, 4000, 20.0);
+  if (!in_fence.ok()) return 1;
+  std::printf("\nafter %zu reports: %zu couriers within 4000 of the depot\n",
+              updates.size(), in_fence->size());
+  std::printf("pending updates: %llu (all drained by the query)\n",
+              static_cast<unsigned long long>((*server)->pending_updates()));
+  return 0;
+}

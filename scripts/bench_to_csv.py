@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Convert gknn benchmark output into CSV files for plotting.
+
+The figure benchmarks print fixed-width tables with a dashed separator
+line. This script slices each table on its header columns and emits one
+CSV per table, converting humanized values ("1.23 ms", "4.5 KB") back to
+base units (seconds, bytes).
+
+Usage:
+    ./build/bench/bench_fig5_datasets | scripts/bench_to_csv.py --out-dir csv/
+    scripts/bench_to_csv.py --out-dir csv/ < bench_output.txt
+"""
+
+import argparse
+import os
+import re
+import sys
+
+TIME_UNITS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+SIZE_UNITS = {"B": 1, "KB": 1024, "MB": 1024**2, "GB": 1024**3}
+
+
+def convert(cell: str) -> str:
+    """Convert a humanized cell to a base-unit number when possible."""
+    m = re.fullmatch(r"([0-9.]+) (ns|us|ms|s)", cell)
+    if m:
+        return repr(float(m.group(1)) * TIME_UNITS[m.group(2)])
+    m = re.fullmatch(r"([0-9.]+) (B|KB|MB|GB)", cell)
+    if m:
+        return repr(float(m.group(1)) * SIZE_UNITS[m.group(2)])
+    m = re.fullmatch(r"([0-9.]+)x", cell)
+    if m:
+        return m.group(1)
+    return cell
+
+
+def split_columns(header: str):
+    """Column start offsets from a fixed-width header line."""
+    starts = [0]
+    i = 0
+    while i < len(header) - 2:
+        if header[i] == " " and header[i + 1] == " " and header[i + 2] != " ":
+            starts.append(i + 2)
+            i += 2
+        else:
+            i += 1
+    return starts
+
+
+def slice_row(line: str, starts):
+    cells = []
+    for j, s in enumerate(starts):
+        e = starts[j + 1] if j + 1 < len(starts) else len(line)
+        cells.append(line[s:e].strip())
+    return cells
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out-dir", default=".", help="directory for CSVs")
+    parser.add_argument("--prefix", default="table", help="file name prefix")
+    args = parser.parse_args()
+    os.makedirs(args.out_dir, exist_ok=True)
+
+    lines = sys.stdin.read().splitlines()
+    table_index = 0
+    written = []
+    i = 0
+    while i < len(lines) - 1:
+        # A table = header line followed by a dashed separator.
+        if re.fullmatch(r"-{3,}", lines[i + 1].strip()) and lines[i].strip():
+            header = lines[i]
+            starts = split_columns(header)
+            rows = []
+            j = i + 2
+            while j < len(lines) and lines[j].strip():
+                rows.append(slice_row(lines[j], starts))
+                j += 1
+            table_index += 1
+            path = os.path.join(
+                args.out_dir, f"{args.prefix}_{table_index:02d}.csv")
+            with open(path, "w") as f:
+                f.write(",".join(slice_row(header, starts)) + "\n")
+                for row in rows:
+                    f.write(",".join(convert(c) for c in row) + "\n")
+            written.append(path)
+            i = j
+        else:
+            i += 1
+
+    for path in written:
+        print(path)
+    if not written:
+        print("no tables found on stdin", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+#include "baselines/brute_force.h"
+
+#include <algorithm>
+
+#include "roadnet/dijkstra.h"
+#include "util/min_heap.h"
+#include "util/timer.h"
+
+namespace gknn::baselines {
+
+using core::KnnResultEntry;
+using roadnet::Distance;
+using roadnet::EdgePoint;
+using roadnet::kInfiniteDistance;
+
+void BruteForce::Ingest(core::ObjectId object, EdgePoint position,
+                        double time) {
+  (void)time;
+  util::Timer timer;
+  positions_[object] = position;
+  costs_.cpu_seconds += timer.ElapsedSeconds();
+}
+
+util::Result<std::vector<KnnResultEntry>> BruteForce::QueryKnn(
+    EdgePoint location, uint32_t k, double t_now) {
+  (void)t_now;
+  if (k == 0) return util::Status::InvalidArgument("k must be positive");
+  if (location.edge >= graph_->num_edges()) {
+    return util::Status::InvalidArgument("query edge out of range");
+  }
+  util::Timer timer;
+  const auto dist = roadnet::ShortestPathsFromPoint(*graph_, location);
+  util::BoundedTopK<KnnResultEntry> topk(k);
+  for (const auto& [object, pos] : positions_) {
+    const auto& e = graph_->edge(pos.edge);
+    Distance d = kInfiniteDistance;
+    if (dist[e.source] != kInfiniteDistance) {
+      d = dist[e.source] + pos.offset;
+    }
+    if (pos.edge == location.edge && pos.offset >= location.offset) {
+      d = std::min<Distance>(d, pos.offset - location.offset);
+    }
+    if (d != kInfiniteDistance) topk.Offer(KnnResultEntry{object, d});
+  }
+  costs_.cpu_seconds += timer.ElapsedSeconds();
+  return topk.TakeSorted();
+}
+
+uint64_t BruteForce::MemoryBytes() const {
+  return positions_.size() *
+             (sizeof(core::ObjectId) + sizeof(EdgePoint) + 2 * sizeof(void*)) +
+         positions_.bucket_count() * sizeof(void*);
+}
+
+}  // namespace gknn::baselines

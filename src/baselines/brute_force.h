@@ -1,0 +1,44 @@
+#ifndef GKNN_BASELINES_BRUTE_FORCE_H_
+#define GKNN_BASELINES_BRUTE_FORCE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/knn_algorithm.h"
+#include "roadnet/graph.h"
+
+namespace gknn::baselines {
+
+/// Ground-truth oracle: keeps only a hash table of latest positions and
+/// answers queries with a full single-source Dijkstra from the query point.
+/// Exact by construction; used to validate every other algorithm and as
+/// the "no index" lower bound on index size.
+class BruteForce : public KnnAlgorithm {
+ public:
+  explicit BruteForce(const roadnet::Graph* graph) : graph_(graph) {}
+
+  std::string_view name() const override { return "BruteForce"; }
+
+  void Ingest(core::ObjectId object, roadnet::EdgePoint position,
+              double time) override;
+
+  util::Result<std::vector<core::KnnResultEntry>> QueryKnn(
+      roadnet::EdgePoint location, uint32_t k, double t_now) override;
+
+  uint64_t MemoryBytes() const override;
+
+  TimeBreakdown ConsumeCosts() override {
+    TimeBreakdown out = costs_;
+    costs_ = TimeBreakdown{};
+    return out;
+  }
+
+ private:
+  const roadnet::Graph* graph_;
+  std::unordered_map<core::ObjectId, roadnet::EdgePoint> positions_;
+  TimeBreakdown costs_;
+};
+
+}  // namespace gknn::baselines
+
+#endif  // GKNN_BASELINES_BRUTE_FORCE_H_

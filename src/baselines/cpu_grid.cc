@@ -1,0 +1,110 @@
+#include "baselines/cpu_grid.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/min_heap.h"
+#include "util/timer.h"
+
+namespace gknn::baselines {
+
+using core::KnnResultEntry;
+using core::ObjectId;
+using roadnet::Distance;
+using roadnet::Edge;
+using roadnet::EdgeId;
+using roadnet::EdgePoint;
+using roadnet::kInfiniteDistance;
+using roadnet::VertexId;
+
+void CpuGrid::Ingest(ObjectId object, EdgePoint position, double time) {
+  (void)time;
+  util::Timer timer;
+  auto it = positions_.find(object);
+  if (it != positions_.end() && it->second.edge != position.edge) {
+    auto em = objects_on_edge_.find(it->second.edge);
+    if (em != objects_on_edge_.end()) {
+      auto& vec = em->second;
+      vec.erase(std::remove(vec.begin(), vec.end(), object), vec.end());
+      if (vec.empty()) objects_on_edge_.erase(em);
+    }
+  }
+  if (it == positions_.end() || it->second.edge != position.edge) {
+    objects_on_edge_[position.edge].push_back(object);
+  }
+  positions_[object] = position;
+  costs_.cpu_seconds += timer.ElapsedSeconds();
+}
+
+util::Result<std::vector<KnnResultEntry>> CpuGrid::QueryKnn(
+    EdgePoint location, uint32_t k, double t_now) {
+  (void)t_now;
+  if (k == 0) return util::Status::InvalidArgument("k must be positive");
+  if (location.edge >= graph_->num_edges()) {
+    return util::Status::InvalidArgument("query edge out of range");
+  }
+  util::Timer timer;
+
+  std::unordered_map<ObjectId, Distance> best;
+  std::multiset<Distance> best_values;
+  auto offer = [&](ObjectId object, Distance d) {
+    auto [it, inserted] = best.emplace(object, d);
+    if (!inserted) {
+      if (d >= it->second) return;
+      best_values.erase(best_values.find(it->second));
+      it->second = d;
+    }
+    best_values.insert(d);
+  };
+  auto kth = [&]() -> Distance {
+    if (best_values.size() < k) return kInfiniteDistance - 1;
+    auto it = best_values.begin();
+    std::advance(it, k - 1);
+    return *it;
+  };
+
+  for (const auto& [object, pos] : positions_) {
+    if (pos.edge == location.edge && pos.offset >= location.offset) {
+      offer(object, pos.offset - location.offset);
+    }
+  }
+
+  // Incremental network expansion with a shrinking radius: the search
+  // stops the moment the next settled vertex is farther than the current
+  // kth-best object.
+  search_.BeginSearch();
+  {
+    const Edge& e = graph_->edge(location.edge);
+    search_.SeedMore(e.target, e.weight - location.offset);
+  }
+  search_.SearchPrunedDynamic(kth, [&](VertexId v, Distance d) {
+    for (EdgeId id : graph_->OutEdgeIds(v)) {
+      auto it = objects_on_edge_.find(id);
+      if (it == objects_on_edge_.end()) continue;
+      for (ObjectId o : it->second) {
+        offer(o, d + positions_.at(o).offset);
+      }
+    }
+    return true;
+  });
+
+  util::BoundedTopK<KnnResultEntry> topk(k);
+  for (const auto& [object, d] : best) {
+    topk.Offer(KnnResultEntry{object, d});
+  }
+  costs_.cpu_seconds += timer.ElapsedSeconds();
+  return topk.TakeSorted();
+}
+
+uint64_t CpuGrid::MemoryBytes() const {
+  uint64_t bytes = positions_.size() * (sizeof(ObjectId) + sizeof(EdgePoint) +
+                                        2 * sizeof(void*));
+  for (const auto& [edge, objects] : objects_on_edge_) {
+    (void)edge;
+    bytes += sizeof(EdgeId) + 2 * sizeof(void*) +
+             objects.capacity() * sizeof(ObjectId);
+  }
+  return bytes;
+}
+
+}  // namespace gknn::baselines

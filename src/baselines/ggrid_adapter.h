@@ -1,0 +1,55 @@
+#ifndef GKNN_BASELINES_GGRID_ADAPTER_H_
+#define GKNN_BASELINES_GGRID_ADAPTER_H_
+
+#include <memory>
+
+#include "baselines/knn_algorithm.h"
+#include "core/ggrid_index.h"
+#include "gpusim/device.h"
+#include "util/thread_pool.h"
+
+namespace gknn::baselines {
+
+/// Adapts the G-Grid index to the common KnnAlgorithm interface used by
+/// the benchmark harness and the cross-validation tests.
+///
+/// Time accounting: CPU phases of ingest/query are self-measured wall
+/// time; device kernels and PCIe transfers contribute their modeled times
+/// from the simulated GPU (see gpusim::DeviceConfig).
+class GGridAlgorithm : public KnnAlgorithm {
+ public:
+  static util::Result<std::unique_ptr<GGridAlgorithm>> Build(
+      const roadnet::Graph* graph, const core::GGridOptions& options,
+      gpusim::Device* device, util::ThreadPool* pool);
+
+  std::string_view name() const override { return "G-Grid"; }
+
+  void Ingest(core::ObjectId object, roadnet::EdgePoint position,
+              double time) override;
+
+  util::Result<std::vector<core::KnnResultEntry>> QueryKnn(
+      roadnet::EdgePoint location, uint32_t k, double t_now) override;
+
+  uint64_t MemoryBytes() const override { return index_->Memory().total(); }
+
+  TimeBreakdown ConsumeCosts() override {
+    TimeBreakdown out = costs_;
+    costs_ = TimeBreakdown{};
+    return out;
+  }
+
+  core::GGridIndex& index() { return *index_; }
+  const core::KnnStats& last_query_stats() const { return last_stats_; }
+
+ private:
+  explicit GGridAlgorithm(std::unique_ptr<core::GGridIndex> index)
+      : index_(std::move(index)) {}
+
+  std::unique_ptr<core::GGridIndex> index_;
+  core::KnnStats last_stats_;
+  TimeBreakdown costs_;
+};
+
+}  // namespace gknn::baselines
+
+#endif  // GKNN_BASELINES_GGRID_ADAPTER_H_

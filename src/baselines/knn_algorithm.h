@@ -1,0 +1,72 @@
+#ifndef GKNN_BASELINES_KNN_ALGORITHM_H_
+#define GKNN_BASELINES_KNN_ALGORITHM_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/types.h"
+#include "roadnet/graph.h"
+#include "util/result.h"
+
+namespace gknn::baselines {
+
+/// Time spent by an algorithm, split by where it ran. `cpu_seconds` is
+/// self-measured host wall time; `gpu_seconds`/`transfer_seconds` are the
+/// simulated device's modeled times (zero for CPU-only algorithms). The
+/// benchmark harness accumulates these into the paper's amortized
+/// (T_u + T_q) / n_q metric.
+struct TimeBreakdown {
+  double cpu_seconds = 0;
+  double gpu_seconds = 0;
+  double transfer_seconds = 0;
+  uint64_t h2d_bytes = 0;
+  uint64_t d2h_bytes = 0;
+
+  double total() const { return cpu_seconds + gpu_seconds; }
+  uint64_t transfer_bytes() const { return h2d_bytes + d2h_bytes; }
+
+  TimeBreakdown& operator+=(const TimeBreakdown& other) {
+    cpu_seconds += other.cpu_seconds;
+    gpu_seconds += other.gpu_seconds;
+    transfer_seconds += other.transfer_seconds;
+    h2d_bytes += other.h2d_bytes;
+    d2h_bytes += other.d2h_bytes;
+    return *this;
+  }
+};
+
+/// Common interface over G-Grid and the baseline algorithms, as compared in
+/// the paper's §VII: V-Tree [4], ROAD [9] (extended to moving objects),
+/// V-Tree (G), and a brute-force oracle.
+///
+/// All implementations answer the same snapshot kNN query (Definition 1)
+/// with identical travel semantics, so their results are interchangeable
+/// and cross-checked in tests.
+class KnnAlgorithm {
+ public:
+  virtual ~KnnAlgorithm() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Processes one object location update.
+  virtual void Ingest(core::ObjectId object, roadnet::EdgePoint position,
+                      double time) = 0;
+
+  /// Answers a kNN query at time t_now: up to k entries by ascending
+  /// network distance.
+  virtual util::Result<std::vector<core::KnnResultEntry>> QueryKnn(
+      roadnet::EdgePoint location, uint32_t k, double t_now) = 0;
+
+  /// Resident index size in bytes (graph representation + object
+  /// structures + precomputed tables), as reported in Fig. 6.
+  virtual uint64_t MemoryBytes() const = 0;
+
+  /// Returns the time consumed since the previous call and resets the
+  /// accumulator.
+  virtual TimeBreakdown ConsumeCosts() = 0;
+};
+
+}  // namespace gknn::baselines
+
+#endif  // GKNN_BASELINES_KNN_ALGORITHM_H_

@@ -1,0 +1,187 @@
+#include "baselines/road.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+#include "util/min_heap.h"
+#include "util/timer.h"
+
+namespace gknn::baselines {
+
+using core::KnnResultEntry;
+using core::ObjectId;
+using roadnet::BorderHierarchy;
+using roadnet::Distance;
+using roadnet::Edge;
+using roadnet::EdgeId;
+using roadnet::EdgePoint;
+using roadnet::Graph;
+using roadnet::kInfiniteDistance;
+using roadnet::VertexId;
+
+util::Result<std::unique_ptr<Road>> Road::Build(const Graph* graph,
+                                                const Options& options) {
+  GKNN_ASSIGN_OR_RETURN(roadnet::BisectionTree tree,
+                        roadnet::BuildBisectionTree(*graph, options.leaf_size,
+                                                    options.partition));
+  std::unique_ptr<Road> road(new Road(graph));
+  GKNN_ASSIGN_OR_RETURN(road->hierarchy_,
+                        roadnet::BuildBorderHierarchy(*graph, tree));
+  road->rnet_objects_.resize(road->hierarchy_.nodes.size());
+  return road;
+}
+
+void Road::Ingest(ObjectId object, EdgePoint position, double time) {
+  (void)time;
+  util::Timer timer;
+  auto it = positions_.find(object);
+  if (it != positions_.end()) {
+    // Remove from the association directory along the old leaf-to-root
+    // path and from the old edge (eager maintenance, per update).
+    if (it->second.edge != position.edge) {
+      auto em = objects_on_edge_.find(it->second.edge);
+      if (em != objects_on_edge_.end()) {
+        auto& vec = em->second;
+        vec.erase(std::remove(vec.begin(), vec.end(), object), vec.end());
+        if (vec.empty()) objects_on_edge_.erase(em);
+      }
+    }
+    const VertexId old_vertex = graph_->edge(it->second.edge).source;
+    for (uint32_t n = hierarchy_.leaf_node_of_vertex[old_vertex];;
+         n = hierarchy_.nodes[n].parent) {
+      auto& objects = rnet_objects_[n];
+      auto pos = std::lower_bound(objects.begin(), objects.end(), object);
+      if (pos != objects.end() && *pos == object) objects.erase(pos);
+      if (n == 0) break;
+    }
+    it->second = position;
+  } else {
+    positions_.emplace(object, position);
+  }
+  const VertexId new_vertex = graph_->edge(position.edge).source;
+  for (uint32_t n = hierarchy_.leaf_node_of_vertex[new_vertex];;
+       n = hierarchy_.nodes[n].parent) {
+    auto& objects = rnet_objects_[n];
+    auto pos = std::lower_bound(objects.begin(), objects.end(), object);
+    if (pos == objects.end() || *pos != object) objects.insert(pos, object);
+    if (n == 0) break;
+  }
+  auto& on_edge = objects_on_edge_[position.edge];
+  if (std::find(on_edge.begin(), on_edge.end(), object) == on_edge.end()) {
+    on_edge.push_back(object);
+  }
+  costs_.cpu_seconds += timer.ElapsedSeconds();
+}
+
+util::Result<std::vector<KnnResultEntry>> Road::QueryKnn(EdgePoint location,
+                                                         uint32_t k,
+                                                         double t_now) {
+  (void)t_now;
+  if (k == 0) return util::Status::InvalidArgument("k must be positive");
+  if (location.edge >= graph_->num_edges()) {
+    return util::Status::InvalidArgument("query edge out of range");
+  }
+  util::Timer timer;
+
+  std::unordered_map<ObjectId, Distance> best;
+  std::multiset<Distance> best_values;
+  auto offer = [&](ObjectId object, Distance d) {
+    auto [it, inserted] = best.emplace(object, d);
+    if (!inserted) {
+      if (d >= it->second) return;
+      best_values.erase(best_values.find(it->second));
+      it->second = d;
+    }
+    best_values.insert(d);
+  };
+  auto kth_threshold = [&]() -> Distance {
+    if (best_values.size() < k) return kInfiniteDistance;
+    auto it = best_values.begin();
+    std::advance(it, k - 1);
+    return *it;
+  };
+
+  for (const auto& [object, pos] : positions_) {
+    if (pos.edge == location.edge && pos.offset >= location.offset) {
+      offer(object, pos.offset - location.offset);
+    }
+  }
+
+  // Dijkstra over the route overlay: raw edges inside occupied regions,
+  // shortcut jumps over empty Rnets.
+  const Edge& query_edge = graph_->edge(location.edge);
+  util::IndexedMinHeap<Distance> heap(graph_->num_vertices());
+  std::vector<Distance> dist(graph_->num_vertices(), kInfiniteDistance);
+  const Distance entry_cost = query_edge.weight - location.offset;
+  dist[query_edge.target] = entry_cost;
+  heap.PushOrDecrease(query_edge.target, entry_cost);
+
+  auto relax = [&](VertexId u, Distance d) {
+    if (d < dist[u]) {
+      dist[u] = d;
+      heap.PushOrDecrease(u, d);
+    }
+  };
+
+  while (!heap.empty()) {
+    auto [v, d] = heap.Pop();
+    if (d >= kth_threshold()) break;
+    // Objects live on out-edges of settled vertices.
+    for (EdgeId id : graph_->OutEdgeIds(v)) {
+      auto em = objects_on_edge_.find(id);
+      if (em != objects_on_edge_.end()) {
+        for (ObjectId o : em->second) {
+          offer(o, d + positions_.at(o).offset);
+        }
+      }
+    }
+    for (EdgeId id : graph_->OutEdgeIds(v)) {
+      const Edge& e = graph_->edge(id);
+      const VertexId u = e.target;
+      const Distance du = d + e.weight;
+      // Find the largest empty Rnet containing u but not v: the route
+      // overlay lets the search hop straight to its borders.
+      uint32_t skip = BorderHierarchy::kNoNode;
+      for (uint32_t n = hierarchy_.leaf_node_of_vertex[u];;
+           n = hierarchy_.nodes[n].parent) {
+        if (hierarchy_.Contains(n, v) || !rnet_objects_[n].empty()) break;
+        skip = n;
+        if (n == 0) break;
+      }
+      relax(u, du);
+      if (skip != BorderHierarchy::kNoNode) {
+        auto sc = hierarchy_.nodes[skip].shortcuts.find(u);
+        if (sc != hierarchy_.nodes[skip].shortcuts.end()) {
+          for (const auto& [b, w] : sc->second) {
+            relax(b, du + w);
+          }
+        }
+      }
+    }
+  }
+
+  util::BoundedTopK<KnnResultEntry> topk(k);
+  for (const auto& [object, d] : best) {
+    topk.Offer(KnnResultEntry{object, d});
+  }
+  costs_.cpu_seconds += timer.ElapsedSeconds();
+  return topk.TakeSorted();
+}
+
+uint64_t Road::MemoryBytes() const {
+  uint64_t bytes = hierarchy_.MemoryBytes();
+  for (const auto& objects : rnet_objects_) {
+    bytes += objects.capacity() * sizeof(ObjectId);
+  }
+  bytes += positions_.size() *
+           (sizeof(ObjectId) + sizeof(EdgePoint) + 2 * sizeof(void*));
+  for (const auto& [edge, objects] : objects_on_edge_) {
+    (void)edge;
+    bytes += sizeof(EdgeId) + 2 * sizeof(void*) +
+             objects.capacity() * sizeof(ObjectId);
+  }
+  return bytes;
+}
+
+}  // namespace gknn::baselines

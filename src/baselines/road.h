@@ -1,0 +1,77 @@
+#ifndef GKNN_BASELINES_ROAD_H_
+#define GKNN_BASELINES_ROAD_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/knn_algorithm.h"
+#include "roadnet/border_hierarchy.h"
+#include "roadnet/graph.h"
+#include "roadnet/partitioner.h"
+
+namespace gknn::baselines {
+
+/// The ROAD baseline [Lee, Lee, Zheng, EDBT 2009], extended to moving
+/// objects following the V-Tree paper, as in the experiments of §VII.
+///
+/// ROAD organizes the network as a hierarchy of nested regional subnets
+/// ("Rnets") with precomputed border-to-border *shortcuts* (the shared
+/// roadnet::BorderHierarchy). A kNN search is a Dijkstra expansion that
+/// skips over Rnets containing no objects by following their shortcuts
+/// ("route overlay"), consulting the *association directory* (per-Rnet
+/// object membership) to decide. Object updates eagerly maintain the
+/// association directory along the whole leaf-to-root path; the directory
+/// is kept as sorted arrays (ROAD's structures are sequential-scan
+/// friendly, designed for disk pages), so each update pays an
+/// O(|objects|) shift per level — the eager cost that dominates ROAD's
+/// running time in the paper's experiments.
+class Road : public KnnAlgorithm {
+ public:
+  struct Options {
+    /// Rnet hierarchy leaf size.
+    uint32_t leaf_size = 64;
+    roadnet::PartitionOptions partition;
+  };
+
+  static util::Result<std::unique_ptr<Road>> Build(
+      const roadnet::Graph* graph, const Options& options);
+
+  std::string_view name() const override { return "ROAD"; }
+
+  void Ingest(core::ObjectId object, roadnet::EdgePoint position,
+              double time) override;
+
+  util::Result<std::vector<core::KnnResultEntry>> QueryKnn(
+      roadnet::EdgePoint location, uint32_t k, double t_now) override;
+
+  uint64_t MemoryBytes() const override;
+
+  TimeBreakdown ConsumeCosts() override {
+    TimeBreakdown out = costs_;
+    costs_ = TimeBreakdown{};
+    return out;
+  }
+
+  uint32_t num_rnets() const {
+    return static_cast<uint32_t>(hierarchy_.nodes.size());
+  }
+  const roadnet::BorderHierarchy& hierarchy() const { return hierarchy_; }
+
+ private:
+  explicit Road(const roadnet::Graph* graph) : graph_(graph) {}
+
+  const roadnet::Graph* graph_;
+  roadnet::BorderHierarchy hierarchy_;
+  /// Association directory: objects inside each Rnet, sorted by id.
+  std::vector<std::vector<core::ObjectId>> rnet_objects_;
+
+  std::unordered_map<core::ObjectId, roadnet::EdgePoint> positions_;
+  std::unordered_map<roadnet::EdgeId, std::vector<core::ObjectId>>
+      objects_on_edge_;
+  TimeBreakdown costs_;
+};
+
+}  // namespace gknn::baselines
+
+#endif  // GKNN_BASELINES_ROAD_H_

@@ -1,0 +1,424 @@
+#include "baselines/vtree.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "roadnet/dijkstra.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace gknn::baselines {
+
+using core::KnnResultEntry;
+using core::ObjectId;
+using roadnet::Distance;
+using roadnet::Edge;
+using roadnet::EdgeId;
+using roadnet::EdgePoint;
+using roadnet::Graph;
+using roadnet::kInfiniteDistance;
+using roadnet::VertexId;
+
+util::Result<std::unique_ptr<VTree>> VTree::Build(const Graph* graph,
+                                                  const Options& options) {
+  GKNN_ASSIGN_OR_RETURN(roadnet::BisectionTree tree,
+                        roadnet::BuildBisectionTree(*graph, options.leaf_size,
+                                                    options.partition));
+  std::unique_ptr<VTree> vtree(new VTree(graph));
+  vtree->leaf_of_vertex_.assign(graph->num_vertices(), 0);
+  GKNN_ASSIGN_OR_RETURN(vtree->hierarchy_,
+                        roadnet::BuildBorderHierarchy(*graph, tree));
+  vtree->node_object_count_.assign(tree.nodes.size(), 0);
+
+  // Collect leaves from the bisection tree; renumber densely.
+  std::unordered_map<uint32_t, uint32_t> leaf_id_of_node;
+  for (uint32_t n = 0; n < tree.nodes.size(); ++n) {
+    if (!tree.nodes[n].IsLeaf()) continue;
+    const uint32_t leaf_id = static_cast<uint32_t>(vtree->leaves_.size());
+    leaf_id_of_node.emplace(n, leaf_id);
+    Leaf leaf;
+    leaf.vertices = tree.nodes[n].vertices;
+    std::sort(leaf.vertices.begin(), leaf.vertices.end());
+    for (uint32_t i = 0; i < leaf.vertices.size(); ++i) {
+      leaf.local_of.emplace(leaf.vertices[i], i);
+      vtree->leaf_of_vertex_[leaf.vertices[i]] = leaf_id;
+    }
+    vtree->leaves_.push_back(std::move(leaf));
+  }
+
+  // Identify borders: a vertex with any edge (either direction) whose
+  // other endpoint lies in a different leaf.
+  for (uint32_t leaf_id = 0; leaf_id < vtree->leaves_.size(); ++leaf_id) {
+    Leaf& leaf = vtree->leaves_[leaf_id];
+    for (VertexId v : leaf.vertices) {
+      bool is_border = false;
+      for (EdgeId id : graph->OutEdgeIds(v)) {
+        if (vtree->leaf_of_vertex_[graph->edge(id).target] != leaf_id) {
+          is_border = true;
+          break;
+        }
+      }
+      if (!is_border) {
+        for (EdgeId id : graph->InEdgeIds(v)) {
+          if (vtree->leaf_of_vertex_[graph->edge(id).source] != leaf_id) {
+            is_border = true;
+            break;
+          }
+        }
+      }
+      if (is_border) {
+        leaf.borders.push_back(v);
+        vtree->border_index_.emplace(
+            v, static_cast<uint32_t>(vtree->border_vertices_.size()));
+        vtree->border_vertices_.push_back(v);
+      }
+    }
+  }
+
+  // Precompute within-leaf border-to-vertex matrices: a Dijkstra per
+  // border restricted to the leaf's subgraph.
+  for (uint32_t leaf_id = 0; leaf_id < vtree->leaves_.size(); ++leaf_id) {
+    Leaf& leaf = vtree->leaves_[leaf_id];
+    const uint32_t n = static_cast<uint32_t>(leaf.vertices.size());
+    leaf.border_to_vertex.assign(
+        static_cast<size_t>(leaf.borders.size()) * n, kInfiniteDistance);
+    for (uint32_t row = 0; row < leaf.borders.size(); ++row) {
+      // Dijkstra within the leaf subgraph over local ids.
+      std::vector<Distance> dist(n, kInfiniteDistance);
+      util::IndexedMinHeap<Distance> heap(n);
+      const uint32_t source_local = leaf.local_of.at(leaf.borders[row]);
+      dist[source_local] = 0;
+      heap.PushOrDecrease(source_local, 0);
+      while (!heap.empty()) {
+        auto [u, d] = heap.Pop();
+        for (EdgeId id : graph->OutEdgeIds(leaf.vertices[u])) {
+          const Edge& e = graph->edge(id);
+          auto it = leaf.local_of.find(e.target);
+          if (it == leaf.local_of.end()) continue;  // leaves the subgraph
+          if (d + e.weight < dist[it->second]) {
+            dist[it->second] = d + e.weight;
+            heap.PushOrDecrease(it->second, d + e.weight);
+          }
+        }
+      }
+      std::copy(dist.begin(), dist.end(),
+                leaf.border_to_vertex.begin() +
+                    static_cast<size_t>(row) * n);
+    }
+  }
+
+  // Border overlay: within-leaf border-to-border entries plus original
+  // crossing edges.
+  const uint32_t num_borders =
+      static_cast<uint32_t>(vtree->border_vertices_.size());
+  std::vector<std::vector<OverlayEdge>> adjacency(num_borders);
+  for (const Leaf& leaf : vtree->leaves_) {
+    for (uint32_t row = 0; row < leaf.borders.size(); ++row) {
+      const uint32_t from = vtree->border_index_.at(leaf.borders[row]);
+      for (VertexId to_vertex : leaf.borders) {
+        if (to_vertex == leaf.borders[row]) continue;
+        const Distance d =
+            leaf.BorderToVertex(row, leaf.local_of.at(to_vertex));
+        if (d != kInfiniteDistance) {
+          adjacency[from].push_back(
+              OverlayEdge{vtree->border_index_.at(to_vertex), d});
+        }
+      }
+    }
+  }
+  for (const Edge& e : graph->edges()) {
+    if (vtree->leaf_of_vertex_[e.source] != vtree->leaf_of_vertex_[e.target]) {
+      adjacency[vtree->border_index_.at(e.source)].push_back(
+          OverlayEdge{vtree->border_index_.at(e.target), e.weight});
+    }
+  }
+  vtree->overlay_offsets_.assign(num_borders + 1, 0);
+  for (uint32_t b = 0; b < num_borders; ++b) {
+    vtree->overlay_offsets_[b + 1] =
+        vtree->overlay_offsets_[b] + static_cast<uint32_t>(adjacency[b].size());
+  }
+  vtree->overlay_edges_.reserve(vtree->overlay_offsets_.back());
+  for (auto& edges : adjacency) {
+    vtree->overlay_edges_.insert(vtree->overlay_edges_.end(), edges.begin(),
+                                 edges.end());
+  }
+  return vtree;
+}
+
+void VTree::RebuildLeafObjectCache(uint32_t leaf_id) {
+  Leaf& leaf = leaves_[leaf_id];
+  leaf.border_to_object.assign(
+      static_cast<size_t>(leaf.borders.size()) * leaf.objects.size(),
+      kInfiniteDistance);
+  for (uint32_t row = 0; row < leaf.borders.size(); ++row) {
+    for (uint32_t col = 0; col < leaf.objects.size(); ++col) {
+      const auto it = positions_.find(leaf.objects[col]);
+      GKNN_DCHECK(it != positions_.end());
+      const Edge& e = graph_->edge(it->second.edge);
+      const Distance d =
+          leaf.BorderToVertex(row, leaf.local_of.at(e.source));
+      if (d != kInfiniteDistance) {
+        leaf.border_to_object[row * leaf.objects.size() + col] =
+            d + it->second.offset;
+      }
+    }
+  }
+  last_update_work_ +=
+      static_cast<uint64_t>(leaf.borders.size()) * leaf.objects.size();
+}
+
+void VTree::Ingest(ObjectId object, EdgePoint position, double time) {
+  (void)time;
+  const Update update{object, position};
+  IngestBatch(std::span<const Update>(&update, 1));
+}
+
+void VTree::IngestBatch(std::span<const Update> updates) {
+  util::Timer timer;
+  last_update_work_ = 0;
+  std::vector<uint32_t> dirty_leaves;
+  // Eager maintenance of the per-node object counts along the
+  // leaf-to-root path (the tree's occupancy pruning data).
+  auto adjust_counts = [&](VertexId vertex, int32_t delta) {
+    for (uint32_t n = hierarchy_.leaf_node_of_vertex[vertex];;
+         n = hierarchy_.nodes[n].parent) {
+      node_object_count_[n] =
+          static_cast<uint32_t>(node_object_count_[n] + delta);
+      if (n == 0) break;
+    }
+  };
+  for (const Update& u : updates) {
+    const VertexId new_vertex = graph_->edge(u.position.edge).source;
+    const uint32_t new_leaf = leaf_of_vertex_[new_vertex];
+    auto it = positions_.find(u.object);
+    if (it != positions_.end()) {
+      const VertexId old_vertex = graph_->edge(it->second.edge).source;
+      const uint32_t old_leaf = leaf_of_vertex_[old_vertex];
+      it->second = u.position;
+      if (old_leaf != new_leaf) {
+        auto& old_objects = leaves_[old_leaf].objects;
+        old_objects.erase(
+            std::remove(old_objects.begin(), old_objects.end(), u.object),
+            old_objects.end());
+        leaves_[new_leaf].objects.push_back(u.object);
+        dirty_leaves.push_back(old_leaf);
+        adjust_counts(old_vertex, -1);
+        adjust_counts(new_vertex, +1);
+      }
+    } else {
+      positions_.emplace(u.object, u.position);
+      leaves_[new_leaf].objects.push_back(u.object);
+      adjust_counts(new_vertex, +1);
+    }
+    dirty_leaves.push_back(new_leaf);
+  }
+  // Eager maintenance: every affected leaf's border-to-object entries are
+  // recomputed before the update is acknowledged — the repeated work the
+  // paper's lazy scheme skips. Batching (the GPU variant) at least
+  // deduplicates leaves touched multiple times within one batch.
+  std::sort(dirty_leaves.begin(), dirty_leaves.end());
+  dirty_leaves.erase(std::unique(dirty_leaves.begin(), dirty_leaves.end()),
+                     dirty_leaves.end());
+  for (uint32_t leaf_id : dirty_leaves) RebuildLeafObjectCache(leaf_id);
+  costs_.cpu_seconds += timer.ElapsedSeconds();
+}
+
+util::Result<std::vector<KnnResultEntry>> VTree::QueryKnn(EdgePoint location,
+                                                          uint32_t k,
+                                                          double t_now) {
+  (void)t_now;
+  if (k == 0) return util::Status::InvalidArgument("k must be positive");
+  if (location.edge >= graph_->num_edges()) {
+    return util::Status::InvalidArgument("query edge out of range");
+  }
+  util::Timer timer;
+  last_query_scan_entries_ = 0;
+
+  // Best distance per object plus an ordered multiset of those distances;
+  // an object can be reached through several borders, so a plain k-bounded
+  // heap would let duplicates evict distinct objects.
+  std::unordered_map<ObjectId, Distance> best;
+  std::multiset<Distance> best_values;
+  auto offer = [&](ObjectId object, Distance d) {
+    auto [it, inserted] = best.emplace(object, d);
+    if (!inserted) {
+      if (d >= it->second) return;
+      best_values.erase(best_values.find(it->second));
+      it->second = d;
+    }
+    best_values.insert(d);
+  };
+  // Distance of the current kth best (infinite while fewer than k known).
+  auto kth_threshold = [&]() -> Distance {
+    if (best_values.size() < k) return kInfiniteDistance;
+    auto it = best_values.begin();
+    std::advance(it, k - 1);
+    return *it;
+  };
+
+  // Same-edge-ahead objects.
+  for (const auto& [object, pos] : positions_) {
+    if (pos.edge == location.edge && pos.offset >= location.offset) {
+      offer(object, pos.offset - location.offset);
+    }
+  }
+
+  // Entry: reach the query edge's target, then Dijkstra within its leaf.
+  const Edge& query_edge = graph_->edge(location.edge);
+  const VertexId entry = query_edge.target;
+  const Distance entry_cost = query_edge.weight - location.offset;
+  const uint32_t leaf0_id = leaf_of_vertex_[entry];
+  const Leaf& leaf0 = leaves_[leaf0_id];
+
+  std::vector<Distance> local_dist(leaf0.vertices.size(), kInfiniteDistance);
+  {
+    util::IndexedMinHeap<Distance> heap(
+        static_cast<uint32_t>(leaf0.vertices.size()));
+    const uint32_t src = leaf0.local_of.at(entry);
+    local_dist[src] = entry_cost;
+    heap.PushOrDecrease(src, entry_cost);
+    while (!heap.empty()) {
+      auto [u, d] = heap.Pop();
+      for (EdgeId id : graph_->OutEdgeIds(leaf0.vertices[u])) {
+        const Edge& e = graph_->edge(id);
+        auto it = leaf0.local_of.find(e.target);
+        if (it == leaf0.local_of.end()) continue;
+        if (d + e.weight < local_dist[it->second]) {
+          local_dist[it->second] = d + e.weight;
+          heap.PushOrDecrease(it->second, d + e.weight);
+        }
+      }
+    }
+  }
+  // Direct within-leaf distances to leaf0's objects.
+  for (uint32_t col = 0; col < leaf0.objects.size(); ++col) {
+    const auto& pos = positions_.at(leaf0.objects[col]);
+    const Edge& e = graph_->edge(pos.edge);
+    const Distance d = local_dist[leaf0.local_of.at(e.source)];
+    if (d != kInfiniteDistance) {
+      offer(leaf0.objects[col], d + pos.offset);
+    }
+  }
+
+  // Best-first search over the border overlay. Leaves without objects are
+  // only traversed (matrix hops), never scanned.
+  const uint32_t num_borders =
+      static_cast<uint32_t>(border_vertices_.size());
+  util::IndexedMinHeap<Distance> heap(num_borders);
+  std::vector<Distance> dist(num_borders, kInfiniteDistance);
+  for (uint32_t row = 0; row < leaf0.borders.size(); ++row) {
+    const Distance d = local_dist[leaf0.local_of.at(leaf0.borders[row])];
+    if (d != kInfiniteDistance) {
+      const uint32_t b = border_index_.at(leaf0.borders[row]);
+      dist[b] = d;
+      heap.PushOrDecrease(b, d);
+    }
+  }
+  while (!heap.empty()) {
+    auto [b, d] = heap.Pop();
+    if (d >= kth_threshold()) break;  // no remaining path can improve top-k
+    // Offer this leaf's objects through the maintained cache.
+    const VertexId bv = border_vertices_[b];
+    const uint32_t leaf_id = leaf_of_vertex_[bv];
+    const Leaf& leaf = leaves_[leaf_id];
+    if (!leaf.objects.empty()) {
+      const uint32_t row = static_cast<uint32_t>(
+          std::find(leaf.borders.begin(), leaf.borders.end(), bv) -
+          leaf.borders.begin());
+      last_query_scan_entries_ += leaf.objects.size();
+      for (uint32_t col = 0; col < leaf.objects.size(); ++col) {
+        const Distance od =
+            leaf.border_to_object[row * leaf.objects.size() + col];
+        if (od != kInfiniteDistance) {
+          offer(leaf.objects[col], d + od);
+        }
+      }
+    }
+    // Empty-subtree skip: the largest object-free tree node containing bv
+    // (and not the query entry) is crossed in one hop per border using its
+    // precomputed matrix, instead of leaf-by-leaf overlay expansion. Any
+    // entry into such a region lands on one of its borders, whose matrix
+    // row covers every through-path, so interior borders need no
+    // expansion at all.
+    uint32_t skip = roadnet::BorderHierarchy::kNoNode;
+    for (uint32_t n = hierarchy_.leaf_node_of_vertex[bv];;
+         n = hierarchy_.nodes[n].parent) {
+      if (node_object_count_[n] != 0 || hierarchy_.Contains(n, entry)) break;
+      skip = n;
+      if (n == 0) break;
+    }
+    if (skip != roadnet::BorderHierarchy::kNoNode) {
+      auto sc = hierarchy_.nodes[skip].shortcuts.find(bv);
+      if (sc != hierarchy_.nodes[skip].shortcuts.end()) {
+        last_query_scan_entries_ += sc->second.size();
+        for (const auto& [tv, w] : sc->second) {
+          const uint32_t t = border_index_.at(tv);
+          if (d + w < dist[t]) {
+            dist[t] = d + w;
+            heap.PushOrDecrease(t, d + w);
+          }
+        }
+      }
+      // Only edges that leave the skipped region still need relaxing.
+      for (uint32_t i = overlay_offsets_[b]; i < overlay_offsets_[b + 1];
+           ++i) {
+        const OverlayEdge& e = overlay_edges_[i];
+        if (hierarchy_.Contains(skip, border_vertices_[e.target])) continue;
+        if (d + e.weight < dist[e.target]) {
+          dist[e.target] = d + e.weight;
+          heap.PushOrDecrease(e.target, d + e.weight);
+        }
+      }
+      continue;
+    }
+    last_query_scan_entries_ += overlay_offsets_[b + 1] - overlay_offsets_[b];
+    for (uint32_t i = overlay_offsets_[b]; i < overlay_offsets_[b + 1]; ++i) {
+      const OverlayEdge& e = overlay_edges_[i];
+      if (d + e.weight < dist[e.target]) {
+        dist[e.target] = d + e.weight;
+        heap.PushOrDecrease(e.target, d + e.weight);
+      }
+    }
+  }
+
+  util::BoundedTopK<KnnResultEntry> topk(k);
+  for (const auto& [object, d] : best) {
+    topk.Offer(KnnResultEntry{object, d});
+  }
+  costs_.cpu_seconds += timer.ElapsedSeconds();
+  return topk.TakeSorted();
+}
+
+uint64_t VTree::MemoryBytes() const {
+  uint64_t bytes = MatrixBytes();
+  bytes += node_object_count_.size() * sizeof(uint32_t);
+  bytes += leaf_of_vertex_.size() * sizeof(uint32_t);
+  bytes += border_vertices_.size() * sizeof(VertexId);
+  bytes += overlay_offsets_.size() * sizeof(uint32_t);
+  bytes += overlay_edges_.size() * sizeof(OverlayEdge);
+  for (const Leaf& leaf : leaves_) {
+    bytes += leaf.vertices.size() * sizeof(VertexId) +
+             leaf.borders.size() * sizeof(VertexId) +
+             leaf.objects.size() * sizeof(ObjectId) +
+             leaf.border_to_object.size() * sizeof(Distance) +
+             leaf.local_of.size() * (sizeof(VertexId) + sizeof(uint32_t) +
+                                     2 * sizeof(void*));
+  }
+  bytes += positions_.size() *
+           (sizeof(ObjectId) + sizeof(EdgePoint) + 2 * sizeof(void*));
+  return bytes;
+}
+
+uint64_t VTree::MatrixBytes() const {
+  // Within-leaf border-to-vertex matrices plus the hierarchy's per-node
+  // border-to-border matrices — the precomputed distance data V-Tree
+  // carries (and what makes its index larger than G-Grid's, Fig. 6).
+  uint64_t bytes = hierarchy_.MemoryBytes();
+  for (const Leaf& leaf : leaves_) {
+    bytes += leaf.border_to_vertex.size() * sizeof(Distance);
+  }
+  return bytes;
+}
+
+}  // namespace gknn::baselines

@@ -1,0 +1,149 @@
+#ifndef GKNN_BASELINES_VTREE_H_
+#define GKNN_BASELINES_VTREE_H_
+
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/knn_algorithm.h"
+#include "roadnet/border_hierarchy.h"
+#include "roadnet/graph.h"
+#include "roadnet/partitioner.h"
+#include "util/min_heap.h"
+
+namespace gknn::baselines {
+
+/// The V-Tree baseline [Shen et al., ICDE 2017], the paper's main
+/// comparison point: a balanced partition tree over the road network with
+/// precomputed border-distance matrices, object lists attached to leaf
+/// subgraphs, and *eager* index maintenance — every location update
+/// immediately rebuilds the affected leaves' border-to-object distance
+/// entries, which is exactly the per-update work G-Grid's lazy scheme
+/// avoids.
+///
+/// Query processing follows the V-Tree/G-tree scheme: distances travel
+/// through leaf borders using the precomputed within-leaf matrices
+/// (assembled here as a border overlay graph), object-free subtrees are
+/// crossed in one hop using the per-node border matrices of the tree
+/// hierarchy (the storage that makes V-Tree's index large, Fig. 6), and
+/// object distances come straight from the maintained border-to-object
+/// entries. Results are exact and are cross-validated against the
+/// brute-force oracle in tests.
+class VTree : public KnnAlgorithm {
+ public:
+  struct Options {
+    /// Maximum vertices per leaf subgraph.
+    uint32_t leaf_size = 128;
+    roadnet::PartitionOptions partition;
+  };
+
+  static util::Result<std::unique_ptr<VTree>> Build(
+      const roadnet::Graph* graph, const Options& options);
+
+  std::string_view name() const override { return "V-Tree"; }
+
+  void Ingest(core::ObjectId object, roadnet::EdgePoint position,
+              double time) override;
+
+  /// One buffered location update (used by the batched GPU variant).
+  struct Update {
+    core::ObjectId object;
+    roadnet::EdgePoint position;
+  };
+
+  /// Applies a batch of updates, rebuilding each affected leaf's
+  /// border-to-object entries once instead of once per update — the
+  /// warp-batched maintenance V-Tree (G) performs on the device.
+  void IngestBatch(std::span<const Update> updates);
+
+  util::Result<std::vector<core::KnnResultEntry>> QueryKnn(
+      roadnet::EdgePoint location, uint32_t k, double t_now) override;
+
+  uint64_t MemoryBytes() const override;
+
+  TimeBreakdown ConsumeCosts() override {
+    TimeBreakdown out = costs_;
+    costs_ = TimeBreakdown{};
+    return out;
+  }
+
+  // --- introspection for tests and the GPU variant -----------------------
+
+  uint32_t num_leaves() const { return static_cast<uint32_t>(leaves_.size()); }
+  uint32_t num_borders() const {
+    return static_cast<uint32_t>(border_vertices_.size());
+  }
+  /// Bytes of the precomputed distance matrices alone (what V-Tree (G)
+  /// mirrors into device memory).
+  uint64_t MatrixBytes() const;
+  /// Work (in matrix-entry touches) done by the last eager update; the GPU
+  /// variant bills this to the simulated device.
+  uint64_t last_update_work() const { return last_update_work_; }
+
+  /// Matrix entries scanned by the last query (border-to-object rows and
+  /// shortcut rows). This is the data-parallel portion of a query: the GPU
+  /// variant re-bills it to the simulated device, which is what makes
+  /// V-Tree (G) overtake V-Tree at large k in the paper's Fig. 7.
+  uint64_t last_query_scan_entries() const { return last_query_scan_entries_; }
+  uint32_t LeafOfVertex(roadnet::VertexId v) const {
+    return leaf_of_vertex_[v];
+  }
+
+ private:
+  struct Leaf {
+    std::vector<roadnet::VertexId> vertices;
+    std::vector<roadnet::VertexId> borders;
+    /// Row-major borders x vertices within-leaf shortest distances.
+    std::vector<roadnet::Distance> border_to_vertex;
+    /// Objects currently in this leaf (source vertex of their edge is
+    /// here).
+    std::vector<core::ObjectId> objects;
+    /// Row-major borders x objects distances, rebuilt eagerly on every
+    /// update touching this leaf.
+    std::vector<roadnet::Distance> border_to_object;
+    /// Position of each vertex in `vertices` (dense local ids).
+    std::unordered_map<roadnet::VertexId, uint32_t> local_of;
+
+    roadnet::Distance BorderToVertex(uint32_t border_row,
+                                     uint32_t vertex_col) const {
+      return border_to_vertex[border_row * vertices.size() + vertex_col];
+    }
+  };
+
+  explicit VTree(const roadnet::Graph* graph) : graph_(graph) {}
+
+  /// Rebuilds leaf.border_to_object after an object entered/left/moved
+  /// within the leaf — the eager maintenance step.
+  void RebuildLeafObjectCache(uint32_t leaf_id);
+
+  const roadnet::Graph* graph_;
+  std::vector<Leaf> leaves_;
+  std::vector<uint32_t> leaf_of_vertex_;
+
+  /// The partition-tree hierarchy with per-node border matrices, plus the
+  /// eagerly maintained per-node object counts used to skip empty
+  /// subtrees.
+  roadnet::BorderHierarchy hierarchy_;
+  std::vector<uint32_t> node_object_count_;
+
+  // Border overlay graph: nodes are border vertices (across all leaves);
+  // edges are within-leaf matrix entries plus original crossing edges.
+  std::vector<roadnet::VertexId> border_vertices_;
+  std::unordered_map<roadnet::VertexId, uint32_t> border_index_;
+  std::vector<uint32_t> overlay_offsets_;  // CSR
+  struct OverlayEdge {
+    uint32_t target;  // overlay node index
+    roadnet::Distance weight;
+  };
+  std::vector<OverlayEdge> overlay_edges_;
+
+  std::unordered_map<core::ObjectId, roadnet::EdgePoint> positions_;
+  TimeBreakdown costs_;
+  uint64_t last_update_work_ = 0;
+  uint64_t last_query_scan_entries_ = 0;
+};
+
+}  // namespace gknn::baselines
+
+#endif  // GKNN_BASELINES_VTREE_H_

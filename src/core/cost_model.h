@@ -1,0 +1,62 @@
+#ifndef GKNN_CORE_COST_MODEL_H_
+#define GKNN_CORE_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "core/options.h"
+#include "roadnet/partitioner.h"
+#include "gpusim/device_config.h"
+
+namespace gknn::core {
+
+/// Analytical cost model of the G-Grid (paper §VI), evaluated against the
+/// device parameters of the simulated GPU. `bench_cost_model` prints these
+/// predictions next to measured values; the asymptotic forms are the
+/// paper's, with explicit constants supplied by DeviceConfig so the
+/// prediction lands in seconds/bytes rather than O(·).
+struct CostModelInputs {
+  /// Query parameter k and the balance factor rho (candidate set = rho*k
+  /// objects, §V-A).
+  uint32_t k = 16;
+  double rho = 1.8;
+  /// f_Delta: average messages per object within one t_Delta window
+  /// (= update frequency * t_Delta, §VI-A).
+  double f_delta = 10.0;
+  /// Index parameters.
+  uint32_t delta_b = 128;
+  uint32_t delta_c = 3;
+  uint32_t delta_v = 2;
+  uint32_t eta = 5;
+  /// Graph statistics.
+  uint32_t num_vertices = 0;
+  uint32_t num_edges = 0;
+  uint32_t num_objects = 0;
+  /// Bytes of one cached message record.
+  uint32_t message_bytes = 48;
+};
+
+struct CostModelPrediction {
+  // --- §VI-A space costs ---
+  uint64_t grid_bytes = 0;           // O(|V| + |E|)
+  uint64_t message_list_bytes = 0;   // O(f_Delta * |O|)
+  uint64_t object_table_bytes = 0;   // O(|O|)
+
+  // --- §VI-B1 message cleaning ---
+  uint64_t messages_transferred = 0;  // O(f_Delta * rho * k)
+  double transfer_seconds = 0;        // messages over the PCIe model
+  double cleaning_kernel_seconds = 0; // O(delta_b) per thread + collect
+
+  // --- §VI-B2 query computation ---
+  uint64_t candidate_cells = 0;       // ~ rho*k / objects-per-cell
+  uint64_t sdist_ops = 0;             // O(|C| * delta_c * delta_v) per thread
+  double sdist_seconds = 0;
+  double total_gpu_seconds = 0;       // cleaning + sdist + selection
+};
+
+/// Evaluates the §VI formulas under `device` constants.
+CostModelPrediction PredictCosts(const CostModelInputs& inputs,
+                                 const gpusim::DeviceConfig& device);
+
+}  // namespace gknn::core
+
+#endif  // GKNN_CORE_COST_MODEL_H_

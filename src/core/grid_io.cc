@@ -1,0 +1,167 @@
+#include "core/grid_io.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace gknn::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'K', 'N', 'N', 'G', 'R', 'I', 'D'};
+constexpr uint32_t kVersion = 1;
+
+/// FNV-1a over the edge list: cheap fingerprint tying a grid file to the
+/// graph it was built from.
+uint64_t GraphChecksum(const roadnet::Graph& graph) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(graph.num_vertices());
+  for (const roadnet::Edge& e : graph.edges()) {
+    mix(e.source);
+    mix(e.target);
+    mix(e.weight);
+  }
+  return h;
+}
+
+struct Writer {
+  std::FILE* f;
+  bool ok = true;
+
+  void Bytes(const void* data, size_t n) {
+    if (ok && std::fwrite(data, 1, n, f) != n) ok = false;
+  }
+  void U32(uint32_t v) { Bytes(&v, sizeof(v)); }
+  void U64(uint64_t v) { Bytes(&v, sizeof(v)); }
+  template <typename T>
+  void Vec(const std::vector<T>& v) {
+    U64(v.size());
+    Bytes(v.data(), v.size() * sizeof(T));
+  }
+};
+
+struct Reader {
+  std::FILE* f;
+  bool ok = true;
+
+  void Bytes(void* data, size_t n) {
+    if (ok && std::fread(data, 1, n, f) != n) ok = false;
+  }
+  uint32_t U32() {
+    uint32_t v = 0;
+    Bytes(&v, sizeof(v));
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    Bytes(&v, sizeof(v));
+    return v;
+  }
+  template <typename T>
+  void Vec(std::vector<T>* v) {
+    const uint64_t n = U64();
+    if (!ok || n > (1ull << 40) / sizeof(T)) {  // implausible size: corrupt
+      ok = false;
+      return;
+    }
+    v->resize(n);
+    Bytes(v->data(), n * sizeof(T));
+  }
+};
+
+}  // namespace
+
+util::Status WriteGraphGrid(const GraphGrid& grid, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open " + path + " for writing");
+  }
+  Writer w{f};
+  w.Bytes(kMagic, sizeof(kMagic));
+  w.U32(kVersion);
+  w.U32(grid.graph_->num_vertices());
+  w.U32(grid.graph_->num_edges());
+  w.U64(GraphChecksum(*grid.graph_));
+  w.U32(grid.delta_v_);
+  w.U32(grid.max_slots_per_cell_);
+  w.U32(grid.partition_.psi);
+  w.U64(grid.partition_.edge_cut);
+  w.Vec(grid.partition_.cell_of_vertex);
+  w.Vec(grid.cell_slot_offsets_);
+  w.Vec(grid.slots_);
+  w.Vec(grid.edge_entries_);
+  w.Vec(grid.cell_edge_count_);
+  w.Vec(grid.neighbor_offsets_);
+  w.Vec(grid.neighbor_cells_);
+  const bool ok = w.ok && std::fclose(f) == 0;
+  if (!ok) {
+    return util::Status::IoError("error writing " + path);
+  }
+  return util::Status::OK();
+}
+
+util::Result<GraphGrid> ReadGraphGrid(const roadnet::Graph* graph,
+                                      const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open " + path);
+  }
+  Reader r{f};
+  char magic[8] = {};
+  r.Bytes(magic, sizeof(magic));
+  if (!r.ok || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    std::fclose(f);
+    return util::Status::IoError(path + ": not a gknn grid file");
+  }
+  const uint32_t version = r.U32();
+  if (version != kVersion) {
+    std::fclose(f);
+    return util::Status::IoError(path + ": unsupported grid version " +
+                                 std::to_string(version));
+  }
+  const uint32_t num_vertices = r.U32();
+  const uint32_t num_edges = r.U32();
+  const uint64_t checksum = r.U64();
+  if (!r.ok || num_vertices != graph->num_vertices() ||
+      num_edges != graph->num_edges() || checksum != GraphChecksum(*graph)) {
+    std::fclose(f);
+    return util::Status::InvalidArgument(
+        path + ": grid was built from a different graph");
+  }
+
+  GraphGrid grid;
+  grid.graph_ = graph;
+  grid.delta_v_ = r.U32();
+  grid.max_slots_per_cell_ = r.U32();
+  grid.partition_.psi = r.U32();
+  grid.partition_.grid_dim = 1u << grid.partition_.psi;
+  grid.partition_.num_cells = 1u << (2 * grid.partition_.psi);
+  grid.partition_.edge_cut = r.U64();
+  r.Vec(&grid.partition_.cell_of_vertex);
+  r.Vec(&grid.cell_slot_offsets_);
+  r.Vec(&grid.slots_);
+  r.Vec(&grid.edge_entries_);
+  r.Vec(&grid.cell_edge_count_);
+  r.Vec(&grid.neighbor_offsets_);
+  r.Vec(&grid.neighbor_cells_);
+  std::fclose(f);
+  if (!r.ok) {
+    return util::Status::IoError(path + ": truncated or corrupt grid file");
+  }
+  // Structural sanity: sizes must be mutually consistent.
+  if (grid.partition_.cell_of_vertex.size() != num_vertices ||
+      grid.cell_slot_offsets_.size() != grid.partition_.num_cells + 1 ||
+      grid.slots_.size() != grid.cell_slot_offsets_.back() ||
+      grid.edge_entries_.size() != grid.slots_.size() * grid.delta_v_ ||
+      grid.cell_edge_count_.size() != grid.partition_.num_cells ||
+      grid.neighbor_offsets_.size() != grid.partition_.num_cells + 1 ||
+      grid.neighbor_cells_.size() != grid.neighbor_offsets_.back()) {
+    return util::Status::IoError(path + ": inconsistent grid file");
+  }
+  return grid;
+}
+
+}  // namespace gknn::core

@@ -1,0 +1,34 @@
+#ifndef GKNN_CORE_GRID_IO_H_
+#define GKNN_CORE_GRID_IO_H_
+
+#include <string>
+
+#include "core/graph_grid.h"
+#include "util/result.h"
+
+namespace gknn::core {
+
+/// Binary serialization of a built GraphGrid.
+///
+/// Partitioning dominates index construction time on large networks, so a
+/// deployment builds the grid once and reloads it at startup. The format
+/// embeds the graph's vertex/edge counts and is validated on load: reading
+/// a grid against a different graph fails cleanly instead of producing a
+/// corrupt index.
+///
+/// Format (little-endian, version-tagged):
+///   magic "GKNNGRID", u32 version,
+///   u32 num_vertices, u32 num_edges, u32 delta_v, u32 psi,
+///   cell_of_vertex[], cell_slot_offsets[], slots[], edge_entries[],
+///   cell_edge_count[], neighbor_offsets[], neighbor_cells[].
+util::Status WriteGraphGrid(const GraphGrid& grid, const std::string& path);
+
+/// Loads a grid previously written by WriteGraphGrid. `graph` must be the
+/// same road network the grid was built from (checked by vertex/edge
+/// counts and an edge checksum) and must outlive the returned grid.
+util::Result<GraphGrid> ReadGraphGrid(const roadnet::Graph* graph,
+                                      const std::string& path);
+
+}  // namespace gknn::core
+
+#endif  // GKNN_CORE_GRID_IO_H_

@@ -1,0 +1,593 @@
+#include "core/knn_engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <mutex>
+#include <set>
+
+#include "gpusim/device_buffer.h"
+#include "gpusim/scan.h"
+#include "gpusim/topk.h"
+#include "util/min_heap.h"
+#include "util/timer.h"
+
+namespace gknn::core {
+
+using gpusim::DeviceBuffer;
+using gpusim::ThreadCtx;
+using roadnet::Distance;
+using roadnet::Edge;
+using roadnet::EdgeId;
+using roadnet::EdgePoint;
+using roadnet::kInfiniteDistance;
+using roadnet::kInvalidVertex;
+using roadnet::VertexId;
+
+namespace {
+
+/// Shrinking kNN bound over *distinct* objects: the kth-smallest of each
+/// known object's best distance. An upper bound on the true kth distance,
+/// so using it as a search radius never cuts off a result; dedup matters —
+/// counting one object twice would tighten the bound incorrectly.
+class KthBound {
+ public:
+  explicit KthBound(uint32_t k) : k_(k) {}
+
+  void Offer(ObjectId object, roadnet::Distance d) {
+    auto [it, inserted] = best_.emplace(object, d);
+    if (!inserted) {
+      if (d >= it->second) return;
+      values_.erase(values_.find(it->second));
+      it->second = d;
+    }
+    values_.insert(d);
+    if (values_.size() >= k_) {
+      auto kth = values_.begin();
+      std::advance(kth, k_ - 1);
+      threshold_ = *kth;
+    }
+  }
+
+  roadnet::Distance threshold() const { return threshold_; }
+
+ private:
+  uint32_t k_;
+  std::unordered_map<ObjectId, roadnet::Distance> best_;
+  std::multiset<roadnet::Distance> values_;
+  roadnet::Distance threshold_ = roadnet::kInfiniteDistance - 1;
+};
+
+}  // namespace
+
+KnnEngine::KnnEngine(gpusim::Device* device, const GraphGrid* grid,
+                     MessageCleaner* cleaner, BucketArena* arena,
+                     std::vector<MessageList>* lists,
+                     const ObjectTable* object_table,
+                     const EdgeObjectMap* objects_on_edge,
+                     util::ThreadPool* pool, const GGridOptions* options)
+    : device_(device),
+      grid_(grid),
+      cleaner_(cleaner),
+      arena_(arena),
+      lists_(lists),
+      object_table_(object_table),
+      objects_on_edge_(objects_on_edge),
+      pool_(pool),
+      options_(options) {
+  for (unsigned i = 0; i < pool_->num_threads(); ++i) {
+    refine_workspaces_.push_back(
+        std::make_unique<roadnet::BoundedDijkstra>(&grid_->graph()));
+  }
+  local_id_of_vertex_.assign(grid_->graph().num_vertices(), 0);
+  local_id_epoch_.assign(grid_->graph().num_vertices(), 0);
+  seed_epoch_of_.assign(grid_->graph().num_vertices(), 0);
+}
+
+util::Result<std::vector<KnnResultEntry>> KnnEngine::Query(
+    EdgePoint location, uint32_t k, double t_now, KnnStats* stats) {
+  const roadnet::Graph& graph = grid_->graph();
+  if (k == 0) return util::Status::InvalidArgument("k must be positive");
+  if (location.edge >= graph.num_edges()) {
+    return util::Status::InvalidArgument("query edge out of range");
+  }
+  const Edge& query_edge = graph.edge(location.edge);
+  if (location.offset > query_edge.weight) {
+    return util::Status::InvalidArgument("query offset beyond edge weight");
+  }
+
+  KnnStats local_stats;
+  KnnStats& st = stats != nullptr ? *stats : local_stats;
+  st = KnnStats{};
+  const auto ledger_before = device_->ledger().totals();
+  const double device_clock_before = device_->ClockSeconds();
+  const double sim_wall_before = device_->sim_wall_seconds();
+  util::Timer cpu_timer;
+
+  // ---- Step 1 (Alg. 4 lines 1-4): candidate cells + message cleaning -----
+  std::vector<char> in_l(grid_->num_cells(), 0);
+  std::vector<CellId> l_cells;
+  auto add_cell = [&](CellId c) {
+    if (!in_l[c]) {
+      in_l[c] = 1;
+      l_cells.push_back(c);
+    }
+  };
+  const CellId query_cell = grid_->CellOfEdge(location.edge);
+  add_cell(query_cell);
+  // The SDist seed vertex is the query edge's target; make sure its cell is
+  // part of the examined region.
+  add_cell(grid_->CellOfVertex(query_edge.target));
+  for (CellId c : grid_->NeighborCells(query_cell)) add_cell(c);
+
+  std::vector<Message> candidates;
+  size_t clean_from = 0;     // cells in l_cells[clean_from..) not yet cleaned
+  size_t frontier_from = 0;  // cells added in the previous ring
+  const double rho_k = options_->rho * static_cast<double>(k);
+  for (;;) {
+    const std::span<const CellId> to_clean(l_cells.data() + clean_from,
+                                           l_cells.size() - clean_from);
+    frontier_from = clean_from;
+    clean_from = l_cells.size();
+    GKNN_ASSIGN_OR_RETURN(MessageCleaner::Outcome outcome,
+                          cleaner_->Clean(to_clean, t_now, arena_, lists_));
+    st.clean_pipeline_seconds += outcome.pipeline_seconds;
+    candidates.insert(candidates.end(), outcome.latest.begin(),
+                      outcome.latest.end());
+    if (static_cast<double>(candidates.size()) >= rho_k) break;
+    // Expand one ring: neighbors(L) \ L. Only the previous ring can
+    // contribute new neighbors.
+    const size_t before = l_cells.size();
+    for (size_t i = frontier_from; i < before; ++i) {
+      for (CellId nb : grid_->NeighborCells(l_cells[i])) add_cell(nb);
+    }
+    if (l_cells.size() == before) break;  // the whole grid is covered
+    ++st.expansion_rounds;
+  }
+  st.cells_examined = static_cast<uint32_t>(l_cells.size());
+  st.candidate_objects = static_cast<uint32_t>(candidates.size());
+
+  // ---- Step 2a (Alg. 5): GPU_SDist over the candidate cells' vertices ----
+  std::vector<VertexId> region_vertices;
+  for (CellId c : l_cells) grid_->AppendCellVertices(c, &region_vertices);
+  st.candidate_vertices = static_cast<uint32_t>(region_vertices.size());
+
+  ++query_epoch_;
+  for (uint32_t i = 0; i < region_vertices.size(); ++i) {
+    local_id_of_vertex_[region_vertices[i]] = i;
+    local_id_epoch_[region_vertices[i]] = query_epoch_;
+  }
+  // Local id of a vertex, or kInvalidVertex when it is outside the region.
+  auto local_of = [&](VertexId v) -> uint32_t {
+    return local_id_epoch_[v] == query_epoch_ ? local_id_of_vertex_[v]
+                                              : kInvalidVertex;
+  };
+
+  GKNN_ASSIGN_OR_RETURN(
+      auto device_dist,
+      DeviceBuffer<Distance>::Allocate(device_, region_vertices.size()));
+  {
+    std::vector<Distance> init(region_vertices.size(), kInfiniteDistance);
+    const uint32_t seed = local_of(query_edge.target);
+    if (seed != kInvalidVertex) {
+      init[seed] = query_edge.weight - location.offset;
+    }
+    device_dist.Upload(init);
+  }
+  auto dist_span = device_dist.device_span();
+
+  // One thread per vertex entry (real or virtual); each relaxes the
+  // delta_v in-edges it stores, with a device-wide barrier per round
+  // (paper: the edges of a vertex are stored together, so relaxations of
+  // different destination vertices never conflict).
+  struct SlotRef {
+    CellId cell;
+    uint32_t slot;
+  };
+  std::vector<SlotRef> slots;
+  for (CellId c : l_cells) {
+    for (uint32_t i = 0; i < grid_->NumSlots(c); ++i) {
+      slots.push_back(SlotRef{c, i});
+    }
+  }
+  const auto sdist_stats = device_->LaunchIterative(
+      static_cast<uint32_t>(slots.size()),
+      /*max_iters=*/std::max<uint32_t>(1, st.candidate_vertices),
+      options_->sdist_early_exit,
+      [&](ThreadCtx& ctx, uint32_t) {
+        const SlotRef ref = slots[ctx.thread_id];
+        const GraphGrid::VertexSlot& slot = grid_->Slot(ref.cell, ref.slot);
+        bool changed = false;
+        if (!slot.empty()) {
+          const uint32_t self = local_of(slot.vertex);
+          for (const GraphGrid::EdgeEntry& e :
+               grid_->SlotEdges(ref.cell, ref.slot)) {
+            const uint32_t src = local_of(e.source);
+            if (src == kInvalidVertex) continue;  // edge from outside L
+            const Distance d = dist_span[src];
+            if (d != kInfiniteDistance && d + e.weight < dist_span[self]) {
+              dist_span[self] = d + e.weight;
+              changed = true;
+            }
+          }
+        }
+        ctx.CountOps(grid_->delta_v());
+        return changed;
+      });
+  st.sdist_iterations = sdist_stats.iterations;
+
+  // ---- Step 2b: GPU_First_k — candidate distances + k smallest -----------
+  auto object_distance = [&](const Message& m) -> Distance {
+    const Edge& e = graph.edge(m.edge);
+    Distance d = kInfiniteDistance;
+    const uint32_t src = local_of(e.source);
+    if (src != kInvalidVertex && dist_span[src] != kInfiniteDistance) {
+      d = dist_span[src] + m.offset;
+    }
+    if (m.edge == location.edge && m.offset >= location.offset) {
+      // Object ahead of the query on the same edge: direct along-edge path.
+      d = std::min<Distance>(d, m.offset - location.offset);
+    }
+    return d;
+  };
+
+  // Per-candidate distance entries, computed and selected on the device.
+  struct DistEntry {
+    Distance distance = kInfiniteDistance;
+    uint32_t index = std::numeric_limits<uint32_t>::max();
+    bool operator<(const DistEntry& other) const {
+      if (distance != other.distance) return distance < other.distance;
+      return index < other.index;
+    }
+  };
+  std::vector<KnnResultEntry> candidate_topk;
+  if (!candidates.empty()) {
+    GKNN_ASSIGN_OR_RETURN(
+        auto device_entries,
+        DeviceBuffer<DistEntry>::Allocate(device_, candidates.size()));
+    auto entry_span = device_entries.device_span();
+    device_->Launch(static_cast<uint32_t>(candidates.size()),
+                    [&](ThreadCtx& ctx) {
+                      entry_span[ctx.thread_id] = DistEntry{
+                          object_distance(candidates[ctx.thread_id]),
+                          ctx.thread_id};
+                      ctx.CountOps(2);
+                    });
+    // GPU_First_k: warp-bitonic k-smallest selection on the device; the k
+    // winners come back to the host (charged inside TopKSmallest).
+    const auto selected = gpusim::TopKSmallest<DistEntry>(
+        device_, entry_span, k, DistEntry{});
+    for (const DistEntry& e : selected) {
+      if (e.distance != kInfiniteDistance) {
+        candidate_topk.push_back(
+            KnnResultEntry{candidates[e.index].object, e.distance});
+      }
+    }
+  }
+  const Distance l = candidate_topk.size() >= k
+                         ? candidate_topk.back().distance
+                         : kInfiniteDistance;
+
+  // ---- Step 2c: GPU_Unresolved — boundary vertices with D[v] < l ---------
+  // Stream compaction on the device: flag kernel -> exclusive scan ->
+  // scatter kernel, then one copy of the compacted set to the host.
+  using UnresolvedEntry = std::pair<VertexId, Distance>;
+  std::vector<UnresolvedEntry> unresolved;
+  {
+    const uint32_t n = static_cast<uint32_t>(region_vertices.size());
+    auto is_unresolved = [&](uint32_t i) {
+      if (dist_span[i] >= l) return false;
+      for (EdgeId id : graph.OutEdgeIds(region_vertices[i])) {
+        if (!in_l[grid_->CellOfVertex(graph.edge(id).target)]) return true;
+      }
+      return false;
+    };
+    GKNN_ASSIGN_OR_RETURN(auto flags,
+                          DeviceBuffer<uint32_t>::Allocate(device_, n));
+    auto flag_span = flags.device_span();
+    device_->Launch(n, [&](ThreadCtx& ctx) {
+      flag_span[ctx.thread_id] = is_unresolved(ctx.thread_id) ? 1 : 0;
+      ctx.CountOps(1 + graph.OutDegree(region_vertices[ctx.thread_id]));
+    });
+    const uint32_t total = gpusim::ExclusiveScan(device_, flag_span);
+    if (total > 0) {
+      GKNN_ASSIGN_OR_RETURN(
+          auto compacted,
+          DeviceBuffer<UnresolvedEntry>::Allocate(device_, total));
+      auto out_span = compacted.device_span();
+      device_->Launch(n, [&](ThreadCtx& ctx) {
+        ctx.CountOps(1);
+        if (is_unresolved(ctx.thread_id)) {
+          out_span[flag_span[ctx.thread_id]] = UnresolvedEntry{
+              region_vertices[ctx.thread_id], dist_span[ctx.thread_id]};
+        }
+      });
+      unresolved = compacted.Download();
+    }
+  }
+  st.unresolved_vertices = static_cast<uint32_t>(unresolved.size());
+  // Mark the seeds so the refinement prune below can recognize them.
+  ++seed_epoch_;
+  for (const auto& [v, dv] : unresolved) {
+    (void)dv;
+    seed_epoch_of_[v] = seed_epoch_;
+  }
+
+  // ---- Step 3 (Alg. 6): Refine_kNN on CPU threads -------------------------
+  std::vector<std::vector<KnnResultEntry>> refined_per_worker(
+      refine_workspaces_.size());
+  const uint32_t workers =
+      unresolved.empty()
+          ? 0
+          : static_cast<uint32_t>(refine_workspaces_.size());
+  for (uint32_t w = 0; w < workers; ++w) {
+    pool_->Submit([&, w] {
+      // Each worker runs one multi-source bounded Dijkstra over its share
+      // of the unresolved vertices, each seeded at its already-computed
+      // distance D[v]. This is equivalent to the paper's per-vertex
+      // searches of radius l - D[v] (both settle exactly the locations
+      // within absolute distance l through some unresolved vertex) but
+      // shares the work their overlapping ranges would repeat.
+      roadnet::BoundedDijkstra& search = *refine_workspaces_[w];
+      std::vector<KnnResultEntry>& found = refined_per_worker[w];
+      search.BeginSearch();
+      for (uint32_t i = w; i < unresolved.size(); i += workers) {
+        search.SeedMore(unresolved[i].first, unresolved[i].second);
+      }
+      // The search bound starts at l and tightens as refinement discovers
+      // closer objects: each worker tracks its own kth-best estimate over
+      // candidates + its finds.
+      KthBound bound(k);
+      for (const KnnResultEntry& c : candidate_topk) {
+        bound.Offer(c.object, c.distance);
+      }
+      auto radius = [&]() -> Distance { return bound.threshold(); };
+      search.SearchPrunedDynamic(radius, [&](VertexId x, Distance dx) {
+        for (EdgeId id : graph.OutEdgeIds(x)) {
+          auto it = objects_on_edge_->find(id);
+          if (it == objects_on_edge_->end()) continue;
+          for (ObjectId o : it->second) {
+            const ObjectTable::Entry* entry = object_table_->Find(o);
+            if (entry == nullptr || entry->edge != id) continue;
+            found.push_back(KnnResultEntry{o, dx + entry->offset});
+            bound.Offer(o, dx + entry->offset);
+          }
+        }
+        // Prune: a non-seed region vertex settled at >= its SDist label
+        // adds nothing — its in-region continuations were already relaxed
+        // by GPU_SDist, and any out-of-region edge would have made it an
+        // unresolved seed itself (or its label is >= l, beyond the
+        // radius). Seeds always expand: they are the gateways out of the
+        // region.
+        const uint32_t lx = local_of(x);
+        if (lx != kInvalidVertex && seed_epoch_of_[x] != seed_epoch_ &&
+            dx >= dist_span[lx]) {
+          return false;
+        }
+        return true;
+      });
+    });
+  }
+  if (workers > 0) pool_->Wait();
+
+  // ---- Final merge ---------------------------------------------------------
+  // Candidates beyond the top k cannot enter the answer (their distance is
+  // >= l, and k candidates at <= l exist); refinement supplies any closer
+  // path to them on its own. So merging top-k + refined is sufficient.
+  std::unordered_map<ObjectId, Distance> best;
+  best.reserve(candidate_topk.size());
+  for (const KnnResultEntry& e : candidate_topk) {
+    auto [it, inserted] = best.emplace(e.object, e.distance);
+    if (!inserted) it->second = std::min(it->second, e.distance);
+  }
+  uint32_t refined_objects = 0;
+  for (const auto& worker_found : refined_per_worker) {
+    for (const KnnResultEntry& e : worker_found) {
+      auto [it, inserted] = best.emplace(e.object, e.distance);
+      if (inserted) {
+        ++refined_objects;
+      } else {
+        it->second = std::min(it->second, e.distance);
+      }
+    }
+  }
+  st.refined_objects = refined_objects;
+
+  util::BoundedTopK<KnnResultEntry> final_topk(k);
+  for (const auto& [object, distance] : best) {
+    final_topk.Offer(KnnResultEntry{object, distance});
+  }
+
+  const auto ledger_after = device_->ledger().totals();
+  st.h2d_bytes = ledger_after.h2d_bytes - ledger_before.h2d_bytes;
+  st.d2h_bytes = ledger_after.d2h_bytes - ledger_before.d2h_bytes;
+  st.transfer_seconds =
+      ledger_after.total_seconds() - ledger_before.total_seconds();
+  st.gpu_seconds = device_->ClockSeconds() - device_clock_before;
+  // Host time excludes the wall clock the simulator spent executing
+  // kernels functionally — that work runs on the device in a real
+  // deployment and is billed through gpu_seconds.
+  st.cpu_seconds =
+      std::max(0.0, cpu_timer.ElapsedSeconds() -
+                        (device_->sim_wall_seconds() - sim_wall_before));
+
+  return final_topk.TakeSorted();
+}
+
+util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRange(
+    EdgePoint location, Distance radius, double t_now, KnnStats* stats) {
+  const roadnet::Graph& graph = grid_->graph();
+  if (location.edge >= graph.num_edges()) {
+    return util::Status::InvalidArgument("query edge out of range");
+  }
+  const Edge& query_edge = graph.edge(location.edge);
+  if (location.offset > query_edge.weight) {
+    return util::Status::InvalidArgument("query offset beyond edge weight");
+  }
+
+  KnnStats local_stats;
+  KnnStats& st = stats != nullptr ? *stats : local_stats;
+  st = KnnStats{};
+  const double device_clock_before = device_->ClockSeconds();
+  const double sim_wall_before = device_->sim_wall_seconds();
+  util::Timer cpu_timer;
+
+  // Clean the query's immediate cells; correctness beyond them comes from
+  // the boundary refinement (every location within `radius` outside the
+  // region is reached through an unresolved vertex).
+  std::vector<char> in_l(grid_->num_cells(), 0);
+  std::vector<CellId> l_cells;
+  auto add_cell = [&](CellId c) {
+    if (!in_l[c]) {
+      in_l[c] = 1;
+      l_cells.push_back(c);
+    }
+  };
+  const CellId query_cell = grid_->CellOfEdge(location.edge);
+  add_cell(query_cell);
+  add_cell(grid_->CellOfVertex(query_edge.target));
+  for (CellId nb : grid_->NeighborCells(query_cell)) add_cell(nb);
+  GKNN_ASSIGN_OR_RETURN(MessageCleaner::Outcome outcome,
+                        cleaner_->Clean(l_cells, t_now, arena_, lists_));
+  st.clean_pipeline_seconds = outcome.pipeline_seconds;
+  st.cells_examined = static_cast<uint32_t>(l_cells.size());
+  st.candidate_objects = static_cast<uint32_t>(outcome.latest.size());
+
+  // GPU_SDist over the region (same kernel as the kNN path).
+  std::vector<VertexId> region_vertices;
+  for (CellId c : l_cells) grid_->AppendCellVertices(c, &region_vertices);
+  st.candidate_vertices = static_cast<uint32_t>(region_vertices.size());
+  ++query_epoch_;
+  for (uint32_t i = 0; i < region_vertices.size(); ++i) {
+    local_id_of_vertex_[region_vertices[i]] = i;
+    local_id_epoch_[region_vertices[i]] = query_epoch_;
+  }
+  auto local_of = [&](VertexId v) -> uint32_t {
+    return local_id_epoch_[v] == query_epoch_ ? local_id_of_vertex_[v]
+                                              : kInvalidVertex;
+  };
+  GKNN_ASSIGN_OR_RETURN(
+      auto device_dist,
+      DeviceBuffer<Distance>::Allocate(device_, region_vertices.size()));
+  {
+    std::vector<Distance> init(region_vertices.size(), kInfiniteDistance);
+    const uint32_t seed = local_of(query_edge.target);
+    if (seed != kInvalidVertex) {
+      init[seed] = query_edge.weight - location.offset;
+    }
+    device_dist.Upload(init);
+  }
+  auto dist_span = device_dist.device_span();
+  struct SlotRef {
+    CellId cell;
+    uint32_t slot;
+  };
+  std::vector<SlotRef> slots;
+  for (CellId c : l_cells) {
+    for (uint32_t i = 0; i < grid_->NumSlots(c); ++i) {
+      slots.push_back(SlotRef{c, i});
+    }
+  }
+  const auto sdist_stats = device_->LaunchIterative(
+      static_cast<uint32_t>(slots.size()),
+      std::max<uint32_t>(1, st.candidate_vertices),
+      options_->sdist_early_exit, [&](ThreadCtx& ctx, uint32_t) {
+        const SlotRef ref = slots[ctx.thread_id];
+        const GraphGrid::VertexSlot& slot = grid_->Slot(ref.cell, ref.slot);
+        bool changed = false;
+        if (!slot.empty()) {
+          const uint32_t self = local_of(slot.vertex);
+          for (const GraphGrid::EdgeEntry& e :
+               grid_->SlotEdges(ref.cell, ref.slot)) {
+            const uint32_t src = local_of(e.source);
+            if (src == kInvalidVertex) continue;
+            const Distance d = dist_span[src];
+            if (d != kInfiniteDistance && d + e.weight < dist_span[self]) {
+              dist_span[self] = d + e.weight;
+              changed = true;
+            }
+          }
+        }
+        ctx.CountOps(grid_->delta_v());
+        return changed;
+      });
+  st.sdist_iterations = sdist_stats.iterations;
+
+  // In-range candidates of the cleaned region.
+  std::unordered_map<ObjectId, Distance> best;
+  for (const Message& m : outcome.latest) {
+    const Edge& e = graph.edge(m.edge);
+    Distance d = kInfiniteDistance;
+    const uint32_t src = local_of(e.source);
+    if (src != kInvalidVertex && dist_span[src] != kInfiniteDistance) {
+      d = dist_span[src] + m.offset;
+    }
+    if (m.edge == location.edge && m.offset >= location.offset) {
+      d = std::min<Distance>(d, m.offset - location.offset);
+    }
+    if (d <= radius) {
+      auto [it, inserted] = best.emplace(m.object, d);
+      if (!inserted) it->second = std::min(it->second, d);
+    }
+  }
+
+  // Unresolved boundary vertices within the radius, then the outward
+  // refinement (fixed absolute bound, domination prune as in the kNN
+  // path).
+  std::vector<std::pair<VertexId, Distance>> unresolved;
+  for (uint32_t i = 0; i < region_vertices.size(); ++i) {
+    const VertexId v = region_vertices[i];
+    const Distance d = dist_span[i];
+    if (d >= radius) continue;
+    for (EdgeId id : graph.OutEdgeIds(v)) {
+      if (!in_l[grid_->CellOfVertex(graph.edge(id).target)]) {
+        unresolved.emplace_back(v, d);
+        break;
+      }
+    }
+  }
+  st.unresolved_vertices = static_cast<uint32_t>(unresolved.size());
+  ++seed_epoch_;
+  for (const auto& [v, dv] : unresolved) {
+    (void)dv;
+    seed_epoch_of_[v] = seed_epoch_;
+  }
+  if (!unresolved.empty()) {
+    roadnet::BoundedDijkstra& search = *refine_workspaces_[0];
+    search.BeginSearch();
+    for (const auto& [v, dv] : unresolved) search.SeedMore(v, dv);
+    search.SearchPruned(radius, [&](VertexId x, Distance dx) {
+      for (EdgeId id : graph.OutEdgeIds(x)) {
+        auto it = objects_on_edge_->find(id);
+        if (it == objects_on_edge_->end()) continue;
+        for (ObjectId o : it->second) {
+          const ObjectTable::Entry* entry = object_table_->Find(o);
+          if (entry == nullptr || entry->edge != id) continue;
+          const Distance d = dx + entry->offset;
+          if (d <= radius) {
+            auto [bit, inserted] = best.emplace(o, d);
+            if (!inserted) bit->second = std::min(bit->second, d);
+            ++st.refined_objects;
+          }
+        }
+      }
+      const uint32_t lx = local_of(x);
+      return !(lx != kInvalidVertex && seed_epoch_of_[x] != seed_epoch_ &&
+               dx >= dist_span[lx]);
+    });
+  }
+
+  std::vector<KnnResultEntry> result;
+  result.reserve(best.size());
+  for (const auto& [object, d] : best) {
+    result.push_back(KnnResultEntry{object, d});
+  }
+  std::sort(result.begin(), result.end());
+
+  st.gpu_seconds = device_->ClockSeconds() - device_clock_before;
+  st.cpu_seconds =
+      std::max(0.0, cpu_timer.ElapsedSeconds() -
+                        (device_->sim_wall_seconds() - sim_wall_before));
+  return result;
+}
+
+}  // namespace gknn::core

@@ -1,0 +1,103 @@
+#ifndef GKNN_CORE_KNN_ENGINE_H_
+#define GKNN_CORE_KNN_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/graph_grid.h"
+#include "core/message_cleaner.h"
+#include "core/message_list.h"
+#include "core/object_table.h"
+#include "core/options.h"
+#include "core/types.h"
+#include "gpusim/device.h"
+#include "roadnet/dijkstra.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace gknn::core {
+
+/// Objects currently located on each edge; maintained eagerly by the index
+/// at ingest time and consulted by the CPU refinement step to find data
+/// objects inside unresolved ranges.
+using EdgeObjectMap =
+    std::unordered_map<roadnet::EdgeId, std::vector<ObjectId>>;
+
+/// Per-query statistics surfaced to the benchmark harness.
+struct KnnStats {
+  uint32_t cells_examined = 0;       // |L| after expansion
+  uint32_t expansion_rounds = 0;     // ring expansions beyond the first
+  uint32_t candidate_objects = 0;    // |C|
+  uint32_t candidate_vertices = 0;   // |V| sent to GPU_SDist
+  uint32_t sdist_iterations = 0;     // Bellman-Ford rounds executed
+  uint32_t unresolved_vertices = 0;  // |U|
+  uint32_t refined_objects = 0;      // objects found by Refine_kNN
+  double clean_pipeline_seconds = 0;  // modeled cleaning pipeline time
+  double gpu_seconds = 0;             // modeled device time (kernels+copies)
+  double cpu_seconds = 0;             // measured host time of CPU phases
+  uint64_t h2d_bytes = 0;             // transfer volume for this query
+  uint64_t d2h_bytes = 0;
+  double transfer_seconds = 0;        // modeled PCIe time for this query
+};
+
+/// The CPU-GPU collaborative kNN processor (paper §V, Algorithm 4):
+/// candidate cells are grown around the query until they hold rho*k
+/// objects, their message lists are GPU-cleaned, GPU_SDist computes
+/// subgraph shortest-path distances, GPU_First_k extracts candidates,
+/// GPU_Unresolved finds boundary vertices whose unresolved range could
+/// hide closer objects, and Refine_kNN settles those ranges with bounded
+/// Dijkstra searches on CPU threads (Algorithm 6).
+class KnnEngine {
+ public:
+  KnnEngine(gpusim::Device* device, const GraphGrid* grid,
+            MessageCleaner* cleaner, BucketArena* arena,
+            std::vector<MessageList>* lists, const ObjectTable* object_table,
+            const EdgeObjectMap* objects_on_edge, util::ThreadPool* pool,
+            const GGridOptions* options);
+
+  /// Answers one snapshot kNN query at time `t_now`. Returns up to k
+  /// entries sorted by ascending network distance (fewer when the whole
+  /// network holds fewer reachable objects).
+  util::Result<std::vector<KnnResultEntry>> Query(roadnet::EdgePoint location,
+                                                  uint32_t k, double t_now,
+                                                  KnnStats* stats = nullptr);
+
+  /// Range variant (an extension beyond the paper): every object within
+  /// network distance `radius` of `location`, sorted ascending. Uses the
+  /// same pipeline — clean the query's cells, GPU_SDist over them, then
+  /// refine outward from the unresolved boundary vertices with the fixed
+  /// radius as the bound.
+  util::Result<std::vector<KnnResultEntry>> QueryRange(
+      roadnet::EdgePoint location, roadnet::Distance radius, double t_now,
+      KnnStats* stats = nullptr);
+
+ private:
+  gpusim::Device* device_;
+  const GraphGrid* grid_;
+  MessageCleaner* cleaner_;
+  BucketArena* arena_;
+  std::vector<MessageList>* lists_;
+  const ObjectTable* object_table_;
+  const EdgeObjectMap* objects_on_edge_;
+  util::ThreadPool* pool_;
+  const GGridOptions* options_;
+
+  /// One bounded-Dijkstra workspace per CPU worker, reused across queries.
+  std::vector<std::unique_ptr<roadnet::BoundedDijkstra>> refine_workspaces_;
+
+  /// Dense vertex -> local-id map for the SDist region, epoch-stamped so
+  /// it resets in O(1) between queries.
+  std::vector<uint32_t> local_id_of_vertex_;
+  std::vector<uint64_t> local_id_epoch_;
+  uint64_t query_epoch_ = 0;
+
+  /// Epoch-stamped membership of the current query's unresolved set.
+  std::vector<uint64_t> seed_epoch_of_;
+  uint64_t seed_epoch_ = 0;
+};
+
+}  // namespace gknn::core
+
+#endif  // GKNN_CORE_KNN_ENGINE_H_

@@ -1,0 +1,335 @@
+#include "core/message_cleaner.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/mu.h"
+#include "gpusim/device_buffer.h"
+#include "gpusim/stream.h"
+#include "gpusim/warp.h"
+#include "util/logging.h"
+
+namespace gknn::core {
+
+using gpusim::Device;
+using gpusim::DeviceBuffer;
+using gpusim::LaunchWarps;
+using gpusim::Stream;
+using gpusim::ThreadCtx;
+using gpusim::WarpCtx;
+
+MessageCleaner::MessageCleaner(Device* device, const Options& options)
+    : device_(device), options_(options), mu_(Mu(options.eta)) {
+  GKNN_CHECK(options_.delta_b > 0);
+}
+
+util::Status MessageCleaner::EnsureCapacity(DeviceBuffer<Message>* buffer,
+                                            size_t needed) {
+  if (buffer->size() >= needed) return util::Status::OK();
+  const size_t capacity = std::max(needed, buffer->size() * 2);
+  GKNN_ASSIGN_OR_RETURN(*buffer,
+                        DeviceBuffer<Message>::Allocate(device_, capacity));
+  return util::Status::OK();
+}
+
+util::Result<MessageCleaner::Outcome> MessageCleaner::Clean(
+    std::span<const CellId> cells, double t_now, BucketArena* arena,
+    std::vector<MessageList>* lists) {
+  Outcome outcome;
+
+  // ---- Step 1: preprocessing (lock lists, expire old buckets) ------------
+  // The flattened host-side array L.A of live buckets: each entry is the
+  // bucket's messages with the owning cell attached (paper §IV-B1).
+  std::vector<std::vector<Message>> host_buckets;
+  struct CleanedCell {
+    CellId cell;
+    std::vector<uint32_t> locked_bucket_ids;  // to recycle on completion
+  };
+  std::vector<CleanedCell> cleaned;
+  for (CellId cell : cells) {
+    MessageList& list = (*lists)[cell];
+    if (list.locked()) continue;  // under processing: skip safely
+    if (list.num_messages() == 0) {
+      // No cached messages means no objects in this cell (an occupied
+      // cell always retains at least the compacted latest message of each
+      // object): nothing to lock, ship, or rewrite.
+      ++outcome.cells_cleaned;
+      continue;
+    }
+    if (list.compacted()) {
+      // The list already holds exactly one latest message per object from
+      // a previous cleaning and nothing arrived since: serve it from the
+      // host copy without a device round trip — unless a bucket has aged
+      // past t_Delta (possible only if an object stopped reporting, a
+      // contract violation the full path resolves by expiry).
+      bool fresh = true;
+      for (uint32_t b = list.head(); b != kInvalidBucket;
+           b = arena->bucket(b).next) {
+        const Bucket& bucket = arena->bucket(b);
+        if (!bucket.messages.empty() &&
+            bucket.latest_time < t_now - options_.t_delta) {
+          fresh = false;
+          break;
+        }
+      }
+      if (fresh) {
+        for (uint32_t b = list.head(); b != kInvalidBucket;
+             b = arena->bucket(b).next) {
+          for (const Message& m : arena->bucket(b).messages) {
+            outcome.latest.push_back(m);
+            outcome.latest.back().cell = cell;
+          }
+        }
+        ++outcome.cells_cleaned;
+        ++outcome.cells_served_compacted;
+        continue;
+      }
+    }
+    std::vector<uint32_t> locked = list.LockForCleaning(arena);
+    CleanedCell cc{cell, {}};
+    for (uint32_t bucket_id : locked) {
+      const Bucket& bucket = arena->bucket(bucket_id);
+      if (bucket.messages.empty() ||
+          bucket.latest_time < t_now - options_.t_delta) {
+        // Every message in the bucket predates t_now - t_Delta: the
+        // sender contract (one update per t_Delta) guarantees newer
+        // messages exist, so the bucket is discarded wholesale.
+        ++outcome.buckets_expired;
+        arena->Free(bucket_id);
+        continue;
+      }
+      std::vector<Message> flat = bucket.messages;
+      for (Message& m : flat) m.cell = cell;
+      outcome.messages_shipped += static_cast<uint32_t>(flat.size());
+      host_buckets.push_back(std::move(flat));
+      cc.locked_bucket_ids.push_back(bucket_id);
+    }
+    cleaned.push_back(std::move(cc));
+    ++outcome.cells_cleaned;
+  }
+  outcome.buckets_shipped = static_cast<uint32_t>(host_buckets.size());
+
+  // Dense object index over every object appearing in the batch.
+  std::unordered_map<ObjectId, uint32_t> object_index;
+  for (const auto& bucket : host_buckets) {
+    for (const Message& m : bucket) {
+      object_index.emplace(m.object, static_cast<uint32_t>(object_index.size()));
+    }
+  }
+  const uint32_t num_objects = static_cast<uint32_t>(object_index.size());
+
+  const uint32_t width = 1u << options_.eta;
+  const uint32_t n_buckets = outcome.buckets_shipped;
+  const uint32_t n_bundles = (n_buckets + width - 1) / width;
+
+  if (num_objects == 0) {
+    // Nothing cached: just clear the locked prefixes.
+    for (const CleanedCell& cc : cleaned) {
+      (*lists)[cc.cell].ReplaceLockedPrefix(arena, {});
+      for (uint32_t b : cc.locked_bucket_ids) arena->Free(b);
+    }
+    return outcome;
+  }
+
+  // ---- Step 2: device memory (tables T and R, §IV-B2) --------------------
+  GKNN_RETURN_NOT_OK(EnsureCapacity(
+      &device_messages_, static_cast<size_t>(n_buckets) * options_.delta_b));
+  GKNN_RETURN_NOT_OK(EnsureCapacity(
+      &table_t_, static_cast<size_t>(num_objects) * n_bundles));
+  GKNN_RETURN_NOT_OK(EnsureCapacity(&table_r_, num_objects));
+
+  auto t_span = table_t_.device_span();
+  auto msg_span = device_messages_.device_span();
+  // T starts empty: a device-side memset kernel, one entry per thread.
+  // Its cost is what makes small delta_b expensive — more buckets mean
+  // more bundles, hence a wider T and a slower GPU_Collect (the paper's
+  // Fig. 4a left branch).
+  device_->Launch(
+      static_cast<uint32_t>(static_cast<size_t>(num_objects) * n_bundles),
+      [&](ThreadCtx& ctx) {
+        t_span[ctx.thread_id] = kNullMessage;
+        ctx.CountOps(1);
+      });
+
+  // ---- Step 3: pipelined upload + GPU_X_Shuffle (§IV-C, Alg. 3) ----------
+  Stream stream(device_, options_.pipelined_transfer);
+  // Chunks are rounded to whole bundles so a kernel never reads buckets
+  // from a chunk that has not "arrived" yet.
+  const uint32_t chunk_buckets =
+      std::max(width, (options_.transfer_chunk_buckets / width) * width);
+
+  auto bucket_message = [&](uint32_t bucket, uint32_t i) -> const Message& {
+    return msg_span[static_cast<size_t>(bucket) * options_.delta_b + i];
+  };
+  auto t_entry = [&](uint32_t obj_idx, uint32_t bundle) -> Message& {
+    return t_span[static_cast<size_t>(obj_idx) * n_bundles + bundle];
+  };
+
+  for (uint32_t first = 0; first < n_buckets; first += chunk_buckets) {
+    const uint32_t count = std::min(chunk_buckets, n_buckets - first);
+    // Upload this chunk of buckets. Slots beyond each bucket's fill are
+    // never read (the kernel carries the per-bucket counts), so no padding
+    // is written.
+    for (uint32_t b = first; b < first + count; ++b) {
+      const auto& src = host_buckets[b];
+      std::copy(src.begin(), src.end(),
+                msg_span.begin() + static_cast<size_t>(b) * options_.delta_b);
+    }
+    stream.EnqueueH2D(static_cast<uint64_t>(count) * options_.delta_b *
+                      sizeof(Message));
+
+    const uint32_t first_bundle = first / width;
+    const uint32_t chunk_bundles = (count + width - 1) / width;
+    auto stats = LaunchWarps(
+        device_, chunk_bundles, width, [&](WarpCtx& warp) {
+          const uint32_t bundle = first_bundle + warp.warp_id();
+          // Per-lane message cache Gamma (Alg. 3 line 1). The paper sizes
+          // it eta, but a lane performs eta+1 cache steps per read round
+          // and can therefore meet eta+1 distinct objects; capacity eta+1
+          // (scoped to the round, i.e. to the message set S that Theorem 1
+          // reasons about) guarantees no eviction, which the covering
+          // argument of Theorem 2 silently relies on — an evicted newer
+          // message could no longer suppress an older duplicate arriving
+          // later on the same lane.
+          std::vector<std::vector<Message>> cache(width);
+          for (auto& c : cache) c.reserve(options_.eta + 1);
+
+          std::vector<Message> m(width);
+          // Rounds beyond the fullest bucket in this bundle would read only
+          // null padding; the per-bucket counts are on the device, so the
+          // kernel can skip them warp-uniformly.
+          uint32_t max_fill = 0;
+          for (uint32_t lane = 0; lane < width; ++lane) {
+            const uint32_t bucket = bundle * width + lane;
+            if (bucket < n_buckets) {
+              max_fill = std::max(
+                  max_fill, static_cast<uint32_t>(host_buckets[bucket].size()));
+            }
+          }
+          for (uint32_t round = max_fill; round-- > 0;) {
+            for (auto& c : cache) c.clear();
+            // All lanes read message `round` of their bucket (newest
+            // first: Alg. 3 iterates i from delta_m - 1 down to 0).
+            for (uint32_t lane = 0; lane < width; ++lane) {
+              const uint32_t bucket = bundle * width + lane;
+              if (bucket < n_buckets &&
+                  round < host_buckets[bucket].size()) {
+                m[lane] = bucket_message(bucket, round);
+              } else {
+                m[lane] = kNullMessage;
+              }
+            }
+            warp.CountOpsPerLane(1);
+
+            // Cache step (Alg. 3 lines 6-9): keep the newest message of
+            // each object; upgrade an outdated in-flight message to the
+            // cached newer one. Runs once on the freshly read messages and
+            // once after every shuffle — eta+1 times total, matching the
+            // paper's §IV-D cost statement ("each thread only needs to
+            // process eta + 1 = 5 messages") and the covering argument of
+            // Theorem 2, which compares messages on *arrival* at a thread,
+            // including arrival via the final shuffle.
+            auto cache_step = [&] {
+              for (uint32_t lane = 0; lane < width; ++lane) {
+                if (IsNullMessage(m[lane])) continue;
+                auto& gamma = cache[lane];
+                auto it = std::find_if(
+                    gamma.begin(), gamma.end(), [&](const Message& g) {
+                      return g.object == m[lane].object;
+                    });
+                if (it == gamma.end()) {
+                  gamma.push_back(m[lane]);  // never exceeds eta+1 entries
+                } else if (it->seq < m[lane].seq) {
+                  *it = m[lane];
+                } else {
+                  m[lane] = *it;
+                }
+              }
+              warp.CountOpsPerLane(options_.eta);
+            };
+
+            if (options_.use_x_shuffle) {
+              cache_step();
+              for (uint32_t j = 1; j <= options_.eta; ++j) {
+                warp.ShflXor(m, 1u << (options_.eta - j));
+                cache_step();
+              }
+            }
+
+            // Step 2 (Alg. 3 lines 11-13): mu(eta) lockstep
+            // compare-and-write rounds into T. Reads of all lanes happen
+            // before any lane's write (SIMT), so a stale write can land
+            // after a newer one; the mu repeats guarantee the newest
+            // message wins because at most mu distinct messages per
+            // object survive the shuffles (Theorem 1).
+            // Without the shuffle, up to 2^eta distinct messages of one
+            // object can still be in flight, so correctness needs a write
+            // round per lane — the cost the shuffle exists to avoid.
+            const uint32_t write_rounds =
+                options_.use_x_shuffle ? mu_ : width;
+            for (uint32_t r = 0; r < write_rounds; ++r) {
+              std::vector<uint8_t> want(width, 0);
+              for (uint32_t lane = 0; lane < width; ++lane) {
+                if (IsNullMessage(m[lane])) continue;
+                const uint32_t idx = object_index.at(m[lane].object);
+                const Message& current = t_entry(idx, bundle);
+                want[lane] =
+                    IsNullMessage(current) || current.seq < m[lane].seq;
+              }
+              for (uint32_t lane = 0; lane < width; ++lane) {
+                if (want[lane]) {
+                  t_entry(object_index.at(m[lane].object), bundle) = m[lane];
+                }
+              }
+              // A compare-and-write round hits the global-memory table T;
+              // charge it at global-memory cost, unlike the register-file
+              // shuffle and cache steps. This is the asymmetry the
+              // X-shuffle exploits: eta+1 cheap hops replace almost all of
+              // the expensive table writes (paper §IV-D).
+              warp.CountOpsPerLane(8);
+            }
+          }
+        });
+    stream.MoveKernelToStream(stats);
+  }
+
+  // ---- Step 4: GPU_Collect — reduce T into R, one thread per object ------
+  std::vector<std::pair<ObjectId, uint32_t>> objects(object_index.begin(),
+                                                     object_index.end());
+  auto r_span = table_r_.device_span();
+  auto collect_stats = device_->Launch(num_objects, [&](ThreadCtx& ctx) {
+    const uint32_t idx = objects[ctx.thread_id].second;
+    Message best = kNullMessage;
+    for (uint32_t bundle = 0; bundle < n_bundles; ++bundle) {
+      const Message& candidate = t_entry(idx, bundle);
+      if (!IsNullMessage(candidate) &&
+          (IsNullMessage(best) || candidate.seq > best.seq)) {
+        best = candidate;
+      }
+    }
+    r_span[idx] = best;
+    ctx.CountOps(n_bundles);
+  });
+  stream.MoveKernelToStream(collect_stats);
+  stream.EnqueueD2H(static_cast<uint64_t>(num_objects) * sizeof(Message));
+  outcome.pipeline_seconds = stream.Synchronize();
+
+  // ---- Step 5: write R back into the message lists ------------------------
+  std::unordered_map<CellId, std::vector<Message>> per_cell;
+  for (uint32_t idx = 0; idx < num_objects; ++idx) {
+    const Message& m = r_span[idx];
+    GKNN_DCHECK(!IsNullMessage(m));
+    if (m.IsTombstone()) continue;  // object moved outside this batch
+    per_cell[m.cell].push_back(m);
+    outcome.latest.push_back(m);
+  }
+  for (const CleanedCell& cc : cleaned) {
+    auto it = per_cell.find(cc.cell);
+    (*lists)[cc.cell].ReplaceLockedPrefix(
+        arena, it == per_cell.end() ? std::vector<Message>{} : it->second);
+    for (uint32_t b : cc.locked_bucket_ids) arena->Free(b);
+  }
+  return outcome;
+}
+
+}  // namespace gknn::core

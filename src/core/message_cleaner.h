@@ -1,0 +1,89 @@
+#ifndef GKNN_CORE_MESSAGE_CLEANER_H_
+#define GKNN_CORE_MESSAGE_CLEANER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/message_list.h"
+#include "core/types.h"
+#include "gpusim/device.h"
+#include "gpusim/device_buffer.h"
+#include "util/result.h"
+
+namespace gknn::core {
+
+/// GPU message cleaning (paper §IV, Algorithms 2 and 3).
+///
+/// Given a set of cells, the cleaner:
+///  1. locks each cell's message list and discards buckets whose newest
+///     message predates t_now - t_Delta (preprocessing, §IV-B1);
+///  2. ships the remaining buckets to the device in pipelined chunks
+///     (§V-A);
+///  3. runs GPU_X_Shuffle — one thread per bucket, bundles of 2^eta
+///     threads deduplicating via butterfly shuffles, then at most mu(eta)
+///     compare-and-write attempts into the intermediate table T (§IV-C);
+///  4. runs GPU_Collect — one thread per object reducing T into the final
+///     table R — and copies R back to the host;
+///  5. replaces each cleaned list's locked prefix with its compacted
+///     messages (one latest message per object still in the cell).
+class MessageCleaner {
+ public:
+  struct Options {
+    uint32_t delta_b = 128;
+    uint32_t eta = 5;
+    double t_delta = 10.0;
+    uint32_t transfer_chunk_buckets = 64;
+    /// Ablations (see GGridOptions): disable the butterfly shuffle
+    /// (falling back to 2^eta brute-force write rounds) or the pipelined
+    /// transfer (falling back to blocking copies).
+    bool use_x_shuffle = true;
+    bool pipelined_transfer = true;
+  };
+
+  struct Outcome {
+    /// Latest message of every object whose newest record in the cleaned
+    /// cells is a real location (tombstone-latest objects are omitted:
+    /// they have moved to a cell outside this batch). `cell` is set.
+    std::vector<Message> latest;
+    uint32_t cells_cleaned = 0;
+    /// Cells answered from their host-side compacted lists without any
+    /// device work (nothing new arrived since their last cleaning).
+    uint32_t cells_served_compacted = 0;
+    uint32_t buckets_shipped = 0;
+    uint32_t buckets_expired = 0;
+    uint32_t messages_shipped = 0;
+    /// End-to-end modeled device time of the pipelined transfer + kernels.
+    double pipeline_seconds = 0;
+  };
+
+  MessageCleaner(gpusim::Device* device, const Options& options);
+
+  const Options& options() const { return options_; }
+
+  /// Cleans the message lists of `cells` in one batch. Cells whose list is
+  /// already locked are skipped (paper: "if the two pointers are pointing
+  /// to different buckets, we can skip L safely").
+  util::Result<Outcome> Clean(std::span<const CellId> cells, double t_now,
+                              BucketArena* arena,
+                              std::vector<MessageList>* lists);
+
+ private:
+  /// Grows a persistent device buffer to at least `needed` elements.
+  /// Buffers are reused across Clean calls: steady-state cleaning performs
+  /// no device allocation.
+  util::Status EnsureCapacity(gpusim::DeviceBuffer<Message>* buffer,
+                              size_t needed);
+
+  gpusim::Device* device_;
+  Options options_;
+  uint32_t mu_;  // mu(eta), precomputed
+
+  gpusim::DeviceBuffer<Message> device_messages_;  // L.A, delta_b-strided
+  gpusim::DeviceBuffer<Message> table_t_;          // intermediate results
+  gpusim::DeviceBuffer<Message> table_r_;          // final results
+};
+
+}  // namespace gknn::core
+
+#endif  // GKNN_CORE_MESSAGE_CLEANER_H_

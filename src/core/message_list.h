@@ -1,0 +1,203 @@
+#ifndef GKNN_CORE_MESSAGE_LIST_H_
+#define GKNN_CORE_MESSAGE_LIST_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/types.h"
+#include "util/logging.h"
+
+namespace gknn::core {
+
+inline constexpr uint32_t kInvalidBucket =
+    std::numeric_limits<uint32_t>::max();
+
+/// A message bucket (paper §III-C: zeta = <A_m, n, t, p_n>): a fixed
+/// capacity array of messages, the time of its newest message, and a link
+/// to the next bucket.
+struct Bucket {
+  std::vector<Message> messages;  // at most delta_b entries
+  double latest_time = 0;
+  uint32_t next = kInvalidBucket;
+};
+
+/// Pool allocator for buckets. Buckets are recycled rather than freed so
+/// steady-state update ingestion performs no heap allocation, and so the
+/// index can report its message-list memory exactly (Fig. 6).
+class BucketArena {
+ public:
+  explicit BucketArena(uint32_t delta_b) : delta_b_(delta_b) {}
+
+  uint32_t delta_b() const { return delta_b_; }
+
+  /// Returns an empty bucket's index. Physical storage grows on demand up
+  /// to the delta_b logical capacity, so a bucket holding two messages
+  /// costs two messages of memory (the paper's space analysis counts
+  /// cached messages, O(f_Delta * |O|), not reserved slots).
+  uint32_t Alloc() {
+    uint32_t id;
+    if (!free_list_.empty()) {
+      id = free_list_.back();
+      free_list_.pop_back();
+    } else {
+      id = static_cast<uint32_t>(buckets_.size());
+      buckets_.emplace_back();
+    }
+    Bucket& b = buckets_[id];
+    b.messages.clear();
+    b.latest_time = 0;
+    b.next = kInvalidBucket;
+    return id;
+  }
+
+  void Free(uint32_t id) { free_list_.push_back(id); }
+
+  Bucket& bucket(uint32_t id) { return buckets_[id]; }
+  const Bucket& bucket(uint32_t id) const { return buckets_[id]; }
+
+  uint32_t num_buckets() const {
+    return static_cast<uint32_t>(buckets_.size());
+  }
+  uint32_t num_free() const { return static_cast<uint32_t>(free_list_.size()); }
+
+  /// Bytes held by all buckets (live and pooled).
+  uint64_t MemoryBytes() const {
+    uint64_t bytes = buckets_.size() * sizeof(Bucket) +
+                     free_list_.size() * sizeof(uint32_t);
+    for (const Bucket& b : buckets_) {
+      bytes += b.messages.capacity() * sizeof(Message);
+    }
+    return bytes;
+  }
+
+ private:
+  uint32_t delta_b_;
+  std::vector<Bucket> buckets_;
+  std::vector<uint32_t> free_list_;
+};
+
+/// The per-cell message list (paper §III-C): a chain of buckets with head
+/// (p_h), tail (p_t), and lock (p_l) pointers. Buckets strictly before p_l
+/// are locked for GPU cleaning; new messages keep appending at the tail,
+/// which is at or after p_l.
+class MessageList {
+ public:
+  bool empty() const { return head_ == kInvalidBucket; }
+  uint32_t head() const { return head_; }
+  uint32_t tail() const { return tail_; }
+  uint32_t lock_boundary() const { return lock_; }
+  bool locked() const { return lock_ != kInvalidBucket; }
+  uint32_t num_messages() const { return num_messages_; }
+
+  /// True when the list holds exactly the result of its last cleaning pass
+  /// (one latest message per object, nothing appended since). Such a list
+  /// can be served to a query without another GPU round trip.
+  bool compacted() const { return compacted_; }
+
+  /// Appends a message at the tail, opening a new bucket when the tail is
+  /// full (Algorithm 1's append).
+  void Append(BucketArena* arena, const Message& m) {
+    if (tail_ == kInvalidBucket ||
+        arena->bucket(tail_).messages.size() >= arena->delta_b()) {
+      const uint32_t fresh = arena->Alloc();
+      if (tail_ == kInvalidBucket) {
+        head_ = tail_ = fresh;
+      } else {
+        arena->bucket(tail_).next = fresh;
+        tail_ = fresh;
+      }
+    }
+    Bucket& b = arena->bucket(tail_);
+    b.messages.push_back(m);
+    // Freshness stamp is the max, not the last: callers like the striped
+    // server inbox only guarantee per-object chronological order, so a
+    // cross-object append may carry an older timestamp — and expiry must
+    // only drop a bucket when *every* message in it is stale.
+    b.latest_time = std::max(b.latest_time, m.time);
+    ++num_messages_;
+    compacted_ = false;
+  }
+
+  /// Begins a cleaning pass (paper §IV-B1): appends a fresh empty bucket,
+  /// points p_l at it, and returns the ids of the now-locked buckets
+  /// (everything before p_l) in chronological order. The caller filters
+  /// expired buckets and ships the rest to the GPU. Must not be called on
+  /// a list that is already locked.
+  std::vector<uint32_t> LockForCleaning(BucketArena* arena) {
+    GKNN_DCHECK(!locked());
+    const uint32_t fresh = arena->Alloc();
+    std::vector<uint32_t> locked_buckets;
+    for (uint32_t b = head_; b != kInvalidBucket; b = arena->bucket(b).next) {
+      locked_buckets.push_back(b);
+    }
+    if (tail_ == kInvalidBucket) {
+      head_ = tail_ = fresh;
+    } else {
+      arena->bucket(tail_).next = fresh;
+      tail_ = fresh;
+    }
+    lock_ = fresh;
+    return locked_buckets;
+  }
+
+  /// Completes a cleaning pass: the locked prefix is replaced by
+  /// `compacted` (the latest message of every object still in this cell,
+  /// from the result table R), and the buckets appended during cleaning
+  /// are preserved after it. The previously locked buckets are returned to
+  /// the arena by the caller (it may have dropped some as expired already).
+  void ReplaceLockedPrefix(BucketArena* arena,
+                           const std::vector<Message>& compacted) {
+    GKNN_DCHECK(locked());
+    // Messages in the suffix (from p_l onward) stay; count them.
+    uint32_t suffix_messages = 0;
+    for (uint32_t b = lock_; b != kInvalidBucket; b = arena->bucket(b).next) {
+      suffix_messages += static_cast<uint32_t>(arena->bucket(b).messages.size());
+    }
+    // Build the compacted prefix.
+    uint32_t new_head = kInvalidBucket;
+    uint32_t new_tail = kInvalidBucket;
+    for (const Message& m : compacted) {
+      if (new_tail == kInvalidBucket ||
+          arena->bucket(new_tail).messages.size() >= arena->delta_b()) {
+        const uint32_t fresh = arena->Alloc();
+        if (new_tail == kInvalidBucket) {
+          new_head = new_tail = fresh;
+        } else {
+          arena->bucket(new_tail).next = fresh;
+          new_tail = fresh;
+        }
+      }
+      Bucket& b = arena->bucket(new_tail);
+      b.messages.push_back(m);
+      // Compacted messages are grouped by object, not time-ordered, so the
+      // bucket's freshness stamp must be the max (expiry only drops a
+      // bucket when *every* message in it is stale).
+      b.latest_time = std::max(b.latest_time, m.time);
+    }
+    if (new_head == kInvalidBucket) {
+      head_ = lock_;
+    } else {
+      arena->bucket(new_tail).next = lock_;
+      head_ = new_head;
+    }
+    // tail_ unchanged (it is at or after lock_).
+    num_messages_ = static_cast<uint32_t>(compacted.size()) + suffix_messages;
+    lock_ = kInvalidBucket;
+    // The list is in canonical compacted form unless messages arrived
+    // while the cleaning was in flight.
+    compacted_ = suffix_messages == 0;
+  }
+
+ private:
+  uint32_t head_ = kInvalidBucket;
+  uint32_t tail_ = kInvalidBucket;
+  uint32_t lock_ = kInvalidBucket;
+  uint32_t num_messages_ = 0;
+  bool compacted_ = false;
+};
+
+}  // namespace gknn::core
+
+#endif  // GKNN_CORE_MESSAGE_LIST_H_

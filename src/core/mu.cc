@@ -1,0 +1,76 @@
+#include "core/mu.h"
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace gknn::core {
+
+uint64_t Lambda(uint32_t eta, uint32_t i) {
+  // i * C(eta+1, 2) - sum_{j=1..i} (14-j)(j-1)/2 + i.
+  const uint64_t pairs = static_cast<uint64_t>(eta + 1) * eta / 2;
+  uint64_t correction = 0;
+  for (uint32_t j = 1; j <= i; ++j) {
+    correction += static_cast<uint64_t>(14 - j) * (j - 1) / 2;
+  }
+  return static_cast<uint64_t>(i) * pairs - correction + i;
+}
+
+uint32_t XDistance(uint32_t a, uint32_t b) {
+  const uint32_t x = a ^ b;
+  // Number of maximal runs of 1s: a run starts at each bit that is 1 while
+  // the next-higher bit is 0.
+  return static_cast<uint32_t>(std::popcount(x & ~(x >> 1)));
+}
+
+uint32_t BruteForceMaxExclusiveSet(uint32_t eta) {
+  GKNN_CHECK(eta <= 4) << "brute force limited to bundles of <= 16 threads";
+  const uint32_t n = 1u << eta;
+  // adjacency[v]: bitmask of threads that cover / are covered by v.
+  std::vector<uint32_t> adjacent(n, 0);
+  for (uint32_t a = 0; a < n; ++a) {
+    for (uint32_t b = 0; b < n; ++b) {
+      if (a != b && XDistance(a, b) == 1) adjacent[a] |= 1u << b;
+    }
+  }
+  uint32_t best = 0;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    bool independent = true;
+    for (uint32_t v = 0; v < n && independent; ++v) {
+      if ((mask & (1u << v)) && (mask & adjacent[v])) independent = false;
+    }
+    if (independent) {
+      best = std::max(best, static_cast<uint32_t>(std::popcount(mask)));
+    }
+  }
+  return best;
+}
+
+uint32_t Mu(uint32_t eta) {
+  if (eta <= 3) {
+    // Theorem 1 requires eta > 3; for small bundles use the exact value.
+    // These are constant per eta, so compute once.
+    static const uint32_t kSmall[4] = {
+        1,                             // eta = 0: one thread
+        BruteForceMaxExclusiveSet(1),  // 2 threads
+        BruteForceMaxExclusiveSet(2),  // 4 threads
+        BruteForceMaxExclusiveSet(3),  // 8 threads
+    };
+    return kSmall[eta];
+  }
+  const uint64_t bundle = uint64_t{1} << eta;
+  // Theorem 1 case 1. Note: lambda is not monotone in i for eta = 5 (the
+  // quadratic overlap correction overtakes the linear coverage term), so
+  // the case split must scan for the first i reaching 2^eta rather than
+  // testing lambda(eta, 8) — lambda(5, 4) = 32 covers the bundle even
+  // though lambda(5, 8) = 16 does not. This reproduces the paper's stated
+  // values mu(4..7) = 2, 4, 8, 16.
+  for (uint32_t i = 1; i <= 8; ++i) {
+    if (Lambda(eta, i) >= bundle) return i;
+  }
+  return static_cast<uint32_t>(bundle - Lambda(eta, 8) + 8);
+}
+
+}  // namespace gknn::core

@@ -1,0 +1,39 @@
+#ifndef GKNN_CORE_MU_H_
+#define GKNN_CORE_MU_H_
+
+#include <cstdint>
+
+namespace gknn::core {
+
+/// lambda(eta, i) from Theorem 1: a lower bound on the number of threads
+/// covered by an exclusive set of size i in a bundle of 2^eta threads.
+/// lambda(eta, i) = i * C(eta+1, 2) - sum_{j=1..i} (14-j)(j-1)/2 + i.
+uint64_t Lambda(uint32_t eta, uint32_t i);
+
+/// mu(eta) from Theorem 1: the maximum number of distinct messages of one
+/// object that can survive the eta butterfly shuffles of GPU_X_Shuffle in a
+/// bundle of 2^eta threads. Each thread therefore only needs to attempt its
+/// write to the intermediate table mu(eta) times (paper §IV-D).
+///
+/// The closed form holds for eta > 3 (paper Theorem 1); for eta <= 3 this
+/// returns the exact value computed by brute force over the cover relation
+/// (Lemma 1: alpha covers beta iff alpha XOR beta is a single run of 1s),
+/// so every bundle size the benchmarks sweep (2^eta = 4 ... 128) is
+/// supported.
+///
+/// Reference values: mu(4)=2, mu(5)=4, mu(6)=8, mu(7)=16.
+uint32_t Mu(uint32_t eta);
+
+/// The x-distance of Definition 2: the number of runs of 1s in the binary
+/// representation of a XOR b. Exposed for the property tests of the
+/// shuffle bound.
+uint32_t XDistance(uint32_t a, uint32_t b);
+
+/// Exact maximum exclusive-set size for a bundle of 2^eta threads, by
+/// exhaustive search over the cover graph. Only feasible for small eta
+/// (<= 4); used by tests to validate Mu().
+uint32_t BruteForceMaxExclusiveSet(uint32_t eta);
+
+}  // namespace gknn::core
+
+#endif  // GKNN_CORE_MU_H_

@@ -1,0 +1,67 @@
+#ifndef GKNN_CORE_OBJECT_TABLE_H_
+#define GKNN_CORE_OBJECT_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/types.h"
+#include "roadnet/graph.h"
+
+namespace gknn::core {
+
+/// The object table (paper §III-B): a CPU-resident hash table mapping each
+/// object id to its latest known location, o.id -> <c.id, e.id, d>.
+///
+/// Unlike the message lists, this table is updated eagerly on every ingest
+/// (Algorithm 1 line 6), so it always reflects the newest report of every
+/// object; the laziness of G-Grid lives entirely in the per-cell message
+/// lists consumed by the GPU.
+class ObjectTable {
+ public:
+  struct Entry {
+    CellId cell = kInvalidCell;
+    roadnet::EdgeId edge = roadnet::kInvalidEdge;
+    uint32_t offset = 0;
+    double time = 0;
+    uint64_t seq = 0;
+  };
+
+  /// Latest entry for `o`, or nullptr if the object has never reported.
+  const Entry* Find(ObjectId o) const {
+    auto it = entries_.find(o);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  /// The cell recorded for `o` (Algorithm 1's getCellFromOT), or
+  /// kInvalidCell for unknown objects.
+  CellId CellOf(ObjectId o) const {
+    const Entry* e = Find(o);
+    return e == nullptr ? kInvalidCell : e->cell;
+  }
+
+  /// Inserts or overwrites the entry for `o` (Algorithm 1's setOT).
+  void Set(ObjectId o, const Entry& entry) { entries_[o] = entry; }
+
+  /// Removes `o` (object deregistration). Returns true if it was present.
+  bool Erase(ObjectId o) { return entries_.erase(o) > 0; }
+
+  uint32_t size() const { return static_cast<uint32_t>(entries_.size()); }
+
+  /// Approximate resident bytes (buckets + nodes), for the Fig. 6 index
+  /// size report.
+  uint64_t MemoryBytes() const {
+    return entries_.bucket_count() * sizeof(void*) +
+           entries_.size() * (sizeof(ObjectId) + sizeof(Entry) +
+                              2 * sizeof(void*));
+  }
+
+  auto begin() const { return entries_.begin(); }
+  auto end() const { return entries_.end(); }
+
+ private:
+  std::unordered_map<ObjectId, Entry> entries_;
+};
+
+}  // namespace gknn::core
+
+#endif  // GKNN_CORE_OBJECT_TABLE_H_

@@ -1,0 +1,74 @@
+#ifndef GKNN_CORE_OPTIONS_H_
+#define GKNN_CORE_OPTIONS_H_
+
+#include <cstdint>
+
+#include "roadnet/partitioner.h"
+
+namespace gknn::core {
+
+/// Tuning parameters of the G-Grid index. Defaults are the values the
+/// paper selects in §VII-C1 for its hardware.
+struct GGridOptions {
+  /// delta^c — cell capacity: maximum vertices per grid cell. The paper
+  /// picks 3 so a cell (3 vertices x 32 B + 8 B header = 104 B, padded to
+  /// 128 B) fits one CPU cache line.
+  uint32_t delta_c = 3;
+
+  /// delta^v — vertex capacity: incoming edges stored per vertex entry;
+  /// vertices with more in-edges overflow into virtual vertices in the
+  /// same cell (§III-A). The paper picks 2 because all six datasets have
+  /// |E|/|V| < 3.
+  uint32_t delta_v = 2;
+
+  /// delta^b — bucket capacity of the message lists. Paper Fig. 4a finds
+  /// 128 optimal.
+  uint32_t delta_b = 128;
+
+  /// Bundle size is 2^eta threads. Paper Fig. 4b finds 2^eta = 32 (the
+  /// warp size) optimal; larger bundles pay cross-warp synchronization.
+  uint32_t eta = 5;
+
+  /// rho — CPU/GPU workload-balance factor: candidate cells are grown
+  /// until they hold at least rho * k objects (§V-A). Paper Fig. 4c finds
+  /// 1.8 best on its hardware.
+  double rho = 1.8;
+
+  /// t_Delta — maximum time between two location updates of one object
+  /// (§II). Message buckets whose newest message is older than
+  /// t_now - t_Delta are discarded wholesale during cleaning.
+  double t_delta = 10.0;
+
+  /// Number of message-list buckets uploaded per pipelined transfer chunk
+  /// (§V-A "Transferring message lists").
+  uint32_t transfer_chunk_buckets = 64;
+
+  /// Ablation switch: when false, the cleaning kernel skips the butterfly
+  /// shuffles entirely and instead guarantees the newest message by
+  /// brute-force compare-and-write rounds — 2^eta write attempts per
+  /// message instead of the shuffle's eta+1 message hops plus mu(eta)
+  /// writes (the straightforward approach §IV-D compares against).
+  bool use_x_shuffle = true;
+
+  /// Ablation switch: when false, message-list buckets are uploaded in one
+  /// blocking transfer before any kernel runs, instead of the paper's
+  /// pipelined chunks (§V-A).
+  bool pipelined_transfer = true;
+
+  /// Ablation switch: when true, updates are applied eagerly — every
+  /// ingested message immediately triggers cleaning of its cell — i.e. the
+  /// "eager" strategy of prior work that the lazy design replaces (§IV).
+  bool eager_updates = false;
+
+  /// When true (default), GPU_SDist stops at the Bellman-Ford fixpoint
+  /// instead of running the full |V| worst-case iterations the paper
+  /// writes; results are identical. Exposed for the ablation benchmark.
+  bool sdist_early_exit = true;
+
+  /// Partitioner settings used when building the graph grid.
+  roadnet::PartitionOptions partition;
+};
+
+}  // namespace gknn::core
+
+#endif  // GKNN_CORE_OPTIONS_H_

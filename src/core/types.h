@@ -1,0 +1,67 @@
+#ifndef GKNN_CORE_TYPES_H_
+#define GKNN_CORE_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "roadnet/graph.h"
+
+namespace gknn::core {
+
+/// Identifier of a moving data object.
+using ObjectId = uint32_t;
+/// Identifier of a grid cell: its Z-value, which is also its position in
+/// the one-dimensional cell array (paper §III-A).
+using CellId = uint32_t;
+
+inline constexpr ObjectId kInvalidObject =
+    std::numeric_limits<ObjectId>::max();
+inline constexpr CellId kInvalidCell = std::numeric_limits<CellId>::max();
+
+/// A cached location update (paper §II: m = <o, e, d, t>, extended with
+/// the cell id attached during cleaning preprocessing, §IV-B1).
+///
+/// `edge == kInvalidEdge` marks a departure tombstone — the message
+/// <m.o, null, null, m.t> Algorithm 1 appends to the cell an object moved
+/// away from.
+///
+/// `seq` is a server-side ingest sequence number that totally orders the
+/// messages of the same object. Timestamps alone cannot: Algorithm 1 gives
+/// a move's real message and its tombstone the same t, and the real message
+/// must win. The ingest path assigns the tombstone a lower seq than the
+/// message that displaced it.
+struct Message {
+  ObjectId object = kInvalidObject;
+  roadnet::EdgeId edge = roadnet::kInvalidEdge;
+  uint32_t offset = 0;
+  double time = 0;
+  uint64_t seq = 0;
+  CellId cell = kInvalidCell;
+
+  bool IsTombstone() const { return edge == roadnet::kInvalidEdge; }
+  bool NewerThan(const Message& other) const { return seq > other.seq; }
+};
+
+/// An "empty slot" marker for fixed-size GPU message arrays.
+inline constexpr Message kNullMessage{};
+
+inline bool IsNullMessage(const Message& m) {
+  return m.object == kInvalidObject;
+}
+
+/// One kNN answer entry.
+struct KnnResultEntry {
+  ObjectId object = kInvalidObject;
+  roadnet::Distance distance = roadnet::kInfiniteDistance;
+
+  friend bool operator==(const KnnResultEntry&, const KnnResultEntry&) =
+      default;
+  friend bool operator<(const KnnResultEntry& a, const KnnResultEntry& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.object < b.object;  // deterministic tie-break
+  }
+};
+
+}  // namespace gknn::core
+
+#endif  // GKNN_CORE_TYPES_H_

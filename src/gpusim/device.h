@@ -1,0 +1,190 @@
+#ifndef GKNN_GPUSIM_DEVICE_H_
+#define GKNN_GPUSIM_DEVICE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpusim/device_config.h"
+#include "gpusim/transfer_ledger.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace gknn::gpusim {
+
+/// Per-thread kernel context handed to data-parallel kernel bodies.
+///
+/// Kernels report the work they do through CountOps; the device converts
+/// the per-thread maximum into modeled execution time (SIMT waves).
+struct ThreadCtx {
+  uint32_t thread_id = 0;
+  uint64_t ops = 0;
+
+  /// Charges `n` simulated instructions to this thread.
+  void CountOps(uint64_t n) { ops += n; }
+};
+
+/// Outcome of a kernel launch: functional execution is complete, and
+/// `modeled_seconds` holds the simulated device time.
+struct KernelStats {
+  uint32_t threads = 0;
+  uint64_t max_thread_ops = 0;
+  uint64_t total_ops = 0;
+  uint32_t iterations = 1;
+  double modeled_seconds = 0;
+};
+
+/// The simulated GPU.
+///
+/// A Device owns the transfer ledger, the device-memory budget, and a
+/// monotonically increasing modeled clock. Kernels launched through it run
+/// functionally on the host (producing bit-exact results) while their
+/// device-side duration is charged to the clock according to DeviceConfig.
+///
+/// Thread-safety: a Device is confined to one host thread, like a CUDA
+/// context used without streams from multiple threads.
+class Device {
+ public:
+  explicit Device(DeviceConfig config = DeviceConfig{})
+      : config_(config) {}
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const DeviceConfig& config() const { return config_; }
+  TransferLedger& ledger() { return ledger_; }
+  const TransferLedger& ledger() const { return ledger_; }
+
+  // --- Device memory accounting -------------------------------------------
+
+  /// Reserves `bytes` of device memory; fails with ResourceExhausted when
+  /// the configured capacity would be exceeded (used by DeviceBuffer).
+  util::Status RegisterAlloc(uint64_t bytes) {
+    if (bytes_allocated_ + bytes > config_.memory_bytes) {
+      return util::Status::ResourceExhausted(
+          "device memory exhausted: " + std::to_string(bytes_allocated_) +
+          " + " + std::to_string(bytes) + " > " +
+          std::to_string(config_.memory_bytes));
+    }
+    bytes_allocated_ += bytes;
+    if (bytes_allocated_ > peak_bytes_) peak_bytes_ = bytes_allocated_;
+    return util::Status::OK();
+  }
+
+  void RegisterFree(uint64_t bytes) {
+    GKNN_DCHECK(bytes <= bytes_allocated_);
+    bytes_allocated_ -= bytes;
+  }
+
+  uint64_t bytes_allocated() const { return bytes_allocated_; }
+  uint64_t peak_bytes() const { return peak_bytes_; }
+
+  // --- Modeled clock --------------------------------------------------------
+
+  /// Adds modeled device-busy time (kernels and synchronous transfers).
+  void AdvanceClock(double seconds) { clock_seconds_ += seconds; }
+
+  /// Total modeled device time since construction / ResetClock.
+  double ClockSeconds() const { return clock_seconds_; }
+
+  void ResetClock() { clock_seconds_ = 0; }
+
+  uint64_t kernel_launches() const { return kernel_launches_; }
+
+  /// Host wall time spent *executing kernels functionally* (the simulation
+  /// itself). A real deployment runs this work on the device, so callers
+  /// that measure their own CPU time subtract the delta of this counter to
+  /// avoid billing simulation overhead as host work.
+  double sim_wall_seconds() const { return sim_wall_seconds_; }
+
+  void AddSimWallSeconds(double seconds) { sim_wall_seconds_ += seconds; }
+
+  // --- Kernel launches ------------------------------------------------------
+
+  /// Launches a data-parallel kernel: `fn(ThreadCtx&)` runs once per thread
+  /// id in [0, n_threads), with an implicit barrier at the end (kernel
+  /// boundary). Returns the launch statistics.
+  template <typename Fn>
+  KernelStats Launch(uint32_t n_threads, Fn&& fn) {
+    const auto wall_start = std::chrono::steady_clock::now();
+    KernelStats stats;
+    stats.threads = n_threads;
+    for (uint32_t tid = 0; tid < n_threads; ++tid) {
+      ThreadCtx ctx;
+      ctx.thread_id = tid;
+      fn(ctx);
+      stats.total_ops += ctx.ops;
+      if (ctx.ops > stats.max_thread_ops) stats.max_thread_ops = ctx.ops;
+    }
+    FinishLaunch(&stats, n_threads, /*sync_points=*/0);
+    AddSimWallSeconds(std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - wall_start)
+                          .count());
+    return stats;
+  }
+
+  /// Launches an iterative kernel with a device-wide barrier between
+  /// iterations (the paper's `sync_threads()` in GPU_SDist, Alg. 5):
+  /// `fn(ThreadCtx&, iter)` returns true if the thread changed any state.
+  /// Runs at most `max_iters` iterations; if `stop_when_stable` is set the
+  /// kernel terminates after the first iteration in which no thread made a
+  /// change (a fixpoint — the paper iterates a fixed |V| times, which is the
+  /// worst-case bound for Bellman-Ford; stopping at the fixpoint computes
+  /// the identical result).
+  template <typename Fn>
+  KernelStats LaunchIterative(uint32_t n_threads, uint32_t max_iters,
+                              bool stop_when_stable, Fn&& fn) {
+    const auto wall_start = std::chrono::steady_clock::now();
+    KernelStats stats;
+    stats.threads = n_threads;
+    stats.iterations = 0;
+    for (uint32_t iter = 0; iter < max_iters; ++iter) {
+      ++stats.iterations;
+      bool any_changed = false;
+      uint64_t iter_max_ops = 0;
+      for (uint32_t tid = 0; tid < n_threads; ++tid) {
+        ThreadCtx ctx;
+        ctx.thread_id = tid;
+        const bool changed = fn(ctx, iter);
+        any_changed = any_changed || changed;
+        stats.total_ops += ctx.ops;
+        if (ctx.ops > iter_max_ops) iter_max_ops = ctx.ops;
+      }
+      stats.max_thread_ops += iter_max_ops;
+      if (stop_when_stable && !any_changed) break;
+    }
+    FinishLaunch(&stats, n_threads, /*sync_points=*/stats.iterations);
+    AddSimWallSeconds(std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - wall_start)
+                          .count());
+    return stats;
+  }
+
+ private:
+  void FinishLaunch(KernelStats* stats, uint32_t n_threads,
+                    uint32_t sync_points) {
+    const uint32_t cores = config_.num_cores;
+    const uint64_t waves =
+        n_threads == 0 ? 1 : (n_threads + cores - 1) / cores;
+    const double cycles =
+        static_cast<double>(stats->max_thread_ops) * static_cast<double>(waves) +
+        static_cast<double>(sync_points) * config_.cross_warp_sync_cycles;
+    stats->modeled_seconds =
+        config_.kernel_launch_seconds + config_.CyclesToSeconds(cycles);
+    AdvanceClock(stats->modeled_seconds);
+    ++kernel_launches_;
+  }
+
+  DeviceConfig config_;
+  TransferLedger ledger_;
+  uint64_t bytes_allocated_ = 0;
+  uint64_t peak_bytes_ = 0;
+  uint64_t kernel_launches_ = 0;
+  double clock_seconds_ = 0;
+  double sim_wall_seconds_ = 0;
+};
+
+}  // namespace gknn::gpusim
+
+#endif  // GKNN_GPUSIM_DEVICE_H_

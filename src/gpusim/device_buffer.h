@@ -1,0 +1,118 @@
+#ifndef GKNN_GPUSIM_DEVICE_BUFFER_H_
+#define GKNN_GPUSIM_DEVICE_BUFFER_H_
+
+#include <algorithm>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "util/logging.h"
+#include "util/result.h"
+
+namespace gknn::gpusim {
+
+/// A typed allocation in simulated device memory.
+///
+/// Host code must move data in and out through Upload/Download, which charge
+/// the device's transfer ledger and clock — exactly the discipline CUDA
+/// imposes with cudaMemcpy. Kernel bodies access the contents through
+/// device_span(); by convention that accessor is only used inside kernels
+/// launched on the owning Device.
+///
+/// Move-only, like a real device allocation handle.
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+
+  /// Allocates `n` elements on `device`; fails with ResourceExhausted when
+  /// device memory is exhausted.
+  static util::Result<DeviceBuffer<T>> Allocate(Device* device, size_t n) {
+    GKNN_RETURN_NOT_OK(device->RegisterAlloc(n * sizeof(T)));
+    DeviceBuffer<T> buf;
+    buf.device_ = device;
+    buf.data_.resize(n);
+    return buf;
+  }
+
+  ~DeviceBuffer() { Release(); }
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  DeviceBuffer(DeviceBuffer&& other) noexcept { *this = std::move(other); }
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this != &other) {
+      Release();
+      device_ = other.device_;
+      data_ = std::move(other.data_);
+      other.device_ = nullptr;
+      other.data_.clear();
+    }
+    return *this;
+  }
+
+  bool allocated() const { return device_ != nullptr; }
+  size_t size() const { return data_.size(); }
+  uint64_t size_bytes() const { return data_.size() * sizeof(T); }
+  Device* device() const { return device_; }
+
+  /// Copies `n` elements from host memory into the buffer at element offset
+  /// `offset`. Charged to the ledger and the device clock (a synchronous
+  /// cudaMemcpyHostToDevice). Returns the modeled transfer seconds.
+  double Upload(const T* src, size_t n, size_t offset = 0) {
+    GKNN_DCHECK(allocated());
+    GKNN_CHECK(offset + n <= data_.size()) << "device buffer overflow";
+    std::copy(src, src + n, data_.begin() + offset);
+    const double seconds =
+        device_->ledger().RecordH2D(n * sizeof(T), device_->config());
+    device_->AdvanceClock(seconds);
+    return seconds;
+  }
+
+  double Upload(const std::vector<T>& src, size_t offset = 0) {
+    return Upload(src.data(), src.size(), offset);
+  }
+
+  /// Copies `n` elements at element offset `offset` back to host memory.
+  /// Charged like a synchronous cudaMemcpyDeviceToHost.
+  double Download(T* dst, size_t n, size_t offset = 0) const {
+    GKNN_DCHECK(allocated());
+    GKNN_CHECK(offset + n <= data_.size()) << "device buffer overread";
+    std::copy(data_.begin() + offset, data_.begin() + offset + n, dst);
+    const double seconds =
+        device_->ledger().RecordD2H(n * sizeof(T), device_->config());
+    device_->AdvanceClock(seconds);
+    return seconds;
+  }
+
+  std::vector<T> Download() const {
+    std::vector<T> out(data_.size());
+    if (!data_.empty()) Download(out.data(), out.size());
+    return out;
+  }
+
+  /// Device-side view. Only for use inside kernel bodies.
+  std::span<T> device_span() { return std::span<T>(data_); }
+  std::span<const T> device_span() const {
+    return std::span<const T>(data_);
+  }
+
+  /// Frees the allocation.
+  void Release() {
+    if (device_ != nullptr) {
+      device_->RegisterFree(size_bytes());
+      device_ = nullptr;
+      data_.clear();
+    }
+  }
+
+ private:
+  Device* device_ = nullptr;
+  std::vector<T> data_;
+};
+
+}  // namespace gknn::gpusim
+
+#endif  // GKNN_GPUSIM_DEVICE_BUFFER_H_

@@ -1,0 +1,58 @@
+#ifndef GKNN_GPUSIM_DEVICE_CONFIG_H_
+#define GKNN_GPUSIM_DEVICE_CONFIG_H_
+
+#include <cstdint>
+
+namespace gknn::gpusim {
+
+/// Cost-model parameters of the simulated GPU.
+///
+/// The paper evaluates on an NVIDIA Quadro P2000 (1024 CUDA cores, 5 GB,
+/// CUDA 9.0) attached over PCIe. This build has no physical GPU, so the
+/// `gpusim` engine executes every kernel functionally on the host and
+/// *models* device time with the parameters below (see DESIGN.md §2).
+/// Defaults approximate the P2000. All reported "GPU time" and "transfer
+/// time" in the benchmarks derive from this model; the functional results
+/// (which messages survive cleaning, which distances are computed) are
+/// exact.
+struct DeviceConfig {
+  /// Number of lanes that execute in lockstep; collectives within a warp
+  /// are cheap, collectives spanning warps pay `cross_warp_sync_cycles`.
+  uint32_t warp_size = 32;
+
+  /// Total parallel cores; threads beyond this execute in additional waves.
+  uint32_t num_cores = 1024;
+
+  /// Core clock in cycles per second.
+  double clock_hz = 1.37e9;
+
+  /// Fixed host-side cost of launching any kernel, in seconds.
+  double kernel_launch_seconds = 5e-6;
+
+  /// Per-transfer fixed latency (driver + DMA setup), in seconds.
+  double transfer_latency_seconds = 10e-6;
+
+  /// PCIe throughput for host-to-device copies, bytes per second.
+  double h2d_bytes_per_second = 12e9;
+
+  /// PCIe throughput for device-to-host copies, bytes per second.
+  double d2h_bytes_per_second = 12e9;
+
+  /// Extra cycles charged per warp-collective that spans more than one
+  /// warp (the paper's expensive `sync_threads` when a bundle exceeds the
+  /// warp size, §VII-C1 "Optimizing 2^eta").
+  uint32_t cross_warp_sync_cycles = 48;
+
+  /// Device memory capacity. Allocations beyond this fail, which is how
+  /// the reproduction of Fig. 5 omits V-Tree (G) on the USA dataset just
+  /// as the paper does ("its space cost is beyond the capacity of our
+  /// GPU").
+  uint64_t memory_bytes = 5ull << 30;
+
+  /// Converts a cycle count to modeled seconds.
+  double CyclesToSeconds(double cycles) const { return cycles / clock_hz; }
+};
+
+}  // namespace gknn::gpusim
+
+#endif  // GKNN_GPUSIM_DEVICE_CONFIG_H_

@@ -1,0 +1,23 @@
+#ifndef GKNN_GPUSIM_SCAN_H_
+#define GKNN_GPUSIM_SCAN_H_
+
+#include <cstdint>
+#include <span>
+
+#include "gpusim/device.h"
+
+namespace gknn::gpusim {
+
+/// Exclusive prefix sum over a device-side array, in place. Returns the
+/// total (sum of all inputs).
+///
+/// Modeled as the work-efficient Blelloch scan: 2·log2(n) sweep phases,
+/// each a device-wide pass with a barrier — the standard building block
+/// for stream compaction on GPUs (flag → scan → scatter), which is how
+/// kernels like GPU_Unresolved emit variable-length result sets without
+/// host-side synchronization.
+uint32_t ExclusiveScan(Device* device, std::span<uint32_t> values);
+
+}  // namespace gknn::gpusim
+
+#endif  // GKNN_GPUSIM_SCAN_H_

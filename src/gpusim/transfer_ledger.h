@@ -1,0 +1,58 @@
+#ifndef GKNN_GPUSIM_TRANSFER_LEDGER_H_
+#define GKNN_GPUSIM_TRANSFER_LEDGER_H_
+
+#include <cstdint>
+
+#include "gpusim/device_config.h"
+
+namespace gknn::gpusim {
+
+/// Records every host<->device copy made through a Device, with the modeled
+/// PCIe time of each. Figure 10(c)/(d) of the paper ("DRAM-GPU transfer
+/// costs") are regenerated directly from this ledger.
+class TransferLedger {
+ public:
+  struct Totals {
+    uint64_t h2d_bytes = 0;
+    uint64_t d2h_bytes = 0;
+    uint64_t h2d_count = 0;
+    uint64_t d2h_count = 0;
+    double h2d_seconds = 0;
+    double d2h_seconds = 0;
+
+    uint64_t total_bytes() const { return h2d_bytes + d2h_bytes; }
+    double total_seconds() const { return h2d_seconds + d2h_seconds; }
+  };
+
+  /// Records a host-to-device copy and returns its modeled duration.
+  double RecordH2D(uint64_t bytes, const DeviceConfig& config) {
+    const double seconds = config.transfer_latency_seconds +
+                           static_cast<double>(bytes) /
+                               config.h2d_bytes_per_second;
+    totals_.h2d_bytes += bytes;
+    totals_.h2d_count += 1;
+    totals_.h2d_seconds += seconds;
+    return seconds;
+  }
+
+  /// Records a device-to-host copy and returns its modeled duration.
+  double RecordD2H(uint64_t bytes, const DeviceConfig& config) {
+    const double seconds = config.transfer_latency_seconds +
+                           static_cast<double>(bytes) /
+                               config.d2h_bytes_per_second;
+    totals_.d2h_bytes += bytes;
+    totals_.d2h_count += 1;
+    totals_.d2h_seconds += seconds;
+    return seconds;
+  }
+
+  const Totals& totals() const { return totals_; }
+  void Reset() { totals_ = Totals{}; }
+
+ private:
+  Totals totals_;
+};
+
+}  // namespace gknn::gpusim
+
+#endif  // GKNN_GPUSIM_TRANSFER_LEDGER_H_

@@ -1,0 +1,112 @@
+#ifndef GKNN_GPUSIM_WARP_H_
+#define GKNN_GPUSIM_WARP_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "util/logging.h"
+
+namespace gknn::gpusim {
+
+/// Execution context of one thread bundle (the paper's group of 2^eta
+/// threads) running in warp-synchronous lockstep.
+///
+/// Kernels written against WarpCtx hold their per-lane registers as
+/// `std::vector<T>` of length width() and apply collectives to the whole
+/// register vector at once. This makes the SIMT lockstep explicit: every
+/// lane is at the same program point when a collective runs, which is the
+/// property CUDA's __shfl_xor_sync relies on.
+class WarpCtx {
+ public:
+  WarpCtx(Device* device, uint32_t warp_id, uint32_t width)
+      : device_(device), warp_id_(warp_id), width_(width) {
+    GKNN_CHECK((width & (width - 1)) == 0) << "warp width must be a power of 2";
+  }
+
+  uint32_t warp_id() const { return warp_id_; }
+  uint32_t width() const { return width_; }
+  Device* device() const { return device_; }
+
+  /// Butterfly shuffle: lane i receives the register value of lane
+  /// (i XOR lane_mask). This is the paper's shuffle_xor (§IV-C2). The
+  /// exchange is total — every lane participates — matching a full-mask
+  /// __shfl_xor_sync.
+  ///
+  /// Cost model: one cycle inside a hardware warp; a bundle wider than the
+  /// device warp size must synchronize through shared memory and is charged
+  /// `cross_warp_sync_cycles` (the penalty the paper measures when tuning
+  /// 2^eta past 32, Fig. 4b).
+  template <typename T>
+  void ShflXor(std::vector<T>& regs, uint32_t lane_mask) {
+    GKNN_DCHECK(regs.size() == width_);
+    GKNN_DCHECK(lane_mask < width_);
+    for (uint32_t lane = 0; lane < width_; ++lane) {
+      const uint32_t peer = lane ^ lane_mask;
+      if (peer > lane) {
+        std::swap(regs[lane], regs[peer]);
+      }
+    }
+    if (width_ > device_->config().warp_size) {
+      cycles_ += device_->config().cross_warp_sync_cycles;
+    } else {
+      cycles_ += 1;
+    }
+  }
+
+  /// Charges `ops` simulated instructions executed by every lane in
+  /// lockstep (divergent lanes still occupy the SIMT slot, so per-lane ops
+  /// are charged once per bundle step, not per active lane).
+  void CountOpsPerLane(uint64_t ops) { cycles_ += ops; }
+
+  uint64_t cycles() const { return cycles_; }
+
+ private:
+  Device* device_;
+  uint32_t warp_id_;
+  uint32_t width_;
+  uint64_t cycles_ = 0;
+};
+
+/// Launches `n_warps` bundles of `width` lanes each; `fn(WarpCtx&)` runs
+/// once per bundle. Bundles are independent (the paper: "each bundle works
+/// independently from the others"), so the modeled duration is the slowest
+/// bundle times the number of waves needed to place all lanes on the
+/// device's cores.
+template <typename Fn>
+KernelStats LaunchWarps(Device* device, uint32_t n_warps, uint32_t width,
+                        Fn&& fn) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  KernelStats stats;
+  stats.threads = n_warps * width;
+  uint64_t max_warp_cycles = 0;
+  for (uint32_t w = 0; w < n_warps; ++w) {
+    WarpCtx ctx(device, w, width);
+    fn(ctx);
+    stats.total_ops += ctx.cycles() * width;
+    if (ctx.cycles() > max_warp_cycles) max_warp_cycles = ctx.cycles();
+  }
+  stats.max_thread_ops = max_warp_cycles;
+
+  const DeviceConfig& config = device->config();
+  const uint32_t warp_slots =
+      width == 0 ? 1 : std::max<uint32_t>(1, config.num_cores / width);
+  const uint64_t waves =
+      n_warps == 0 ? 1 : (n_warps + warp_slots - 1) / warp_slots;
+  stats.modeled_seconds =
+      config.kernel_launch_seconds +
+      config.CyclesToSeconds(static_cast<double>(max_warp_cycles) *
+                             static_cast<double>(waves));
+  device->AdvanceClock(stats.modeled_seconds);
+  device->AddSimWallSeconds(std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - wall_start)
+                                .count());
+  return stats;
+}
+
+}  // namespace gknn::gpusim
+
+#endif  // GKNN_GPUSIM_WARP_H_

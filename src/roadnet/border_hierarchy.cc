@@ -1,0 +1,163 @@
+#include "roadnet/border_hierarchy.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+
+namespace gknn::roadnet {
+
+uint64_t BorderHierarchy::MemoryBytes() const {
+  uint64_t bytes = (leaf_node_of_vertex.size() + leaf_pos_of_vertex.size()) *
+                   sizeof(uint32_t);
+  for (const Node& node : nodes) {
+    bytes += sizeof(Node);
+    bytes += node.borders.size() * sizeof(VertexId);
+    for (const auto& [from, outs] : node.shortcuts) {
+      (void)from;
+      bytes += sizeof(VertexId) + 2 * sizeof(void*) +
+               outs.size() * sizeof(std::pair<VertexId, Distance>);
+    }
+  }
+  return bytes;
+}
+
+util::Result<BorderHierarchy> BuildBorderHierarchy(
+    const Graph& graph, const BisectionTree& tree) {
+  BorderHierarchy hierarchy;
+  hierarchy.nodes.resize(tree.nodes.size());
+  hierarchy.leaf_node_of_vertex.assign(graph.num_vertices(), 0);
+  hierarchy.leaf_pos_of_vertex.assign(graph.num_vertices(), 0);
+
+  // DFS leaf numbering so every node covers a contiguous leaf interval.
+  struct Frame {
+    uint32_t node;
+    bool expanded;
+  };
+  std::vector<Frame> frames = {{0, false}};
+  while (!frames.empty()) {
+    const Frame f = frames.back();
+    frames.pop_back();
+    const auto& tree_node = tree.nodes[f.node];
+    BorderHierarchy::Node& node = hierarchy.nodes[f.node];
+    node.parent = tree_node.parent == roadnet::BisectionTree::kNoChild
+                      ? BorderHierarchy::kNoNode
+                      : tree_node.parent;
+    node.left = tree_node.IsLeaf() ? BorderHierarchy::kNoNode
+                                   : tree_node.left;
+    node.right = tree_node.IsLeaf() ? BorderHierarchy::kNoNode
+                                    : tree_node.right;
+    node.depth = tree_node.depth;
+    if (tree_node.IsLeaf()) {
+      node.leaf_lo = node.leaf_hi = hierarchy.num_leaves;
+      for (VertexId v : tree_node.vertices) {
+        hierarchy.leaf_node_of_vertex[v] = f.node;
+        hierarchy.leaf_pos_of_vertex[v] = hierarchy.num_leaves;
+      }
+      ++hierarchy.num_leaves;
+    } else if (!f.expanded) {
+      frames.push_back({f.node, true});
+      frames.push_back({tree_node.right, false});
+      frames.push_back({tree_node.left, false});
+    } else {
+      node.leaf_lo = hierarchy.nodes[tree_node.left].leaf_lo;
+      node.leaf_hi = hierarchy.nodes[tree_node.right].leaf_hi;
+    }
+  }
+
+  // Borders of every node (the root has no boundary).
+  for (uint32_t n = 1; n < tree.nodes.size(); ++n) {
+    BorderHierarchy::Node& node = hierarchy.nodes[n];
+    for (VertexId v : tree.nodes[n].vertices) {
+      bool is_border = false;
+      for (EdgeId id : graph.OutEdgeIds(v)) {
+        if (!hierarchy.Contains(node, graph.edge(id).target)) {
+          is_border = true;
+          break;
+        }
+      }
+      if (!is_border) {
+        for (EdgeId id : graph.InEdgeIds(v)) {
+          if (!hierarchy.Contains(node, graph.edge(id).source)) {
+            is_border = true;
+            break;
+          }
+        }
+      }
+      if (is_border) node.borders.push_back(v);
+    }
+  }
+
+  // Shortcuts, deepest nodes first so children are ready before parents.
+  std::vector<uint32_t> order(hierarchy.nodes.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return hierarchy.nodes[a].depth > hierarchy.nodes[b].depth;
+  });
+  for (uint32_t n : order) {
+    if (n == 0) continue;
+    BorderHierarchy::Node& node = hierarchy.nodes[n];
+    const auto& tree_node = tree.nodes[n];
+
+    // Local overlay adjacency for the within-node searches.
+    std::unordered_map<VertexId,
+                       std::vector<std::pair<VertexId, Distance>>>
+        overlay;
+    if (tree_node.IsLeaf()) {
+      for (VertexId v : tree_node.vertices) {
+        for (EdgeId id : graph.OutEdgeIds(v)) {
+          const Edge& e = graph.edge(id);
+          if (hierarchy.Contains(node, e.target)) {
+            overlay[v].emplace_back(e.target, e.weight);
+          }
+        }
+      }
+    } else {
+      for (uint32_t child : {node.left, node.right}) {
+        for (const auto& [from, outs] : hierarchy.nodes[child].shortcuts) {
+          auto& adj = overlay[from];
+          adj.insert(adj.end(), outs.begin(), outs.end());
+        }
+        for (VertexId v : hierarchy.nodes[child].borders) {
+          for (EdgeId id : graph.OutEdgeIds(v)) {
+            const Edge& e = graph.edge(id);
+            if (hierarchy.Contains(node, e.target) &&
+                !hierarchy.Contains(hierarchy.nodes[child], e.target)) {
+              overlay[v].emplace_back(e.target, e.weight);
+            }
+          }
+        }
+      }
+    }
+
+    for (VertexId source : node.borders) {
+      std::unordered_map<VertexId, Distance> dist;
+      std::set<std::pair<Distance, VertexId>> queue;
+      dist[source] = 0;
+      queue.insert({0, source});
+      while (!queue.empty()) {
+        auto [d, v] = *queue.begin();
+        queue.erase(queue.begin());
+        auto it = overlay.find(v);
+        if (it == overlay.end()) continue;
+        for (const auto& [u, w] : it->second) {
+          auto du = dist.find(u);
+          if (du == dist.end() || d + w < du->second) {
+            if (du != dist.end()) queue.erase({du->second, u});
+            dist[u] = d + w;
+            queue.insert({d + w, u});
+          }
+        }
+      }
+      auto& outs = node.shortcuts[source];
+      for (VertexId target : node.borders) {
+        if (target == source) continue;
+        auto it = dist.find(target);
+        if (it != dist.end()) outs.emplace_back(target, it->second);
+      }
+    }
+  }
+  return hierarchy;
+}
+
+}  // namespace gknn::roadnet

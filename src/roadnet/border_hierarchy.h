@@ -1,0 +1,77 @@
+#ifndef GKNN_ROADNET_BORDER_HIERARCHY_H_
+#define GKNN_ROADNET_BORDER_HIERARCHY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "roadnet/graph.h"
+#include "roadnet/partitioner.h"
+#include "util/result.h"
+
+namespace gknn::roadnet {
+
+/// A hierarchy of nested subnetworks with precomputed border-to-border
+/// shortest distances ("shortcuts"), built over a recursive bisection of
+/// the road network.
+///
+/// This is the structural core shared by the hierarchical baselines: ROAD's
+/// Rnets + route overlay [Lee et al., EDBT'09] and V-Tree's per-node border
+/// distance matrices [Shen et al., ICDE'17] are both instances of it.
+///
+/// Shortcuts are assembled bottom-up: a leaf searches its raw subgraph; an
+/// internal node searches the overlay formed by its children's shortcuts
+/// plus the raw edges crossing between the children — every matrix is exact
+/// for within-node travel.
+struct BorderHierarchy {
+  static constexpr uint32_t kNoNode = kInvalidVertex;
+
+  struct Node {
+    uint32_t parent = kNoNode;
+    uint32_t left = kNoNode;
+    uint32_t right = kNoNode;
+    uint32_t depth = 0;
+    /// Leaf-interval labeling: the node contains vertex v iff the DFS
+    /// position of v's leaf lies in [leaf_lo, leaf_hi].
+    uint32_t leaf_lo = 0;
+    uint32_t leaf_hi = 0;
+    /// Vertices of this node with an edge (either direction) crossing its
+    /// boundary. The root has none.
+    std::vector<VertexId> borders;
+    /// Within-node shortest distances: border -> (border, distance).
+    std::unordered_map<VertexId,
+                       std::vector<std::pair<VertexId, Distance>>>
+        shortcuts;
+
+    bool IsLeaf() const { return left == kNoNode; }
+  };
+
+  std::vector<Node> nodes;  // nodes[0] is the root
+  /// Tree node index of each vertex's leaf.
+  std::vector<uint32_t> leaf_node_of_vertex;
+  /// DFS position of each vertex's leaf (for interval containment).
+  std::vector<uint32_t> leaf_pos_of_vertex;
+  uint32_t num_leaves = 0;
+
+  /// O(1) containment test.
+  bool Contains(const Node& node, VertexId v) const {
+    const uint32_t pos = leaf_pos_of_vertex[v];
+    return node.leaf_lo <= pos && pos <= node.leaf_hi;
+  }
+  bool Contains(uint32_t node_index, VertexId v) const {
+    return Contains(nodes[node_index], v);
+  }
+
+  /// Total bytes held by the border lists and shortcut matrices.
+  uint64_t MemoryBytes() const;
+};
+
+/// Builds the hierarchy for `graph` over the given bisection tree (node
+/// indices correspond one-to-one with the tree's).
+util::Result<BorderHierarchy> BuildBorderHierarchy(
+    const Graph& graph, const BisectionTree& tree);
+
+}  // namespace gknn::roadnet
+
+#endif  // GKNN_ROADNET_BORDER_HIERARCHY_H_

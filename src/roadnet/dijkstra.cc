@@ -1,0 +1,49 @@
+#include "roadnet/dijkstra.h"
+
+namespace gknn::roadnet {
+
+std::vector<Distance> ShortestPathsFrom(const Graph& graph, VertexId source) {
+  std::vector<Distance> dist(graph.num_vertices(), kInfiniteDistance);
+  util::IndexedMinHeap<Distance> heap(graph.num_vertices());
+  dist[source] = 0;
+  heap.PushOrDecrease(source, 0);
+  while (!heap.empty()) {
+    auto [v, d] = heap.Pop();
+    if (d != dist[v]) continue;  // stale entry (cannot happen with
+                                 // decrease-key, kept for safety)
+    for (EdgeId id : graph.OutEdgeIds(v)) {
+      const Edge& e = graph.edge(id);
+      const Distance nd = d + e.weight;
+      if (nd < dist[e.target]) {
+        dist[e.target] = nd;
+        heap.PushOrDecrease(e.target, nd);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<Distance> ShortestPathsFromPoint(const Graph& graph,
+                                             EdgePoint point) {
+  std::vector<Distance> dist(graph.num_vertices(), kInfiniteDistance);
+  util::IndexedMinHeap<Distance> heap(graph.num_vertices());
+  const Edge& e = graph.edge(point.edge);
+  GKNN_CHECK(point.offset <= e.weight) << "point offset beyond edge weight";
+  const Distance initial = e.weight - point.offset;
+  dist[e.target] = initial;
+  heap.PushOrDecrease(e.target, initial);
+  while (!heap.empty()) {
+    auto [v, d] = heap.Pop();
+    for (EdgeId id : graph.OutEdgeIds(v)) {
+      const Edge& edge = graph.edge(id);
+      const Distance nd = d + edge.weight;
+      if (nd < dist[edge.target]) {
+        dist[edge.target] = nd;
+        heap.PushOrDecrease(edge.target, nd);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace gknn::roadnet

@@ -1,0 +1,25 @@
+#ifndef GKNN_ROADNET_DIMACS_H_
+#define GKNN_ROADNET_DIMACS_H_
+
+#include <string>
+
+#include "roadnet/graph.h"
+#include "util/result.h"
+
+namespace gknn::roadnet {
+
+/// Reads a 9th DIMACS Implementation Challenge road-network graph
+/// (`.gr` format: comment lines `c ...`, one problem line `p sp N M`, and
+/// arc lines `a u v w` with 1-based vertex ids). This is the format of the
+/// six real datasets in the paper's Table II
+/// (http://www.dis.uniroma1.it/challenge9/download.shtml); drop the files
+/// next to the benchmarks to run them on the real networks.
+util::Result<Graph> ReadDimacsGraph(const std::string& path);
+
+/// Writes a graph in the same `.gr` format (used by tests to round-trip and
+/// by the dataset registry to cache generated networks).
+util::Status WriteDimacsGraph(const Graph& graph, const std::string& path);
+
+}  // namespace gknn::roadnet
+
+#endif  // GKNN_ROADNET_DIMACS_H_

@@ -1,0 +1,91 @@
+#include "roadnet/graph.h"
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace gknn::roadnet {
+
+util::Result<Graph> Graph::FromEdges(uint32_t num_vertices,
+                                     std::vector<Edge> edges) {
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const Edge& e = edges[i];
+    if (e.source >= num_vertices || e.target >= num_vertices) {
+      return util::Status::InvalidArgument(
+          "edge " + std::to_string(i) + " references vertex out of range [0, " +
+          std::to_string(num_vertices) + ")");
+    }
+  }
+
+  Graph g;
+  g.num_vertices_ = num_vertices;
+  g.edges_ = std::move(edges);
+  const uint32_t m = g.num_edges();
+
+  // Counting sort of edge ids into CSR rows, once per direction.
+  g.out_offsets_.assign(num_vertices + 1, 0);
+  g.in_offsets_.assign(num_vertices + 1, 0);
+  for (const Edge& e : g.edges_) {
+    ++g.out_offsets_[e.source + 1];
+    ++g.in_offsets_[e.target + 1];
+  }
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    g.out_offsets_[v + 1] += g.out_offsets_[v];
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+  g.out_edge_ids_.resize(m);
+  g.in_edge_ids_.resize(m);
+  std::vector<uint32_t> out_cursor(g.out_offsets_.begin(),
+                                   g.out_offsets_.end() - 1);
+  std::vector<uint32_t> in_cursor(g.in_offsets_.begin(),
+                                  g.in_offsets_.end() - 1);
+  for (EdgeId id = 0; id < m; ++id) {
+    const Edge& e = g.edges_[id];
+    g.out_edge_ids_[out_cursor[e.source]++] = id;
+    g.in_edge_ids_[in_cursor[e.target]++] = id;
+  }
+  return g;
+}
+
+uint64_t Graph::TotalWeight() const {
+  uint64_t total = 0;
+  for (const Edge& e : edges_) total += e.weight;
+  return total;
+}
+
+bool Graph::IsWeaklyConnected() const {
+  if (num_vertices_ == 0) return true;
+  std::vector<char> visited(num_vertices_, 0);
+  std::vector<VertexId> stack = {0};
+  visited[0] = 1;
+  uint32_t count = 1;
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    for (EdgeId id : OutEdgeIds(v)) {
+      const VertexId u = edges_[id].target;
+      if (!visited[u]) {
+        visited[u] = 1;
+        ++count;
+        stack.push_back(u);
+      }
+    }
+    for (EdgeId id : InEdgeIds(v)) {
+      const VertexId u = edges_[id].source;
+      if (!visited[u]) {
+        visited[u] = 1;
+        ++count;
+        stack.push_back(u);
+      }
+    }
+  }
+  return count == num_vertices_;
+}
+
+uint64_t Graph::MemoryBytes() const {
+  return edges_.size() * sizeof(Edge) +
+         (out_offsets_.size() + in_offsets_.size()) * sizeof(uint32_t) +
+         (out_edge_ids_.size() + in_edge_ids_.size()) * sizeof(EdgeId);
+}
+
+}  // namespace gknn::roadnet

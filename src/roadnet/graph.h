@@ -1,0 +1,116 @@
+#ifndef GKNN_ROADNET_GRAPH_H_
+#define GKNN_ROADNET_GRAPH_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace gknn::roadnet {
+
+/// Dense vertex identifier in [0, num_vertices).
+using VertexId = uint32_t;
+/// Dense edge identifier in [0, num_edges).
+using EdgeId = uint32_t;
+/// Network distance. Edge weights are integral (as in the DIMACS road
+/// networks the paper uses), so distances are exact 64-bit sums — no
+/// floating-point comparison hazards in the kNN ordering.
+using Distance = uint64_t;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+inline constexpr Distance kInfiniteDistance =
+    std::numeric_limits<Distance>::max();
+
+/// A directed weighted edge. The paper writes e = <id, v_s, w> with the
+/// edge stored at its *destination* vertex; here edges are stored centrally
+/// and indexed from both endpoints.
+struct Edge {
+  VertexId source = kInvalidVertex;
+  VertexId target = kInvalidVertex;
+  uint32_t weight = 0;
+};
+
+/// A directed road-network graph G = <V, E> in CSR form (paper §II).
+///
+/// Both adjacency directions are materialized: out-edges drive Dijkstra
+/// searches from the query object, and in-edges ("edges having v as the
+/// destination vertex") are what the G-Grid stores per vertex so that the
+/// GPU Bellman-Ford can relax all edges of a vertex without write conflicts
+/// (paper §V-B).
+///
+/// Immutable after construction; cheap to move, expensive to copy.
+class Graph {
+ public:
+  /// Builds a graph from an edge list. Fails if any endpoint is out of
+  /// range. Parallel edges and self-loops are preserved (real road data
+  /// contains both).
+  static util::Result<Graph> FromEdges(uint32_t num_vertices,
+                                       std::vector<Edge> edges);
+
+  Graph() = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+
+  uint32_t num_vertices() const { return num_vertices_; }
+  uint32_t num_edges() const { return static_cast<uint32_t>(edges_.size()); }
+
+  const Edge& edge(EdgeId e) const { return edges_[e]; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Ids of edges leaving `v`.
+  std::span<const EdgeId> OutEdgeIds(VertexId v) const {
+    return {out_edge_ids_.data() + out_offsets_[v],
+            out_offsets_[v + 1] - out_offsets_[v]};
+  }
+
+  /// Ids of edges entering `v`.
+  std::span<const EdgeId> InEdgeIds(VertexId v) const {
+    return {in_edge_ids_.data() + in_offsets_[v],
+            in_offsets_[v + 1] - in_offsets_[v]};
+  }
+
+  uint32_t OutDegree(VertexId v) const {
+    return out_offsets_[v + 1] - out_offsets_[v];
+  }
+  uint32_t InDegree(VertexId v) const {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  /// Total weight of all edges (useful for sanity checks and stats).
+  uint64_t TotalWeight() const;
+
+  /// True if the graph is connected when edge directions are ignored.
+  bool IsWeaklyConnected() const;
+
+  /// Estimated resident size of the CSR structures in bytes.
+  uint64_t MemoryBytes() const;
+
+ private:
+  uint32_t num_vertices_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<uint32_t> out_offsets_;  // size num_vertices_+1
+  std::vector<EdgeId> out_edge_ids_;   // size num_edges
+  std::vector<uint32_t> in_offsets_;   // size num_vertices_+1
+  std::vector<EdgeId> in_edge_ids_;    // size num_edges
+};
+
+/// A position on the network: distance `offset` from the source vertex of
+/// `edge` along it (the paper's <e, d>). Objects and queries are both
+/// located this way.
+struct EdgePoint {
+  EdgeId edge = kInvalidEdge;
+  uint32_t offset = 0;
+
+  friend bool operator==(const EdgePoint&, const EdgePoint&) = default;
+};
+
+}  // namespace gknn::roadnet
+
+#endif  // GKNN_ROADNET_GRAPH_H_

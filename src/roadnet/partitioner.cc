@@ -1,0 +1,465 @@
+#include "roadnet/partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numeric>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace gknn::roadnet {
+
+uint32_t ComputePsi(uint32_t num_vertices, uint32_t delta_c) {
+  GKNN_CHECK(delta_c > 0);
+  if (num_vertices <= delta_c) return 0;
+  const double ratio =
+      static_cast<double>(num_vertices) / static_cast<double>(delta_c);
+  uint32_t psi = static_cast<uint32_t>(std::ceil(0.5 * std::log2(ratio)));
+  // Guard against floating point edge cases: psi must satisfy
+  // 4^psi * delta_c >= num_vertices.
+  while ((uint64_t{delta_c} << (2 * psi)) < num_vertices) ++psi;
+  return psi;
+}
+
+namespace internal_partitioner {
+namespace {
+
+/// Undirected weighted multigraph over the local node ids of one subset.
+/// Node weights track how many original vertices a coarse node represents.
+struct LocalGraph {
+  // Per node: sorted (neighbor, weight) pairs; self-loops dropped.
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> adj;
+  std::vector<uint32_t> node_weight;
+
+  uint32_t size() const { return static_cast<uint32_t>(adj.size()); }
+  uint64_t TotalWeight() const {
+    return std::accumulate(node_weight.begin(), node_weight.end(),
+                           uint64_t{0});
+  }
+};
+
+/// Merges duplicate (neighbor, weight) pairs in place, summing weights.
+void SortAndMergeNeighbors(std::vector<std::pair<uint32_t, uint32_t>>* nbrs) {
+  std::sort(nbrs->begin(), nbrs->end());
+  size_t out = 0;
+  for (size_t i = 0; i < nbrs->size();) {
+    uint32_t node = (*nbrs)[i].first;
+    uint64_t weight = 0;
+    while (i < nbrs->size() && (*nbrs)[i].first == node) {
+      weight += (*nbrs)[i].second;
+      ++i;
+    }
+    (*nbrs)[out++] = {node, static_cast<uint32_t>(
+                                std::min<uint64_t>(weight, UINT32_MAX))};
+  }
+  nbrs->resize(out);
+}
+
+/// Builds the induced undirected local graph of `vertices` (which must be
+/// sorted). Edge directions are ignored: the partitioner minimizes the
+/// undirected cut, as in [5].
+LocalGraph BuildLocalGraph(const Graph& graph,
+                           const std::vector<VertexId>& vertices) {
+  const uint32_t n = static_cast<uint32_t>(vertices.size());
+  LocalGraph local;
+  local.adj.resize(n);
+  local.node_weight.assign(n, 1);
+  auto local_id = [&vertices](VertexId v) -> uint32_t {
+    auto it = std::lower_bound(vertices.begin(), vertices.end(), v);
+    if (it == vertices.end() || *it != v) return kInvalidVertex;
+    return static_cast<uint32_t>(it - vertices.begin());
+  };
+  for (uint32_t i = 0; i < n; ++i) {
+    const VertexId v = vertices[i];
+    for (EdgeId id : graph.OutEdgeIds(v)) {
+      const uint32_t j = local_id(graph.edge(id).target);
+      if (j != kInvalidVertex && j != i) {
+        local.adj[i].emplace_back(j, 1);
+        local.adj[j].emplace_back(i, 1);
+      }
+    }
+    // In-edges whose source is also inside the subset were already added
+    // when that source was visited (out direction); in-edges from inside
+    // are symmetric. Only out-edges need scanning to see each internal
+    // edge exactly once.
+  }
+  for (auto& nbrs : local.adj) SortAndMergeNeighbors(&nbrs);
+  return local;
+}
+
+/// Heavy-edge matching: coarse node = matched pair (or singleton). Returns
+/// the coarse graph and the fine->coarse mapping.
+std::pair<LocalGraph, std::vector<uint32_t>> CoarsenHem(
+    const LocalGraph& fine, util::Rng* rng) {
+  const uint32_t n = fine.size();
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (uint32_t i = n; i > 1; --i) {
+    std::swap(order[i - 1], order[rng->NextBounded(i)]);
+  }
+  std::vector<uint32_t> match(n, kInvalidVertex);
+  std::vector<uint32_t> coarse_id(n, kInvalidVertex);
+  uint32_t num_coarse = 0;
+  for (uint32_t v : order) {
+    if (match[v] != kInvalidVertex) continue;
+    uint32_t best = kInvalidVertex;
+    uint32_t best_weight = 0;
+    for (const auto& [u, w] : fine.adj[v]) {
+      if (match[u] == kInvalidVertex && w > best_weight) {
+        best = u;
+        best_weight = w;
+      }
+    }
+    if (best != kInvalidVertex) {
+      match[v] = best;
+      match[best] = v;
+      coarse_id[v] = coarse_id[best] = num_coarse++;
+    } else {
+      match[v] = v;
+      coarse_id[v] = num_coarse++;
+    }
+  }
+  LocalGraph coarse;
+  coarse.adj.resize(num_coarse);
+  coarse.node_weight.assign(num_coarse, 0);
+  for (uint32_t v = 0; v < n; ++v) {
+    coarse.node_weight[coarse_id[v]] += fine.node_weight[v];
+    for (const auto& [u, w] : fine.adj[v]) {
+      if (coarse_id[u] != coarse_id[v]) {
+        coarse.adj[coarse_id[v]].emplace_back(coarse_id[u], w);
+      }
+    }
+  }
+  for (auto& nbrs : coarse.adj) SortAndMergeNeighbors(&nbrs);
+  return {std::move(coarse), std::move(coarse_id)};
+}
+
+/// Grows side 0 by BFS from a random root until it holds at least half the
+/// total node weight; everything else is side 1. Restarts from a fresh
+/// random node when the frontier empties (disconnected subsets).
+std::vector<uint8_t> InitialBisection(const LocalGraph& g, util::Rng* rng) {
+  const uint32_t n = g.size();
+  std::vector<uint8_t> side(n, 1);
+  const uint64_t target = (g.TotalWeight() + 1) / 2;
+  uint64_t grown = 0;
+  std::vector<char> visited(n, 0);
+  std::deque<uint32_t> frontier;
+  uint32_t scan = 0;
+  while (grown < target) {
+    if (frontier.empty()) {
+      // Find an unvisited node, starting the scan at a random offset.
+      uint32_t start = static_cast<uint32_t>(rng->NextBounded(n));
+      uint32_t v = kInvalidVertex;
+      for (uint32_t i = 0; i < n; ++i) {
+        const uint32_t candidate = (start + i) % n;
+        if (!visited[candidate]) {
+          v = candidate;
+          break;
+        }
+      }
+      if (v == kInvalidVertex) break;  // everything visited
+      visited[v] = 1;
+      frontier.push_back(v);
+      (void)scan;
+    }
+    const uint32_t v = frontier.front();
+    frontier.pop_front();
+    side[v] = 0;
+    grown += g.node_weight[v];
+    for (const auto& [u, w] : g.adj[v]) {
+      (void)w;
+      if (!visited[u]) {
+        visited[u] = 1;
+        frontier.push_back(u);
+      }
+    }
+  }
+  return side;
+}
+
+/// Gain of moving `v` to the other side: cut-weight reduction.
+int64_t MoveGain(const LocalGraph& g, const std::vector<uint8_t>& side,
+                 uint32_t v) {
+  int64_t gain = 0;
+  for (const auto& [u, w] : g.adj[v]) {
+    gain += (side[u] != side[v]) ? static_cast<int64_t>(w)
+                                 : -static_cast<int64_t>(w);
+  }
+  return gain;
+}
+
+/// Greedy refinement pass allowing single-node moves while each side stays
+/// within `tolerance` of half the total weight. Returns true if any move
+/// was applied.
+bool RefinePassBalanced(const LocalGraph& g, std::vector<uint8_t>* side,
+                        double tolerance) {
+  const uint64_t total = g.TotalWeight();
+  const double max_side = (1.0 + tolerance) * static_cast<double>(total) / 2;
+  uint64_t w0 = 0;
+  for (uint32_t v = 0; v < g.size(); ++v) {
+    if ((*side)[v] == 0) w0 += g.node_weight[v];
+  }
+  // Collect candidates with positive static gain, best first.
+  std::vector<std::pair<int64_t, uint32_t>> candidates;
+  for (uint32_t v = 0; v < g.size(); ++v) {
+    const int64_t gain = MoveGain(g, *side, v);
+    if (gain > 0) candidates.emplace_back(gain, v);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  bool moved = false;
+  for (const auto& [stale_gain, v] : candidates) {
+    (void)stale_gain;
+    const int64_t gain = MoveGain(g, *side, v);  // re-check after prior moves
+    if (gain <= 0) continue;
+    const uint64_t nw = g.node_weight[v];
+    if ((*side)[v] == 0) {
+      if (static_cast<double>(total - (w0 - nw)) > max_side) continue;
+      w0 -= nw;
+      (*side)[v] = 1;
+    } else {
+      if (static_cast<double>(w0 + nw) > max_side) continue;
+      w0 += nw;
+      (*side)[v] = 0;
+    }
+    moved = true;
+  }
+  return moved;
+}
+
+/// Moves boundary nodes from the oversized side (by count; node weights are
+/// 1 at the finest level) until side 0 holds exactly `target0` nodes,
+/// preferring moves that hurt the cut least.
+void EnforceExactCounts(const LocalGraph& g, std::vector<uint8_t>* side,
+                        uint32_t target0) {
+  uint32_t count0 = static_cast<uint32_t>(
+      std::count(side->begin(), side->end(), uint8_t{0}));
+  while (count0 != target0) {
+    const uint8_t from = count0 > target0 ? 0 : 1;
+    uint32_t best = kInvalidVertex;
+    int64_t best_gain = INT64_MIN;
+    for (uint32_t v = 0; v < g.size(); ++v) {
+      if ((*side)[v] != from) continue;
+      const int64_t gain = MoveGain(g, *side, v);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = v;
+      }
+    }
+    GKNN_CHECK(best != kInvalidVertex) << "bisection fixup stuck";
+    (*side)[best] = static_cast<uint8_t>(1 - from);
+    count0 += (from == 0) ? -1 : 1;
+  }
+}
+
+/// Cut-improving pairwise swaps that keep side sizes exact. Examines the
+/// top boundary candidates from each side (bounded to keep the pass cheap).
+bool RefinePassSwaps(const LocalGraph& g, std::vector<uint8_t>* side) {
+  constexpr size_t kCandidatesPerSide = 32;
+  std::vector<std::pair<int64_t, uint32_t>> cand0, cand1;
+  for (uint32_t v = 0; v < g.size(); ++v) {
+    const int64_t gain = MoveGain(g, *side, v);
+    if (gain <= -1) continue;  // hopeless: a swap needs combined gain > 0
+    ((*side)[v] == 0 ? cand0 : cand1).emplace_back(gain, v);
+  }
+  auto shrink = [](std::vector<std::pair<int64_t, uint32_t>>* c) {
+    std::sort(c->begin(), c->end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    if (c->size() > kCandidatesPerSide) c->resize(kCandidatesPerSide);
+  };
+  shrink(&cand0);
+  shrink(&cand1);
+  bool swapped = false;
+  for (const auto& [g0, a] : cand0) {
+    (void)g0;
+    for (const auto& [g1, b] : cand1) {
+      (void)g1;
+      if ((*side)[a] != 0 || (*side)[b] != 1) continue;  // already moved
+      int64_t gain = MoveGain(g, *side, a) + MoveGain(g, *side, b);
+      // If a and b are adjacent, both counted the a-b edge as a win; after
+      // the swap it is still cut, so subtract it twice.
+      for (const auto& [u, w] : g.adj[a]) {
+        if (u == b) gain -= 2 * static_cast<int64_t>(w);
+      }
+      if (gain > 0) {
+        (*side)[a] = 1;
+        (*side)[b] = 0;
+        swapped = true;
+      }
+    }
+  }
+  return swapped;
+}
+
+/// Bisects a local graph with the full multilevel pipeline. Side sizes are
+/// weight-balanced; exact node counts are enforced by the caller.
+std::vector<uint8_t> BisectLocal(const LocalGraph& finest,
+                                 const PartitionOptions& options,
+                                 util::Rng* rng) {
+  // Coarsening chain.
+  std::vector<LocalGraph> levels;
+  std::vector<std::vector<uint32_t>> mappings;  // fine -> coarse per level
+  levels.push_back(finest);
+  while (levels.back().size() > options.coarsen_threshold) {
+    auto [coarse, mapping] = CoarsenHem(levels.back(), rng);
+    if (coarse.size() > 0.95 * levels.back().size()) break;  // stalled
+    levels.push_back(std::move(coarse));
+    mappings.push_back(std::move(mapping));
+  }
+
+  std::vector<uint8_t> side = InitialBisection(levels.back(), rng);
+  for (uint32_t pass = 0; pass < options.refinement_passes; ++pass) {
+    if (!RefinePassBalanced(levels.back(), &side, /*tolerance=*/0.05)) break;
+  }
+
+  // Uncoarsen with refinement at each level.
+  for (size_t level = mappings.size(); level-- > 0;) {
+    const std::vector<uint32_t>& mapping = mappings[level];
+    std::vector<uint8_t> fine_side(mapping.size());
+    for (uint32_t v = 0; v < mapping.size(); ++v) {
+      fine_side[v] = side[mapping[v]];
+    }
+    side = std::move(fine_side);
+    for (uint32_t pass = 0; pass < options.refinement_passes; ++pass) {
+      if (!RefinePassBalanced(levels[level], &side, /*tolerance=*/0.05)) {
+        break;
+      }
+    }
+  }
+  return side;
+}
+
+}  // namespace
+
+std::vector<uint8_t> Bisect(const Graph& graph,
+                            const std::vector<VertexId>& vertices,
+                            const PartitionOptions& options, uint64_t seed) {
+  const uint32_t n = static_cast<uint32_t>(vertices.size());
+  const uint32_t target0 = (n + 1) / 2;
+  std::vector<uint8_t> side(n, 1);
+  if (n == 0) return side;
+  if (n == 1) {
+    side[0] = 0;
+    return side;
+  }
+  GKNN_DCHECK(std::is_sorted(vertices.begin(), vertices.end()));
+  util::Rng rng(seed);
+  const LocalGraph local = BuildLocalGraph(graph, vertices);
+  side = BisectLocal(local, options, &rng);
+  EnforceExactCounts(local, &side, target0);
+  for (uint32_t pass = 0; pass < options.refinement_passes; ++pass) {
+    if (!RefinePassSwaps(local, &side)) break;
+  }
+  return side;
+}
+
+}  // namespace internal_partitioner
+
+util::Result<GridPartition> PartitionIntoGrid(const Graph& graph,
+                                              uint32_t delta_c,
+                                              const PartitionOptions& options) {
+  if (delta_c == 0) {
+    return util::Status::InvalidArgument("cell capacity must be positive");
+  }
+  if (graph.num_vertices() == 0) {
+    return util::Status::InvalidArgument("cannot partition an empty graph");
+  }
+  GridPartition result;
+  result.psi = ComputePsi(graph.num_vertices(), delta_c);
+  result.grid_dim = 1u << result.psi;
+  result.num_cells = 1u << (2 * result.psi);
+  result.cell_of_vertex.assign(graph.num_vertices(), 0);
+
+  const uint32_t target_depth = 2 * result.psi;
+  struct WorkItem {
+    std::vector<VertexId> vertices;
+    uint32_t depth;
+    uint32_t z_prefix;
+  };
+  std::vector<VertexId> all(graph.num_vertices());
+  std::iota(all.begin(), all.end(), 0);
+  std::deque<WorkItem> work;
+  work.push_back(WorkItem{std::move(all), 0, 0});
+  uint64_t split_counter = 0;
+  while (!work.empty()) {
+    WorkItem item = std::move(work.front());
+    work.pop_front();
+    if (item.depth == target_depth) {
+      for (VertexId v : item.vertices) {
+        result.cell_of_vertex[v] = item.z_prefix;
+      }
+      continue;
+    }
+    const std::vector<uint8_t> side = internal_partitioner::Bisect(
+        graph, item.vertices, options, options.seed + (++split_counter));
+    WorkItem left{{}, item.depth + 1, item.z_prefix << 1};
+    WorkItem right{{}, item.depth + 1, (item.z_prefix << 1) | 1};
+    for (size_t i = 0; i < item.vertices.size(); ++i) {
+      (side[i] == 0 ? left : right).vertices.push_back(item.vertices[i]);
+    }
+    work.push_back(std::move(left));
+    work.push_back(std::move(right));
+  }
+
+  for (const Edge& e : graph.edges()) {
+    if (result.cell_of_vertex[e.source] != result.cell_of_vertex[e.target]) {
+      ++result.edge_cut;
+    }
+  }
+  return result;
+}
+
+util::Result<BisectionTree> BuildBisectionTree(
+    const Graph& graph, uint32_t max_leaf_size,
+    const PartitionOptions& options) {
+  if (max_leaf_size == 0) {
+    return util::Status::InvalidArgument("max_leaf_size must be positive");
+  }
+  if (graph.num_vertices() == 0) {
+    return util::Status::InvalidArgument("cannot partition an empty graph");
+  }
+  BisectionTree tree;
+  tree.leaf_of_vertex.assign(graph.num_vertices(), 0);
+
+  std::vector<VertexId> all(graph.num_vertices());
+  std::iota(all.begin(), all.end(), 0);
+  tree.nodes.push_back(BisectionTree::Node{});
+  tree.nodes[0].vertices = std::move(all);
+
+  uint64_t split_counter = 0;
+  std::deque<uint32_t> work = {0};
+  while (!work.empty()) {
+    const uint32_t node_id = work.front();
+    work.pop_front();
+    // Note: nodes vector may reallocate below, so re-index by id.
+    if (tree.nodes[node_id].vertices.size() <= max_leaf_size) {
+      for (VertexId v : tree.nodes[node_id].vertices) {
+        tree.leaf_of_vertex[v] = node_id;
+      }
+      continue;
+    }
+    const std::vector<uint8_t> side = internal_partitioner::Bisect(
+        graph, tree.nodes[node_id].vertices, options,
+        options.seed + (++split_counter));
+    BisectionTree::Node left, right;
+    left.parent = right.parent = node_id;
+    left.depth = right.depth = tree.nodes[node_id].depth + 1;
+    for (size_t i = 0; i < tree.nodes[node_id].vertices.size(); ++i) {
+      (side[i] == 0 ? left : right)
+          .vertices.push_back(tree.nodes[node_id].vertices[i]);
+    }
+    const uint32_t left_id = static_cast<uint32_t>(tree.nodes.size());
+    const uint32_t right_id = left_id + 1;
+    tree.nodes[node_id].left = left_id;
+    tree.nodes[node_id].right = right_id;
+    tree.nodes.push_back(std::move(left));
+    tree.nodes.push_back(std::move(right));
+    work.push_back(left_id);
+    work.push_back(right_id);
+  }
+  return tree;
+}
+
+}  // namespace gknn::roadnet

@@ -1,0 +1,95 @@
+#ifndef GKNN_ROADNET_PARTITIONER_H_
+#define GKNN_ROADNET_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "roadnet/graph.h"
+#include "util/result.h"
+
+namespace gknn::roadnet {
+
+/// Options for the multilevel recursive-bisection partitioner.
+///
+/// The paper adopts the multilevel scheme of Karypis and Kumar [5]
+/// ("iteratively divides a set of vertices into equal-sized subsets while
+/// minimizing the number of edges between vertices in two subsets"). This
+/// implementation follows the same template: heavy-edge-matching
+/// coarsening, greedy BFS-grown initial bisection, and
+/// Fiduccia–Mattheyses-style swap refinement, applied recursively.
+struct PartitionOptions {
+  /// Random seed for matching and BFS-root selection (deterministic).
+  uint64_t seed = 1;
+  /// Subsets at most this large are bisected directly, without coarsening.
+  uint32_t coarsen_threshold = 4096;
+  /// Number of refinement sweeps after each (un)coarsening step.
+  uint32_t refinement_passes = 4;
+};
+
+/// Result of partitioning a graph onto the 2^psi x 2^psi grid of the
+/// G-Grid index (paper §III-A).
+struct GridPartition {
+  /// Grid is 2^psi x 2^psi; psi = ceil(1/2 * log2(|V| / delta_c)).
+  uint32_t psi = 0;
+  uint32_t grid_dim = 1;    // 2^psi
+  uint32_t num_cells = 1;   // 4^psi
+  /// Z-value (= position in the 1-D cell array) of each vertex's cell.
+  std::vector<uint32_t> cell_of_vertex;
+  /// Number of graph edges whose endpoints land in different cells.
+  uint64_t edge_cut = 0;
+};
+
+/// Computes psi for a graph of `num_vertices` and cell capacity `delta_c`
+/// (paper: psi = ceil(1/2 * log2(|V| / delta_c))).
+uint32_t ComputePsi(uint32_t num_vertices, uint32_t delta_c);
+
+/// Partitions `graph` into 4^psi grid cells of at most `delta_c` vertices
+/// each. Splits are exactly balanced at every bisection level, which
+/// guarantees every cell receives at most ceil(|V| / 4^psi) <= delta_c
+/// vertices. Cell ids follow the Z-curve: sibling subsets of a bisection
+/// land in Z-adjacent cells, preserving the locality the GPU layout needs.
+util::Result<GridPartition> PartitionIntoGrid(const Graph& graph,
+                                              uint32_t delta_c,
+                                              const PartitionOptions& options);
+
+/// A binary tree of nested vertex subsets produced by recursive bisection.
+/// The V-Tree and ROAD baselines build their hierarchies on this.
+struct BisectionTree {
+  static constexpr uint32_t kNoChild = kInvalidVertex;
+
+  struct Node {
+    uint32_t parent = kNoChild;
+    uint32_t left = kNoChild;
+    uint32_t right = kNoChild;
+    uint32_t depth = 0;
+    /// Vertices of this subset; filled for every node (ancestors hold the
+    /// union of their descendants).
+    std::vector<VertexId> vertices;
+    bool IsLeaf() const { return left == kNoChild; }
+  };
+
+  std::vector<Node> nodes;  // nodes[0] is the root
+  /// Leaf node index containing each vertex.
+  std::vector<uint32_t> leaf_of_vertex;
+};
+
+/// Recursively bisects `graph` until every leaf holds at most
+/// `max_leaf_size` vertices.
+util::Result<BisectionTree> BuildBisectionTree(const Graph& graph,
+                                               uint32_t max_leaf_size,
+                                               const PartitionOptions& options);
+
+namespace internal_partitioner {
+
+/// Bisects the subset `vertices` of `graph` into two halves of size
+/// ceil(n/2) and floor(n/2), minimizing the edge cut. Returns the side
+/// (0 or 1) of each position in `vertices`. Exposed for testing.
+std::vector<uint8_t> Bisect(const Graph& graph,
+                            const std::vector<VertexId>& vertices,
+                            const PartitionOptions& options, uint64_t seed);
+
+}  // namespace internal_partitioner
+
+}  // namespace gknn::roadnet
+
+#endif  // GKNN_ROADNET_PARTITIONER_H_

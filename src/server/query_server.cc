@@ -1,0 +1,68 @@
+#include "server/query_server.h"
+
+#include <algorithm>
+
+namespace gknn::server {
+
+util::Result<std::unique_ptr<QueryServer>> QueryServer::Create(
+    const roadnet::Graph* graph, const core::GGridOptions& options,
+    gpusim::Device* device, util::ThreadPool* pool) {
+  GKNN_ASSIGN_OR_RETURN(std::unique_ptr<core::GGridIndex> index,
+                        core::GGridIndex::Build(graph, options, device, pool));
+  return std::unique_ptr<QueryServer>(new QueryServer(std::move(index)));
+}
+
+void QueryServer::Report(core::ObjectId object, roadnet::EdgePoint position,
+                         double time) {
+  Inbox& inbox = InboxOf(object);
+  std::lock_guard<std::mutex> lock(inbox.mutex);
+  inbox.entries.push_back(Inbox::Entry{object, position, time, false});
+}
+
+void QueryServer::Deregister(core::ObjectId object, double time) {
+  Inbox& inbox = InboxOf(object);
+  std::lock_guard<std::mutex> lock(inbox.mutex);
+  inbox.entries.push_back(Inbox::Entry{object, {}, time, true});
+}
+
+void QueryServer::DrainLocked() {
+  for (Inbox& inbox : inboxes_) {
+    std::vector<Inbox::Entry> batch;
+    {
+      std::lock_guard<std::mutex> lock(inbox.mutex);
+      batch.swap(inbox.entries);
+    }
+    for (const Inbox::Entry& e : batch) {
+      if (e.remove) {
+        index_->Remove(e.object, e.time);
+      } else {
+        index_->Ingest(e.object, e.position, e.time);
+      }
+    }
+  }
+}
+
+util::Result<std::vector<core::KnnResultEntry>> QueryServer::QueryKnn(
+    roadnet::EdgePoint location, uint32_t k, double t_now) {
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  DrainLocked();
+  return index_->QueryKnn(location, k, t_now);
+}
+
+util::Result<std::vector<core::KnnResultEntry>> QueryServer::QueryRange(
+    roadnet::EdgePoint location, roadnet::Distance radius, double t_now) {
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  DrainLocked();
+  return index_->QueryRange(location, radius, t_now);
+}
+
+uint64_t QueryServer::pending_updates() const {
+  uint64_t total = 0;
+  for (const Inbox& inbox : inboxes_) {
+    std::lock_guard<std::mutex> lock(inbox.mutex);
+    total += inbox.entries.size();
+  }
+  return total;
+}
+
+}  // namespace gknn::server

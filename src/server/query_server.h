@@ -1,0 +1,99 @@
+#ifndef GKNN_SERVER_QUERY_SERVER_H_
+#define GKNN_SERVER_QUERY_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/ggrid_index.h"
+#include "gpusim/device.h"
+#include "roadnet/graph.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace gknn::server {
+
+/// Thread-safe front end over a GGridIndex — the paper's "query server"
+/// (§II): data objects report location updates from many connections while
+/// kNN queries arrive concurrently.
+///
+/// Concurrency model: producers call Report/Deregister from any thread;
+/// updates land in a striped in-memory inbox (cheap, lock per stripe —
+/// the message-list append itself is so cheap that G-Grid's laziness makes
+/// a single writer sufficient). Queries drain the inbox up to their
+/// timestamp and then run on the underlying index, serialized by the index
+/// mutex, exactly preserving snapshot semantics: a query at time t sees
+/// every update reported before it.
+class QueryServer {
+ public:
+  /// Builds the server and its index. The graph must outlive the server.
+  static util::Result<std::unique_ptr<QueryServer>> Create(
+      const roadnet::Graph* graph, const core::GGridOptions& options,
+      gpusim::Device* device, util::ThreadPool* pool);
+
+  /// Reports an object location (producer-side, thread-safe, non-blocking
+  /// beyond a stripe lock).
+  void Report(core::ObjectId object, roadnet::EdgePoint position,
+              double time);
+
+  /// Deregisters an object (thread-safe).
+  void Deregister(core::ObjectId object, double time);
+
+  /// Answers a snapshot kNN query at time t_now: drains every buffered
+  /// update, then queries the index. Thread-safe; queries serialize.
+  util::Result<std::vector<core::KnnResultEntry>> QueryKnn(
+      roadnet::EdgePoint location, uint32_t k, double t_now);
+
+  /// Range variant: every object within network distance `radius`.
+  /// Thread-safe like QueryKnn.
+  util::Result<std::vector<core::KnnResultEntry>> QueryRange(
+      roadnet::EdgePoint location, roadnet::Distance radius, double t_now);
+
+  /// Buffered updates not yet applied to the index.
+  uint64_t pending_updates() const;
+
+  /// Updates applied to the index so far.
+  uint64_t applied_updates() const {
+    std::lock_guard<std::mutex> lock(index_mutex_);
+    return index_->counters().updates_ingested;
+  }
+
+  core::GGridIndex& index() { return *index_; }
+
+ private:
+  struct Inbox {
+    struct Entry {
+      core::ObjectId object;
+      roadnet::EdgePoint position;
+      double time;
+      bool remove;
+    };
+    mutable std::mutex mutex;
+    std::vector<Entry> entries;
+  };
+
+  explicit QueryServer(std::unique_ptr<core::GGridIndex> index)
+      : index_(std::move(index)) {}
+
+  /// Moves every buffered update into the index (called under
+  /// index_mutex_).
+  void DrainLocked();
+
+  static constexpr size_t kStripes = 8;
+
+  /// Updates of one object always land in the same stripe and each stripe
+  /// drains in FIFO order, so per-object update order is preserved — the
+  /// property the tombstone protocol of Algorithm 1 depends on.
+  Inbox& InboxOf(core::ObjectId object) {
+    return inboxes_[object % kStripes];
+  }
+
+  std::unique_ptr<core::GGridIndex> index_;
+  mutable std::mutex index_mutex_;
+  Inbox inboxes_[kStripes];
+};
+
+}  // namespace gknn::server
+
+#endif  // GKNN_SERVER_QUERY_SERVER_H_

@@ -1,0 +1,85 @@
+#ifndef GKNN_UTIL_LOGGING_H_
+#define GKNN_UTIL_LOGGING_H_
+
+#include <cassert>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace gknn::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level for log output. Messages below this level are
+/// dropped. Defaults to kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Accumulates one log line and emits it on destruction. `fatal` aborts the
+/// process after emitting (used by GKNN_CHECK).
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when logging is disabled at this level.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace gknn::util
+
+#define GKNN_LOG(level)                                              \
+  ::gknn::util::internal_logging::LogMessage(                        \
+      ::gknn::util::LogLevel::k##level, __FILE__, __LINE__)          \
+      .stream()
+
+/// Fatal assertion: evaluates `cond`; on failure logs the condition plus any
+/// streamed context and aborts. Active in all build modes — invariants in a
+/// database engine must not be compiled out.
+#define GKNN_CHECK(cond)                                                  \
+  (cond) ? static_cast<void>(0)                                           \
+         : GKNN_CHECK_FAIL_("Check failed: " #cond " ")
+
+#define GKNN_CHECK_FAIL_(msg)                                             \
+  ::gknn::util::internal_logging::Voidify() &                             \
+      ::gknn::util::internal_logging::LogMessage(                         \
+          ::gknn::util::LogLevel::kError, __FILE__, __LINE__, /*fatal=*/true) \
+          .stream()                                                       \
+      << msg
+
+#define GKNN_CHECK_OK(expr)                                           \
+  do {                                                                \
+    ::gknn::util::Status _st = (expr);                                \
+    GKNN_CHECK(_st.ok()) << _st.ToString();                           \
+  } while (false)
+
+#define GKNN_DCHECK(cond) assert(cond)
+
+namespace gknn::util::internal_logging {
+/// Helper giving the ternary in GKNN_CHECK a common void type.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+}  // namespace gknn::util::internal_logging
+
+#endif  // GKNN_UTIL_LOGGING_H_

@@ -1,0 +1,171 @@
+#ifndef GKNN_UTIL_MIN_HEAP_H_
+#define GKNN_UTIL_MIN_HEAP_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace gknn::util {
+
+/// Indexed binary min-heap with decrease-key, keyed by dense integer ids in
+/// [0, capacity). This is the priority queue used by the Dijkstra variants
+/// in `roadnet` and by the CPU refinement step of the kNN engine
+/// (paper Alg. 6); decrease-key keeps each vertex in the heap at most once.
+template <typename Priority>
+class IndexedMinHeap {
+ public:
+  static constexpr uint32_t kInvalidPos = std::numeric_limits<uint32_t>::max();
+
+  explicit IndexedMinHeap(uint32_t capacity)
+      : positions_(capacity, kInvalidPos) {}
+
+  bool empty() const { return heap_.empty(); }
+  uint32_t size() const { return static_cast<uint32_t>(heap_.size()); }
+  bool Contains(uint32_t id) const { return positions_[id] != kInvalidPos; }
+
+  /// Priority of an id currently in the heap.
+  Priority PriorityOf(uint32_t id) const {
+    GKNN_DCHECK(Contains(id));
+    return heap_[positions_[id]].priority;
+  }
+
+  /// Inserts id with the given priority, or lowers its priority if already
+  /// present and the new priority is smaller. Returns true if the heap
+  /// changed.
+  bool PushOrDecrease(uint32_t id, Priority priority) {
+    uint32_t pos = positions_[id];
+    if (pos == kInvalidPos) {
+      heap_.push_back(Entry{priority, id});
+      positions_[id] = size() - 1;
+      SiftUp(size() - 1);
+      return true;
+    }
+    if (priority < heap_[pos].priority) {
+      heap_[pos].priority = priority;
+      SiftUp(pos);
+      return true;
+    }
+    return false;
+  }
+
+  /// Minimum element without removing it.
+  std::pair<uint32_t, Priority> Top() const {
+    GKNN_DCHECK(!empty());
+    return {heap_[0].id, heap_[0].priority};
+  }
+
+  /// Removes and returns the minimum (id, priority) pair.
+  std::pair<uint32_t, Priority> Pop() {
+    GKNN_DCHECK(!empty());
+    Entry top = heap_[0];
+    positions_[top.id] = kInvalidPos;
+    Entry last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      heap_[0] = last;
+      positions_[last.id] = 0;
+      SiftDown(0);
+    }
+    return {top.id, top.priority};
+  }
+
+  /// Removes all elements; keeps capacity.
+  void Clear() {
+    for (const Entry& e : heap_) positions_[e.id] = kInvalidPos;
+    heap_.clear();
+  }
+
+ private:
+  struct Entry {
+    Priority priority;
+    uint32_t id;
+  };
+
+  void SiftUp(uint32_t pos) {
+    Entry e = heap_[pos];
+    while (pos > 0) {
+      uint32_t parent = (pos - 1) / 2;
+      if (!(e.priority < heap_[parent].priority)) break;
+      heap_[pos] = heap_[parent];
+      positions_[heap_[pos].id] = pos;
+      pos = parent;
+    }
+    heap_[pos] = e;
+    positions_[e.id] = pos;
+  }
+
+  void SiftDown(uint32_t pos) {
+    Entry e = heap_[pos];
+    const uint32_t n = size();
+    while (true) {
+      uint32_t child = 2 * pos + 1;
+      if (child >= n) break;
+      if (child + 1 < n && heap_[child + 1].priority < heap_[child].priority) {
+        ++child;
+      }
+      if (!(heap_[child].priority < e.priority)) break;
+      heap_[pos] = heap_[child];
+      positions_[heap_[pos].id] = pos;
+      pos = child;
+    }
+    heap_[pos] = e;
+    positions_[e.id] = pos;
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<uint32_t> positions_;  // id -> position in heap_
+};
+
+/// Fixed-size max-heap keeping the k smallest values seen. Used to select
+/// the k nearest candidates (paper's GPU_First_k refinement on the CPU
+/// side) without sorting the full candidate set.
+template <typename Value>
+class BoundedTopK {
+ public:
+  explicit BoundedTopK(uint32_t k) : k_(k) { heap_.reserve(k); }
+
+  uint32_t k() const { return k_; }
+  uint32_t size() const { return static_cast<uint32_t>(heap_.size()); }
+  bool Full() const { return size() == k_; }
+
+  /// Largest of the kept values; only valid when Full().
+  const Value& Worst() const {
+    GKNN_DCHECK(!heap_.empty());
+    return heap_.front();
+  }
+
+  /// Offers a value; keeps it if fewer than k were seen or it beats the
+  /// current worst. Returns true if the value was kept.
+  bool Offer(const Value& v) {
+    if (size() < k_) {
+      heap_.push_back(v);
+      std::push_heap(heap_.begin(), heap_.end());
+      return true;
+    }
+    if (v < heap_.front()) {
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.back() = v;
+      std::push_heap(heap_.begin(), heap_.end());
+      return true;
+    }
+    return false;
+  }
+
+  /// Extracts the kept values in ascending order; the heap is left empty.
+  std::vector<Value> TakeSorted() {
+    std::sort_heap(heap_.begin(), heap_.end());
+    return std::move(heap_);
+  }
+
+ private:
+  uint32_t k_;
+  std::vector<Value> heap_;
+};
+
+}  // namespace gknn::util
+
+#endif  // GKNN_UTIL_MIN_HEAP_H_

@@ -1,0 +1,38 @@
+#ifndef GKNN_UTIL_MORTON_H_
+#define GKNN_UTIL_MORTON_H_
+
+#include <cstdint>
+#include <utility>
+
+namespace gknn::util {
+
+/// Z-order (Morton) curve codec for two-dimensional grid coordinates.
+///
+/// The G-Grid stores its cells in a one-dimensional array ordered by the
+/// Z-value of each cell's (x, y) grid coordinate (paper §III-A): the Z-value
+/// interleaves the bits of y and x so that nearby cells in the grid tend to
+/// be nearby in the array, which preserves memory locality for the GPU.
+///
+/// Bit convention (matches the paper's example): x supplies the even bits
+/// (bit 0, 2, 4, ...) and y supplies the odd bits, so (x=3, y=4) maps to
+/// interleave(y=100, x=011) = 100101b = 37.
+
+/// Spreads the low 32 bits of `v` so that bit i moves to bit 2*i.
+uint64_t SpreadBits2(uint32_t v);
+
+/// Inverse of SpreadBits2: collects every second bit (bit 2*i -> bit i).
+uint32_t CollectBits2(uint64_t v);
+
+/// Encodes grid coordinate (x, y) to its Z-value.
+inline uint64_t MortonEncode(uint32_t x, uint32_t y) {
+  return SpreadBits2(x) | (SpreadBits2(y) << 1);
+}
+
+/// Decodes a Z-value back to its (x, y) grid coordinate.
+inline std::pair<uint32_t, uint32_t> MortonDecode(uint64_t z) {
+  return {CollectBits2(z), CollectBits2(z >> 1)};
+}
+
+}  // namespace gknn::util
+
+#endif  // GKNN_UTIL_MORTON_H_

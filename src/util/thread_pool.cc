@@ -1,0 +1,90 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace gknn::util {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  task_available_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(uint64_t n,
+                             const std::function<void(uint64_t)>& fn) {
+  if (n == 0) return;
+  const unsigned workers = num_threads();
+  if (workers <= 1 || n == 1) {
+    for (uint64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Static chunking: cheap and deterministic; the per-iteration work in our
+  // call sites (bounded Dijkstra searches) is coarse enough that dynamic
+  // stealing would not pay for its overhead.
+  const uint64_t chunks = std::min<uint64_t>(n, workers * 4ull);
+  std::atomic<uint64_t> next{0};
+  for (uint64_t c = 0; c < chunks; ++c) {
+    Submit([&, chunks, n] {
+      for (;;) {
+        const uint64_t chunk = next.fetch_add(1, std::memory_order_relaxed);
+        if (chunk >= chunks) return;
+        const uint64_t begin = chunk * n / chunks;
+        const uint64_t end = (chunk + 1) * n / chunks;
+        for (uint64_t i = begin; i < end; ++i) fn(i);
+      }
+    });
+  }
+  Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_available_.wait(lock,
+                           [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace gknn::util

@@ -1,0 +1,55 @@
+#ifndef GKNN_UTIL_THREAD_POOL_H_
+#define GKNN_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gknn::util {
+
+/// Work-queue thread pool used for the CPU-parallel parts of the system:
+/// the per-unresolved-vertex Dijkstra searches of Refine_kNN (paper Alg. 6,
+/// "we use different threads in the CPU to run the algorithm in parallel")
+/// and the multi-query harness. A pool of size 1 degrades to inline
+/// execution order but keeps the same semantics.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers; 0 means
+  /// hardware_concurrency.
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+  /// Runs fn(i) for i in [0, n), distributing chunks over the workers, and
+  /// blocks until all iterations complete. Safe to call with n == 0.
+  void ParallelFor(uint64_t n, const std::function<void(uint64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  uint64_t in_flight_ = 0;  // queued + running tasks
+  bool shutdown_ = false;
+};
+
+}  // namespace gknn::util
+
+#endif  // GKNN_UTIL_THREAD_POOL_H_

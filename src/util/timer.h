@@ -1,0 +1,35 @@
+#ifndef GKNN_UTIL_TIMER_H_
+#define GKNN_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace gknn::util {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harness.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the epoch to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time since construction/Restart, in microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+  /// Elapsed time since construction/Restart, in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gknn::util
+
+#endif  // GKNN_UTIL_TIMER_H_

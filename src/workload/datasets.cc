@@ -1,0 +1,61 @@
+#include "workload/datasets.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "roadnet/dimacs.h"
+#include "workload/synthetic_network.h"
+
+namespace gknn::workload {
+
+const std::vector<DatasetSpec>& PaperDatasets() {
+  // Table II of the paper. Edge counts are directed arcs.
+  static const std::vector<DatasetSpec>* kDatasets =
+      new std::vector<DatasetSpec>{
+          {"NY", "New York City", 264'346, 733'846, "USA-road-d.NY.gr"},
+          {"COL", "Colorado", 435'666, 1'057'066, "USA-road-d.COL.gr"},
+          {"FLA", "Florida", 1'070'376, 2'712'798, "USA-road-d.FLA.gr"},
+          {"CAL", "California and Nevada", 1'890'815, 4'657'742,
+           "USA-road-d.CAL.gr"},
+          {"LKS", "Great Lakes", 2'758'119, 6'885'658, "USA-road-d.LKS.gr"},
+          {"USA", "Full USA", 23'947'347, 58'333'344, "USA-road-d.USA.gr"},
+      };
+  return *kDatasets;
+}
+
+util::Result<DatasetSpec> FindDataset(const std::string& name) {
+  for (const DatasetSpec& spec : PaperDatasets()) {
+    if (spec.name == name) return spec;
+  }
+  return util::Status::NotFound("unknown dataset: " + name);
+}
+
+util::Result<roadnet::Graph> InstantiateDataset(const DatasetSpec& spec,
+                                                uint32_t scale_divisor,
+                                                uint64_t seed,
+                                                const std::string& dimacs_dir) {
+  if (scale_divisor == 0) {
+    return util::Status::InvalidArgument("scale_divisor must be positive");
+  }
+  if (!dimacs_dir.empty()) {
+    const std::filesystem::path path =
+        std::filesystem::path(dimacs_dir) / spec.dimacs_file;
+    if (std::filesystem::exists(path)) {
+      return roadnet::ReadDimacsGraph(path.string());
+    }
+  }
+  SyntheticNetworkOptions options;
+  options.num_vertices =
+      std::max(16u, spec.full_vertices / scale_divisor);
+  // Thin the lattice toward the dataset's own arcs-per-vertex ratio
+  // (between 2.42 for LKS/COL and 2.78 for NY). A full jittered lattice
+  // has ~4 arcs per vertex at keep=1.0 (two undirected roads per vertex),
+  // so keep ~= ratio / 4.
+  const double ratio = static_cast<double>(spec.full_edges) /
+                       static_cast<double>(spec.full_vertices);
+  options.keep_probability = std::clamp(ratio / 4.0, 0.5, 0.75);
+  options.seed = seed;
+  return GenerateSyntheticRoadNetwork(options);
+}
+
+}  // namespace gknn::workload

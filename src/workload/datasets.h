@@ -1,0 +1,45 @@
+#ifndef GKNN_WORKLOAD_DATASETS_H_
+#define GKNN_WORKLOAD_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "roadnet/graph.h"
+#include "util/result.h"
+
+namespace gknn::workload {
+
+/// One of the paper's six road networks (Table II).
+struct DatasetSpec {
+  std::string name;          // e.g. "NY"
+  std::string region;        // e.g. "New York City"
+  uint32_t full_vertices;    // |V| of the real DIMACS network
+  uint32_t full_edges;       // |E| (directed arcs) of the real network
+  std::string dimacs_file;   // canonical DIMACS file name
+};
+
+/// The six datasets of Table II, ordered smallest to largest
+/// (NY, COL, FLA, CAL, LKS, USA).
+const std::vector<DatasetSpec>& PaperDatasets();
+
+/// Looks up a dataset spec by name ("NY", ..., "USA").
+util::Result<DatasetSpec> FindDataset(const std::string& name);
+
+/// Materializes a dataset as a Graph.
+///
+/// If `dimacs_dir` is non-empty and contains the dataset's DIMACS file, the
+/// real network is loaded. Otherwise a synthetic network with
+/// full_vertices / scale_divisor vertices and the dataset's arc/vertex
+/// ratio is generated (deterministic in `seed`), which keeps the relative
+/// size ordering of the six datasets intact — the property the scalability
+/// experiments (Fig. 5, 6, 10) depend on.
+util::Result<roadnet::Graph> InstantiateDataset(const DatasetSpec& spec,
+                                                uint32_t scale_divisor,
+                                                uint64_t seed,
+                                                const std::string& dimacs_dir =
+                                                    "");
+
+}  // namespace gknn::workload
+
+#endif  // GKNN_WORKLOAD_DATASETS_H_

@@ -1,0 +1,172 @@
+#include "workload/moving_objects.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace gknn::workload {
+
+using roadnet::Edge;
+using roadnet::EdgeId;
+using roadnet::EdgePoint;
+using roadnet::Graph;
+
+MovingObjectSimulator::MovingObjectSimulator(const Graph* graph,
+                                             const Options& options)
+    : graph_(graph), options_(options), rng_(options.seed) {
+  GKNN_CHECK(graph_->num_edges() > 0) << "cannot place objects on empty graph";
+  GKNN_CHECK(options_.update_frequency_hz > 0);
+  const double period = 1.0 / options_.update_frequency_hz;
+  objects_.resize(options_.num_objects);
+  for (uint32_t i = 0; i < options_.num_objects; ++i) {
+    ObjectState& obj = objects_[i];
+    obj.edge = static_cast<EdgeId>(rng_.NextBounded(graph_->num_edges()));
+    const uint32_t weight = graph_->edge(obj.edge).weight;
+    obj.offset = rng_.NextDouble() * weight;
+    obj.speed = options_.min_speed +
+                rng_.NextDouble() * (options_.max_speed - options_.min_speed);
+    // Spread first reports over one period so the update stream is smooth.
+    obj.next_report =
+        period * static_cast<double>(i) / options_.num_objects;
+    obj.last_moved = 0;
+    obj.last_reported = Quantize(obj);
+  }
+}
+
+EdgePoint MovingObjectSimulator::Quantize(const ObjectState& obj) const {
+  const uint32_t weight = graph_->edge(obj.edge).weight;
+  const uint32_t offset = std::min(
+      weight, static_cast<uint32_t>(std::floor(obj.offset)));
+  return EdgePoint{obj.edge, offset};
+}
+
+void MovingObjectSimulator::MoveObject(ObjectState* obj, double time) {
+  double remaining = (time - obj->last_moved) * obj->speed;
+  obj->last_moved = time;
+  while (remaining > 0) {
+    const Edge& e = graph_->edge(obj->edge);
+    const double to_end = static_cast<double>(e.weight) - obj->offset;
+    if (remaining < to_end) {
+      obj->offset += remaining;
+      return;
+    }
+    remaining -= to_end;
+    // Arrived at the edge's target vertex: continue per movement model.
+    const roadnet::EdgeId next = NextEdge(obj, e.target);
+    if (next == roadnet::kInvalidEdge) {
+      // Dead end (cannot happen on bidirectional road networks): park.
+      obj->offset = static_cast<double>(e.weight);
+      return;
+    }
+    obj->edge = next;
+    obj->offset = 0;
+  }
+}
+
+roadnet::EdgeId MovingObjectSimulator::NextEdge(ObjectState* obj,
+                                                roadnet::VertexId at) {
+  if (options_.movement == MovementModel::kTrips) {
+    if (obj->route.empty()) PlanTrip(obj, at);
+    if (!obj->route.empty()) {
+      const roadnet::EdgeId next = obj->route.back();
+      obj->route.pop_back();
+      return next;
+    }
+    // Planning failed (isolated pocket): fall through to a random hop.
+  }
+  const auto out = graph_->OutEdgeIds(at);
+  if (out.empty()) return roadnet::kInvalidEdge;
+  return out[rng_.NextBounded(out.size())];
+}
+
+void MovingObjectSimulator::PlanTrip(ObjectState* obj,
+                                     roadnet::VertexId from) {
+  // Bounded Dijkstra ball around `from` with parent-edge tracking; a
+  // uniformly random settled vertex becomes the destination and the
+  // shortest path to it the route. The ball radius approximates a few
+  // minutes of driving at this object's speed.
+  const double radius = obj->speed * 180.0;
+  struct Label {
+    double dist;
+    roadnet::EdgeId parent;
+  };
+  std::unordered_map<roadnet::VertexId, Label> labels;
+  std::set<std::pair<double, roadnet::VertexId>> queue;
+  labels[from] = {0.0, roadnet::kInvalidEdge};
+  queue.insert({0.0, from});
+  std::vector<roadnet::VertexId> settled;
+  while (!queue.empty() && settled.size() < 400) {
+    auto [d, v] = *queue.begin();
+    queue.erase(queue.begin());
+    if (d > radius) break;
+    settled.push_back(v);
+    for (roadnet::EdgeId id : graph_->OutEdgeIds(v)) {
+      const roadnet::Edge& e = graph_->edge(id);
+      const double nd = d + e.weight;
+      auto it = labels.find(e.target);
+      if (it == labels.end() || nd < it->second.dist) {
+        if (it != labels.end()) queue.erase({it->second.dist, e.target});
+        labels[e.target] = {nd, id};
+        queue.insert({nd, e.target});
+      }
+    }
+  }
+  if (settled.size() <= 1) return;  // nowhere to go
+  // Skip index 0 (the current position).
+  const roadnet::VertexId destination =
+      settled[1 + rng_.NextBounded(settled.size() - 1)];
+  obj->destination = destination;
+  obj->route.clear();
+  for (roadnet::VertexId v = destination; v != from;) {
+    const roadnet::EdgeId parent = labels.at(v).parent;
+    obj->route.push_back(parent);  // back() ends up being the first hop
+    v = graph_->edge(parent).source;
+  }
+}
+
+void MovingObjectSimulator::AdvanceTo(double time,
+                                      std::vector<LocationUpdate>* out) {
+  GKNN_CHECK(time >= now_) << "simulation time cannot go backwards";
+  const double period = 1.0 / options_.update_frequency_hz;
+  const size_t first_new = out->size();
+  for (uint32_t i = 0; i < objects_.size(); ++i) {
+    ObjectState& obj = objects_[i];
+    while (obj.next_report <= time) {
+      MoveObject(&obj, obj.next_report);
+      obj.last_reported = Quantize(obj);
+      out->push_back(LocationUpdate{i, obj.last_reported, obj.next_report});
+      obj.next_report += period;
+    }
+    MoveObject(&obj, time);
+  }
+  now_ = time;
+  std::sort(out->begin() + static_cast<ptrdiff_t>(first_new), out->end(),
+            [](const LocationUpdate& a, const LocationUpdate& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.object_id < b.object_id;
+            });
+}
+
+EdgePoint MovingObjectSimulator::PositionOf(uint32_t object_id) const {
+  return Quantize(objects_[object_id]);
+}
+
+EdgePoint MovingObjectSimulator::LastReportedPositionOf(
+    uint32_t object_id) const {
+  return objects_[object_id].last_reported;
+}
+
+void MovingObjectSimulator::EmitFullSnapshot(
+    std::vector<LocationUpdate>* out) {
+  for (uint32_t i = 0; i < objects_.size(); ++i) {
+    ObjectState& obj = objects_[i];
+    MoveObject(&obj, now_);
+    obj.last_reported = Quantize(obj);
+    out->push_back(LocationUpdate{i, obj.last_reported, now_});
+  }
+}
+
+}  // namespace gknn::workload

@@ -1,0 +1,112 @@
+#ifndef GKNN_WORKLOAD_MOVING_OBJECTS_H_
+#define GKNN_WORKLOAD_MOVING_OBJECTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "roadnet/graph.h"
+#include "util/rng.h"
+
+namespace gknn::workload {
+
+/// A location update reported by one moving object (the paper's message
+/// m = <o, e, d, t> before the index attaches the cell id).
+struct LocationUpdate {
+  uint32_t object_id = 0;
+  roadnet::EdgePoint position;
+  double time = 0;
+};
+
+/// Simulates a fleet of objects (cars) random-walking along the road
+/// network and reporting their position every 1 / update_frequency_hz
+/// seconds. This substitutes for the MOTO trace generator [10] the paper
+/// uses: the index only ever observes the message stream, and this
+/// simulator emits messages with the same statistics (uniform initial
+/// placement, per-object periodic reporting with phase jitter, movement
+/// constrained to the network).
+class MovingObjectSimulator {
+ public:
+  /// How objects pick their next edge at an intersection.
+  enum class MovementModel {
+    /// Uniform random out-edge (drunkard's walk). Cheap, stateless.
+    kRandomWalk,
+    /// Trip-based: each object samples a destination vertex and follows
+    /// the shortest path to it, then samples a new destination — closer
+    /// to how MOTO-style generators and real fleets move (purposeful
+    /// trips produce longer straight runs and fewer immediate
+    /// backtracks, i.e. more cell crossings per reported distance).
+    kTrips,
+  };
+
+  struct Options {
+    uint32_t num_objects = 1000;
+    /// The paper's f: updates per object per second (default 1, §VII-A).
+    double update_frequency_hz = 1.0;
+    /// Travel speed range in weight units per second.
+    double min_speed = 5.0;
+    double max_speed = 25.0;
+    MovementModel movement = MovementModel::kRandomWalk;
+    uint64_t seed = 1;
+  };
+
+  MovingObjectSimulator(const roadnet::Graph* graph, const Options& options);
+
+  uint32_t num_objects() const {
+    return static_cast<uint32_t>(objects_.size());
+  }
+  double now() const { return now_; }
+
+  /// Advances simulated time to `time`, appending every location update
+  /// the fleet emits in (now, time] to `out` in chronological order.
+  void AdvanceTo(double time, std::vector<LocationUpdate>* out);
+
+  /// The exact current position of an object (ground truth for oracles).
+  roadnet::EdgePoint PositionOf(uint32_t object_id) const;
+
+  /// The position an object last *reported* — what a consistent index
+  /// should believe. Before the first report this equals the initial
+  /// position, which is also reported at simulation start.
+  roadnet::EdgePoint LastReportedPositionOf(uint32_t object_id) const;
+
+  /// Emits an immediate update for every object at the current time
+  /// (used to prime an index with the initial fleet positions).
+  void EmitFullSnapshot(std::vector<LocationUpdate>* out);
+
+ private:
+  struct ObjectState {
+    roadnet::EdgeId edge = roadnet::kInvalidEdge;
+    double offset = 0;          // exact position along edge
+    double speed = 0;           // weight units / second
+    double next_report = 0;     // absolute time of next update
+    double last_moved = 0;      // absolute time position was integrated to
+    roadnet::EdgePoint last_reported;
+    /// Trip model: remaining edge ids to traverse, in travel order
+    /// (back() is next). Empty means "sample a new trip".
+    std::vector<roadnet::EdgeId> route;
+    roadnet::VertexId destination = roadnet::kInvalidVertex;
+  };
+
+  /// Integrates an object's motion up to `time`, hopping edges at vertices.
+  void MoveObject(ObjectState* obj, double time);
+
+  /// Picks the edge an object continues on after reaching `at` (model
+  /// dependent).
+  roadnet::EdgeId NextEdge(ObjectState* obj, roadnet::VertexId at);
+
+  /// Trip model: samples a reachable destination for `obj` standing at
+  /// `from` and fills its route (edge ids from `from` to the destination).
+  void PlanTrip(ObjectState* obj, roadnet::VertexId from);
+
+  /// Quantized EdgePoint of an object's exact state.
+  roadnet::EdgePoint Quantize(const ObjectState& obj) const;
+
+  const roadnet::Graph* graph_;
+  Options options_;
+  util::Rng rng_;
+  std::vector<ObjectState> objects_;
+  double now_ = 0;
+};
+
+}  // namespace gknn::workload
+
+#endif  // GKNN_WORKLOAD_MOVING_OBJECTS_H_

@@ -1,0 +1,25 @@
+#include "workload/queries.h"
+
+#include "util/rng.h"
+
+namespace gknn::workload {
+
+std::vector<KnnQuery> GenerateQueries(const roadnet::Graph& graph,
+                                      const QueryWorkloadOptions& options) {
+  util::Rng rng(options.seed);
+  std::vector<KnnQuery> queries;
+  queries.reserve(options.num_queries);
+  for (uint32_t i = 0; i < options.num_queries; ++i) {
+    KnnQuery q;
+    q.location.edge =
+        static_cast<roadnet::EdgeId>(rng.NextBounded(graph.num_edges()));
+    const uint32_t weight = graph.edge(q.location.edge).weight;
+    q.location.offset = static_cast<uint32_t>(rng.NextBounded(weight + 1));
+    q.k = options.k;
+    q.time = options.start_time + i * options.interval_seconds;
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+}  // namespace gknn::workload

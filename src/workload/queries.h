@@ -1,0 +1,36 @@
+#ifndef GKNN_WORKLOAD_QUERIES_H_
+#define GKNN_WORKLOAD_QUERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "roadnet/graph.h"
+
+namespace gknn::workload {
+
+/// One snapshot kNN query (paper Definition 1): find the k objects nearest
+/// to `location` by network distance at time `time`.
+struct KnnQuery {
+  roadnet::EdgePoint location;
+  uint32_t k = 16;
+  double time = 0;
+};
+
+/// Options for the query stream: "we randomly generate the query locations
+/// and assume a fixed time interval between the queries" (paper §VII-A).
+struct QueryWorkloadOptions {
+  uint32_t num_queries = 100;
+  uint32_t k = 16;  // paper default
+  double start_time = 1.0;
+  double interval_seconds = 0.5;
+  uint64_t seed = 1;
+};
+
+/// Generates the query stream: random edge points, fixed inter-arrival
+/// interval, constant k.
+std::vector<KnnQuery> GenerateQueries(const roadnet::Graph& graph,
+                                      const QueryWorkloadOptions& options);
+
+}  // namespace gknn::workload
+
+#endif  // GKNN_WORKLOAD_QUERIES_H_

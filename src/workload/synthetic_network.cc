@@ -1,0 +1,162 @@
+#include "workload/synthetic_network.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace gknn::workload {
+
+namespace {
+
+/// Union-find over vertex ids, used to stitch lattice components together.
+class DisjointSets {
+ public:
+  explicit DisjointSets(uint32_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool Union(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<uint32_t> parent_;
+};
+
+}  // namespace
+
+util::Result<roadnet::Graph> GenerateSyntheticRoadNetwork(
+    const SyntheticNetworkOptions& options) {
+  using roadnet::Edge;
+  using roadnet::VertexId;
+
+  const uint32_t n = options.num_vertices;
+  if (n == 0) {
+    return util::Status::InvalidArgument("num_vertices must be positive");
+  }
+  if (options.min_weight == 0 || options.min_weight > options.max_weight) {
+    return util::Status::InvalidArgument(
+        "require 0 < min_weight <= max_weight");
+  }
+  util::Rng rng(options.seed);
+  const uint32_t side =
+      static_cast<uint32_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+
+  std::vector<Edge> edges;
+  DisjointSets components(n);
+  auto random_weight = [&rng, &options]() {
+    return static_cast<uint32_t>(
+        rng.NextInRange(options.min_weight, options.max_weight));
+  };
+  auto add_road = [&edges, &components](VertexId a, VertexId b, uint32_t w) {
+    edges.push_back(Edge{a, b, w});
+    edges.push_back(Edge{b, a, w});
+    components.Union(a, b);
+  };
+
+  // Thinned lattice: each vertex i sits at (i % side, i / side); candidate
+  // roads go right and down.
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t x = i % side;
+    const uint32_t y = i / side;
+    if (x + 1 < side && i + 1 < n && rng.NextBool(options.keep_probability)) {
+      add_road(i, i + 1, random_weight());
+    }
+    if (i + side < n && rng.NextBool(options.keep_probability)) {
+      add_road(i, i + side, random_weight());
+    }
+    // Occasional diagonal shortcut.
+    if (x + 1 < side && i + side + 1 < n &&
+        rng.NextBool(options.extra_edge_fraction)) {
+      add_road(i, i + side + 1, random_weight());
+    }
+    (void)y;
+  }
+
+  // Stitch disconnected components with bridge roads between lattice
+  // neighbors first (preserves planarity), then arbitrary pairs.
+  for (uint32_t i = 0; i + 1 < n; ++i) {
+    if (components.Find(i) != components.Find(i + 1) && (i % side) + 1 < side) {
+      add_road(i, i + 1, random_weight());
+    }
+  }
+  for (uint32_t i = 0; i + side < n; ++i) {
+    if (components.Find(i) != components.Find(i + side)) {
+      add_road(i, i + side, random_weight());
+    }
+  }
+  // Fallback for any stragglers (can only happen for degenerate shapes).
+  uint32_t anchor = 0;
+  for (uint32_t i = 1; i < n; ++i) {
+    if (components.Find(i) != components.Find(anchor)) {
+      add_road(anchor, i, random_weight());
+    }
+  }
+
+  return roadnet::Graph::FromEdges(n, std::move(edges));
+}
+
+util::Result<roadnet::Graph> GenerateRadialCityNetwork(
+    const RadialCityOptions& options) {
+  using roadnet::Edge;
+  using roadnet::VertexId;
+
+  if (options.num_rings == 0 || options.num_spokes < 3) {
+    return util::Status::InvalidArgument(
+        "need at least 1 ring and 3 spokes");
+  }
+  if (options.min_weight == 0 || options.min_weight > options.max_weight) {
+    return util::Status::InvalidArgument(
+        "require 0 < min_weight <= max_weight");
+  }
+  util::Rng rng(options.seed);
+  auto random_weight = [&]() {
+    return static_cast<uint32_t>(
+        rng.NextInRange(options.min_weight, options.max_weight));
+  };
+  // Vertex 0 is the center; vertex 1 + r*spokes + s sits on ring r,
+  // spoke s.
+  const uint32_t n = 1 + options.num_rings * options.num_spokes;
+  auto at = [&](uint32_t ring, uint32_t spoke) -> VertexId {
+    return 1 + ring * options.num_spokes + (spoke % options.num_spokes);
+  };
+  std::vector<Edge> edges;
+  auto add_road = [&](VertexId a, VertexId b) {
+    const uint32_t w = random_weight();
+    edges.push_back(Edge{a, b, w});
+    edges.push_back(Edge{b, a, w});
+  };
+  // Radial avenues: center -> ring 0 -> ring 1 -> ... (always kept).
+  for (uint32_t s = 0; s < options.num_spokes; ++s) {
+    add_road(0, at(0, s));
+    for (uint32_t r = 0; r + 1 < options.num_rings; ++r) {
+      add_road(at(r, s), at(r + 1, s));
+    }
+  }
+  // Ring segments, probabilistically thinned. Outer rings are longer
+  // roads: scale weights by the ring index.
+  for (uint32_t r = 0; r < options.num_rings; ++r) {
+    for (uint32_t s = 0; s < options.num_spokes; ++s) {
+      if (rng.NextBool(options.ring_keep)) {
+        const uint32_t w = random_weight() * (1 + r / 4);
+        edges.push_back(Edge{at(r, s), at(r, s + 1), w});
+        edges.push_back(Edge{at(r, s + 1), at(r, s), w});
+      }
+    }
+  }
+  return roadnet::Graph::FromEdges(n, std::move(edges));
+}
+
+}  // namespace gknn::workload

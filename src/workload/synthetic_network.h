@@ -1,0 +1,72 @@
+#ifndef GKNN_WORKLOAD_SYNTHETIC_NETWORK_H_
+#define GKNN_WORKLOAD_SYNTHETIC_NETWORK_H_
+
+#include <cstdint>
+
+#include "roadnet/graph.h"
+#include "util/result.h"
+
+namespace gknn::workload {
+
+/// Options for the synthetic road-network generator.
+///
+/// The paper evaluates on six real DIMACS road networks (Table II). Those
+/// files are not bundled here, so the benchmarks default to generated
+/// networks that match the structural statistics the algorithms are
+/// sensitive to: connected, near-planar, arc-to-vertex ratio below 3
+/// (the property the paper uses to pick delta_v = 2), and integral edge
+/// weights with bounded spread. See DESIGN.md §2.
+struct SyntheticNetworkOptions {
+  /// Number of vertices to generate (exact).
+  uint32_t num_vertices = 1000;
+
+  /// Probability of keeping each lattice edge. Road networks average
+  /// ~2.4 arcs per vertex (Table II: all six datasets are between 2.42 and
+  /// 2.52); a jittered lattice thinned to ~62% reproduces that, including
+  /// the mix of degree-2 chain vertices and degree-4 intersections.
+  double keep_probability = 0.62;
+
+  /// Fraction of vertices that get an extra diagonal shortcut edge
+  /// (overpasses / non-grid roads).
+  double extra_edge_fraction = 0.03;
+
+  /// Edge weights are drawn uniformly from [min_weight, max_weight]
+  /// (think meters of road segment).
+  uint32_t min_weight = 50;
+  uint32_t max_weight = 500;
+
+  /// Every road is two-way: each undirected road contributes two directed
+  /// arcs of equal weight, as in the paper's model (§II).
+  uint64_t seed = 1;
+};
+
+/// Generates a connected road-like network. All roads are bidirectional,
+/// so the result is strongly connected; the generator adds bridge edges
+/// between any lattice components the thinning disconnected.
+util::Result<roadnet::Graph> GenerateSyntheticRoadNetwork(
+    const SyntheticNetworkOptions& options);
+
+/// Options for the radial ("ring and spoke") city generator: a center,
+/// concentric ring roads, and radial avenues — the topology of many
+/// European cities, with very different cell-adjacency structure than the
+/// lattice (hub congestion, long rings). Used by robustness tests and as a
+/// workload variation knob.
+struct RadialCityOptions {
+  uint32_t num_rings = 12;
+  uint32_t num_spokes = 16;
+  /// Probability of keeping each ring segment (spokes are always kept, so
+  /// the network stays connected through the center).
+  double ring_keep = 0.85;
+  uint32_t min_weight = 50;
+  uint32_t max_weight = 500;
+  uint64_t seed = 1;
+};
+
+/// Generates the radial city: 1 + num_rings * num_spokes vertices, all
+/// roads bidirectional, strongly connected.
+util::Result<roadnet::Graph> GenerateRadialCityNetwork(
+    const RadialCityOptions& options);
+
+}  // namespace gknn::workload
+
+#endif  // GKNN_WORKLOAD_SYNTHETIC_NETWORK_H_

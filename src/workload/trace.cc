@@ -1,0 +1,130 @@
+#include "workload/trace.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace gknn::workload {
+
+namespace {
+constexpr char kHeader[] = "gknn-trace v1";
+}  // namespace
+
+util::Status WriteTrace(const std::vector<TraceEvent>& events,
+                        const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open " + path + " for writing");
+  }
+  std::fprintf(f, "%s\n", kHeader);
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case TraceEvent::Kind::kUpdate:
+        std::fprintf(f, "u %u %u %u %.6f\n", e.object, e.position.edge,
+                     e.position.offset, e.time);
+        break;
+      case TraceEvent::Kind::kRemove:
+        std::fprintf(f, "r %u %.6f\n", e.object, e.time);
+        break;
+      case TraceEvent::Kind::kQuery:
+        std::fprintf(f, "q %u %u %u %.6f\n", e.position.edge,
+                     e.position.offset, e.k, e.time);
+        break;
+    }
+  }
+  if (std::fclose(f) != 0) {
+    return util::Status::IoError("error closing " + path);
+  }
+  return util::Status::OK();
+}
+
+util::Result<std::vector<TraceEvent>> ReadTrace(const roadnet::Graph& graph,
+                                                const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open " + path);
+  }
+  char line[256];
+  if (std::fgets(line, sizeof(line), f) == nullptr ||
+      std::strncmp(line, kHeader, std::strlen(kHeader)) != 0) {
+    std::fclose(f);
+    return util::Status::IoError(path + ": not a gknn trace (bad header)");
+  }
+  std::vector<TraceEvent> events;
+  int line_no = 1;
+  auto fail = [&](const std::string& what) -> util::Status {
+    std::fclose(f);
+    return util::Status::IoError(path + ":" + std::to_string(line_no) + ": " +
+                                 what);
+  };
+  auto check_position = [&](const roadnet::EdgePoint& p) {
+    return p.edge < graph.num_edges() &&
+           p.offset <= graph.edge(p.edge).weight;
+  };
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++line_no;
+    TraceEvent e;
+    unsigned object = 0, edge = 0, offset = 0, k = 0;
+    double time = 0;
+    if (line[0] == '\n' || line[0] == '#') continue;
+    if (std::sscanf(line, "u %u %u %u %lf", &object, &edge, &offset, &time) ==
+        4) {
+      e.kind = TraceEvent::Kind::kUpdate;
+      e.object = object;
+      e.position = {edge, offset};
+      e.time = time;
+      if (!check_position(e.position)) return fail("update off the network");
+    } else if (std::sscanf(line, "r %u %lf", &object, &time) == 2) {
+      e.kind = TraceEvent::Kind::kRemove;
+      e.object = object;
+      e.time = time;
+    } else if (std::sscanf(line, "q %u %u %u %lf", &edge, &offset, &k,
+                           &time) == 4) {
+      e.kind = TraceEvent::Kind::kQuery;
+      e.position = {edge, offset};
+      e.k = k;
+      e.time = time;
+      if (!check_position(e.position)) return fail("query off the network");
+      if (k == 0) return fail("query with k = 0");
+    } else {
+      return fail("malformed event");
+    }
+    events.push_back(e);
+  }
+  std::fclose(f);
+  return events;
+}
+
+std::vector<TraceEvent> RecordScenario(const roadnet::Graph& graph,
+                                       const RecordOptions& options) {
+  MovingObjectSimulator sim(
+      &graph, {.num_objects = options.num_objects,
+               .update_frequency_hz = options.update_frequency_hz,
+               .seed = options.seed});
+  const auto queries =
+      GenerateQueries(graph, {.num_queries = options.num_queries,
+                              .k = options.k,
+                              .start_time = options.query_start,
+                              .interval_seconds = options.query_interval,
+                              .seed = options.seed + 7});
+  std::vector<TraceEvent> events;
+  std::vector<LocationUpdate> updates;
+  // Initial fleet snapshot, then the interleaved update/query stream.
+  sim.EmitFullSnapshot(&updates);
+  for (const auto& u : updates) {
+    events.push_back(TraceEvent{TraceEvent::Kind::kUpdate, u.object_id,
+                                u.position, 0, u.time});
+  }
+  for (const auto& q : queries) {
+    updates.clear();
+    sim.AdvanceTo(q.time, &updates);
+    for (const auto& u : updates) {
+      events.push_back(TraceEvent{TraceEvent::Kind::kUpdate, u.object_id,
+                                  u.position, 0, u.time});
+    }
+    events.push_back(
+        TraceEvent{TraceEvent::Kind::kQuery, 0, q.location, q.k, q.time});
+  }
+  return events;
+}
+
+}  // namespace gknn::workload

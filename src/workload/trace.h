@@ -1,0 +1,63 @@
+#ifndef GKNN_WORKLOAD_TRACE_H_
+#define GKNN_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "roadnet/graph.h"
+#include "util/result.h"
+#include "workload/moving_objects.h"
+#include "workload/queries.h"
+
+namespace gknn::workload {
+
+/// One event of a recorded workload: an object location update, an object
+/// removal, or a kNN query. Traces make experiments shippable artifacts —
+/// a run can be recorded once and replayed bit-identically against any
+/// algorithm or build.
+struct TraceEvent {
+  enum class Kind : uint8_t { kUpdate, kRemove, kQuery };
+
+  Kind kind = Kind::kUpdate;
+  uint32_t object = 0;             // update/remove
+  roadnet::EdgePoint position;     // update/query location
+  uint32_t k = 0;                  // query
+  double time = 0;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// Writes a trace in the line-oriented text format:
+///   gknn-trace v1
+///   u <object> <edge> <offset> <time>
+///   r <object> <time>
+///   q <edge> <offset> <k> <time>
+util::Status WriteTrace(const std::vector<TraceEvent>& events,
+                        const std::string& path);
+
+/// Reads a trace written by WriteTrace. Fails on unknown headers,
+/// malformed lines, or events that do not fit `graph` (edge out of range,
+/// offset beyond the edge weight).
+util::Result<std::vector<TraceEvent>> ReadTrace(const roadnet::Graph& graph,
+                                                const std::string& path);
+
+/// Records the standard benchmark scenario as a trace: a fleet of
+/// `num_objects` objects moving at `update_frequency_hz`, interleaved with
+/// `num_queries` queries of parameter `k` at fixed intervals. Deterministic
+/// in `seed`.
+struct RecordOptions {
+  uint32_t num_objects = 1000;
+  double update_frequency_hz = 1.0;
+  uint32_t num_queries = 50;
+  uint32_t k = 16;
+  double query_start = 1.0;
+  double query_interval = 0.25;
+  uint64_t seed = 1;
+};
+std::vector<TraceEvent> RecordScenario(const roadnet::Graph& graph,
+                                       const RecordOptions& options);
+
+}  // namespace gknn::workload
+
+#endif  // GKNN_WORKLOAD_TRACE_H_

@@ -1,0 +1,175 @@
+// Targeted unit tests of baseline internals, beyond the black-box
+// agreement suite: V-Tree's eager cache maintenance and batching, ROAD's
+// association directory, V-Tree (G)'s flush boundaries, CPU-INE edge
+// cases.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baselines/brute_force.h"
+#include "baselines/cpu_grid.h"
+#include "baselines/road.h"
+#include "baselines/vtree.h"
+#include "baselines/vtree_gpu.h"
+#include "workload/moving_objects.h"
+#include "workload/queries.h"
+#include "workload/synthetic_network.h"
+
+namespace gknn::baselines {
+namespace {
+
+using core::ObjectId;
+using roadnet::EdgePoint;
+using roadnet::Graph;
+
+Graph TestNetwork(uint32_t n, uint64_t seed) {
+  return std::move(workload::GenerateSyntheticRoadNetwork(
+                       {.num_vertices = n, .seed = seed}))
+      .ValueOrDie();
+}
+
+TEST(VTreeInternalsTest, BatchDeduplicatesLeafRebuilds) {
+  Graph g = TestNetwork(300, 1);
+  auto vtree = VTree::Build(&g, VTree::Options{.leaf_size = 50, .partition = {}});
+  ASSERT_TRUE(vtree.ok());
+  // 20 objects landing on the same edge = same leaf.
+  std::vector<VTree::Update> batch;
+  for (ObjectId o = 0; o < 20; ++o) {
+    batch.push_back(VTree::Update{o, {3, 0}});
+  }
+  (*vtree)->IngestBatch(batch);
+  const uint64_t batched_work = (*vtree)->last_update_work();
+
+  // The same updates applied one by one rebuild the leaf 20 times, with
+  // the object list growing each time: strictly more work.
+  auto vtree2 = VTree::Build(&g, VTree::Options{.leaf_size = 50, .partition = {}});
+  ASSERT_TRUE(vtree2.ok());
+  uint64_t serial_work = 0;
+  for (ObjectId o = 0; o < 20; ++o) {
+    (*vtree2)->Ingest(o, {3, 0}, 0.0);
+    serial_work += (*vtree2)->last_update_work();
+  }
+  EXPECT_LT(batched_work, serial_work);
+}
+
+TEST(VTreeInternalsTest, QueryScanCounterMovesWithK) {
+  Graph g = TestNetwork(400, 2);
+  auto vtree = VTree::Build(&g, VTree::Options{.leaf_size = 40, .partition = {}});
+  ASSERT_TRUE(vtree.ok());
+  workload::MovingObjectSimulator sim(&g, {.num_objects = 80, .seed = 3});
+  std::vector<workload::LocationUpdate> snapshot;
+  sim.EmitFullSnapshot(&snapshot);
+  for (const auto& u : snapshot) {
+    (*vtree)->Ingest(u.object_id, u.position, u.time);
+  }
+  auto small = (*vtree)->QueryKnn({0, 0}, 2, 0.0);
+  ASSERT_TRUE(small.ok());
+  const uint64_t small_scans = (*vtree)->last_query_scan_entries();
+  auto large = (*vtree)->QueryKnn({0, 0}, 60, 0.0);
+  ASSERT_TRUE(large.ok());
+  const uint64_t large_scans = (*vtree)->last_query_scan_entries();
+  EXPECT_GT(large_scans, small_scans);
+}
+
+TEST(VTreeInternalsTest, MemoryIncludesHierarchyMatrices) {
+  Graph g = TestNetwork(400, 4);
+  auto fine = VTree::Build(&g, VTree::Options{.leaf_size = 20, .partition = {}});
+  auto coarse = VTree::Build(&g, VTree::Options{.leaf_size = 200, .partition = {}});
+  ASSERT_TRUE(fine.ok());
+  ASSERT_TRUE(coarse.ok());
+  // A deeper hierarchy stores more matrices.
+  EXPECT_GT((*fine)->MatrixBytes(), 0u);
+  EXPECT_GT((*fine)->num_leaves(), (*coarse)->num_leaves());
+}
+
+TEST(RoadInternalsTest, EmptyRnetSkipMatchesOracleOnClusteredFleet) {
+  // Every object in one corner: a query from the far side must hop most
+  // of the network via shortcuts yet return exact distances.
+  Graph g = TestNetwork(500, 5);
+  auto road = Road::Build(&g, Road::Options{.leaf_size = 40, .partition = {}});
+  ASSERT_TRUE(road.ok());
+  BruteForce oracle(&g);
+  for (ObjectId o = 0; o < 8; ++o) {
+    const EdgePoint pos{static_cast<roadnet::EdgeId>(o % 2), 0};
+    (*road)->Ingest(o, pos, 0.0);
+    oracle.Ingest(o, pos, 0.0);
+  }
+  const roadnet::EdgeId far = g.num_edges() - 1;
+  auto got = (*road)->QueryKnn({far, 0}, 4, 0.0);
+  auto want = oracle.QueryKnn({far, 0}, 4, 0.0);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(want.ok());
+  ASSERT_EQ(got->size(), want->size());
+  for (size_t i = 0; i < want->size(); ++i) {
+    EXPECT_EQ((*got)[i].distance, (*want)[i].distance);
+  }
+}
+
+TEST(RoadInternalsTest, HierarchyExposed) {
+  Graph g = TestNetwork(300, 6);
+  auto road = Road::Build(&g, Road::Options{.leaf_size = 30, .partition = {}});
+  ASSERT_TRUE(road.ok());
+  EXPECT_GT((*road)->num_rnets(), 10u);
+  EXPECT_TRUE((*road)->hierarchy().nodes[0].borders.empty());  // root
+}
+
+TEST(VTreeGInternalsTest, PartialBatchFlushedByQuery) {
+  Graph g = TestNetwork(300, 7);
+  gpusim::Device device;
+  auto vtree_g = VTreeG::Build(&g, VTree::Options{.leaf_size = 50, .partition = {}}, &device);
+  ASSERT_TRUE(vtree_g.ok());
+  (*vtree_g)->Ingest(1, {4, 0}, 0.0);
+  (*vtree_g)->Ingest(2, {4, 1}, 0.0);
+  EXPECT_EQ((*vtree_g)->pending_updates(), 2u);
+  // A query must see the buffered messages (snapshot semantics).
+  auto result = (*vtree_g)->QueryKnn({4, 0}, 2, 0.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+  EXPECT_EQ((*vtree_g)->pending_updates(), 0u);
+}
+
+TEST(VTreeGInternalsTest, CostsSplitCpuAndDevice) {
+  Graph g = TestNetwork(300, 8);
+  gpusim::Device device;
+  auto vtree_g = VTreeG::Build(&g, VTree::Options{.leaf_size = 50, .partition = {}}, &device);
+  ASSERT_TRUE(vtree_g.ok());
+  (void)(*vtree_g)->ConsumeCosts();
+  for (ObjectId o = 0; o < 40; ++o) {
+    (*vtree_g)->Ingest(o, {o % g.num_edges(), 0}, 0.0);
+  }
+  auto r = (*vtree_g)->QueryKnn({1, 0}, 4, 0.0);
+  ASSERT_TRUE(r.ok());
+  const auto costs = (*vtree_g)->ConsumeCosts();
+  EXPECT_GT(costs.gpu_seconds, 0.0);
+  EXPECT_GT(costs.transfer_seconds, 0.0);
+  EXPECT_GT(costs.h2d_bytes, 0u);
+}
+
+TEST(CpuGridTest, EdgeMaintenanceAcrossMoves) {
+  Graph g = TestNetwork(200, 9);
+  CpuGrid ine(&g);
+  ine.Ingest(1, {3, 0}, 0.0);
+  ine.Ingest(1, {7, 0}, 1.0);  // moved edges
+  ine.Ingest(1, {7, 2}, 2.0);  // same edge, new offset
+  auto result = ine.QueryKnn({7, 0}, 1, 2.0);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].distance, 2u);
+  // The old edge no longer reports the object.
+  auto elsewhere = ine.QueryKnn({3, 0}, 1, 2.0);
+  ASSERT_TRUE(elsewhere.ok());
+  ASSERT_EQ(elsewhere->size(), 1u);
+  EXPECT_GT((*elsewhere)[0].distance, 0u);
+}
+
+TEST(CpuGridTest, RejectsBadQueries) {
+  Graph g = TestNetwork(100, 10);
+  CpuGrid ine(&g);
+  EXPECT_TRUE(ine.QueryKnn({0, 0}, 0, 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ine.QueryKnn({g.num_edges(), 0}, 1, 0.0).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace gknn::baselines

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "baselines/brute_force.h"
+#include "baselines/cpu_grid.h"
+#include "baselines/ggrid_adapter.h"
+#include "baselines/road.h"
+#include "baselines/vtree.h"
+#include "baselines/vtree_gpu.h"
+#include "workload/moving_objects.h"
+#include "workload/queries.h"
+#include "workload/synthetic_network.h"
+
+namespace gknn::baselines {
+namespace {
+
+using core::KnnResultEntry;
+using roadnet::EdgePoint;
+using roadnet::Graph;
+
+/// Builds every algorithm over the same network, feeds them the same
+/// update stream, and checks that all answers agree with the brute-force
+/// oracle (by distance multiset: ties may permute objects).
+class BaselineAgreementTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = std::make_unique<Graph>(
+        std::move(workload::GenerateSyntheticRoadNetwork(
+                      {.num_vertices = 350, .seed = 42}))
+            .ValueOrDie());
+    pool_ = std::make_unique<util::ThreadPool>(2);
+
+    algorithms_.push_back(std::make_unique<BruteForce>(graph_.get()));
+    algorithms_.push_back(std::make_unique<CpuGrid>(graph_.get()));
+    auto vtree = VTree::Build(graph_.get(), VTree::Options{.leaf_size = 40, .partition = {}});
+    ASSERT_TRUE(vtree.ok()) << vtree.status().ToString();
+    algorithms_.push_back(std::move(vtree).ValueOrDie());
+    auto road = Road::Build(graph_.get(), Road::Options{.leaf_size = 40, .partition = {}});
+    ASSERT_TRUE(road.ok()) << road.status().ToString();
+    algorithms_.push_back(std::move(road).ValueOrDie());
+    auto vtree_g = VTreeG::Build(
+        graph_.get(), VTree::Options{.leaf_size = 40, .partition = {}}, &device_);
+    ASSERT_TRUE(vtree_g.ok()) << vtree_g.status().ToString();
+    algorithms_.push_back(std::move(vtree_g).ValueOrDie());
+    auto ggrid = GGridAlgorithm::Build(graph_.get(), core::GGridOptions{},
+                                       &device_, pool_.get());
+    ASSERT_TRUE(ggrid.ok()) << ggrid.status().ToString();
+    algorithms_.push_back(std::move(ggrid).ValueOrDie());
+  }
+
+  void IngestEverywhere(const std::vector<workload::LocationUpdate>& updates) {
+    for (const auto& u : updates) {
+      for (auto& algorithm : algorithms_) {
+        algorithm->Ingest(u.object_id, u.position, u.time);
+      }
+    }
+  }
+
+  void CheckAgreement(EdgePoint q, uint32_t k, double t_now) {
+    std::vector<roadnet::Distance> reference;
+    for (size_t i = 0; i < algorithms_.size(); ++i) {
+      auto result = algorithms_[i]->QueryKnn(q, k, t_now);
+      ASSERT_TRUE(result.ok())
+          << algorithms_[i]->name() << ": " << result.status().ToString();
+      std::vector<roadnet::Distance> distances;
+      for (const auto& entry : *result) distances.push_back(entry.distance);
+      if (i == 0) {
+        reference = distances;
+      } else {
+        EXPECT_EQ(distances, reference)
+            << algorithms_[i]->name() << " disagrees with oracle at edge "
+            << q.edge << " offset " << q.offset << " k=" << k;
+      }
+    }
+  }
+
+  std::unique_ptr<Graph> graph_;
+  gpusim::Device device_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::vector<std::unique_ptr<KnnAlgorithm>> algorithms_;
+};
+
+TEST_F(BaselineAgreementTest, AllAlgorithmsAgreeOnStaticFleet) {
+  workload::MovingObjectSimulator sim(graph_.get(),
+                                      {.num_objects = 45, .seed = 7});
+  std::vector<workload::LocationUpdate> snapshot;
+  sim.EmitFullSnapshot(&snapshot);
+  IngestEverywhere(snapshot);
+
+  const auto queries = workload::GenerateQueries(
+      *graph_, {.num_queries = 12, .k = 6, .seed = 8});
+  for (const auto& q : queries) {
+    CheckAgreement(q.location, q.k, 0.0);
+  }
+}
+
+TEST_F(BaselineAgreementTest, AllAlgorithmsAgreeUnderMovement) {
+  workload::MovingObjectSimulator sim(graph_.get(),
+                                      {.num_objects = 30, .seed = 9});
+  std::vector<workload::LocationUpdate> updates;
+  sim.EmitFullSnapshot(&updates);
+  IngestEverywhere(updates);
+  for (int step = 1; step <= 3; ++step) {
+    updates.clear();
+    sim.AdvanceTo(step * 1.0, &updates);
+    IngestEverywhere(updates);
+    const auto queries = workload::GenerateQueries(
+        *graph_, {.num_queries = 5, .k = 4, .seed = 100u + step});
+    for (const auto& q : queries) {
+      CheckAgreement(q.location, q.k, step * 1.0);
+    }
+  }
+}
+
+TEST_F(BaselineAgreementTest, AgreementAcrossKValues) {
+  workload::MovingObjectSimulator sim(graph_.get(),
+                                      {.num_objects = 40, .seed = 11});
+  std::vector<workload::LocationUpdate> snapshot;
+  sim.EmitFullSnapshot(&snapshot);
+  IngestEverywhere(snapshot);
+  const auto queries = workload::GenerateQueries(
+      *graph_, {.num_queries = 3, .k = 1, .seed = 12});
+  for (uint32_t k : {1u, 3u, 10u, 25u, 60u}) {
+    for (const auto& q : queries) {
+      CheckAgreement(q.location, k, 0.0);
+    }
+  }
+}
+
+TEST(VTreeTest, BuildStatistics) {
+  auto graph = workload::GenerateSyntheticRoadNetwork(
+      {.num_vertices = 300, .seed = 13});
+  auto vtree = VTree::Build(&*graph, VTree::Options{.leaf_size = 50, .partition = {}});
+  ASSERT_TRUE(vtree.ok());
+  EXPECT_GE((*vtree)->num_leaves(), 300u / 50);
+  EXPECT_GT((*vtree)->num_borders(), 0u);
+  EXPECT_GT((*vtree)->MatrixBytes(), 0u);
+  EXPECT_GT((*vtree)->MemoryBytes(), (*vtree)->MatrixBytes());
+}
+
+TEST(VTreeTest, EagerUpdatesCostMoreThanQueries) {
+  auto graph = workload::GenerateSyntheticRoadNetwork(
+      {.num_vertices = 300, .seed = 14});
+  auto vtree = VTree::Build(&*graph, VTree::Options{.leaf_size = 50, .partition = {}});
+  ASSERT_TRUE(vtree.ok());
+  workload::MovingObjectSimulator sim(&*graph,
+                                      {.num_objects = 100, .seed = 15});
+  std::vector<workload::LocationUpdate> snapshot;
+  sim.EmitFullSnapshot(&snapshot);
+  for (const auto& u : snapshot) {
+    (*vtree)->Ingest(u.object_id, u.position, u.time);
+  }
+  // Every ingest rebuilt at least one leaf cache.
+  EXPECT_GT((*vtree)->last_update_work(), 0u);
+  const auto costs = (*vtree)->ConsumeCosts();
+  EXPECT_GT(costs.cpu_seconds, 0.0);
+  EXPECT_EQ(costs.gpu_seconds, 0.0);  // CPU-only baseline
+}
+
+TEST(VTreeGTest, DeviceMemoryGateReproducesPaperOmission) {
+  auto graph = workload::GenerateSyntheticRoadNetwork(
+      {.num_vertices = 400, .seed = 16});
+  // A device too small for the matrices: build must fail, like V-Tree (G)
+  // on the USA dataset in Fig. 5.
+  gpusim::DeviceConfig tiny;
+  tiny.memory_bytes = 1024;
+  gpusim::Device device(tiny);
+  auto vtree_g =
+      VTreeG::Build(&*graph, VTree::Options{.leaf_size = 50, .partition = {}}, &device);
+  ASSERT_FALSE(vtree_g.ok());
+  EXPECT_TRUE(vtree_g.status().IsResourceExhausted());
+}
+
+TEST(VTreeGTest, BatchesUpdatesInWarpSizedGroups) {
+  auto graph = workload::GenerateSyntheticRoadNetwork(
+      {.num_vertices = 300, .seed = 17});
+  gpusim::Device device;
+  auto vtree_g =
+      VTreeG::Build(&*graph, VTree::Options{.leaf_size = 50, .partition = {}}, &device);
+  ASSERT_TRUE(vtree_g.ok());
+  workload::MovingObjectSimulator sim(&*graph,
+                                      {.num_objects = 40, .seed = 18});
+  std::vector<workload::LocationUpdate> snapshot;
+  sim.EmitFullSnapshot(&snapshot);
+  const uint64_t launches_before = device.kernel_launches();
+  for (uint32_t i = 0; i < 31 && i < snapshot.size(); ++i) {
+    (*vtree_g)->Ingest(snapshot[i].object_id, snapshot[i].position, 0.0);
+  }
+  EXPECT_EQ((*vtree_g)->pending_updates(), 31u);
+  EXPECT_EQ(device.kernel_launches(), launches_before);  // still buffering
+  (*vtree_g)->Ingest(snapshot[31].object_id, snapshot[31].position, 0.0);
+  EXPECT_EQ((*vtree_g)->pending_updates(), 0u);  // warp flushed
+  EXPECT_GT(device.kernel_launches(), launches_before);
+}
+
+TEST(RoadTest, BuildsHierarchyWithShortcuts) {
+  auto graph = workload::GenerateSyntheticRoadNetwork(
+      {.num_vertices = 300, .seed = 19});
+  auto road = Road::Build(&*graph, Road::Options{.leaf_size = 40, .partition = {}});
+  ASSERT_TRUE(road.ok());
+  EXPECT_GT((*road)->num_rnets(), 1u);
+  EXPECT_GT((*road)->MemoryBytes(), 0u);
+}
+
+TEST(RoadTest, EmptyRegionsAreSkippedWithoutChangingAnswers) {
+  // Cluster all objects on a few edges so most Rnets are empty, then check
+  // against the oracle — exercising the shortcut-skip path.
+  auto graph = workload::GenerateSyntheticRoadNetwork(
+      {.num_vertices = 400, .seed = 20});
+  auto road = Road::Build(&*graph, Road::Options{.leaf_size = 40, .partition = {}});
+  ASSERT_TRUE(road.ok());
+  BruteForce oracle(&*graph);
+  for (core::ObjectId o = 0; o < 10; ++o) {
+    const EdgePoint pos{static_cast<roadnet::EdgeId>(o % 3),
+                        0};  // 3 edges only
+    (*road)->Ingest(o, pos, 0.0);
+    oracle.Ingest(o, pos, 0.0);
+  }
+  const auto queries = workload::GenerateQueries(
+      *graph, {.num_queries = 10, .k = 5, .seed = 21});
+  for (const auto& q : queries) {
+    auto got = (*road)->QueryKnn(q.location, q.k, 0.0);
+    auto want = oracle.QueryKnn(q.location, q.k, 0.0);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(want.ok());
+    ASSERT_EQ(got->size(), want->size());
+    for (size_t i = 0; i < want->size(); ++i) {
+      EXPECT_EQ((*got)[i].distance, (*want)[i].distance);
+    }
+  }
+}
+
+TEST(BruteForceTest, RejectsBadQueries) {
+  auto graph = workload::GenerateSyntheticRoadNetwork(
+      {.num_vertices = 50, .seed = 22});
+  BruteForce oracle(&*graph);
+  EXPECT_TRUE(oracle.QueryKnn(EdgePoint{0, 0}, 0, 0.0)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(oracle.QueryKnn(EdgePoint{graph->num_edges(), 0}, 3, 0.0)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(BruteForceTest, EmptyFleetGivesEmptyAnswer) {
+  auto graph = workload::GenerateSyntheticRoadNetwork(
+      {.num_vertices = 50, .seed = 23});
+  BruteForce oracle(&*graph);
+  auto result = oracle.QueryKnn(EdgePoint{0, 0}, 4, 0.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+}  // namespace
+}  // namespace gknn::baselines

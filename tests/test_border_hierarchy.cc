@@ -1,0 +1,145 @@
+#include "roadnet/border_hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "roadnet/dijkstra.h"
+#include "util/min_heap.h"
+#include "workload/synthetic_network.h"
+
+namespace gknn::roadnet {
+namespace {
+
+Graph TestNetwork(uint32_t n, uint64_t seed) {
+  return std::move(workload::GenerateSyntheticRoadNetwork(
+                       {.num_vertices = n, .seed = seed}))
+      .ValueOrDie();
+}
+
+BorderHierarchy Build(const Graph& g, uint32_t leaf_size) {
+  auto tree = BuildBisectionTree(g, leaf_size, PartitionOptions{});
+  GKNN_CHECK(tree.ok());
+  auto h = BuildBorderHierarchy(g, *tree);
+  GKNN_CHECK(h.ok());
+  return std::move(h).ValueOrDie();
+}
+
+TEST(BorderHierarchyTest, LeafIntervalsAreNestedAndComplete) {
+  Graph g = TestNetwork(300, 1);
+  BorderHierarchy h = Build(g, 40);
+  // The root covers everything.
+  EXPECT_EQ(h.nodes[0].leaf_lo, 0u);
+  EXPECT_EQ(h.nodes[0].leaf_hi, h.num_leaves - 1);
+  for (uint32_t n = 0; n < h.nodes.size(); ++n) {
+    const auto& node = h.nodes[n];
+    if (!node.IsLeaf()) {
+      // Children partition the parent's interval.
+      EXPECT_EQ(h.nodes[node.left].leaf_lo, node.leaf_lo);
+      EXPECT_EQ(h.nodes[node.right].leaf_hi, node.leaf_hi);
+      EXPECT_EQ(h.nodes[node.left].leaf_hi + 1, h.nodes[node.right].leaf_lo);
+    }
+  }
+  // Every vertex is contained in its leaf node and in the root.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_TRUE(h.Contains(h.leaf_node_of_vertex[v], v));
+    EXPECT_TRUE(h.Contains(0u, v));
+  }
+}
+
+TEST(BorderHierarchyTest, BordersAreExactlyBoundaryVertices) {
+  Graph g = TestNetwork(250, 2);
+  BorderHierarchy h = Build(g, 30);
+  for (uint32_t n = 1; n < h.nodes.size(); ++n) {
+    const auto& node = h.nodes[n];
+    std::set<VertexId> border_set(node.borders.begin(), node.borders.end());
+    // Reconstruct the expected border set from the raw edges.
+    std::set<VertexId> expected;
+    for (const Edge& e : g.edges()) {
+      const bool src_in = h.Contains(node, e.source);
+      const bool dst_in = h.Contains(node, e.target);
+      if (src_in && !dst_in) expected.insert(e.source);
+      if (dst_in && !src_in) expected.insert(e.target);
+    }
+    EXPECT_EQ(border_set, expected) << "node " << n;
+  }
+}
+
+TEST(BorderHierarchyTest, RootHasNoBorders) {
+  Graph g = TestNetwork(200, 3);
+  BorderHierarchy h = Build(g, 30);
+  EXPECT_TRUE(h.nodes[0].borders.empty());
+  EXPECT_TRUE(h.nodes[0].shortcuts.empty());
+}
+
+/// Reference: within-node shortest distance by Dijkstra restricted to the
+/// node's membership.
+Distance WithinNodeDistance(const Graph& g, const BorderHierarchy& h,
+                            uint32_t node, VertexId from, VertexId to) {
+  std::map<VertexId, Distance> dist;
+  std::set<std::pair<Distance, VertexId>> queue;
+  dist[from] = 0;
+  queue.insert({0, from});
+  while (!queue.empty()) {
+    auto [d, v] = *queue.begin();
+    queue.erase(queue.begin());
+    if (v == to) return d;
+    for (EdgeId id : g.OutEdgeIds(v)) {
+      const Edge& e = g.edge(id);
+      if (!h.Contains(h.nodes[node], e.target)) continue;
+      auto it = dist.find(e.target);
+      if (it == dist.end() || d + e.weight < it->second) {
+        if (it != dist.end()) queue.erase({it->second, e.target});
+        dist[e.target] = d + e.weight;
+        queue.insert({d + e.weight, e.target});
+      }
+    }
+  }
+  return kInfiniteDistance;
+}
+
+TEST(BorderHierarchyTest, ShortcutsEqualWithinNodeDijkstra) {
+  Graph g = TestNetwork(220, 4);
+  BorderHierarchy h = Build(g, 25);
+  int checked = 0;
+  for (uint32_t n = 1; n < h.nodes.size() && checked < 200; ++n) {
+    const auto& node = h.nodes[n];
+    for (const auto& [from, outs] : node.shortcuts) {
+      for (const auto& [to, d] : outs) {
+        ASSERT_EQ(d, WithinNodeDistance(g, h, n, from, to))
+            << "node " << n << " " << from << "->" << to;
+        if (++checked >= 200) break;
+      }
+      if (checked >= 200) break;
+    }
+  }
+  EXPECT_GT(checked, 50);
+}
+
+TEST(BorderHierarchyTest, ParentShortcutsNeverBeatTrueDistance) {
+  // Sanity: a shortcut is a real path, so it cannot undercut the global
+  // shortest distance.
+  Graph g = TestNetwork(300, 5);
+  BorderHierarchy h = Build(g, 40);
+  for (uint32_t n = 1; n < h.nodes.size(); n += 3) {
+    for (const auto& [from, outs] : h.nodes[n].shortcuts) {
+      const auto global = ShortestPathsFrom(g, from);
+      for (const auto& [to, d] : outs) {
+        EXPECT_GE(d, global[to]) << "node " << n;
+      }
+      break;  // one source per node keeps the test fast
+    }
+  }
+}
+
+TEST(BorderHierarchyTest, MemoryGrowsWithShortcuts) {
+  Graph g = TestNetwork(300, 6);
+  BorderHierarchy coarse = Build(g, 150);  // few nodes
+  BorderHierarchy fine = Build(g, 20);     // many nodes
+  EXPECT_GT(fine.MemoryBytes(), coarse.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace gknn::roadnet

@@ -1,0 +1,89 @@
+#include "core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace gknn::core {
+namespace {
+
+CostModelInputs BaseInputs() {
+  CostModelInputs inputs;
+  inputs.k = 16;
+  inputs.rho = 1.8;
+  inputs.f_delta = 10.0;
+  inputs.num_vertices = 100000;
+  inputs.num_edges = 250000;
+  inputs.num_objects = 10000;
+  return inputs;
+}
+
+TEST(CostModelTest, TransferScalesWithRhoKAndF) {
+  // §VI-B1: messages transferred = O(f_Delta * rho * k).
+  gpusim::DeviceConfig device;
+  auto base = PredictCosts(BaseInputs(), device);
+
+  CostModelInputs doubled_k = BaseInputs();
+  doubled_k.k *= 2;
+  auto with_k = PredictCosts(doubled_k, device);
+  EXPECT_NEAR(static_cast<double>(with_k.messages_transferred),
+              2.0 * base.messages_transferred, 2.0);
+
+  CostModelInputs doubled_f = BaseInputs();
+  doubled_f.f_delta *= 2;
+  auto with_f = PredictCosts(doubled_f, device);
+  EXPECT_NEAR(static_cast<double>(with_f.messages_transferred),
+              2.0 * base.messages_transferred, 2.0);
+}
+
+TEST(CostModelTest, SpaceScalesPerSectionSixA) {
+  gpusim::DeviceConfig device;
+  auto base = PredictCosts(BaseInputs(), device);
+
+  // O(f_Delta * |O|) message lists.
+  CostModelInputs more_objects = BaseInputs();
+  more_objects.num_objects *= 4;
+  auto with_objects = PredictCosts(more_objects, device);
+  EXPECT_EQ(with_objects.message_list_bytes, 4 * base.message_list_bytes);
+  EXPECT_EQ(with_objects.object_table_bytes, 4 * base.object_table_bytes);
+
+  // O(|V| + |E|) grid.
+  CostModelInputs bigger_graph = BaseInputs();
+  bigger_graph.num_vertices *= 3;
+  bigger_graph.num_edges *= 3;
+  auto with_graph = PredictCosts(bigger_graph, device);
+  EXPECT_GT(with_graph.grid_bytes, 2.5 * base.grid_bytes);
+  EXPECT_LT(with_graph.grid_bytes, 3.5 * base.grid_bytes);
+}
+
+TEST(CostModelTest, CandidateCellsTrackObjectDensity) {
+  gpusim::DeviceConfig device;
+  auto base = PredictCosts(BaseInputs(), device);
+  // Sparser fleet -> more cells needed for the same rho*k candidates.
+  CostModelInputs sparse = BaseInputs();
+  sparse.num_objects /= 10;
+  auto with_sparse = PredictCosts(sparse, device);
+  EXPECT_GT(with_sparse.candidate_cells, base.candidate_cells);
+}
+
+TEST(CostModelTest, FasterDeviceShrinksPredictedTime) {
+  auto inputs = BaseInputs();
+  gpusim::DeviceConfig slow, fast;
+  fast.clock_hz = slow.clock_hz * 4;
+  fast.h2d_bytes_per_second = slow.h2d_bytes_per_second * 4;
+  auto on_slow = PredictCosts(inputs, slow);
+  auto on_fast = PredictCosts(inputs, fast);
+  EXPECT_LT(on_fast.total_gpu_seconds, on_slow.total_gpu_seconds);
+}
+
+TEST(CostModelTest, CandidateCellsNeverExceedGrid) {
+  gpusim::DeviceConfig device;
+  CostModelInputs inputs = BaseInputs();
+  inputs.num_objects = 10;  // fewer objects than rho*k
+  inputs.k = 256;
+  auto p = PredictCosts(inputs, device);
+  const uint32_t psi =
+      roadnet::ComputePsi(inputs.num_vertices, inputs.delta_c);
+  EXPECT_LE(p.candidate_cells, 1ull << (2 * psi));
+}
+
+}  // namespace
+}  // namespace gknn::core

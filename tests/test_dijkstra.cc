@@ -1,0 +1,123 @@
+#include "roadnet/dijkstra.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/synthetic_network.h"
+
+namespace gknn::roadnet {
+namespace {
+
+Graph Diamond() {
+  auto g = Graph::FromEdges(4, {{0, 1, 10},
+                                {1, 3, 5},
+                                {0, 2, 3},
+                                {2, 3, 4},
+                                {3, 0, 1}});
+  return std::move(g).ValueOrDie();
+}
+
+TEST(DijkstraTest, DiamondDistances) {
+  Graph g = Diamond();
+  auto dist = ShortestPathsFrom(g, 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 10u);
+  EXPECT_EQ(dist[2], 3u);
+  EXPECT_EQ(dist[3], 7u);  // via 2
+}
+
+TEST(DijkstraTest, RespectsEdgeDirection) {
+  auto g = Graph::FromEdges(3, {{0, 1, 1}, {2, 1, 1}});
+  auto dist = ShortestPathsFrom(*g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kInfiniteDistance);  // 2 only has an outgoing edge
+}
+
+TEST(DijkstraTest, FromPointStartsPartWayAlongEdge) {
+  Graph g = Diamond();
+  // Point 2 units along edge 0->2 (weight 3): 1 unit remains to vertex 2.
+  EdgeId edge02 = kInvalidEdge;
+  for (EdgeId id = 0; id < g.num_edges(); ++id) {
+    if (g.edge(id).source == 0 && g.edge(id).target == 2) edge02 = id;
+  }
+  ASSERT_NE(edge02, kInvalidEdge);
+  auto dist = ShortestPathsFromPoint(g, EdgePoint{edge02, 2});
+  EXPECT_EQ(dist[2], 1u);
+  EXPECT_EQ(dist[3], 5u);
+  EXPECT_EQ(dist[0], 6u);   // 3 -> 0
+  EXPECT_EQ(dist[1], 16u);  // back through 0
+}
+
+TEST(DijkstraTest, PointAtEdgeEndReachesTargetFree) {
+  Graph g = Diamond();
+  auto dist = ShortestPathsFromPoint(g, EdgePoint{0, 10});  // edge 0->1 w=10
+  EXPECT_EQ(dist[1], 0u);
+}
+
+TEST(BoundedDijkstraTest, VisitsExactlyTheBall) {
+  Graph g = Diamond();
+  BoundedDijkstra search(&g);
+  std::map<VertexId, Distance> visited;
+  search.Run(0, 7, [&](VertexId v, Distance d) { visited[v] = d; });
+  // dist(0)=0, dist(2)=3, dist(3)=7 are within radius 7; dist(1)=10 is not.
+  EXPECT_EQ(visited,
+            (std::map<VertexId, Distance>{{0, 0}, {2, 3}, {3, 7}}));
+}
+
+TEST(BoundedDijkstraTest, VisitOrderIsNondecreasing) {
+  auto graph = workload::GenerateSyntheticRoadNetwork(
+      {.num_vertices = 500, .seed = 3});
+  ASSERT_TRUE(graph.ok());
+  BoundedDijkstra search(&*graph);
+  Distance last = 0;
+  search.Run(0, 5000, [&](VertexId, Distance d) {
+    EXPECT_GE(d, last);
+    last = d;
+  });
+}
+
+TEST(BoundedDijkstraTest, ReuseAcrossSearchesIsClean) {
+  Graph g = Diamond();
+  BoundedDijkstra search(&g);
+  std::map<VertexId, Distance> first, second;
+  search.Run(0, 100, [&](VertexId v, Distance d) { first[v] = d; });
+  search.Run(1, 100, [&](VertexId v, Distance d) { second[v] = d; });
+  // From 1: 1 -> 3 (5) -> 0 (6) -> 2 (9).
+  EXPECT_EQ(second,
+            (std::map<VertexId, Distance>{{1, 0}, {3, 5}, {0, 6}, {2, 9}}));
+  // And the full-radius results agree with the reference implementation.
+  auto ref = ShortestPathsFrom(g, 0);
+  for (const auto& [v, d] : first) EXPECT_EQ(d, ref[v]);
+}
+
+TEST(BoundedDijkstraTest, MatchesReferenceOnRandomNetwork) {
+  auto graph = workload::GenerateSyntheticRoadNetwork(
+      {.num_vertices = 300, .seed = 11});
+  ASSERT_TRUE(graph.ok());
+  BoundedDijkstra search(&*graph);
+  for (VertexId src : {0u, 17u, 123u}) {
+    auto ref = ShortestPathsFrom(*graph, src);
+    std::vector<Distance> got(graph->num_vertices(), kInfiniteDistance);
+    search.Run(src, kInfiniteDistance - 1,
+               [&](VertexId v, Distance d) { got[v] = d; });
+    EXPECT_EQ(got, ref) << "source " << src;
+  }
+}
+
+TEST(BoundedDijkstraTest, MultiSourceSeeding) {
+  Graph g = Diamond();
+  BoundedDijkstra search(&g);
+  search.BeginSearch();
+  search.SeedMore(1, 2);
+  search.SeedMore(2, 0);
+  std::map<VertexId, Distance> visited;
+  search.Search(100, [&](VertexId v, Distance d) { visited[v] = d; });
+  // From {1@2, 2@0}: 2->3 costs 4, cheaper than 1->3 at 2+5.
+  EXPECT_EQ(visited[3], 4u);
+  EXPECT_EQ(visited[2], 0u);
+  EXPECT_EQ(visited[1], 2u);
+}
+
+}  // namespace
+}  // namespace gknn::roadnet

@@ -1,0 +1,357 @@
+#include "core/ggrid_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "roadnet/dijkstra.h"
+#include "workload/moving_objects.h"
+#include "workload/queries.h"
+#include "workload/synthetic_network.h"
+
+namespace gknn::core {
+namespace {
+
+using roadnet::Distance;
+using roadnet::EdgePoint;
+using roadnet::Graph;
+using roadnet::kInfiniteDistance;
+
+/// Ground truth: distances from the query point to every object position,
+/// using the same travel semantics as the index (directed edges; an object
+/// ahead on the query's own edge is reached along it).
+std::vector<Distance> OracleDistances(
+    const Graph& graph, EdgePoint query,
+    const std::vector<std::pair<ObjectId, EdgePoint>>& objects, uint32_t k) {
+  const auto dist = roadnet::ShortestPathsFromPoint(graph, query);
+  std::vector<Distance> all;
+  for (const auto& [id, pos] : objects) {
+    (void)id;
+    Distance d = kInfiniteDistance;
+    const auto& e = graph.edge(pos.edge);
+    if (dist[e.source] != kInfiniteDistance) {
+      d = dist[e.source] + pos.offset;
+    }
+    if (pos.edge == query.edge && pos.offset >= query.offset) {
+      d = std::min<Distance>(d, pos.offset - query.offset);
+    }
+    if (d != kInfiniteDistance) all.push_back(d);
+  }
+  std::sort(all.begin(), all.end());
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+struct IndexFixture {
+  explicit IndexFixture(uint32_t vertices, uint32_t objects, uint64_t seed,
+                        GGridOptions options = GGridOptions{})
+      : graph(std::move(workload::GenerateSyntheticRoadNetwork(
+                            {.num_vertices = vertices, .seed = seed}))
+                  .ValueOrDie()),
+        pool(2),
+        sim(&graph, {.num_objects = objects, .seed = seed + 1}) {
+    auto built = GGridIndex::Build(&graph, options, &device, &pool);
+    GKNN_CHECK(built.ok()) << built.status().ToString();
+    index = std::move(built).ValueOrDie();
+    // Prime with the initial positions.
+    std::vector<workload::LocationUpdate> snapshot;
+    sim.EmitFullSnapshot(&snapshot);
+    for (const auto& u : snapshot) {
+      index->Ingest(u.object_id, u.position, u.time);
+    }
+  }
+
+  std::vector<std::pair<ObjectId, EdgePoint>> KnownPositions() const {
+    std::vector<std::pair<ObjectId, EdgePoint>> out;
+    for (uint32_t o = 0; o < sim.num_objects(); ++o) {
+      out.emplace_back(o, sim.LastReportedPositionOf(o));
+    }
+    return out;
+  }
+
+  void CheckQueryAgainstOracle(EdgePoint q, uint32_t k, double t_now) {
+    KnnStats stats;
+    auto result = index->QueryKnn(q, k, t_now, &stats);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const auto oracle = OracleDistances(graph, q, KnownPositions(), k);
+    ASSERT_EQ(result->size(), oracle.size())
+        << "edge=" << q.edge << " offset=" << q.offset << " k=" << k;
+    for (size_t i = 0; i < oracle.size(); ++i) {
+      EXPECT_EQ((*result)[i].distance, oracle[i])
+          << "rank " << i << " edge=" << q.edge << " k=" << k;
+    }
+    // Sorted ascending, no duplicate objects.
+    std::vector<ObjectId> ids;
+    for (size_t i = 0; i < result->size(); ++i) {
+      ids.push_back((*result)[i].object);
+      if (i > 0) {
+        EXPECT_GE((*result)[i].distance, (*result)[i - 1].distance);
+      }
+    }
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+  }
+
+  Graph graph;
+  gpusim::Device device;
+  util::ThreadPool pool;
+  workload::MovingObjectSimulator sim;
+  std::unique_ptr<GGridIndex> index;
+};
+
+TEST(GGridIndexTest, MatchesOracleOnStaticSnapshot) {
+  IndexFixture fx(400, 50, 1);
+  const auto queries = workload::GenerateQueries(
+      fx.graph, {.num_queries = 15, .k = 5, .seed = 2});
+  for (const auto& q : queries) {
+    fx.CheckQueryAgainstOracle(q.location, q.k, 0.0);
+  }
+}
+
+TEST(GGridIndexTest, MatchesOracleAcrossKSweep) {
+  IndexFixture fx(300, 40, 3);
+  const auto queries = workload::GenerateQueries(
+      fx.graph, {.num_queries = 4, .k = 1, .seed = 4});
+  for (uint32_t k : {1u, 2u, 8u, 16u, 39u}) {
+    for (const auto& q : queries) {
+      fx.CheckQueryAgainstOracle(q.location, k, 0.0);
+    }
+  }
+}
+
+TEST(GGridIndexTest, KLargerThanObjectCountReturnsAllReachable) {
+  IndexFixture fx(200, 5, 5);
+  const auto queries = workload::GenerateQueries(
+      fx.graph, {.num_queries = 3, .k = 64, .seed = 6});
+  for (const auto& q : queries) {
+    fx.CheckQueryAgainstOracle(q.location, 64, 0.0);
+  }
+}
+
+TEST(GGridIndexTest, MatchesOracleWhileObjectsMove) {
+  IndexFixture fx(300, 30, 7);
+  std::vector<workload::LocationUpdate> updates;
+  for (int step = 1; step <= 5; ++step) {
+    const double t = step * 0.8;
+    updates.clear();
+    fx.sim.AdvanceTo(t, &updates);
+    for (const auto& u : updates) {
+      fx.index->Ingest(u.object_id, u.position, u.time);
+    }
+    const auto queries = workload::GenerateQueries(
+        fx.graph, {.num_queries = 4, .k = 6, .seed = 100u + static_cast<uint32_t>(step)});
+    for (const auto& q : queries) {
+      fx.CheckQueryAgainstOracle(q.location, q.k, t);
+    }
+  }
+  EXPECT_GT(fx.index->counters().tombstones_written, 0u);
+}
+
+TEST(GGridIndexTest, MatchesOracleUnderTripMovement) {
+  // Trip-based movement produces longer straight runs and different
+  // cell-crossing patterns than the random walk; the index must stay
+  // exact either way.
+  IndexFixture fx(300, 1, 8);  // placeholder ctor values; rebuilt below
+  workload::MovingObjectSimulator trips(
+      &fx.graph,
+      {.num_objects = 30,
+       .movement = workload::MovingObjectSimulator::MovementModel::kTrips,
+       .seed = 55});
+  std::vector<workload::LocationUpdate> updates;
+  trips.EmitFullSnapshot(&updates);
+  for (int step = 1; step <= 4; ++step) {
+    for (const auto& u : updates) {
+      fx.index->Ingest(u.object_id, u.position, u.time);
+    }
+    const double t = step * 1.0;
+    const auto queries = workload::GenerateQueries(
+        fx.graph, {.num_queries = 3, .k = 5, .seed = 400u + step});
+    for (const auto& q : queries) {
+      std::vector<std::pair<ObjectId, EdgePoint>> positions;
+      for (uint32_t o = 0; o < trips.num_objects(); ++o) {
+        positions.emplace_back(o, trips.LastReportedPositionOf(o));
+      }
+      auto result = fx.index->QueryKnn(q.location, q.k, t);
+      ASSERT_TRUE(result.ok());
+      const auto oracle = OracleDistances(fx.graph, q.location, positions,
+                                          q.k);
+      ASSERT_EQ(result->size(), oracle.size());
+      for (size_t i = 0; i < oracle.size(); ++i) {
+        EXPECT_EQ((*result)[i].distance, oracle[i]);
+      }
+    }
+    updates.clear();
+    trips.AdvanceTo(step * 1.0, &updates);
+  }
+}
+
+TEST(GGridIndexTest, RepeatedQueryIsDeterministic) {
+  IndexFixture fx(250, 25, 9);
+  const EdgePoint q{3, 0};
+  auto a = fx.index->QueryKnn(q, 8, 0.0);
+  auto b = fx.index->QueryKnn(q, 8, 0.0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].object, (*b)[i].object);
+    EXPECT_EQ((*a)[i].distance, (*b)[i].distance);
+  }
+}
+
+TEST(GGridIndexTest, UpdatesAreLazyUntilQueried) {
+  IndexFixture fx(250, 25, 11);
+  const uint64_t launches_after_build = fx.device.kernel_launches();
+  std::vector<workload::LocationUpdate> updates;
+  fx.sim.AdvanceTo(3.0, &updates);
+  for (const auto& u : updates) {
+    fx.index->Ingest(u.object_id, u.position, u.time);
+  }
+  // Pure ingestion runs no GPU work: the cached messages pile up instead.
+  EXPECT_EQ(fx.device.kernel_launches(), launches_after_build);
+  EXPECT_GT(fx.index->cached_messages(), 25u);
+
+  auto result = fx.index->QueryKnn(EdgePoint{0, 0}, 4, 3.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(fx.device.kernel_launches(), launches_after_build);
+}
+
+TEST(GGridIndexTest, StatsArePopulated) {
+  IndexFixture fx(300, 60, 13);
+  KnnStats stats;
+  auto result = fx.index->QueryKnn(EdgePoint{1, 0}, 8, 0.0, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(stats.cells_examined, 1u);
+  EXPECT_GE(stats.candidate_objects, result->size());
+  EXPECT_GT(stats.candidate_vertices, 0u);
+  EXPECT_GT(stats.sdist_iterations, 0u);
+  EXPECT_GT(stats.gpu_seconds, 0.0);
+  EXPECT_GT(stats.h2d_bytes, 0u);
+  EXPECT_GT(stats.d2h_bytes, 0u);
+  EXPECT_GT(stats.transfer_seconds, 0.0);
+  EXPECT_GE(stats.cpu_seconds, 0.0);
+}
+
+TEST(GGridIndexTest, CandidateGrowthRespectsRho) {
+  GGridOptions options;
+  options.rho = 3.0;
+  IndexFixture fx(400, 100, 15, options);
+  KnnStats stats;
+  auto result = fx.index->QueryKnn(EdgePoint{2, 0}, 8, 0.0, &stats);
+  ASSERT_TRUE(result.ok());
+  // The engine keeps expanding until it has rho*k = 24 candidates (or the
+  // grid is exhausted; with 100 objects it will not be).
+  EXPECT_GE(stats.candidate_objects, 24u);
+}
+
+TEST(GGridIndexTest, MemoryBreakdownIsConsistent) {
+  IndexFixture fx(300, 50, 17);
+  const auto mem = fx.index->Memory();
+  EXPECT_GT(mem.grid_cpu, 0u);
+  EXPECT_EQ(mem.grid_gpu, mem.grid_cpu);  // identical device copy
+  EXPECT_GT(mem.object_table, 0u);
+  EXPECT_GT(mem.message_lists, 0u);
+  EXPECT_EQ(mem.total(), mem.cpu_total() + mem.grid_gpu);
+  EXPECT_EQ(fx.device.bytes_allocated(), mem.grid_gpu);  // no leaks
+}
+
+TEST(GGridIndexTest, ObjectTableTracksLatestPositions) {
+  IndexFixture fx(250, 20, 19);
+  std::vector<workload::LocationUpdate> updates;
+  fx.sim.AdvanceTo(2.0, &updates);
+  for (const auto& u : updates) {
+    fx.index->Ingest(u.object_id, u.position, u.time);
+  }
+  for (uint32_t o = 0; o < 20; ++o) {
+    const auto* entry = fx.index->object_table().Find(o);
+    ASSERT_NE(entry, nullptr);
+    const EdgePoint expected = fx.sim.LastReportedPositionOf(o);
+    EXPECT_EQ(entry->edge, expected.edge);
+    EXPECT_EQ(entry->offset, expected.offset);
+  }
+}
+
+TEST(GGridIndexTest, RejectsInvalidQueries) {
+  IndexFixture fx(200, 10, 21);
+  EXPECT_TRUE(fx.index->QueryKnn(EdgePoint{0, 0}, 0, 0.0)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(fx.index
+                  ->QueryKnn(EdgePoint{fx.graph.num_edges(), 0}, 4, 0.0)
+                  .status()
+                  .IsInvalidArgument());
+  const uint32_t w = fx.graph.edge(0).weight;
+  EXPECT_TRUE(fx.index->QueryKnn(EdgePoint{0, w + 1}, 4, 0.0)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(GGridIndexTest, RejectsInvalidOptions) {
+  auto graph = workload::GenerateSyntheticRoadNetwork(
+      {.num_vertices = 50, .seed = 23});
+  gpusim::Device device;
+  util::ThreadPool pool(1);
+  GGridOptions bad;
+  bad.rho = 0.5;
+  EXPECT_FALSE(GGridIndex::Build(&*graph, bad, &device, &pool).ok());
+  bad = GGridOptions{};
+  bad.delta_b = 0;
+  EXPECT_FALSE(GGridIndex::Build(&*graph, bad, &device, &pool).ok());
+  bad = GGridOptions{};
+  bad.eta = 30;
+  EXPECT_FALSE(GGridIndex::Build(&*graph, bad, &device, &pool).ok());
+}
+
+TEST(GGridIndexTest, MatchesOracleOnRadialCityTopology) {
+  // A hub-and-ring network stresses the partitioner and cell adjacency
+  // very differently from the lattice; exactness must hold regardless.
+  auto city = workload::GenerateRadialCityNetwork(
+      {.num_rings = 10, .num_spokes = 14, .seed = 61});
+  ASSERT_TRUE(city.ok());
+  gpusim::Device device;
+  util::ThreadPool pool(2);
+  auto index =
+      GGridIndex::Build(&*city, GGridOptions{}, &device, &pool);
+  ASSERT_TRUE(index.ok());
+  workload::MovingObjectSimulator sim(&*city,
+                                      {.num_objects = 35, .seed = 62});
+  std::vector<workload::LocationUpdate> snapshot;
+  sim.EmitFullSnapshot(&snapshot);
+  for (const auto& u : snapshot) {
+    (*index)->Ingest(u.object_id, u.position, u.time);
+  }
+  const auto queries = workload::GenerateQueries(
+      *city, {.num_queries = 8, .k = 6, .seed = 63});
+  for (const auto& q : queries) {
+    std::vector<std::pair<ObjectId, EdgePoint>> positions;
+    for (uint32_t o = 0; o < sim.num_objects(); ++o) {
+      positions.emplace_back(o, sim.LastReportedPositionOf(o));
+    }
+    auto result = (*index)->QueryKnn(q.location, q.k, 0.0);
+    ASSERT_TRUE(result.ok());
+    const auto oracle = OracleDistances(*city, q.location, positions, q.k);
+    ASSERT_EQ(result->size(), oracle.size());
+    for (size_t i = 0; i < oracle.size(); ++i) {
+      EXPECT_EQ((*result)[i].distance, oracle[i]);
+    }
+  }
+}
+
+TEST(GGridIndexTest, WorksWithNonDefaultTuning) {
+  GGridOptions options;
+  options.delta_c = 8;
+  options.delta_v = 4;
+  options.delta_b = 16;
+  options.eta = 4;
+  options.rho = 1.4;
+  IndexFixture fx(300, 40, 25, options);
+  const auto queries = workload::GenerateQueries(
+      fx.graph, {.num_queries = 6, .k = 7, .seed = 26});
+  for (const auto& q : queries) {
+    fx.CheckQueryAgainstOracle(q.location, q.k, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace gknn::core

@@ -1,0 +1,115 @@
+#include "roadnet/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace gknn::roadnet {
+namespace {
+
+// Small diamond: 0 -> 1 -> 3, 0 -> 2 -> 3, plus back edge 3 -> 0.
+Graph Diamond() {
+  auto g = Graph::FromEdges(4, {{0, 1, 10},
+                                {1, 3, 5},
+                                {0, 2, 3},
+                                {2, 3, 4},
+                                {3, 0, 1}});
+  return std::move(g).ValueOrDie();
+}
+
+TEST(GraphTest, BasicCounts) {
+  Graph g = Diamond();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.TotalWeight(), 23u);
+}
+
+TEST(GraphTest, OutEdgesGroupedBySource) {
+  Graph g = Diamond();
+  std::set<VertexId> targets;
+  for (EdgeId id : g.OutEdgeIds(0)) {
+    EXPECT_EQ(g.edge(id).source, 0u);
+    targets.insert(g.edge(id).target);
+  }
+  EXPECT_EQ(targets, (std::set<VertexId>{1, 2}));
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.OutDegree(3), 1u);
+}
+
+TEST(GraphTest, InEdgesGroupedByTarget) {
+  Graph g = Diamond();
+  std::set<VertexId> sources;
+  for (EdgeId id : g.InEdgeIds(3)) {
+    EXPECT_EQ(g.edge(id).target, 3u);
+    sources.insert(g.edge(id).source);
+  }
+  EXPECT_EQ(sources, (std::set<VertexId>{1, 2}));
+  EXPECT_EQ(g.InDegree(3), 2u);
+  EXPECT_EQ(g.InDegree(0), 1u);
+}
+
+TEST(GraphTest, EveryEdgeAppearsOnceInEachDirection) {
+  Graph g = Diamond();
+  std::vector<int> out_seen(g.num_edges(), 0), in_seen(g.num_edges(), 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (EdgeId id : g.OutEdgeIds(v)) ++out_seen[id];
+    for (EdgeId id : g.InEdgeIds(v)) ++in_seen[id];
+  }
+  EXPECT_TRUE(std::all_of(out_seen.begin(), out_seen.end(),
+                          [](int c) { return c == 1; }));
+  EXPECT_TRUE(std::all_of(in_seen.begin(), in_seen.end(),
+                          [](int c) { return c == 1; }));
+}
+
+TEST(GraphTest, RejectsOutOfRangeEndpoint) {
+  auto g = Graph::FromEdges(2, {{0, 2, 1}});
+  EXPECT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsInvalidArgument());
+}
+
+TEST(GraphTest, EmptyGraph) {
+  auto g = Graph::FromEdges(0, {});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 0u);
+  EXPECT_TRUE(g->IsWeaklyConnected());
+}
+
+TEST(GraphTest, IsolatedVertexAllowed) {
+  auto g = Graph::FromEdges(3, {{0, 1, 1}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->OutDegree(2), 0u);
+  EXPECT_EQ(g->InDegree(2), 0u);
+  EXPECT_FALSE(g->IsWeaklyConnected());
+}
+
+TEST(GraphTest, ParallelEdgesPreserved) {
+  auto g = Graph::FromEdges(2, {{0, 1, 1}, {0, 1, 2}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->OutDegree(0), 2u);
+  EXPECT_EQ(g->InDegree(1), 2u);
+}
+
+TEST(GraphTest, ConnectivityDetection) {
+  Graph g = Diamond();
+  EXPECT_TRUE(g.IsWeaklyConnected());
+  // Directed chain is weakly connected even though not strongly.
+  auto chain = Graph::FromEdges(3, {{0, 1, 1}, {2, 1, 1}});
+  EXPECT_TRUE(chain->IsWeaklyConnected());
+}
+
+TEST(GraphTest, MemoryBytesGrowsWithSize) {
+  Graph small = Diamond();
+  auto big = Graph::FromEdges(
+      100, [] {
+        std::vector<Edge> edges;
+        for (uint32_t i = 0; i + 1 < 100; ++i) {
+          edges.push_back({i, i + 1, 1});
+        }
+        return edges;
+      }());
+  EXPECT_GT(big->MemoryBytes(), small.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace gknn::roadnet

@@ -1,0 +1,251 @@
+#include "core/graph_grid.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "workload/synthetic_network.h"
+
+namespace gknn::core {
+namespace {
+
+using roadnet::EdgeId;
+using roadnet::Graph;
+using roadnet::PartitionOptions;
+using roadnet::VertexId;
+
+Graph TestNetwork(uint32_t n, uint64_t seed) {
+  return std::move(workload::GenerateSyntheticRoadNetwork(
+                       {.num_vertices = n, .seed = seed}))
+      .ValueOrDie();
+}
+
+TEST(GraphGridTest, EveryVertexInExactlyOnePrimarySlot) {
+  Graph g = TestNetwork(500, 1);
+  auto grid = GraphGrid::Build(&g, 3, 2, PartitionOptions{});
+  ASSERT_TRUE(grid.ok());
+  std::vector<int> seen(g.num_vertices(), 0);
+  for (CellId c = 0; c < grid->num_cells(); ++c) {
+    for (uint32_t i = 0; i < grid->NumSlots(c); ++i) {
+      const auto& slot = grid->Slot(c, i);
+      ASSERT_FALSE(slot.empty());
+      if (!slot.is_virtual) {
+        ++seen[slot.vertex];
+        EXPECT_EQ(grid->CellOfVertex(slot.vertex), c);
+      }
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                          [](int c) { return c == 1; }));
+}
+
+TEST(GraphGridTest, EveryInEdgeStoredExactlyOnce) {
+  Graph g = TestNetwork(400, 2);
+  auto grid = GraphGrid::Build(&g, 3, 2, PartitionOptions{});
+  ASSERT_TRUE(grid.ok());
+  std::vector<int> seen(g.num_edges(), 0);
+  for (CellId c = 0; c < grid->num_cells(); ++c) {
+    for (uint32_t i = 0; i < grid->NumSlots(c); ++i) {
+      const auto& slot = grid->Slot(c, i);
+      for (const auto& e : grid->SlotEdges(c, i)) {
+        ++seen[e.id];
+        // Entry fields agree with the graph.
+        EXPECT_EQ(g.edge(e.id).source, e.source);
+        EXPECT_EQ(g.edge(e.id).weight, e.weight);
+        EXPECT_EQ(g.edge(e.id).target, slot.vertex);
+      }
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                          [](int c) { return c == 1; }));
+}
+
+TEST(GraphGridTest, VirtualVerticesCreatedForHighInDegree) {
+  // Star: many edges into vertex 0.
+  std::vector<roadnet::Edge> edges;
+  for (VertexId v = 1; v < 8; ++v) {
+    edges.push_back({v, 0, 1});
+    edges.push_back({0, v, 1});
+  }
+  auto g = Graph::FromEdges(8, std::move(edges));
+  ASSERT_TRUE(g.ok());
+  auto grid = GraphGrid::Build(&*g, 8, 2, PartitionOptions{});
+  ASSERT_TRUE(grid.ok());
+  // Vertex 0 has in-degree 7 and delta_v = 2: ceil(7/2) = 4 entries, 3 of
+  // them virtual, all in the same cell.
+  const CellId c0 = grid->CellOfVertex(0);
+  uint32_t entries = 0, virtuals = 0, edges_stored = 0;
+  for (uint32_t i = 0; i < grid->NumSlots(c0); ++i) {
+    const auto& slot = grid->Slot(c0, i);
+    if (slot.vertex == 0) {
+      ++entries;
+      if (slot.is_virtual) ++virtuals;
+      edges_stored += slot.n_edges;
+      EXPECT_LE(slot.n_edges, 2);
+    }
+  }
+  EXPECT_EQ(entries, 4u);
+  EXPECT_EQ(virtuals, 3u);
+  EXPECT_EQ(edges_stored, 7u);
+}
+
+TEST(GraphGridTest, PaperGeometry) {
+  Graph g = TestNetwork(300, 3);
+  auto grid = GraphGrid::Build(&g, 3, 2, PartitionOptions{});
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(grid->num_cells(), grid->grid_dim() * grid->grid_dim());
+  EXPECT_EQ(grid->grid_dim(), 1u << grid->psi());
+  // psi = ceil(0.5*log2(300/3)) = ceil(3.32) = 4.
+  EXPECT_EQ(grid->psi(), 4u);
+}
+
+TEST(GraphGridTest, InvertedIndexMapsEdgeToSourceCell) {
+  Graph g = TestNetwork(200, 4);
+  auto grid = GraphGrid::Build(&g, 3, 2, PartitionOptions{});
+  ASSERT_TRUE(grid.ok());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(grid->CellOfEdge(e), grid->CellOfVertex(g.edge(e).source));
+  }
+}
+
+TEST(GraphGridTest, NeighborsAreSymmetricAndEdgeBacked) {
+  Graph g = TestNetwork(300, 5);
+  auto grid = GraphGrid::Build(&g, 3, 2, PartitionOptions{});
+  ASSERT_TRUE(grid.ok());
+  // Build the expected adjacency from the edges.
+  std::set<std::pair<CellId, CellId>> expected;
+  for (const auto& e : g.edges()) {
+    const CellId a = grid->CellOfVertex(e.source);
+    const CellId b = grid->CellOfVertex(e.target);
+    if (a != b) {
+      expected.insert({a, b});
+      expected.insert({b, a});
+    }
+  }
+  std::set<std::pair<CellId, CellId>> got;
+  for (CellId c = 0; c < grid->num_cells(); ++c) {
+    CellId prev = kInvalidCell;
+    for (CellId nb : grid->NeighborCells(c)) {
+      EXPECT_NE(nb, c);
+      if (prev != kInvalidCell) {
+        EXPECT_GT(nb, prev);  // sorted
+      }
+      prev = nb;
+      got.insert({c, nb});
+    }
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST(GraphGridTest, CellVertexCollection) {
+  Graph g = TestNetwork(150, 6);
+  auto grid = GraphGrid::Build(&g, 3, 2, PartitionOptions{});
+  ASSERT_TRUE(grid.ok());
+  std::vector<VertexId> all;
+  for (CellId c = 0; c < grid->num_cells(); ++c) {
+    std::vector<VertexId> cell_vertices;
+    grid->AppendCellVertices(c, &cell_vertices);
+    // No duplicates (virtual entries are skipped).
+    std::set<VertexId> unique(cell_vertices.begin(), cell_vertices.end());
+    EXPECT_EQ(unique.size(), cell_vertices.size());
+    all.insert(all.end(), cell_vertices.begin(), cell_vertices.end());
+  }
+  EXPECT_EQ(all.size(), g.num_vertices());
+}
+
+TEST(GraphGridTest, EdgeCountsPerCellConsistent) {
+  Graph g = TestNetwork(250, 7);
+  auto grid = GraphGrid::Build(&g, 3, 2, PartitionOptions{});
+  ASSERT_TRUE(grid.ok());
+  uint64_t total = 0;
+  for (CellId c = 0; c < grid->num_cells(); ++c) {
+    uint32_t stored = 0;
+    for (uint32_t i = 0; i < grid->NumSlots(c); ++i) {
+      stored += grid->Slot(c, i).n_edges;
+    }
+    EXPECT_EQ(stored, grid->NumEdges(c));
+    total += stored;
+  }
+  EXPECT_EQ(total, g.num_edges());
+}
+
+TEST(GraphGridTest, SingleCellGraph) {
+  Graph g = TestNetwork(10, 8);
+  auto grid = GraphGrid::Build(&g, 64, 2, PartitionOptions{});
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(grid->num_cells(), 1u);
+  EXPECT_TRUE(grid->NeighborCells(0).empty());
+  std::vector<VertexId> vertices;
+  grid->AppendCellVertices(0, &vertices);
+  EXPECT_EQ(vertices.size(), 10u);
+}
+
+TEST(GraphGridTest, RejectsZeroDeltaV) {
+  Graph g = TestNetwork(10, 9);
+  EXPECT_FALSE(GraphGrid::Build(&g, 3, 0, PartitionOptions{}).ok());
+}
+
+// Parameterized sweep: the structural invariants must hold for every
+// (delta_c, delta_v) configuration the options surface allows.
+struct GridParams {
+  uint32_t delta_c;
+  uint32_t delta_v;
+};
+
+class GraphGridSweepTest : public ::testing::TestWithParam<GridParams> {};
+
+TEST_P(GraphGridSweepTest, InvariantsHoldForAllCapacities) {
+  const auto [delta_c, delta_v] = GetParam();
+  Graph g = TestNetwork(350, delta_c * 100 + delta_v);
+  auto grid = GraphGrid::Build(&g, delta_c, delta_v, PartitionOptions{});
+  ASSERT_TRUE(grid.ok());
+
+  std::vector<int> vertex_seen(g.num_vertices(), 0);
+  std::vector<int> edge_seen(g.num_edges(), 0);
+  std::map<uint32_t, uint32_t> cell_vertex_count;
+  for (CellId c = 0; c < grid->num_cells(); ++c) {
+    for (uint32_t i = 0; i < grid->NumSlots(c); ++i) {
+      const auto& slot = grid->Slot(c, i);
+      ASSERT_FALSE(slot.empty());
+      ASSERT_LE(slot.n_edges, delta_v);
+      if (!slot.is_virtual) {
+        ++vertex_seen[slot.vertex];
+        ++cell_vertex_count[c];
+      }
+      for (const auto& e : grid->SlotEdges(c, i)) ++edge_seen[e.id];
+    }
+  }
+  EXPECT_TRUE(std::all_of(vertex_seen.begin(), vertex_seen.end(),
+                          [](int n) { return n == 1; }));
+  EXPECT_TRUE(std::all_of(edge_seen.begin(), edge_seen.end(),
+                          [](int n) { return n == 1; }));
+  for (const auto& [cell, count] : cell_vertex_count) {
+    EXPECT_LE(count, delta_c) << "cell " << cell;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CapacitySweep, GraphGridSweepTest,
+    ::testing::Values(GridParams{1, 1}, GridParams{3, 2}, GridParams{3, 8},
+                      GridParams{8, 1}, GridParams{16, 4},
+                      GridParams{64, 2}, GridParams{400, 3}),
+    [](const ::testing::TestParamInfo<GridParams>& info) {
+      return "dc" + std::to_string(info.param.delta_c) + "_dv" +
+             std::to_string(info.param.delta_v);
+    });
+
+TEST(GraphGridTest, MemoryAccountsForLayout) {
+  Graph g = TestNetwork(300, 10);
+  auto grid = GraphGrid::Build(&g, 3, 2, PartitionOptions{});
+  ASSERT_TRUE(grid.ok());
+  // At minimum the slot and edge arrays are counted: one slot per vertex.
+  const uint64_t floor_bytes =
+      static_cast<uint64_t>(g.num_vertices()) * sizeof(GraphGrid::VertexSlot);
+  EXPECT_GE(grid->MemoryBytes(), floor_bytes);
+  EXPECT_GE(grid->max_slots_per_cell(), 1u);
+}
+
+}  // namespace
+}  // namespace gknn::core

@@ -1,0 +1,123 @@
+#include "core/grid_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "workload/synthetic_network.h"
+
+namespace gknn::core {
+namespace {
+
+using roadnet::Graph;
+using roadnet::PartitionOptions;
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+Graph TestNetwork(uint32_t n, uint64_t seed) {
+  return std::move(workload::GenerateSyntheticRoadNetwork(
+                       {.num_vertices = n, .seed = seed}))
+      .ValueOrDie();
+}
+
+TEST(GridIoTest, RoundTripPreservesEverything) {
+  Graph g = TestNetwork(400, 1);
+  auto grid = GraphGrid::Build(&g, 3, 2, PartitionOptions{});
+  ASSERT_TRUE(grid.ok());
+  const std::string path = TempPath("gknn_grid_roundtrip.bin");
+  ASSERT_TRUE(WriteGraphGrid(*grid, path).ok());
+
+  auto loaded = ReadGraphGrid(&g, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->psi(), grid->psi());
+  EXPECT_EQ(loaded->num_cells(), grid->num_cells());
+  EXPECT_EQ(loaded->delta_v(), grid->delta_v());
+  EXPECT_EQ(loaded->MemoryBytes(), grid->MemoryBytes());
+  for (roadnet::VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(loaded->CellOfVertex(v), grid->CellOfVertex(v));
+  }
+  for (CellId c = 0; c < grid->num_cells(); ++c) {
+    ASSERT_EQ(loaded->NumSlots(c), grid->NumSlots(c));
+    ASSERT_EQ(loaded->NumEdges(c), grid->NumEdges(c));
+    for (uint32_t i = 0; i < grid->NumSlots(c); ++i) {
+      const auto& a = grid->Slot(c, i);
+      const auto& b = loaded->Slot(c, i);
+      ASSERT_EQ(a.vertex, b.vertex);
+      ASSERT_EQ(a.n_edges, b.n_edges);
+      ASSERT_EQ(a.is_virtual, b.is_virtual);
+      const auto ea = grid->SlotEdges(c, i);
+      const auto eb = loaded->SlotEdges(c, i);
+      for (size_t j = 0; j < ea.size(); ++j) {
+        ASSERT_EQ(ea[j].id, eb[j].id);
+        ASSERT_EQ(ea[j].source, eb[j].source);
+        ASSERT_EQ(ea[j].weight, eb[j].weight);
+      }
+    }
+    const auto na = grid->NeighborCells(c);
+    const auto nb = loaded->NeighborCells(c);
+    ASSERT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end()));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(GridIoTest, RejectsDifferentGraph) {
+  Graph g = TestNetwork(300, 2);
+  auto grid = GraphGrid::Build(&g, 3, 2, PartitionOptions{});
+  ASSERT_TRUE(grid.ok());
+  const std::string path = TempPath("gknn_grid_wronggraph.bin");
+  ASSERT_TRUE(WriteGraphGrid(*grid, path).ok());
+
+  // Same size, different seed: checksum must catch it.
+  Graph other = TestNetwork(300, 3);
+  auto loaded = ReadGraphGrid(&other, path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument());
+  std::filesystem::remove(path);
+}
+
+TEST(GridIoTest, RejectsGarbageAndTruncation) {
+  Graph g = TestNetwork(200, 4);
+  {
+    const std::string path = TempPath("gknn_grid_garbage.bin");
+    FILE* f = fopen(path.c_str(), "wb");
+    fputs("not a grid file at all", f);
+    fclose(f);
+    EXPECT_FALSE(ReadGraphGrid(&g, path).ok());
+    std::filesystem::remove(path);
+  }
+  {
+    auto grid = GraphGrid::Build(&g, 3, 2, PartitionOptions{});
+    ASSERT_TRUE(grid.ok());
+    const std::string path = TempPath("gknn_grid_trunc.bin");
+    ASSERT_TRUE(WriteGraphGrid(*grid, path).ok());
+    // Truncate the file in half.
+    const auto size = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, size / 2);
+    auto loaded = ReadGraphGrid(&g, path);
+    EXPECT_FALSE(loaded.ok());
+    std::filesystem::remove(path);
+  }
+  EXPECT_FALSE(ReadGraphGrid(&g, "/nonexistent/grid.bin").ok());
+}
+
+TEST(GridIoTest, LoadedGridBacksIdenticalQueries) {
+  // A grid loaded from disk produces byte-identical kNN behaviour: compare
+  // cell lookups used by the query path.
+  Graph g = TestNetwork(500, 5);
+  auto built = GraphGrid::Build(&g, 3, 2, PartitionOptions{});
+  ASSERT_TRUE(built.ok());
+  const std::string path = TempPath("gknn_grid_query.bin");
+  ASSERT_TRUE(WriteGraphGrid(*built, path).ok());
+  auto loaded = ReadGraphGrid(&g, path);
+  ASSERT_TRUE(loaded.ok());
+  for (roadnet::EdgeId e = 0; e < g.num_edges(); ++e) {
+    ASSERT_EQ(built->CellOfEdge(e), loaded->CellOfEdge(e));
+  }
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace gknn::core

@@ -1,0 +1,229 @@
+// Tests for the index-maintenance surface: object removal, cache
+// trimming, and batched query processing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <vector>
+
+#include "core/ggrid_index.h"
+#include "gpusim/device.h"
+#include "util/thread_pool.h"
+#include "workload/moving_objects.h"
+#include "workload/queries.h"
+#include "workload/synthetic_network.h"
+
+namespace gknn::core {
+namespace {
+
+using roadnet::EdgePoint;
+using roadnet::Graph;
+
+struct Fixture {
+  explicit Fixture(uint32_t vertices, uint64_t seed,
+                   GGridOptions options = GGridOptions{})
+      : graph(std::move(workload::GenerateSyntheticRoadNetwork(
+                            {.num_vertices = vertices, .seed = seed}))
+                  .ValueOrDie()),
+        pool(2) {
+    index = std::move(GGridIndex::Build(&graph, options, &device, &pool))
+                .ValueOrDie();
+  }
+
+  Graph graph;
+  gpusim::Device device;
+  util::ThreadPool pool;
+  std::unique_ptr<GGridIndex> index;
+};
+
+TEST(RemoveTest, RemovedObjectDisappearsFromResults) {
+  Fixture fx(300, 1);
+  fx.index->Ingest(1, {5, 0}, 0.0);
+  fx.index->Ingest(2, {5, 1}, 0.0);
+  auto before = fx.index->QueryKnn({5, 0}, 2, 0.0);
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ(before->size(), 2u);
+
+  fx.index->Remove(1, 0.5);
+  auto after = fx.index->QueryKnn({5, 0}, 2, 0.5);
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after->size(), 1u);
+  EXPECT_EQ((*after)[0].object, 2u);
+  EXPECT_EQ(fx.index->object_table().Find(1), nullptr);
+}
+
+TEST(RemoveTest, UnknownObjectIsNoop) {
+  Fixture fx(200, 2);
+  fx.index->Remove(99, 0.0);  // must not crash or write tombstones
+  EXPECT_EQ(fx.index->counters().tombstones_written, 0u);
+}
+
+TEST(RemoveTest, ReingestAfterRemoveResurrects) {
+  Fixture fx(300, 3);
+  fx.index->Ingest(1, {4, 0}, 0.0);
+  fx.index->Remove(1, 1.0);
+  fx.index->Ingest(1, {4, 2}, 2.0);
+  auto result = fx.index->QueryKnn({4, 0}, 1, 2.0);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].object, 1u);
+  EXPECT_EQ((*result)[0].distance, 2u);  // same edge, 2 units ahead
+}
+
+TEST(RemoveTest, EagerModeCleansImmediately) {
+  GGridOptions options;
+  options.eager_updates = true;
+  Fixture fx(200, 4, options);
+  fx.index->Ingest(1, {3, 0}, 0.0);
+  fx.index->Remove(1, 0.5);
+  // Tombstone was applied eagerly: nothing cached, object gone.
+  EXPECT_EQ(fx.index->cached_messages(), 0u);
+}
+
+TEST(TrimCachesTest, CompactsEveryOccupiedCell) {
+  Fixture fx(400, 5);
+  workload::MovingObjectSimulator sim(&fx.graph,
+                                      {.num_objects = 50, .seed = 6});
+  std::vector<workload::LocationUpdate> updates;
+  sim.AdvanceTo(5.0, &updates);
+  for (const auto& u : updates) {
+    fx.index->Ingest(u.object_id, u.position, u.time);
+  }
+  const uint64_t before = fx.index->cached_messages();
+  ASSERT_TRUE(fx.index->TrimCaches(5.0).ok());
+  const uint64_t after = fx.index->cached_messages();
+  EXPECT_LE(after, 50u);  // one compacted message per live object
+  EXPECT_LT(after, before);
+  // And queries still answer correctly after the sweep.
+  auto result = fx.index->QueryKnn({0, 0}, 5, 5.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 5u);
+}
+
+TEST(TrimCachesTest, DropsExpiredMessagesOfDeadObjects) {
+  GGridOptions options;
+  options.t_delta = 1.0;
+  Fixture fx(200, 7, options);
+  fx.index->Ingest(1, {2, 0}, 0.0);
+  // Object 1 never updates again; by t=10 its messages are expired.
+  ASSERT_TRUE(fx.index->TrimCaches(10.0).ok());
+  EXPECT_EQ(fx.index->cached_messages(), 0u);
+}
+
+TEST(BatchQueryTest, MatchesSequentialQueries) {
+  Fixture fx(400, 8);
+  workload::MovingObjectSimulator sim(&fx.graph,
+                                      {.num_objects = 60, .seed = 9});
+  std::vector<workload::LocationUpdate> snapshot;
+  sim.EmitFullSnapshot(&snapshot);
+  for (const auto& u : snapshot) {
+    fx.index->Ingest(u.object_id, u.position, u.time);
+  }
+  const auto queries = workload::GenerateQueries(
+      fx.graph, {.num_queries = 8, .k = 6, .seed = 10});
+  std::vector<EdgePoint> locations;
+  for (const auto& q : queries) locations.push_back(q.location);
+
+  // Sequential reference on an identical twin index.
+  Fixture twin(400, 8);
+  for (const auto& u : snapshot) {
+    twin.index->Ingest(u.object_id, u.position, u.time);
+  }
+  auto batch = fx.index->QueryKnnBatch(locations, 6, 0.0);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), locations.size());
+  for (size_t i = 0; i < locations.size(); ++i) {
+    auto sequential = twin.index->QueryKnn(locations[i], 6, 0.0);
+    ASSERT_TRUE(sequential.ok());
+    ASSERT_EQ((*batch)[i].size(), sequential->size()) << "query " << i;
+    for (size_t j = 0; j < sequential->size(); ++j) {
+      EXPECT_EQ((*batch)[i][j].distance, (*sequential)[j].distance)
+          << "query " << i << " rank " << j;
+    }
+  }
+}
+
+TEST(BatchQueryTest, AggregateStatsPopulated) {
+  Fixture fx(300, 11);
+  for (ObjectId o = 0; o < 40; ++o) {
+    fx.index->Ingest(o, {o % fx.graph.num_edges(), 0}, 0.0);
+  }
+  std::vector<EdgePoint> locations = {{1, 0}, {50, 0}, {200, 0}};
+  KnnStats stats;
+  auto batch = fx.index->QueryKnnBatch(locations, 4, 0.0, &stats);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_GT(stats.cells_examined, 0u);
+  EXPECT_GT(stats.gpu_seconds, 0.0);
+  EXPECT_EQ(fx.index->counters().queries_processed, 3u);
+}
+
+TEST(BatchQueryTest, RejectsInvalidLocation) {
+  Fixture fx(200, 12);
+  std::vector<EdgePoint> locations = {{fx.graph.num_edges(), 0}};
+  EXPECT_TRUE(fx.index->QueryKnnBatch(locations, 4, 0.0)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SnapshotTest, SaveAndRestoreRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gknn_snapshot.txt").string();
+  Fixture fx(350, 20);
+  workload::MovingObjectSimulator sim(&fx.graph,
+                                      {.num_objects = 40, .seed = 21});
+  std::vector<workload::LocationUpdate> updates;
+  sim.AdvanceTo(3.0, &updates);
+  for (const auto& u : updates) {
+    fx.index->Ingest(u.object_id, u.position, u.time);
+  }
+  fx.index->Remove(3, 3.0);
+  ASSERT_TRUE(fx.index->SaveSnapshot(path, 3.0).ok());
+
+  // Restore into a fresh index over the same graph.
+  gpusim::Device device2;
+  util::ThreadPool pool2(1);
+  auto restored =
+      GGridIndex::Build(&fx.graph, GGridOptions{}, &device2, &pool2);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_TRUE((*restored)->LoadSnapshot(path).ok());
+  EXPECT_EQ((*restored)->object_table().size(),
+            fx.index->object_table().size());
+
+  // Identical answers from both.
+  for (roadnet::EdgeId e : {0u, 17u, 123u}) {
+    auto a = fx.index->QueryKnn({e, 0}, 6, 3.0);
+    auto b = (*restored)->QueryKnn({e, 0}, 6, 3.0);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->size(), b->size());
+    for (size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ((*a)[i].object, (*b)[i].object);
+      EXPECT_EQ((*a)[i].distance, (*b)[i].distance);
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotTest, RejectsMismatchedGraph) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gknn_snapshot2.txt")
+          .string();
+  Fixture fx(300, 22);
+  fx.index->Ingest(1, {0, 0}, 0.0);
+  ASSERT_TRUE(fx.index->SaveSnapshot(path, 0.0).ok());
+  Fixture other(301, 23);  // different graph
+  EXPECT_FALSE(other.index->LoadSnapshot(path).ok());
+  EXPECT_FALSE(fx.index->LoadSnapshot("/nonexistent/snap.txt").ok());
+  std::filesystem::remove(path);
+}
+
+TEST(BatchQueryTest, EmptyBatchIsOk) {
+  Fixture fx(200, 13);
+  auto batch = fx.index->QueryKnnBatch({}, 4, 0.0);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->empty());
+}
+
+}  // namespace
+}  // namespace gknn::core

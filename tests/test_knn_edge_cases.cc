@@ -1,0 +1,181 @@
+// Targeted edge cases of the kNN engine that the randomized oracle tests
+// may hit rarely: same-edge geometry, query edges crossing cells,
+// unreachable objects, empty fleets, and degenerate k.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/ggrid_index.h"
+#include "gpusim/device.h"
+#include "util/thread_pool.h"
+#include "workload/synthetic_network.h"
+
+namespace gknn::core {
+namespace {
+
+using roadnet::Edge;
+using roadnet::EdgePoint;
+using roadnet::Graph;
+
+struct Fixture {
+  explicit Fixture(Graph g) : graph(std::move(g)), pool(2) {
+    index = std::move(GGridIndex::Build(&graph, GGridOptions{}, &device,
+                                        &pool))
+                .ValueOrDie();
+  }
+  Graph graph;
+  gpusim::Device device;
+  util::ThreadPool pool;
+  std::unique_ptr<GGridIndex> index;
+};
+
+Fixture SyntheticFixture(uint32_t n, uint64_t seed) {
+  return Fixture(std::move(workload::GenerateSyntheticRoadNetwork(
+                               {.num_vertices = n, .seed = seed}))
+                     .ValueOrDie());
+}
+
+TEST(KnnEdgeCaseTest, ObjectAheadOnSameEdgeUsesDirectPath) {
+  auto fx = SyntheticFixture(300, 1);
+  const roadnet::EdgeId e = 5;
+  const uint32_t w = fx.graph.edge(e).weight;
+  ASSERT_GE(w, 4u);
+  fx.index->Ingest(1, {e, w - 1}, 0.0);  // ahead of the query
+  auto result = fx.index->QueryKnn({e, 1}, 1, 0.0);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].distance, w - 2u);  // straight along the edge
+}
+
+TEST(KnnEdgeCaseTest, ObjectBehindOnSameEdgeGoesAround) {
+  auto fx = SyntheticFixture(300, 2);
+  const roadnet::EdgeId e = 5;
+  const uint32_t w = fx.graph.edge(e).weight;
+  ASSERT_GE(w, 4u);
+  fx.index->Ingest(1, {e, 0}, 0.0);  // behind the query on a directed edge
+  auto result = fx.index->QueryKnn({e, w - 1}, 1, 0.0);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  // Must travel to the edge's target and come back around: distance is at
+  // least the remaining edge length plus something.
+  EXPECT_GT((*result)[0].distance, 0u);
+  EXPECT_GE((*result)[0].distance, 1u);
+}
+
+TEST(KnnEdgeCaseTest, ObjectAtQueryPointHasDistanceZero) {
+  auto fx = SyntheticFixture(300, 3);
+  fx.index->Ingest(1, {7, 3}, 0.0);
+  auto result = fx.index->QueryKnn({7, 3}, 1, 0.0);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].distance, 0u);
+}
+
+TEST(KnnEdgeCaseTest, UnreachableObjectsAreOmitted) {
+  // Two directed components: 0->1 and 2->3, with a one-way bridge 1->2:
+  // from a query on edge 2->3 nothing on the first component is reachable.
+  auto g = Graph::FromEdges(4, {{0, 1, 10},
+                                {1, 0, 10},
+                                {1, 2, 5},  // one-way bridge
+                                {2, 3, 10},
+                                {3, 2, 10}});
+  ASSERT_TRUE(g.ok());
+  Fixture fx(std::move(g).ValueOrDie());
+  fx.index->Ingest(1, {0, 5}, 0.0);  // on edge 0->1, unreachable from 2->3
+  fx.index->Ingest(2, {3, 5}, 0.0);  // on edge 2->3
+  auto result = fx.index->QueryKnn({3, 0}, 2, 0.0);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);  // only the reachable object
+  EXPECT_EQ((*result)[0].object, 2u);
+}
+
+TEST(KnnEdgeCaseTest, EmptyFleetReturnsEmpty) {
+  auto fx = SyntheticFixture(200, 4);
+  auto result = fx.index->QueryKnn({0, 0}, 5, 0.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(KnnEdgeCaseTest, KOneOnCrowdedEdge) {
+  auto fx = SyntheticFixture(200, 5);
+  const roadnet::EdgeId e = 2;
+  const uint32_t w = fx.graph.edge(e).weight;
+  for (ObjectId o = 0; o < 5; ++o) {
+    fx.index->Ingest(o, {e, std::min(w, o * (w / 5 + 1))}, 0.0);
+  }
+  auto result = fx.index->QueryKnn({e, 0}, 1, 0.0);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].object, 0u);
+  EXPECT_EQ((*result)[0].distance, 0u);
+}
+
+TEST(KnnEdgeCaseTest, QueryAtEveryOffsetOfOneEdge) {
+  auto fx = SyntheticFixture(250, 6);
+  const roadnet::EdgeId e = 9;
+  const uint32_t w = fx.graph.edge(e).weight;
+  fx.index->Ingest(1, {e, w / 2}, 0.0);
+  roadnet::Distance previous = roadnet::kInfiniteDistance;
+  for (uint32_t offset = 0; offset <= w / 2; offset += std::max(1u, w / 10)) {
+    auto result = fx.index->QueryKnn({e, offset}, 1, 0.0);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->size(), 1u);
+    // Walking toward the object along its edge shortens the distance.
+    EXPECT_LE((*result)[0].distance, previous);
+    previous = (*result)[0].distance;
+  }
+  // And exactly at the object's position the distance is zero.
+  auto at_object = fx.index->QueryKnn({e, w / 2}, 1, 0.0);
+  ASSERT_TRUE(at_object.ok());
+  EXPECT_EQ((*at_object)[0].distance, 0u);
+}
+
+TEST(KnnEdgeCaseTest, AllObjectsInOneCellFarFromQuery) {
+  // The ring expansion must cross the whole grid to find them.
+  auto fx = SyntheticFixture(400, 7);
+  // Cluster: all objects on one edge.
+  for (ObjectId o = 0; o < 10; ++o) {
+    fx.index->Ingest(o, {0, 0}, 0.0);
+  }
+  // Query far away (an edge with a large id tends to be in a distant
+  // lattice corner).
+  const roadnet::EdgeId far_edge = fx.graph.num_edges() - 1;
+  KnnStats stats;
+  auto result = fx.index->QueryKnn({far_edge, 0}, 3, 0.0, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 3u);
+  EXPECT_GT(stats.expansion_rounds, 0u);
+}
+
+TEST(KnnEdgeCaseTest, SingleCellGridStillWorks) {
+  GGridOptions options;
+  options.delta_c = 64;  // everything in one cell
+  auto g = workload::GenerateSyntheticRoadNetwork(
+      {.num_vertices = 40, .seed = 8});
+  gpusim::Device device;
+  util::ThreadPool pool(1);
+  auto index = GGridIndex::Build(&*g, options, &device, &pool);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ((*index)->grid().num_cells(), 1u);
+  (*index)->Ingest(1, {0, 0}, 0.0);
+  (*index)->Ingest(2, {5, 0}, 0.0);
+  auto result = (*index)->QueryKnn({0, 0}, 2, 0.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+}
+
+TEST(KnnEdgeCaseTest, RepeatedIdenticalIngestsStayCompact) {
+  auto fx = SyntheticFixture(200, 9);
+  for (int i = 0; i < 500; ++i) {
+    fx.index->Ingest(1, {3, 2}, i * 0.01);
+  }
+  auto result = fx.index->QueryKnn({3, 0}, 1, 5.0);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  // After the query's cleaning pass, one compacted message remains.
+  EXPECT_EQ(fx.index->cached_messages(), 1u);
+}
+
+}  // namespace
+}  // namespace gknn::core

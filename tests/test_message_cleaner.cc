@@ -1,0 +1,283 @@
+#include "core/message_cleaner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "core/mu.h"
+#include "util/rng.h"
+
+namespace gknn::core {
+namespace {
+
+struct CleanerFixture {
+  explicit CleanerFixture(uint32_t num_cells, MessageCleaner::Options options)
+      : device(),
+        cleaner(&device, options),
+        arena(options.delta_b),
+        lists(num_cells) {
+    for (CellId c = 0; c < num_cells; ++c) cells.push_back(c);
+  }
+
+  Message Ingest(ObjectId o, CellId cell, double time) {
+    Message m;
+    m.object = o;
+    m.edge = 7;  // any valid-looking edge
+    m.offset = static_cast<uint32_t>(seq);
+    m.time = time;
+    m.seq = ++seq;
+    m.cell = cell;
+    lists[cell].Append(&arena, m);
+    return m;
+  }
+
+  void IngestTombstone(ObjectId o, CellId cell, double time) {
+    Message m;
+    m.object = o;
+    m.edge = roadnet::kInvalidEdge;
+    m.time = time;
+    m.seq = ++seq;
+    m.cell = cell;
+    lists[cell].Append(&arena, m);
+  }
+
+  MessageCleaner::Outcome CleanAll(double t_now) {
+    auto outcome = cleaner.Clean(cells, t_now, &arena, &lists);
+    EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+    return std::move(outcome).ValueOrDie();
+  }
+
+  gpusim::Device device;
+  MessageCleaner cleaner;
+  BucketArena arena;
+  std::vector<MessageList> lists;
+  std::vector<CellId> cells;
+  uint64_t seq = 0;
+};
+
+MessageCleaner::Options SmallOptions(uint32_t delta_b = 4, uint32_t eta = 3) {
+  MessageCleaner::Options o;
+  o.delta_b = delta_b;
+  o.eta = eta;
+  o.t_delta = 100.0;
+  o.transfer_chunk_buckets = 8;
+  return o;
+}
+
+TEST(MessageCleanerTest, SingleObjectKeepsNewest) {
+  CleanerFixture fx(1, SmallOptions());
+  fx.Ingest(1, 0, 1.0);
+  fx.Ingest(1, 0, 2.0);
+  const Message last = fx.Ingest(1, 0, 3.0);
+  auto outcome = fx.CleanAll(3.0);
+  ASSERT_EQ(outcome.latest.size(), 1u);
+  EXPECT_EQ(outcome.latest[0].seq, last.seq);
+  EXPECT_EQ(outcome.latest[0].cell, 0u);
+}
+
+TEST(MessageCleanerTest, CompactsListToOneMessagePerObject) {
+  CleanerFixture fx(1, SmallOptions());
+  for (int round = 0; round < 10; ++round) {
+    for (ObjectId o = 0; o < 5; ++o) {
+      fx.Ingest(o, 0, static_cast<double>(round));
+    }
+  }
+  EXPECT_EQ(fx.lists[0].num_messages(), 50u);
+  auto outcome = fx.CleanAll(10.0);
+  EXPECT_EQ(outcome.latest.size(), 5u);
+  EXPECT_EQ(fx.lists[0].num_messages(), 5u);  // compacted
+  EXPECT_FALSE(fx.lists[0].locked());
+}
+
+TEST(MessageCleanerTest, TombstoneSuppressesDepartedObject) {
+  CleanerFixture fx(2, SmallOptions());
+  fx.Ingest(1, 0, 1.0);       // object 1 in cell 0
+  fx.IngestTombstone(1, 0, 2.0);  // ... then leaves cell 0
+  fx.Ingest(1, 1, 2.0);       // and arrives in cell 1 (newer seq)
+  auto outcome = fx.CleanAll(2.0);
+  ASSERT_EQ(outcome.latest.size(), 1u);
+  EXPECT_EQ(outcome.latest[0].cell, 1u);
+  EXPECT_EQ(fx.lists[0].num_messages(), 0u);
+  EXPECT_EQ(fx.lists[1].num_messages(), 1u);
+}
+
+TEST(MessageCleanerTest, TombstoneOnlyWhenNewCellNotCleaned) {
+  // Clean only the departed cell: the object must simply vanish from it.
+  CleanerFixture fx(2, SmallOptions());
+  fx.IngestTombstone(1, 0, 1.0);  // wait: tombstone must be older than move
+  fx.Ingest(1, 1, 1.0);
+  std::vector<CellId> only_cell0 = {0};
+  auto outcome =
+      fx.cleaner.Clean(only_cell0, 1.0, &fx.arena, &fx.lists);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->latest.empty());
+  EXPECT_EQ(fx.lists[0].num_messages(), 0u);
+  EXPECT_EQ(fx.lists[1].num_messages(), 1u);  // untouched
+}
+
+TEST(MessageCleanerTest, ExpiredBucketsAreDropped) {
+  MessageCleaner::Options options = SmallOptions(/*delta_b=*/2);
+  options.t_delta = 5.0;
+  CleanerFixture fx(1, options);
+  // Old bucket (times 0, 1), then fresh messages (times 10, 11).
+  fx.Ingest(1, 0, 0.0);
+  fx.Ingest(2, 0, 1.0);
+  const Message m1 = fx.Ingest(1, 0, 10.0);
+  const Message m2 = fx.Ingest(2, 0, 11.0);
+  auto outcome = fx.CleanAll(11.0);
+  EXPECT_EQ(outcome.buckets_expired, 1u);
+  ASSERT_EQ(outcome.latest.size(), 2u);
+  std::map<ObjectId, uint64_t> seqs;
+  for (const Message& m : outcome.latest) seqs[m.object] = m.seq;
+  EXPECT_EQ(seqs[1], m1.seq);
+  EXPECT_EQ(seqs[2], m2.seq);
+}
+
+TEST(MessageCleanerTest, OutOfOrderAppendsDoNotMisExpireFreshMessages) {
+  // Regression: bucket freshness must be the max message time, not the
+  // last appended. With producers whose global delivery order is not
+  // chronological (only per-object order is guaranteed, e.g. the striped
+  // server inbox), a fresh message followed by an older one must not get
+  // the whole bucket expired.
+  MessageCleaner::Options options = SmallOptions(/*delta_b=*/8);
+  options.t_delta = 5.0;
+  CleanerFixture fx(1, options);
+  fx.Ingest(1, 0, 100.0);  // fresh message of object 1
+  fx.Ingest(2, 0, 1.0);    // stale cross-object append lands after it
+  auto outcome = fx.CleanAll(100.0);
+  // Object 1 must survive; object 2's record rides along in the same
+  // bucket (only whole-stale buckets are dropped).
+  bool found_fresh = false;
+  for (const Message& m : outcome.latest) {
+    if (m.object == 1) found_fresh = true;
+  }
+  EXPECT_TRUE(found_fresh);
+}
+
+TEST(MessageCleanerTest, LockedListIsSkipped) {
+  CleanerFixture fx(1, SmallOptions());
+  fx.Ingest(1, 0, 1.0);
+  fx.lists[0].LockForCleaning(&fx.arena);  // simulate concurrent cleaning
+  auto outcome = fx.CleanAll(1.0);
+  EXPECT_EQ(outcome.cells_cleaned, 0u);
+  EXPECT_TRUE(outcome.latest.empty());
+}
+
+TEST(MessageCleanerTest, EmptyCellsProduceNothing) {
+  CleanerFixture fx(4, SmallOptions());
+  auto outcome = fx.CleanAll(1.0);
+  EXPECT_EQ(outcome.cells_cleaned, 4u);
+  EXPECT_TRUE(outcome.latest.empty());
+  for (const auto& list : fx.lists) EXPECT_FALSE(list.locked());
+}
+
+TEST(MessageCleanerTest, PipelineChargesTransfersAndKernels) {
+  CleanerFixture fx(1, SmallOptions());
+  for (int i = 0; i < 50; ++i) fx.Ingest(i % 7, 0, 1.0);
+  const auto before = fx.device.ledger().totals();
+  auto outcome = fx.CleanAll(1.0);
+  const auto after = fx.device.ledger().totals();
+  EXPECT_GT(outcome.pipeline_seconds, 0.0);
+  EXPECT_GT(after.h2d_bytes, before.h2d_bytes);  // buckets shipped
+  EXPECT_GT(after.d2h_bytes, before.d2h_bytes);  // R brought back
+  EXPECT_GT(fx.device.kernel_launches(), 0u);
+}
+
+TEST(MessageCleanerTest, RepeatedCleaningIsIdempotent) {
+  CleanerFixture fx(2, SmallOptions());
+  for (ObjectId o = 0; o < 10; ++o) {
+    fx.Ingest(o, o % 2, 1.0);
+    fx.Ingest(o, o % 2, 2.0);
+  }
+  auto first = fx.CleanAll(2.0);
+  auto second = fx.CleanAll(2.0);
+  ASSERT_EQ(first.latest.size(), second.latest.size());
+  auto key = [](const Message& m) { return std::pair(m.object, m.seq); };
+  auto sorted = [&](std::vector<Message> v) {
+    std::sort(v.begin(), v.end(), [&](const Message& a, const Message& b) {
+      return key(a) < key(b);
+    });
+    return v;
+  };
+  const auto a = sorted(first.latest);
+  const auto b = sorted(second.latest);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(key(a[i]), key(b[i]));
+  }
+}
+
+// Property: for any random interleaving of updates and cell moves, cleaning
+// must agree with a sequential "latest message per object" fold. Swept over
+// bundle widths (including > warp size) and bucket capacities.
+struct ShuffleParams {
+  uint32_t eta;
+  uint32_t delta_b;
+};
+
+class CleanerPropertyTest : public ::testing::TestWithParam<ShuffleParams> {};
+
+TEST_P(CleanerPropertyTest, MatchesSequentialFold) {
+  const auto [eta, delta_b] = GetParam();
+  MessageCleaner::Options options;
+  options.eta = eta;
+  options.delta_b = delta_b;
+  options.t_delta = 1000.0;
+  options.transfer_chunk_buckets = 3 * (1u << eta);  // force chunking
+
+  util::Rng rng(eta * 1000 + delta_b);
+  for (int trial = 0; trial < 5; ++trial) {
+    const uint32_t num_cells = 4;
+    const uint32_t num_objects = 20;
+    CleanerFixture fx(num_cells, options);
+
+    // Expected state: latest (seq, cell) per object, maintained like
+    // Algorithm 1 (tombstone on cell change).
+    std::map<ObjectId, std::pair<uint64_t, CellId>> expected;
+    for (int step = 0; step < 400; ++step) {
+      const ObjectId o =
+          static_cast<ObjectId>(rng.NextBounded(num_objects));
+      const CellId cell = static_cast<CellId>(rng.NextBounded(num_cells));
+      auto it = expected.find(o);
+      if (it != expected.end() && it->second.second != cell) {
+        fx.IngestTombstone(o, it->second.second, 1.0);
+      }
+      const Message m = fx.Ingest(o, cell, 1.0);
+      expected[o] = {m.seq, cell};
+    }
+
+    auto outcome = fx.CleanAll(1.0);
+    ASSERT_EQ(outcome.latest.size(), expected.size());
+    for (const Message& m : outcome.latest) {
+      auto it = expected.find(m.object);
+      ASSERT_NE(it, expected.end());
+      EXPECT_EQ(m.seq, it->second.first) << "object " << m.object;
+      EXPECT_EQ(m.cell, it->second.second) << "object " << m.object;
+    }
+    // And the rewritten lists hold exactly one message per live object.
+    std::map<CellId, uint32_t> per_cell;
+    for (const auto& [o, state] : expected) {
+      (void)o;
+      ++per_cell[state.second];
+    }
+    for (CellId c = 0; c < num_cells; ++c) {
+      EXPECT_EQ(fx.lists[c].num_messages(),
+                per_cell.count(c) ? per_cell[c] : 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BundleAndBucketSweep, CleanerPropertyTest,
+    ::testing::Values(ShuffleParams{2, 2}, ShuffleParams{2, 8},
+                      ShuffleParams{3, 4}, ShuffleParams{4, 4},
+                      ShuffleParams{5, 8}, ShuffleParams{5, 32},
+                      ShuffleParams{6, 16}, ShuffleParams{7, 8}),
+    [](const ::testing::TestParamInfo<ShuffleParams>& info) {
+      return "eta" + std::to_string(info.param.eta) + "_db" +
+             std::to_string(info.param.delta_b);
+    });
+
+}  // namespace
+}  // namespace gknn::core

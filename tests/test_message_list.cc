@@ -1,0 +1,178 @@
+#include "core/message_list.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gknn::core {
+namespace {
+
+Message MakeMessage(ObjectId o, uint64_t seq, double time) {
+  Message m;
+  m.object = o;
+  m.edge = 1;
+  m.offset = 0;
+  m.time = time;
+  m.seq = seq;
+  return m;
+}
+
+std::vector<Message> AllMessages(const BucketArena& arena,
+                                 const MessageList& list) {
+  std::vector<Message> out;
+  for (uint32_t b = list.head(); b != kInvalidBucket;
+       b = arena.bucket(b).next) {
+    const Bucket& bucket = arena.bucket(b);
+    out.insert(out.end(), bucket.messages.begin(), bucket.messages.end());
+  }
+  return out;
+}
+
+TEST(BucketArenaTest, AllocatesEmptyBuckets) {
+  BucketArena arena(4);
+  const uint32_t a = arena.Alloc();
+  EXPECT_TRUE(arena.bucket(a).messages.empty());
+  EXPECT_EQ(arena.bucket(a).next, kInvalidBucket);
+  EXPECT_EQ(arena.num_buckets(), 1u);
+}
+
+TEST(BucketArenaTest, RecyclesFreedBuckets) {
+  BucketArena arena(4);
+  const uint32_t a = arena.Alloc();
+  arena.bucket(a).messages.push_back(MakeMessage(1, 1, 0));
+  arena.Free(a);
+  const uint32_t b = arena.Alloc();
+  EXPECT_EQ(a, b);  // pooled
+  EXPECT_TRUE(arena.bucket(b).messages.empty());  // and reset
+  EXPECT_EQ(arena.num_buckets(), 1u);
+}
+
+TEST(MessageListTest, AppendFillsBucketsToCapacity) {
+  BucketArena arena(3);
+  MessageList list;
+  for (uint64_t i = 0; i < 7; ++i) {
+    list.Append(&arena, MakeMessage(1, i + 1, static_cast<double>(i)));
+  }
+  EXPECT_EQ(list.num_messages(), 7u);
+  // 7 messages across buckets of 3: 3 + 3 + 1.
+  uint32_t buckets = 0;
+  for (uint32_t b = list.head(); b != kInvalidBucket;
+       b = arena.bucket(b).next) {
+    ++buckets;
+    EXPECT_LE(arena.bucket(b).messages.size(), 3u);
+  }
+  EXPECT_EQ(buckets, 3u);
+  // Chronological order is preserved.
+  const auto all = AllMessages(arena, list);
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GT(all[i].seq, all[i - 1].seq);
+  }
+}
+
+TEST(MessageListTest, LatestTimeTracksNewestMessage) {
+  BucketArena arena(8);
+  MessageList list;
+  list.Append(&arena, MakeMessage(1, 1, 5.0));
+  list.Append(&arena, MakeMessage(2, 2, 9.0));
+  EXPECT_DOUBLE_EQ(arena.bucket(list.tail()).latest_time, 9.0);
+}
+
+TEST(MessageListTest, LockReturnsPrefixAndKeepsAppendsSeparate) {
+  BucketArena arena(2);
+  MessageList list;
+  for (uint64_t i = 0; i < 5; ++i) {
+    list.Append(&arena, MakeMessage(1, i + 1, 0));
+  }
+  EXPECT_FALSE(list.locked());
+  const std::vector<uint32_t> locked = list.LockForCleaning(&arena);
+  EXPECT_TRUE(list.locked());
+  EXPECT_EQ(locked.size(), 3u);  // ceil(5/2) buckets held the 5 messages
+
+  // Appends during cleaning land after the lock boundary.
+  list.Append(&arena, MakeMessage(2, 100, 1.0));
+  bool found_in_locked = false;
+  for (uint32_t b : locked) {
+    for (const Message& m : arena.bucket(b).messages) {
+      if (m.seq == 100) found_in_locked = true;
+    }
+  }
+  EXPECT_FALSE(found_in_locked);
+}
+
+TEST(MessageListTest, ReplaceLockedPrefixCompactsAndPreservesSuffix) {
+  BucketArena arena(2);
+  MessageList list;
+  for (uint64_t i = 0; i < 6; ++i) {
+    list.Append(&arena, MakeMessage(static_cast<ObjectId>(i % 2), i + 1,
+                                    static_cast<double>(i)));
+  }
+  const std::vector<uint32_t> locked = list.LockForCleaning(&arena);
+  list.Append(&arena, MakeMessage(7, 100, 10.0));  // arrives mid-clean
+
+  // Cleaning determined the latest message per object.
+  std::vector<Message> compacted = {MakeMessage(0, 5, 4.0),
+                                    MakeMessage(1, 6, 5.0)};
+  list.ReplaceLockedPrefix(&arena, compacted);
+  for (uint32_t b : locked) arena.Free(b);
+
+  EXPECT_FALSE(list.locked());
+  const auto all = AllMessages(arena, list);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].seq, 5u);
+  EXPECT_EQ(all[1].seq, 6u);
+  EXPECT_EQ(all[2].seq, 100u);  // the mid-clean append survived
+  EXPECT_EQ(list.num_messages(), 3u);
+}
+
+TEST(MessageListTest, ReplaceWithEmptyCompaction) {
+  BucketArena arena(4);
+  MessageList list;
+  list.Append(&arena, MakeMessage(1, 1, 0));
+  const auto locked = list.LockForCleaning(&arena);
+  list.ReplaceLockedPrefix(&arena, {});
+  for (uint32_t b : locked) arena.Free(b);
+  EXPECT_EQ(list.num_messages(), 0u);
+  EXPECT_FALSE(list.locked());
+  // List remains usable.
+  list.Append(&arena, MakeMessage(2, 2, 1.0));
+  EXPECT_EQ(list.num_messages(), 1u);
+}
+
+TEST(MessageListTest, LockOnEmptyList) {
+  BucketArena arena(4);
+  MessageList list;
+  const auto locked = list.LockForCleaning(&arena);
+  EXPECT_TRUE(locked.empty());
+  EXPECT_TRUE(list.locked());
+  list.ReplaceLockedPrefix(&arena, {MakeMessage(3, 9, 2.0)});
+  EXPECT_EQ(list.num_messages(), 1u);
+}
+
+TEST(MessageListTest, CompactionLargerThanOneBucketChains) {
+  BucketArena arena(2);
+  MessageList list;
+  const auto locked = list.LockForCleaning(&arena);
+  std::vector<Message> compacted;
+  for (uint64_t i = 0; i < 5; ++i) {
+    compacted.push_back(MakeMessage(static_cast<ObjectId>(i), i + 1,
+                                    static_cast<double>(i)));
+  }
+  list.ReplaceLockedPrefix(&arena, compacted);
+  for (uint32_t b : locked) arena.Free(b);
+  EXPECT_EQ(AllMessages(arena, list).size(), 5u);
+}
+
+TEST(MessageListTest, BucketFreshnessUsesMaxTimeOfCompactedMessages) {
+  BucketArena arena(8);
+  MessageList list;
+  const auto locked = list.LockForCleaning(&arena);
+  // Compacted messages grouped by object, newest-first ordering not
+  // guaranteed: the bucket stamp must be the max.
+  list.ReplaceLockedPrefix(
+      &arena, {MakeMessage(0, 2, 9.0), MakeMessage(1, 1, 3.0)});
+  for (uint32_t b : locked) arena.Free(b);
+  EXPECT_DOUBLE_EQ(arena.bucket(list.head()).latest_time, 9.0);
+}
+
+}  // namespace
+}  // namespace gknn::core

@@ -1,0 +1,130 @@
+#include "util/min_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace gknn::util {
+namespace {
+
+TEST(IndexedMinHeapTest, PopsInPriorityOrder) {
+  IndexedMinHeap<double> heap(10);
+  heap.PushOrDecrease(3, 5.0);
+  heap.PushOrDecrease(1, 1.0);
+  heap.PushOrDecrease(7, 3.0);
+  heap.PushOrDecrease(2, 4.0);
+
+  EXPECT_EQ(heap.Pop(), (std::pair<uint32_t, double>{1, 1.0}));
+  EXPECT_EQ(heap.Pop(), (std::pair<uint32_t, double>{7, 3.0}));
+  EXPECT_EQ(heap.Pop(), (std::pair<uint32_t, double>{2, 4.0}));
+  EXPECT_EQ(heap.Pop(), (std::pair<uint32_t, double>{3, 5.0}));
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(IndexedMinHeapTest, DecreaseKeyMovesElementUp) {
+  IndexedMinHeap<double> heap(10);
+  heap.PushOrDecrease(0, 10.0);
+  heap.PushOrDecrease(1, 20.0);
+  heap.PushOrDecrease(2, 30.0);
+
+  EXPECT_TRUE(heap.PushOrDecrease(2, 5.0));   // now the minimum
+  EXPECT_FALSE(heap.PushOrDecrease(1, 25.0));  // larger: ignored
+
+  EXPECT_EQ(heap.Pop().first, 2u);
+  EXPECT_EQ(heap.Pop().first, 0u);
+  auto [id, pri] = heap.Pop();
+  EXPECT_EQ(id, 1u);
+  EXPECT_DOUBLE_EQ(pri, 20.0);  // the increase attempt did not stick
+}
+
+TEST(IndexedMinHeapTest, ContainsTracksMembership) {
+  IndexedMinHeap<int> heap(4);
+  EXPECT_FALSE(heap.Contains(2));
+  heap.PushOrDecrease(2, 9);
+  EXPECT_TRUE(heap.Contains(2));
+  EXPECT_EQ(heap.PriorityOf(2), 9);
+  heap.Pop();
+  EXPECT_FALSE(heap.Contains(2));
+}
+
+TEST(IndexedMinHeapTest, ClearEmptiesAndAllowsReuse) {
+  IndexedMinHeap<int> heap(4);
+  heap.PushOrDecrease(0, 1);
+  heap.PushOrDecrease(1, 2);
+  heap.Clear();
+  EXPECT_TRUE(heap.empty());
+  EXPECT_FALSE(heap.Contains(0));
+  heap.PushOrDecrease(1, 7);
+  EXPECT_EQ(heap.Pop(), (std::pair<uint32_t, int>{1, 7}));
+}
+
+TEST(IndexedMinHeapTest, RandomizedAgainstSort) {
+  Rng rng(42);
+  const uint32_t n = 500;
+  IndexedMinHeap<uint64_t> heap(n);
+  std::vector<std::pair<uint64_t, uint32_t>> expected;
+  for (uint32_t id = 0; id < n; ++id) {
+    const uint64_t pri = rng.NextBounded(1u << 30);
+    heap.PushOrDecrease(id, pri);
+    expected.emplace_back(pri, id);
+  }
+  // Decrease half the keys.
+  for (uint32_t id = 0; id < n; id += 2) {
+    const uint64_t lower = expected[id].first / 2;
+    heap.PushOrDecrease(id, lower);
+    expected[id].first = lower;
+  }
+  std::sort(expected.begin(), expected.end());
+  for (const auto& [pri, _] : expected) {
+    auto [id, got] = heap.Pop();
+    (void)id;
+    ASSERT_EQ(got, pri);
+  }
+}
+
+TEST(BoundedTopKTest, KeepsKSmallest) {
+  BoundedTopK<int> topk(3);
+  for (int v : {9, 1, 8, 2, 7, 3, 6}) topk.Offer(v);
+  EXPECT_EQ(topk.TakeSorted(), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(BoundedTopKTest, FewerThanKKeepsAll) {
+  BoundedTopK<int> topk(5);
+  topk.Offer(2);
+  topk.Offer(1);
+  EXPECT_FALSE(topk.Full());
+  EXPECT_EQ(topk.TakeSorted(), (std::vector<int>{1, 2}));
+}
+
+TEST(BoundedTopKTest, WorstReportsCurrentThreshold) {
+  BoundedTopK<int> topk(2);
+  topk.Offer(10);
+  topk.Offer(20);
+  EXPECT_TRUE(topk.Full());
+  EXPECT_EQ(topk.Worst(), 20);
+  EXPECT_TRUE(topk.Offer(5));
+  EXPECT_EQ(topk.Worst(), 10);
+  EXPECT_FALSE(topk.Offer(50));
+}
+
+TEST(BoundedTopKTest, RandomizedAgainstFullSort) {
+  Rng rng(17);
+  for (uint32_t k : {1u, 4u, 16u, 64u}) {
+    BoundedTopK<uint64_t> topk(k);
+    std::vector<uint64_t> all;
+    for (int i = 0; i < 1000; ++i) {
+      const uint64_t v = rng.NextBounded(1u << 20);
+      all.push_back(v);
+      topk.Offer(v);
+    }
+    std::sort(all.begin(), all.end());
+    all.resize(k);
+    EXPECT_EQ(topk.TakeSorted(), all) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace gknn::util

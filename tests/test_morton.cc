@@ -1,0 +1,86 @@
+#include "util/morton.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace gknn::util {
+namespace {
+
+TEST(MortonTest, PaperExample) {
+  // Paper §III-A: cell (x=3, y=4) has Z-value 37 = 100101b, the interleave
+  // of y=100b and x=011b.
+  EXPECT_EQ(MortonEncode(3, 4), 37u);
+  auto [x, y] = MortonDecode(37);
+  EXPECT_EQ(x, 3u);
+  EXPECT_EQ(y, 4u);
+}
+
+TEST(MortonTest, Origin) {
+  EXPECT_EQ(MortonEncode(0, 0), 0u);
+}
+
+TEST(MortonTest, SingleAxis) {
+  // x alone occupies the even bits, y alone the odd bits.
+  EXPECT_EQ(MortonEncode(1, 0), 1u);
+  EXPECT_EQ(MortonEncode(0, 1), 2u);
+  EXPECT_EQ(MortonEncode(2, 0), 4u);
+  EXPECT_EQ(MortonEncode(0, 2), 8u);
+}
+
+TEST(MortonTest, FirstQuadCellsAreContiguous) {
+  // The 2x2 block at the origin occupies Z-values 0..3 — the locality
+  // property the grid layout relies on.
+  EXPECT_EQ(MortonEncode(0, 0), 0u);
+  EXPECT_EQ(MortonEncode(1, 0), 1u);
+  EXPECT_EQ(MortonEncode(0, 1), 2u);
+  EXPECT_EQ(MortonEncode(1, 1), 3u);
+}
+
+TEST(MortonTest, RoundTripExhaustiveSmall) {
+  for (uint32_t x = 0; x < 64; ++x) {
+    for (uint32_t y = 0; y < 64; ++y) {
+      auto [dx, dy] = MortonDecode(MortonEncode(x, y));
+      ASSERT_EQ(dx, x);
+      ASSERT_EQ(dy, y);
+    }
+  }
+}
+
+TEST(MortonTest, RoundTripRandomFullWidth) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const uint32_t x = static_cast<uint32_t>(rng.Next());
+    const uint32_t y = static_cast<uint32_t>(rng.Next());
+    auto [dx, dy] = MortonDecode(MortonEncode(x, y));
+    ASSERT_EQ(dx, x);
+    ASSERT_EQ(dy, y);
+  }
+}
+
+TEST(MortonTest, EncodingIsMonotoneInEachCoordinateBlock) {
+  // Within a fixed y, increasing x never decreases the Z-value.
+  for (uint32_t y = 0; y < 16; ++y) {
+    uint64_t prev = MortonEncode(0, y);
+    for (uint32_t x = 1; x < 16; ++x) {
+      const uint64_t z = MortonEncode(x, y);
+      ASSERT_GT(z, prev);
+      prev = z;
+    }
+  }
+}
+
+TEST(MortonTest, DistinctInputsDistinctOutputs) {
+  // Injectivity over a small exhaustive domain.
+  std::vector<uint64_t> seen;
+  for (uint32_t x = 0; x < 32; ++x) {
+    for (uint32_t y = 0; y < 32; ++y) {
+      seen.push_back(MortonEncode(x, y));
+    }
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+}  // namespace
+}  // namespace gknn::util

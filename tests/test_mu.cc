@@ -1,0 +1,151 @@
+#include "core/mu.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace gknn::core {
+namespace {
+
+TEST(LambdaTest, MatchesHandComputedValues) {
+  // lambda(eta, i) = i*C(eta+1,2) - sum_{j=1..i} (14-j)(j-1)/2 + i.
+  EXPECT_EQ(Lambda(4, 1), 11u);   // 10 - 0 + 1
+  EXPECT_EQ(Lambda(4, 2), 16u);   // 20 - 6 + 2
+  EXPECT_EQ(Lambda(5, 3), 31u);   // 45 - 17 + 3
+  EXPECT_EQ(Lambda(5, 4), 32u);   // 60 - 32 + 4
+  EXPECT_EQ(Lambda(6, 8), 64u);   // 168 - 112 + 8
+  EXPECT_EQ(Lambda(7, 8), 120u);  // 224 - 112 + 8
+}
+
+TEST(MuTest, PaperReferenceValues) {
+  // Paper §IV-D: for bundles of 16, 32, 64, 128 threads, mu = 2, 4, 8, 16.
+  EXPECT_EQ(Mu(4), 2u);
+  EXPECT_EQ(Mu(5), 4u);
+  EXPECT_EQ(Mu(6), 8u);
+  EXPECT_EQ(Mu(7), 16u);
+}
+
+TEST(MuTest, SmallBundlesAreExact) {
+  // eta <= 3 falls outside Theorem 1; values come from exhaustive search.
+  EXPECT_EQ(Mu(0), 1u);
+  EXPECT_EQ(Mu(1), BruteForceMaxExclusiveSet(1));
+  EXPECT_EQ(Mu(2), BruteForceMaxExclusiveSet(2));
+  EXPECT_EQ(Mu(3), BruteForceMaxExclusiveSet(3));
+  // And each is far below the bundle size.
+  EXPECT_LE(Mu(2), 2u);
+  EXPECT_LE(Mu(3), 3u);
+}
+
+TEST(MuTest, MuMuchSmallerThanBundle) {
+  for (uint32_t eta = 4; eta <= 7; ++eta) {
+    EXPECT_LT(Mu(eta), (1u << eta) / 4) << "eta=" << eta;
+  }
+  // Beyond the paper's sweep, Theorem 1 case 2 applies: still well below
+  // the bundle size (80 of 256 threads at eta = 8).
+  EXPECT_LT(Mu(8), 1u << 8);
+}
+
+TEST(MuTest, FormulaBoundsBruteForceAtEta4) {
+  // Theorem 1's mu is an upper bound on the true maximum exclusive set.
+  EXPECT_LE(BruteForceMaxExclusiveSet(4), Mu(4));
+}
+
+TEST(XDistanceTest, DefinitionExamples) {
+  // Paper Definition 2: X(10, 1) = 2 since 01010 ^ 00001 = 01011 has two
+  // runs of 1s.
+  EXPECT_EQ(XDistance(10, 1), 2u);
+  EXPECT_EQ(XDistance(0, 0), 0u);
+  EXPECT_EQ(XDistance(5, 4), 1u);   // xor = 001
+  EXPECT_EQ(XDistance(0b1100, 0b0011), 1u);  // xor = 1111, one run
+  EXPECT_EQ(XDistance(0b101, 0), 2u);        // 101: two runs
+  EXPECT_EQ(XDistance(0b1010101, 0), 4u);
+}
+
+TEST(XDistanceTest, Symmetric) {
+  util::Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const uint32_t a = static_cast<uint32_t>(rng.NextBounded(1 << 16));
+    const uint32_t b = static_cast<uint32_t>(rng.NextBounded(1 << 16));
+    EXPECT_EQ(XDistance(a, b), XDistance(b, a));
+  }
+}
+
+// Simulates the butterfly-shuffle trajectories of Theorem 2 directly and
+// verifies the covering characterization of Lemma 1: alpha covers beta
+// (i.e. beta's message meets a thread alpha's message already visited) iff
+// XDistance(alpha, beta) == 1.
+TEST(CoverageTest, Lemma1CharacterizationHolds) {
+  for (uint32_t eta : {2u, 3u, 4u}) {
+    const uint32_t n = 1u << eta;
+    // trajectory[alpha][k] = thread holding m_alpha after k shuffles if
+    // never replaced: alpha ^ 2^(eta-1) ^ ... ^ 2^(eta-k).
+    std::vector<std::vector<uint32_t>> trajectory(n);
+    for (uint32_t alpha = 0; alpha < n; ++alpha) {
+      uint32_t pos = alpha;
+      trajectory[alpha].push_back(pos);
+      for (uint32_t k = 1; k <= eta; ++k) {
+        pos ^= 1u << (eta - k);
+        trajectory[alpha].push_back(pos);
+      }
+    }
+    for (uint32_t alpha = 0; alpha < n; ++alpha) {
+      for (uint32_t beta = 0; beta < n; ++beta) {
+        if (alpha == beta) continue;
+        // Does m_beta arrive (at step k) at a thread m_alpha visited at an
+        // earlier step j < k?
+        bool covers = false;
+        for (uint32_t k = 1; k <= eta && !covers; ++k) {
+          for (uint32_t j = 0; j < k && !covers; ++j) {
+            if (trajectory[beta][k] == trajectory[alpha][j]) covers = true;
+          }
+        }
+        EXPECT_EQ(covers, XDistance(alpha, beta) == 1)
+            << "eta=" << eta << " alpha=" << alpha << " beta=" << beta;
+      }
+    }
+  }
+}
+
+// Empirical Theorem 1: for random subsets of threads all holding messages
+// of the same object, the number of surviving (pairwise non-covering)
+// messages never exceeds Mu(eta).
+TEST(CoverageTest, SurvivorsBoundedByMu) {
+  util::Rng rng(11);
+  for (uint32_t eta : {4u, 5u, 6u, 7u}) {
+    const uint32_t n = 1u << eta;
+    for (int trial = 0; trial < 200; ++trial) {
+      // Random subset of threads holding this object's messages, with a
+      // random recency order (older first).
+      std::vector<uint32_t> holders;
+      for (uint32_t t = 0; t < n; ++t) {
+        if (rng.NextBool(0.5)) holders.push_back(t);
+      }
+      if (holders.empty()) continue;
+      // Shuffle to get a random age order; holders[i] older than
+      // holders[j] for i < j.
+      for (size_t i = holders.size(); i > 1; --i) {
+        std::swap(holders[i - 1], holders[rng.NextBounded(i)]);
+      }
+      // A message survives unless it is covered by a newer message (the
+      // newer one overwrites it when their trajectories meet; covering is
+      // symmetric by Lemma 1, and the newer message always wins).
+      uint32_t survivors = 0;
+      for (size_t i = 0; i < holders.size(); ++i) {
+        bool covered_by_newer = false;
+        for (size_t j = i + 1; j < holders.size() && !covered_by_newer;
+             ++j) {
+          if (XDistance(holders[i], holders[j]) == 1) covered_by_newer = true;
+        }
+        if (!covered_by_newer) ++survivors;
+      }
+      EXPECT_LE(survivors, Mu(eta)) << "eta=" << eta << " trial=" << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gknn::core

@@ -1,0 +1,219 @@
+#include "roadnet/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "workload/synthetic_network.h"
+
+namespace gknn::roadnet {
+namespace {
+
+Graph Grid5x5() {
+  std::vector<Edge> edges;
+  auto id = [](uint32_t x, uint32_t y) { return y * 5 + x; };
+  for (uint32_t y = 0; y < 5; ++y) {
+    for (uint32_t x = 0; x < 5; ++x) {
+      if (x + 1 < 5) {
+        edges.push_back({id(x, y), id(x + 1, y), 1});
+        edges.push_back({id(x + 1, y), id(x, y), 1});
+      }
+      if (y + 1 < 5) {
+        edges.push_back({id(x, y), id(x, y + 1), 1});
+        edges.push_back({id(x, y + 1), id(x, y), 1});
+      }
+    }
+  }
+  return std::move(Graph::FromEdges(25, std::move(edges))).ValueOrDie();
+}
+
+TEST(ComputePsiTest, MatchesPaperFormula) {
+  // psi = ceil(1/2 * log2(|V| / delta_c)).
+  EXPECT_EQ(ComputePsi(64, 64), 0u);
+  EXPECT_EQ(ComputePsi(3, 3), 0u);
+  EXPECT_EQ(ComputePsi(65, 64), 1u);
+  EXPECT_EQ(ComputePsi(256, 4), 3u);   // 64 cells of 4
+  EXPECT_EQ(ComputePsi(257, 4), 4u);
+  EXPECT_EQ(ComputePsi(1, 3), 0u);
+}
+
+TEST(ComputePsiTest, CapacityInvariant) {
+  // 4^psi * delta_c >= |V| must always hold.
+  for (uint32_t v : {1u, 7u, 100u, 999u, 123456u}) {
+    for (uint32_t c : {1u, 3u, 16u, 64u}) {
+      const uint32_t psi = ComputePsi(v, c);
+      EXPECT_GE((uint64_t{c}) << (2 * psi), v) << "v=" << v << " c=" << c;
+    }
+  }
+}
+
+TEST(BisectTest, ExactHalves) {
+  Graph g = Grid5x5();
+  std::vector<VertexId> all(25);
+  std::iota(all.begin(), all.end(), 0);
+  auto side = internal_partitioner::Bisect(g, all, PartitionOptions{}, 42);
+  const auto zeros = std::count(side.begin(), side.end(), 0);
+  EXPECT_EQ(zeros, 13);  // ceil(25/2)
+}
+
+TEST(BisectTest, CutIsReasonable) {
+  // A balanced bisection of a 5x5 grid should cut far fewer than half the
+  // edges; a straight split cuts 5 undirected edges (10 arcs counted once
+  // here as undirected pairs).
+  Graph g = Grid5x5();
+  std::vector<VertexId> all(25);
+  std::iota(all.begin(), all.end(), 0);
+  auto side = internal_partitioner::Bisect(g, all, PartitionOptions{}, 42);
+  uint32_t cut = 0;
+  for (const Edge& e : g.edges()) {
+    if (side[e.source] != side[e.target]) ++cut;
+  }
+  // 80 directed arcs total; random balanced split expects ~40 cut.
+  EXPECT_LE(cut, 20u);
+}
+
+TEST(PartitionIntoGridTest, EveryVertexAssignedWithinCapacity) {
+  auto graph = workload::GenerateSyntheticRoadNetwork(
+      {.num_vertices = 1000, .seed = 5});
+  ASSERT_TRUE(graph.ok());
+  const uint32_t delta_c = 16;
+  auto part = PartitionIntoGrid(*graph, delta_c, PartitionOptions{});
+  ASSERT_TRUE(part.ok());
+  EXPECT_EQ(part->cell_of_vertex.size(), graph->num_vertices());
+  std::map<uint32_t, uint32_t> cell_sizes;
+  for (uint32_t cell : part->cell_of_vertex) {
+    ASSERT_LT(cell, part->num_cells);
+    ++cell_sizes[cell];
+  }
+  for (const auto& [cell, size] : cell_sizes) {
+    EXPECT_LE(size, delta_c) << "cell " << cell;
+  }
+}
+
+TEST(PartitionIntoGridTest, PsiZeroPutsEverythingInOneCell) {
+  auto graph = workload::GenerateSyntheticRoadNetwork(
+      {.num_vertices = 30, .seed = 2});
+  auto part = PartitionIntoGrid(*graph, 64, PartitionOptions{});
+  ASSERT_TRUE(part.ok());
+  EXPECT_EQ(part->num_cells, 1u);
+  EXPECT_EQ(part->edge_cut, 0u);
+  for (uint32_t cell : part->cell_of_vertex) EXPECT_EQ(cell, 0u);
+}
+
+TEST(PartitionIntoGridTest, CutBeatsRandomAssignment) {
+  auto graph = workload::GenerateSyntheticRoadNetwork(
+      {.num_vertices = 2000, .seed = 7});
+  ASSERT_TRUE(graph.ok());
+  auto part = PartitionIntoGrid(*graph, 32, PartitionOptions{});
+  ASSERT_TRUE(part.ok());
+  // Random assignment to c cells cuts ~ (1 - 1/c) of edges. Demand the
+  // partitioner do at least 2x better.
+  const double random_cut =
+      graph->num_edges() * (1.0 - 1.0 / part->num_cells);
+  EXPECT_LT(part->edge_cut, random_cut / 2);
+}
+
+TEST(PartitionIntoGridTest, DeterministicForSeed) {
+  auto graph = workload::GenerateSyntheticRoadNetwork(
+      {.num_vertices = 500, .seed = 9});
+  PartitionOptions options;
+  options.seed = 31;
+  auto a = PartitionIntoGrid(*graph, 16, options);
+  auto b = PartitionIntoGrid(*graph, 16, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->cell_of_vertex, b->cell_of_vertex);
+}
+
+TEST(PartitionIntoGridTest, RejectsEmptyGraphAndZeroCapacity) {
+  auto empty = Graph::FromEdges(0, {});
+  EXPECT_FALSE(PartitionIntoGrid(*empty, 4, PartitionOptions{}).ok());
+  auto graph = workload::GenerateSyntheticRoadNetwork({.num_vertices = 10});
+  EXPECT_FALSE(PartitionIntoGrid(*graph, 0, PartitionOptions{}).ok());
+}
+
+// Capacity sweep: the per-cell bound must hold across delta_c values and
+// network sizes (it is the contract the grid layout depends on).
+struct PartitionParams {
+  uint32_t num_vertices;
+  uint32_t delta_c;
+};
+
+class PartitionSweepTest
+    : public ::testing::TestWithParam<PartitionParams> {};
+
+TEST_P(PartitionSweepTest, CapacityBoundAndFullCoverage) {
+  const auto [num_vertices, delta_c] = GetParam();
+  auto graph = workload::GenerateSyntheticRoadNetwork(
+      {.num_vertices = num_vertices, .seed = num_vertices + delta_c});
+  ASSERT_TRUE(graph.ok());
+  auto part = PartitionIntoGrid(*graph, delta_c, PartitionOptions{});
+  ASSERT_TRUE(part.ok());
+  std::map<uint32_t, uint32_t> sizes;
+  for (uint32_t cell : part->cell_of_vertex) {
+    ASSERT_LT(cell, part->num_cells);
+    ++sizes[cell];
+  }
+  uint32_t total = 0;
+  for (const auto& [cell, size] : sizes) {
+    EXPECT_LE(size, delta_c) << "cell " << cell;
+    total += size;
+  }
+  EXPECT_EQ(total, graph->num_vertices());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionSweepTest,
+    ::testing::Values(PartitionParams{1, 3}, PartitionParams{2, 1},
+                      PartitionParams{17, 3}, PartitionParams{100, 1},
+                      PartitionParams{500, 3}, PartitionParams{500, 7},
+                      PartitionParams{1500, 16}, PartitionParams{3000, 64}),
+    [](const ::testing::TestParamInfo<PartitionParams>& info) {
+      return "v" + std::to_string(info.param.num_vertices) + "_dc" +
+             std::to_string(info.param.delta_c);
+    });
+
+TEST(BisectionTreeTest, LeavesRespectMaxSizeAndCoverAllVertices) {
+  auto graph = workload::GenerateSyntheticRoadNetwork(
+      {.num_vertices = 777, .seed = 13});
+  ASSERT_TRUE(graph.ok());
+  auto tree = BuildBisectionTree(*graph, 50, PartitionOptions{});
+  ASSERT_TRUE(tree.ok());
+  uint32_t covered = 0;
+  for (const auto& node : tree->nodes) {
+    if (node.IsLeaf()) {
+      EXPECT_LE(node.vertices.size(), 50u);
+      covered += static_cast<uint32_t>(node.vertices.size());
+    }
+  }
+  EXPECT_EQ(covered, graph->num_vertices());
+  // leaf_of_vertex agrees with the leaves' vertex lists.
+  for (VertexId v = 0; v < graph->num_vertices(); ++v) {
+    const auto& leaf = tree->nodes[tree->leaf_of_vertex[v]];
+    EXPECT_TRUE(leaf.IsLeaf());
+    EXPECT_TRUE(std::find(leaf.vertices.begin(), leaf.vertices.end(), v) !=
+                leaf.vertices.end());
+  }
+}
+
+TEST(BisectionTreeTest, ParentChildStructureConsistent) {
+  auto graph = workload::GenerateSyntheticRoadNetwork(
+      {.num_vertices = 200, .seed = 17});
+  auto tree = BuildBisectionTree(*graph, 30, PartitionOptions{});
+  ASSERT_TRUE(tree.ok());
+  for (uint32_t i = 0; i < tree->nodes.size(); ++i) {
+    const auto& node = tree->nodes[i];
+    if (!node.IsLeaf()) {
+      EXPECT_EQ(tree->nodes[node.left].parent, i);
+      EXPECT_EQ(tree->nodes[node.right].parent, i);
+      EXPECT_EQ(tree->nodes[node.left].vertices.size() +
+                    tree->nodes[node.right].vertices.size(),
+                node.vertices.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gknn::roadnet

@@ -1,0 +1,129 @@
+#include "server/query_server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "baselines/brute_force.h"
+#include "workload/moving_objects.h"
+#include "workload/synthetic_network.h"
+
+namespace gknn::server {
+namespace {
+
+using roadnet::EdgePoint;
+using roadnet::Graph;
+
+struct Fixture {
+  explicit Fixture(uint32_t vertices, uint64_t seed)
+      : graph(std::move(workload::GenerateSyntheticRoadNetwork(
+                            {.num_vertices = vertices, .seed = seed}))
+                  .ValueOrDie()),
+        pool(2) {
+    server = std::move(QueryServer::Create(&graph, core::GGridOptions{},
+                                           &device, &pool))
+                 .ValueOrDie();
+  }
+  Graph graph;
+  gpusim::Device device;
+  util::ThreadPool pool;
+  std::unique_ptr<QueryServer> server;
+};
+
+TEST(QueryServerTest, UpdatesBufferUntilQueried) {
+  Fixture fx(300, 1);
+  fx.server->Report(1, {3, 0}, 0.0);
+  fx.server->Report(2, {4, 0}, 0.0);
+  EXPECT_EQ(fx.server->pending_updates(), 2u);
+  EXPECT_EQ(fx.server->applied_updates(), 0u);
+
+  auto result = fx.server->QueryKnn({3, 0}, 2, 0.1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+  EXPECT_EQ(fx.server->pending_updates(), 0u);
+  EXPECT_EQ(fx.server->applied_updates(), 2u);
+}
+
+TEST(QueryServerTest, PerObjectUpdateOrderPreserved) {
+  Fixture fx(300, 2);
+  // Many updates of the same object: the last one must win.
+  for (int i = 0; i < 50; ++i) {
+    fx.server->Report(7, {static_cast<roadnet::EdgeId>(i % 10), 0},
+                      i * 0.01);
+  }
+  fx.server->Report(7, {42, 1}, 1.0);
+  auto result = fx.server->QueryKnn({42, 0}, 1, 1.0);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].object, 7u);
+  EXPECT_EQ((*result)[0].distance, 1u);
+}
+
+TEST(QueryServerTest, DeregisterThroughInbox) {
+  Fixture fx(300, 3);
+  fx.server->Report(1, {5, 0}, 0.0);
+  fx.server->Deregister(1, 0.5);
+  auto result = fx.server->QueryKnn({5, 0}, 1, 1.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(QueryServerTest, ConcurrentProducersAndQueries) {
+  Fixture fx(400, 4);
+  baselines::BruteForce oracle(&fx.graph);
+  // Deterministic final positions: object o ends on edge o (weight-safe
+  // offset 0); producers race to deliver interleaved earlier positions.
+  constexpr uint32_t kObjects = 64;
+  constexpr int kRounds = 30;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&, t] {
+      while (!go.load()) std::this_thread::yield();
+      for (int round = 0; round < kRounds; ++round) {
+        for (uint32_t o = t; o < kObjects; o += 4) {
+          const roadnet::EdgeId e =
+              (o * 31 + round * 7) % fx.graph.num_edges();
+          fx.server->Report(o, {e, 0}, round * 0.1);
+        }
+      }
+      // Final authoritative position (largest time).
+      for (uint32_t o = t; o < kObjects; o += 4) {
+        fx.server->Report(o, {o % fx.graph.num_edges(), 0}, 100.0);
+      }
+    });
+  }
+  // A query thread hammering the server while producers run; results are
+  // internally consistent even mid-stream.
+  std::thread querier([&] {
+    while (!go.load()) std::this_thread::yield();
+    for (int i = 0; i < 20; ++i) {
+      auto r = fx.server->QueryKnn({1, 0}, 5, 100.0);
+      ASSERT_TRUE(r.ok());
+    }
+  });
+  go.store(true);
+  for (auto& p : producers) p.join();
+  querier.join();
+
+  // After the dust settles, the server agrees with an oracle fed only the
+  // final positions.
+  for (uint32_t o = 0; o < kObjects; ++o) {
+    oracle.Ingest(o, {o % fx.graph.num_edges(), 0}, 100.0);
+  }
+  for (roadnet::EdgeId e : {2u, 77u, 301u}) {
+    auto got = fx.server->QueryKnn({e, 0}, 8, 100.0);
+    auto want = oracle.QueryKnn({e, 0}, 8, 100.0);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(want.ok());
+    ASSERT_EQ(got->size(), want->size());
+    for (size_t i = 0; i < want->size(); ++i) {
+      EXPECT_EQ((*got)[i].distance, (*want)[i].distance) << "edge " << e;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gknn::server

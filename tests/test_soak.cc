@@ -1,0 +1,129 @@
+// Long randomized soak: a G-Grid index absorbs an interleaved stream of
+// ingests, cell-crossing moves, removals, maintenance sweeps, and queries
+// over simulated hours, and every query is validated against a shadow
+// model. Exercises bucket expiry (t_Delta), tombstone chains, arena
+// recycling, and repeated cleaning of the same cells.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "core/ggrid_index.h"
+#include "gpusim/device.h"
+#include "roadnet/dijkstra.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "workload/synthetic_network.h"
+
+namespace gknn::core {
+namespace {
+
+using roadnet::Distance;
+using roadnet::EdgePoint;
+using roadnet::Graph;
+using roadnet::kInfiniteDistance;
+
+class SoakTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SoakTest, MixedWorkloadStaysCorrect) {
+  const uint64_t seed = GetParam();
+  auto graph_or = workload::GenerateSyntheticRoadNetwork(
+      {.num_vertices = 350, .seed = seed});
+  ASSERT_TRUE(graph_or.ok());
+  Graph& graph = *graph_or;
+
+  gpusim::Device device;
+  util::ThreadPool pool(2);
+  GGridOptions options;
+  options.t_delta = 3.0;  // tight expiry to exercise bucket dropping
+  auto index = GGridIndex::Build(&graph, options, &device, &pool);
+  ASSERT_TRUE(index.ok());
+
+  // Shadow model: the true position of every live object.
+  std::map<ObjectId, EdgePoint> shadow;
+  util::Rng rng(seed * 31 + 7);
+  double now = 0;
+
+  auto random_point = [&]() -> EdgePoint {
+    const roadnet::EdgeId e =
+        static_cast<roadnet::EdgeId>(rng.NextBounded(graph.num_edges()));
+    return {e, static_cast<uint32_t>(
+                   rng.NextBounded(graph.edge(e).weight + 1))};
+  };
+
+  int queries_checked = 0;
+  for (int step = 0; step < 300; ++step) {
+    now += 0.01 + rng.NextDouble() * 0.05;
+    const double dice = rng.NextDouble();
+    if (dice < 0.55) {
+      // Ingest: new object or move of an existing one.
+      const ObjectId o = static_cast<ObjectId>(rng.NextBounded(60));
+      const EdgePoint p = random_point();
+      (*index)->Ingest(o, p, now);
+      shadow[o] = p;
+    } else if (dice < 0.62 && !shadow.empty()) {
+      // Remove a random live object.
+      auto it = shadow.begin();
+      std::advance(it, rng.NextBounded(shadow.size()));
+      (*index)->Remove(it->first, now);
+      shadow.erase(it);
+    } else if (dice < 0.67) {
+      ASSERT_TRUE((*index)->TrimCaches(now).ok());
+    } else if (dice < 0.80) {
+      // Every live object re-reports (keeps the t_Delta contract: objects
+      // that go quiet for too long would legitimately expire).
+      for (auto& [o, p] : shadow) {
+        (*index)->Ingest(o, p, now);
+      }
+    } else {
+      // Query and verify against the shadow model.
+      const EdgePoint q = random_point();
+      const uint32_t k = 1 + static_cast<uint32_t>(rng.NextBounded(10));
+      auto result = (*index)->QueryKnn(q, k, now);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+      const auto dist = roadnet::ShortestPathsFromPoint(graph, q);
+      std::vector<Distance> expected;
+      for (const auto& [o, p] : shadow) {
+        (void)o;
+        Distance d = kInfiniteDistance;
+        const auto& e = graph.edge(p.edge);
+        if (dist[e.source] != kInfiniteDistance) {
+          d = dist[e.source] + p.offset;
+        }
+        if (p.edge == q.edge && p.offset >= q.offset) {
+          d = std::min<Distance>(d, p.offset - q.offset);
+        }
+        if (d != kInfiniteDistance) expected.push_back(d);
+      }
+      std::sort(expected.begin(), expected.end());
+      if (expected.size() > k) expected.resize(k);
+      ASSERT_EQ(result->size(), expected.size())
+          << "step " << step << " t=" << now;
+      for (size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_EQ((*result)[i].distance, expected[i])
+            << "step " << step << " rank " << i;
+      }
+      ++queries_checked;
+
+      // Structural sanity between queries.
+      ASSERT_EQ((*index)->object_table().size(), shadow.size());
+    }
+  }
+  EXPECT_GT(queries_checked, 20);
+  // Memory stays bounded: after a final sweep, at most one message per
+  // live object remains cached.
+  ASSERT_TRUE((*index)->TrimCaches(now).ok());
+  EXPECT_LE((*index)->cached_messages(), shadow.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoakTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace gknn::core

@@ -1,0 +1,79 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace gknn::util {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  const uint64_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.ParallelFor(n, [&hits](uint64_t i) { hits[i].fetch_add(1); });
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](uint64_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillCorrect) {
+  ThreadPool pool(1);
+  std::vector<int> out(50, 0);
+  pool.ParallelFor(50, [&out](uint64_t i) { out[i] = static_cast<int>(i); });
+  for (int i = 0; i < 50; ++i) ASSERT_EQ(out[i], i);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossWaves) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  for (int wave = 0; wave < 5; ++wave) {
+    pool.ParallelFor(100, [&sum](uint64_t i) {
+      sum.fetch_add(static_cast<long>(i));
+    });
+  }
+  EXPECT_EQ(sum.load(), 5 * (99 * 100 / 2));
+}
+
+TEST(ThreadPoolTest, DefaultSizeUsesHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, TasksSubmittedFromTasksComplete) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+}  // namespace
+}  // namespace gknn::util

@@ -1,0 +1,181 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "core/ggrid_index.h"
+#include "gpusim/device.h"
+#include "util/thread_pool.h"
+#include "workload/synthetic_network.h"
+
+namespace gknn::workload {
+namespace {
+
+using roadnet::Graph;
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+Graph TestNetwork(uint32_t n, uint64_t seed) {
+  return std::move(GenerateSyntheticRoadNetwork(
+                       {.num_vertices = n, .seed = seed}))
+      .ValueOrDie();
+}
+
+TEST(TraceTest, RoundTripPreservesEvents) {
+  Graph g = TestNetwork(200, 1);
+  std::vector<TraceEvent> events = {
+      {TraceEvent::Kind::kUpdate, 7, {3, 2}, 0, 0.5},
+      {TraceEvent::Kind::kQuery, 0, {5, 0}, 4, 1.0},
+      {TraceEvent::Kind::kRemove, 7, {}, 0, 1.5},
+      {TraceEvent::Kind::kUpdate, 9, {0, 0}, 0, 2.0},
+  };
+  const std::string path = TempPath("gknn_trace_roundtrip.txt");
+  ASSERT_TRUE(WriteTrace(events, path).ok());
+  auto loaded = ReadTrace(g, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].kind, events[i].kind) << i;
+    EXPECT_EQ((*loaded)[i].object, events[i].object) << i;
+    EXPECT_EQ((*loaded)[i].k, events[i].k) << i;
+    EXPECT_NEAR((*loaded)[i].time, events[i].time, 1e-6) << i;
+    if (events[i].kind != TraceEvent::Kind::kRemove) {
+      EXPECT_EQ((*loaded)[i].position.edge, events[i].position.edge) << i;
+      EXPECT_EQ((*loaded)[i].position.offset, events[i].position.offset)
+          << i;
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(TraceTest, RejectsBadHeaderAndMalformedLines) {
+  Graph g = TestNetwork(100, 2);
+  const std::string path = TempPath("gknn_trace_bad.txt");
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("not a trace\n", f);
+    fclose(f);
+    EXPECT_FALSE(ReadTrace(g, path).ok());
+  }
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("gknn-trace v1\nx what is this\n", f);
+    fclose(f);
+    EXPECT_FALSE(ReadTrace(g, path).ok());
+  }
+  {
+    // Update off the network.
+    FILE* f = fopen(path.c_str(), "w");
+    fprintf(f, "gknn-trace v1\nu 1 %u 0 0.0\n", g.num_edges());
+    fclose(f);
+    EXPECT_FALSE(ReadTrace(g, path).ok());
+  }
+  {
+    // Query with k = 0.
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("gknn-trace v1\nq 0 0 0 0.0\n", f);
+    fclose(f);
+    EXPECT_FALSE(ReadTrace(g, path).ok());
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(TraceTest, CommentsAndBlankLinesIgnored) {
+  Graph g = TestNetwork(100, 3);
+  const std::string path = TempPath("gknn_trace_comments.txt");
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("gknn-trace v1\n# a comment\n\nu 1 0 0 0.0\n", f);
+  fclose(f);
+  auto loaded = ReadTrace(g, path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 1u);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceTest, RecordScenarioIsDeterministicAndWellFormed) {
+  Graph g = TestNetwork(300, 4);
+  RecordOptions options;
+  options.num_objects = 20;
+  options.num_queries = 5;
+  options.seed = 9;
+  const auto a = RecordScenario(g, options);
+  const auto b = RecordScenario(g, options);
+  EXPECT_EQ(a, b);
+
+  // Starts with a full snapshot: the first num_objects events are updates
+  // covering every object id once.
+  std::set<uint32_t> first_ids;
+  for (uint32_t i = 0; i < options.num_objects; ++i) {
+    ASSERT_EQ(a[i].kind, TraceEvent::Kind::kUpdate);
+    first_ids.insert(a[i].object);
+  }
+  EXPECT_EQ(first_ids.size(), options.num_objects);
+  // Contains exactly num_queries queries, in chronological order.
+  uint32_t queries = 0;
+  double last_time = 0;
+  for (const auto& e : a) {
+    EXPECT_GE(e.time + 1e-9, last_time);
+    last_time = e.time;
+    if (e.kind == TraceEvent::Kind::kQuery) ++queries;
+  }
+  EXPECT_EQ(queries, options.num_queries);
+}
+
+TEST(TraceTest, ReplayedTraceReproducesDirectRun) {
+  Graph g = TestNetwork(300, 5);
+  RecordOptions options;
+  options.num_objects = 25;
+  options.num_queries = 6;
+  options.seed = 11;
+  const auto events = RecordScenario(g, options);
+  const std::string path = TempPath("gknn_trace_replay.txt");
+  ASSERT_TRUE(WriteTrace(events, path).ok());
+  auto loaded = ReadTrace(g, path);
+  ASSERT_TRUE(loaded.ok());
+
+  // Apply the in-memory and the round-tripped trace to two fresh indexes;
+  // every query must answer identically.
+  gpusim::Device device_a, device_b;
+  util::ThreadPool pool(1);
+  auto index_a =
+      core::GGridIndex::Build(&g, core::GGridOptions{}, &device_a, &pool);
+  auto index_b =
+      core::GGridIndex::Build(&g, core::GGridOptions{}, &device_b, &pool);
+  ASSERT_TRUE(index_a.ok());
+  ASSERT_TRUE(index_b.ok());
+  ASSERT_EQ(loaded->size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& ea = events[i];
+    const TraceEvent& eb = (*loaded)[i];
+    switch (ea.kind) {
+      case TraceEvent::Kind::kUpdate:
+        (*index_a)->Ingest(ea.object, ea.position, ea.time);
+        (*index_b)->Ingest(eb.object, eb.position, eb.time);
+        break;
+      case TraceEvent::Kind::kRemove:
+        (*index_a)->Remove(ea.object, ea.time);
+        (*index_b)->Remove(eb.object, eb.time);
+        break;
+      case TraceEvent::Kind::kQuery: {
+        auto ra = (*index_a)->QueryKnn(ea.position, ea.k, ea.time);
+        auto rb = (*index_b)->QueryKnn(eb.position, eb.k, eb.time);
+        ASSERT_TRUE(ra.ok());
+        ASSERT_TRUE(rb.ok());
+        ASSERT_EQ(ra->size(), rb->size());
+        for (size_t j = 0; j < ra->size(); ++j) {
+          EXPECT_EQ((*ra)[j].object, (*rb)[j].object);
+          EXPECT_EQ((*ra)[j].distance, (*rb)[j].distance);
+        }
+        break;
+      }
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace gknn::workload

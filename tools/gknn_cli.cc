@@ -1,0 +1,220 @@
+// gknn_cli — interactive/scriptable front end to the G-Grid index.
+//
+// Load a road network (a DIMACS .gr file or a generated one), then drive
+// the index with line commands on stdin:
+//
+//   add <object> <edge> <offset> <time>    report an object location
+//   remove <object> <time>                 deregister an object
+//   query <edge> <offset> <k> <time>       k nearest objects
+//   trim <time>                            maintenance sweep
+//   record <file> <objects> <f> <queries> <k>   write a workload trace
+//   replay <file>                          replay a trace file
+//   stats                                  counters and memory breakdown
+//   help                                   this list
+//   quit
+//
+// Examples:
+//   ./build/tools/gknn_cli --synthetic=5000
+//   ./build/tools/gknn_cli --graph=USA-road-d.NY.gr < trace.txt
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/ggrid_index.h"
+#include "gpusim/device.h"
+#include "roadnet/dimacs.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+#include "workload/synthetic_network.h"
+#include "workload/trace.h"
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  add <object> <edge> <offset> <time>\n"
+      "  remove <object> <time>\n"
+      "  query <edge> <offset> <k> <time>\n"
+      "  trim <time>\n"
+      "  record <file> <objects> <f> <queries> <k>\n"
+      "  replay <file>\n"
+      "  stats\n"
+      "  help\n"
+      "  quit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gknn;  // NOLINT(build/namespaces)
+
+  std::string graph_path;
+  uint32_t synthetic = 0;
+  uint64_t seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--graph=", 0) == 0) {
+      graph_path = arg.substr(8);
+    } else if (arg.rfind("--synthetic=", 0) == 0) {
+      synthetic = static_cast<uint32_t>(std::stoul(arg.substr(12)));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::stoull(arg.substr(7));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (graph_path.empty() && synthetic == 0) synthetic = 2000;
+
+  util::Result<roadnet::Graph> graph =
+      graph_path.empty()
+          ? workload::GenerateSyntheticRoadNetwork(
+                {.num_vertices = synthetic, .seed = seed})
+          : roadnet::ReadDimacsGraph(graph_path);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "failed to load graph: %s\n",
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("graph: %u vertices, %u arcs\n", graph->num_vertices(),
+              graph->num_edges());
+
+  gpusim::Device device;
+  util::ThreadPool pool;
+  auto index =
+      core::GGridIndex::Build(&*graph, core::GGridOptions{}, &device, &pool);
+  if (!index.ok()) {
+    std::fprintf(stderr, "failed to build index: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("G-Grid ready: %u cells (psi=%u). Type 'help' for commands.\n",
+              (*index)->grid().num_cells(), (*index)->grid().psi());
+
+  char line[512];
+  while (std::fgets(line, sizeof(line), stdin) != nullptr) {
+    unsigned long long object = 0, edge = 0, offset = 0, k = 0;
+    double time = 0;
+    if (std::sscanf(line, "add %llu %llu %llu %lf", &object, &edge, &offset,
+                    &time) == 4) {
+      if (edge >= graph->num_edges() ||
+          offset > graph->edge(static_cast<roadnet::EdgeId>(edge)).weight) {
+        std::printf("error: invalid edge/offset\n");
+        continue;
+      }
+      (*index)->Ingest(static_cast<core::ObjectId>(object),
+                       {static_cast<roadnet::EdgeId>(edge),
+                        static_cast<uint32_t>(offset)},
+                       time);
+      std::printf("ok\n");
+    } else if (std::sscanf(line, "remove %llu %lf", &object, &time) == 2) {
+      (*index)->Remove(static_cast<core::ObjectId>(object), time);
+      std::printf("ok\n");
+    } else if (std::sscanf(line, "query %llu %llu %llu %lf", &edge, &offset,
+                           &k, &time) == 4) {
+      auto result = (*index)->QueryKnn(
+          {static_cast<roadnet::EdgeId>(edge),
+           static_cast<uint32_t>(offset)},
+          static_cast<uint32_t>(k), time);
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+        continue;
+      }
+      for (const auto& entry : *result) {
+        std::printf("  object %u  distance %llu\n", entry.object,
+                    static_cast<unsigned long long>(entry.distance));
+      }
+      std::printf("%zu result(s)\n", result->size());
+    } else if (std::strncmp(line, "record ", 7) == 0) {
+      char file[256];
+      unsigned long long objects = 0, queries = 0, kk = 0;
+      double freq = 1.0;
+      if (std::sscanf(line, "record %255s %llu %lf %llu %llu", file,
+                      &objects, &freq, &queries, &kk) != 5) {
+        std::printf("usage: record <file> <objects> <f> <queries> <k>\n");
+        continue;
+      }
+      workload::RecordOptions options;
+      options.num_objects = static_cast<uint32_t>(objects);
+      options.update_frequency_hz = freq;
+      options.num_queries = static_cast<uint32_t>(queries);
+      options.k = static_cast<uint32_t>(kk);
+      options.seed = seed;
+      const auto events = workload::RecordScenario(*graph, options);
+      auto status = workload::WriteTrace(events, file);
+      if (status.ok()) {
+        std::printf("recorded %zu events to %s\n", events.size(), file);
+      } else {
+        std::printf("error: %s\n", status.ToString().c_str());
+      }
+    } else if (std::strncmp(line, "replay ", 7) == 0) {
+      char file[256];
+      if (std::sscanf(line, "replay %255s", file) != 1) {
+        std::printf("usage: replay <file>\n");
+        continue;
+      }
+      auto events = workload::ReadTrace(*graph, file);
+      if (!events.ok()) {
+        std::printf("error: %s\n", events.status().ToString().c_str());
+        continue;
+      }
+      util::Timer replay_timer;
+      uint32_t queries_run = 0;
+      for (const auto& e : *events) {
+        switch (e.kind) {
+          case workload::TraceEvent::Kind::kUpdate:
+            (*index)->Ingest(e.object, e.position, e.time);
+            break;
+          case workload::TraceEvent::Kind::kRemove:
+            (*index)->Remove(e.object, e.time);
+            break;
+          case workload::TraceEvent::Kind::kQuery: {
+            auto result = (*index)->QueryKnn(e.position, e.k, e.time);
+            if (!result.ok()) {
+              std::printf("error: %s\n",
+                          result.status().ToString().c_str());
+            } else {
+              ++queries_run;
+            }
+            break;
+          }
+        }
+      }
+      std::printf("replayed %zu events (%u queries) in %.1f ms\n",
+                  events->size(), queries_run, replay_timer.ElapsedMillis());
+    } else if (std::sscanf(line, "trim %lf", &time) == 1) {
+      auto status = (*index)->TrimCaches(time);
+      std::printf("%s\n", status.ok() ? "ok" : status.ToString().c_str());
+    } else if (std::strncmp(line, "stats", 5) == 0) {
+      const auto& counters = (*index)->counters();
+      const auto mem = (*index)->Memory();
+      std::printf(
+          "updates=%llu tombstones=%llu queries=%llu cached_messages=%llu\n"
+          "memory: cpu=%llu B gpu=%llu B total=%llu B\n"
+          "device: kernels=%llu modeled_gpu=%.3f ms h2d=%llu B d2h=%llu B\n",
+          static_cast<unsigned long long>(counters.updates_ingested),
+          static_cast<unsigned long long>(counters.tombstones_written),
+          static_cast<unsigned long long>(counters.queries_processed),
+          static_cast<unsigned long long>((*index)->cached_messages()),
+          static_cast<unsigned long long>(mem.cpu_total()),
+          static_cast<unsigned long long>(mem.grid_gpu),
+          static_cast<unsigned long long>(mem.total()),
+          static_cast<unsigned long long>(device.kernel_launches()),
+          device.ClockSeconds() * 1e3,
+          static_cast<unsigned long long>(
+              device.ledger().totals().h2d_bytes),
+          static_cast<unsigned long long>(
+              device.ledger().totals().d2h_bytes));
+    } else if (std::strncmp(line, "help", 4) == 0) {
+      PrintHelp();
+    } else if (std::strncmp(line, "quit", 4) == 0 ||
+               std::strncmp(line, "exit", 4) == 0) {
+      break;
+    } else if (line[0] != '\n' && line[0] != '#') {
+      std::printf("unrecognized command; type 'help'\n");
+    }
+  }
+  return 0;
+}
