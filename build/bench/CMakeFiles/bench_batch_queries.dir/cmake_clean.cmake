@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batch_queries.dir/bench_batch_queries.cc.o"
+  "CMakeFiles/bench_batch_queries.dir/bench_batch_queries.cc.o.d"
+  "bench_batch_queries"
+  "bench_batch_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batch_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

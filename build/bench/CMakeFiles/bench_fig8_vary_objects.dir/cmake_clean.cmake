@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_vary_objects.dir/bench_fig8_vary_objects.cc.o"
+  "CMakeFiles/bench_fig8_vary_objects.dir/bench_fig8_vary_objects.cc.o.d"
+  "bench_fig8_vary_objects"
+  "bench_fig8_vary_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_vary_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "../lib/libgknn_bench_common.a"
+  "../lib/libgknn_bench_common.pdb"
+  "CMakeFiles/gknn_bench_common.dir/common/args.cc.o"
+  "CMakeFiles/gknn_bench_common.dir/common/args.cc.o.d"
+  "CMakeFiles/gknn_bench_common.dir/common/scenario.cc.o"
+  "CMakeFiles/gknn_bench_common.dir/common/scenario.cc.o.d"
+  "CMakeFiles/gknn_bench_common.dir/common/table.cc.o"
+  "CMakeFiles/gknn_bench_common.dir/common/table.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gknn_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

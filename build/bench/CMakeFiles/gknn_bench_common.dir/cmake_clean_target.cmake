@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libgknn_bench_common.a"
+)

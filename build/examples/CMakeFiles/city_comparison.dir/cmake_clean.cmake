@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_comparison.dir/city_comparison.cpp.o"
+  "CMakeFiles/city_comparison.dir/city_comparison.cpp.o.d"
+  "city_comparison"
+  "city_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

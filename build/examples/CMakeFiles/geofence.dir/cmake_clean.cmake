@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geofence.dir/geofence.cpp.o"
+  "CMakeFiles/geofence.dir/geofence.cpp.o.d"
+  "geofence"
+  "geofence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geofence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

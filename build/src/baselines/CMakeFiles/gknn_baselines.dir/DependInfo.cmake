@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/brute_force.cc" "src/baselines/CMakeFiles/gknn_baselines.dir/brute_force.cc.o" "gcc" "src/baselines/CMakeFiles/gknn_baselines.dir/brute_force.cc.o.d"
+  "/root/repo/src/baselines/cpu_grid.cc" "src/baselines/CMakeFiles/gknn_baselines.dir/cpu_grid.cc.o" "gcc" "src/baselines/CMakeFiles/gknn_baselines.dir/cpu_grid.cc.o.d"
+  "/root/repo/src/baselines/ggrid_adapter.cc" "src/baselines/CMakeFiles/gknn_baselines.dir/ggrid_adapter.cc.o" "gcc" "src/baselines/CMakeFiles/gknn_baselines.dir/ggrid_adapter.cc.o.d"
+  "/root/repo/src/baselines/road.cc" "src/baselines/CMakeFiles/gknn_baselines.dir/road.cc.o" "gcc" "src/baselines/CMakeFiles/gknn_baselines.dir/road.cc.o.d"
+  "/root/repo/src/baselines/vtree.cc" "src/baselines/CMakeFiles/gknn_baselines.dir/vtree.cc.o" "gcc" "src/baselines/CMakeFiles/gknn_baselines.dir/vtree.cc.o.d"
+  "/root/repo/src/baselines/vtree_gpu.cc" "src/baselines/CMakeFiles/gknn_baselines.dir/vtree_gpu.cc.o" "gcc" "src/baselines/CMakeFiles/gknn_baselines.dir/vtree_gpu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/roadnet/CMakeFiles/gknn_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/gknn_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gknn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gknn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gknn_baselines.dir/brute_force.cc.o"
+  "CMakeFiles/gknn_baselines.dir/brute_force.cc.o.d"
+  "CMakeFiles/gknn_baselines.dir/cpu_grid.cc.o"
+  "CMakeFiles/gknn_baselines.dir/cpu_grid.cc.o.d"
+  "CMakeFiles/gknn_baselines.dir/ggrid_adapter.cc.o"
+  "CMakeFiles/gknn_baselines.dir/ggrid_adapter.cc.o.d"
+  "CMakeFiles/gknn_baselines.dir/road.cc.o"
+  "CMakeFiles/gknn_baselines.dir/road.cc.o.d"
+  "CMakeFiles/gknn_baselines.dir/vtree.cc.o"
+  "CMakeFiles/gknn_baselines.dir/vtree.cc.o.d"
+  "CMakeFiles/gknn_baselines.dir/vtree_gpu.cc.o"
+  "CMakeFiles/gknn_baselines.dir/vtree_gpu.cc.o.d"
+  "libgknn_baselines.a"
+  "libgknn_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gknn_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/gknn_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/gknn_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/ggrid_index.cc" "src/core/CMakeFiles/gknn_core.dir/ggrid_index.cc.o" "gcc" "src/core/CMakeFiles/gknn_core.dir/ggrid_index.cc.o.d"
+  "/root/repo/src/core/graph_grid.cc" "src/core/CMakeFiles/gknn_core.dir/graph_grid.cc.o" "gcc" "src/core/CMakeFiles/gknn_core.dir/graph_grid.cc.o.d"
+  "/root/repo/src/core/grid_io.cc" "src/core/CMakeFiles/gknn_core.dir/grid_io.cc.o" "gcc" "src/core/CMakeFiles/gknn_core.dir/grid_io.cc.o.d"
+  "/root/repo/src/core/knn_engine.cc" "src/core/CMakeFiles/gknn_core.dir/knn_engine.cc.o" "gcc" "src/core/CMakeFiles/gknn_core.dir/knn_engine.cc.o.d"
+  "/root/repo/src/core/message_cleaner.cc" "src/core/CMakeFiles/gknn_core.dir/message_cleaner.cc.o" "gcc" "src/core/CMakeFiles/gknn_core.dir/message_cleaner.cc.o.d"
+  "/root/repo/src/core/mu.cc" "src/core/CMakeFiles/gknn_core.dir/mu.cc.o" "gcc" "src/core/CMakeFiles/gknn_core.dir/mu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/roadnet/CMakeFiles/gknn_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/gknn_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gknn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

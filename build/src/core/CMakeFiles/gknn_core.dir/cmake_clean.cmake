@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gknn_core.dir/cost_model.cc.o"
+  "CMakeFiles/gknn_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/gknn_core.dir/ggrid_index.cc.o"
+  "CMakeFiles/gknn_core.dir/ggrid_index.cc.o.d"
+  "CMakeFiles/gknn_core.dir/graph_grid.cc.o"
+  "CMakeFiles/gknn_core.dir/graph_grid.cc.o.d"
+  "CMakeFiles/gknn_core.dir/grid_io.cc.o"
+  "CMakeFiles/gknn_core.dir/grid_io.cc.o.d"
+  "CMakeFiles/gknn_core.dir/knn_engine.cc.o"
+  "CMakeFiles/gknn_core.dir/knn_engine.cc.o.d"
+  "CMakeFiles/gknn_core.dir/message_cleaner.cc.o"
+  "CMakeFiles/gknn_core.dir/message_cleaner.cc.o.d"
+  "CMakeFiles/gknn_core.dir/mu.cc.o"
+  "CMakeFiles/gknn_core.dir/mu.cc.o.d"
+  "libgknn_core.a"
+  "libgknn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gknn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

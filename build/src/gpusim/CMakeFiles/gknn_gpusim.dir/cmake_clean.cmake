@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gknn_gpusim.dir/scan.cc.o"
+  "CMakeFiles/gknn_gpusim.dir/scan.cc.o.d"
+  "libgknn_gpusim.a"
+  "libgknn_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gknn_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/roadnet/border_hierarchy.cc" "src/roadnet/CMakeFiles/gknn_roadnet.dir/border_hierarchy.cc.o" "gcc" "src/roadnet/CMakeFiles/gknn_roadnet.dir/border_hierarchy.cc.o.d"
+  "/root/repo/src/roadnet/dijkstra.cc" "src/roadnet/CMakeFiles/gknn_roadnet.dir/dijkstra.cc.o" "gcc" "src/roadnet/CMakeFiles/gknn_roadnet.dir/dijkstra.cc.o.d"
+  "/root/repo/src/roadnet/dimacs.cc" "src/roadnet/CMakeFiles/gknn_roadnet.dir/dimacs.cc.o" "gcc" "src/roadnet/CMakeFiles/gknn_roadnet.dir/dimacs.cc.o.d"
+  "/root/repo/src/roadnet/graph.cc" "src/roadnet/CMakeFiles/gknn_roadnet.dir/graph.cc.o" "gcc" "src/roadnet/CMakeFiles/gknn_roadnet.dir/graph.cc.o.d"
+  "/root/repo/src/roadnet/partitioner.cc" "src/roadnet/CMakeFiles/gknn_roadnet.dir/partitioner.cc.o" "gcc" "src/roadnet/CMakeFiles/gknn_roadnet.dir/partitioner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gknn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

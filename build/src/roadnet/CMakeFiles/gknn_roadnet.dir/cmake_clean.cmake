@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gknn_roadnet.dir/border_hierarchy.cc.o"
+  "CMakeFiles/gknn_roadnet.dir/border_hierarchy.cc.o.d"
+  "CMakeFiles/gknn_roadnet.dir/dijkstra.cc.o"
+  "CMakeFiles/gknn_roadnet.dir/dijkstra.cc.o.d"
+  "CMakeFiles/gknn_roadnet.dir/dimacs.cc.o"
+  "CMakeFiles/gknn_roadnet.dir/dimacs.cc.o.d"
+  "CMakeFiles/gknn_roadnet.dir/graph.cc.o"
+  "CMakeFiles/gknn_roadnet.dir/graph.cc.o.d"
+  "CMakeFiles/gknn_roadnet.dir/partitioner.cc.o"
+  "CMakeFiles/gknn_roadnet.dir/partitioner.cc.o.d"
+  "libgknn_roadnet.a"
+  "libgknn_roadnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gknn_roadnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

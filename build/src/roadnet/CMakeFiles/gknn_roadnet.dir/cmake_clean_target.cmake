@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgknn_roadnet.a"
+)

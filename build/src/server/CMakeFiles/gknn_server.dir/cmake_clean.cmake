@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gknn_server.dir/query_server.cc.o"
+  "CMakeFiles/gknn_server.dir/query_server.cc.o.d"
+  "libgknn_server.a"
+  "libgknn_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gknn_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gknn_util.dir/logging.cc.o"
+  "CMakeFiles/gknn_util.dir/logging.cc.o.d"
+  "CMakeFiles/gknn_util.dir/morton.cc.o"
+  "CMakeFiles/gknn_util.dir/morton.cc.o.d"
+  "CMakeFiles/gknn_util.dir/status.cc.o"
+  "CMakeFiles/gknn_util.dir/status.cc.o.d"
+  "CMakeFiles/gknn_util.dir/thread_pool.cc.o"
+  "CMakeFiles/gknn_util.dir/thread_pool.cc.o.d"
+  "libgknn_util.a"
+  "libgknn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gknn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/datasets.cc" "src/workload/CMakeFiles/gknn_workload.dir/datasets.cc.o" "gcc" "src/workload/CMakeFiles/gknn_workload.dir/datasets.cc.o.d"
+  "/root/repo/src/workload/moving_objects.cc" "src/workload/CMakeFiles/gknn_workload.dir/moving_objects.cc.o" "gcc" "src/workload/CMakeFiles/gknn_workload.dir/moving_objects.cc.o.d"
+  "/root/repo/src/workload/queries.cc" "src/workload/CMakeFiles/gknn_workload.dir/queries.cc.o" "gcc" "src/workload/CMakeFiles/gknn_workload.dir/queries.cc.o.d"
+  "/root/repo/src/workload/synthetic_network.cc" "src/workload/CMakeFiles/gknn_workload.dir/synthetic_network.cc.o" "gcc" "src/workload/CMakeFiles/gknn_workload.dir/synthetic_network.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/gknn_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/gknn_workload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/roadnet/CMakeFiles/gknn_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gknn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

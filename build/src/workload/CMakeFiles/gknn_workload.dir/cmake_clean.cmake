@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gknn_workload.dir/datasets.cc.o"
+  "CMakeFiles/gknn_workload.dir/datasets.cc.o.d"
+  "CMakeFiles/gknn_workload.dir/moving_objects.cc.o"
+  "CMakeFiles/gknn_workload.dir/moving_objects.cc.o.d"
+  "CMakeFiles/gknn_workload.dir/queries.cc.o"
+  "CMakeFiles/gknn_workload.dir/queries.cc.o.d"
+  "CMakeFiles/gknn_workload.dir/synthetic_network.cc.o"
+  "CMakeFiles/gknn_workload.dir/synthetic_network.cc.o.d"
+  "CMakeFiles/gknn_workload.dir/trace.cc.o"
+  "CMakeFiles/gknn_workload.dir/trace.cc.o.d"
+  "libgknn_workload.a"
+  "libgknn_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gknn_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgknn_workload.a"
+)

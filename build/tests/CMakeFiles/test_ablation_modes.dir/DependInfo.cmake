@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ablation_modes.cc" "tests/CMakeFiles/test_ablation_modes.dir/test_ablation_modes.cc.o" "gcc" "tests/CMakeFiles/test_ablation_modes.dir/test_ablation_modes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/gknn_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gknn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gknn_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/gknn_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadnet/CMakeFiles/gknn_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gknn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ablation_modes.dir/test_ablation_modes.cc.o"
+  "CMakeFiles/test_ablation_modes.dir/test_ablation_modes.cc.o.d"
+  "test_ablation_modes"
+  "test_ablation_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ablation_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_border_hierarchy.dir/test_border_hierarchy.cc.o"
+  "CMakeFiles/test_border_hierarchy.dir/test_border_hierarchy.cc.o.d"
+  "test_border_hierarchy"
+  "test_border_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_border_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ggrid_index.cc" "tests/CMakeFiles/test_ggrid_index.dir/test_ggrid_index.cc.o" "gcc" "tests/CMakeFiles/test_ggrid_index.dir/test_ggrid_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gknn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gknn_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/gknn_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadnet/CMakeFiles/gknn_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gknn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ggrid_index.dir/test_ggrid_index.cc.o"
+  "CMakeFiles/test_ggrid_index.dir/test_ggrid_index.cc.o.d"
+  "test_ggrid_index"
+  "test_ggrid_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ggrid_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

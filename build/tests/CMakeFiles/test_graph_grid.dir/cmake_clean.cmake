@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_grid.dir/test_graph_grid.cc.o"
+  "CMakeFiles/test_graph_grid.dir/test_graph_grid.cc.o.d"
+  "test_graph_grid"
+  "test_graph_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_index_maintenance.dir/test_index_maintenance.cc.o"
+  "CMakeFiles/test_index_maintenance.dir/test_index_maintenance.cc.o.d"
+  "test_index_maintenance"
+  "test_index_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_index_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_message_cleaner.dir/test_message_cleaner.cc.o"
+  "CMakeFiles/test_message_cleaner.dir/test_message_cleaner.cc.o.d"
+  "test_message_cleaner"
+  "test_message_cleaner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_message_cleaner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_message_list.dir/test_message_list.cc.o"
+  "CMakeFiles/test_message_list.dir/test_message_list.cc.o.d"
+  "test_message_list"
+  "test_message_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_message_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

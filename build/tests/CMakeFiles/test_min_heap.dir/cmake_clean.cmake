@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_min_heap.dir/test_min_heap.cc.o"
+  "CMakeFiles/test_min_heap.dir/test_min_heap.cc.o.d"
+  "test_min_heap"
+  "test_min_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_min_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

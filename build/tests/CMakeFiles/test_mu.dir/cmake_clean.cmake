@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mu.dir/test_mu.cc.o"
+  "CMakeFiles/test_mu.dir/test_mu.cc.o.d"
+  "test_mu"
+  "test_mu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_range_query.dir/test_range_query.cc.o"
+  "CMakeFiles/test_range_query.dir/test_range_query.cc.o.d"
+  "test_range_query"
+  "test_range_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_range_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gknn_cli.dir/gknn_cli.cc.o"
+  "CMakeFiles/gknn_cli.dir/gknn_cli.cc.o.d"
+  "gknn_cli"
+  "gknn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gknn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_record_replay "sh" "-c" "printf 'record /tmp/gknn_ci_trace.txt 50 1 5 4\\nreplay /tmp/gknn_ci_trace.txt\\nstats\\nquit\\n' | /root/repo/build/tools/gknn_cli --synthetic=400")
+set_tests_properties(cli_record_replay PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
