@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over every first-party translation unit using the
+# compile_commands.json of an existing build directory.
+#
+# Usage: scripts/run_clang_tidy.sh [clang-tidy-binary] [build-dir]
+set -euo pipefail
+
+TIDY="${1:-clang-tidy}"
+BUILD_DIR="${2:-build}"
+
+if ! command -v "${TIDY}" >/dev/null 2>&1; then
+  echo "error: ${TIDY} not found (install clang-tidy or pass its path)" >&2
+  exit 1
+fi
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "error: ${BUILD_DIR}/compile_commands.json missing;" \
+       "configure with cmake first (CMAKE_EXPORT_COMPILE_COMMANDS is on)" >&2
+  exit 1
+fi
+
+mapfile -t SOURCES < <(git ls-files 'src/**/*.cc' 'tests/*.cc' 'bench/*.cc' \
+                                    'examples/*.cc' 'tools/*.cc')
+if [[ ${#SOURCES[@]} -eq 0 ]]; then
+  echo "error: no sources found (run from the repository root)" >&2
+  exit 1
+fi
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+echo "clang-tidy: ${#SOURCES[@]} files, ${JOBS} jobs"
+printf '%s\n' "${SOURCES[@]}" |
+  xargs -P "${JOBS}" -n 4 "${TIDY}" -p "${BUILD_DIR}" --quiet
+echo "clang-tidy: clean"

@@ -21,8 +21,9 @@ util::Result<std::unique_ptr<VTreeG>> VTreeG::Build(
   // datasets where it does not fit, building fails — which is how the
   // paper's Fig. 5 omits V-Tree (G) on USA.
   const uint64_t index_bytes = vtree_g->inner_->MemoryBytes();
-  GKNN_ASSIGN_OR_RETURN(vtree_g->device_matrices_,
-                        DeviceBuffer<uint8_t>::Allocate(device, index_bytes));
+  GKNN_ASSIGN_OR_RETURN(
+      vtree_g->device_matrices_,
+      DeviceBuffer<uint8_t>::Allocate(device, index_bytes, "vtree_matrices"));
   device->ledger().RecordH2D(index_bytes, device->config());
   return vtree_g;
 }
@@ -54,7 +55,7 @@ void VTreeG::Flush() {
   const uint64_t work = inner_->last_update_work();
   const uint32_t threads = static_cast<uint32_t>(pending_.size());
   const double before_clock = device_->ClockSeconds();
-  device_->Launch(threads, [&](ThreadCtx& ctx) {
+  device_->Launch("VTreeG_Maintain", threads, [&](ThreadCtx& ctx) {
     // The eager maintenance work is spread across the warp's lanes.
     ctx.CountOps(work / threads + 1);
   });

@@ -162,9 +162,9 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::Query(
                                               : kInvalidVertex;
   };
 
-  GKNN_ASSIGN_OR_RETURN(
-      auto device_dist,
-      DeviceBuffer<Distance>::Allocate(device_, region_vertices.size()));
+  GKNN_ASSIGN_OR_RETURN(auto device_dist,
+                        DeviceBuffer<Distance>::Allocate(
+                            device_, region_vertices.size(), "D"));
   {
     std::vector<Distance> init(region_vertices.size(), kInfiniteDistance);
     const uint32_t seed = local_of(query_edge.target);
@@ -176,9 +176,15 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::Query(
   auto dist_span = device_dist.device_span();
 
   // One thread per vertex entry (real or virtual); each relaxes the
-  // delta_v in-edges it stores, with a device-wide barrier per round
-  // (paper: the edges of a vertex are stored together, so relaxations of
-  // different destination vertices never conflict).
+  // delta_v in-edges it stores, with a device-wide barrier per round.
+  // Distinct threads can touch the same D entry within a round — a virtual
+  // continuation slot shares its destination vertex with the real entry,
+  // and every thread reads the labels of its sources while their owners
+  // rewrite them — so the relaxation lowers D through AtomicMin, exactly
+  // like a real CUDA Bellman-Ford kernel. The plain Load of a source label
+  // beside those atomics reads some settled value of the round; either
+  // value keeps the label an upper bound that the fixpoint iteration
+  // finishes off.
   struct SlotRef {
     CellId cell;
     uint32_t slot;
@@ -190,7 +196,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::Query(
     }
   }
   const auto sdist_stats = device_->LaunchIterative(
-      static_cast<uint32_t>(slots.size()),
+      "GPU_SDist", static_cast<uint32_t>(slots.size()),
       /*max_iters=*/std::max<uint32_t>(1, st.candidate_vertices),
       options_->sdist_early_exit,
       [&](ThreadCtx& ctx, uint32_t) {
@@ -203,9 +209,10 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::Query(
                grid_->SlotEdges(ref.cell, ref.slot)) {
             const uint32_t src = local_of(e.source);
             if (src == kInvalidVertex) continue;  // edge from outside L
-            const Distance d = dist_span[src];
-            if (d != kInfiniteDistance && d + e.weight < dist_span[self]) {
-              dist_span[self] = d + e.weight;
+            const Distance d = device_dist.Load(ctx, src);
+            if (d != kInfiniteDistance &&
+                device_dist.AtomicMin(ctx, self, d + e.weight) >
+                    d + e.weight) {
               changed = true;
             }
           }
@@ -216,12 +223,13 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::Query(
   st.sdist_iterations = sdist_stats.iterations;
 
   // ---- Step 2b: GPU_First_k — candidate distances + k smallest -----------
-  auto object_distance = [&](const Message& m) -> Distance {
+  auto object_distance = [&](ThreadCtx& ctx, const Message& m) -> Distance {
     const Edge& e = graph.edge(m.edge);
     Distance d = kInfiniteDistance;
     const uint32_t src = local_of(e.source);
-    if (src != kInvalidVertex && dist_span[src] != kInfiniteDistance) {
-      d = dist_span[src] + m.offset;
+    if (src != kInvalidVertex) {
+      const Distance ds = device_dist.Load(ctx, src);
+      if (ds != kInfiniteDistance) d = ds + m.offset;
     }
     if (m.edge == location.edge && m.offset >= location.offset) {
       // Object ahead of the query on the same edge: direct along-edge path.
@@ -241,15 +249,18 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::Query(
   };
   std::vector<KnnResultEntry> candidate_topk;
   if (!candidates.empty()) {
-    GKNN_ASSIGN_OR_RETURN(
-        auto device_entries,
-        DeviceBuffer<DistEntry>::Allocate(device_, candidates.size()));
+    GKNN_ASSIGN_OR_RETURN(auto device_entries,
+                          DeviceBuffer<DistEntry>::Allocate(
+                              device_, candidates.size(), "entries"));
     auto entry_span = device_entries.device_span();
-    device_->Launch(static_cast<uint32_t>(candidates.size()),
+    device_->Launch("GPU_First_k/distances",
+                    static_cast<uint32_t>(candidates.size()),
                     [&](ThreadCtx& ctx) {
-                      entry_span[ctx.thread_id] = DistEntry{
-                          object_distance(candidates[ctx.thread_id]),
-                          ctx.thread_id};
+                      device_entries.Store(
+                          ctx, ctx.thread_id,
+                          DistEntry{
+                              object_distance(ctx, candidates[ctx.thread_id]),
+                              ctx.thread_id});
                       ctx.CountOps(2);
                     });
     // GPU_First_k: warp-bitonic k-smallest selection on the device; the k
@@ -274,31 +285,33 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::Query(
   std::vector<UnresolvedEntry> unresolved;
   {
     const uint32_t n = static_cast<uint32_t>(region_vertices.size());
-    auto is_unresolved = [&](uint32_t i) {
-      if (dist_span[i] >= l) return false;
+    auto is_unresolved = [&](ThreadCtx& ctx, uint32_t i) {
+      if (device_dist.Load(ctx, i) >= l) return false;
       for (EdgeId id : graph.OutEdgeIds(region_vertices[i])) {
         if (!in_l[grid_->CellOfVertex(graph.edge(id).target)]) return true;
       }
       return false;
     };
-    GKNN_ASSIGN_OR_RETURN(auto flags,
-                          DeviceBuffer<uint32_t>::Allocate(device_, n));
+    GKNN_ASSIGN_OR_RETURN(
+        auto flags, DeviceBuffer<uint32_t>::Allocate(device_, n, "flags"));
     auto flag_span = flags.device_span();
-    device_->Launch(n, [&](ThreadCtx& ctx) {
-      flag_span[ctx.thread_id] = is_unresolved(ctx.thread_id) ? 1 : 0;
+    device_->Launch("GPU_Unresolved/flag", n, [&](ThreadCtx& ctx) {
+      flags.Store(ctx, ctx.thread_id,
+                  is_unresolved(ctx, ctx.thread_id) ? 1 : 0);
       ctx.CountOps(1 + graph.OutDegree(region_vertices[ctx.thread_id]));
     });
     const uint32_t total = gpusim::ExclusiveScan(device_, flag_span);
     if (total > 0) {
-      GKNN_ASSIGN_OR_RETURN(
-          auto compacted,
-          DeviceBuffer<UnresolvedEntry>::Allocate(device_, total));
-      auto out_span = compacted.device_span();
-      device_->Launch(n, [&](ThreadCtx& ctx) {
+      GKNN_ASSIGN_OR_RETURN(auto compacted,
+                            DeviceBuffer<UnresolvedEntry>::Allocate(
+                                device_, total, "unresolved"));
+      device_->Launch("GPU_Unresolved/scatter", n, [&](ThreadCtx& ctx) {
         ctx.CountOps(1);
-        if (is_unresolved(ctx.thread_id)) {
-          out_span[flag_span[ctx.thread_id]] = UnresolvedEntry{
-              region_vertices[ctx.thread_id], dist_span[ctx.thread_id]};
+        if (is_unresolved(ctx, ctx.thread_id)) {
+          compacted.Store(ctx, flags.Load(ctx, ctx.thread_id),
+                          UnresolvedEntry{region_vertices[ctx.thread_id],
+                                          device_dist.Load(ctx,
+                                                           ctx.thread_id)});
         }
       });
       unresolved = compacted.Download();
@@ -465,9 +478,9 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRange(
     return local_id_epoch_[v] == query_epoch_ ? local_id_of_vertex_[v]
                                               : kInvalidVertex;
   };
-  GKNN_ASSIGN_OR_RETURN(
-      auto device_dist,
-      DeviceBuffer<Distance>::Allocate(device_, region_vertices.size()));
+  GKNN_ASSIGN_OR_RETURN(auto device_dist,
+                        DeviceBuffer<Distance>::Allocate(
+                            device_, region_vertices.size(), "D"));
   {
     std::vector<Distance> init(region_vertices.size(), kInfiniteDistance);
     const uint32_t seed = local_of(query_edge.target);
@@ -487,8 +500,9 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRange(
       slots.push_back(SlotRef{c, i});
     }
   }
+  // AtomicMin relaxation, same as the kNN path's GPU_SDist.
   const auto sdist_stats = device_->LaunchIterative(
-      static_cast<uint32_t>(slots.size()),
+      "GPU_SDist", static_cast<uint32_t>(slots.size()),
       std::max<uint32_t>(1, st.candidate_vertices),
       options_->sdist_early_exit, [&](ThreadCtx& ctx, uint32_t) {
         const SlotRef ref = slots[ctx.thread_id];
@@ -500,9 +514,10 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRange(
                grid_->SlotEdges(ref.cell, ref.slot)) {
             const uint32_t src = local_of(e.source);
             if (src == kInvalidVertex) continue;
-            const Distance d = dist_span[src];
-            if (d != kInfiniteDistance && d + e.weight < dist_span[self]) {
-              dist_span[self] = d + e.weight;
+            const Distance d = device_dist.Load(ctx, src);
+            if (d != kInfiniteDistance &&
+                device_dist.AtomicMin(ctx, self, d + e.weight) >
+                    d + e.weight) {
               changed = true;
             }
           }

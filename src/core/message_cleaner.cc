@@ -24,11 +24,12 @@ MessageCleaner::MessageCleaner(Device* device, const Options& options)
 }
 
 util::Status MessageCleaner::EnsureCapacity(DeviceBuffer<Message>* buffer,
-                                            size_t needed) {
+                                            size_t needed,
+                                            std::string_view name) {
   if (buffer->size() >= needed) return util::Status::OK();
   const size_t capacity = std::max(needed, buffer->size() * 2);
-  GKNN_ASSIGN_OR_RETURN(*buffer,
-                        DeviceBuffer<Message>::Allocate(device_, capacity));
+  GKNN_ASSIGN_OR_RETURN(
+      *buffer, DeviceBuffer<Message>::Allocate(device_, capacity, name));
   return util::Status::OK();
 }
 
@@ -133,21 +134,22 @@ util::Result<MessageCleaner::Outcome> MessageCleaner::Clean(
 
   // ---- Step 2: device memory (tables T and R, §IV-B2) --------------------
   GKNN_RETURN_NOT_OK(EnsureCapacity(
-      &device_messages_, static_cast<size_t>(n_buckets) * options_.delta_b));
+      &device_messages_, static_cast<size_t>(n_buckets) * options_.delta_b,
+      "L.A"));
   GKNN_RETURN_NOT_OK(EnsureCapacity(
-      &table_t_, static_cast<size_t>(num_objects) * n_bundles));
-  GKNN_RETURN_NOT_OK(EnsureCapacity(&table_r_, num_objects));
+      &table_t_, static_cast<size_t>(num_objects) * n_bundles, "T"));
+  GKNN_RETURN_NOT_OK(EnsureCapacity(&table_r_, num_objects, "R"));
 
-  auto t_span = table_t_.device_span();
   auto msg_span = device_messages_.device_span();
   // T starts empty: a device-side memset kernel, one entry per thread.
   // Its cost is what makes small delta_b expensive — more buckets mean
   // more bundles, hence a wider T and a slower GPU_Collect (the paper's
   // Fig. 4a left branch).
   device_->Launch(
+      "GPU_Memset_T",
       static_cast<uint32_t>(static_cast<size_t>(num_objects) * n_bundles),
       [&](ThreadCtx& ctx) {
-        t_span[ctx.thread_id] = kNullMessage;
+        table_t_.Store(ctx, ctx.thread_id, kNullMessage);
         ctx.CountOps(1);
       });
 
@@ -158,11 +160,25 @@ util::Result<MessageCleaner::Outcome> MessageCleaner::Clean(
   const uint32_t chunk_buckets =
       std::max(width, (options_.transfer_chunk_buckets / width) * width);
 
-  auto bucket_message = [&](uint32_t bucket, uint32_t i) -> const Message& {
-    return msg_span[static_cast<size_t>(bucket) * options_.delta_b + i];
+  // Checked kernel-side views of L.A and T. The hazard detector attributes
+  // every access to the calling bundle; elements of T are shared only
+  // *within* a bundle (each bundle owns its T column), which lockstep
+  // arbitration resolves — any cross-bundle conflict is a real bug and is
+  // flagged.
+  auto bucket_message = [&](const WarpCtx& warp, uint32_t bucket,
+                            uint32_t i) -> Message {
+    return device_messages_.Load(
+        warp, static_cast<size_t>(bucket) * options_.delta_b + i);
   };
-  auto t_entry = [&](uint32_t obj_idx, uint32_t bundle) -> Message& {
-    return t_span[static_cast<size_t>(obj_idx) * n_bundles + bundle];
+  auto t_load = [&](const WarpCtx& warp, uint32_t obj_idx,
+                    uint32_t bundle) -> Message {
+    return table_t_.Load(warp,
+                         static_cast<size_t>(obj_idx) * n_bundles + bundle);
+  };
+  auto t_store = [&](const WarpCtx& warp, uint32_t obj_idx, uint32_t bundle,
+                     const Message& m) {
+    table_t_.Store(warp, static_cast<size_t>(obj_idx) * n_bundles + bundle,
+                   m);
   };
 
   for (uint32_t first = 0; first < n_buckets; first += chunk_buckets) {
@@ -181,7 +197,7 @@ util::Result<MessageCleaner::Outcome> MessageCleaner::Clean(
     const uint32_t first_bundle = first / width;
     const uint32_t chunk_bundles = (count + width - 1) / width;
     auto stats = LaunchWarps(
-        device_, chunk_bundles, width, [&](WarpCtx& warp) {
+        device_, "GPU_X_Shuffle", chunk_bundles, width, [&](WarpCtx& warp) {
           const uint32_t bundle = first_bundle + warp.warp_id();
           // Per-lane message cache Gamma (Alg. 3 line 1). The paper sizes
           // it eta, but a lane performs eta+1 cache steps per read round
@@ -214,7 +230,7 @@ util::Result<MessageCleaner::Outcome> MessageCleaner::Clean(
               const uint32_t bucket = bundle * width + lane;
               if (bucket < n_buckets &&
                   round < host_buckets[bucket].size()) {
-                m[lane] = bucket_message(bucket, round);
+                m[lane] = bucket_message(warp, bucket, round);
               } else {
                 m[lane] = kNullMessage;
               }
@@ -272,13 +288,14 @@ util::Result<MessageCleaner::Outcome> MessageCleaner::Clean(
               for (uint32_t lane = 0; lane < width; ++lane) {
                 if (IsNullMessage(m[lane])) continue;
                 const uint32_t idx = object_index.at(m[lane].object);
-                const Message& current = t_entry(idx, bundle);
+                const Message current = t_load(warp, idx, bundle);
                 want[lane] =
                     IsNullMessage(current) || current.seq < m[lane].seq;
               }
               for (uint32_t lane = 0; lane < width; ++lane) {
                 if (want[lane]) {
-                  t_entry(object_index.at(m[lane].object), bundle) = m[lane];
+                  t_store(warp, object_index.at(m[lane].object), bundle,
+                          m[lane]);
                 }
               }
               // A compare-and-write round hits the global-memory table T;
@@ -297,19 +314,21 @@ util::Result<MessageCleaner::Outcome> MessageCleaner::Clean(
   std::vector<std::pair<ObjectId, uint32_t>> objects(object_index.begin(),
                                                      object_index.end());
   auto r_span = table_r_.device_span();
-  auto collect_stats = device_->Launch(num_objects, [&](ThreadCtx& ctx) {
-    const uint32_t idx = objects[ctx.thread_id].second;
-    Message best = kNullMessage;
-    for (uint32_t bundle = 0; bundle < n_bundles; ++bundle) {
-      const Message& candidate = t_entry(idx, bundle);
-      if (!IsNullMessage(candidate) &&
-          (IsNullMessage(best) || candidate.seq > best.seq)) {
-        best = candidate;
-      }
-    }
-    r_span[idx] = best;
-    ctx.CountOps(n_bundles);
-  });
+  auto collect_stats = device_->Launch(
+      "GPU_Collect", num_objects, [&](ThreadCtx& ctx) {
+        const uint32_t idx = objects[ctx.thread_id].second;
+        Message best = kNullMessage;
+        for (uint32_t bundle = 0; bundle < n_bundles; ++bundle) {
+          const Message candidate = table_t_.Load(
+              ctx, static_cast<size_t>(idx) * n_bundles + bundle);
+          if (!IsNullMessage(candidate) &&
+              (IsNullMessage(best) || candidate.seq > best.seq)) {
+            best = candidate;
+          }
+        }
+        table_r_.Store(ctx, idx, best);
+        ctx.CountOps(n_bundles);
+      });
   stream.MoveKernelToStream(collect_stats);
   stream.EnqueueD2H(static_cast<uint64_t>(num_objects) * sizeof(Message));
   outcome.pipeline_seconds = stream.Synchronize();

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "core/message_list.h"
@@ -71,9 +72,9 @@ class MessageCleaner {
  private:
   /// Grows a persistent device buffer to at least `needed` elements.
   /// Buffers are reused across Clean calls: steady-state cleaning performs
-  /// no device allocation.
+  /// no device allocation. `name` labels the buffer in hazard reports.
   util::Status EnsureCapacity(gpusim::DeviceBuffer<Message>* buffer,
-                              size_t needed);
+                              size_t needed, std::string_view name);
 
   gpusim::Device* device_;
   Options options_;

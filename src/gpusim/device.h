@@ -4,9 +4,12 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "gpusim/device_config.h"
+#include "gpusim/hazard.h"
 #include "gpusim/transfer_ledger.h"
 #include "util/logging.h"
 #include "util/status.h"
@@ -33,6 +36,9 @@ struct KernelStats {
   uint64_t total_ops = 0;
   uint32_t iterations = 1;
   double modeled_seconds = 0;
+  /// Data hazards the shadow-memory detector flagged during this launch
+  /// (always 0 when DeviceConfig::hazard_check is off).
+  uint32_t hazards = 0;
 };
 
 /// The simulated GPU.
@@ -100,14 +106,89 @@ class Device {
 
   void AddSimWallSeconds(double seconds) { sim_wall_seconds_ += seconds; }
 
+  // --- Hazard checking ------------------------------------------------------
+
+  /// Whether DeviceBuffers on this device carry shadow memory.
+  bool hazard_check() const { return config_.hazard_check; }
+
+  /// The current sync epoch. Accesses by distinct threads within one epoch
+  /// are concurrent; a kernel boundary, an iteration barrier, or an
+  /// explicit Sync() separates epochs — mirroring CUDA's happens-before
+  /// edges (kernel launches on one stream are ordered; __syncthreads()
+  /// orders accesses within a kernel).
+  uint64_t epoch() const { return epoch_; }
+
+  /// Advances the sync epoch, like cudaDeviceSynchronize: every access
+  /// before the call happens-before every access after it.
+  void Sync() { ++epoch_; }
+
+  /// Marks the start of a labeled kernel so hazard reports can name it.
+  /// Launch/LaunchIterative/LaunchWarps call this; kernels built from raw
+  /// loops may call it directly.
+  void BeginKernel(std::string_view label) {
+    current_kernel_ = label;
+    launch_hazard_base_ = hazard_count_;
+  }
+
+  /// Hazards recorded since the matching BeginKernel.
+  uint32_t KernelHazards() const {
+    return static_cast<uint32_t>(hazard_count_ - launch_hazard_base_);
+  }
+
+  /// Called by DeviceBuffer's checked accessors: records the access in the
+  /// buffer's shadow and files a HazardRecord on conflict.
+  void RecordAccess(ShadowMemory* shadow, std::string_view buffer_name,
+                    size_t index, uint32_t owner, AccessType type) {
+    auto prior = shadow->Record(index, epoch_, owner, type);
+    if (!prior) return;
+    ++hazard_count_;
+    if (hazards_.size() < config_.max_hazard_records) {
+      HazardRecord record;
+      record.kernel = current_kernel_;
+      record.buffer = std::string(buffer_name);
+      record.element = index;
+      record.first_owner = prior->owner;
+      record.second_owner = owner;
+      record.first_access = prior->access;
+      record.second_access = type;
+      if (hazards_.empty()) {
+        GKNN_LOG(Warning) << "data hazard detected: " << record.ToString();
+      }
+      hazards_.push_back(std::move(record));
+    }
+  }
+
+  /// Total hazards detected since construction / ClearHazards.
+  uint64_t hazard_count() const { return hazard_count_; }
+
+  /// The recorded hazards (capped at config().max_hazard_records).
+  const std::vector<HazardRecord>& hazards() const { return hazards_; }
+
+  void ClearHazards() {
+    hazards_.clear();
+    hazard_count_ = 0;
+    launch_hazard_base_ = 0;
+  }
+
+  /// OK when no hazard has been detected; otherwise an Internal error
+  /// carrying the first hazard and the total count.
+  util::Status HazardStatus() const {
+    if (hazard_count_ == 0) return util::Status::OK();
+    return util::Status::Internal(
+        std::to_string(hazard_count_) + " data hazard(s), first: " +
+        hazards_.front().ToString());
+  }
+
   // --- Kernel launches ------------------------------------------------------
 
   /// Launches a data-parallel kernel: `fn(ThreadCtx&)` runs once per thread
   /// id in [0, n_threads), with an implicit barrier at the end (kernel
-  /// boundary). Returns the launch statistics.
+  /// boundary). `label` names the kernel in hazard reports. Returns the
+  /// launch statistics.
   template <typename Fn>
-  KernelStats Launch(uint32_t n_threads, Fn&& fn) {
+  KernelStats Launch(std::string_view label, uint32_t n_threads, Fn&& fn) {
     const auto wall_start = std::chrono::steady_clock::now();
+    BeginKernel(label);
     KernelStats stats;
     stats.threads = n_threads;
     for (uint32_t tid = 0; tid < n_threads; ++tid) {
@@ -124,6 +205,11 @@ class Device {
     return stats;
   }
 
+  template <typename Fn>
+  KernelStats Launch(uint32_t n_threads, Fn&& fn) {
+    return Launch("<unlabeled>", n_threads, std::forward<Fn>(fn));
+  }
+
   /// Launches an iterative kernel with a device-wide barrier between
   /// iterations (the paper's `sync_threads()` in GPU_SDist, Alg. 5):
   /// `fn(ThreadCtx&, iter)` returns true if the thread changed any state.
@@ -131,11 +217,14 @@ class Device {
   /// kernel terminates after the first iteration in which no thread made a
   /// change (a fixpoint — the paper iterates a fixed |V| times, which is the
   /// worst-case bound for Bellman-Ford; stopping at the fixpoint computes
-  /// the identical result).
+  /// the identical result). Each barrier advances the hazard-check epoch:
+  /// accesses in different iterations never conflict.
   template <typename Fn>
-  KernelStats LaunchIterative(uint32_t n_threads, uint32_t max_iters,
-                              bool stop_when_stable, Fn&& fn) {
+  KernelStats LaunchIterative(std::string_view label, uint32_t n_threads,
+                              uint32_t max_iters, bool stop_when_stable,
+                              Fn&& fn) {
     const auto wall_start = std::chrono::steady_clock::now();
+    BeginKernel(label);
     KernelStats stats;
     stats.threads = n_threads;
     stats.iterations = 0;
@@ -152,18 +241,36 @@ class Device {
         if (ctx.ops > iter_max_ops) iter_max_ops = ctx.ops;
       }
       stats.max_thread_ops += iter_max_ops;
+      Sync();  // the device-wide barrier between iterations
       if (stop_when_stable && !any_changed) break;
     }
-    FinishLaunch(&stats, n_threads, /*sync_points=*/stats.iterations);
+    FinishLaunch(&stats, n_threads, /*sync_points=*/stats.iterations,
+                 /*synced=*/true);
     AddSimWallSeconds(std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - wall_start)
                           .count());
     return stats;
   }
 
+  template <typename Fn>
+  KernelStats LaunchIterative(uint32_t n_threads, uint32_t max_iters,
+                              bool stop_when_stable, Fn&& fn) {
+    return LaunchIterative("<unlabeled>", n_threads, max_iters,
+                           stop_when_stable, std::forward<Fn>(fn));
+  }
+
+  /// Closes a launch executed outside Launch/LaunchIterative (LaunchWarps):
+  /// stamps the hazard counter into `stats`, advances the epoch (kernel
+  /// boundary), and counts the launch.
+  void FinishExternalLaunch(KernelStats* stats) {
+    stats->hazards = KernelHazards();
+    Sync();
+    ++kernel_launches_;
+  }
+
  private:
   void FinishLaunch(KernelStats* stats, uint32_t n_threads,
-                    uint32_t sync_points) {
+                    uint32_t sync_points, bool synced = false) {
     const uint32_t cores = config_.num_cores;
     const uint64_t waves =
         n_threads == 0 ? 1 : (n_threads + cores - 1) / cores;
@@ -172,6 +279,8 @@ class Device {
         static_cast<double>(sync_points) * config_.cross_warp_sync_cycles;
     stats->modeled_seconds =
         config_.kernel_launch_seconds + config_.CyclesToSeconds(cycles);
+    stats->hazards = KernelHazards();
+    if (!synced) Sync();  // implicit barrier at the kernel boundary
     AdvanceClock(stats->modeled_seconds);
     ++kernel_launches_;
   }
@@ -183,6 +292,13 @@ class Device {
   uint64_t kernel_launches_ = 0;
   double clock_seconds_ = 0;
   double sim_wall_seconds_ = 0;
+
+  // Hazard-detector state (see docs/HAZARD_CHECKER.md).
+  uint64_t epoch_ = 1;  // 0 is "never accessed" in shadow cells
+  uint64_t hazard_count_ = 0;
+  uint64_t launch_hazard_base_ = 0;
+  std::string current_kernel_;
+  std::vector<HazardRecord> hazards_;
 };
 
 }  // namespace gknn::gpusim

@@ -3,10 +3,14 @@
 
 #include <algorithm>
 #include <span>
+#include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "gpusim/device.h"
+#include "gpusim/hazard.h"
+#include "gpusim/warp.h"
 #include "util/logging.h"
 #include "util/result.h"
 
@@ -16,9 +20,11 @@ namespace gknn::gpusim {
 ///
 /// Host code must move data in and out through Upload/Download, which charge
 /// the device's transfer ledger and clock — exactly the discipline CUDA
-/// imposes with cudaMemcpy. Kernel bodies access the contents through
-/// device_span(); by convention that accessor is only used inside kernels
-/// launched on the owning Device.
+/// imposes with cudaMemcpy. Kernel bodies access the contents through the
+/// checked per-element accessors Load/Store/AtomicMin, which feed the
+/// shadow-memory hazard detector when DeviceConfig::hazard_check is on
+/// (docs/HAZARD_CHECKER.md), or through device_span() for raw host-side
+/// plumbing (transfers, post-kernel readbacks).
 ///
 /// Move-only, like a real device allocation handle.
 template <typename T>
@@ -27,12 +33,16 @@ class DeviceBuffer {
   DeviceBuffer() = default;
 
   /// Allocates `n` elements on `device`; fails with ResourceExhausted when
-  /// device memory is exhausted.
-  static util::Result<DeviceBuffer<T>> Allocate(Device* device, size_t n) {
+  /// device memory is exhausted. `name` identifies the buffer in hazard
+  /// reports.
+  static util::Result<DeviceBuffer<T>> Allocate(Device* device, size_t n,
+                                                std::string_view name = "") {
     GKNN_RETURN_NOT_OK(device->RegisterAlloc(n * sizeof(T)));
     DeviceBuffer<T> buf;
     buf.device_ = device;
     buf.data_.resize(n);
+    buf.name_ = std::string(name);
+    if (device->hazard_check()) buf.shadow_.Resize(n);
     return buf;
   }
 
@@ -47,8 +57,11 @@ class DeviceBuffer {
       Release();
       device_ = other.device_;
       data_ = std::move(other.data_);
+      name_ = std::move(other.name_);
+      shadow_ = std::move(other.shadow_);
       other.device_ = nullptr;
       other.data_.clear();
+      other.shadow_.Resize(0);
     }
     return *this;
   }
@@ -57,6 +70,8 @@ class DeviceBuffer {
   size_t size() const { return data_.size(); }
   uint64_t size_bytes() const { return data_.size() * sizeof(T); }
   Device* device() const { return device_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string_view name) { name_ = std::string(name); }
 
   /// Copies `n` elements from host memory into the buffer at element offset
   /// `offset`. Charged to the ledger and the device clock (a synchronous
@@ -93,7 +108,52 @@ class DeviceBuffer {
     return out;
   }
 
-  /// Device-side view. Only for use inside kernel bodies.
+  // --- Checked kernel-side accessors ---------------------------------------
+  //
+  // Each access is attributed to an owner: the scalar thread for Launch
+  // kernels, the whole bundle for warp kernels (lanes run in lockstep, so
+  // intra-bundle conflicts are resolved by SIMT arbitration and are not
+  // hazards — see docs/HAZARD_CHECKER.md). With hazard_check off these
+  // compile down to the raw element access.
+
+  /// Reads element `i` from a scalar kernel thread.
+  const T& Load(const ThreadCtx& ctx, size_t i) const {
+    Track(i, ctx.thread_id, AccessType::kRead);
+    return data_[i];
+  }
+
+  /// Writes element `i` from a scalar kernel thread.
+  void Store(const ThreadCtx& ctx, size_t i, const T& value) {
+    Track(i, ctx.thread_id, AccessType::kWrite);
+    data_[i] = value;
+  }
+
+  /// Atomically lowers element `i` to min(current, value) and returns the
+  /// previous value — CUDA's atomicMin, the idiom parallel Bellman-Ford
+  /// relaxation kernels use. Atomic accesses never conflict with each
+  /// other.
+  T AtomicMin(const ThreadCtx& ctx, size_t i, const T& value) {
+    Track(i, ctx.thread_id, AccessType::kAtomic);
+    const T previous = data_[i];
+    if (value < previous) data_[i] = value;
+    return previous;
+  }
+
+  /// Reads element `i` from a warp kernel (owner = the whole bundle).
+  const T& Load(const WarpCtx& warp, size_t i) const {
+    Track(i, warp.owner(), AccessType::kRead);
+    return data_[i];
+  }
+
+  /// Writes element `i` from a warp kernel (owner = the whole bundle).
+  void Store(const WarpCtx& warp, size_t i, const T& value) {
+    Track(i, warp.owner(), AccessType::kWrite);
+    data_[i] = value;
+  }
+
+  /// Device-side view. Only for host-side plumbing (staging transfer
+  /// chunks, post-kernel readbacks) — kernel bodies use the checked
+  /// accessors above so the hazard detector sees their accesses.
   std::span<T> device_span() { return std::span<T>(data_); }
   std::span<const T> device_span() const {
     return std::span<const T>(data_);
@@ -105,12 +165,23 @@ class DeviceBuffer {
       device_->RegisterFree(size_bytes());
       device_ = nullptr;
       data_.clear();
+      shadow_.Resize(0);
     }
   }
 
  private:
+  void Track(size_t i, uint32_t owner, AccessType type) const {
+    GKNN_DCHECK(i < data_.size());
+    if (!shadow_.enabled()) return;
+    device_->RecordAccess(&shadow_, name_, i, owner, type);
+  }
+
   Device* device_ = nullptr;
   std::vector<T> data_;
+  std::string name_;
+  // Shadow cells mutate on Load too (reader tracking); accessors stay
+  // const like a read is.
+  mutable ShadowMemory shadow_;
 };
 
 }  // namespace gknn::gpusim

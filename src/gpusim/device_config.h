@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "gpusim/hazard.h"
+
 namespace gknn::gpusim {
 
 /// Cost-model parameters of the simulated GPU.
@@ -48,6 +50,18 @@ struct DeviceConfig {
   /// as the paper does ("its space cost is beyond the capacity of our
   /// GPU").
   uint64_t memory_bytes = 5ull << 30;
+
+  /// Enables the shadow-memory data-hazard detector (docs/HAZARD_CHECKER.md):
+  /// DeviceBuffer's checked Load/Store/AtomicMin accessors record
+  /// (owner, epoch, access type) per element and flag read-write or
+  /// write-write conflicts between distinct kernel threads within one sync
+  /// epoch. On by default in debug builds and under the test suite
+  /// (GKNN_HAZARD_CHECK=1 in the environment); off in release benchmarks.
+  bool hazard_check = DefaultHazardCheck();
+
+  /// Cap on stored HazardRecords per device; hazards beyond it are still
+  /// counted (a racy kernel can trip once per element per round).
+  uint32_t max_hazard_records = 64;
 
   /// Converts a cycle count to modeled seconds.
   double CyclesToSeconds(double cycles) const { return cycles / clock_hz; }

@@ -1,0 +1,115 @@
+#include "gpusim/hazard.h"
+
+#include <cstdlib>
+
+namespace gknn::gpusim {
+
+std::string_view AccessTypeName(AccessType type) {
+  switch (type) {
+    case AccessType::kRead:
+      return "read";
+    case AccessType::kWrite:
+      return "write";
+    case AccessType::kAtomic:
+      return "atomic";
+  }
+  return "unknown";
+}
+
+std::string OwnerName(uint32_t owner) {
+  if (owner == kManyOwners) return "multiple threads";
+  if (owner & kWarpOwnerFlag) {
+    return "warp " + std::to_string(owner & ~kWarpOwnerFlag);
+  }
+  return "thread " + std::to_string(owner);
+}
+
+std::string HazardRecord::ToString() const {
+  std::string out = kernel.empty() ? std::string("<unlabeled kernel>") : kernel;
+  out += ": ";
+  out += AccessTypeName(first_access);
+  out += "-";
+  out += AccessTypeName(second_access);
+  out += " hazard on '";
+  out += buffer.empty() ? std::string("<unnamed buffer>") : buffer;
+  out += "'[";
+  out += std::to_string(element);
+  out += "] between ";
+  out += OwnerName(first_owner);
+  out += " and ";
+  out += OwnerName(second_owner);
+  return out;
+}
+
+std::optional<ShadowMemory::Prior> ShadowMemory::Record(size_t index,
+                                                        uint64_t epoch,
+                                                        uint32_t owner,
+                                                        AccessType type) {
+  if (index >= cells_.size()) return std::nullopt;
+  Cell& cell = cells_[index];
+  std::optional<Prior> conflict;
+  auto conflicts_with = [&](uint64_t cell_epoch, uint32_t prior_owner,
+                            AccessType prior_type) {
+    if (cell_epoch == epoch && prior_owner != owner && !conflict) {
+      conflict = Prior{prior_owner, prior_type};
+    }
+  };
+
+  switch (type) {
+    case AccessType::kWrite:
+      conflicts_with(cell.write_epoch, cell.writer, AccessType::kWrite);
+      conflicts_with(cell.read_epoch, cell.reader, AccessType::kRead);
+      conflicts_with(cell.atomic_epoch, cell.atomic_owner,
+                     AccessType::kAtomic);
+      cell.writer = (cell.write_epoch == epoch && cell.writer != owner)
+                        ? kManyOwners
+                        : owner;
+      cell.write_epoch = epoch;
+      break;
+    case AccessType::kRead:
+      conflicts_with(cell.write_epoch, cell.writer, AccessType::kWrite);
+      if (cell.read_epoch != epoch) {
+        cell.reader = owner;
+        cell.read_epoch = epoch;
+      } else if (cell.reader != owner) {
+        cell.reader = kManyOwners;
+      }
+      break;
+    case AccessType::kAtomic:
+      conflicts_with(cell.write_epoch, cell.writer, AccessType::kWrite);
+      if (cell.atomic_epoch != epoch) {
+        cell.atomic_owner = owner;
+        cell.atomic_epoch = epoch;
+      } else if (cell.atomic_owner != owner) {
+        cell.atomic_owner = kManyOwners;
+      }
+      break;
+  }
+  return conflict;
+}
+
+namespace internal_hazard {
+
+bool& HazardCheckDefaultFlag() {
+  static bool flag = [] {
+#ifdef NDEBUG
+    // Release builds keep checking off unless the environment opts in
+    // (the test suite does, via ctest's ENVIRONMENT property).
+    const char* env = std::getenv("GKNN_HAZARD_CHECK");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+#else
+    return true;
+#endif
+  }();
+  return flag;
+}
+
+}  // namespace internal_hazard
+
+bool DefaultHazardCheck() { return internal_hazard::HazardCheckDefaultFlag(); }
+
+void SetHazardCheckDefault(bool on) {
+  internal_hazard::HazardCheckDefaultFlag() = on;
+}
+
+}  // namespace gknn::gpusim

@@ -1,0 +1,108 @@
+#ifndef GKNN_GPUSIM_HAZARD_H_
+#define GKNN_GPUSIM_HAZARD_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gknn::gpusim {
+
+/// How a kernel thread touched a device-buffer element. Atomic accesses
+/// (read-modify-write collectives like atomicMin) commute with each other,
+/// so two atomics never conflict; everything else follows the usual
+/// happens-before rules within one sync epoch.
+enum class AccessType : uint8_t { kRead = 0, kWrite = 1, kAtomic = 2 };
+
+std::string_view AccessTypeName(AccessType type);
+
+/// Owner ids identify the unit of execution whose accesses are mutually
+/// ordered. Scalar kernel threads own their accesses individually; a warp
+/// bundle executes in lockstep, so its lanes share one owner (intra-bundle
+/// conflicts are resolved by SIMT arbitration, which CUDA defines as "one
+/// lane's write wins"). The flag bit keeps the two id spaces disjoint.
+inline constexpr uint32_t kWarpOwnerFlag = 0x80000000u;
+
+/// Sentinel owner meaning "more than one distinct owner" (e.g. an element
+/// read by many threads in the same epoch).
+inline constexpr uint32_t kManyOwners = 0xffffffffu;
+
+/// Renders an owner id as "thread 7", "warp 3", or "multiple threads".
+std::string OwnerName(uint32_t owner);
+
+/// One detected data hazard: two kernel threads touched the same buffer
+/// element within the same sync epoch in a conflicting way.
+struct HazardRecord {
+  std::string kernel;       ///< label of the launch that detected it
+  std::string buffer;       ///< name of the DeviceBuffer
+  uint64_t element = 0;     ///< element index within the buffer
+  uint32_t first_owner = 0;  ///< earlier access (thread/warp id)
+  uint32_t second_owner = 0; ///< the access that closed the race
+  AccessType first_access = AccessType::kRead;
+  AccessType second_access = AccessType::kRead;
+
+  /// "GPU_SDist: write-write hazard on 'dist'[42] between thread 3 and
+  /// thread 7".
+  std::string ToString() const;
+};
+
+/// Per-element shadow state of one DeviceBuffer.
+///
+/// Each element carries the owners that last read / wrote / atomically
+/// updated it, tagged with the epoch of that access. Epoch tags make reuse
+/// across launches O(1): state from an earlier epoch is logically cleared
+/// without touching memory (exactly the trick TSan's shadow words and
+/// cuda-memcheck's racecheck use).
+class ShadowMemory {
+ public:
+  struct Prior {
+    uint32_t owner = 0;
+    AccessType access = AccessType::kRead;
+  };
+
+  /// Sizes the shadow to `n` elements. Passing 0 disables tracking.
+  void Resize(size_t n) { cells_.assign(n, Cell{}); }
+
+  bool enabled() const { return !cells_.empty(); }
+  size_t size() const { return cells_.size(); }
+
+  /// Records an access and returns the conflicting prior access within the
+  /// same epoch, if any. `owner` is the accessing thread or warp id.
+  ///
+  /// Conflict matrix (distinct owners, same epoch):
+  ///   write/write, read/write, write/read, atomic/write, write/atomic
+  ///     -> hazard
+  ///   read/read, atomic/atomic, atomic/read, read/atomic
+  ///     -> allowed (atomics commute; a plain read beside atomics observes
+  ///        some settled value, the usual relaxed-atomic idiom of GPU
+  ///        relaxation kernels)
+  std::optional<Prior> Record(size_t index, uint64_t epoch, uint32_t owner,
+                              AccessType type);
+
+ private:
+  struct Cell {
+    uint64_t write_epoch = 0;
+    uint64_t read_epoch = 0;
+    uint64_t atomic_epoch = 0;
+    uint32_t writer = 0;
+    uint32_t reader = 0;
+    uint32_t atomic_owner = 0;
+  };
+
+  std::vector<Cell> cells_;
+};
+
+/// Process-wide default for DeviceConfig::hazard_check. True in debug
+/// builds (!NDEBUG); in release builds it follows the GKNN_HAZARD_CHECK
+/// environment variable (the test suite sets it to 1), defaulting to off so
+/// benchmarks pay nothing.
+bool DefaultHazardCheck();
+
+/// Overrides the default for Devices constructed after the call (tests and
+/// tools; existing DeviceConfig values are unaffected).
+void SetHazardCheckDefault(bool on);
+
+}  // namespace gknn::gpusim
+
+#endif  // GKNN_GPUSIM_HAZARD_H_

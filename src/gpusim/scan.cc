@@ -16,7 +16,7 @@ uint32_t ExclusiveScan(Device* device, std::span<uint32_t> values) {
   uint32_t levels = 0;
   while ((1u << levels) < n) ++levels;
   const uint32_t half = std::max(1u, n / 2);
-  device->LaunchIterative(half, std::max(1u, 2 * levels),
+  device->LaunchIterative("ExclusiveScan", half, std::max(1u, 2 * levels),
                           /*stop_when_stable=*/false,
                           [&](ThreadCtx& ctx, uint32_t) {
                             ctx.CountOps(1);

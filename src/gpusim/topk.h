@@ -84,7 +84,7 @@ std::vector<T> TopKSmallest(Device* device, std::span<const T> values,
     }
   };
 
-  LaunchWarps(device, n_blocks, width, [&](WarpCtx& warp) {
+  LaunchWarps(device, "GPU_First_k/sort", n_blocks, width, [&](WarpCtx& warp) {
     bitonic_sort(warp, blocks[warp.warp_id()]);
   });
 
@@ -92,7 +92,7 @@ std::vector<T> TopKSmallest(Device* device, std::span<const T> values,
   uint32_t live = n_blocks;
   while (live > 1) {
     const uint32_t pairs = live / 2;
-    LaunchWarps(device, pairs, width, [&](WarpCtx& warp) {
+    LaunchWarps(device, "GPU_First_k/merge", pairs, width, [&](WarpCtx& warp) {
       std::vector<T>& a = blocks[2 * warp.warp_id()];
       std::vector<T>& b = blocks[2 * warp.warp_id() + 1];
       // C[i] = min(A[i], B[width-1-i]): the B smallest of A ∪ B, bitonic.

@@ -4,10 +4,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "gpusim/device.h"
+#include "gpusim/hazard.h"
 #include "util/logging.h"
 
 namespace gknn::gpusim {
@@ -30,6 +32,12 @@ class WarpCtx {
   uint32_t warp_id() const { return warp_id_; }
   uint32_t width() const { return width_; }
   Device* device() const { return device_; }
+
+  /// Hazard-detector owner id of this bundle. All lanes share it: they
+  /// execute in lockstep, so conflicting lane accesses within one bundle
+  /// are resolved by SIMT arbitration (CUDA: "one lane's write wins"),
+  /// not hazards. Conflicts *between* bundles are real and flagged.
+  uint32_t owner() const { return kWarpOwnerFlag | warp_id_; }
 
   /// Butterfly shuffle: lane i receives the register value of lane
   /// (i XOR lane_mask). This is the paper's shuffle_xor (§IV-C2). The
@@ -75,11 +83,12 @@ class WarpCtx {
 /// once per bundle. Bundles are independent (the paper: "each bundle works
 /// independently from the others"), so the modeled duration is the slowest
 /// bundle times the number of waves needed to place all lanes on the
-/// device's cores.
+/// device's cores. `label` names the kernel in hazard reports.
 template <typename Fn>
-KernelStats LaunchWarps(Device* device, uint32_t n_warps, uint32_t width,
-                        Fn&& fn) {
+KernelStats LaunchWarps(Device* device, std::string_view label,
+                        uint32_t n_warps, uint32_t width, Fn&& fn) {
   const auto wall_start = std::chrono::steady_clock::now();
+  device->BeginKernel(label);
   KernelStats stats;
   stats.threads = n_warps * width;
   uint64_t max_warp_cycles = 0;
@@ -101,10 +110,18 @@ KernelStats LaunchWarps(Device* device, uint32_t n_warps, uint32_t width,
       config.CyclesToSeconds(static_cast<double>(max_warp_cycles) *
                              static_cast<double>(waves));
   device->AdvanceClock(stats.modeled_seconds);
+  device->FinishExternalLaunch(&stats);
   device->AddSimWallSeconds(std::chrono::duration<double>(
                                 std::chrono::steady_clock::now() - wall_start)
                                 .count());
   return stats;
+}
+
+template <typename Fn>
+KernelStats LaunchWarps(Device* device, uint32_t n_warps, uint32_t width,
+                        Fn&& fn) {
+  return LaunchWarps(device, "<unlabeled>", n_warps, width,
+                     std::forward<Fn>(fn));
 }
 
 }  // namespace gknn::gpusim

@@ -1,0 +1,149 @@
+// Thread-sanitizer stress target: hammers the QueryServer with concurrent
+// producers, concurrent queriers, and ThreadPool-submitted update bursts at
+// once. Functional assertions keep it honest in normal runs; under
+// -fsanitize=thread (the sanitize-tsan CI job) it additionally proves the
+// inbox striping, the index mutex, and the ThreadPool queue are race-free.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "baselines/brute_force.h"
+#include "server/query_server.h"
+#include "util/thread_pool.h"
+#include "workload/moving_objects.h"
+#include "workload/synthetic_network.h"
+
+namespace gknn::server {
+namespace {
+
+using roadnet::EdgePoint;
+using roadnet::Graph;
+
+struct StressFixture {
+  explicit StressFixture(uint32_t vertices, uint64_t seed)
+      : graph(std::move(workload::GenerateSyntheticRoadNetwork(
+                            {.num_vertices = vertices, .seed = seed}))
+                  .ValueOrDie()),
+        pool(4) {
+    server = std::move(QueryServer::Create(&graph, core::GGridOptions{},
+                                           &device, &pool))
+                 .ValueOrDie();
+  }
+  Graph graph;
+  gpusim::Device device;
+  util::ThreadPool pool;
+  std::unique_ptr<QueryServer> server;
+};
+
+TEST(ConcurrentStressTest, QueriesUpdatesAndPoolBurstsDoNotRace) {
+  StressFixture fx(400, 11);
+  constexpr uint32_t kObjects = 96;
+  constexpr int kRounds = 20;
+  constexpr int kProducers = 3;
+  std::atomic<bool> go{false};
+
+  // Raw producer threads: interleaved position updates, final one wins.
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      while (!go.load()) std::this_thread::yield();
+      for (int round = 0; round < kRounds; ++round) {
+        for (uint32_t o = t; o < kObjects; o += kProducers) {
+          const roadnet::EdgeId e =
+              (o * 13 + round * 17) % fx.graph.num_edges();
+          fx.server->Report(o, {e, 0}, round * 0.1);
+        }
+      }
+    });
+  }
+
+  // ThreadPool bursts: the same pool the index uses for Refine_kNN also
+  // carries producer work, so pool workers and query-triggered refinement
+  // interleave on the queue.
+  std::thread submitter([&] {
+    while (!go.load()) std::this_thread::yield();
+    for (int burst = 0; burst < 8; ++burst) {
+      fx.pool.Submit([&, burst] {
+        for (uint32_t o = 0; o < kObjects; o += 7) {
+          fx.server->Report(
+              o, {(o + burst) % fx.graph.num_edges(), 0}, 50.0 + burst);
+        }
+      });
+    }
+  });
+
+  // Two query threads racing each other and the producers; every mid-stream
+  // answer must be well-formed (distances sorted ascending).
+  std::vector<std::thread> queriers;
+  for (int q = 0; q < 2; ++q) {
+    queriers.emplace_back([&, q] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < 12; ++i) {
+        const roadnet::EdgeId e = (q * 101 + i * 37) % fx.graph.num_edges();
+        auto r = fx.server->QueryKnn({e, 0}, 6, 100.0);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        for (size_t j = 1; j < r->size(); ++j) {
+          EXPECT_LE((*r)[j - 1].distance, (*r)[j].distance);
+        }
+      }
+    });
+  }
+
+  go.store(true);
+  for (auto& p : producers) p.join();
+  submitter.join();
+  for (auto& q : queriers) q.join();
+  fx.pool.Wait();
+
+  // Settle every object on a deterministic final position, then the server
+  // must agree with a single-threaded oracle fed only those positions.
+  for (uint32_t o = 0; o < kObjects; ++o) {
+    fx.server->Report(o, {o % fx.graph.num_edges(), 0}, 1000.0);
+  }
+  baselines::BruteForce oracle(&fx.graph);
+  for (uint32_t o = 0; o < kObjects; ++o) {
+    oracle.Ingest(o, {o % fx.graph.num_edges(), 0}, 1000.0);
+  }
+  for (roadnet::EdgeId e : {3u, 59u, 210u, 388u}) {
+    auto got = fx.server->QueryKnn({e % fx.graph.num_edges(), 0}, 10, 1000.0);
+    auto want = oracle.QueryKnn({e % fx.graph.num_edges(), 0}, 10, 1000.0);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(want.ok());
+    ASSERT_EQ(got->size(), want->size());
+    for (size_t i = 0; i < want->size(); ++i) {
+      EXPECT_EQ((*got)[i].distance, (*want)[i].distance) << "edge " << e;
+    }
+  }
+  // The kernels that ran under the stress were hazard-free too.
+  EXPECT_TRUE(fx.device.HazardStatus().ok())
+      << fx.device.HazardStatus().ToString();
+}
+
+TEST(ConcurrentStressTest, ParallelForAndSubmitInterleave) {
+  // ThreadPool-only stress: ParallelFor from one thread while another
+  // floods Submit — exercises in_flight_ accounting and both condition
+  // variables under contention.
+  util::ThreadPool pool(4);
+  std::atomic<uint64_t> sum{0};
+  std::atomic<bool> go{false};
+  std::thread submitter([&] {
+    while (!go.load()) std::this_thread::yield();
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&] { sum.fetch_add(1, std::memory_order_relaxed); });
+    }
+  });
+  go.store(true);
+  for (int round = 0; round < 20; ++round) {
+    pool.ParallelFor(64, [&](uint64_t) {
+      sum.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  submitter.join();
+  pool.Wait();
+  EXPECT_EQ(sum.load(), 200u + 20u * 64u);
+}
+
+}  // namespace
+}  // namespace gknn::server

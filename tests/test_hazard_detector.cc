@@ -1,0 +1,331 @@
+#include "gpusim/hazard.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/message_cleaner.h"
+#include "gpusim/device.h"
+#include "gpusim/device_buffer.h"
+#include "gpusim/warp.h"
+#include "util/rng.h"
+
+namespace gknn::gpusim {
+namespace {
+
+DeviceConfig HazardOnConfig() {
+  DeviceConfig config;
+  config.hazard_check = true;
+  return config;
+}
+
+template <typename T>
+DeviceBuffer<T> MustAllocate(Device* device, size_t n, std::string_view name) {
+  auto buf = DeviceBuffer<T>::Allocate(device, n, name);
+  EXPECT_TRUE(buf.ok()) << buf.status().ToString();
+  return std::move(buf).ValueOrDie();
+}
+
+// The seeded race of the acceptance criteria: a toy kernel where every
+// thread writes the same element. The detector must name the kernel, the
+// buffer, the element, and the first conflicting thread pair.
+TEST(HazardDetectorTest, SeededWriteWriteRaceIsReported) {
+  Device device(HazardOnConfig());
+  auto out = MustAllocate<int>(&device, 8, "out");
+
+  const KernelStats stats = device.Launch("ToyRace", 4, [&](ThreadCtx& ctx) {
+    out.Store(ctx, 3, static_cast<int>(ctx.thread_id));
+  });
+
+  // Threads 1, 2, 3 each close a race against the prior writer(s) of [3].
+  EXPECT_EQ(stats.hazards, 3u);
+  EXPECT_EQ(device.hazard_count(), 3u);
+  ASSERT_FALSE(device.hazards().empty());
+  const HazardRecord& first = device.hazards().front();
+  EXPECT_EQ(first.kernel, "ToyRace");
+  EXPECT_EQ(first.buffer, "out");
+  EXPECT_EQ(first.element, 3u);
+  EXPECT_EQ(first.first_owner, 0u);
+  EXPECT_EQ(first.second_owner, 1u);
+  EXPECT_EQ(first.first_access, AccessType::kWrite);
+  EXPECT_EQ(first.second_access, AccessType::kWrite);
+  EXPECT_EQ(first.ToString(),
+            "ToyRace: write-write hazard on 'out'[3] between thread 0 and "
+            "thread 1");
+
+  const util::Status status = device.HazardStatus();
+  EXPECT_TRUE(status.IsInternal());
+  EXPECT_NE(status.message().find("3 data hazard(s)"), std::string::npos);
+  EXPECT_NE(status.message().find("'out'[3]"), std::string::npos);
+
+  device.ClearHazards();
+  EXPECT_EQ(device.hazard_count(), 0u);
+  EXPECT_TRUE(device.HazardStatus().ok());
+}
+
+TEST(HazardDetectorTest, ReadWriteRaceIsReported) {
+  Device device(HazardOnConfig());
+  auto buf = MustAllocate<int>(&device, 4, "shared");
+
+  const KernelStats stats = device.Launch("ReadWrite", 2, [&](ThreadCtx& ctx) {
+    if (ctx.thread_id == 0) {
+      (void)buf.Load(ctx, 1);
+    } else {
+      buf.Store(ctx, 1, 99);
+    }
+  });
+
+  EXPECT_EQ(stats.hazards, 1u);
+  ASSERT_EQ(device.hazards().size(), 1u);
+  const HazardRecord& record = device.hazards().front();
+  EXPECT_EQ(record.first_access, AccessType::kRead);
+  EXPECT_EQ(record.second_access, AccessType::kWrite);
+  EXPECT_EQ(record.first_owner, 0u);
+  EXPECT_EQ(record.second_owner, 1u);
+}
+
+TEST(HazardDetectorTest, DisjointAndPrivateAccessesAreClean) {
+  Device device(HazardOnConfig());
+  auto buf = MustAllocate<int>(&device, 64, "data");
+
+  // The embarrassingly parallel pattern: thread i owns element i.
+  const KernelStats stats = device.Launch("Disjoint", 64, [&](ThreadCtx& ctx) {
+    buf.Store(ctx, ctx.thread_id, 1);
+    buf.Store(ctx, ctx.thread_id, buf.Load(ctx, ctx.thread_id) + 1);
+  });
+  EXPECT_EQ(stats.hazards, 0u);
+  EXPECT_EQ(device.hazard_count(), 0u);
+}
+
+TEST(HazardDetectorTest, SharedReadsAreClean) {
+  Device device(HazardOnConfig());
+  auto buf = MustAllocate<int>(&device, 4, "lut");
+  device.Launch("SharedReads", 32,
+                [&](ThreadCtx& ctx) { (void)buf.Load(ctx, 0); });
+  EXPECT_EQ(device.hazard_count(), 0u);
+}
+
+TEST(HazardDetectorTest, KernelBoundaryEndsTheEpoch) {
+  Device device(HazardOnConfig());
+  auto buf = MustAllocate<int>(&device, 4, "ping");
+
+  // Two back-to-back launches touching the same element from different
+  // threads: the implicit sync at the kernel boundary orders them, exactly
+  // like consecutive kernels on one CUDA stream.
+  device.Launch("First", 1, [&](ThreadCtx& ctx) { buf.Store(ctx, 2, 1); });
+  device.Launch("Second", 4, [&](ThreadCtx& ctx) {
+    if (ctx.thread_id == 3) buf.Store(ctx, 2, 2);
+  });
+  EXPECT_EQ(device.hazard_count(), 0u);
+}
+
+TEST(HazardDetectorTest, IterationBarrierEndsTheEpoch) {
+  Device device(HazardOnConfig());
+  auto buf = MustAllocate<int>(&device, 1, "cell");
+
+  // Different threads write the same element in *different* iterations of
+  // an iterative kernel: the inter-iteration barrier (the paper's
+  // sync_threads in GPU_SDist) makes that well-defined.
+  const KernelStats stats = device.LaunchIterative(
+      "Ping", 2, /*max_iters=*/2, /*stop_when_stable=*/false,
+      [&](ThreadCtx& ctx, uint32_t iter) {
+        if (ctx.thread_id == iter) buf.Store(ctx, 0, static_cast<int>(iter));
+        return true;
+      });
+  EXPECT_EQ(stats.iterations, 2u);
+  EXPECT_EQ(stats.hazards, 0u);
+
+  // Whereas the same writes within one iteration race.
+  device.LaunchIterative("Race", 2, /*max_iters=*/1,
+                         /*stop_when_stable=*/false,
+                         [&](ThreadCtx& ctx, uint32_t) {
+                           buf.Store(ctx, 0, 7);
+                           return false;
+                         });
+  EXPECT_EQ(device.hazard_count(), 1u);
+}
+
+TEST(HazardDetectorTest, AtomicsCommuteButConflictWithPlainWrites) {
+  Device device(HazardOnConfig());
+  auto buf = MustAllocate<int>(&device, 2, "dist");
+  std::vector<int> init = {100, 100};
+  buf.Upload(init);
+
+  // Many atomicMins on one element: allowed, and the min wins.
+  device.Launch("AtomicOnly", 8, [&](ThreadCtx& ctx) {
+    const int prev = buf.AtomicMin(ctx, 0, static_cast<int>(ctx.thread_id));
+    EXPECT_LE(prev, 100);
+  });
+  EXPECT_EQ(device.hazard_count(), 0u);
+  EXPECT_EQ(buf.Download()[0], 0);
+
+  // A plain read beside atomics is the relaxed idiom relaxation kernels
+  // use — also allowed.
+  device.Launch("AtomicAndRead", 4, [&](ThreadCtx& ctx) {
+    if (ctx.thread_id % 2 == 0) {
+      buf.AtomicMin(ctx, 1, 50);
+    } else {
+      (void)buf.Load(ctx, 1);
+    }
+  });
+  EXPECT_EQ(device.hazard_count(), 0u);
+
+  // But a plain write racing an atomic is a bug in either order.
+  device.Launch("WriteThenAtomic", 2, [&](ThreadCtx& ctx) {
+    if (ctx.thread_id == 0) {
+      buf.Store(ctx, 0, 5);
+    } else {
+      buf.AtomicMin(ctx, 0, 3);
+    }
+  });
+  ASSERT_EQ(device.hazard_count(), 1u);
+  EXPECT_EQ(device.hazards().back().first_access, AccessType::kWrite);
+  EXPECT_EQ(device.hazards().back().second_access, AccessType::kAtomic);
+
+  device.ClearHazards();
+  device.Launch("AtomicThenWrite", 2, [&](ThreadCtx& ctx) {
+    if (ctx.thread_id == 0) {
+      buf.AtomicMin(ctx, 0, 3);
+    } else {
+      buf.Store(ctx, 0, 5);
+    }
+  });
+  ASSERT_EQ(device.hazard_count(), 1u);
+  EXPECT_EQ(device.hazards().back().first_access, AccessType::kAtomic);
+  EXPECT_EQ(device.hazards().back().second_access, AccessType::kWrite);
+}
+
+TEST(HazardDetectorTest, BundleLanesShareOneOwner) {
+  Device device(HazardOnConfig());
+  auto buf = MustAllocate<int>(&device, 8, "regs");
+
+  // Lanes of one bundle writing the same element run in lockstep; SIMT
+  // arbitration resolves it ("one lane's write wins"), so it is not a
+  // hazard. The paper's X-shuffle write rounds rely on exactly this.
+  LaunchWarps(&device, "IntraBundle", 1, 4, [&](WarpCtx& warp) {
+    for (uint32_t lane = 0; lane < warp.width(); ++lane) {
+      buf.Store(warp, 0, static_cast<int>(lane));
+    }
+  });
+  EXPECT_EQ(device.hazard_count(), 0u);
+
+  // Two *bundles* writing the same element do race.
+  const KernelStats stats =
+      LaunchWarps(&device, "CrossBundle", 2, 4, [&](WarpCtx& warp) {
+        buf.Store(warp, 5, static_cast<int>(warp.warp_id()));
+      });
+  EXPECT_EQ(stats.hazards, 1u);
+  ASSERT_EQ(device.hazards().size(), 1u);
+  const HazardRecord& record = device.hazards().front();
+  EXPECT_EQ(record.first_owner, kWarpOwnerFlag | 0u);
+  EXPECT_EQ(record.second_owner, kWarpOwnerFlag | 1u);
+  EXPECT_EQ(record.ToString(),
+            "CrossBundle: write-write hazard on 'regs'[5] between warp 0 "
+            "and warp 1");
+}
+
+TEST(HazardDetectorTest, DisabledCheckRecordsNothing) {
+  DeviceConfig config;
+  config.hazard_check = false;
+  Device device(config);
+  auto buf = MustAllocate<int>(&device, 4, "out");
+
+  const KernelStats stats = device.Launch("Race", 4, [&](ThreadCtx& ctx) {
+    buf.Store(ctx, 0, static_cast<int>(ctx.thread_id));
+  });
+  EXPECT_EQ(stats.hazards, 0u);
+  EXPECT_EQ(device.hazard_count(), 0u);
+  EXPECT_TRUE(device.HazardStatus().ok());
+}
+
+TEST(HazardDetectorTest, RecordStorageIsCappedButCountingContinues) {
+  DeviceConfig config = HazardOnConfig();
+  config.max_hazard_records = 2;
+  Device device(config);
+  auto buf = MustAllocate<int>(&device, 1, "hot");
+
+  device.Launch("ManyRaces", 8, [&](ThreadCtx& ctx) {
+    buf.Store(ctx, 0, static_cast<int>(ctx.thread_id));
+  });
+  EXPECT_EQ(device.hazard_count(), 7u);
+  EXPECT_EQ(device.hazards().size(), 2u);
+  EXPECT_TRUE(device.HazardStatus().IsInternal());
+}
+
+TEST(HazardDetectorTest, DefaultFollowsProcessWideOverride) {
+  const bool prev = DefaultHazardCheck();
+  SetHazardCheckDefault(false);
+  EXPECT_FALSE(DeviceConfig{}.hazard_check);
+  SetHazardCheckDefault(true);
+  EXPECT_TRUE(DeviceConfig{}.hazard_check);
+  SetHazardCheckDefault(prev);
+}
+
+// --- End-to-end: the real kernels run hazard-free --------------------------
+
+// X-shuffle (and GPU_Collect behind it) must be hazard-free for every
+// bundle width eta in {0..5}: bundles write disjoint T columns, so a
+// conflict would be a real indexing bug. This drives the actual
+// MessageCleaner through a randomized workload with tombstoned cell moves.
+class XShuffleHazardTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(XShuffleHazardTest, CleaningReportsZeroHazards) {
+  const uint32_t eta = GetParam();
+  core::MessageCleaner::Options options;
+  options.eta = eta;
+  options.delta_b = 4;
+  options.t_delta = 1000.0;
+  options.transfer_chunk_buckets = 2 * (1u << eta);  // force chunking
+
+  Device device(HazardOnConfig());
+  ASSERT_TRUE(device.hazard_check());
+  core::MessageCleaner cleaner(&device, options);
+  core::BucketArena arena(options.delta_b);
+  const uint32_t num_cells = 4;
+  std::vector<core::MessageList> lists(num_cells);
+  std::vector<core::CellId> cells;
+  for (core::CellId c = 0; c < num_cells; ++c) cells.push_back(c);
+
+  util::Rng rng(eta + 1);
+  std::map<core::ObjectId, core::CellId> position;
+  uint64_t seq = 0;
+  for (int step = 0; step < 300; ++step) {
+    const auto o = static_cast<core::ObjectId>(rng.NextBounded(24));
+    const auto cell = static_cast<core::CellId>(rng.NextBounded(num_cells));
+    core::Message m;
+    m.object = o;
+    m.time = 1.0;
+    m.cell = cell;
+    auto it = position.find(o);
+    if (it != position.end() && it->second != cell) {
+      core::Message tomb = m;
+      tomb.edge = roadnet::kInvalidEdge;
+      tomb.cell = it->second;
+      tomb.seq = ++seq;
+      lists[it->second].Append(&arena, tomb);
+    }
+    m.edge = 7;
+    m.seq = ++seq;
+    lists[cell].Append(&arena, m);
+    position[o] = cell;
+  }
+
+  auto outcome = cleaner.Clean(cells, 1.0, &arena, &lists);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->latest.size(), position.size());
+  EXPECT_EQ(device.hazard_count(), 0u) << device.HazardStatus().ToString();
+  EXPECT_TRUE(device.HazardStatus().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(EtaSweep, XShuffleHazardTest,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u),
+                         [](const ::testing::TestParamInfo<uint32_t>& info) {
+                           return "eta" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace gknn::gpusim
