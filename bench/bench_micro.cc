@@ -231,7 +231,7 @@ void BM_TopKSelect(benchmark::State& state) {
     auto result = gpusim::TopKSmallest<uint64_t>(
         &device, buf->device_span(), k,
         std::numeric_limits<uint64_t>::max());
-    benchmark::DoNotOptimize(result.data());
+    benchmark::DoNotOptimize(result->data());
   }
   state.SetItemsProcessed(state.iterations() * n);
 }

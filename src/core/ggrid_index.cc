@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "gpusim/fault_injector.h"
 #include "util/logging.h"
 
 namespace gknn::core {
@@ -44,11 +45,22 @@ util::Result<std::unique_ptr<GGridIndex>> GGridIndex::Build(
   // (§III-A). The simulated kernels read the host arrays directly, so the
   // device copy is modeled as an allocation of the same size plus its
   // one-time upload — which makes Fig. 6's "G-Grid (GPU)" bar and the
-  // initial transfer cost real in the ledger.
-  GKNN_ASSIGN_OR_RETURN(index->grid_gpu_copy_,
-                        gpusim::DeviceBuffer<uint8_t>::Allocate(
-                            device, index->grid_->MemoryBytes()));
-  device->ledger().RecordH2D(index->grid_->MemoryBytes(), device->config());
+  // initial transfer cost real in the ledger. The mirror is accounting
+  // only, so a device error here degrades the size report rather than
+  // failing the build: the index still answers every query (via the CPU
+  // path if the device stays down).
+  auto mirror = gpusim::DeviceBuffer<uint8_t>::Allocate(
+      device, index->grid_->MemoryBytes());
+  if (mirror.ok()) {
+    index->grid_gpu_copy_ = std::move(mirror).ValueOrDie();
+    device->ledger().RecordH2D(index->grid_->MemoryBytes(),
+                               device->config());
+  } else if (gpusim::IsDeviceError(mirror.status())) {
+    GKNN_LOG(Warning) << "grid GPU mirror unavailable: "
+                      << mirror.status().ToString();
+  } else {
+    return mirror.status();
+  }
 
   MessageCleaner::Options cleaner_options;
   cleaner_options.delta_b = options.delta_b;
@@ -67,9 +79,14 @@ util::Result<std::unique_ptr<GGridIndex>> GGridIndex::Build(
   return index;
 }
 
-void GGridIndex::Ingest(ObjectId object, EdgePoint position, double time) {
-  GKNN_DCHECK(position.edge < graph_->num_edges());
-  GKNN_DCHECK(position.offset <= graph_->edge(position.edge).weight);
+util::Status GGridIndex::Ingest(ObjectId object, EdgePoint position,
+                                double time) {
+  if (position.edge >= graph_->num_edges()) {
+    return util::Status::InvalidArgument("update edge out of range");
+  }
+  if (position.offset > graph_->edge(position.edge).weight) {
+    return util::Status::InvalidArgument("update offset beyond edge weight");
+  }
 
   // Algorithm 1 line 1-2: append m to the list of its cell.
   const CellId cell = grid_->CellOfEdge(position.edge);
@@ -130,13 +147,14 @@ void GGridIndex::Ingest(ObjectId object, EdgePoint position, double time) {
     if (has_previous && previous.cell != cell) {
       touched.push_back(previous.cell);
     }
-    GKNN_CHECK_OK(CleanCells(touched, time));
+    return CleanCells(touched, time);
   }
+  return util::Status::OK();
 }
 
-void GGridIndex::Remove(ObjectId object, double time) {
+util::Status GGridIndex::Remove(ObjectId object, double time) {
   const ObjectTable::Entry* entry = object_table_.Find(object);
-  if (entry == nullptr) return;
+  if (entry == nullptr) return util::Status::OK();
   Message tombstone;
   tombstone.object = object;
   tombstone.edge = roadnet::kInvalidEdge;
@@ -156,8 +174,9 @@ void GGridIndex::Remove(ObjectId object, double time) {
   object_table_.Erase(object);
   if (options_.eager_updates) {
     const CellId touched[] = {cell};
-    GKNN_CHECK_OK(CleanCells(touched, time));
+    return CleanCells(touched, time);
   }
+  return util::Status::OK();
 }
 
 util::Status GGridIndex::TrimCaches(double t_now) {
@@ -209,7 +228,11 @@ util::Status GGridIndex::LoadSnapshot(const std::string& path) {
       std::fclose(f);
       return util::Status::IoError(path + ": snapshot entry off the network");
     }
-    Ingest(object, {edge, offset}, time);
+    const util::Status ingested = Ingest(object, {edge, offset}, time);
+    if (!ingested.ok()) {
+      std::fclose(f);
+      return ingested;
+    }
   }
   std::fclose(f);
   if (fields != EOF) {
@@ -221,7 +244,7 @@ util::Status GGridIndex::LoadSnapshot(const std::string& path) {
 util::Result<std::vector<std::vector<KnnResultEntry>>>
 GGridIndex::QueryKnnBatch(std::span<const roadnet::EdgePoint> locations,
                           uint32_t k, double t_now,
-                          KnnStats* aggregate_stats) {
+                          KnnStats* aggregate_stats, ExecMode mode) {
   // Shared pass: clean the union of every query's initial region in one
   // batch (one pipelined transfer + kernel sequence), so per-query
   // cleaning afterwards touches already-compacted lists.
@@ -249,7 +272,8 @@ GGridIndex::QueryKnnBatch(std::span<const roadnet::EdgePoint> locations,
   KnnStats aggregate;
   for (const roadnet::EdgePoint& q : locations) {
     KnnStats stats;
-    GKNN_ASSIGN_OR_RETURN(auto result, engine_->Query(q, k, t_now, &stats));
+    GKNN_ASSIGN_OR_RETURN(auto result,
+                          engine_->Query(q, k, t_now, &stats, mode));
     ++counters_.queries_processed;
     aggregate.cells_examined += stats.cells_examined;
     aggregate.candidate_objects += stats.candidate_objects;
@@ -269,23 +293,29 @@ GGridIndex::QueryKnnBatch(std::span<const roadnet::EdgePoint> locations,
 
 util::Status GGridIndex::CleanCells(std::span<const CellId> cells,
                                     double t_now) {
-  GKNN_ASSIGN_OR_RETURN(MessageCleaner::Outcome outcome,
-                        cleaner_->Clean(cells, t_now, &arena_, &lists_));
-  (void)outcome;
-  return util::Status::OK();
+  util::Result<MessageCleaner::Outcome> outcome =
+      cleaner_->Clean(cells, t_now, &arena_, &lists_);
+  if (!outcome.ok() && gpusim::IsDeviceError(outcome.status())) {
+    // The failed GPU pass rolled back transactionally, so the host pass
+    // sees every message it saw.
+    ++counters_.clean_fallbacks;
+    outcome = cleaner_->CleanCpu(cells, t_now, &arena_, &lists_);
+  }
+  return outcome.status();
 }
 
 util::Result<std::vector<KnnResultEntry>> GGridIndex::QueryKnn(
-    EdgePoint location, uint32_t k, double t_now, KnnStats* stats) {
+    EdgePoint location, uint32_t k, double t_now, KnnStats* stats,
+    ExecMode mode) {
   ++counters_.queries_processed;
-  return engine_->Query(location, k, t_now, stats);
+  return engine_->Query(location, k, t_now, stats, mode);
 }
 
 util::Result<std::vector<KnnResultEntry>> GGridIndex::QueryRange(
     EdgePoint location, roadnet::Distance radius, double t_now,
-    KnnStats* stats) {
+    KnnStats* stats, ExecMode mode) {
   ++counters_.queries_processed;
-  return engine_->QueryRange(location, radius, t_now, stats);
+  return engine_->QueryRange(location, radius, t_now, stats, mode);
 }
 
 uint64_t GGridIndex::cached_messages() const {

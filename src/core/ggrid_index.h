@@ -54,6 +54,9 @@ class GGridIndex {
     uint64_t updates_ingested = 0;
     uint64_t tombstones_written = 0;
     uint64_t queries_processed = 0;
+    /// Cleaning batches that hit a device error and were transparently
+    /// re-run on the host (the GPU pass rolls back transactionally first).
+    uint64_t clean_fallbacks = 0;
   };
 
   static util::Result<std::unique_ptr<GGridIndex>> Build(
@@ -63,16 +66,23 @@ class GGridIndex {
   /// Ingests one location update (paper Algorithm 1): appends the message
   /// to its cell's list, writes a departure tombstone to the previous cell
   /// when the object moved between cells, and refreshes the object table.
-  void Ingest(ObjectId object, roadnet::EdgePoint position, double time);
+  /// Returns InvalidArgument for a position off the network (the index is
+  /// untouched); under eager_updates a cleaning error can also surface,
+  /// with the update itself already durably appended.
+  util::Status Ingest(ObjectId object, roadnet::EdgePoint position,
+                      double time);
 
   /// Removes an object from the index (e.g. a car going off duty): writes
   /// a departure tombstone to its cell and erases it from the eager
   /// structures. Subsequent queries will not return it. No-op for unknown
   /// objects.
-  void Remove(ObjectId object, double time);
+  util::Status Remove(ObjectId object, double time);
 
   /// Forces message cleaning of the given cells (used by the eager-update
   /// ablation and by maintenance jobs that want to trim caches off-peak).
+  /// A device error rolls the GPU pass back and re-runs the batch on the
+  /// host (counted in Counters::clean_fallbacks), so this only fails on
+  /// non-device errors.
   util::Status CleanCells(std::span<const CellId> cells, double t_now);
 
   /// Maintenance sweep: cleans every cell whose list holds messages, which
@@ -100,21 +110,25 @@ class GGridIndex {
   /// Results are identical to issuing the queries one by one.
   util::Result<std::vector<std::vector<KnnResultEntry>>> QueryKnnBatch(
       std::span<const roadnet::EdgePoint> locations, uint32_t k,
-      double t_now, KnnStats* aggregate_stats = nullptr);
+      double t_now, KnnStats* aggregate_stats = nullptr,
+      ExecMode mode = ExecMode::kAuto);
 
-  /// Answers a snapshot kNN query at time `t_now`.
+  /// Answers a snapshot kNN query at time `t_now`. Under the default
+  /// ExecMode::kAuto a device error transparently falls back to the exact
+  /// CPU-only path (see KnnEngine::Query).
   util::Result<std::vector<KnnResultEntry>> QueryKnn(
       roadnet::EdgePoint location, uint32_t k, double t_now,
-      KnnStats* stats = nullptr);
+      KnnStats* stats = nullptr, ExecMode mode = ExecMode::kAuto);
 
   /// Range query (extension): every object within network distance
   /// `radius`, sorted ascending.
   util::Result<std::vector<KnnResultEntry>> QueryRange(
       roadnet::EdgePoint location, roadnet::Distance radius, double t_now,
-      KnnStats* stats = nullptr);
+      KnnStats* stats = nullptr, ExecMode mode = ExecMode::kAuto);
 
   MemoryBreakdown Memory() const;
   const Counters& counters() const { return counters_; }
+  const EngineCounters& engine_counters() const { return engine_->counters(); }
   const GraphGrid& grid() const { return *grid_; }
   const ObjectTable& object_table() const { return object_table_; }
   const GGridOptions& options() const { return options_; }

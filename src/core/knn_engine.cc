@@ -6,6 +6,7 @@
 #include <set>
 
 #include "gpusim/device_buffer.h"
+#include "gpusim/fault_injector.h"
 #include "gpusim/scan.h"
 #include "gpusim/topk.h"
 #include "util/min_heap.h"
@@ -83,17 +84,42 @@ KnnEngine::KnnEngine(gpusim::Device* device, const GraphGrid* grid,
   seed_epoch_of_.assign(grid_->graph().num_vertices(), 0);
 }
 
-util::Result<std::vector<KnnResultEntry>> KnnEngine::Query(
-    EdgePoint location, uint32_t k, double t_now, KnnStats* stats) {
+util::Status KnnEngine::ValidateLocation(EdgePoint location) const {
   const roadnet::Graph& graph = grid_->graph();
-  if (k == 0) return util::Status::InvalidArgument("k must be positive");
   if (location.edge >= graph.num_edges()) {
     return util::Status::InvalidArgument("query edge out of range");
   }
-  const Edge& query_edge = graph.edge(location.edge);
-  if (location.offset > query_edge.weight) {
+  if (location.offset > graph.edge(location.edge).weight) {
     return util::Status::InvalidArgument("query offset beyond edge weight");
   }
+  return util::Status::OK();
+}
+
+util::Result<std::vector<KnnResultEntry>> KnnEngine::Query(
+    EdgePoint location, uint32_t k, double t_now, KnnStats* stats,
+    ExecMode mode) {
+  if (k == 0) return util::Status::InvalidArgument("k must be positive");
+  GKNN_RETURN_NOT_OK(ValidateLocation(location));
+  if (mode == ExecMode::kCpuOnly) {
+    ++counters_.cpu_queries;
+    return QueryCpu(location, k, t_now, stats);
+  }
+  util::Result<std::vector<KnnResultEntry>> result =
+      QueryGpu(location, k, t_now, stats);
+  if (!result.ok() && gpusim::IsDeviceError(result.status())) {
+    ++counters_.gpu_failures;
+    if (mode == ExecMode::kAuto) {
+      ++counters_.fallback_queries;
+      return QueryCpu(location, k, t_now, stats);
+    }
+  }
+  return result;
+}
+
+util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
+    EdgePoint location, uint32_t k, double t_now, KnnStats* stats) {
+  const roadnet::Graph& graph = grid_->graph();
+  const Edge& query_edge = graph.edge(location.edge);
 
   KnnStats local_stats;
   KnnStats& st = stats != nullptr ? *stats : local_stats;
@@ -171,7 +197,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::Query(
     if (seed != kInvalidVertex) {
       init[seed] = query_edge.weight - location.offset;
     }
-    device_dist.Upload(init);
+    GKNN_RETURN_NOT_OK(device_dist.Upload(init).status());
   }
   auto dist_span = device_dist.device_span();
 
@@ -195,7 +221,9 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::Query(
       slots.push_back(SlotRef{c, i});
     }
   }
-  const auto sdist_stats = device_->LaunchIterative(
+  GKNN_ASSIGN_OR_RETURN(
+      const auto sdist_stats,
+      device_->LaunchIterative(
       "GPU_SDist", static_cast<uint32_t>(slots.size()),
       /*max_iters=*/std::max<uint32_t>(1, st.candidate_vertices),
       options_->sdist_early_exit,
@@ -219,7 +247,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::Query(
         }
         ctx.CountOps(grid_->delta_v());
         return changed;
-      });
+      }));
   st.sdist_iterations = sdist_stats.iterations;
 
   // ---- Step 2b: GPU_First_k — candidate distances + k smallest -----------
@@ -253,20 +281,24 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::Query(
                           DeviceBuffer<DistEntry>::Allocate(
                               device_, candidates.size(), "entries"));
     auto entry_span = device_entries.device_span();
-    device_->Launch("GPU_First_k/distances",
-                    static_cast<uint32_t>(candidates.size()),
-                    [&](ThreadCtx& ctx) {
-                      device_entries.Store(
-                          ctx, ctx.thread_id,
-                          DistEntry{
-                              object_distance(ctx, candidates[ctx.thread_id]),
-                              ctx.thread_id});
-                      ctx.CountOps(2);
-                    });
+    GKNN_RETURN_NOT_OK(
+        device_
+            ->Launch("GPU_First_k/distances",
+                     static_cast<uint32_t>(candidates.size()),
+                     [&](ThreadCtx& ctx) {
+                       device_entries.Store(
+                           ctx, ctx.thread_id,
+                           DistEntry{object_distance(ctx,
+                                                     candidates[ctx.thread_id]),
+                                     ctx.thread_id});
+                       ctx.CountOps(2);
+                     })
+            .status());
     // GPU_First_k: warp-bitonic k-smallest selection on the device; the k
     // winners come back to the host (charged inside TopKSmallest).
-    const auto selected = gpusim::TopKSmallest<DistEntry>(
-        device_, entry_span, k, DistEntry{});
+    GKNN_ASSIGN_OR_RETURN(const auto selected,
+                          gpusim::TopKSmallest<DistEntry>(
+                              device_, entry_span, k, DistEntry{}));
     for (const DistEntry& e : selected) {
       if (e.distance != kInfiniteDistance) {
         candidate_topk.push_back(
@@ -295,26 +327,37 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::Query(
     GKNN_ASSIGN_OR_RETURN(
         auto flags, DeviceBuffer<uint32_t>::Allocate(device_, n, "flags"));
     auto flag_span = flags.device_span();
-    device_->Launch("GPU_Unresolved/flag", n, [&](ThreadCtx& ctx) {
-      flags.Store(ctx, ctx.thread_id,
-                  is_unresolved(ctx, ctx.thread_id) ? 1 : 0);
-      ctx.CountOps(1 + graph.OutDegree(region_vertices[ctx.thread_id]));
-    });
-    const uint32_t total = gpusim::ExclusiveScan(device_, flag_span);
+    GKNN_RETURN_NOT_OK(
+        device_
+            ->Launch("GPU_Unresolved/flag", n,
+                     [&](ThreadCtx& ctx) {
+                       flags.Store(ctx, ctx.thread_id,
+                                   is_unresolved(ctx, ctx.thread_id) ? 1 : 0);
+                       ctx.CountOps(
+                           1 + graph.OutDegree(region_vertices[ctx.thread_id]));
+                     })
+            .status());
+    GKNN_ASSIGN_OR_RETURN(const uint32_t total,
+                          gpusim::ExclusiveScan(device_, flag_span));
     if (total > 0) {
       GKNN_ASSIGN_OR_RETURN(auto compacted,
                             DeviceBuffer<UnresolvedEntry>::Allocate(
                                 device_, total, "unresolved"));
-      device_->Launch("GPU_Unresolved/scatter", n, [&](ThreadCtx& ctx) {
-        ctx.CountOps(1);
-        if (is_unresolved(ctx, ctx.thread_id)) {
-          compacted.Store(ctx, flags.Load(ctx, ctx.thread_id),
-                          UnresolvedEntry{region_vertices[ctx.thread_id],
-                                          device_dist.Load(ctx,
-                                                           ctx.thread_id)});
-        }
-      });
-      unresolved = compacted.Download();
+      GKNN_RETURN_NOT_OK(
+          device_
+              ->Launch("GPU_Unresolved/scatter", n,
+                       [&](ThreadCtx& ctx) {
+                         ctx.CountOps(1);
+                         if (is_unresolved(ctx, ctx.thread_id)) {
+                           compacted.Store(
+                               ctx, flags.Load(ctx, ctx.thread_id),
+                               UnresolvedEntry{
+                                   region_vertices[ctx.thread_id],
+                                   device_dist.Load(ctx, ctx.thread_id)});
+                         }
+                       })
+              .status());
+      GKNN_ASSIGN_OR_RETURN(unresolved, compacted.Download());
     }
   }
   st.unresolved_vertices = static_cast<uint32_t>(unresolved.size());
@@ -427,15 +470,29 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::Query(
 }
 
 util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRange(
+    EdgePoint location, Distance radius, double t_now, KnnStats* stats,
+    ExecMode mode) {
+  GKNN_RETURN_NOT_OK(ValidateLocation(location));
+  if (mode == ExecMode::kCpuOnly) {
+    ++counters_.cpu_queries;
+    return QueryRangeCpu(location, radius, t_now, stats);
+  }
+  util::Result<std::vector<KnnResultEntry>> result =
+      QueryRangeGpu(location, radius, t_now, stats);
+  if (!result.ok() && gpusim::IsDeviceError(result.status())) {
+    ++counters_.gpu_failures;
+    if (mode == ExecMode::kAuto) {
+      ++counters_.fallback_queries;
+      return QueryRangeCpu(location, radius, t_now, stats);
+    }
+  }
+  return result;
+}
+
+util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeGpu(
     EdgePoint location, Distance radius, double t_now, KnnStats* stats) {
   const roadnet::Graph& graph = grid_->graph();
-  if (location.edge >= graph.num_edges()) {
-    return util::Status::InvalidArgument("query edge out of range");
-  }
   const Edge& query_edge = graph.edge(location.edge);
-  if (location.offset > query_edge.weight) {
-    return util::Status::InvalidArgument("query offset beyond edge weight");
-  }
 
   KnnStats local_stats;
   KnnStats& st = stats != nullptr ? *stats : local_stats;
@@ -487,7 +544,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRange(
     if (seed != kInvalidVertex) {
       init[seed] = query_edge.weight - location.offset;
     }
-    device_dist.Upload(init);
+    GKNN_RETURN_NOT_OK(device_dist.Upload(init).status());
   }
   auto dist_span = device_dist.device_span();
   struct SlotRef {
@@ -501,7 +558,9 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRange(
     }
   }
   // AtomicMin relaxation, same as the kNN path's GPU_SDist.
-  const auto sdist_stats = device_->LaunchIterative(
+  GKNN_ASSIGN_OR_RETURN(
+      const auto sdist_stats,
+      device_->LaunchIterative(
       "GPU_SDist", static_cast<uint32_t>(slots.size()),
       std::max<uint32_t>(1, st.candidate_vertices),
       options_->sdist_early_exit, [&](ThreadCtx& ctx, uint32_t) {
@@ -524,7 +583,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRange(
         }
         ctx.CountOps(grid_->delta_v());
         return changed;
-      });
+      }));
   st.sdist_iterations = sdist_stats.iterations;
 
   // In-range candidates of the cleaned region.
@@ -602,6 +661,169 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRange(
   st.cpu_seconds =
       std::max(0.0, cpu_timer.ElapsedSeconds() -
                         (device_->sim_wall_seconds() - sim_wall_before));
+  return result;
+}
+
+// ---- CPU-only execution (degraded mode) -----------------------------------
+//
+// The index maintains object_table_ and objects_on_edge_ eagerly at ingest
+// time, so the current location of every object is known on the host
+// without any message cleaning. A single bounded Dijkstra from the query
+// point over those tables is therefore *exact* — the same answers as the
+// full pipeline — just without the GPU's parallelism. Message lists are
+// still compacted (host-side) so degraded operation does not let them grow
+// without bound.
+
+util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryCpu(
+    EdgePoint location, uint32_t k, double t_now, KnnStats* stats) {
+  const roadnet::Graph& graph = grid_->graph();
+  const Edge& query_edge = graph.edge(location.edge);
+  KnnStats local_stats;
+  KnnStats& st = stats != nullptr ? *stats : local_stats;
+  st = KnnStats{};
+  st.cpu_fallback = true;
+  util::Timer cpu_timer;
+
+  // Host-side compaction of the query's immediate cells: same maintenance
+  // the GPU path would have performed, zero device work.
+  std::vector<CellId> l_cells;
+  {
+    std::vector<char> in_l(grid_->num_cells(), 0);
+    auto add_cell = [&](CellId c) {
+      if (!in_l[c]) {
+        in_l[c] = 1;
+        l_cells.push_back(c);
+      }
+    };
+    const CellId query_cell = grid_->CellOfEdge(location.edge);
+    add_cell(query_cell);
+    add_cell(grid_->CellOfVertex(query_edge.target));
+    for (CellId nb : grid_->NeighborCells(query_cell)) add_cell(nb);
+  }
+  GKNN_ASSIGN_OR_RETURN(MessageCleaner::Outcome outcome,
+                        cleaner_->CleanCpu(l_cells, t_now, arena_, lists_));
+  st.cells_examined = static_cast<uint32_t>(l_cells.size());
+  st.candidate_objects = static_cast<uint32_t>(outcome.latest.size());
+
+  std::unordered_map<ObjectId, Distance> best;
+  KthBound bound(k);
+  auto offer = [&](ObjectId o, Distance d) {
+    auto [it, inserted] = best.emplace(o, d);
+    if (!inserted) it->second = std::min(it->second, d);
+    bound.Offer(o, d);
+  };
+  // Objects ahead of the query on its own edge: direct along-edge path,
+  // the one route that does not pass through the edge's target.
+  if (auto it = objects_on_edge_->find(location.edge);
+      it != objects_on_edge_->end()) {
+    for (ObjectId o : it->second) {
+      const ObjectTable::Entry* entry = object_table_->Find(o);
+      if (entry != nullptr && entry->edge == location.edge &&
+          entry->offset >= location.offset) {
+        offer(o, entry->offset - location.offset);
+      }
+    }
+  }
+  // Every other route starts at the query edge's target. The search radius
+  // is the running kth-best bound over distinct objects — it starts
+  // unbounded (the whole network is in scope when fewer than k objects are
+  // known) and shrinks as objects are discovered.
+  roadnet::BoundedDijkstra& search = *refine_workspaces_[0];
+  search.BeginSearch();
+  search.SeedMore(query_edge.target, query_edge.weight - location.offset);
+  search.SearchPrunedDynamic(
+      [&]() -> Distance { return bound.threshold(); },
+      [&](VertexId x, Distance dx) {
+        for (EdgeId id : graph.OutEdgeIds(x)) {
+          auto oit = objects_on_edge_->find(id);
+          if (oit == objects_on_edge_->end()) continue;
+          for (ObjectId o : oit->second) {
+            const ObjectTable::Entry* entry = object_table_->Find(o);
+            if (entry == nullptr || entry->edge != id) continue;
+            offer(o, dx + entry->offset);
+          }
+        }
+        return true;
+      });
+  st.refined_objects = static_cast<uint32_t>(best.size());
+
+  util::BoundedTopK<KnnResultEntry> final_topk(k);
+  for (const auto& [object, distance] : best) {
+    final_topk.Offer(KnnResultEntry{object, distance});
+  }
+  st.cpu_seconds = cpu_timer.ElapsedSeconds();
+  return final_topk.TakeSorted();
+}
+
+util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeCpu(
+    EdgePoint location, Distance radius, double t_now, KnnStats* stats) {
+  const roadnet::Graph& graph = grid_->graph();
+  const Edge& query_edge = graph.edge(location.edge);
+  KnnStats local_stats;
+  KnnStats& st = stats != nullptr ? *stats : local_stats;
+  st = KnnStats{};
+  st.cpu_fallback = true;
+  util::Timer cpu_timer;
+
+  std::vector<CellId> l_cells;
+  {
+    std::vector<char> in_l(grid_->num_cells(), 0);
+    auto add_cell = [&](CellId c) {
+      if (!in_l[c]) {
+        in_l[c] = 1;
+        l_cells.push_back(c);
+      }
+    };
+    const CellId query_cell = grid_->CellOfEdge(location.edge);
+    add_cell(query_cell);
+    add_cell(grid_->CellOfVertex(query_edge.target));
+    for (CellId nb : grid_->NeighborCells(query_cell)) add_cell(nb);
+  }
+  GKNN_ASSIGN_OR_RETURN(MessageCleaner::Outcome outcome,
+                        cleaner_->CleanCpu(l_cells, t_now, arena_, lists_));
+  st.cells_examined = static_cast<uint32_t>(l_cells.size());
+  st.candidate_objects = static_cast<uint32_t>(outcome.latest.size());
+
+  std::unordered_map<ObjectId, Distance> best;
+  auto offer = [&](ObjectId o, Distance d) {
+    if (d > radius) return;
+    auto [it, inserted] = best.emplace(o, d);
+    if (!inserted) it->second = std::min(it->second, d);
+  };
+  if (auto it = objects_on_edge_->find(location.edge);
+      it != objects_on_edge_->end()) {
+    for (ObjectId o : it->second) {
+      const ObjectTable::Entry* entry = object_table_->Find(o);
+      if (entry != nullptr && entry->edge == location.edge &&
+          entry->offset >= location.offset) {
+        offer(o, entry->offset - location.offset);
+      }
+    }
+  }
+  roadnet::BoundedDijkstra& search = *refine_workspaces_[0];
+  search.BeginSearch();
+  search.SeedMore(query_edge.target, query_edge.weight - location.offset);
+  search.SearchPruned(radius, [&](VertexId x, Distance dx) {
+    for (EdgeId id : graph.OutEdgeIds(x)) {
+      auto oit = objects_on_edge_->find(id);
+      if (oit == objects_on_edge_->end()) continue;
+      for (ObjectId o : oit->second) {
+        const ObjectTable::Entry* entry = object_table_->Find(o);
+        if (entry == nullptr || entry->edge != id) continue;
+        offer(o, dx + entry->offset);
+      }
+    }
+    return true;
+  });
+  st.refined_objects = static_cast<uint32_t>(best.size());
+
+  std::vector<KnnResultEntry> result;
+  result.reserve(best.size());
+  for (const auto& [object, d] : best) {
+    result.push_back(KnnResultEntry{object, d});
+  }
+  std::sort(result.begin(), result.end());
+  st.cpu_seconds = cpu_timer.ElapsedSeconds();
   return result;
 }
 

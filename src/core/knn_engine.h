@@ -25,6 +25,19 @@ namespace gknn::core {
 using EdgeObjectMap =
     std::unordered_map<roadnet::EdgeId, std::vector<ObjectId>>;
 
+/// How a query is executed (robustness plumbing, docs/ROBUSTNESS.md).
+enum class ExecMode : uint8_t {
+  /// Try the GPU pipeline; on a device error (injected fault, exhausted
+  /// memory) transparently re-run the query on the CPU-only path.
+  kAuto,
+  /// GPU pipeline only; device errors propagate to the caller. The query
+  /// server uses this so its retry/circuit-breaker policy sees failures.
+  kGpuOnly,
+  /// CPU-only path: host message compaction + bounded Dijkstra over the
+  /// object table. Exact (same answers), just not accelerated.
+  kCpuOnly,
+};
+
 /// Per-query statistics surfaced to the benchmark harness.
 struct KnnStats {
   uint32_t cells_examined = 0;       // |L| after expansion
@@ -40,6 +53,16 @@ struct KnnStats {
   uint64_t h2d_bytes = 0;             // transfer volume for this query
   uint64_t d2h_bytes = 0;
   double transfer_seconds = 0;        // modeled PCIe time for this query
+  /// True when the answer came from the CPU-only path (requested via
+  /// ExecMode::kCpuOnly or after a device error under kAuto).
+  bool cpu_fallback = false;
+};
+
+/// Cumulative degradation counters of one engine (never reset).
+struct EngineCounters {
+  uint64_t gpu_failures = 0;      // GPU-path queries that hit a device error
+  uint64_t fallback_queries = 0;  // kAuto queries re-run on the CPU path
+  uint64_t cpu_queries = 0;       // queries explicitly requested as kCpuOnly
 };
 
 /// The CPU-GPU collaborative kNN processor (paper §V, Algorithm 4):
@@ -59,10 +82,12 @@ class KnnEngine {
 
   /// Answers one snapshot kNN query at time `t_now`. Returns up to k
   /// entries sorted by ascending network distance (fewer when the whole
-  /// network holds fewer reachable objects).
-  util::Result<std::vector<KnnResultEntry>> Query(roadnet::EdgePoint location,
-                                                  uint32_t k, double t_now,
-                                                  KnnStats* stats = nullptr);
+  /// network holds fewer reachable objects). `mode` selects the execution
+  /// path; under the default kAuto a device error falls back to the exact
+  /// CPU-only path, so only argument errors reach the caller.
+  util::Result<std::vector<KnnResultEntry>> Query(
+      roadnet::EdgePoint location, uint32_t k, double t_now,
+      KnnStats* stats = nullptr, ExecMode mode = ExecMode::kAuto);
 
   /// Range variant (an extension beyond the paper): every object within
   /// network distance `radius` of `location`, sorted ascending. Uses the
@@ -71,9 +96,28 @@ class KnnEngine {
   /// radius as the bound.
   util::Result<std::vector<KnnResultEntry>> QueryRange(
       roadnet::EdgePoint location, roadnet::Distance radius, double t_now,
-      KnnStats* stats = nullptr);
+      KnnStats* stats = nullptr, ExecMode mode = ExecMode::kAuto);
+
+  const EngineCounters& counters() const { return counters_; }
 
  private:
+  util::Status ValidateLocation(roadnet::EdgePoint location) const;
+
+  /// The paper's pipeline (GPU cleaning + SDist + First_k + Unresolved +
+  /// CPU refinement). Any device error aborts the query and propagates.
+  util::Result<std::vector<KnnResultEntry>> QueryGpu(
+      roadnet::EdgePoint location, uint32_t k, double t_now, KnnStats* stats);
+  /// Exact host-only execution: CleanCpu over the query's cells, then one
+  /// bounded Dijkstra from the query point over the eagerly maintained
+  /// object table, its radius shrinking with the running kth-best bound.
+  util::Result<std::vector<KnnResultEntry>> QueryCpu(
+      roadnet::EdgePoint location, uint32_t k, double t_now, KnnStats* stats);
+  util::Result<std::vector<KnnResultEntry>> QueryRangeGpu(
+      roadnet::EdgePoint location, roadnet::Distance radius, double t_now,
+      KnnStats* stats);
+  util::Result<std::vector<KnnResultEntry>> QueryRangeCpu(
+      roadnet::EdgePoint location, roadnet::Distance radius, double t_now,
+      KnnStats* stats);
   gpusim::Device* device_;
   const GraphGrid* grid_;
   MessageCleaner* cleaner_;
@@ -96,6 +140,8 @@ class KnnEngine {
   /// Epoch-stamped membership of the current query's unresolved set.
   std::vector<uint64_t> seed_epoch_of_;
   uint64_t seed_epoch_ = 0;
+
+  EngineCounters counters_;
 };
 
 }  // namespace gknn::core

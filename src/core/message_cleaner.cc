@@ -33,20 +33,12 @@ util::Status MessageCleaner::EnsureCapacity(DeviceBuffer<Message>* buffer,
   return util::Status::OK();
 }
 
-util::Result<MessageCleaner::Outcome> MessageCleaner::Clean(
+// ---- Phase 1: preprocessing (lock lists, classify buckets) ----------------
+MessageCleaner::Plan MessageCleaner::Preprocess(
     std::span<const CellId> cells, double t_now, BucketArena* arena,
     std::vector<MessageList>* lists) {
-  Outcome outcome;
-
-  // ---- Step 1: preprocessing (lock lists, expire old buckets) ------------
-  // The flattened host-side array L.A of live buckets: each entry is the
-  // bucket's messages with the owning cell attached (paper §IV-B1).
-  std::vector<std::vector<Message>> host_buckets;
-  struct CleanedCell {
-    CellId cell;
-    std::vector<uint32_t> locked_bucket_ids;  // to recycle on completion
-  };
-  std::vector<CleanedCell> cleaned;
+  Plan plan;
+  Outcome& outcome = plan.outcome;
   for (CellId cell : cells) {
     MessageList& list = (*lists)[cell];
     if (list.locked()) continue;  // under processing: skip safely
@@ -86,53 +78,56 @@ util::Result<MessageCleaner::Outcome> MessageCleaner::Clean(
         continue;
       }
     }
-    std::vector<uint32_t> locked = list.LockForCleaning(arena);
-    CleanedCell cc{cell, {}};
-    for (uint32_t bucket_id : locked) {
+    std::vector<uint32_t> locked_ids = list.LockForCleaning(arena);
+    LockedCell lc{cell, {}, {}};
+    for (uint32_t bucket_id : locked_ids) {
       const Bucket& bucket = arena->bucket(bucket_id);
       if (bucket.messages.empty() ||
           bucket.latest_time < t_now - options_.t_delta) {
         // Every message in the bucket predates t_now - t_Delta: the
         // sender contract (one update per t_Delta) guarantees newer
-        // messages exist, so the bucket is discarded wholesale.
+        // messages exist, so the bucket is discarded wholesale — at
+        // commit time; freeing it now would let the arena recycle it into
+        // a later cell's lock bucket, corrupting the chain a rollback
+        // must restore.
         ++outcome.buckets_expired;
-        arena->Free(bucket_id);
+        lc.expired_buckets.push_back(bucket_id);
         continue;
       }
       std::vector<Message> flat = bucket.messages;
       for (Message& m : flat) m.cell = cell;
       outcome.messages_shipped += static_cast<uint32_t>(flat.size());
-      host_buckets.push_back(std::move(flat));
-      cc.locked_bucket_ids.push_back(bucket_id);
+      plan.host_buckets.push_back(std::move(flat));
+      lc.shipped_buckets.push_back(bucket_id);
     }
-    cleaned.push_back(std::move(cc));
+    plan.locked.push_back(std::move(lc));
     ++outcome.cells_cleaned;
   }
-  outcome.buckets_shipped = static_cast<uint32_t>(host_buckets.size());
+  outcome.buckets_shipped = static_cast<uint32_t>(plan.host_buckets.size());
+  return plan;
+}
+
+// ---- Phase 2 (GPU): upload + GPU_X_Shuffle + GPU_Collect ------------------
+util::Result<std::vector<Message>> MessageCleaner::CompactOnDevice(
+    Plan* plan) {
+  const std::vector<std::vector<Message>>& host_buckets = plan->host_buckets;
 
   // Dense object index over every object appearing in the batch.
   std::unordered_map<ObjectId, uint32_t> object_index;
   for (const auto& bucket : host_buckets) {
     for (const Message& m : bucket) {
-      object_index.emplace(m.object, static_cast<uint32_t>(object_index.size()));
+      object_index.emplace(m.object,
+                           static_cast<uint32_t>(object_index.size()));
     }
   }
   const uint32_t num_objects = static_cast<uint32_t>(object_index.size());
+  GKNN_DCHECK(num_objects > 0);
 
   const uint32_t width = 1u << options_.eta;
-  const uint32_t n_buckets = outcome.buckets_shipped;
+  const uint32_t n_buckets = static_cast<uint32_t>(host_buckets.size());
   const uint32_t n_bundles = (n_buckets + width - 1) / width;
 
-  if (num_objects == 0) {
-    // Nothing cached: just clear the locked prefixes.
-    for (const CleanedCell& cc : cleaned) {
-      (*lists)[cc.cell].ReplaceLockedPrefix(arena, {});
-      for (uint32_t b : cc.locked_bucket_ids) arena->Free(b);
-    }
-    return outcome;
-  }
-
-  // ---- Step 2: device memory (tables T and R, §IV-B2) --------------------
+  // ---- Device memory (tables T and R, §IV-B2) ----------------------------
   GKNN_RETURN_NOT_OK(EnsureCapacity(
       &device_messages_, static_cast<size_t>(n_buckets) * options_.delta_b,
       "L.A"));
@@ -145,15 +140,18 @@ util::Result<MessageCleaner::Outcome> MessageCleaner::Clean(
   // Its cost is what makes small delta_b expensive — more buckets mean
   // more bundles, hence a wider T and a slower GPU_Collect (the paper's
   // Fig. 4a left branch).
-  device_->Launch(
-      "GPU_Memset_T",
-      static_cast<uint32_t>(static_cast<size_t>(num_objects) * n_bundles),
-      [&](ThreadCtx& ctx) {
-        table_t_.Store(ctx, ctx.thread_id, kNullMessage);
-        ctx.CountOps(1);
-      });
+  GKNN_RETURN_NOT_OK(
+      device_
+          ->Launch("GPU_Memset_T",
+                   static_cast<uint32_t>(static_cast<size_t>(num_objects) *
+                                         n_bundles),
+                   [&](ThreadCtx& ctx) {
+                     table_t_.Store(ctx, ctx.thread_id, kNullMessage);
+                     ctx.CountOps(1);
+                   })
+          .status());
 
-  // ---- Step 3: pipelined upload + GPU_X_Shuffle (§IV-C, Alg. 3) ----------
+  // ---- Pipelined upload + GPU_X_Shuffle (§IV-C, Alg. 3) ------------------
   Stream stream(device_, options_.pipelined_transfer);
   // Chunks are rounded to whole bundles so a kernel never reads buckets
   // from a chunk that has not "arrived" yet.
@@ -186,13 +184,13 @@ util::Result<MessageCleaner::Outcome> MessageCleaner::Clean(
     // Upload this chunk of buckets. Slots beyond each bucket's fill are
     // never read (the kernel carries the per-bucket counts), so no padding
     // is written.
+    GKNN_RETURN_NOT_OK(stream.EnqueueH2D(static_cast<uint64_t>(count) *
+                                         options_.delta_b * sizeof(Message)));
     for (uint32_t b = first; b < first + count; ++b) {
       const auto& src = host_buckets[b];
       std::copy(src.begin(), src.end(),
                 msg_span.begin() + static_cast<size_t>(b) * options_.delta_b);
     }
-    stream.EnqueueH2D(static_cast<uint64_t>(count) * options_.delta_b *
-                      sizeof(Message));
 
     const uint32_t first_bundle = first / width;
     const uint32_t chunk_bundles = (count + width - 1) / width;
@@ -219,7 +217,8 @@ util::Result<MessageCleaner::Outcome> MessageCleaner::Clean(
             const uint32_t bucket = bundle * width + lane;
             if (bucket < n_buckets) {
               max_fill = std::max(
-                  max_fill, static_cast<uint32_t>(host_buckets[bucket].size()));
+                  max_fill,
+                  static_cast<uint32_t>(host_buckets[bucket].size()));
             }
           }
           for (uint32_t round = max_fill; round-- > 0;) {
@@ -307,10 +306,11 @@ util::Result<MessageCleaner::Outcome> MessageCleaner::Clean(
             }
           }
         });
-    stream.MoveKernelToStream(stats);
+    GKNN_RETURN_NOT_OK(stats.status());
+    stream.MoveKernelToStream(*stats);
   }
 
-  // ---- Step 4: GPU_Collect — reduce T into R, one thread per object ------
+  // ---- GPU_Collect — reduce T into R, one thread per object --------------
   std::vector<std::pair<ObjectId, uint32_t>> objects(object_index.begin(),
                                                      object_index.end());
   auto r_span = table_r_.device_span();
@@ -329,26 +329,86 @@ util::Result<MessageCleaner::Outcome> MessageCleaner::Clean(
         table_r_.Store(ctx, idx, best);
         ctx.CountOps(n_bundles);
       });
-  stream.MoveKernelToStream(collect_stats);
-  stream.EnqueueD2H(static_cast<uint64_t>(num_objects) * sizeof(Message));
-  outcome.pipeline_seconds = stream.Synchronize();
+  GKNN_RETURN_NOT_OK(collect_stats.status());
+  stream.MoveKernelToStream(*collect_stats);
+  GKNN_RETURN_NOT_OK(
+      stream.EnqueueD2H(static_cast<uint64_t>(num_objects) * sizeof(Message)));
+  plan->outcome.pipeline_seconds = stream.Synchronize();
 
-  // ---- Step 5: write R back into the message lists ------------------------
+  return std::vector<Message>(r_span.begin(), r_span.begin() + num_objects);
+}
+
+// ---- Phase 2 (host): the same table R by a sequential fold ----------------
+std::vector<Message> MessageCleaner::CompactOnHost(const Plan& plan) const {
+  std::unordered_map<ObjectId, uint32_t> index_of;
+  std::vector<Message> table_r;
+  for (const auto& bucket : plan.host_buckets) {
+    for (const Message& m : bucket) {
+      auto [it, inserted] =
+          index_of.emplace(m.object, static_cast<uint32_t>(table_r.size()));
+      if (inserted) {
+        table_r.push_back(m);
+      } else if (table_r[it->second].seq < m.seq) {
+        table_r[it->second] = m;
+      }
+    }
+  }
+  return table_r;
+}
+
+// ---- Phase 3: commit — rewrite lists, free buckets ------------------------
+void MessageCleaner::Commit(Plan* plan, std::span<const Message> table_r,
+                            BucketArena* arena,
+                            std::vector<MessageList>* lists) {
+  Outcome& outcome = plan->outcome;
   std::unordered_map<CellId, std::vector<Message>> per_cell;
-  for (uint32_t idx = 0; idx < num_objects; ++idx) {
-    const Message& m = r_span[idx];
+  for (const Message& m : table_r) {
     GKNN_DCHECK(!IsNullMessage(m));
     if (m.IsTombstone()) continue;  // object moved outside this batch
     per_cell[m.cell].push_back(m);
     outcome.latest.push_back(m);
   }
-  for (const CleanedCell& cc : cleaned) {
-    auto it = per_cell.find(cc.cell);
-    (*lists)[cc.cell].ReplaceLockedPrefix(
+  for (const LockedCell& lc : plan->locked) {
+    auto it = per_cell.find(lc.cell);
+    (*lists)[lc.cell].ReplaceLockedPrefix(
         arena, it == per_cell.end() ? std::vector<Message>{} : it->second);
-    for (uint32_t b : cc.locked_bucket_ids) arena->Free(b);
+    for (uint32_t b : lc.shipped_buckets) arena->Free(b);
+    for (uint32_t b : lc.expired_buckets) arena->Free(b);
   }
-  return outcome;
+}
+
+void MessageCleaner::Rollback(const Plan& plan, BucketArena* arena,
+                              std::vector<MessageList>* lists) {
+  for (const LockedCell& lc : plan.locked) {
+    (*lists)[lc.cell].AbortCleaning(arena);
+  }
+}
+
+util::Result<MessageCleaner::Outcome> MessageCleaner::Clean(
+    std::span<const CellId> cells, double t_now, BucketArena* arena,
+    std::vector<MessageList>* lists) {
+  Plan plan = Preprocess(cells, t_now, arena, lists);
+  if (plan.host_buckets.empty()) {
+    // Nothing to ship (only expired buckets, compacted serves, or empty
+    // lists): commit clears the locked prefixes without device work.
+    Commit(&plan, {}, arena, lists);
+    return std::move(plan.outcome);
+  }
+  util::Result<std::vector<Message>> table_r = CompactOnDevice(&plan);
+  if (!table_r.ok()) {
+    Rollback(plan, arena, lists);
+    return table_r.status();
+  }
+  Commit(&plan, *table_r, arena, lists);
+  return std::move(plan.outcome);
+}
+
+util::Result<MessageCleaner::Outcome> MessageCleaner::CleanCpu(
+    std::span<const CellId> cells, double t_now, BucketArena* arena,
+    std::vector<MessageList>* lists) {
+  Plan plan = Preprocess(cells, t_now, arena, lists);
+  Commit(&plan, CompactOnHost(plan), arena, lists);
+  return std::move(plan.outcome);
 }
 
 }  // namespace gknn::core

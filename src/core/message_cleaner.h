@@ -65,11 +65,68 @@ class MessageCleaner {
   /// Cleans the message lists of `cells` in one batch. Cells whose list is
   /// already locked are skipped (paper: "if the two pointers are pointing
   /// to different buckets, we can skip L safely").
+  ///
+  /// Transactional: a device error (injected fault, memory exhaustion)
+  /// rolls every touched list back to exactly its pre-clean state — no
+  /// compaction applied, no bucket freed, no message lost — and returns
+  /// the error. A retry or a CleanCpu afterwards sees every message.
   util::Result<Outcome> Clean(std::span<const CellId> cells, double t_now,
                               BucketArena* arena,
                               std::vector<MessageList>* lists);
 
+  /// Host-only cleaning: identical semantics and outcome to Clean (same
+  /// survivors, same expiry, same list rewrites) computed by a sequential
+  /// fold, with zero device work. This is the degraded-mode path queries
+  /// fall back to when the device is unavailable.
+  util::Result<Outcome> CleanCpu(std::span<const CellId> cells, double t_now,
+                                 BucketArena* arena,
+                                 std::vector<MessageList>* lists);
+
  private:
+  /// One locked cell of an in-flight cleaning batch. Expired buckets are
+  /// only *recorded* during preprocessing and freed at commit: BucketArena
+  /// recycles freed ids, so freeing one mid-batch would let a later cell's
+  /// lock bucket clobber a chain the rollback still needs intact.
+  struct LockedCell {
+    CellId cell;
+    std::vector<uint32_t> shipped_buckets;  // live buckets sent to the GPU
+    std::vector<uint32_t> expired_buckets;  // stale buckets, freed on commit
+  };
+
+  /// The host-side state of a cleaning batch between its phases.
+  struct Plan {
+    std::vector<LockedCell> locked;
+    /// Copies of every shipped bucket's messages, cell id attached — the
+    /// flattened L.A. The device phase reads these copies, so a mid-phase
+    /// failure cannot have corrupted the lists.
+    std::vector<std::vector<Message>> host_buckets;
+    Outcome outcome;  // counters + compacted-fast-path results
+  };
+
+  /// Phase 1 (§IV-B1): lock lists, classify buckets, serve compacted
+  /// cells from the host. Mutates lists only via LockForCleaning, which
+  /// AbortCleaning reverts exactly.
+  Plan Preprocess(std::span<const CellId> cells, double t_now,
+                  BucketArena* arena, std::vector<MessageList>* lists);
+
+  /// Phase 2, GPU (§IV-C): upload + GPU_X_Shuffle + GPU_Collect. Returns
+  /// table R — the newest message per object, tombstones included — or the
+  /// first device error (partial device state is discarded by rollback).
+  util::Result<std::vector<Message>> CompactOnDevice(Plan* plan);
+
+  /// Phase 2, host fallback: the same R computed by a sequential fold
+  /// (newest seq per object), no device involved.
+  std::vector<Message> CompactOnHost(const Plan& plan) const;
+
+  /// Phase 3: rewrite the locked prefixes from R, free shipped + expired
+  /// buckets, fill outcome.latest. Only host data structures; cannot fail.
+  void Commit(Plan* plan, std::span<const Message> table_r,
+              BucketArena* arena, std::vector<MessageList>* lists);
+
+  /// Abort arm: undo every LockForCleaning; frees nothing else.
+  void Rollback(const Plan& plan, BucketArena* arena,
+                std::vector<MessageList>* lists);
+
   /// Grows a persistent device buffer to at least `needed` elements.
   /// Buffers are reused across Clean calls: steady-state cleaning performs
   /// no device allocation. `name` labels the buffer in hazard reports.

@@ -142,6 +142,35 @@ class MessageList {
     return locked_buckets;
   }
 
+  /// Aborts a cleaning pass begun by LockForCleaning, restoring the list
+  /// to its pre-lock shape: when the fresh bucket appended by
+  /// LockForCleaning is still empty and still the tail (nothing arrived
+  /// while the aborted cleaning ran), it is unlinked and returned to the
+  /// arena; otherwise the appended messages stay and only the lock marker
+  /// is dropped. Either way no message is lost and the previously locked
+  /// buckets remain chained exactly as they were — the rollback arm of the
+  /// cleaner's transactional guarantee (docs/ROBUSTNESS.md).
+  void AbortCleaning(BucketArena* arena) {
+    GKNN_DCHECK(locked());
+    const uint32_t lock_bucket = lock_;
+    lock_ = kInvalidBucket;
+    if (!arena->bucket(lock_bucket).messages.empty() ||
+        tail_ != lock_bucket) {
+      return;  // messages arrived during cleaning: keep the bucket
+    }
+    if (head_ == lock_bucket) {
+      head_ = tail_ = kInvalidBucket;
+    } else {
+      uint32_t prev = head_;
+      while (arena->bucket(prev).next != lock_bucket) {
+        prev = arena->bucket(prev).next;
+      }
+      arena->bucket(prev).next = kInvalidBucket;
+      tail_ = prev;
+    }
+    arena->Free(lock_bucket);
+  }
+
   /// Completes a cleaning pass: the locked prefix is replaced by
   /// `compacted` (the latest message of every object still in this cell,
   /// from the result table R), and the buckets appended during cleaning

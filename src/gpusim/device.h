@@ -9,9 +9,11 @@
 #include <vector>
 
 #include "gpusim/device_config.h"
+#include "gpusim/fault_injector.h"
 #include "gpusim/hazard.h"
 #include "gpusim/transfer_ledger.h"
 #include "util/logging.h"
+#include "util/result.h"
 #include "util/status.h"
 
 namespace gknn::gpusim {
@@ -53,7 +55,18 @@ struct KernelStats {
 class Device {
  public:
   explicit Device(DeviceConfig config = DeviceConfig{})
-      : config_(config) {}
+      : config_(std::move(config)) {
+    util::Result<FaultInjector> parsed =
+        FaultInjector::Parse(config_.faults, config_.fault_seed);
+    if (parsed.ok()) {
+      faults_ = std::move(parsed).ValueOrDie();
+    } else {
+      // An unusable schedule must not take the device down with it: run
+      // fault-free and say so.
+      GKNN_LOG(Warning) << "ignoring fault spec: "
+                        << parsed.status().ToString();
+    }
+  }
 
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
@@ -62,11 +75,39 @@ class Device {
   TransferLedger& ledger() { return ledger_; }
   const TransferLedger& ledger() const { return ledger_; }
 
+  // --- Fault injection ------------------------------------------------------
+
+  FaultInjector& fault_injector() { return faults_; }
+  const FaultInjector& fault_injector() const { return faults_; }
+
+  /// Replaces the fault schedule (tests and gknn_cli --faults). An empty
+  /// spec disarms injection. InvalidArgument on grammar errors, in which
+  /// case the current schedule is kept.
+  util::Status SetFaultSpec(std::string_view spec) {
+    GKNN_ASSIGN_OR_RETURN(faults_,
+                          FaultInjector::Parse(spec, config_.fault_seed));
+    return util::Status::OK();
+  }
+
+  /// Consulted by every launch path before the kernel body runs: an
+  /// injected kernel fault means nothing executed (a failed launch).
+  util::Status CheckKernelFault(std::string_view label) {
+    return faults_.Check(FaultSite::kKernel, label);
+  }
+
+  /// Consulted by every transfer path *before* bytes move, so a failed
+  /// copy leaves both sides untouched.
+  util::Status CheckTransferFault(std::string_view what) {
+    return faults_.Check(FaultSite::kTransfer, what);
+  }
+
   // --- Device memory accounting -------------------------------------------
 
   /// Reserves `bytes` of device memory; fails with ResourceExhausted when
   /// the configured capacity would be exceeded (used by DeviceBuffer).
   util::Status RegisterAlloc(uint64_t bytes) {
+    GKNN_RETURN_NOT_OK(faults_.Check(
+        FaultSite::kAlloc, std::to_string(bytes) + " bytes"));
     if (bytes_allocated_ + bytes > config_.memory_bytes) {
       return util::Status::ResourceExhausted(
           "device memory exhausted: " + std::to_string(bytes_allocated_) +
@@ -184,9 +225,13 @@ class Device {
   /// Launches a data-parallel kernel: `fn(ThreadCtx&)` runs once per thread
   /// id in [0, n_threads), with an implicit barrier at the end (kernel
   /// boundary). `label` names the kernel in hazard reports. Returns the
-  /// launch statistics.
+  /// launch statistics, or the injected error when the fault schedule fails
+  /// this launch — in which case the kernel body never ran and no device
+  /// state changed.
   template <typename Fn>
-  KernelStats Launch(std::string_view label, uint32_t n_threads, Fn&& fn) {
+  util::Result<KernelStats> Launch(std::string_view label, uint32_t n_threads,
+                                   Fn&& fn) {
+    GKNN_RETURN_NOT_OK(CheckKernelFault(label));
     const auto wall_start = std::chrono::steady_clock::now();
     BeginKernel(label);
     KernelStats stats;
@@ -206,7 +251,7 @@ class Device {
   }
 
   template <typename Fn>
-  KernelStats Launch(uint32_t n_threads, Fn&& fn) {
+  util::Result<KernelStats> Launch(uint32_t n_threads, Fn&& fn) {
     return Launch("<unlabeled>", n_threads, std::forward<Fn>(fn));
   }
 
@@ -220,9 +265,11 @@ class Device {
   /// the identical result). Each barrier advances the hazard-check epoch:
   /// accesses in different iterations never conflict.
   template <typename Fn>
-  KernelStats LaunchIterative(std::string_view label, uint32_t n_threads,
-                              uint32_t max_iters, bool stop_when_stable,
-                              Fn&& fn) {
+  util::Result<KernelStats> LaunchIterative(std::string_view label,
+                                            uint32_t n_threads,
+                                            uint32_t max_iters,
+                                            bool stop_when_stable, Fn&& fn) {
+    GKNN_RETURN_NOT_OK(CheckKernelFault(label));
     const auto wall_start = std::chrono::steady_clock::now();
     BeginKernel(label);
     KernelStats stats;
@@ -253,8 +300,9 @@ class Device {
   }
 
   template <typename Fn>
-  KernelStats LaunchIterative(uint32_t n_threads, uint32_t max_iters,
-                              bool stop_when_stable, Fn&& fn) {
+  util::Result<KernelStats> LaunchIterative(uint32_t n_threads,
+                                            uint32_t max_iters,
+                                            bool stop_when_stable, Fn&& fn) {
     return LaunchIterative("<unlabeled>", n_threads, max_iters,
                            stop_when_stable, std::forward<Fn>(fn));
   }
@@ -292,6 +340,8 @@ class Device {
   uint64_t kernel_launches_ = 0;
   double clock_seconds_ = 0;
   double sim_wall_seconds_ = 0;
+
+  FaultInjector faults_;
 
   // Hazard-detector state (see docs/HAZARD_CHECKER.md).
   uint64_t epoch_ = 1;  // 0 is "never accessed" in shadow cells

@@ -75,10 +75,14 @@ class DeviceBuffer {
 
   /// Copies `n` elements from host memory into the buffer at element offset
   /// `offset`. Charged to the ledger and the device clock (a synchronous
-  /// cudaMemcpyHostToDevice). Returns the modeled transfer seconds.
-  double Upload(const T* src, size_t n, size_t offset = 0) {
+  /// cudaMemcpyHostToDevice). Returns the modeled transfer seconds, or the
+  /// injected IoError when the fault schedule fails this copy — checked
+  /// before any byte moves, so a failed Upload leaves the buffer untouched.
+  util::Result<double> Upload(const T* src, size_t n, size_t offset = 0) {
     GKNN_DCHECK(allocated());
     GKNN_CHECK(offset + n <= data_.size()) << "device buffer overflow";
+    GKNN_RETURN_NOT_OK(
+        device_->CheckTransferFault(name_.empty() ? "H2D" : name_));
     std::copy(src, src + n, data_.begin() + offset);
     const double seconds =
         device_->ledger().RecordH2D(n * sizeof(T), device_->config());
@@ -86,15 +90,18 @@ class DeviceBuffer {
     return seconds;
   }
 
-  double Upload(const std::vector<T>& src, size_t offset = 0) {
+  util::Result<double> Upload(const std::vector<T>& src, size_t offset = 0) {
     return Upload(src.data(), src.size(), offset);
   }
 
   /// Copies `n` elements at element offset `offset` back to host memory.
-  /// Charged like a synchronous cudaMemcpyDeviceToHost.
-  double Download(T* dst, size_t n, size_t offset = 0) const {
+  /// Charged like a synchronous cudaMemcpyDeviceToHost. Fails like Upload,
+  /// with the host destination untouched.
+  util::Result<double> Download(T* dst, size_t n, size_t offset = 0) const {
     GKNN_DCHECK(allocated());
     GKNN_CHECK(offset + n <= data_.size()) << "device buffer overread";
+    GKNN_RETURN_NOT_OK(
+        device_->CheckTransferFault(name_.empty() ? "D2H" : name_));
     std::copy(data_.begin() + offset, data_.begin() + offset + n, dst);
     const double seconds =
         device_->ledger().RecordD2H(n * sizeof(T), device_->config());
@@ -102,9 +109,11 @@ class DeviceBuffer {
     return seconds;
   }
 
-  std::vector<T> Download() const {
+  util::Result<std::vector<T>> Download() const {
     std::vector<T> out(data_.size());
-    if (!data_.empty()) Download(out.data(), out.size());
+    if (!data_.empty()) {
+      GKNN_RETURN_NOT_OK(Download(out.data(), out.size()).status());
+    }
     return out;
   }
 

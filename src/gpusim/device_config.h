@@ -2,7 +2,9 @@
 #define GKNN_GPUSIM_DEVICE_CONFIG_H_
 
 #include <cstdint>
+#include <string>
 
+#include "gpusim/fault_injector.h"
 #include "gpusim/hazard.h"
 
 namespace gknn::gpusim {
@@ -62,6 +64,16 @@ struct DeviceConfig {
   /// Cap on stored HazardRecords per device; hazards beyond it are still
   /// counted (a racy kernel can trip once per element per round).
   uint32_t max_hazard_records = 64;
+
+  /// Fault-injection schedule (docs/ROBUSTNESS.md), e.g.
+  /// "alloc:p=0.05;kernel:after=100;transfer:every=64". Empty = no faults.
+  /// Defaults to the GKNN_FAULTS environment variable so the CI fault
+  /// matrix can drive the whole test suite without code changes.
+  std::string faults = DefaultFaultSpec();
+
+  /// Seed for probabilistic fault modes; a `seed=N` clause in the spec
+  /// overrides it.
+  uint64_t fault_seed = 0x5eed;
 
   /// Converts a cycle count to modeled seconds.
   double CyclesToSeconds(double cycles) const { return cycles / clock_hz; }

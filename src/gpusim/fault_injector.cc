@@ -1,0 +1,177 @@
+#include "gpusim/fault_injector.h"
+
+#include <charconv>
+#include <cstdlib>
+
+namespace gknn::gpusim {
+
+namespace {
+
+constexpr size_t kAnyRule = 3;
+
+util::Status BadClause(std::string_view clause, std::string_view why) {
+  return util::Status::InvalidArgument("GKNN_FAULTS clause '" +
+                                       std::string(clause) +
+                                       "': " + std::string(why));
+}
+
+}  // namespace
+
+std::string_view FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kAlloc:
+      return "alloc";
+    case FaultSite::kKernel:
+      return "kernel";
+    case FaultSite::kTransfer:
+      return "transfer";
+  }
+  return "unknown";
+}
+
+util::Result<FaultInjector> FaultInjector::Parse(std::string_view spec,
+                                                 uint64_t default_seed) {
+  FaultInjector injector;
+  injector.spec_ = std::string(spec);
+  uint64_t seed = default_seed;
+
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(';', pos);
+    if (end == std::string_view::npos) end = spec.size();
+    std::string_view clause = spec.substr(pos, end - pos);
+    pos = end + 1;
+    // Trim surrounding whitespace so "alloc:p=0.1; kernel:every=4" parses.
+    while (!clause.empty() && clause.front() == ' ') clause.remove_prefix(1);
+    while (!clause.empty() && clause.back() == ' ') clause.remove_suffix(1);
+    if (clause.empty()) continue;
+
+    const size_t eq = clause.find('=');
+    if (eq == std::string_view::npos) {
+      return BadClause(clause, "expected site:mode=value or seed=N");
+    }
+    const std::string_view value = clause.substr(eq + 1);
+    std::string_view key = clause.substr(0, eq);
+
+    if (key == "seed") {
+      if (std::from_chars(value.data(), value.data() + value.size(), seed)
+              .ec != std::errc{}) {
+        return BadClause(clause, "seed must be an unsigned integer");
+      }
+      continue;
+    }
+
+    const size_t colon = key.find(':');
+    if (colon == std::string_view::npos) {
+      return BadClause(clause, "expected site:mode=value");
+    }
+    const std::string_view site_name = key.substr(0, colon);
+    const std::string_view mode_name = key.substr(colon + 1);
+
+    size_t rule_index;
+    if (site_name == "alloc") {
+      rule_index = static_cast<size_t>(FaultSite::kAlloc);
+    } else if (site_name == "kernel") {
+      rule_index = static_cast<size_t>(FaultSite::kKernel);
+    } else if (site_name == "transfer") {
+      rule_index = static_cast<size_t>(FaultSite::kTransfer);
+    } else if (site_name == "any") {
+      rule_index = kAnyRule;
+    } else {
+      return BadClause(clause, "unknown site (alloc|kernel|transfer|any)");
+    }
+
+    Rule rule;
+    if (mode_name == "p") {
+      // std::from_chars for double is inconsistently available; strtod on a
+      // bounded copy is fine for a config string.
+      const std::string copy(value);
+      char* parse_end = nullptr;
+      rule.probability = std::strtod(copy.c_str(), &parse_end);
+      if (parse_end != copy.c_str() + copy.size() || rule.probability < 0 ||
+          rule.probability > 1) {
+        return BadClause(clause, "p must be a number in [0, 1]");
+      }
+      rule.mode = Mode::kProbability;
+    } else if (mode_name == "every" || mode_name == "after" ||
+               mode_name == "at") {
+      if (std::from_chars(value.data(), value.data() + value.size(),
+                          rule.threshold)
+              .ec != std::errc{}) {
+        return BadClause(clause, "operand must be an unsigned integer");
+      }
+      if (mode_name == "every") {
+        if (rule.threshold == 0) return BadClause(clause, "every=0 is invalid");
+        rule.mode = Mode::kEvery;
+      } else if (mode_name == "after") {
+        rule.mode = Mode::kAfter;
+      } else {
+        if (rule.threshold == 0) return BadClause(clause, "at is 1-based");
+        rule.mode = Mode::kAt;
+      }
+    } else {
+      return BadClause(clause, "unknown mode (p|every|after|at)");
+    }
+    injector.rules_[rule_index] = rule;
+  }
+
+  injector.rng_.Seed(seed);
+  for (const Rule& rule : injector.rules_) {
+    if (rule.mode != Mode::kOff) injector.armed_ = true;
+  }
+  return injector;
+}
+
+bool FaultInjector::Fires(Rule* rule, uint64_t count) {
+  switch (rule->mode) {
+    case Mode::kOff:
+      return false;
+    case Mode::kProbability:
+      return rng_.NextBool(rule->probability);
+    case Mode::kEvery:
+      return count % rule->threshold == 0;
+    case Mode::kAfter:
+      return count > rule->threshold;
+    case Mode::kAt:
+      return count == rule->threshold;
+  }
+  return false;
+}
+
+util::Status FaultInjector::Check(FaultSite site, std::string_view what) {
+  Rule& site_rule = rules_[static_cast<size_t>(site)];
+  ++site_rule.checks;
+  Rule& any_rule = rules_[kAnyRule];
+  ++any_rule.checks;
+  ++total_checks_;
+  if (!armed_) return util::Status::OK();
+
+  const bool fire = Fires(&site_rule, site_rule.checks) ||
+                    Fires(&any_rule, any_rule.checks);
+  if (!fire) return util::Status::OK();
+  ++site_rule.injected;
+  ++total_injected_;
+
+  const std::string message =
+      "injected " + std::string(FaultSiteName(site)) + " fault (op #" +
+      std::to_string(site_rule.checks) + "): " + std::string(what);
+  switch (site) {
+    case FaultSite::kAlloc:
+      return util::Status::ResourceExhausted(message);
+    case FaultSite::kKernel:
+      return util::Status::Internal(message);
+    case FaultSite::kTransfer:
+      return util::Status::IoError(message);
+  }
+  return util::Status::Internal(message);
+}
+
+const std::string& DefaultFaultSpec() {
+  static const std::string spec = [] {
+    const char* env = std::getenv("GKNN_FAULTS");
+    return std::string(env != nullptr ? env : "");
+  }();
+  return spec;
+}
+
+}  // namespace gknn::gpusim

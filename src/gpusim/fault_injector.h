@@ -1,0 +1,122 @@
+#ifndef GKNN_GPUSIM_FAULT_INJECTOR_H_
+#define GKNN_GPUSIM_FAULT_INJECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace gknn::gpusim {
+
+/// Where a fault can be injected into the simulated device.
+enum class FaultSite : uint8_t {
+  kAlloc = 0,     // Device::RegisterAlloc (device memory reservation)
+  kKernel = 1,    // Launch / LaunchIterative / LaunchWarps, before execution
+  kTransfer = 2,  // Upload / Download / stream copies, before the memcpy
+};
+
+std::string_view FaultSiteName(FaultSite site);
+
+/// Deterministic, seeded fault injection for the simulated GPU
+/// (docs/ROBUSTNESS.md). A Device owns one injector, configured through
+/// DeviceConfig::faults or the GKNN_FAULTS environment variable.
+///
+/// Spec grammar — semicolon-separated clauses, each `site:mode=value`:
+///
+///   alloc:p=0.05       every alloc fails with probability 0.05 (seeded)
+///   kernel:every=64    every 64th kernel launch fails
+///   transfer:after=100 every transfer after the 100th fails
+///   any:at=7           exactly the 7th device operation fails, counted
+///                      across all sites (the fail-at-k sweep hook)
+///   seed=42            seeds the probabilistic mode (default 0x5eed)
+///
+/// Sites: alloc | kernel | transfer | any (`any` matches every site and
+/// counts operations globally). Modes: p (probability), every (period),
+/// after (threshold, 1-based: `after=N` fails operations N+1, N+2, ...),
+/// at (one-shot, 1-based). A site may carry one mode; later clauses for
+/// the same site replace earlier ones.
+///
+/// Injected errors are typed by site: alloc -> ResourceExhausted,
+/// kernel -> Internal, transfer -> IoError — the codes IsDeviceError()
+/// recognizes, and the same codes a real CUDA backend would map
+/// cudaErrorMemoryAllocation / kernel aborts / copy failures onto.
+class FaultInjector {
+ public:
+  /// Disarmed: every Check returns OK at the cost of one branch.
+  FaultInjector() = default;
+
+  /// Parses `spec` (empty means disarmed). InvalidArgument on grammar
+  /// errors, naming the offending clause.
+  static util::Result<FaultInjector> Parse(std::string_view spec,
+                                           uint64_t default_seed = 0x5eed);
+
+  /// Consults the schedule for one operation at `site`. Returns OK or the
+  /// site's typed error, mentioning `what` (a buffer or kernel name).
+  util::Status Check(FaultSite site, std::string_view what);
+
+  /// True when any clause is active.
+  bool armed() const { return armed_; }
+
+  /// Turns the schedule off (counters are kept). Used by tests that need a
+  /// fault-free window after a faulty one.
+  void Disarm() { armed_ = false; }
+
+  /// Operations checked / faults injected, per site and overall.
+  uint64_t checks(FaultSite site) const {
+    return rules_[static_cast<size_t>(site)].checks;
+  }
+  uint64_t injected(FaultSite site) const {
+    return rules_[static_cast<size_t>(site)].injected;
+  }
+  uint64_t total_checks() const { return total_checks_; }
+  uint64_t total_injected() const { return total_injected_; }
+
+  /// The normalized spec this injector was parsed from ("" when disarmed
+  /// from construction).
+  const std::string& spec() const { return spec_; }
+
+ private:
+  enum class Mode : uint8_t { kOff, kProbability, kEvery, kAfter, kAt };
+
+  struct Rule {
+    Mode mode = Mode::kOff;
+    double probability = 0;
+    uint64_t threshold = 0;  // every/after/at operand
+    uint64_t checks = 0;     // operations seen at this site
+    uint64_t injected = 0;
+  };
+
+  /// `count` is the 1-based ordinal of the current operation under `rule`.
+  bool Fires(Rule* rule, uint64_t count);
+
+  // Index 3 is the `any` rule, driven by the global operation count.
+  std::array<Rule, 4> rules_;
+  util::Rng rng_;
+  uint64_t total_checks_ = 0;
+  uint64_t total_injected_ = 0;
+  bool armed_ = false;
+  std::string spec_;
+};
+
+/// The process-default fault spec: the value of the GKNN_FAULTS environment
+/// variable at first use (the CI fault-injection matrix sets it), or ""
+/// (disarmed). DeviceConfig::faults defaults to this, mirroring how
+/// DefaultHazardCheck() feeds DeviceConfig::hazard_check.
+const std::string& DefaultFaultSpec();
+
+/// True for the Status codes injected (and surfaced) by the device layer:
+/// ResourceExhausted, Internal, IoError. Callers use this to distinguish
+/// "the device failed, retry or fall back to the CPU path" from semantic
+/// errors (InvalidArgument, NotFound) that no retry can fix.
+inline bool IsDeviceError(const util::Status& status) {
+  return status.IsResourceExhausted() || status.IsInternal() ||
+         status.IsIoError();
+}
+
+}  // namespace gknn::gpusim
+
+#endif  // GKNN_GPUSIM_FAULT_INJECTOR_H_

@@ -4,24 +4,30 @@
 
 namespace gknn::gpusim {
 
-uint32_t ExclusiveScan(Device* device, std::span<uint32_t> values) {
+util::Result<uint32_t> ExclusiveScan(Device* device,
+                                     std::span<uint32_t> values) {
   const uint32_t n = static_cast<uint32_t>(values.size());
-  if (n == 0) return 0;
+  if (n == 0) return 0u;
 
-  // Functional result: a sequential exclusive scan (bit-exact regardless
-  // of the parallel schedule, since uint32 addition is associative).
-  uint32_t running = 0;
   // Temporal model: Blelloch up-sweep + down-sweep, one barrier per
-  // level, n/2 active threads doing one add each per level.
+  // level, n/2 active threads doing one add each per level. Launched
+  // before the functional pass so an injected kernel fault leaves the
+  // array unmodified.
   uint32_t levels = 0;
   while ((1u << levels) < n) ++levels;
   const uint32_t half = std::max(1u, n / 2);
-  device->LaunchIterative("ExclusiveScan", half, std::max(1u, 2 * levels),
-                          /*stop_when_stable=*/false,
-                          [&](ThreadCtx& ctx, uint32_t) {
-                            ctx.CountOps(1);
-                            return true;
-                          });
+  GKNN_RETURN_NOT_OK(
+      device
+          ->LaunchIterative("ExclusiveScan", half, std::max(1u, 2 * levels),
+                            /*stop_when_stable=*/false,
+                            [&](ThreadCtx& ctx, uint32_t) {
+                              ctx.CountOps(1);
+                              return true;
+                            })
+          .status());
+  // Functional result: a sequential exclusive scan (bit-exact regardless
+  // of the parallel schedule, since uint32 addition is associative).
+  uint32_t running = 0;
   for (uint32_t i = 0; i < n; ++i) {
     const uint32_t v = values[i];
     values[i] = running;

@@ -30,14 +30,19 @@ class Stream {
   Device* device() const { return device_; }
 
   /// Enqueues a host-to-device copy of `bytes` on the copy engine and
-  /// records it in the ledger.
-  void EnqueueH2D(uint64_t bytes) {
+  /// records it in the ledger. Fails (without recording anything) when the
+  /// fault schedule fires on the copy.
+  util::Status EnqueueH2D(uint64_t bytes) {
+    GKNN_RETURN_NOT_OK(device_->CheckTransferFault("stream H2D"));
     AddCopy(device_->ledger().RecordH2D(bytes, device_->config()));
+    return util::Status::OK();
   }
 
   /// Enqueues a device-to-host copy of `bytes` on the copy engine.
-  void EnqueueD2H(uint64_t bytes) {
+  util::Status EnqueueD2H(uint64_t bytes) {
+    GKNN_RETURN_NOT_OK(device_->CheckTransferFault("stream D2H"));
     AddCopy(device_->ledger().RecordD2H(bytes, device_->config()));
+    return util::Status::OK();
   }
 
   /// Enqueues `seconds` of kernel time, dependent on all copies enqueued so
@@ -92,14 +97,18 @@ class Stream {
 
 /// Uploads host data into `buf` through a stream: the bytes move eagerly
 /// (so later kernels see them) while the modeled time lands on the stream's
-/// copy-engine timeline instead of the device clock.
+/// copy-engine timeline instead of the device clock. The fault check runs
+/// before the copy, so a failed async upload moves nothing.
 template <typename T>
-void UploadAsync(Stream* stream, DeviceBuffer<T>* buf, const T* src, size_t n,
-                 size_t offset = 0) {
+util::Status UploadAsync(Stream* stream, DeviceBuffer<T>* buf, const T* src,
+                         size_t n, size_t offset = 0) {
   GKNN_DCHECK(buf->allocated());
   GKNN_CHECK(offset + n <= buf->size()) << "device buffer overflow";
+  // Enqueue first: EnqueueH2D carries the fault check, and recording the
+  // modeled time before the eager memcpy is equivalent on the timeline.
+  GKNN_RETURN_NOT_OK(stream->EnqueueH2D(n * sizeof(T)));
   std::copy(src, src + n, buf->device_span().begin() + offset);
-  stream->EnqueueH2D(n * sizeof(T));
+  return util::Status::OK();
 }
 
 }  // namespace gknn::gpusim

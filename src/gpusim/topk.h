@@ -9,6 +9,7 @@
 #include "gpusim/device.h"
 #include "gpusim/warp.h"
 #include "util/logging.h"
+#include "util/result.h"
 
 namespace gknn::gpusim {
 
@@ -30,13 +31,15 @@ namespace gknn::gpusim {
 /// collective, like every bundle in this simulator.
 ///
 /// `T` must be totally ordered by `operator<` and copyable; `values` is a
-/// device-side span (contents are not modified).
+/// device-side span (contents are not modified). Propagates injected
+/// kernel/transfer faults from its launches and the final result copy.
 template <typename T>
-std::vector<T> TopKSmallest(Device* device, std::span<const T> values,
-                            uint32_t k, const T& sentinel) {
+util::Result<std::vector<T>> TopKSmallest(Device* device,
+                                          std::span<const T> values,
+                                          uint32_t k, const T& sentinel) {
   GKNN_CHECK(k > 0);
   const uint32_t n = static_cast<uint32_t>(values.size());
-  if (n == 0) return {};
+  if (n == 0) return std::vector<T>{};
   k = std::min(k, n);
 
   uint32_t width = 32;
@@ -84,15 +87,18 @@ std::vector<T> TopKSmallest(Device* device, std::span<const T> values,
     }
   };
 
-  LaunchWarps(device, "GPU_First_k/sort", n_blocks, width, [&](WarpCtx& warp) {
-    bitonic_sort(warp, blocks[warp.warp_id()]);
-  });
+  GKNN_RETURN_NOT_OK(LaunchWarps(device, "GPU_First_k/sort", n_blocks, width,
+                                 [&](WarpCtx& warp) {
+                                   bitonic_sort(warp, blocks[warp.warp_id()]);
+                                 })
+                         .status());
 
   // Step 3: pairwise reduction rounds.
   uint32_t live = n_blocks;
   while (live > 1) {
     const uint32_t pairs = live / 2;
-    LaunchWarps(device, "GPU_First_k/merge", pairs, width, [&](WarpCtx& warp) {
+    auto merge_stats = LaunchWarps(
+        device, "GPU_First_k/merge", pairs, width, [&](WarpCtx& warp) {
       std::vector<T>& a = blocks[2 * warp.warp_id()];
       std::vector<T>& b = blocks[2 * warp.warp_id() + 1];
       // C[i] = min(A[i], B[width-1-i]): the B smallest of A ∪ B, bitonic.
@@ -103,6 +109,7 @@ std::vector<T> TopKSmallest(Device* device, std::span<const T> values,
       warp.CountOpsPerLane(2);
       bitonic_merge(warp, a);
     });
+    GKNN_RETURN_NOT_OK(merge_stats.status());
     // Compact the surviving blocks to the front (guarding self-moves).
     for (uint32_t p = 1; p < pairs; ++p) blocks[p] = std::move(blocks[2 * p]);
     if (live % 2 == 1 && pairs != live - 1) {
@@ -112,6 +119,7 @@ std::vector<T> TopKSmallest(Device* device, std::span<const T> values,
   }
 
   // The k smallest come back to the host.
+  GKNN_RETURN_NOT_OK(device->CheckTransferFault("GPU_First_k/result"));
   device->ledger().RecordD2H(k * sizeof(T), device->config());
   std::vector<T> result(blocks[0].begin(), blocks[0].begin() + k);
   // Drop padding if fewer than k real values existed (k was clamped to n,

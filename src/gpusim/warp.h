@@ -11,6 +11,7 @@
 #include "gpusim/device.h"
 #include "gpusim/hazard.h"
 #include "util/logging.h"
+#include "util/result.h"
 
 namespace gknn::gpusim {
 
@@ -83,10 +84,13 @@ class WarpCtx {
 /// once per bundle. Bundles are independent (the paper: "each bundle works
 /// independently from the others"), so the modeled duration is the slowest
 /// bundle times the number of waves needed to place all lanes on the
-/// device's cores. `label` names the kernel in hazard reports.
+/// device's cores. `label` names the kernel in hazard reports. Fails (with
+/// nothing executed) when the fault schedule fires on the launch.
 template <typename Fn>
-KernelStats LaunchWarps(Device* device, std::string_view label,
-                        uint32_t n_warps, uint32_t width, Fn&& fn) {
+util::Result<KernelStats> LaunchWarps(Device* device, std::string_view label,
+                                      uint32_t n_warps, uint32_t width,
+                                      Fn&& fn) {
+  GKNN_RETURN_NOT_OK(device->CheckKernelFault(label));
   const auto wall_start = std::chrono::steady_clock::now();
   device->BeginKernel(label);
   KernelStats stats;
@@ -118,8 +122,8 @@ KernelStats LaunchWarps(Device* device, std::string_view label,
 }
 
 template <typename Fn>
-KernelStats LaunchWarps(Device* device, uint32_t n_warps, uint32_t width,
-                        Fn&& fn) {
+util::Result<KernelStats> LaunchWarps(Device* device, uint32_t n_warps,
+                                      uint32_t width, Fn&& fn) {
   return LaunchWarps(device, "<unlabeled>", n_warps, width,
                      std::forward<Fn>(fn));
 }

@@ -2,14 +2,20 @@
 
 #include <algorithm>
 
+#include "gpusim/fault_injector.h"
+#include "util/backoff.h"
+#include "util/logging.h"
+
 namespace gknn::server {
 
 util::Result<std::unique_ptr<QueryServer>> QueryServer::Create(
     const roadnet::Graph* graph, const core::GGridOptions& options,
-    gpusim::Device* device, util::ThreadPool* pool) {
+    gpusim::Device* device, util::ThreadPool* pool,
+    const ServerOptions& server_options) {
   GKNN_ASSIGN_OR_RETURN(std::unique_ptr<core::GGridIndex> index,
                         core::GGridIndex::Build(graph, options, device, pool));
-  return std::unique_ptr<QueryServer>(new QueryServer(std::move(index)));
+  return std::unique_ptr<QueryServer>(
+      new QueryServer(std::move(index), server_options));
 }
 
 void QueryServer::Report(core::ObjectId object, roadnet::EdgePoint position,
@@ -25,35 +31,115 @@ void QueryServer::Deregister(core::ObjectId object, double time) {
   inbox.entries.push_back(Inbox::Entry{object, {}, time, true});
 }
 
-void QueryServer::DrainLocked() {
+util::Status QueryServer::DrainLocked() {
+  util::Status first_error = util::Status::OK();
   for (Inbox& inbox : inboxes_) {
     std::vector<Inbox::Entry> batch;
     {
       std::lock_guard<std::mutex> lock(inbox.mutex);
       batch.swap(inbox.entries);
     }
-    for (const Inbox::Entry& e : batch) {
-      if (e.remove) {
-        index_->Remove(e.object, e.time);
-      } else {
-        index_->Ingest(e.object, e.position, e.time);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const Inbox::Entry& e = batch[i];
+      const util::Status applied =
+          e.remove ? index_->Remove(e.object, e.time)
+                   : index_->Ingest(e.object, e.position, e.time);
+      if (applied.ok()) continue;
+      if (!gpusim::IsDeviceError(applied)) {
+        // Permanent error (a position off the network): drop the poison
+        // entry and keep draining — one bad producer must not wedge the
+        // whole inbox. First such error is reported to the caller.
+        GKNN_LOG(Warning) << "dropping bad update for object " << e.object
+                          << ": " << applied.ToString();
+        if (first_error.ok()) first_error = applied;
+        continue;
       }
+      // Transient device error: re-queue the failed entry and the rest of
+      // its batch at the *front* of the stripe (per-object FIFO order is
+      // preserved) and move on; the next drain retries them.
+      {
+        std::lock_guard<std::mutex> lock(inbox.mutex);
+        inbox.entries.insert(inbox.entries.begin(), batch.begin() + i,
+                             batch.end());
+      }
+      ++stats_.update_requeues;
+      if (first_error.ok()) first_error = applied;
+      break;
     }
   }
+  return first_error;
+}
+
+template <typename RunFn>
+util::Result<std::vector<core::KnnResultEntry>> QueryServer::ExecuteLocked(
+    RunFn run) {
+  using core::ExecMode;
+  if (stats_.degraded) {
+    ++stats_.degraded_queries;
+    ++degraded_query_count_;
+    if (options_.probe_interval > 0 &&
+        degraded_query_count_ % options_.probe_interval == 0) {
+      // Half-open probe: try the GPU once; success closes the breaker and
+      // this probe's answer is the query's answer.
+      auto probe = run(ExecMode::kGpuOnly);
+      if (probe.ok()) {
+        stats_.degraded = false;
+        ++stats_.breaker_closes;
+        consecutive_query_failures_ = 0;
+        GKNN_LOG(Info) << "device recovered: circuit breaker closed";
+        return probe;
+      }
+      if (!gpusim::IsDeviceError(probe.status())) return probe;
+      ++stats_.gpu_failures;
+    }
+    ++stats_.fallback_queries;
+    return run(ExecMode::kCpuOnly);
+  }
+
+  util::ExponentialBackoff backoff(options_.backoff_base_ms,
+                                   options_.backoff_max_ms);
+  const uint32_t attempts = std::max<uint32_t>(1, options_.gpu_attempts);
+  for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      backoff.SleepNext();
+    }
+    auto result = run(ExecMode::kGpuOnly);
+    if (result.ok()) {
+      consecutive_query_failures_ = 0;
+      return result;
+    }
+    if (!gpusim::IsDeviceError(result.status())) return result;
+    ++stats_.gpu_failures;
+  }
+  if (++consecutive_query_failures_ >= options_.breaker_threshold) {
+    stats_.degraded = true;
+    ++stats_.breaker_trips;
+    degraded_query_count_ = 0;
+    GKNN_LOG(Warning) << "circuit breaker open after "
+                      << consecutive_query_failures_
+                      << " consecutive device failures; serving from CPU";
+  }
+  ++stats_.fallback_queries;
+  return run(ExecMode::kCpuOnly);
 }
 
 util::Result<std::vector<core::KnnResultEntry>> QueryServer::QueryKnn(
     roadnet::EdgePoint location, uint32_t k, double t_now) {
   std::lock_guard<std::mutex> lock(index_mutex_);
-  DrainLocked();
-  return index_->QueryKnn(location, k, t_now);
+  GKNN_RETURN_NOT_OK(DrainLocked());
+  return ExecuteLocked([&](core::ExecMode mode) {
+    return index_->QueryKnn(location, k, t_now, nullptr, mode);
+  });
 }
 
 util::Result<std::vector<core::KnnResultEntry>> QueryServer::QueryRange(
     roadnet::EdgePoint location, roadnet::Distance radius, double t_now) {
   std::lock_guard<std::mutex> lock(index_mutex_);
-  DrainLocked();
-  return index_->QueryRange(location, radius, t_now);
+  GKNN_RETURN_NOT_OK(DrainLocked());
+  return ExecuteLocked([&](core::ExecMode mode) {
+    return index_->QueryRange(location, radius, t_now, nullptr, mode);
+  });
 }
 
 uint64_t QueryServer::pending_updates() const {

@@ -14,6 +14,33 @@
 
 namespace gknn::server {
 
+/// Degradation policy knobs (docs/ROBUSTNESS.md).
+struct ServerOptions {
+  /// GPU attempts per query while the circuit breaker is closed (1 = no
+  /// retry). Retries back off exponentially between attempts.
+  uint32_t gpu_attempts = 3;
+  double backoff_base_ms = 0.1;
+  double backoff_max_ms = 5.0;
+  /// Consecutive fully-failed queries (all GPU attempts exhausted) that
+  /// trip the breaker into degraded CPU mode.
+  uint32_t breaker_threshold = 3;
+  /// While degraded, every Nth query additionally probes the GPU path; a
+  /// successful probe closes the breaker.
+  uint32_t probe_interval = 4;
+};
+
+/// Degradation counters; snapshot via QueryServer::stats().
+struct ServerStats {
+  uint64_t gpu_failures = 0;      // GPU query attempts that returned an error
+  uint64_t retries = 0;           // extra attempts after a failed one
+  uint64_t fallback_queries = 0;  // queries answered by the CPU path
+  uint64_t degraded_queries = 0;  // queries served while the breaker was open
+  uint64_t breaker_trips = 0;
+  uint64_t breaker_closes = 0;
+  uint64_t update_requeues = 0;   // drain batches re-queued on device errors
+  bool degraded = false;          // breaker currently open
+};
+
 /// Thread-safe front end over a GGridIndex — the paper's "query server"
 /// (§II): data objects report location updates from many connections while
 /// kNN queries arrive concurrently.
@@ -25,12 +52,19 @@ namespace gknn::server {
 /// timestamp and then run on the underlying index, serialized by the index
 /// mutex, exactly preserving snapshot semantics: a query at time t sees
 /// every update reported before it.
+///
+/// Robustness: a query first runs on the GPU pipeline with bounded
+/// retries; when `breaker_threshold` consecutive queries exhaust their
+/// attempts the server trips into degraded mode and answers from the exact
+/// CPU path, probing the GPU every `probe_interval` queries until it
+/// recovers. Results are identical either way — only latency degrades.
 class QueryServer {
  public:
   /// Builds the server and its index. The graph must outlive the server.
   static util::Result<std::unique_ptr<QueryServer>> Create(
       const roadnet::Graph* graph, const core::GGridOptions& options,
-      gpusim::Device* device, util::ThreadPool* pool);
+      gpusim::Device* device, util::ThreadPool* pool,
+      const ServerOptions& server_options = ServerOptions{});
 
   /// Reports an object location (producer-side, thread-safe, non-blocking
   /// beyond a stripe lock).
@@ -59,6 +93,12 @@ class QueryServer {
     return index_->counters().updates_ingested;
   }
 
+  /// Snapshot of the degradation counters.
+  ServerStats stats() const {
+    std::lock_guard<std::mutex> lock(index_mutex_);
+    return stats_;
+  }
+
   core::GGridIndex& index() { return *index_; }
 
  private:
@@ -73,12 +113,22 @@ class QueryServer {
     std::vector<Entry> entries;
   };
 
-  explicit QueryServer(std::unique_ptr<core::GGridIndex> index)
-      : index_(std::move(index)) {}
+  QueryServer(std::unique_ptr<core::GGridIndex> index,
+              const ServerOptions& options)
+      : index_(std::move(index)), options_(options) {}
 
   /// Moves every buffered update into the index (called under
-  /// index_mutex_).
-  void DrainLocked();
+  /// index_mutex_). A transient device error re-queues the unapplied
+  /// remainder of the stripe at its front (order preserved) and keeps
+  /// draining the other stripes; a permanent error (bad position) drops
+  /// the poison entry, keeps draining, and is returned — a bad producer
+  /// must not wedge the inbox.
+  util::Status DrainLocked();
+
+  /// One query through the retry + circuit-breaker policy (called under
+  /// index_mutex_). `run` executes the query at a given ExecMode.
+  template <typename RunFn>
+  util::Result<std::vector<core::KnnResultEntry>> ExecuteLocked(RunFn run);
 
   static constexpr size_t kStripes = 8;
 
@@ -90,8 +140,14 @@ class QueryServer {
   }
 
   std::unique_ptr<core::GGridIndex> index_;
+  ServerOptions options_;
   mutable std::mutex index_mutex_;
   Inbox inboxes_[kStripes];
+
+  // Breaker state; guarded by index_mutex_.
+  ServerStats stats_;
+  uint32_t consecutive_query_failures_ = 0;
+  uint64_t degraded_query_count_ = 0;  // probes pace off this
 };
 
 }  // namespace gknn::server

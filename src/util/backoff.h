@@ -1,0 +1,43 @@
+#ifndef GKNN_UTIL_BACKOFF_H_
+#define GKNN_UTIL_BACKOFF_H_
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace gknn::util {
+
+/// Deterministic exponential backoff: base, 2*base, 4*base, ... capped at
+/// max. No jitter on purpose — retry schedules in tests and in the
+/// simulated server must be reproducible (the fault injector is seeded for
+/// the same reason).
+class ExponentialBackoff {
+ public:
+  ExponentialBackoff(double base_ms, double max_ms)
+      : base_ms_(base_ms), max_ms_(max_ms), next_ms_(base_ms) {}
+
+  /// The delay to wait before the upcoming retry; doubles per call.
+  double NextDelayMs() {
+    const double delay = std::min(next_ms_, max_ms_);
+    next_ms_ = std::min(next_ms_ * 2, max_ms_);
+    return delay;
+  }
+
+  void Reset() { next_ms_ = base_ms_; }
+
+  /// Convenience: sleep for the next delay (no-op for non-positive base).
+  void SleepNext() {
+    const double delay = NextDelayMs();
+    if (delay <= 0) return;
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay));
+  }
+
+ private:
+  double base_ms_;
+  double max_ms_;
+  double next_ms_;
+};
+
+}  // namespace gknn::util
+
+#endif  // GKNN_UTIL_BACKOFF_H_

@@ -22,13 +22,17 @@ using roadnet::EdgePoint;
 using roadnet::Graph;
 
 struct StressFixture {
-  explicit StressFixture(uint32_t vertices, uint64_t seed)
+  explicit StressFixture(uint32_t vertices, uint64_t seed,
+                         const gpusim::DeviceConfig& device_config =
+                             gpusim::DeviceConfig{},
+                         const ServerOptions& server_options = ServerOptions{})
       : graph(std::move(workload::GenerateSyntheticRoadNetwork(
                             {.num_vertices = vertices, .seed = seed}))
                   .ValueOrDie()),
+        device(device_config),
         pool(4) {
     server = std::move(QueryServer::Create(&graph, core::GGridOptions{},
-                                           &device, &pool))
+                                           &device, &pool, server_options))
                  .ValueOrDie();
   }
   Graph graph;
@@ -119,6 +123,143 @@ TEST(ConcurrentStressTest, QueriesUpdatesAndPoolBurstsDoNotRace) {
   // The kernels that ran under the stress were hazard-free too.
   EXPECT_TRUE(fx.device.HazardStatus().ok())
       << fx.device.HazardStatus().ToString();
+}
+
+// The robustness soak (docs/ROBUSTNESS.md): concurrent producers and
+// queriers while a seeded alloc-fault schedule pelts the device. Every
+// query must succeed (the server policy masks device errors with the exact
+// CPU path), every answer must be well-formed mid-stream and oracle-exact
+// once settled, and the counters must show the storm actually happened.
+TEST(ConcurrentStressTest, StaysCorrectUnderAllocFaultStorm) {
+  gpusim::DeviceConfig device_config;
+  device_config.faults = "alloc:p=0.2;seed=13";
+  ServerOptions server_options;
+  server_options.backoff_base_ms = 0;  // keep the stress fast
+  StressFixture fx(400, 21, device_config, server_options);
+  constexpr uint32_t kObjects = 64;
+  std::atomic<bool> go{false};
+
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 2; ++t) {
+    producers.emplace_back([&, t] {
+      while (!go.load()) std::this_thread::yield();
+      for (int round = 0; round < 10; ++round) {
+        for (uint32_t o = t; o < kObjects; o += 2) {
+          const roadnet::EdgeId e =
+              (o * 13 + round * 17) % fx.graph.num_edges();
+          fx.server->Report(o, {e, 0}, round * 0.1);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> queriers;
+  for (int q = 0; q < 2; ++q) {
+    queriers.emplace_back([&, q] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < 12; ++i) {
+        const roadnet::EdgeId e = (q * 101 + i * 37) % fx.graph.num_edges();
+        auto r = fx.server->QueryKnn({e, 0}, 6, 100.0);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        for (size_t j = 1; j < r->size(); ++j) {
+          EXPECT_LE((*r)[j - 1].distance, (*r)[j].distance);
+        }
+      }
+    });
+  }
+  go.store(true);
+  for (auto& p : producers) p.join();
+  for (auto& q : queriers) q.join();
+
+  // Settled state must be oracle-exact despite the ongoing fault schedule.
+  for (uint32_t o = 0; o < kObjects; ++o) {
+    fx.server->Report(o, {o % fx.graph.num_edges(), 0}, 1000.0);
+  }
+  baselines::BruteForce oracle(&fx.graph);
+  for (uint32_t o = 0; o < kObjects; ++o) {
+    oracle.Ingest(o, {o % fx.graph.num_edges(), 0}, 1000.0);
+  }
+  for (roadnet::EdgeId e : {3u, 59u, 210u}) {
+    auto got = fx.server->QueryKnn({e % fx.graph.num_edges(), 0}, 10, 1000.0);
+    auto want = oracle.QueryKnn({e % fx.graph.num_edges(), 0}, 10, 1000.0);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_TRUE(want.ok());
+    ASSERT_EQ(got->size(), want->size());
+    for (size_t i = 0; i < want->size(); ++i) {
+      EXPECT_EQ((*got)[i].distance, (*want)[i].distance) << "edge " << e;
+    }
+  }
+  EXPECT_GT(fx.device.fault_injector().total_injected(), 0u);
+  const auto stats = fx.server->stats();
+  const auto& engine = fx.server->index().engine_counters();
+  EXPECT_GT(stats.gpu_failures + engine.gpu_failures, 0u);
+  EXPECT_GT(stats.fallback_queries + engine.fallback_queries, 0u);
+}
+
+// Breaker lifecycle under concurrency: a dead device trips the breaker
+// while multiple queriers race; when the device recovers, a probe closes
+// it and GPU service resumes — with every answer correct throughout.
+TEST(ConcurrentStressTest, BreakerTripsAndRecoversAcrossThreads) {
+  ServerOptions server_options;
+  server_options.gpu_attempts = 1;
+  server_options.backoff_base_ms = 0;
+  server_options.breaker_threshold = 2;
+  server_options.probe_interval = 3;
+  StressFixture fx(300, 22, gpusim::DeviceConfig{}, server_options);
+  constexpr uint32_t kObjects = 32;
+  for (uint32_t o = 0; o < kObjects; ++o) {
+    fx.server->Report(o, {o % fx.graph.num_edges(), 0}, 1.0);
+  }
+  ASSERT_TRUE(fx.server->QueryKnn({0, 0}, 4, 1.0).ok());  // healthy drain
+
+  // Device goes dark: every kernel launch fails.
+  ASSERT_TRUE(fx.device.SetFaultSpec("kernel:after=0").ok());
+  std::atomic<bool> go{false};
+  std::vector<std::thread> queriers;
+  for (int q = 0; q < 2; ++q) {
+    queriers.emplace_back([&, q] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < 8; ++i) {
+        const roadnet::EdgeId e = (q * 53 + i * 29) % fx.graph.num_edges();
+        auto r = fx.server->QueryKnn({e, 0}, 5, 2.0);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        for (size_t j = 1; j < r->size(); ++j) {
+          EXPECT_LE((*r)[j - 1].distance, (*r)[j].distance);
+        }
+      }
+    });
+  }
+  go.store(true);
+  for (auto& q : queriers) q.join();
+
+  auto stats = fx.server->stats();
+  EXPECT_GE(stats.breaker_trips, 1u);
+  EXPECT_TRUE(stats.degraded);  // probes kept failing while dark
+  EXPECT_GT(stats.fallback_queries, 0u);
+
+  // Recovery: faults stop, a probe closes the breaker within one interval.
+  ASSERT_TRUE(fx.device.SetFaultSpec("").ok());
+  for (int i = 0; i < 3 && fx.server->stats().degraded; ++i) {
+    ASSERT_TRUE(fx.server->QueryKnn({1, 0}, 4, 3.0).ok());
+  }
+  stats = fx.server->stats();
+  EXPECT_FALSE(stats.degraded);
+  EXPECT_GE(stats.breaker_closes, 1u);
+
+  // And the recovered server agrees with the oracle.
+  baselines::BruteForce oracle(&fx.graph);
+  for (uint32_t o = 0; o < kObjects; ++o) {
+    oracle.Ingest(o, {o % fx.graph.num_edges(), 0}, 1.0);
+  }
+  for (roadnet::EdgeId e : {2u, 47u, 131u}) {
+    auto got = fx.server->QueryKnn({e % fx.graph.num_edges(), 0}, 8, 4.0);
+    auto want = oracle.QueryKnn({e % fx.graph.num_edges(), 0}, 8, 4.0);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(want.ok());
+    ASSERT_EQ(got->size(), want->size());
+    for (size_t i = 0; i < want->size(); ++i) {
+      EXPECT_EQ((*got)[i].distance, (*want)[i].distance) << "edge " << e;
+    }
+  }
 }
 
 TEST(ConcurrentStressTest, ParallelForAndSubmitInterleave) {

@@ -1,0 +1,551 @@
+// Fault-injection coverage (docs/ROBUSTNESS.md): the spec grammar, the
+// typed per-site errors, and — the point of the exercise — the recovery
+// machinery stacked on top: the cleaner's transactional rollback probed at
+// every single device operation, the engine's CPU fallback, the server's
+// retry + circuit-breaker policy, and end-to-end correctness under a
+// randomized alloc-fault storm.
+
+#include "gpusim/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/brute_force.h"
+#include "core/ggrid_index.h"
+#include "core/message_cleaner.h"
+#include "gpusim/device.h"
+#include "gpusim/device_buffer.h"
+#include "server/query_server.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "workload/synthetic_network.h"
+
+namespace gknn {
+namespace {
+
+using core::BucketArena;
+using core::CellId;
+using core::ExecMode;
+using core::GGridIndex;
+using core::GGridOptions;
+using core::Message;
+using core::MessageCleaner;
+using core::MessageList;
+using core::ObjectId;
+using gpusim::Device;
+using gpusim::DeviceBuffer;
+using gpusim::DeviceConfig;
+using gpusim::FaultInjector;
+using gpusim::FaultSite;
+using gpusim::IsDeviceError;
+using roadnet::EdgePoint;
+
+// --- Spec grammar ----------------------------------------------------------
+
+TEST(FaultInjectorParseTest, EmptySpecIsDisarmed) {
+  auto injector = FaultInjector::Parse("");
+  ASSERT_TRUE(injector.ok());
+  EXPECT_FALSE(injector->armed());
+  EXPECT_TRUE(injector->Check(FaultSite::kAlloc, "x").ok());
+}
+
+TEST(FaultInjectorParseTest, SeedOnlySpecIsInert) {
+  auto injector = FaultInjector::Parse("seed=9");
+  ASSERT_TRUE(injector.ok());
+  EXPECT_FALSE(injector->armed());
+}
+
+TEST(FaultInjectorParseTest, FullGrammarRoundTrips) {
+  const std::string spec =
+      "alloc:p=0.05;kernel:every=64;transfer:after=100;any:at=7;seed=3";
+  auto injector = FaultInjector::Parse(spec);
+  ASSERT_TRUE(injector.ok()) << injector.status().ToString();
+  EXPECT_TRUE(injector->armed());
+  EXPECT_EQ(injector->spec(), spec);
+}
+
+TEST(FaultInjectorParseTest, RejectsBadClauses) {
+  for (const char* bad :
+       {"frobnicate:p=0.1", "alloc:p=1.5", "alloc:p=-0.1", "alloc:p=abc",
+        "kernel:every=0", "transfer:at=0", "alloc:maybe=1", "seed=abc",
+        "alloc:p", "alloc", "kernel:every=x"}) {
+    auto injector = FaultInjector::Parse(bad);
+    EXPECT_FALSE(injector.ok()) << "accepted: " << bad;
+    EXPECT_TRUE(injector.status().IsInvalidArgument()) << bad;
+  }
+}
+
+// --- Schedule modes --------------------------------------------------------
+
+TEST(FaultInjectorScheduleTest, EveryModeFiresPeriodically) {
+  auto injector = FaultInjector::Parse("kernel:every=2");
+  ASSERT_TRUE(injector.ok());
+  EXPECT_TRUE(injector->Check(FaultSite::kKernel, "k1").ok());
+  EXPECT_FALSE(injector->Check(FaultSite::kKernel, "k2").ok());
+  EXPECT_TRUE(injector->Check(FaultSite::kKernel, "k3").ok());
+  EXPECT_FALSE(injector->Check(FaultSite::kKernel, "k4").ok());
+  // Other sites are untouched by a kernel rule.
+  EXPECT_TRUE(injector->Check(FaultSite::kAlloc, "a").ok());
+  EXPECT_TRUE(injector->Check(FaultSite::kTransfer, "t").ok());
+  EXPECT_EQ(injector->injected(FaultSite::kKernel), 2u);
+  EXPECT_EQ(injector->checks(FaultSite::kKernel), 4u);
+}
+
+TEST(FaultInjectorScheduleTest, AfterModeFailsEverythingPastThreshold) {
+  auto injector = FaultInjector::Parse("transfer:after=2");
+  ASSERT_TRUE(injector.ok());
+  EXPECT_TRUE(injector->Check(FaultSite::kTransfer, "t1").ok());
+  EXPECT_TRUE(injector->Check(FaultSite::kTransfer, "t2").ok());
+  EXPECT_FALSE(injector->Check(FaultSite::kTransfer, "t3").ok());
+  EXPECT_FALSE(injector->Check(FaultSite::kTransfer, "t4").ok());
+}
+
+TEST(FaultInjectorScheduleTest, AtModeIsOneShot) {
+  auto injector = FaultInjector::Parse("alloc:at=3");
+  ASSERT_TRUE(injector.ok());
+  EXPECT_TRUE(injector->Check(FaultSite::kAlloc, "a1").ok());
+  EXPECT_TRUE(injector->Check(FaultSite::kAlloc, "a2").ok());
+  EXPECT_FALSE(injector->Check(FaultSite::kAlloc, "a3").ok());
+  EXPECT_TRUE(injector->Check(FaultSite::kAlloc, "a4").ok());
+  EXPECT_EQ(injector->total_injected(), 1u);
+}
+
+TEST(FaultInjectorScheduleTest, AnySiteCountsOperationsGlobally) {
+  auto injector = FaultInjector::Parse("any:every=2");
+  ASSERT_TRUE(injector.ok());
+  EXPECT_TRUE(injector->Check(FaultSite::kAlloc, "op1").ok());
+  EXPECT_FALSE(injector->Check(FaultSite::kKernel, "op2").ok());
+  EXPECT_TRUE(injector->Check(FaultSite::kTransfer, "op3").ok());
+  EXPECT_FALSE(injector->Check(FaultSite::kAlloc, "op4").ok());
+}
+
+TEST(FaultInjectorScheduleTest, ProbabilisticModeIsSeedDeterministic) {
+  auto a = FaultInjector::Parse("alloc:p=0.5", /*default_seed=*/42);
+  auto b = FaultInjector::Parse("alloc:p=0.5", /*default_seed=*/42);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(a->Check(FaultSite::kAlloc, "x").ok(),
+              b->Check(FaultSite::kAlloc, "x").ok())
+        << "draw " << i;
+  }
+  EXPECT_GT(a->total_injected(), 0u);
+  EXPECT_LT(a->total_injected(), 64u);
+}
+
+// --- Typed errors at the device layer --------------------------------------
+
+TEST(FaultInjectorDeviceTest, AllocFaultIsResourceExhausted) {
+  DeviceConfig config;
+  config.faults = "alloc:at=1";
+  Device device(config);
+  auto buf = DeviceBuffer<int>::Allocate(&device, 16, "victim");
+  ASSERT_FALSE(buf.ok());
+  EXPECT_TRUE(buf.status().IsResourceExhausted());
+  EXPECT_TRUE(IsDeviceError(buf.status()));
+  EXPECT_EQ(device.bytes_allocated(), 0u);  // nothing was reserved
+  // The schedule was one-shot: the retry succeeds.
+  EXPECT_TRUE(DeviceBuffer<int>::Allocate(&device, 16, "victim").ok());
+}
+
+TEST(FaultInjectorDeviceTest, KernelFaultIsInternalAndBodyNeverRuns) {
+  DeviceConfig config;
+  config.faults = "kernel:at=1";
+  Device device(config);
+  bool ran = false;
+  auto stats = device.Launch("doomed", 4, [&](gpusim::ThreadCtx&) {
+    ran = true;
+  });
+  ASSERT_FALSE(stats.ok());
+  EXPECT_TRUE(stats.status().IsInternal());
+  EXPECT_TRUE(IsDeviceError(stats.status()));
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(device.Launch("retry", 4, [](gpusim::ThreadCtx&) {}).ok());
+}
+
+TEST(FaultInjectorDeviceTest, TransferFaultIsIoError) {
+  DeviceConfig config;
+  config.faults = "transfer:at=1";
+  Device device(config);
+  auto buf = DeviceBuffer<int>::Allocate(&device, 4, "buf");
+  ASSERT_TRUE(buf.ok());
+  std::vector<int> data = {1, 2, 3, 4};
+  auto upload = buf->Upload(data);
+  ASSERT_FALSE(upload.ok());
+  EXPECT_TRUE(upload.status().IsIoError());
+  EXPECT_TRUE(IsDeviceError(upload.status()));
+  EXPECT_TRUE(buf->Upload(data).ok());
+}
+
+TEST(FaultInjectorDeviceTest, InvalidSpecDisarmsWithWarning) {
+  DeviceConfig config;
+  config.faults = "alloc:p=7";  // out of range: ignored, not fatal
+  Device device(config);
+  EXPECT_FALSE(device.fault_injector().armed());
+  EXPECT_TRUE(DeviceBuffer<int>::Allocate(&device, 4, "x").ok());
+}
+
+// --- The fail-at-k sweep over the transactional cleaner --------------------
+
+// Walks a list's bucket chain, flattening every message in order.
+std::vector<Message> Flatten(const MessageList& list,
+                             const BucketArena& arena) {
+  std::vector<Message> out;
+  for (uint32_t b = list.head(); b != core::kInvalidBucket;
+       b = arena.bucket(b).next) {
+    const core::Bucket& bucket = arena.bucket(b);
+    out.insert(out.end(), bucket.messages.begin(), bucket.messages.end());
+  }
+  return out;
+}
+
+void ExpectSameMessages(const std::vector<Message>& got,
+                        const std::vector<Message>& want, uint64_t k,
+                        CellId cell) {
+  ASSERT_EQ(got.size(), want.size()) << "k=" << k << " cell=" << cell;
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].object, want[i].object) << "k=" << k << " i=" << i;
+    EXPECT_EQ(got[i].edge, want[i].edge) << "k=" << k << " i=" << i;
+    EXPECT_EQ(got[i].offset, want[i].offset) << "k=" << k << " i=" << i;
+    EXPECT_EQ(got[i].time, want[i].time) << "k=" << k << " i=" << i;
+    EXPECT_EQ(got[i].seq, want[i].seq) << "k=" << k << " i=" << i;
+    EXPECT_EQ(got[i].cell, want[i].cell) << "k=" << k << " i=" << i;
+  }
+}
+
+void ExpectLatestMatches(
+    const MessageCleaner::Outcome& outcome,
+    const std::map<ObjectId, std::pair<uint64_t, CellId>>& expected,
+    uint64_t k) {
+  ASSERT_EQ(outcome.latest.size(), expected.size()) << "k=" << k;
+  for (const Message& m : outcome.latest) {
+    auto it = expected.find(m.object);
+    ASSERT_NE(it, expected.end()) << "k=" << k << " object " << m.object;
+    EXPECT_EQ(m.seq, it->second.first) << "k=" << k << " object " << m.object;
+    EXPECT_EQ(m.cell, it->second.second)
+        << "k=" << k << " object " << m.object;
+  }
+}
+
+// Injects a fault at the k-th device operation of Clean, for every k the
+// pass performs: the touched lists must come back byte-identical (the
+// transactional guarantee), and a fault-free re-run must produce the exact
+// compaction. The sweep stops at the first k past the end of the schedule
+// (the clean that runs with zero injections).
+TEST(FaultSweepTest, CleanRollsBackIdenticallyAtEveryStep) {
+  int faulty_cleans = 0;
+  bool swept_past_end = false;
+  for (uint64_t k = 1; k <= 500; ++k) {
+    DeviceConfig config;
+    config.faults = "any:at=" + std::to_string(k);
+    Device device(config);
+    MessageCleaner::Options options;
+    options.delta_b = 4;
+    options.eta = 3;
+    options.t_delta = 1000.0;
+    options.transfer_chunk_buckets = 8;  // force pipelined chunking
+    MessageCleaner cleaner(&device, options);
+    BucketArena arena(options.delta_b);
+    const uint32_t num_cells = 3;
+    std::vector<MessageList> lists(num_cells);
+    std::vector<CellId> cells = {0, 1, 2};
+
+    // Identical deterministic workload for every k, with cross-cell moves
+    // so tombstone chains are in flight when the fault hits.
+    std::map<ObjectId, std::pair<uint64_t, CellId>> expected;
+    util::Rng rng(99);
+    uint64_t seq = 0;
+    for (int step = 0; step < 150; ++step) {
+      const auto o = static_cast<ObjectId>(rng.NextBounded(18));
+      const auto cell = static_cast<CellId>(rng.NextBounded(num_cells));
+      auto it = expected.find(o);
+      if (it != expected.end() && it->second.second != cell) {
+        Message tomb;
+        tomb.object = o;
+        tomb.edge = roadnet::kInvalidEdge;
+        tomb.time = 1.0;
+        tomb.seq = ++seq;
+        tomb.cell = it->second.second;
+        lists[tomb.cell].Append(&arena, tomb);
+      }
+      Message m;
+      m.object = o;
+      m.edge = 7;
+      m.offset = static_cast<uint32_t>(step);
+      m.time = 1.0;
+      m.seq = ++seq;
+      m.cell = cell;
+      lists[cell].Append(&arena, m);
+      expected[o] = {m.seq, cell};
+    }
+
+    std::vector<std::vector<Message>> before;
+    before.reserve(num_cells);
+    for (const MessageList& list : lists) {
+      before.push_back(Flatten(list, arena));
+    }
+
+    auto outcome = cleaner.Clean(cells, 1.0, &arena, &lists);
+    if (outcome.ok()) {
+      // k walked off the end of the pass: nothing fired, result exact.
+      EXPECT_EQ(device.fault_injector().total_injected(), 0u) << "k=" << k;
+      ExpectLatestMatches(*outcome, expected, k);
+      swept_past_end = true;
+      break;
+    }
+    ++faulty_cleans;
+    EXPECT_TRUE(IsDeviceError(outcome.status()))
+        << "k=" << k << ": " << outcome.status().ToString();
+    for (CellId c = 0; c < num_cells; ++c) {
+      EXPECT_FALSE(lists[c].locked()) << "k=" << k << " cell " << c;
+      ExpectSameMessages(Flatten(lists[c], arena), before[c], k, c);
+    }
+
+    // Faults stop; the identical pass now succeeds and compacts exactly.
+    ASSERT_TRUE(device.SetFaultSpec("").ok());
+    auto retry = cleaner.Clean(cells, 1.0, &arena, &lists);
+    ASSERT_TRUE(retry.ok()) << "k=" << k << ": " << retry.status().ToString();
+    ExpectLatestMatches(*retry, expected, k);
+  }
+  EXPECT_GT(faulty_cleans, 3);  // the sweep actually exercised rollback
+  EXPECT_TRUE(swept_past_end);  // and terminated by running clean
+}
+
+// --- Index-level degradation -----------------------------------------------
+
+TEST(FaultInjectionIndexTest, QueriesFallBackToExactCpuPath) {
+  auto graph = workload::GenerateSyntheticRoadNetwork(
+      {.num_vertices = 200, .seed = 5});
+  ASSERT_TRUE(graph.ok());
+  DeviceConfig config;
+  config.faults = "kernel:every=1";  // every kernel launch fails
+  Device device(config);
+  util::ThreadPool pool(2);
+  auto index = GGridIndex::Build(&*graph, GGridOptions{}, &device, &pool);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+
+  baselines::BruteForce oracle(&*graph);
+  util::Rng rng(6);
+  for (ObjectId o = 0; o < 40; ++o) {
+    const auto e =
+        static_cast<roadnet::EdgeId>(rng.NextBounded(graph->num_edges()));
+    ASSERT_TRUE((*index)->Ingest(o, {e, 0}, 1.0).ok());
+    oracle.Ingest(o, {e, 0}, 1.0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    const auto e =
+        static_cast<roadnet::EdgeId>(rng.NextBounded(graph->num_edges()));
+    auto got = (*index)->QueryKnn({e, 0}, 5, 1.0);
+    auto want = oracle.QueryKnn({e, 0}, 5, 1.0);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_TRUE(want.ok());
+    ASSERT_EQ(got->size(), want->size()) << "query " << i;
+    for (size_t j = 0; j < want->size(); ++j) {
+      EXPECT_EQ((*got)[j].distance, (*want)[j].distance)
+          << "query " << i << " rank " << j;
+    }
+  }
+  EXPECT_GT((*index)->engine_counters().gpu_failures, 0u);
+  EXPECT_GT((*index)->engine_counters().fallback_queries, 0u);
+
+  // kGpuOnly surfaces the typed error instead of falling back.
+  auto gpu_only =
+      (*index)->QueryKnn({0, 0}, 3, 1.0, nullptr, ExecMode::kGpuOnly);
+  ASSERT_FALSE(gpu_only.ok());
+  EXPECT_TRUE(IsDeviceError(gpu_only.status()));
+
+  // kCpuOnly never touches the device.
+  const uint64_t launches_before = device.kernel_launches();
+  auto cpu_only =
+      (*index)->QueryKnn({0, 0}, 3, 1.0, nullptr, ExecMode::kCpuOnly);
+  ASSERT_TRUE(cpu_only.ok());
+  EXPECT_EQ(device.kernel_launches(), launches_before);
+  EXPECT_GT((*index)->engine_counters().cpu_queries, 0u);
+
+  // Maintenance cleaning re-runs on the host after the GPU pass fails.
+  ASSERT_TRUE((*index)->Ingest(50, {1, 0}, 2.0).ok());
+  ASSERT_TRUE((*index)->TrimCaches(2.0).ok());
+  EXPECT_GT((*index)->counters().clean_fallbacks, 0u);
+}
+
+// --- Server policy ----------------------------------------------------------
+
+struct ServerFixture {
+  ServerFixture(uint64_t seed, const std::string& faults,
+                const server::ServerOptions& server_options)
+      : graph(std::move(workload::GenerateSyntheticRoadNetwork(
+                            {.num_vertices = 300, .seed = seed}))
+                  .ValueOrDie()),
+        device(MakeConfig(faults)),
+        pool(2),
+        oracle(&graph) {
+    server = std::move(server::QueryServer::Create(
+                           &graph, GGridOptions{}, &device, &pool,
+                           server_options))
+                 .ValueOrDie();
+  }
+
+  static DeviceConfig MakeConfig(const std::string& faults) {
+    DeviceConfig config;
+    config.faults = faults;
+    return config;
+  }
+
+  void ReportBoth(ObjectId o, EdgePoint p, double t) {
+    server->Report(o, p, t);
+    oracle.Ingest(o, p, t);
+  }
+
+  // Queries the server and asserts the answer matches the oracle exactly.
+  void CheckQuery(EdgePoint p, uint32_t k, double t) {
+    auto got = server->QueryKnn(p, k, t);
+    auto want = oracle.QueryKnn(p, k, t);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_TRUE(want.ok());
+    ASSERT_EQ(got->size(), want->size());
+    for (size_t i = 0; i < want->size(); ++i) {
+      EXPECT_EQ((*got)[i].distance, (*want)[i].distance) << "rank " << i;
+    }
+  }
+
+  roadnet::Graph graph;
+  Device device;
+  util::ThreadPool pool;
+  baselines::BruteForce oracle;
+  std::unique_ptr<server::QueryServer> server;
+};
+
+TEST(FaultInjectionServerTest, PoisonUpdateIsDroppedWithoutWedgingInbox) {
+  ServerFixture fx(7, "", server::ServerOptions{});
+  fx.ReportBoth(1, {3, 0}, 0.0);
+  // An off-network position: permanent error, reported once, then dropped.
+  fx.server->Report(2, {fx.graph.num_edges() + 5, 0}, 0.0);
+  auto first = fx.server->QueryKnn({3, 0}, 2, 1.0);
+  ASSERT_FALSE(first.ok());
+  EXPECT_TRUE(first.status().IsInvalidArgument());
+  // The poison entry is gone; the good update survived the same drain.
+  auto second = fx.server->QueryKnn({3, 0}, 2, 1.0);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ASSERT_EQ(second->size(), 1u);
+  EXPECT_EQ((*second)[0].object, 1u);
+}
+
+TEST(FaultInjectionServerTest, BreakerTripsThenProbeCloses) {
+  server::ServerOptions options;
+  options.gpu_attempts = 2;
+  options.backoff_base_ms = 0;  // no sleeping in tests
+  options.breaker_threshold = 2;
+  options.probe_interval = 2;
+  ServerFixture fx(8, "", options);
+  util::Rng rng(11);
+  for (ObjectId o = 0; o < 20; ++o) {
+    const auto e =
+        static_cast<roadnet::EdgeId>(rng.NextBounded(fx.graph.num_edges()));
+    fx.ReportBoth(o, {e, 0}, 0.5);
+  }
+  fx.CheckQuery({0, 0}, 4, 1.0);  // healthy warm-up on the GPU path
+  EXPECT_EQ(fx.server->stats().gpu_failures, 0u);
+
+  // Device goes dark: every kernel launch fails from now on.
+  ASSERT_TRUE(fx.device.SetFaultSpec("kernel:after=0").ok());
+  fx.CheckQuery({1, 0}, 4, 2.0);  // attempt + retry fail, CPU answers
+  auto stats = fx.server->stats();
+  EXPECT_EQ(stats.gpu_failures, 2u);
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.fallback_queries, 1u);
+  EXPECT_FALSE(stats.degraded);
+
+  fx.CheckQuery({2, 0}, 4, 3.0);  // second full failure: breaker opens
+  stats = fx.server->stats();
+  EXPECT_TRUE(stats.degraded);
+  EXPECT_EQ(stats.breaker_trips, 1u);
+
+  // Degraded mode: answers stay correct, probes keep failing.
+  fx.CheckQuery({3, 0}, 4, 4.0);
+  fx.CheckQuery({4, 0}, 4, 5.0);  // this one probes (interval 2) and fails
+  stats = fx.server->stats();
+  EXPECT_TRUE(stats.degraded);
+  EXPECT_GE(stats.degraded_queries, 2u);
+  EXPECT_GE(stats.fallback_queries, 4u);
+
+  // Device recovers: within one probe interval the breaker closes.
+  ASSERT_TRUE(fx.device.SetFaultSpec("").ok());
+  for (int i = 0; i < 2 && fx.server->stats().degraded; ++i) {
+    fx.CheckQuery({5, 0}, 4, 6.0 + i);
+  }
+  stats = fx.server->stats();
+  EXPECT_FALSE(stats.degraded);
+  EXPECT_EQ(stats.breaker_closes, 1u);
+  fx.CheckQuery({6, 0}, 4, 9.0);  // and normal service resumed
+}
+
+// The acceptance scenario: a randomized alloc-fault storm, every answer
+// still exact, degradation observable in the counters, nothing wedges.
+TEST(FaultInjectionServerTest, ExactAnswersUnderAllocFaultStorm) {
+  server::ServerOptions options;
+  options.gpu_attempts = 1;
+  options.backoff_base_ms = 0;
+  options.breaker_threshold = 1;  // trip eagerly so degraded mode is hit
+  options.probe_interval = 3;
+  ServerFixture fx(9, "alloc:p=0.1;seed=7", options);
+  util::Rng rng(17);
+  double now = 0;
+  int queries = 0;
+  for (int step = 0; step < 250; ++step) {
+    now += 0.01;
+    const auto e =
+        static_cast<roadnet::EdgeId>(rng.NextBounded(fx.graph.num_edges()));
+    if (rng.NextDouble() < 0.6) {
+      fx.ReportBoth(static_cast<ObjectId>(rng.NextBounded(50)), {e, 0}, now);
+    } else {
+      const uint32_t k = 1 + static_cast<uint32_t>(rng.NextBounded(8));
+      fx.CheckQuery({e, 0}, k, now);
+      ++queries;
+    }
+  }
+  EXPECT_GT(queries, 50);
+  EXPECT_GT(fx.device.fault_injector().total_injected(), 0u);
+  const auto stats = fx.server->stats();
+  const auto& engine = fx.server->index().engine_counters();
+  EXPECT_GT(stats.gpu_failures + engine.gpu_failures, 0u);
+  EXPECT_GT(stats.fallback_queries + engine.fallback_queries, 0u);
+  EXPECT_GT(stats.degraded_queries, 0u);
+  EXPECT_GT(stats.breaker_trips, 0u);
+}
+
+// Range queries ride the same fallback: radius answers stay exact while
+// every kernel launch fails.
+TEST(FaultInjectionServerTest, RangeQueriesFallBackToo) {
+  ServerFixture fx(10, "kernel:every=1", server::ServerOptions{});
+  util::Rng rng(23);
+  for (ObjectId o = 0; o < 30; ++o) {
+    const auto e =
+        static_cast<roadnet::EdgeId>(rng.NextBounded(fx.graph.num_edges()));
+    fx.ReportBoth(o, {e, 0}, 0.5);
+  }
+  for (int i = 0; i < 5; ++i) {
+    const auto e =
+        static_cast<roadnet::EdgeId>(rng.NextBounded(fx.graph.num_edges()));
+    const roadnet::Distance radius = 1500;
+    auto got = fx.server->QueryRange({e, 0}, radius, 1.0);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    // Oracle: all objects within the radius, from an exhaustive kNN.
+    auto all = fx.oracle.QueryKnn({e, 0}, 1000, 1.0);
+    ASSERT_TRUE(all.ok());
+    std::vector<roadnet::Distance> want;
+    for (const auto& entry : *all) {
+      if (entry.distance <= radius) want.push_back(entry.distance);
+    }
+    ASSERT_EQ(got->size(), want.size()) << "query " << i;
+    for (size_t j = 0; j < want.size(); ++j) {
+      EXPECT_EQ((*got)[j].distance, want[j]) << "query " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gknn

@@ -52,7 +52,7 @@ TEST(DeviceTest, UploadDownloadRoundTrip) {
   ASSERT_TRUE(buf.ok());
   std::vector<int> in = {1, 2, 3, 4, 5, 6, 7, 8};
   buf->Upload(in);
-  EXPECT_EQ(buf->Download(), in);
+  EXPECT_EQ(*buf->Download(), in);
 }
 
 TEST(DeviceTest, TransfersChargeLedgerAndClock) {
@@ -82,7 +82,7 @@ TEST(DeviceTest, TransferTimeModelIsLatencyPlusBandwidth) {
   auto buf = DeviceBuffer<char>::Allocate(&device, 1'000'000);
   ASSERT_TRUE(buf.ok());
   std::vector<char> data(1'000'000, 'x');
-  const double seconds = buf->Upload(data);
+  const double seconds = *buf->Upload(data);
   EXPECT_NEAR(seconds, 1e-5 + 1e6 / 1e9, 1e-12);
 }
 
@@ -95,7 +95,7 @@ TEST(KernelTest, LaunchRunsEveryThread) {
     span[ctx.thread_id] = ctx.thread_id * 2;
     ctx.CountOps(1);
   });
-  std::vector<uint32_t> out = buf->Download();
+  std::vector<uint32_t> out = *buf->Download();
   for (uint32_t i = 0; i < 100; ++i) ASSERT_EQ(out[i], i * 2);
 }
 
@@ -107,7 +107,7 @@ TEST(KernelTest, ModeledTimeScalesWithWaves) {
 
   auto one_wave = device.Launch(10, [](ThreadCtx& ctx) { ctx.CountOps(100); });
   auto two_waves = device.Launch(20, [](ThreadCtx& ctx) { ctx.CountOps(100); });
-  EXPECT_NEAR(two_waves.modeled_seconds, 2 * one_wave.modeled_seconds, 1e-12);
+  EXPECT_NEAR(two_waves->modeled_seconds, 2 * one_wave->modeled_seconds, 1e-12);
   EXPECT_EQ(device.kernel_launches(), 2u);
 }
 
@@ -125,7 +125,7 @@ TEST(KernelTest, LaunchIterativeStopsAtFixpoint) {
         return false;
       });
   // Thread 3 needs 3 productive iterations; one more settles the fixpoint.
-  EXPECT_EQ(stats.iterations, 4u);
+  EXPECT_EQ(stats->iterations, 4u);
   EXPECT_EQ(value, (std::vector<int>{0, 1, 2, 3}));
 }
 
@@ -137,7 +137,7 @@ TEST(KernelTest, LaunchIterativeRespectsMaxIters) {
         ctx.CountOps(1);
         return true;  // never stabilizes
       });
-  EXPECT_EQ(stats.iterations, 7u);
+  EXPECT_EQ(stats->iterations, 7u);
 }
 
 TEST(WarpTest, ShflXorSwapsLaneRegisters) {
@@ -191,7 +191,7 @@ TEST(WarpTest, CrossWarpShufflePaysSyncPenalty) {
   });
   // The 64-lane bundle spans two hardware warps: every shuffle costs the
   // cross-warp sync penalty instead of one cycle (paper Fig. 4b).
-  EXPECT_GT(wide.modeled_seconds, 10 * narrow.modeled_seconds);
+  EXPECT_GT(wide->modeled_seconds, 10 * narrow->modeled_seconds);
 }
 
 TEST(StreamTest, PipelineOverlapsCopyAndCompute) {
@@ -229,11 +229,11 @@ TEST(StreamTest, MoveKernelToStreamReversesSynchronousCharge) {
   Stream stream(&device);
   auto stats = device.Launch(16, [](ThreadCtx& ctx) { ctx.CountOps(10); });
   const double after_launch = device.ClockSeconds();
-  stream.MoveKernelToStream(stats);
-  EXPECT_NEAR(device.ClockSeconds(), after_launch - stats.modeled_seconds,
+  stream.MoveKernelToStream(*stats);
+  EXPECT_NEAR(device.ClockSeconds(), after_launch - stats->modeled_seconds,
               1e-15);
   const double total = stream.Synchronize();
-  EXPECT_NEAR(total, stats.modeled_seconds, 1e-15);
+  EXPECT_NEAR(total, stats->modeled_seconds, 1e-15);
 }
 
 TEST(StreamTest, BlockingModeSerializesEverything) {
@@ -279,7 +279,7 @@ TEST(WarpTest, WaveModelScalesWithWarpCount) {
     warp.CountOpsPerLane(1000);
   });
   // 4 warps on 2 warp slots need twice the waves of 2 warps.
-  EXPECT_NEAR(four_warps.modeled_seconds, 2 * two_warps.modeled_seconds,
+  EXPECT_NEAR(four_warps->modeled_seconds, 2 * two_warps->modeled_seconds,
               1e-12);
 }
 
@@ -289,18 +289,18 @@ TEST(ScanTest, ExclusivePrefixSums) {
   ASSERT_TRUE(buf.ok());
   buf->Upload({3, 1, 4, 1, 5, 9});
   auto span = buf->device_span();
-  const uint32_t total = ExclusiveScan(&device, span);
+  const uint32_t total = *ExclusiveScan(&device, span);
   EXPECT_EQ(total, 23u);
-  EXPECT_EQ(buf->Download(),
+  EXPECT_EQ(*buf->Download(),
             (std::vector<uint32_t>{0, 3, 4, 8, 9, 14}));
 }
 
 TEST(ScanTest, EmptyAndSingle) {
   Device device;
   std::vector<uint32_t> empty;
-  EXPECT_EQ(ExclusiveScan(&device, std::span<uint32_t>(empty)), 0u);
+  EXPECT_EQ(*ExclusiveScan(&device, std::span<uint32_t>(empty)), 0u);
   std::vector<uint32_t> one = {7};
-  EXPECT_EQ(ExclusiveScan(&device, std::span<uint32_t>(one)), 7u);
+  EXPECT_EQ(*ExclusiveScan(&device, std::span<uint32_t>(one)), 7u);
   EXPECT_EQ(one[0], 0u);
 }
 
@@ -309,7 +309,7 @@ TEST(ScanTest, FlagsCompactionPattern) {
   Device device;
   std::vector<uint32_t> flags = {1, 0, 1, 1, 0, 0, 1};
   const uint32_t total =
-      ExclusiveScan(&device, std::span<uint32_t>(flags));
+      *ExclusiveScan(&device, std::span<uint32_t>(flags));
   EXPECT_EQ(total, 4u);
   // Offsets at flagged positions are 0,1,2,3.
   EXPECT_EQ(flags[0], 0u);

@@ -37,7 +37,7 @@ TEST(HazardDetectorTest, SeededWriteWriteRaceIsReported) {
   Device device(HazardOnConfig());
   auto out = MustAllocate<int>(&device, 8, "out");
 
-  const KernelStats stats = device.Launch("ToyRace", 4, [&](ThreadCtx& ctx) {
+  const KernelStats stats = *device.Launch("ToyRace", 4, [&](ThreadCtx& ctx) {
     out.Store(ctx, 3, static_cast<int>(ctx.thread_id));
   });
 
@@ -71,7 +71,7 @@ TEST(HazardDetectorTest, ReadWriteRaceIsReported) {
   Device device(HazardOnConfig());
   auto buf = MustAllocate<int>(&device, 4, "shared");
 
-  const KernelStats stats = device.Launch("ReadWrite", 2, [&](ThreadCtx& ctx) {
+  const KernelStats stats = *device.Launch("ReadWrite", 2, [&](ThreadCtx& ctx) {
     if (ctx.thread_id == 0) {
       (void)buf.Load(ctx, 1);
     } else {
@@ -93,7 +93,7 @@ TEST(HazardDetectorTest, DisjointAndPrivateAccessesAreClean) {
   auto buf = MustAllocate<int>(&device, 64, "data");
 
   // The embarrassingly parallel pattern: thread i owns element i.
-  const KernelStats stats = device.Launch("Disjoint", 64, [&](ThreadCtx& ctx) {
+  const KernelStats stats = *device.Launch("Disjoint", 64, [&](ThreadCtx& ctx) {
     buf.Store(ctx, ctx.thread_id, 1);
     buf.Store(ctx, ctx.thread_id, buf.Load(ctx, ctx.thread_id) + 1);
   });
@@ -130,7 +130,7 @@ TEST(HazardDetectorTest, IterationBarrierEndsTheEpoch) {
   // Different threads write the same element in *different* iterations of
   // an iterative kernel: the inter-iteration barrier (the paper's
   // sync_threads in GPU_SDist) makes that well-defined.
-  const KernelStats stats = device.LaunchIterative(
+  const KernelStats stats = *device.LaunchIterative(
       "Ping", 2, /*max_iters=*/2, /*stop_when_stable=*/false,
       [&](ThreadCtx& ctx, uint32_t iter) {
         if (ctx.thread_id == iter) buf.Store(ctx, 0, static_cast<int>(iter));
@@ -161,7 +161,7 @@ TEST(HazardDetectorTest, AtomicsCommuteButConflictWithPlainWrites) {
     EXPECT_LE(prev, 100);
   });
   EXPECT_EQ(device.hazard_count(), 0u);
-  EXPECT_EQ(buf.Download()[0], 0);
+  EXPECT_EQ((*buf.Download())[0], 0);
 
   // A plain read beside atomics is the relaxed idiom relaxation kernels
   // use — also allowed.
@@ -215,7 +215,7 @@ TEST(HazardDetectorTest, BundleLanesShareOneOwner) {
 
   // Two *bundles* writing the same element do race.
   const KernelStats stats =
-      LaunchWarps(&device, "CrossBundle", 2, 4, [&](WarpCtx& warp) {
+      *LaunchWarps(&device, "CrossBundle", 2, 4, [&](WarpCtx& warp) {
         buf.Store(warp, 5, static_cast<int>(warp.warp_id()));
       });
   EXPECT_EQ(stats.hazards, 1u);
@@ -234,7 +234,7 @@ TEST(HazardDetectorTest, DisabledCheckRecordsNothing) {
   Device device(config);
   auto buf = MustAllocate<int>(&device, 4, "out");
 
-  const KernelStats stats = device.Launch("Race", 4, [&](ThreadCtx& ctx) {
+  const KernelStats stats = *device.Launch("Race", 4, [&](ThreadCtx& ctx) {
     buf.Store(ctx, 0, static_cast<int>(ctx.thread_id));
   });
   EXPECT_EQ(stats.hazards, 0u);

@@ -3,6 +3,11 @@
 // over simulated hours, and every query is validated against a shadow
 // model. Exercises bucket expiry (t_Delta), tombstone chains, arena
 // recycling, and repeated cleaning of the same cells.
+//
+// Fault-schedule variants run the same workload with seeded device faults
+// injected (docs/ROBUSTNESS.md): every query must still match the shadow
+// model exactly — device errors degrade to the CPU path, never to a wrong
+// answer.
 
 #include <gtest/gtest.h>
 
@@ -25,16 +30,26 @@ using roadnet::EdgePoint;
 using roadnet::Graph;
 using roadnet::kInfiniteDistance;
 
-class SoakTest : public ::testing::TestWithParam<uint64_t> {};
+struct SoakParams {
+  uint64_t seed;
+  const char* faults;  // "" inherits the environment schedule (CI matrix)
+  const char* label;
+};
+
+class SoakTest : public ::testing::TestWithParam<SoakParams> {};
 
 TEST_P(SoakTest, MixedWorkloadStaysCorrect) {
-  const uint64_t seed = GetParam();
+  const uint64_t seed = GetParam().seed;
   auto graph_or = workload::GenerateSyntheticRoadNetwork(
       {.num_vertices = 350, .seed = seed});
   ASSERT_TRUE(graph_or.ok());
   Graph& graph = *graph_or;
 
-  gpusim::Device device;
+  gpusim::DeviceConfig device_config;
+  if (GetParam().faults[0] != '\0') {
+    device_config.faults = GetParam().faults;
+  }
+  gpusim::Device device(device_config);
   util::ThreadPool pool(2);
   GGridOptions options;
   options.t_delta = 3.0;  // tight expiry to exercise bucket dropping
@@ -117,13 +132,28 @@ TEST_P(SoakTest, MixedWorkloadStaysCorrect) {
   // live object remains cached.
   ASSERT_TRUE((*index)->TrimCaches(now).ok());
   EXPECT_LE((*index)->cached_messages(), shadow.size());
+  if (GetParam().faults[0] != '\0') {
+    // The schedule really fired (deterministic: single thread, seeded
+    // injector), and the index absorbed it via its fallbacks.
+    EXPECT_GT(device.fault_injector().total_injected(), 0u);
+    EXPECT_GT((*index)->engine_counters().fallback_queries +
+                  (*index)->counters().clean_fallbacks,
+              0u);
+  }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, SoakTest,
-                         ::testing::Values(1u, 2u, 3u, 4u, 5u),
-                         [](const ::testing::TestParamInfo<uint64_t>& info) {
-                           return "seed" + std::to_string(info.param);
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SoakTest,
+    ::testing::Values(SoakParams{1, "", "seed1"}, SoakParams{2, "", "seed2"},
+                      SoakParams{3, "", "seed3"}, SoakParams{4, "", "seed4"},
+                      SoakParams{5, "", "seed5"},
+                      SoakParams{1, "alloc:p=0.1;seed=7", "seed1_allocfaults"},
+                      SoakParams{2, "any:every=9;seed=7", "seed2_anyfaults"},
+                      SoakParams{3, "transfer:p=0.05;seed=7",
+                                 "seed3_transferfaults"}),
+    [](const ::testing::TestParamInfo<SoakParams>& info) {
+      return info.param.label;
+    });
 
 }  // namespace
 }  // namespace gknn::core

@@ -24,8 +24,8 @@ std::vector<uint64_t> RunTopK(Device* device,
   auto buf = DeviceBuffer<uint64_t>::Allocate(device, values.size());
   GKNN_CHECK(buf.ok());
   if (!values.empty()) buf->Upload(values);
-  return TopKSmallest<uint64_t>(device, buf->device_span(), k,
-                                std::numeric_limits<uint64_t>::max());
+  return *TopKSmallest<uint64_t>(device, buf->device_span(), k,
+                                 std::numeric_limits<uint64_t>::max());
 }
 
 TEST(TopKTest, SmallHandCase) {

@@ -1,7 +1,7 @@
-// gknn_cli — interactive/scriptable front end to the G-Grid index.
+// gknn_cli — interactive/scriptable front end to the G-Grid query server.
 //
 // Load a road network (a DIMACS .gr file or a generated one), then drive
-// the index with line commands on stdin:
+// the server with line commands on stdin:
 //
 //   add <object> <edge> <offset> <time>    report an object location
 //   remove <object> <time>                 deregister an object
@@ -9,9 +9,19 @@
 //   trim <time>                            maintenance sweep
 //   record <file> <objects> <f> <queries> <k>   write a workload trace
 //   replay <file>                          replay a trace file
-//   stats                                  counters and memory breakdown
+//   stats                                  counters, memory, degradation
 //   help                                   this list
 //   quit
+//
+// Flags:
+//   --graph=FILE | --synthetic=N   road network source
+//   --seed=N                       workload seed
+//   --faults=SPEC                  fault-injection spec (same grammar as
+//                                  GKNN_FAULTS; see docs/ROBUSTNESS.md),
+//                                  e.g. --faults='alloc:p=0.05;seed=7'
+//   --stats                        dump the stats block on exit
+//
+// Exits non-zero when any command reported an error.
 //
 // Examples:
 //   ./build/tools/gknn_cli --synthetic=5000
@@ -24,6 +34,7 @@
 #include "core/ggrid_index.h"
 #include "gpusim/device.h"
 #include "roadnet/dimacs.h"
+#include "server/query_server.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 #include "workload/synthetic_network.h"
@@ -45,12 +56,59 @@ void PrintHelp() {
       "  quit\n");
 }
 
+void PrintStats(gknn::server::QueryServer& server,
+                gknn::gpusim::Device& device) {
+  const auto& counters = server.index().counters();
+  const auto& engine = server.index().engine_counters();
+  const auto server_stats = server.stats();
+  const auto mem = server.index().Memory();
+  const auto& faults = device.fault_injector();
+  std::printf(
+      "updates=%llu tombstones=%llu queries=%llu cached_messages=%llu "
+      "pending=%llu\n"
+      "memory: cpu=%llu B gpu=%llu B total=%llu B\n"
+      "device: kernels=%llu modeled_gpu=%.3f ms h2d=%llu B d2h=%llu B\n"
+      "robustness: degraded=%d gpu_failures=%llu retries=%llu "
+      "fallback_queries=%llu degraded_queries=%llu breaker_trips=%llu "
+      "breaker_closes=%llu update_requeues=%llu clean_fallbacks=%llu\n"
+      "faults: spec='%s' checks=%llu injected=%llu\n",
+      static_cast<unsigned long long>(counters.updates_ingested),
+      static_cast<unsigned long long>(counters.tombstones_written),
+      static_cast<unsigned long long>(counters.queries_processed),
+      static_cast<unsigned long long>(server.index().cached_messages()),
+      static_cast<unsigned long long>(server.pending_updates()),
+      static_cast<unsigned long long>(mem.cpu_total()),
+      static_cast<unsigned long long>(mem.grid_gpu),
+      static_cast<unsigned long long>(mem.total()),
+      static_cast<unsigned long long>(device.kernel_launches()),
+      device.ClockSeconds() * 1e3,
+      static_cast<unsigned long long>(device.ledger().totals().h2d_bytes),
+      static_cast<unsigned long long>(device.ledger().totals().d2h_bytes),
+      server_stats.degraded ? 1 : 0,
+      static_cast<unsigned long long>(server_stats.gpu_failures +
+                                      engine.gpu_failures),
+      static_cast<unsigned long long>(server_stats.retries),
+      static_cast<unsigned long long>(server_stats.fallback_queries +
+                                      engine.fallback_queries),
+      static_cast<unsigned long long>(server_stats.degraded_queries),
+      static_cast<unsigned long long>(server_stats.breaker_trips),
+      static_cast<unsigned long long>(server_stats.breaker_closes),
+      static_cast<unsigned long long>(server_stats.update_requeues),
+      static_cast<unsigned long long>(counters.clean_fallbacks),
+      faults.spec().c_str(),
+      static_cast<unsigned long long>(faults.total_checks()),
+      static_cast<unsigned long long>(faults.total_injected()));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace gknn;  // NOLINT(build/namespaces)
 
   std::string graph_path;
+  std::string fault_spec;
+  bool have_fault_spec = false;
+  bool stats_on_exit = false;
   uint32_t synthetic = 0;
   uint64_t seed = 1;
   for (int i = 1; i < argc; ++i) {
@@ -61,6 +119,11 @@ int main(int argc, char** argv) {
       synthetic = static_cast<uint32_t>(std::stoul(arg.substr(12)));
     } else if (arg.rfind("--seed=", 0) == 0) {
       seed = std::stoull(arg.substr(7));
+    } else if (arg.rfind("--faults=", 0) == 0) {
+      fault_spec = arg.substr(9);
+      have_fault_spec = true;
+    } else if (arg == "--stats") {
+      stats_on_exit = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 1;
@@ -81,18 +144,34 @@ int main(int argc, char** argv) {
   std::printf("graph: %u vertices, %u arcs\n", graph->num_vertices(),
               graph->num_edges());
 
-  gpusim::Device device;
+  gpusim::DeviceConfig device_config;
+  if (have_fault_spec) {
+    const auto parsed = gpusim::FaultInjector::Parse(fault_spec);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "invalid --faults spec: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    device_config.faults = fault_spec;
+  }
+  gpusim::Device device(device_config);
   util::ThreadPool pool;
-  auto index =
-      core::GGridIndex::Build(&*graph, core::GGridOptions{}, &device, &pool);
-  if (!index.ok()) {
+  auto server = server::QueryServer::Create(&*graph, core::GGridOptions{},
+                                            &device, &pool);
+  if (!server.ok()) {
     std::fprintf(stderr, "failed to build index: %s\n",
-                 index.status().ToString().c_str());
+                 server.status().ToString().c_str());
     return 1;
   }
   std::printf("G-Grid ready: %u cells (psi=%u). Type 'help' for commands.\n",
-              (*index)->grid().num_cells(), (*index)->grid().psi());
+              (*server)->index().grid().num_cells(),
+              (*server)->index().grid().psi());
+  if (device.fault_injector().armed()) {
+    std::printf("fault injection armed: %s\n",
+                device.fault_injector().spec().c_str());
+  }
 
+  bool had_error = false;
   char line[512];
   while (std::fgets(line, sizeof(line), stdin) != nullptr) {
     unsigned long long object = 0, edge = 0, offset = 0, k = 0;
@@ -102,24 +181,26 @@ int main(int argc, char** argv) {
       if (edge >= graph->num_edges() ||
           offset > graph->edge(static_cast<roadnet::EdgeId>(edge)).weight) {
         std::printf("error: invalid edge/offset\n");
+        had_error = true;
         continue;
       }
-      (*index)->Ingest(static_cast<core::ObjectId>(object),
-                       {static_cast<roadnet::EdgeId>(edge),
-                        static_cast<uint32_t>(offset)},
-                       time);
+      (*server)->Report(static_cast<core::ObjectId>(object),
+                        {static_cast<roadnet::EdgeId>(edge),
+                         static_cast<uint32_t>(offset)},
+                        time);
       std::printf("ok\n");
     } else if (std::sscanf(line, "remove %llu %lf", &object, &time) == 2) {
-      (*index)->Remove(static_cast<core::ObjectId>(object), time);
+      (*server)->Deregister(static_cast<core::ObjectId>(object), time);
       std::printf("ok\n");
     } else if (std::sscanf(line, "query %llu %llu %llu %lf", &edge, &offset,
                            &k, &time) == 4) {
-      auto result = (*index)->QueryKnn(
+      auto result = (*server)->QueryKnn(
           {static_cast<roadnet::EdgeId>(edge),
            static_cast<uint32_t>(offset)},
           static_cast<uint32_t>(k), time);
       if (!result.ok()) {
         std::printf("error: %s\n", result.status().ToString().c_str());
+        had_error = true;
         continue;
       }
       for (const auto& entry : *result) {
@@ -148,6 +229,7 @@ int main(int argc, char** argv) {
         std::printf("recorded %zu events to %s\n", events.size(), file);
       } else {
         std::printf("error: %s\n", status.ToString().c_str());
+        had_error = true;
       }
     } else if (std::strncmp(line, "replay ", 7) == 0) {
       char file[256];
@@ -158,23 +240,27 @@ int main(int argc, char** argv) {
       auto events = workload::ReadTrace(*graph, file);
       if (!events.ok()) {
         std::printf("error: %s\n", events.status().ToString().c_str());
+        had_error = true;
         continue;
       }
       util::Timer replay_timer;
       uint32_t queries_run = 0;
+      uint32_t query_errors = 0;
       for (const auto& e : *events) {
         switch (e.kind) {
           case workload::TraceEvent::Kind::kUpdate:
-            (*index)->Ingest(e.object, e.position, e.time);
+            (*server)->Report(e.object, e.position, e.time);
             break;
           case workload::TraceEvent::Kind::kRemove:
-            (*index)->Remove(e.object, e.time);
+            (*server)->Deregister(e.object, e.time);
             break;
           case workload::TraceEvent::Kind::kQuery: {
-            auto result = (*index)->QueryKnn(e.position, e.k, e.time);
+            auto result = (*server)->QueryKnn(e.position, e.k, e.time);
             if (!result.ok()) {
               std::printf("error: %s\n",
                           result.status().ToString().c_str());
+              ++query_errors;
+              had_error = true;
             } else {
               ++queries_run;
             }
@@ -182,31 +268,19 @@ int main(int argc, char** argv) {
           }
         }
       }
-      std::printf("replayed %zu events (%u queries) in %.1f ms\n",
-                  events->size(), queries_run, replay_timer.ElapsedMillis());
+      std::printf("replayed %zu events (%u queries, %u errors) in %.1f ms\n",
+                  events->size(), queries_run, query_errors,
+                  replay_timer.ElapsedMillis());
     } else if (std::sscanf(line, "trim %lf", &time) == 1) {
-      auto status = (*index)->TrimCaches(time);
-      std::printf("%s\n", status.ok() ? "ok" : status.ToString().c_str());
+      auto status = (*server)->index().TrimCaches(time);
+      if (status.ok()) {
+        std::printf("ok\n");
+      } else {
+        std::printf("error: %s\n", status.ToString().c_str());
+        had_error = true;
+      }
     } else if (std::strncmp(line, "stats", 5) == 0) {
-      const auto& counters = (*index)->counters();
-      const auto mem = (*index)->Memory();
-      std::printf(
-          "updates=%llu tombstones=%llu queries=%llu cached_messages=%llu\n"
-          "memory: cpu=%llu B gpu=%llu B total=%llu B\n"
-          "device: kernels=%llu modeled_gpu=%.3f ms h2d=%llu B d2h=%llu B\n",
-          static_cast<unsigned long long>(counters.updates_ingested),
-          static_cast<unsigned long long>(counters.tombstones_written),
-          static_cast<unsigned long long>(counters.queries_processed),
-          static_cast<unsigned long long>((*index)->cached_messages()),
-          static_cast<unsigned long long>(mem.cpu_total()),
-          static_cast<unsigned long long>(mem.grid_gpu),
-          static_cast<unsigned long long>(mem.total()),
-          static_cast<unsigned long long>(device.kernel_launches()),
-          device.ClockSeconds() * 1e3,
-          static_cast<unsigned long long>(
-              device.ledger().totals().h2d_bytes),
-          static_cast<unsigned long long>(
-              device.ledger().totals().d2h_bytes));
+      PrintStats(**server, device);
     } else if (std::strncmp(line, "help", 4) == 0) {
       PrintHelp();
     } else if (std::strncmp(line, "quit", 4) == 0 ||
@@ -216,5 +290,6 @@ int main(int argc, char** argv) {
       std::printf("unrecognized command; type 'help'\n");
     }
   }
-  return 0;
+  if (stats_on_exit) PrintStats(**server, device);
+  return had_error ? 1 : 0;
 }
