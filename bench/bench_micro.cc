@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "baselines/ggrid_adapter.h"
@@ -265,4 +266,27 @@ BENCHMARK(BM_GGridQuery);
 }  // namespace
 }  // namespace gknn
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN so `bench_micro --smoke` works: the
+// flag caps every benchmark at a minimal time budget, turning the binary
+// into a fast ctest smoke test that still executes every benchmark body.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  static char min_time[] = "--benchmark_min_time=0.001";
+  if (smoke) args.push_back(min_time);
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

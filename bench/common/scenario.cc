@@ -1,6 +1,7 @@
 #include "common/scenario.h"
 
 #include <algorithm>
+#include <iostream>
 
 #include "baselines/brute_force.h"
 #include "baselines/cpu_grid.h"
@@ -79,6 +80,13 @@ RunResult RunScenario(KnnAlgorithm* algorithm, const roadnet::Graph& graph,
       (result.update_seconds +
        std::max(result.query_cpu_seconds, result.query_gpu_seconds)) /
       n;
+
+  if (options.emit_metrics_json) {
+    if (auto* ggrid = dynamic_cast<baselines::GGridAlgorithm*>(algorithm)) {
+      ggrid->index().FoldDeviceMetrics();
+      std::cout << ggrid->index().metrics().RenderJson() << "\n";
+    }
+  }
   return result;
 }
 
@@ -167,6 +175,7 @@ CommonFlags CommonFlags::Parse(const Args& args) {
   flags.frequency = args.GetDouble("f", 1.0);
   flags.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
   flags.dimacs_dir = args.GetString("dimacs_dir", "");
+  flags.metrics = args.GetBool("metrics", false);
   return flags;
 }
 
@@ -177,6 +186,7 @@ ScenarioOptions CommonFlags::ToScenario() const {
   options.num_queries = num_queries;
   options.k = k;
   options.seed = seed;
+  options.emit_metrics_json = metrics;
   return options;
 }
 

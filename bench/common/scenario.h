@@ -26,6 +26,10 @@ struct ScenarioOptions {
   double query_interval = 0.25;       // seconds between queries
   double warmup_seconds = 1.0;        // movement before the first query
   uint64_t seed = 1;
+  /// Print the algorithm's metrics-registry JSON ("gknn-metrics/v1" one-
+  /// liner, G-Grid only) to stdout after the run; scripts/bench_to_csv.py
+  /// turns those lines into a phase-breakdown CSV.
+  bool emit_metrics_json = false;
 };
 
 /// Measured outcome of a run, in the paper's reporting terms.
@@ -99,6 +103,7 @@ struct CommonFlags {
   double frequency;
   uint64_t seed;
   std::string dimacs_dir;
+  bool metrics;  // --metrics: emit registry JSON after each G-Grid run
 
   static CommonFlags Parse(const Args& args);
   ScenarioOptions ToScenario() const;

@@ -6,15 +6,25 @@ line. This script slices each table on its header columns and emits one
 CSV per table, converting humanized values ("1.23 ms", "4.5 KB") back to
 base units (seconds, bytes).
 
+When a benchmark is run with --metrics, its output additionally carries
+one-line metrics-registry JSON dumps (schema "gknn-metrics/v1", see
+docs/OBSERVABILITY.md). Those lines are turned into phase-breakdown CSVs:
+one row per histogram (count/sum/p50/p95/p99) plus one row per counter
+and gauge. A JSON line with an unknown schema version is a hard error —
+silent misparsing of a future format would corrupt plots.
+
 Usage:
     ./build/bench/bench_fig5_datasets | scripts/bench_to_csv.py --out-dir csv/
     scripts/bench_to_csv.py --out-dir csv/ < bench_output.txt
 """
 
 import argparse
+import json
 import os
 import re
 import sys
+
+KNOWN_METRICS_SCHEMAS = {"gknn-metrics/v1"}
 
 TIME_UNITS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
 SIZE_UNITS = {"B": 1, "KB": 1024, "MB": 1024**2, "GB": 1024**3}
@@ -55,6 +65,44 @@ def slice_row(line: str, starts):
     return cells
 
 
+def parse_metrics_line(line: str):
+    """Parses a one-line registry dump; returns None for non-metrics lines.
+
+    Raises ValueError when the line is a metrics dump of a schema version
+    this script does not understand.
+    """
+    stripped = line.strip()
+    if not stripped.startswith('{"schema":'):
+        return None
+    try:
+        payload = json.loads(stripped)
+    except json.JSONDecodeError as e:
+        raise ValueError(f"malformed metrics JSON line: {e}") from e
+    schema = payload.get("schema")
+    if schema not in KNOWN_METRICS_SCHEMAS:
+        raise ValueError(
+            f"unknown metrics schema {schema!r}; this script understands "
+            f"{sorted(KNOWN_METRICS_SCHEMAS)} — update scripts/bench_to_csv.py"
+        )
+    return payload
+
+
+def write_metrics_csv(payload: dict, path: str):
+    """One CSV row per metric: histograms carry the phase breakdown."""
+    with open(path, "w") as f:
+        f.write("metric,kind,count,sum,p50,p95,p99,value\n")
+        if not payload.get("enabled", True):
+            return
+        for name, data in sorted(payload.get("histograms", {}).items()):
+            f.write(
+                f"{name},histogram,{data['count']},{data['sum']!r},"
+                f"{data['p50']!r},{data['p95']!r},{data['p99']!r},\n")
+        for name, value in sorted(payload.get("counters", {}).items()):
+            f.write(f"{name},counter,,,,,,{value}\n")
+        for name, value in sorted(payload.get("gauges", {}).items()):
+            f.write(f"{name},gauge,,,,,,{value!r}\n")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out-dir", default=".", help="directory for CSVs")
@@ -64,7 +112,29 @@ def main():
 
     lines = sys.stdin.read().splitlines()
     table_index = 0
+    metrics_index = 0
     written = []
+
+    # Metrics JSON lines are extracted first (they are one-liners and would
+    # otherwise confuse the fixed-width table slicer). Unknown schemas fail
+    # the whole run.
+    remaining = []
+    for line in lines:
+        try:
+            payload = parse_metrics_line(line)
+        except ValueError as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 1
+        if payload is None:
+            remaining.append(line)
+            continue
+        metrics_index += 1
+        path = os.path.join(
+            args.out_dir, f"{args.prefix}_metrics_{metrics_index:02d}.csv")
+        write_metrics_csv(payload, path)
+        written.append(path)
+    lines = remaining
+
     i = 0
     while i < len(lines) - 1:
         # A table = header line followed by a dashed separator.
@@ -91,7 +161,7 @@ def main():
     for path in written:
         print(path)
     if not written:
-        print("no tables found on stdin", file=sys.stderr)
+        print("no tables or metrics found on stdin", file=sys.stderr)
         return 1
     return 0
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string_view>
 
 #include "gpusim/fault_injector.h"
 #include "util/logging.h"
@@ -16,7 +17,12 @@ GGridIndex::GGridIndex(const roadnet::Graph* graph,
     : graph_(graph),
       options_(options),
       device_(device),
-      arena_(options.delta_b) {
+      arena_(options.delta_b),
+      tracer_(&registry_, options.obs_clock, options.trace_ring_capacity),
+      updates_total_(registry_.GetCounter("gknn_updates_ingested_total")),
+      tombstones_total_(registry_.GetCounter("gknn_tombstones_total")),
+      clean_fallbacks_total_(
+          registry_.GetCounter("gknn_clean_fallbacks_total")) {
   (void)pool;  // consumed in Build
 }
 
@@ -71,11 +77,13 @@ util::Result<std::unique_ptr<GGridIndex>> GGridIndex::Build(
   cleaner_options.pipelined_transfer = options.pipelined_transfer;
   index->cleaner_ =
       std::make_unique<MessageCleaner>(device, cleaner_options);
+  index->cleaner_->SetMetricRegistry(&index->registry_);
 
   index->engine_ = std::make_unique<KnnEngine>(
       device, index->grid_.get(), index->cleaner_.get(), &index->arena_,
       &index->lists_, &index->object_table_, &index->objects_on_edge_, pool,
       &index->options_);
+  index->engine_->SetTracer(&index->tracer_);
   return index;
 }
 
@@ -119,6 +127,7 @@ util::Status GGridIndex::Ingest(ObjectId object, EdgePoint position,
     tombstone.cell = previous.cell;
     lists_[previous.cell].Append(&arena_, tombstone);
     ++counters_.tombstones_written;
+    tombstones_total_->Increment();
   }
 
   // Maintain the eager edge->objects registry used by Refine_kNN.
@@ -138,6 +147,7 @@ util::Status GGridIndex::Ingest(ObjectId object, EdgePoint position,
   object_table_.Set(object, ObjectTable::Entry{cell, position.edge,
                                                position.offset, time, m.seq});
   ++counters_.updates_ingested;
+  updates_total_->Increment();
 
   if (options_.eager_updates) {
     // Ablation mode: enforce the update on the index immediately, like the
@@ -163,6 +173,7 @@ util::Status GGridIndex::Remove(ObjectId object, double time) {
   tombstone.cell = entry->cell;
   lists_[entry->cell].Append(&arena_, tombstone);
   ++counters_.tombstones_written;
+  tombstones_total_->Increment();
 
   auto it = objects_on_edge_.find(entry->edge);
   if (it != objects_on_edge_.end()) {
@@ -299,6 +310,7 @@ util::Status GGridIndex::CleanCells(std::span<const CellId> cells,
     // The failed GPU pass rolled back transactionally, so the host pass
     // sees every message it saw.
     ++counters_.clean_fallbacks;
+    clean_fallbacks_total_->Increment();
     outcome = cleaner_->CleanCpu(cells, t_now, &arena_, &lists_);
   }
   return outcome.status();
@@ -322,6 +334,54 @@ uint64_t GGridIndex::cached_messages() const {
   uint64_t total = 0;
   for (const MessageList& list : lists_) total += list.num_messages();
   return total;
+}
+
+void GGridIndex::FoldDeviceMetrics() {
+  if (!obs::kEnabled) return;
+  auto set = [&](std::string_view name, double value) {
+    registry_.GetGauge(name)->Set(value);
+  };
+  // Device totals.
+  set("gknn_device_clock_seconds", device_->ClockSeconds());
+  set("gknn_device_kernel_launches",
+      static_cast<double>(device_->kernel_launches()));
+  set("gknn_device_sim_wall_seconds", device_->sim_wall_seconds());
+  set("gknn_device_bytes_allocated",
+      static_cast<double>(device_->bytes_allocated()));
+  set("gknn_device_peak_bytes", static_cast<double>(device_->peak_bytes()));
+  set("gknn_device_hazards", static_cast<double>(device_->hazard_count()));
+  // Transfer ledger.
+  const gpusim::TransferLedger::Totals totals = device_->ledger().totals();
+  set("gknn_transfer_h2d_bytes", static_cast<double>(totals.h2d_bytes));
+  set("gknn_transfer_d2h_bytes", static_cast<double>(totals.d2h_bytes));
+  set("gknn_transfer_h2d_count", static_cast<double>(totals.h2d_count));
+  set("gknn_transfer_d2h_count", static_cast<double>(totals.d2h_count));
+  set("gknn_transfer_h2d_seconds", totals.h2d_seconds);
+  set("gknn_transfer_d2h_seconds", totals.d2h_seconds);
+  // Per-kernel timing.
+  for (const auto& [kernel, k_totals] : device_->kernel_totals()) {
+    const std::string labels = "{kernel=\"" + kernel + "\"}";
+    set("gknn_kernel_launches" + labels,
+        static_cast<double>(k_totals.launches));
+    set("gknn_kernel_iterations" + labels,
+        static_cast<double>(k_totals.iterations));
+    set("gknn_kernel_modeled_seconds" + labels, k_totals.modeled_seconds);
+  }
+  // Index memory and state.
+  const MemoryBreakdown mem = Memory();
+  set("gknn_memory_bytes{component=\"grid_cpu\"}",
+      static_cast<double>(mem.grid_cpu));
+  set("gknn_memory_bytes{component=\"object_table\"}",
+      static_cast<double>(mem.object_table));
+  set("gknn_memory_bytes{component=\"message_lists\"}",
+      static_cast<double>(mem.message_lists));
+  set("gknn_memory_bytes{component=\"support\"}",
+      static_cast<double>(mem.support));
+  set("gknn_memory_bytes{component=\"grid_gpu\"}",
+      static_cast<double>(mem.grid_gpu));
+  set("gknn_cached_messages", static_cast<double>(cached_messages()));
+  set("gknn_index_queries_processed",
+      static_cast<double>(counters_.queries_processed));
 }
 
 GGridIndex::MemoryBreakdown GGridIndex::Memory() const {

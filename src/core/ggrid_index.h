@@ -16,6 +16,8 @@
 #include "core/types.h"
 #include "gpusim/device.h"
 #include "gpusim/device_buffer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
 
@@ -138,6 +140,20 @@ class GGridIndex {
   /// compacted).
   uint64_t cached_messages() const;
 
+  /// The index's observability registry: query/cleaning histograms and
+  /// counters accumulate here as work happens; FoldDeviceMetrics() adds the
+  /// device-side totals on demand.
+  obs::MetricRegistry& metrics() { return registry_; }
+  const obs::MetricRegistry& metrics() const { return registry_; }
+  obs::Tracer& tracer() { return tracer_; }
+
+  /// Folds the device's current totals — modeled clock, kernel launches,
+  /// per-kernel timing, transfer-ledger volume/latency, memory breakdown —
+  /// into the registry as gauges, plus this index's cumulative Counters.
+  /// Call before Snapshot/Render so the exposition reconciles with
+  /// Device/TransferLedger state.
+  void FoldDeviceMetrics();
+
  private:
   GGridIndex(const roadnet::Graph* graph, const GGridOptions& options,
              gpusim::Device* device, util::ThreadPool* pool);
@@ -156,6 +172,12 @@ class GGridIndex {
   std::unique_ptr<KnnEngine> engine_;
   Counters counters_;
   uint64_t next_seq_ = 1;
+
+  obs::MetricRegistry registry_;
+  obs::Tracer tracer_;
+  obs::Counter* updates_total_;
+  obs::Counter* tombstones_total_;
+  obs::Counter* clean_fallbacks_total_;
 };
 
 }  // namespace gknn::core

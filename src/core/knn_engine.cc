@@ -100,24 +100,56 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::Query(
     ExecMode mode) {
   if (k == 0) return util::Status::InvalidArgument("k must be positive");
   GKNN_RETURN_NOT_OK(ValidateLocation(location));
+
+  KnnStats local_stats;
+  KnnStats* st = stats != nullptr ? stats : &local_stats;
+  obs::QueryTraceRecord record;
+  obs::QueryTraceRecord* trace = tracer_ != nullptr ? &record : nullptr;
+  obs::Span total;
+  if (trace != nullptr) {
+    record.query_id = tracer_->NextQueryId();
+    record.t_query = t_now;
+    record.k = k;
+    record.exec_mode = static_cast<uint8_t>(mode);
+    total = tracer_->StartTotal(trace);
+  }
+  auto finish = [&](util::Result<std::vector<KnnResultEntry>> result) {
+    total.Stop();
+    if (trace != nullptr) {
+      record.ok = result.ok();
+      record.results =
+          result.ok() ? static_cast<uint32_t>(result->size()) : 0;
+      record.cpu_fallback = st->cpu_fallback;
+      record.cells_examined = st->cells_examined;
+      tracer_->FinishQuery(std::move(record));
+    }
+    return result;
+  };
+
   if (mode == ExecMode::kCpuOnly) {
     ++counters_.cpu_queries;
-    return QueryCpu(location, k, t_now, stats);
+    return finish(QueryCpu(location, k, t_now, st, trace));
   }
   util::Result<std::vector<KnnResultEntry>> result =
-      QueryGpu(location, k, t_now, stats);
+      QueryGpu(location, k, t_now, st, trace);
   if (!result.ok() && gpusim::IsDeviceError(result.status())) {
     ++counters_.gpu_failures;
+    if (trace != nullptr) ++record.fault_events;
     if (mode == ExecMode::kAuto) {
       ++counters_.fallback_queries;
-      return QueryCpu(location, k, t_now, stats);
+      // The re-run traces as one kFallback phase; its inner phases get a
+      // null record so the fallback span alone accounts for the time.
+      obs::Span fallback = PhaseSpan(trace, obs::Phase::kFallback);
+      result = QueryCpu(location, k, t_now, st, nullptr);
+      fallback.Stop();
     }
   }
-  return result;
+  return finish(std::move(result));
 }
 
 util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
-    EdgePoint location, uint32_t k, double t_now, KnnStats* stats) {
+    EdgePoint location, uint32_t k, double t_now, KnnStats* stats,
+    obs::QueryTraceRecord* trace) {
   const roadnet::Graph& graph = grid_->graph();
   const Edge& query_edge = graph.edge(location.edge);
 
@@ -130,6 +162,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
   util::Timer cpu_timer;
 
   // ---- Step 1 (Alg. 4 lines 1-4): candidate cells + message cleaning -----
+  obs::Span expand_span = PhaseSpan(trace, obs::Phase::kExpand);
   std::vector<char> in_l(grid_->num_cells(), 0);
   std::vector<CellId> l_cells;
   auto add_cell = [&](CellId c) {
@@ -144,6 +177,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
   // part of the examined region.
   add_cell(grid_->CellOfVertex(query_edge.target));
   for (CellId c : grid_->NeighborCells(query_cell)) add_cell(c);
+  expand_span.Stop();
 
   std::vector<Message> candidates;
   size_t clean_from = 0;     // cells in l_cells[clean_from..) not yet cleaned
@@ -154,14 +188,25 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
                                            l_cells.size() - clean_from);
     frontier_from = clean_from;
     clean_from = l_cells.size();
+    obs::Span clean_span = PhaseSpan(trace, obs::Phase::kClean);
     GKNN_ASSIGN_OR_RETURN(MessageCleaner::Outcome outcome,
                           cleaner_->Clean(to_clean, t_now, arena_, lists_));
+    clean_span.Stop();
+    if (trace != nullptr) {
+      trace->cells_cleaned += outcome.cells_cleaned;
+      trace->messages_shipped += outcome.messages_shipped;
+      if (outcome.messages_shipped > outcome.latest.size()) {
+        trace->messages_deduped += static_cast<uint32_t>(
+            outcome.messages_shipped - outcome.latest.size());
+      }
+    }
     st.clean_pipeline_seconds += outcome.pipeline_seconds;
     candidates.insert(candidates.end(), outcome.latest.begin(),
                       outcome.latest.end());
     if (static_cast<double>(candidates.size()) >= rho_k) break;
     // Expand one ring: neighbors(L) \ L. Only the previous ring can
     // contribute new neighbors.
+    obs::Span ring_span = PhaseSpan(trace, obs::Phase::kExpand);
     const size_t before = l_cells.size();
     for (size_t i = frontier_from; i < before; ++i) {
       for (CellId nb : grid_->NeighborCells(l_cells[i])) add_cell(nb);
@@ -173,6 +218,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
   st.candidate_objects = static_cast<uint32_t>(candidates.size());
 
   // ---- Step 2a (Alg. 5): GPU_SDist over the candidate cells' vertices ----
+  obs::Span sdist_span = PhaseSpan(trace, obs::Phase::kSdist);
   std::vector<VertexId> region_vertices;
   for (CellId c : l_cells) grid_->AppendCellVertices(c, &region_vertices);
   st.candidate_vertices = static_cast<uint32_t>(region_vertices.size());
@@ -249,8 +295,10 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
         return changed;
       }));
   st.sdist_iterations = sdist_stats.iterations;
+  sdist_span.Stop();
 
   // ---- Step 2b: GPU_First_k — candidate distances + k smallest -----------
+  obs::Span topk_span = PhaseSpan(trace, obs::Phase::kTopk);
   auto object_distance = [&](ThreadCtx& ctx, const Message& m) -> Distance {
     const Edge& e = graph.edge(m.edge);
     Distance d = kInfiniteDistance;
@@ -309,10 +357,12 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
   const Distance l = candidate_topk.size() >= k
                          ? candidate_topk.back().distance
                          : kInfiniteDistance;
+  topk_span.Stop();
 
   // ---- Step 2c: GPU_Unresolved — boundary vertices with D[v] < l ---------
   // Stream compaction on the device: flag kernel -> exclusive scan ->
   // scatter kernel, then one copy of the compacted set to the host.
+  obs::Span unresolved_span = PhaseSpan(trace, obs::Phase::kUnresolved);
   using UnresolvedEntry = std::pair<VertexId, Distance>;
   std::vector<UnresolvedEntry> unresolved;
   {
@@ -367,8 +417,10 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
     (void)dv;
     seed_epoch_of_[v] = seed_epoch_;
   }
+  unresolved_span.Stop();
 
   // ---- Step 3 (Alg. 6): Refine_kNN on CPU threads -------------------------
+  obs::Span refine_span = PhaseSpan(trace, obs::Phase::kRefine);
   std::vector<std::vector<KnnResultEntry>> refined_per_worker(
       refine_workspaces_.size());
   const uint32_t workers =
@@ -424,6 +476,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
     });
   }
   if (workers > 0) pool_->Wait();
+  refine_span.Stop();
 
   // ---- Final merge ---------------------------------------------------------
   // Candidates beyond the top k cannot enter the answer (their distance is
@@ -473,24 +526,54 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRange(
     EdgePoint location, Distance radius, double t_now, KnnStats* stats,
     ExecMode mode) {
   GKNN_RETURN_NOT_OK(ValidateLocation(location));
+
+  KnnStats local_stats;
+  KnnStats* st = stats != nullptr ? stats : &local_stats;
+  obs::QueryTraceRecord record;
+  obs::QueryTraceRecord* trace = tracer_ != nullptr ? &record : nullptr;
+  obs::Span total;
+  if (trace != nullptr) {
+    record.query_id = tracer_->NextQueryId();
+    record.t_query = t_now;
+    record.range = true;
+    record.exec_mode = static_cast<uint8_t>(mode);
+    total = tracer_->StartTotal(trace);
+  }
+  auto finish = [&](util::Result<std::vector<KnnResultEntry>> result) {
+    total.Stop();
+    if (trace != nullptr) {
+      record.ok = result.ok();
+      record.results =
+          result.ok() ? static_cast<uint32_t>(result->size()) : 0;
+      record.cpu_fallback = st->cpu_fallback;
+      record.cells_examined = st->cells_examined;
+      tracer_->FinishQuery(std::move(record));
+    }
+    return result;
+  };
+
   if (mode == ExecMode::kCpuOnly) {
     ++counters_.cpu_queries;
-    return QueryRangeCpu(location, radius, t_now, stats);
+    return finish(QueryRangeCpu(location, radius, t_now, st, trace));
   }
   util::Result<std::vector<KnnResultEntry>> result =
-      QueryRangeGpu(location, radius, t_now, stats);
+      QueryRangeGpu(location, radius, t_now, st, trace);
   if (!result.ok() && gpusim::IsDeviceError(result.status())) {
     ++counters_.gpu_failures;
+    if (trace != nullptr) ++record.fault_events;
     if (mode == ExecMode::kAuto) {
       ++counters_.fallback_queries;
-      return QueryRangeCpu(location, radius, t_now, stats);
+      obs::Span fallback = PhaseSpan(trace, obs::Phase::kFallback);
+      result = QueryRangeCpu(location, radius, t_now, st, nullptr);
+      fallback.Stop();
     }
   }
-  return result;
+  return finish(std::move(result));
 }
 
 util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeGpu(
-    EdgePoint location, Distance radius, double t_now, KnnStats* stats) {
+    EdgePoint location, Distance radius, double t_now, KnnStats* stats,
+    obs::QueryTraceRecord* trace) {
   const roadnet::Graph& graph = grid_->graph();
   const Edge& query_edge = graph.edge(location.edge);
 
@@ -512,17 +595,30 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeGpu(
       l_cells.push_back(c);
     }
   };
+  obs::Span expand_span = PhaseSpan(trace, obs::Phase::kExpand);
   const CellId query_cell = grid_->CellOfEdge(location.edge);
   add_cell(query_cell);
   add_cell(grid_->CellOfVertex(query_edge.target));
   for (CellId nb : grid_->NeighborCells(query_cell)) add_cell(nb);
+  expand_span.Stop();
+  obs::Span clean_span = PhaseSpan(trace, obs::Phase::kClean);
   GKNN_ASSIGN_OR_RETURN(MessageCleaner::Outcome outcome,
                         cleaner_->Clean(l_cells, t_now, arena_, lists_));
+  clean_span.Stop();
+  if (trace != nullptr) {
+    trace->cells_cleaned += outcome.cells_cleaned;
+    trace->messages_shipped += outcome.messages_shipped;
+    if (outcome.messages_shipped > outcome.latest.size()) {
+      trace->messages_deduped += static_cast<uint32_t>(
+          outcome.messages_shipped - outcome.latest.size());
+    }
+  }
   st.clean_pipeline_seconds = outcome.pipeline_seconds;
   st.cells_examined = static_cast<uint32_t>(l_cells.size());
   st.candidate_objects = static_cast<uint32_t>(outcome.latest.size());
 
   // GPU_SDist over the region (same kernel as the kNN path).
+  obs::Span sdist_span = PhaseSpan(trace, obs::Phase::kSdist);
   std::vector<VertexId> region_vertices;
   for (CellId c : l_cells) grid_->AppendCellVertices(c, &region_vertices);
   st.candidate_vertices = static_cast<uint32_t>(region_vertices.size());
@@ -585,8 +681,10 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeGpu(
         return changed;
       }));
   st.sdist_iterations = sdist_stats.iterations;
+  sdist_span.Stop();
 
   // In-range candidates of the cleaned region.
+  obs::Span topk_span = PhaseSpan(trace, obs::Phase::kTopk);
   std::unordered_map<ObjectId, Distance> best;
   for (const Message& m : outcome.latest) {
     const Edge& e = graph.edge(m.edge);
@@ -604,9 +702,12 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeGpu(
     }
   }
 
+  topk_span.Stop();
+
   // Unresolved boundary vertices within the radius, then the outward
   // refinement (fixed absolute bound, domination prune as in the kNN
   // path).
+  obs::Span unresolved_span = PhaseSpan(trace, obs::Phase::kUnresolved);
   std::vector<std::pair<VertexId, Distance>> unresolved;
   for (uint32_t i = 0; i < region_vertices.size(); ++i) {
     const VertexId v = region_vertices[i];
@@ -625,6 +726,8 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeGpu(
     (void)dv;
     seed_epoch_of_[v] = seed_epoch_;
   }
+  unresolved_span.Stop();
+  obs::Span refine_span = PhaseSpan(trace, obs::Phase::kRefine);
   if (!unresolved.empty()) {
     roadnet::BoundedDijkstra& search = *refine_workspaces_[0];
     search.BeginSearch();
@@ -649,6 +752,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeGpu(
                dx >= dist_span[lx]);
     });
   }
+  refine_span.Stop();
 
   std::vector<KnnResultEntry> result;
   result.reserve(best.size());
@@ -675,7 +779,8 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeGpu(
 // without bound.
 
 util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryCpu(
-    EdgePoint location, uint32_t k, double t_now, KnnStats* stats) {
+    EdgePoint location, uint32_t k, double t_now, KnnStats* stats,
+    obs::QueryTraceRecord* trace) {
   const roadnet::Graph& graph = grid_->graph();
   const Edge& query_edge = graph.edge(location.edge);
   KnnStats local_stats;
@@ -700,11 +805,15 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryCpu(
     add_cell(grid_->CellOfVertex(query_edge.target));
     for (CellId nb : grid_->NeighborCells(query_cell)) add_cell(nb);
   }
+  obs::Span clean_span = PhaseSpan(trace, obs::Phase::kClean);
   GKNN_ASSIGN_OR_RETURN(MessageCleaner::Outcome outcome,
                         cleaner_->CleanCpu(l_cells, t_now, arena_, lists_));
+  clean_span.Stop();
+  if (trace != nullptr) trace->cells_cleaned += outcome.cells_cleaned;
   st.cells_examined = static_cast<uint32_t>(l_cells.size());
   st.candidate_objects = static_cast<uint32_t>(outcome.latest.size());
 
+  obs::Span refine_span = PhaseSpan(trace, obs::Phase::kRefine);
   std::unordered_map<ObjectId, Distance> best;
   KthBound bound(k);
   auto offer = [&](ObjectId o, Distance d) {
@@ -745,6 +854,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryCpu(
         }
         return true;
       });
+  refine_span.Stop();
   st.refined_objects = static_cast<uint32_t>(best.size());
 
   util::BoundedTopK<KnnResultEntry> final_topk(k);
@@ -756,7 +866,8 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryCpu(
 }
 
 util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeCpu(
-    EdgePoint location, Distance radius, double t_now, KnnStats* stats) {
+    EdgePoint location, Distance radius, double t_now, KnnStats* stats,
+    obs::QueryTraceRecord* trace) {
   const roadnet::Graph& graph = grid_->graph();
   const Edge& query_edge = graph.edge(location.edge);
   KnnStats local_stats;
@@ -779,11 +890,15 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeCpu(
     add_cell(grid_->CellOfVertex(query_edge.target));
     for (CellId nb : grid_->NeighborCells(query_cell)) add_cell(nb);
   }
+  obs::Span clean_span = PhaseSpan(trace, obs::Phase::kClean);
   GKNN_ASSIGN_OR_RETURN(MessageCleaner::Outcome outcome,
                         cleaner_->CleanCpu(l_cells, t_now, arena_, lists_));
+  clean_span.Stop();
+  if (trace != nullptr) trace->cells_cleaned += outcome.cells_cleaned;
   st.cells_examined = static_cast<uint32_t>(l_cells.size());
   st.candidate_objects = static_cast<uint32_t>(outcome.latest.size());
 
+  obs::Span refine_span = PhaseSpan(trace, obs::Phase::kRefine);
   std::unordered_map<ObjectId, Distance> best;
   auto offer = [&](ObjectId o, Distance d) {
     if (d > radius) return;
@@ -815,6 +930,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeCpu(
     }
     return true;
   });
+  refine_span.Stop();
   st.refined_objects = static_cast<uint32_t>(best.size());
 
   std::vector<KnnResultEntry> result;

@@ -13,6 +13,7 @@
 #include "core/options.h"
 #include "core/types.h"
 #include "gpusim/device.h"
+#include "obs/trace.h"
 #include "roadnet/dijkstra.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
@@ -100,24 +101,40 @@ class KnnEngine {
 
   const EngineCounters& counters() const { return counters_; }
 
+  /// Attaches the observability tracer: every Query/QueryRange then emits
+  /// a QueryTraceRecord with per-phase spans. Null (the default) disables
+  /// tracing entirely — the query path takes no clock reads.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   util::Status ValidateLocation(roadnet::EdgePoint location) const;
+
+  /// A span over `phase` charging into `trace`; a no-op span when the
+  /// engine has no tracer or the caller passed no record (the kAuto
+  /// fallback re-run passes null so its inner phases are not double
+  /// counted under the kFallback span).
+  obs::Span PhaseSpan(obs::QueryTraceRecord* trace, obs::Phase phase) const {
+    if (tracer_ == nullptr || trace == nullptr) return obs::Span{};
+    return tracer_->StartSpan(trace, phase);
+  }
 
   /// The paper's pipeline (GPU cleaning + SDist + First_k + Unresolved +
   /// CPU refinement). Any device error aborts the query and propagates.
   util::Result<std::vector<KnnResultEntry>> QueryGpu(
-      roadnet::EdgePoint location, uint32_t k, double t_now, KnnStats* stats);
+      roadnet::EdgePoint location, uint32_t k, double t_now, KnnStats* stats,
+      obs::QueryTraceRecord* trace);
   /// Exact host-only execution: CleanCpu over the query's cells, then one
   /// bounded Dijkstra from the query point over the eagerly maintained
   /// object table, its radius shrinking with the running kth-best bound.
   util::Result<std::vector<KnnResultEntry>> QueryCpu(
-      roadnet::EdgePoint location, uint32_t k, double t_now, KnnStats* stats);
+      roadnet::EdgePoint location, uint32_t k, double t_now, KnnStats* stats,
+      obs::QueryTraceRecord* trace);
   util::Result<std::vector<KnnResultEntry>> QueryRangeGpu(
       roadnet::EdgePoint location, roadnet::Distance radius, double t_now,
-      KnnStats* stats);
+      KnnStats* stats, obs::QueryTraceRecord* trace);
   util::Result<std::vector<KnnResultEntry>> QueryRangeCpu(
       roadnet::EdgePoint location, roadnet::Distance radius, double t_now,
-      KnnStats* stats);
+      KnnStats* stats, obs::QueryTraceRecord* trace);
   gpusim::Device* device_;
   const GraphGrid* grid_;
   MessageCleaner* cleaner_;
@@ -142,6 +159,8 @@ class KnnEngine {
   uint64_t seed_epoch_ = 0;
 
   EngineCounters counters_;
+
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace gknn::core

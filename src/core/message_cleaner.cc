@@ -23,6 +23,45 @@ MessageCleaner::MessageCleaner(Device* device, const Options& options)
   GKNN_CHECK(options_.delta_b > 0);
 }
 
+void MessageCleaner::SetMetricRegistry(obs::MetricRegistry* registry) {
+  if (registry == nullptr) return;
+  cells_cleaned_total_ = registry->GetCounter("gknn_clean_cells_total");
+  cells_served_compacted_total_ =
+      registry->GetCounter("gknn_clean_cells_served_compacted_total");
+  buckets_shipped_total_ =
+      registry->GetCounter("gknn_clean_buckets_shipped_total");
+  buckets_expired_total_ =
+      registry->GetCounter("gknn_clean_buckets_expired_total");
+  messages_shipped_total_ =
+      registry->GetCounter("gknn_clean_messages_shipped_total");
+  messages_deduped_total_ =
+      registry->GetCounter("gknn_clean_messages_deduped_total");
+  clean_batches_total_ =
+      registry->GetCounter("gknn_clean_batches_total{path=\"gpu\"}");
+  clean_cpu_batches_total_ =
+      registry->GetCounter("gknn_clean_batches_total{path=\"cpu\"}");
+  rollbacks_total_ = registry->GetCounter("gknn_clean_rollbacks_total");
+  pipeline_seconds_ =
+      registry->GetHistogram("gknn_clean_pipeline_seconds");
+}
+
+void MessageCleaner::RecordOutcome(const Outcome& outcome, bool on_device) {
+  if (cells_cleaned_total_ == nullptr) return;
+  cells_cleaned_total_->Add(outcome.cells_cleaned);
+  cells_served_compacted_total_->Add(outcome.cells_served_compacted);
+  buckets_shipped_total_->Add(outcome.buckets_shipped);
+  buckets_expired_total_->Add(outcome.buckets_expired);
+  messages_shipped_total_->Add(outcome.messages_shipped);
+  // Deduplication: every shipped message minus the one-per-object
+  // survivors the batch kept.
+  if (outcome.messages_shipped > outcome.latest.size()) {
+    messages_deduped_total_->Add(outcome.messages_shipped -
+                                 outcome.latest.size());
+  }
+  (on_device ? clean_batches_total_ : clean_cpu_batches_total_)->Increment();
+  pipeline_seconds_->Observe(outcome.pipeline_seconds);
+}
+
 util::Status MessageCleaner::EnsureCapacity(DeviceBuffer<Message>* buffer,
                                             size_t needed,
                                             std::string_view name) {
@@ -392,14 +431,17 @@ util::Result<MessageCleaner::Outcome> MessageCleaner::Clean(
     // Nothing to ship (only expired buckets, compacted serves, or empty
     // lists): commit clears the locked prefixes without device work.
     Commit(&plan, {}, arena, lists);
+    RecordOutcome(plan.outcome, /*on_device=*/true);
     return std::move(plan.outcome);
   }
   util::Result<std::vector<Message>> table_r = CompactOnDevice(&plan);
   if (!table_r.ok()) {
     Rollback(plan, arena, lists);
+    if (rollbacks_total_ != nullptr) rollbacks_total_->Increment();
     return table_r.status();
   }
   Commit(&plan, *table_r, arena, lists);
+  RecordOutcome(plan.outcome, /*on_device=*/true);
   return std::move(plan.outcome);
 }
 
@@ -408,6 +450,7 @@ util::Result<MessageCleaner::Outcome> MessageCleaner::CleanCpu(
     std::vector<MessageList>* lists) {
   Plan plan = Preprocess(cells, t_now, arena, lists);
   Commit(&plan, CompactOnHost(plan), arena, lists);
+  RecordOutcome(plan.outcome, /*on_device=*/false);
   return std::move(plan.outcome);
 }
 

@@ -10,6 +10,7 @@
 #include "core/types.h"
 #include "gpusim/device.h"
 #include "gpusim/device_buffer.h"
+#include "obs/metrics.h"
 #include "util/result.h"
 
 namespace gknn::core {
@@ -61,6 +62,12 @@ class MessageCleaner {
   MessageCleaner(gpusim::Device* device, const Options& options);
 
   const Options& options() const { return options_; }
+
+  /// Points the cleaner at an observability registry: every Clean/CleanCpu
+  /// outcome is folded into `gknn_clean_*` counters and the pipeline-time
+  /// histogram, and rollbacks are counted. Null (the default) disables
+  /// recording.
+  void SetMetricRegistry(obs::MetricRegistry* registry);
 
   /// Cleans the message lists of `cells` in one batch. Cells whose list is
   /// already locked are skipped (paper: "if the two pointers are pointing
@@ -133,9 +140,25 @@ class MessageCleaner {
   util::Status EnsureCapacity(gpusim::DeviceBuffer<Message>* buffer,
                               size_t needed, std::string_view name);
 
+  /// Folds one finished batch into the registry (no-op without one).
+  void RecordOutcome(const Outcome& outcome, bool on_device);
+
   gpusim::Device* device_;
   Options options_;
   uint32_t mu_;  // mu(eta), precomputed
+
+  // Observability handles, resolved once in SetMetricRegistry. All null
+  // until then.
+  obs::Counter* cells_cleaned_total_ = nullptr;
+  obs::Counter* cells_served_compacted_total_ = nullptr;
+  obs::Counter* buckets_shipped_total_ = nullptr;
+  obs::Counter* buckets_expired_total_ = nullptr;
+  obs::Counter* messages_shipped_total_ = nullptr;
+  obs::Counter* messages_deduped_total_ = nullptr;
+  obs::Counter* clean_batches_total_ = nullptr;
+  obs::Counter* clean_cpu_batches_total_ = nullptr;
+  obs::Counter* rollbacks_total_ = nullptr;
+  obs::Histogram* pipeline_seconds_ = nullptr;
 
   gpusim::DeviceBuffer<Message> device_messages_;  // L.A, delta_b-strided
   gpusim::DeviceBuffer<Message> table_t_;          // intermediate results

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "obs/clock.h"
 #include "roadnet/partitioner.h"
 
 namespace gknn::core {
@@ -67,6 +68,15 @@ struct GGridOptions {
 
   /// Partitioner settings used when building the graph grid.
   roadnet::PartitionOptions partition;
+
+  /// Capacity of the observability ring buffer of recent QueryTraceRecords
+  /// (docs/OBSERVABILITY.md). 0 keeps only metrics, no per-query traces.
+  uint32_t trace_ring_capacity = 64;
+
+  /// Clock driving the observability spans; null selects the process
+  /// monotonic clock. Tests inject obs::FakeClock here to make phase
+  /// timings deterministic. Not owned; must outlive the index.
+  const obs::Clock* obs_clock = nullptr;
 };
 
 }  // namespace gknn::core

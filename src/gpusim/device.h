@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -138,6 +139,19 @@ class Device {
   void ResetClock() { clock_seconds_ = 0; }
 
   uint64_t kernel_launches() const { return kernel_launches_; }
+
+  /// Accumulated launch statistics per kernel label, for the observability
+  /// registry's `gknn_kernel_*{kernel="..."}` gauges.
+  struct KernelTotals {
+    uint64_t launches = 0;
+    uint64_t iterations = 0;
+    double modeled_seconds = 0;
+  };
+
+  const std::map<std::string, KernelTotals, std::less<>>& kernel_totals()
+      const {
+    return kernel_totals_;
+  }
 
   /// Host wall time spent *executing kernels functionally* (the simulation
   /// itself). A real deployment runs this work on the device, so callers
@@ -314,6 +328,7 @@ class Device {
     stats->hazards = KernelHazards();
     Sync();
     ++kernel_launches_;
+    AccumulateKernelTotals(*stats);
   }
 
  private:
@@ -331,6 +346,14 @@ class Device {
     if (!synced) Sync();  // implicit barrier at the kernel boundary
     AdvanceClock(stats->modeled_seconds);
     ++kernel_launches_;
+    AccumulateKernelTotals(*stats);
+  }
+
+  void AccumulateKernelTotals(const KernelStats& stats) {
+    KernelTotals& totals = kernel_totals_[current_kernel_];
+    ++totals.launches;
+    totals.iterations += stats.iterations;
+    totals.modeled_seconds += stats.modeled_seconds;
   }
 
   DeviceConfig config_;
@@ -349,6 +372,8 @@ class Device {
   uint64_t launch_hazard_base_ = 0;
   std::string current_kernel_;
   std::vector<HazardRecord> hazards_;
+
+  std::map<std::string, KernelTotals, std::less<>> kernel_totals_;
 };
 
 }  // namespace gknn::gpusim

@@ -1,0 +1,49 @@
+#ifndef GKNN_OBS_CLOCK_H_
+#define GKNN_OBS_CLOCK_H_
+
+#include <chrono>
+
+namespace gknn::obs {
+
+/// Time source for spans and histograms. Injectable so tests can drive
+/// phase timings deterministically (no real-time flakiness): production
+/// code uses MonotonicClock, tests hand a FakeClock to the Tracer.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Seconds since an arbitrary fixed epoch; must be monotone.
+  virtual double NowSeconds() const = 0;
+};
+
+/// Wall clock backed by std::chrono::steady_clock.
+class MonotonicClock : public Clock {
+ public:
+  double NowSeconds() const override {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// Process-wide instance (the default clock of every Tracer).
+  static const MonotonicClock* Get() {
+    static const MonotonicClock clock;
+    return &clock;
+  }
+};
+
+/// Manually advanced clock for deterministic tests.
+class FakeClock : public Clock {
+ public:
+  double NowSeconds() const override { return now_; }
+
+  void Advance(double seconds) { now_ += seconds; }
+  void Set(double seconds) { now_ = seconds; }
+
+ private:
+  double now_ = 0;
+};
+
+}  // namespace gknn::obs
+
+#endif  // GKNN_OBS_CLOCK_H_

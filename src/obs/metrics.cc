@@ -1,0 +1,262 @@
+#include "obs/metrics.h"
+
+#if GKNN_OBS
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace gknn::obs {
+
+namespace {
+
+/// Shortest round-trippable decimal for exposition output.
+std::string FormatDouble(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+/// Splits `gknn_foo{phase="clean"}` into ("gknn_foo", `phase="clean"`);
+/// label part is empty when the name carries no label set.
+std::pair<std::string_view, std::string_view> SplitName(
+    std::string_view name) {
+  const size_t pos = name.find('{');
+  if (pos == std::string_view::npos || name.back() != '}') {
+    return {name, std::string_view{}};
+  }
+  return {name.substr(0, pos), name.substr(pos + 1, name.size() - pos - 2)};
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+size_t Counter::StripeIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return stripe;
+}
+
+void Histogram::Observe(double seconds) {
+  if (seconds < 0) seconds = 0;
+  size_t bucket = 0;
+  while (bucket < kNumBounds && seconds > BucketBound(bucket)) ++bucket;
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  sum_nanos_.fetch_add(static_cast<uint64_t>(std::llround(seconds * 1e9)),
+                       std::memory_order_relaxed);
+}
+
+uint64_t Histogram::TotalCount() const {
+  uint64_t total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::Sum() const {
+  return static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) *
+         1e-9;
+}
+
+std::vector<uint64_t> Histogram::CumulativeCounts() const {
+  std::vector<uint64_t> cumulative(kNumBounds + 1, 0);
+  uint64_t running = 0;
+  for (size_t i = 0; i <= kNumBounds; ++i) {
+    running += counts_[i].load(std::memory_order_relaxed);
+    cumulative[i] = running;
+  }
+  return cumulative;
+}
+
+double Histogram::Quantile(double q) const {
+  const std::vector<uint64_t> cumulative = CumulativeCounts();
+  const uint64_t total = cumulative.back();
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  uint64_t previous = 0;
+  for (size_t i = 0; i <= kNumBounds; ++i) {
+    if (static_cast<double>(cumulative[i]) >= target) {
+      const double lower = i == 0 ? 0.0 : BucketBound(i - 1);
+      // Observations beyond the last finite bound have no upper edge;
+      // report the bound itself rather than extrapolating.
+      if (i == kNumBounds) return lower;
+      const double upper = BucketBound(i);
+      const uint64_t in_bucket = cumulative[i] - previous;
+      if (in_bucket == 0) return upper;
+      const double fraction =
+          (target - static_cast<double>(previous)) /
+          static_cast<double>(in_bucket);
+      return lower + fraction * (upper - lower);
+    }
+    previous = cumulative[i];
+  }
+  return BucketBound(kNumBounds - 1);
+}
+
+Counter* MetricRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+RegistrySnapshot MetricRegistry::Snapshot() const {
+  RegistrySnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    RegistrySnapshot::HistogramData data;
+    data.count = histogram->TotalCount();
+    data.sum = histogram->Sum();
+    data.p50 = histogram->Quantile(0.50);
+    data.p95 = histogram->Quantile(0.95);
+    data.p99 = histogram->Quantile(0.99);
+    data.cumulative = histogram->CumulativeCounts();
+    snapshot.histograms[name] = std::move(data);
+  }
+  return snapshot;
+}
+
+std::string MetricRegistry::RenderPrometheusText() const {
+  const RegistrySnapshot snapshot = Snapshot();
+  std::string out;
+  std::string_view last_type_base;
+  auto type_line = [&](std::string_view base, std::string_view type) {
+    if (base == last_type_base) return;
+    last_type_base = base;
+    out += "# TYPE ";
+    out += base;
+    out += ' ';
+    out += type;
+    out += '\n';
+  };
+
+  for (const auto& [name, value] : snapshot.counters) {
+    const auto [base, labels] = SplitName(name);
+    type_line(base, "counter");
+    out += name;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  }
+  last_type_base = {};
+  for (const auto& [name, value] : snapshot.gauges) {
+    const auto [base, labels] = SplitName(name);
+    type_line(base, "gauge");
+    out += name;
+    out += ' ';
+    out += FormatDouble(value);
+    out += '\n';
+  }
+  last_type_base = {};
+  for (const auto& [name, data] : snapshot.histograms) {
+    const auto [base, labels] = SplitName(name);
+    type_line(base, "histogram");
+    auto series = [&](std::string_view suffix, std::string_view extra_label,
+                      const std::string& value) {
+      out += base;
+      out += suffix;
+      if (!labels.empty() || !extra_label.empty()) {
+        out += '{';
+        out += labels;
+        if (!labels.empty() && !extra_label.empty()) out += ',';
+        out += extra_label;
+        out += '}';
+      }
+      out += ' ';
+      out += value;
+      out += '\n';
+    };
+    for (size_t i = 0; i < Histogram::kNumBounds; ++i) {
+      series("_bucket",
+             "le=\"" + FormatDouble(Histogram::BucketBound(i)) + "\"",
+             std::to_string(data.cumulative[i]));
+    }
+    series("_bucket", "le=\"+Inf\"", std::to_string(data.cumulative.back()));
+    series("_sum", {}, FormatDouble(data.sum));
+    series("_count", {}, std::to_string(data.count));
+  }
+  return out;
+}
+
+std::string MetricRegistry::RenderJson() const {
+  const RegistrySnapshot snapshot = Snapshot();
+  std::string out = "{\"schema\":\"";
+  out += kJsonSchema;
+  out += "\",\"enabled\":true,\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":" + FormatDouble(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, data] : snapshot.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":{\"count\":" +
+           std::to_string(data.count) + ",\"sum\":" + FormatDouble(data.sum) +
+           ",\"p50\":" + FormatDouble(data.p50) +
+           ",\"p95\":" + FormatDouble(data.p95) +
+           ",\"p99\":" + FormatDouble(data.p99) + ",\"buckets\":[";
+    for (size_t i = 0; i < data.cumulative.size(); ++i) {
+      if (i > 0) out += ',';
+      const std::string le = i < Histogram::kNumBounds
+                                 ? FormatDouble(Histogram::BucketBound(i))
+                                 : std::string("\"+Inf\"");
+      out += '[' + le + ',' + std::to_string(data.cumulative[i]) + ']';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace gknn::obs
+
+#endif  // GKNN_OBS

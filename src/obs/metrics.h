@@ -1,0 +1,207 @@
+#ifndef GKNN_OBS_METRICS_H_
+#define GKNN_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// GKNN_OBS selects whether the observability subsystem is compiled in.
+// The build sets it via -DGKNN_OBS=0 (CMake option GKNN_OBS=OFF); the
+// default is on. When off, every recording call below compiles to an empty
+// inline function and the registry never allocates: the query path carries
+// no atomics, no clock reads, and no ring buffer.
+#ifndef GKNN_OBS
+#define GKNN_OBS 1
+#endif
+
+namespace gknn::obs {
+
+/// True when the subsystem is compiled in; tests gate their metric
+/// assertions on this so a GKNN_OBS=0 build still passes the suite.
+inline constexpr bool kEnabled = (GKNN_OBS != 0);
+
+/// Monotone event counter. Writes are lock-free and striped across cache
+/// lines so concurrent producers (the server's inbox threads, the CPU
+/// refinement pool) do not bounce one hot line; Value() folds the stripes.
+class Counter {
+ public:
+#if GKNN_OBS
+  void Add(uint64_t n) {
+    cells_[StripeIndex()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+#else
+  void Add(uint64_t) {}
+  void Increment() {}
+  uint64_t Value() const { return 0; }
+#endif
+
+ private:
+#if GKNN_OBS
+  static constexpr size_t kStripes = 8;
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> value{0};
+  };
+
+  static size_t StripeIndex();
+
+  std::array<Cell, kStripes> cells_;
+#endif
+};
+
+/// Last-written value (device clock, ledger totals, memory breakdown —
+/// quantities owned elsewhere and folded into the registry at snapshot
+/// time).
+class Gauge {
+ public:
+#if GKNN_OBS
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+#else
+  void Set(double) {}
+  double Value() const { return 0; }
+#endif
+
+ private:
+#if GKNN_OBS
+  std::atomic<double> value_{0};
+#endif
+};
+
+/// Fixed-bucket latency histogram: exponential bucket bounds from 1 us
+/// doubling up to ~33 s, plus an overflow bucket. Observation is two
+/// relaxed atomic adds; quantiles are extracted from the bucket counts
+/// with linear interpolation inside the winning bucket.
+class Histogram {
+ public:
+  /// Number of finite bucket upper bounds; bucket kNumBounds is +Inf.
+  static constexpr size_t kNumBounds = 26;
+
+  /// Upper bound (seconds, inclusive) of finite bucket `i`. Defined
+  /// inline (not in metrics.cc) so it links in GKNN_OBS=0 builds too.
+  static double BucketBound(size_t i) {
+    return 1e-6 * static_cast<double>(1ull << i);
+  }
+
+#if GKNN_OBS
+  void Observe(double seconds);
+
+  uint64_t TotalCount() const;
+
+  /// Sum of every observed value, in seconds.
+  double Sum() const;
+
+  /// The q-quantile (q in [0, 1]) of the recorded distribution, estimated
+  /// from the bucket counts. Returns 0 when the histogram is empty.
+  double Quantile(double q) const;
+
+  /// Cumulative count of observations <= BucketBound(i); index kNumBounds
+  /// is the total (the +Inf bucket).
+  std::vector<uint64_t> CumulativeCounts() const;
+#else
+  void Observe(double) {}
+  uint64_t TotalCount() const { return 0; }
+  double Sum() const { return 0; }
+  double Quantile(double) const { return 0; }
+  std::vector<uint64_t> CumulativeCounts() const {
+    return std::vector<uint64_t>(kNumBounds + 1, 0);
+  }
+#endif
+
+ private:
+#if GKNN_OBS
+  std::array<std::atomic<uint64_t>, kNumBounds + 1> counts_{};
+  std::atomic<uint64_t> sum_nanos_{0};
+#endif
+};
+
+/// Data-only snapshot of one registry (see MetricRegistry::Snapshot):
+/// plain values, safe to ship across threads or compare across time.
+struct RegistrySnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  struct HistogramData {
+    uint64_t count = 0;
+    double sum = 0;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+    std::vector<uint64_t> cumulative;  // per BucketBound, then +Inf
+  };
+  std::map<std::string, HistogramData> histograms;
+};
+
+/// Registry of named metrics with Prometheus-text and JSON exposition.
+///
+/// Names follow Prometheus conventions and may carry one inline label set,
+/// e.g. `gknn_query_phase_seconds{phase="clean"}` — the renderers split the
+/// base name from the labels. Get* registers on first use and returns a
+/// pointer that stays valid for the registry's lifetime, so hot paths
+/// resolve their metrics once and then touch only atomics.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+#if GKNN_OBS
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  RegistrySnapshot Snapshot() const;
+
+  /// Prometheus text exposition format (one TYPE line per metric family,
+  /// histogram bucket/sum/count series).
+  std::string RenderPrometheusText() const;
+
+  /// One-line JSON dump with an explicit schema tag; consumed by
+  /// scripts/bench_to_csv.py, which refuses unknown schema versions.
+  std::string RenderJson() const;
+#else
+  Counter* GetCounter(std::string_view) { return &dummy_counter_; }
+  Gauge* GetGauge(std::string_view) { return &dummy_gauge_; }
+  Histogram* GetHistogram(std::string_view) { return &dummy_histogram_; }
+
+  RegistrySnapshot Snapshot() const { return RegistrySnapshot{}; }
+  std::string RenderPrometheusText() const {
+    return "# gknn observability compiled out (GKNN_OBS=0)\n";
+  }
+  std::string RenderJson() const {
+    return R"({"schema":"gknn-metrics/v1","enabled":false})";
+  }
+#endif
+
+  /// The JSON schema tag emitted by RenderJson.
+  static constexpr std::string_view kJsonSchema = "gknn-metrics/v1";
+
+ private:
+#if GKNN_OBS
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+#else
+  Counter dummy_counter_;
+  Gauge dummy_gauge_;
+  Histogram dummy_histogram_;
+#endif
+};
+
+}  // namespace gknn::obs
+
+#endif  // GKNN_OBS_METRICS_H_

@@ -1,0 +1,98 @@
+#include "obs/trace.h"
+
+#include <string>
+#include <utility>
+
+namespace gknn::obs {
+
+std::string_view PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kExpand:
+      return "expand";
+    case Phase::kClean:
+      return "clean";
+    case Phase::kSdist:
+      return "sdist";
+    case Phase::kTopk:
+      return "topk";
+    case Phase::kUnresolved:
+      return "unresolved";
+    case Phase::kRefine:
+      return "refine";
+    case Phase::kFallback:
+      return "fallback";
+    case Phase::kDrain:
+      return "drain";
+  }
+  return "unknown";
+}
+
+#if GKNN_OBS
+
+Tracer::Tracer(MetricRegistry* registry, const Clock* clock,
+               size_t ring_capacity)
+    : registry_(registry),
+      clock_(clock != nullptr ? clock : MonotonicClock::Get()),
+      ring_capacity_(ring_capacity),
+      queries_total_(registry->GetCounter("gknn_queries_total")),
+      query_errors_total_(registry->GetCounter("gknn_query_errors_total")),
+      query_fallbacks_total_(
+          registry->GetCounter("gknn_query_fallbacks_total")),
+      query_device_errors_total_(
+          registry->GetCounter("gknn_query_device_errors_total")),
+      cells_examined_total_(
+          registry->GetCounter("gknn_query_cells_examined_total")),
+      messages_deduped_total_(
+          registry->GetCounter("gknn_messages_deduped_total")),
+      query_seconds_(registry->GetHistogram("gknn_query_seconds")) {
+  for (size_t i = 0; i < kNumPhases; ++i) {
+    std::string name = "gknn_query_phase_seconds{phase=\"";
+    name += PhaseName(static_cast<Phase>(i));
+    name += "\"}";
+    phase_seconds_[i] = registry->GetHistogram(name);
+  }
+}
+
+void Tracer::FinishQuery(QueryTraceRecord record) {
+  queries_total_->Increment();
+  if (!record.ok) query_errors_total_->Increment();
+  if (record.cpu_fallback) query_fallbacks_total_->Increment();
+  query_device_errors_total_->Add(record.fault_events);
+  cells_examined_total_->Add(record.cells_examined);
+  messages_deduped_total_->Add(record.messages_deduped);
+
+  // Every finished query observes the total histogram exactly once, so
+  // gknn_query_seconds_count equals gknn_queries_total; phase histograms
+  // observe only the phases the query actually ran.
+  query_seconds_->Observe(record.total_seconds);
+  for (size_t i = 0; i < kNumPhases; ++i) {
+    if (record.phases_touched & (1u << i)) {
+      phase_seconds_[i]->Observe(record.phase_seconds[i]);
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(ring_mutex_);
+  ring_.push_back(std::move(record));
+  while (ring_.size() > ring_capacity_) ring_.pop_front();
+}
+
+std::vector<QueryTraceRecord> Tracer::RecentTraces() const {
+  std::lock_guard<std::mutex> lock(ring_mutex_);
+  return std::vector<QueryTraceRecord>(ring_.begin(), ring_.end());
+}
+
+#else  // !GKNN_OBS
+
+Tracer::Tracer(MetricRegistry* registry, const Clock* clock,
+               size_t ring_capacity)
+    : registry_(registry),
+      clock_(clock != nullptr ? clock : MonotonicClock::Get()),
+      ring_capacity_(ring_capacity) {}
+
+void Tracer::FinishQuery(QueryTraceRecord record) { (void)record; }
+
+std::vector<QueryTraceRecord> Tracer::RecentTraces() const { return {}; }
+
+#endif  // GKNN_OBS
+
+}  // namespace gknn::obs

@@ -1,0 +1,203 @@
+#ifndef GKNN_OBS_TRACE_H_
+#define GKNN_OBS_TRACE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
+namespace gknn::obs {
+
+/// The phases of one kNN/range query, matching the paper's pipeline
+/// stages. Spans of distinct phases never overlap (nested work is
+/// attributed to exactly one phase), so per-record phase times sum to at
+/// most the record's total.
+enum class Phase : uint8_t {
+  kExpand = 0,    // candidate-cell growth (Alg. 4 ring expansion)
+  kClean,         // message cleaning (GPU pipeline or host fold)
+  kSdist,         // GPU_SDist region shortest paths
+  kTopk,          // GPU_First_k candidate distances + selection
+  kUnresolved,    // GPU_Unresolved boundary compaction
+  kRefine,        // CPU Refine_kNN bounded Dijkstra
+  kFallback,      // CPU-only re-execution after a device error
+  kDrain,         // server inbox drain ahead of a query
+};
+
+inline constexpr size_t kNumPhases = 8;
+
+std::string_view PhaseName(Phase phase);
+
+/// Everything one query left behind: phase wall times, work counters, the
+/// execution path taken, and fault/rollback events. Records land in the
+/// Tracer's ring buffer for postmortems and are folded into the
+/// MetricRegistry's histograms.
+struct QueryTraceRecord {
+  uint64_t query_id = 0;
+  double t_query = 0;       // the query's logical timestamp
+  uint32_t k = 0;           // 0 for range queries
+  bool range = false;
+  bool ok = true;
+  uint32_t results = 0;
+
+  /// Execution: the ExecMode value the answer came from (core::ExecMode
+  /// cast to its underlying type; 0 = auto/GPU, 2 = CPU-only).
+  uint8_t exec_mode = 0;
+  bool cpu_fallback = false;
+  uint32_t retries = 0;        // extra server-level GPU attempts
+  uint32_t fault_events = 0;   // device errors observed by this query
+  uint32_t rollback_events = 0;  // transactional clean rollbacks
+
+  uint32_t cells_examined = 0;
+  uint32_t cells_cleaned = 0;
+  uint32_t messages_shipped = 0;
+  uint32_t messages_deduped = 0;  // shipped minus surviving latest messages
+
+  std::array<double, kNumPhases> phase_seconds{};
+  uint32_t phases_touched = 0;  // bitmask; bit i = Phase(i) ran
+  double total_seconds = 0;
+
+  double PhaseSum() const {
+    double sum = 0;
+    for (double s : phase_seconds) sum += s;
+    return sum;
+  }
+};
+
+/// RAII phase span: accumulates clock time into one phase slot of a
+/// QueryTraceRecord between construction and Stop()/destruction. A
+/// default-constructed (or null-record) span is a no-op, which is how the
+/// fallback path suppresses double counting of its inner phases.
+class Span {
+ public:
+  Span() = default;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept {
+#if GKNN_OBS
+    Stop();
+    sink_ = other.sink_;
+    clock_ = other.clock_;
+    start_ = other.start_;
+    other.sink_ = nullptr;
+#else
+    (void)other;
+#endif
+    return *this;
+  }
+  ~Span() { Stop(); }
+
+  /// Ends the span, adding the elapsed time to its phase. Idempotent.
+  void Stop() {
+#if GKNN_OBS
+    if (sink_ == nullptr) return;
+    *sink_ += clock_->NowSeconds() - start_;
+    sink_ = nullptr;
+#endif
+  }
+
+ private:
+  friend class Tracer;
+  Span(const Clock* clock, double* sink)
+#if GKNN_OBS
+      : sink_(sink), clock_(clock), start_(clock->NowSeconds())
+#endif
+  {
+#if !GKNN_OBS
+    (void)clock;
+    (void)sink;
+#endif
+  }
+
+#if GKNN_OBS
+  double* sink_ = nullptr;
+  const Clock* clock_ = nullptr;
+  double start_ = 0;
+#endif
+};
+
+/// Hands out spans, assigns query ids, folds finished QueryTraceRecords
+/// into the registry's histograms/counters, and keeps a bounded ring of
+/// recent records for postmortems.
+///
+/// Thread-safety: StartSpan/StartTotal touch only the caller's record;
+/// FinishQuery, AnnotateLast and RecentTraces synchronize on the ring
+/// mutex, and the registry side is atomic — safe under the query server's
+/// concurrency model.
+class Tracer {
+ public:
+  explicit Tracer(MetricRegistry* registry, const Clock* clock = nullptr,
+                  size_t ring_capacity = 64);
+
+  const Clock& clock() const { return *clock_; }
+  MetricRegistry* registry() const { return registry_; }
+
+  uint64_t NextQueryId() {
+    return next_query_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Starts a span over `phase`, accumulating into `record` (no-op when
+  /// `record` is null).
+  Span StartSpan(QueryTraceRecord* record, Phase phase) const {
+    if (record == nullptr || !kEnabled) return Span{};
+    record->phases_touched |= 1u << static_cast<size_t>(phase);
+    return Span(clock_, &record->phase_seconds[static_cast<size_t>(phase)]);
+  }
+
+  /// Starts the whole-query span, accumulating into total_seconds.
+  Span StartTotal(QueryTraceRecord* record) const {
+    if (record == nullptr || !kEnabled) return Span{};
+    return Span(clock_, &record->total_seconds);
+  }
+
+  /// Folds a finished record into the registry and pushes it onto the
+  /// ring buffer.
+  void FinishQuery(QueryTraceRecord record);
+
+  /// Runs `fn` on the most recently finished record (if any) under the
+  /// ring lock — lets the server attach retry/breaker context it only
+  /// knows after the engine returned.
+  template <typename Fn>
+  void AnnotateLast(Fn&& fn) {
+#if GKNN_OBS
+    std::lock_guard<std::mutex> lock(ring_mutex_);
+    if (!ring_.empty()) fn(ring_.back());
+#else
+    (void)fn;
+#endif
+  }
+
+  /// The last up-to-`ring_capacity` finished records, oldest first.
+  std::vector<QueryTraceRecord> RecentTraces() const;
+
+ private:
+  MetricRegistry* registry_;
+  const Clock* clock_;
+  size_t ring_capacity_;
+  std::atomic<uint64_t> next_query_id_{0};
+
+#if GKNN_OBS
+  // Hot-path metric handles, resolved once at construction.
+  Counter* queries_total_;
+  Counter* query_errors_total_;
+  Counter* query_fallbacks_total_;
+  Counter* query_device_errors_total_;
+  Counter* cells_examined_total_;
+  Counter* messages_deduped_total_;
+  Histogram* query_seconds_;
+  std::array<Histogram*, kNumPhases> phase_seconds_;
+
+  mutable std::mutex ring_mutex_;
+  std::deque<QueryTraceRecord> ring_;
+#endif
+};
+
+}  // namespace gknn::obs
+
+#endif  // GKNN_OBS_TRACE_H_

@@ -1,6 +1,7 @@
 #include "server/query_server.h"
 
 #include <algorithm>
+#include <string_view>
 
 #include "gpusim/fault_injector.h"
 #include "util/backoff.h"
@@ -127,19 +128,90 @@ util::Result<std::vector<core::KnnResultEntry>> QueryServer::ExecuteLocked(
 util::Result<std::vector<core::KnnResultEntry>> QueryServer::QueryKnn(
     roadnet::EdgePoint location, uint32_t k, double t_now) {
   std::lock_guard<std::mutex> lock(index_mutex_);
-  GKNN_RETURN_NOT_OK(DrainLocked());
-  return ExecuteLocked([&](core::ExecMode mode) {
+  GKNN_RETURN_NOT_OK(TimedDrainLocked());
+  const uint64_t retries_before =
+      stats_.retries.load(std::memory_order_relaxed);
+  auto result = ExecuteLocked([&](core::ExecMode mode) {
     return index_->QueryKnn(location, k, t_now, nullptr, mode);
   });
+  AnnotateLastTraceLocked(retries_before);
+  return result;
 }
 
 util::Result<std::vector<core::KnnResultEntry>> QueryServer::QueryRange(
     roadnet::EdgePoint location, roadnet::Distance radius, double t_now) {
   std::lock_guard<std::mutex> lock(index_mutex_);
-  GKNN_RETURN_NOT_OK(DrainLocked());
-  return ExecuteLocked([&](core::ExecMode mode) {
+  GKNN_RETURN_NOT_OK(TimedDrainLocked());
+  const uint64_t retries_before =
+      stats_.retries.load(std::memory_order_relaxed);
+  auto result = ExecuteLocked([&](core::ExecMode mode) {
     return index_->QueryRange(location, radius, t_now, nullptr, mode);
   });
+  AnnotateLastTraceLocked(retries_before);
+  return result;
+}
+
+util::Status QueryServer::TimedDrainLocked() {
+  if (!obs::kEnabled) return DrainLocked();
+  const obs::Clock& clock = index_->tracer().clock();
+  const double start = clock.NowSeconds();
+  util::Status status = DrainLocked();
+  index_->metrics()
+      .GetHistogram("gknn_server_drain_seconds")
+      ->Observe(clock.NowSeconds() - start);
+  return status;
+}
+
+void QueryServer::AnnotateLastTraceLocked(uint64_t retries_before) {
+  if (!obs::kEnabled) return;
+  const uint64_t retries =
+      stats_.retries.load(std::memory_order_relaxed) - retries_before;
+  index_->tracer().AnnotateLast([&](obs::QueryTraceRecord& record) {
+    record.retries = static_cast<uint32_t>(retries);
+  });
+}
+
+void QueryServer::FoldServerMetricsLocked() {
+  if (!obs::kEnabled) return;
+  index_->FoldDeviceMetrics();
+  obs::MetricRegistry& registry = index_->metrics();
+  const ServerStats snapshot = stats();
+  auto set = [&](std::string_view name, double value) {
+    registry.GetGauge(name)->Set(value);
+  };
+  set("gknn_server_gpu_failures", static_cast<double>(snapshot.gpu_failures));
+  set("gknn_server_retries", static_cast<double>(snapshot.retries));
+  set("gknn_server_fallback_queries",
+      static_cast<double>(snapshot.fallback_queries));
+  set("gknn_server_degraded_queries",
+      static_cast<double>(snapshot.degraded_queries));
+  set("gknn_server_breaker_trips",
+      static_cast<double>(snapshot.breaker_trips));
+  set("gknn_server_breaker_closes",
+      static_cast<double>(snapshot.breaker_closes));
+  set("gknn_server_update_requeues",
+      static_cast<double>(snapshot.update_requeues));
+  set("gknn_server_degraded", snapshot.degraded ? 1.0 : 0.0);
+  set("gknn_server_pending_updates",
+      static_cast<double>(pending_updates()));
+}
+
+obs::RegistrySnapshot QueryServer::MetricsSnapshot() {
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  FoldServerMetricsLocked();
+  return index_->metrics().Snapshot();
+}
+
+std::string QueryServer::MetricsPrometheus() {
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  FoldServerMetricsLocked();
+  return index_->metrics().RenderPrometheusText();
+}
+
+std::string QueryServer::MetricsJson() {
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  FoldServerMetricsLocked();
+  return index_->metrics().RenderJson();
 }
 
 uint64_t QueryServer::pending_updates() const {

@@ -4,10 +4,12 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "core/ggrid_index.h"
 #include "gpusim/device.h"
+#include "obs/metrics.h"
 #include "roadnet/graph.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
@@ -93,11 +95,36 @@ class QueryServer {
     return index_->counters().updates_ingested;
   }
 
-  /// Snapshot of the degradation counters.
+  /// Snapshot of the degradation counters. Lock-free: the counters are
+  /// atomics mutated on the query path, so monitoring threads polling this
+  /// never contend with queries for the index mutex.
   ServerStats stats() const {
-    std::lock_guard<std::mutex> lock(index_mutex_);
-    return stats_;
+    ServerStats out;
+    out.gpu_failures = stats_.gpu_failures.load(std::memory_order_relaxed);
+    out.retries = stats_.retries.load(std::memory_order_relaxed);
+    out.fallback_queries =
+        stats_.fallback_queries.load(std::memory_order_relaxed);
+    out.degraded_queries =
+        stats_.degraded_queries.load(std::memory_order_relaxed);
+    out.breaker_trips = stats_.breaker_trips.load(std::memory_order_relaxed);
+    out.breaker_closes =
+        stats_.breaker_closes.load(std::memory_order_relaxed);
+    out.update_requeues =
+        stats_.update_requeues.load(std::memory_order_relaxed);
+    out.degraded = stats_.degraded.load(std::memory_order_relaxed);
+    return out;
   }
+
+  /// Point-in-time view of every metric the server can expose: folds the
+  /// device totals, transfer ledger, memory breakdown and the degradation
+  /// counters above into the index's registry, then snapshots it.
+  /// Thread-safe (takes the index mutex for the fold).
+  obs::RegistrySnapshot MetricsSnapshot();
+
+  /// The same fold rendered as Prometheus text / one-line JSON
+  /// (gknn_cli --metrics; docs/OBSERVABILITY.md).
+  std::string MetricsPrometheus();
+  std::string MetricsJson();
 
   core::GGridIndex& index() { return *index_; }
 
@@ -130,6 +157,13 @@ class QueryServer {
   template <typename RunFn>
   util::Result<std::vector<core::KnnResultEntry>> ExecuteLocked(RunFn run);
 
+  /// DrainLocked wrapped in a gknn_server_drain_seconds observation.
+  util::Status TimedDrainLocked();
+
+  /// Stamps server-side context (retry count) onto the query's trace
+  /// record, which the engine just pushed into the tracer's ring.
+  void AnnotateLastTraceLocked(uint64_t retries_before);
+
   static constexpr size_t kStripes = 8;
 
   /// Updates of one object always land in the same stripe and each stripe
@@ -139,13 +173,32 @@ class QueryServer {
     return inboxes_[object % kStripes];
   }
 
+  /// Mirror of ServerStats with atomic members. Writers run under
+  /// index_mutex_ (the query path), so plain relaxed increments are safe;
+  /// readers (stats(), monitoring threads) load without the mutex.
+  struct AtomicServerStats {
+    std::atomic<uint64_t> gpu_failures{0};
+    std::atomic<uint64_t> retries{0};
+    std::atomic<uint64_t> fallback_queries{0};
+    std::atomic<uint64_t> degraded_queries{0};
+    std::atomic<uint64_t> breaker_trips{0};
+    std::atomic<uint64_t> breaker_closes{0};
+    std::atomic<uint64_t> update_requeues{0};
+    std::atomic<bool> degraded{false};
+  };
+
+  /// Pushes the degradation counters into the index's registry as gauges
+  /// (called by MetricsSnapshot and the renderers, under index_mutex_).
+  void FoldServerMetricsLocked();
+
   std::unique_ptr<core::GGridIndex> index_;
   ServerOptions options_;
   mutable std::mutex index_mutex_;
   Inbox inboxes_[kStripes];
 
-  // Breaker state; guarded by index_mutex_.
-  ServerStats stats_;
+  // Breaker state. The atomic counters may be read lock-free; the breaker
+  // bookkeeping below them is guarded by index_mutex_.
+  AtomicServerStats stats_;
   uint32_t consecutive_query_failures_ = 0;
   uint64_t degraded_query_count_ = 0;  // probes pace off this
 };

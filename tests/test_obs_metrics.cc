@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace gknn::obs {
+namespace {
+
+// The whole file exercises the compiled-in subsystem; a GKNN_OBS=0 build
+// still compiles it (the API is identical) but skips the assertions.
+#define SKIP_IF_OBS_DISABLED() \
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out (GKNN_OBS=0)"
+
+TEST(CounterTest, StripedAddsFoldToTotal) {
+  SKIP_IF_OBS_DISABLED();
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.Value(), uint64_t{kThreads} * kPerThread);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  SKIP_IF_OBS_DISABLED();
+  Gauge gauge;
+  gauge.Set(1.5);
+  gauge.Set(-3.25);
+  EXPECT_DOUBLE_EQ(gauge.Value(), -3.25);
+}
+
+TEST(HistogramTest, CountSumAndOrderedQuantiles) {
+  SKIP_IF_OBS_DISABLED();
+  Histogram h;
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);  // empty -> 0
+
+  double expected_sum = 0;
+  for (int i = 1; i <= 100; ++i) {
+    const double v = i * 1e-4;  // 0.1 ms .. 10 ms
+    h.Observe(v);
+    expected_sum += v;
+  }
+  EXPECT_EQ(h.TotalCount(), 100u);
+  // Sum is kept in integer nanoseconds; allow one nanosecond per sample.
+  EXPECT_NEAR(h.Sum(), expected_sum, 100e-9);
+
+  const double p50 = h.Quantile(0.50);
+  const double p95 = h.Quantile(0.95);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Interpolated quantiles stay within the data range (bucket bounds are
+  // coarse, so only sanity bounds are asserted, not exact ranks).
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p99, Histogram::BucketBound(Histogram::kNumBounds - 1));
+}
+
+TEST(HistogramTest, BucketBoundsDoubling) {
+  SKIP_IF_OBS_DISABLED();
+  for (size_t i = 1; i < Histogram::kNumBounds; ++i) {
+    EXPECT_DOUBLE_EQ(Histogram::BucketBound(i),
+                     2.0 * Histogram::BucketBound(i - 1));
+  }
+}
+
+TEST(HistogramTest, OverflowLandsInInfBucket) {
+  SKIP_IF_OBS_DISABLED();
+  Histogram h;
+  h.Observe(1e9);  // way past the last finite bound
+  const auto cumulative = h.CumulativeCounts();
+  ASSERT_EQ(cumulative.size(), Histogram::kNumBounds + 1);
+  EXPECT_EQ(cumulative[Histogram::kNumBounds - 1], 0u);  // no finite bucket
+  EXPECT_EQ(cumulative[Histogram::kNumBounds], 1u);      // +Inf has it
+  // A quantile of an overflow-only distribution is clamped to the last
+  // finite bound rather than reported as infinity.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5),
+                   Histogram::BucketBound(Histogram::kNumBounds - 1));
+}
+
+TEST(RegistryTest, GetReturnsStableHandles) {
+  SKIP_IF_OBS_DISABLED();
+  MetricRegistry registry;
+  Counter* a = registry.GetCounter("gknn_test_total");
+  Counter* b = registry.GetCounter("gknn_test_total");
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  EXPECT_EQ(registry.Snapshot().counters.at("gknn_test_total"), 3u);
+}
+
+TEST(RegistryTest, PrometheusTextSplitsInlineLabels) {
+  SKIP_IF_OBS_DISABLED();
+  MetricRegistry registry;
+  registry.GetCounter("gknn_clean_batches_total{path=\"gpu\"}")->Add(2);
+  registry.GetHistogram("gknn_query_seconds")->Observe(0.001);
+  const std::string text = registry.RenderPrometheusText();
+  EXPECT_NE(text.find("# TYPE gknn_clean_batches_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("gknn_clean_batches_total{path=\"gpu\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE gknn_query_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("gknn_query_seconds_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("gknn_query_seconds_count 1"), std::string::npos);
+}
+
+TEST(RegistryTest, JsonCarriesSchemaTag) {
+  MetricRegistry registry;
+  const std::string json = registry.RenderJson();
+  EXPECT_EQ(json.find("{\"schema\":\"gknn-metrics/v1\""), 0u);
+  if (kEnabled) {
+    registry.GetCounter("gknn_test_total")->Add(1);
+    EXPECT_NE(registry.RenderJson().find("\"gknn_test_total\":1"),
+              std::string::npos);
+  } else {
+    EXPECT_NE(json.find("\"enabled\":false"), std::string::npos);
+  }
+}
+
+TEST(SpanTest, FakeClockMeasuresExactly) {
+  SKIP_IF_OBS_DISABLED();
+  FakeClock clock;
+  MetricRegistry registry;
+  Tracer tracer(&registry, &clock);
+  QueryTraceRecord record;
+  {
+    Span span = tracer.StartSpan(&record, Phase::kClean);
+    clock.Advance(0.5);
+    span.Stop();
+    span.Stop();  // idempotent
+    clock.Advance(0.25);
+  }
+  EXPECT_DOUBLE_EQ(
+      record.phase_seconds[static_cast<size_t>(Phase::kClean)], 0.5);
+  EXPECT_EQ(record.phases_touched, 1u << static_cast<size_t>(Phase::kClean));
+}
+
+TEST(SpanTest, MoveTransfersOwnership) {
+  SKIP_IF_OBS_DISABLED();
+  FakeClock clock;
+  MetricRegistry registry;
+  Tracer tracer(&registry, &clock);
+  QueryTraceRecord record;
+  Span outer;
+  {
+    Span inner = tracer.StartSpan(&record, Phase::kSdist);
+    clock.Advance(1.0);
+    outer = std::move(inner);
+    // inner's destructor must not double-record.
+  }
+  clock.Advance(1.0);
+  outer.Stop();
+  EXPECT_DOUBLE_EQ(
+      record.phase_seconds[static_cast<size_t>(Phase::kSdist)], 2.0);
+}
+
+TEST(SpanTest, NullRecordIsNoOp) {
+  FakeClock clock;
+  MetricRegistry registry;
+  Tracer tracer(&registry, &clock);
+  Span span = tracer.StartSpan(nullptr, Phase::kRefine);
+  clock.Advance(1.0);
+  span.Stop();  // must not crash or record anywhere
+}
+
+TEST(TracerTest, FinishQueryFoldsIntoRegistry) {
+  SKIP_IF_OBS_DISABLED();
+  FakeClock clock;
+  MetricRegistry registry;
+  Tracer tracer(&registry, &clock);
+
+  constexpr int kQueries = 3;
+  for (int q = 0; q < kQueries; ++q) {
+    QueryTraceRecord record;
+    record.query_id = tracer.NextQueryId();
+    record.k = 4;
+    record.cells_examined = 5;
+    Span total = tracer.StartTotal(&record);
+    {
+      Span clean = tracer.StartSpan(&record, Phase::kClean);
+      clock.Advance(0.010);
+    }
+    {
+      Span refine = tracer.StartSpan(&record, Phase::kRefine);
+      clock.Advance(0.020);
+    }
+    clock.Advance(0.005);  // time outside any phase span
+    total.Stop();
+
+    // Phases are disjoint, so their sum never exceeds the total.
+    EXPECT_DOUBLE_EQ(record.PhaseSum(), 0.030);
+    EXPECT_DOUBLE_EQ(record.total_seconds, 0.035);
+    EXPECT_LE(record.PhaseSum(), record.total_seconds);
+    tracer.FinishQuery(std::move(record));
+  }
+
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("gknn_queries_total"), 3u);
+  EXPECT_EQ(snapshot.counters.at("gknn_query_cells_examined_total"), 15u);
+  // Invariant: the total-latency histogram observes exactly once per query.
+  EXPECT_EQ(snapshot.histograms.at("gknn_query_seconds").count, 3u);
+  // Touched phases get one observation per query; untouched phases none.
+  EXPECT_EQ(snapshot.histograms
+                .at("gknn_query_phase_seconds{phase=\"clean\"}")
+                .count,
+            3u);
+  EXPECT_EQ(snapshot.histograms
+                .at("gknn_query_phase_seconds{phase=\"sdist\"}")
+                .count,
+            0u);
+  EXPECT_NEAR(
+      snapshot.histograms.at("gknn_query_phase_seconds{phase=\"refine\"}")
+          .sum,
+      0.060, 1e-6);
+}
+
+TEST(TracerTest, RingEvictsOldestAndAnnotatesLast) {
+  SKIP_IF_OBS_DISABLED();
+  FakeClock clock;
+  MetricRegistry registry;
+  Tracer tracer(&registry, &clock, /*ring_capacity=*/4);
+  for (uint64_t q = 1; q <= 6; ++q) {
+    QueryTraceRecord record;
+    record.query_id = tracer.NextQueryId();
+    tracer.FinishQuery(std::move(record));
+  }
+  tracer.AnnotateLast(
+      [](QueryTraceRecord& record) { record.retries = 7; });
+
+  const std::vector<QueryTraceRecord> traces = tracer.RecentTraces();
+  ASSERT_EQ(traces.size(), 4u);
+  EXPECT_EQ(traces.front().query_id, 3u);  // 1 and 2 evicted
+  EXPECT_EQ(traces.back().query_id, 6u);
+  EXPECT_EQ(traces.back().retries, 7u);
+  EXPECT_EQ(traces.front().retries, 0u);
+}
+
+TEST(TracerTest, ErrorAndFallbackCounters) {
+  SKIP_IF_OBS_DISABLED();
+  FakeClock clock;
+  MetricRegistry registry;
+  Tracer tracer(&registry, &clock);
+
+  QueryTraceRecord failed;
+  failed.ok = false;
+  failed.fault_events = 2;
+  tracer.FinishQuery(std::move(failed));
+
+  QueryTraceRecord fell_back;
+  fell_back.cpu_fallback = true;
+  tracer.FinishQuery(std::move(fell_back));
+
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("gknn_queries_total"), 2u);
+  EXPECT_EQ(snapshot.counters.at("gknn_query_errors_total"), 1u);
+  EXPECT_EQ(snapshot.counters.at("gknn_query_fallbacks_total"), 1u);
+  EXPECT_EQ(snapshot.counters.at("gknn_query_device_errors_total"), 2u);
+}
+
+TEST(PhaseTest, EveryPhaseHasAName) {
+  for (size_t i = 0; i < kNumPhases; ++i) {
+    EXPECT_FALSE(PhaseName(static_cast<Phase>(i)).empty());
+  }
+  EXPECT_EQ(PhaseName(Phase::kClean), "clean");
+  EXPECT_EQ(PhaseName(Phase::kFallback), "fallback");
+}
+
+}  // namespace
+}  // namespace gknn::obs

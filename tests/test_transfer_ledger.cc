@@ -1,0 +1,98 @@
+#include "gpusim/transfer_ledger.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gpusim/device.h"
+#include "gpusim/device_buffer.h"
+
+namespace gknn::gpusim {
+namespace {
+
+DeviceConfig TestConfig() {
+  DeviceConfig config;
+  config.transfer_latency_seconds = 1e-5;
+  config.h2d_bytes_per_second = 1e9;
+  config.d2h_bytes_per_second = 2e9;
+  return config;
+}
+
+TEST(TransferLedgerTest, ModeledTimeIsLatencyPlusBandwidth) {
+  TransferLedger ledger;
+  const DeviceConfig config = TestConfig();
+  // 1 MB over 1 GB/s = 1 ms, plus 10 us of fixed PCIe latency.
+  const double h2d = ledger.RecordH2D(1'000'000, config);
+  EXPECT_DOUBLE_EQ(h2d, 1e-5 + 1e-3);
+  // D2H uses its own (here asymmetric) bandwidth.
+  const double d2h = ledger.RecordD2H(1'000'000, config);
+  EXPECT_DOUBLE_EQ(d2h, 1e-5 + 5e-4);
+}
+
+TEST(TransferLedgerTest, ZeroByteCopyStillPaysLatency) {
+  TransferLedger ledger;
+  const DeviceConfig config = TestConfig();
+  EXPECT_DOUBLE_EQ(ledger.RecordH2D(0, config),
+                   config.transfer_latency_seconds);
+  EXPECT_EQ(ledger.totals().h2d_count, 1u);
+  EXPECT_EQ(ledger.totals().h2d_bytes, 0u);
+}
+
+TEST(TransferLedgerTest, TotalsAccumulateAcrossDirections) {
+  TransferLedger ledger;
+  const DeviceConfig config = TestConfig();
+  double h2d_seconds = 0;
+  double d2h_seconds = 0;
+  for (int i = 1; i <= 4; ++i) {
+    h2d_seconds += ledger.RecordH2D(1000 * i, config);
+  }
+  for (int i = 1; i <= 2; ++i) {
+    d2h_seconds += ledger.RecordD2H(500 * i, config);
+  }
+
+  const TransferLedger::Totals& totals = ledger.totals();
+  EXPECT_EQ(totals.h2d_count, 4u);
+  EXPECT_EQ(totals.d2h_count, 2u);
+  EXPECT_EQ(totals.h2d_bytes, 1000u + 2000 + 3000 + 4000);
+  EXPECT_EQ(totals.d2h_bytes, 500u + 1000);
+  // The ledger's aggregate equals the sum of the per-copy returns: no
+  // copy is double-counted or dropped.
+  EXPECT_DOUBLE_EQ(totals.h2d_seconds, h2d_seconds);
+  EXPECT_DOUBLE_EQ(totals.d2h_seconds, d2h_seconds);
+  EXPECT_EQ(totals.total_bytes(), totals.h2d_bytes + totals.d2h_bytes);
+  EXPECT_DOUBLE_EQ(totals.total_seconds(),
+                   totals.h2d_seconds + totals.d2h_seconds);
+}
+
+TEST(TransferLedgerTest, ResetClearsEverything) {
+  TransferLedger ledger;
+  const DeviceConfig config = TestConfig();
+  ledger.RecordH2D(1234, config);
+  ledger.RecordD2H(5678, config);
+  ledger.Reset();
+  const TransferLedger::Totals& totals = ledger.totals();
+  EXPECT_EQ(totals.h2d_bytes, 0u);
+  EXPECT_EQ(totals.d2h_bytes, 0u);
+  EXPECT_EQ(totals.h2d_count, 0u);
+  EXPECT_EQ(totals.d2h_count, 0u);
+  EXPECT_DOUBLE_EQ(totals.total_seconds(), 0.0);
+}
+
+TEST(TransferLedgerTest, DeviceCopiesLandInTheLedger) {
+  Device device;
+  const auto before = device.ledger().totals();
+  auto buffer = DeviceBuffer<uint32_t>::Allocate(&device, 256);
+  ASSERT_TRUE(buffer.ok());
+  std::vector<uint32_t> host(256, 7);
+  ASSERT_TRUE(buffer->Upload(host).ok());
+  ASSERT_TRUE(buffer->Download().ok());
+  const auto after = device.ledger().totals();
+  EXPECT_EQ(after.h2d_count, before.h2d_count + 1);
+  EXPECT_EQ(after.d2h_count, before.d2h_count + 1);
+  EXPECT_EQ(after.h2d_bytes - before.h2d_bytes, 256 * sizeof(uint32_t));
+  EXPECT_EQ(after.d2h_bytes - before.d2h_bytes, 256 * sizeof(uint32_t));
+  EXPECT_GT(after.total_seconds(), before.total_seconds());
+}
+
+}  // namespace
+}  // namespace gknn::gpusim

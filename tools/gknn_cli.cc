@@ -10,6 +10,7 @@
 //   record <file> <objects> <f> <queries> <k>   write a workload trace
 //   replay <file>                          replay a trace file
 //   stats                                  counters, memory, degradation
+//   metrics                                Prometheus text exposition
 //   help                                   this list
 //   quit
 //
@@ -20,6 +21,10 @@
 //                                  GKNN_FAULTS; see docs/ROBUSTNESS.md),
 //                                  e.g. --faults='alloc:p=0.05;seed=7'
 //   --stats                        dump the stats block on exit
+//   --metrics[=FILE]               on exit, dump the observability registry
+//                                  (Prometheus text + one-line JSON, see
+//                                  docs/OBSERVABILITY.md) to stdout, or to
+//                                  FILE (text) and FILE.json (JSON)
 //
 // Exits non-zero when any command reported an error.
 //
@@ -52,8 +57,40 @@ void PrintHelp() {
       "  record <file> <objects> <f> <queries> <k>\n"
       "  replay <file>\n"
       "  stats\n"
+      "  metrics\n"
       "  help\n"
       "  quit\n");
+}
+
+/// Dumps the full observability registry: Prometheus text to `out`, and —
+/// when writing to a file — the one-line JSON beside it (FILE.json).
+bool DumpMetrics(gknn::server::QueryServer& server,
+                 const std::string& path) {
+  const std::string text = server.MetricsPrometheus();
+  const std::string json = server.MetricsJson();
+  if (path.empty()) {
+    std::fputs(text.c_str(), stdout);
+    std::printf("%s\n", json.c_str());
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fputs(text.c_str(), f);
+  std::fclose(f);
+  const std::string json_path = path + ".json";
+  f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+    return false;
+  }
+  std::fprintf(f, "%s\n", json.c_str());
+  std::fclose(f);
+  std::printf("metrics written to %s and %s\n", path.c_str(),
+              json_path.c_str());
+  return true;
 }
 
 void PrintStats(gknn::server::QueryServer& server,
@@ -109,6 +146,8 @@ int main(int argc, char** argv) {
   std::string fault_spec;
   bool have_fault_spec = false;
   bool stats_on_exit = false;
+  bool metrics_on_exit = false;
+  std::string metrics_path;
   uint32_t synthetic = 0;
   uint64_t seed = 1;
   for (int i = 1; i < argc; ++i) {
@@ -124,6 +163,11 @@ int main(int argc, char** argv) {
       have_fault_spec = true;
     } else if (arg == "--stats") {
       stats_on_exit = true;
+    } else if (arg == "--metrics") {
+      metrics_on_exit = true;
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_on_exit = true;
+      metrics_path = arg.substr(10);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 1;
@@ -281,6 +325,8 @@ int main(int argc, char** argv) {
       }
     } else if (std::strncmp(line, "stats", 5) == 0) {
       PrintStats(**server, device);
+    } else if (std::strncmp(line, "metrics", 7) == 0) {
+      if (!DumpMetrics(**server, "")) had_error = true;
     } else if (std::strncmp(line, "help", 4) == 0) {
       PrintHelp();
     } else if (std::strncmp(line, "quit", 4) == 0 ||
@@ -291,5 +337,8 @@ int main(int argc, char** argv) {
     }
   }
   if (stats_on_exit) PrintStats(**server, device);
+  if (metrics_on_exit && !DumpMetrics(**server, metrics_path)) {
+    had_error = true;
+  }
   return had_error ? 1 : 0;
 }
