@@ -16,7 +16,6 @@
 #include "common/scenario.h"
 #include "common/table.h"
 #include "util/logging.h"
-#include "util/thread_pool.h"
 
 namespace gknn::bench {
 namespace {
@@ -30,7 +29,6 @@ void Run(const std::string& dataset, const CommonFlags& flags) {
   auto graph = LoadDataset(dataset, flags.scale, flags.seed,
                            flags.dimacs_dir);
   GKNN_CHECK(graph.ok()) << graph.status().ToString();
-  util::ThreadPool pool;
 
   std::vector<Variant> variants;
   variants.push_back({"G-Grid (default)", core::GGridOptions{}});
@@ -60,8 +58,7 @@ void Run(const std::string& dataset, const CommonFlags& flags) {
   // variant runs first.
   {
     gpusim::Device device(ScaledDeviceConfig(flags.scale));
-    auto algorithm = BuildAlgorithm("G-Grid", &*graph, &device, &pool,
-                                    core::GGridOptions{});
+    auto algorithm = BuildAlgorithm("G-Grid", &*graph, &device, core::GGridOptions{});
     GKNN_CHECK(algorithm.ok());
     ScenarioOptions warmup = flags.ToScenario();
     warmup.num_queries = std::min(5u, warmup.num_queries);
@@ -76,7 +73,7 @@ void Run(const std::string& dataset, const CommonFlags& flags) {
   for (const Variant& v : variants) {
     gpusim::Device device(ScaledDeviceConfig(flags.scale));
     auto algorithm =
-        BuildAlgorithm("G-Grid", &*graph, &device, &pool, v.options);
+        BuildAlgorithm("G-Grid", &*graph, &device, v.options);
     GKNN_CHECK(algorithm.ok()) << algorithm.status().ToString();
     const RunResult r =
         RunScenario(algorithm->get(), *graph, flags.ToScenario());

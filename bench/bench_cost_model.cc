@@ -16,7 +16,6 @@
 #include "common/table.h"
 #include "core/cost_model.h"
 #include "util/logging.h"
-#include "util/thread_pool.h"
 
 namespace gknn::bench {
 namespace {
@@ -32,10 +31,9 @@ void Run(const std::vector<std::string>& datasets, const CommonFlags& flags) {
     auto graph = LoadDataset(name, flags.scale, flags.seed,
                              flags.dimacs_dir);
     GKNN_CHECK(graph.ok()) << graph.status().ToString();
-    util::ThreadPool pool;
     gpusim::Device device(ScaledDeviceConfig(flags.scale));
     auto algorithm = baselines::GGridAlgorithm::Build(
-        &*graph, core::GGridOptions{}, &device, &pool);
+        &*graph, core::GGridOptions{}, &device);
     GKNN_CHECK(algorithm.ok()) << algorithm.status().ToString();
 
     ScenarioOptions scenario = flags.ToScenario();

@@ -24,7 +24,6 @@
 #include "common/scenario.h"
 #include "common/table.h"
 #include "util/logging.h"
-#include "util/thread_pool.h"
 
 namespace gknn::bench {
 namespace {
@@ -34,7 +33,6 @@ void Run(const std::string& dataset, const std::vector<double>& frequencies,
   auto graph = LoadDataset(dataset, flags.scale, flags.seed,
                            flags.dimacs_dir);
   GKNN_CHECK(graph.ok()) << graph.status().ToString();
-  util::ThreadPool pool;
   std::printf(
       "Extra baselines on %s (k=%u, |O|=%u): lazy vs eager vs CPU-INE\n\n",
       dataset.c_str(), flags.k, flags.num_objects);
@@ -50,7 +48,7 @@ void Run(const std::string& dataset, const std::vector<double>& frequencies,
       core::GGridOptions options;
       options.eager_updates = variant == 1;
       auto algorithm = BuildAlgorithm(variant == 2 ? "CPU-INE" : "G-Grid",
-                                      &*graph, &device, &pool, options);
+                                      &*graph, &device, options);
       GKNN_CHECK(algorithm.ok()) << algorithm.status().ToString();
       const RunResult r = RunScenario(algorithm->get(), *graph, scenario);
       row.push_back(FormatSeconds(r.amortized_seconds));

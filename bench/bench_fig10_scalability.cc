@@ -16,7 +16,6 @@
 #include "common/scenario.h"
 #include "common/table.h"
 #include "util/logging.h"
-#include "util/thread_pool.h"
 #include "workload/datasets.h"
 
 namespace gknn::bench {
@@ -42,10 +41,8 @@ void Run(const std::vector<std::string>& datasets,
     auto graph = LoadDataset(name, flags.scale, flags.seed,
                              flags.dimacs_dir);
     GKNN_CHECK(graph.ok()) << graph.status().ToString();
-    util::ThreadPool pool;
     gpusim::Device device(ScaledDeviceConfig(flags.scale));
-    auto algorithm = BuildAlgorithm("G-Grid", &*graph, &device, &pool,
-                                    core::GGridOptions{});
+    auto algorithm = BuildAlgorithm("G-Grid", &*graph, &device, core::GGridOptions{});
     GKNN_CHECK(algorithm.ok()) << algorithm.status().ToString();
 
     // Panel (a)/(b) at the default k, with constant object density.

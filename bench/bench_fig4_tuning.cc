@@ -25,9 +25,8 @@ RunResult MeasureConfig(const roadnet::Graph& graph,
                         const core::GGridOptions& options,
                         const CommonFlags& flags) {
   gpusim::Device device(ScaledDeviceConfig(flags.scale));
-  util::ThreadPool pool;
   auto algorithm =
-      BuildAlgorithm("G-Grid", &graph, &device, &pool, options);
+      BuildAlgorithm("G-Grid", &graph, &device, options);
   GKNN_CHECK(algorithm.ok()) << algorithm.status().ToString();
   return RunScenario(algorithm->get(), graph, flags.ToScenario());
 }

@@ -16,7 +16,6 @@
 #include "common/scenario.h"
 #include "common/table.h"
 #include "util/logging.h"
-#include "util/thread_pool.h"
 #include "workload/datasets.h"
 
 namespace gknn::bench {
@@ -32,7 +31,6 @@ void Run(const std::vector<std::string>& datasets, const CommonFlags& flags) {
   for (const std::string& name : datasets) {
     auto graph = LoadDataset(name, flags.scale, flags.seed, flags.dimacs_dir);
     GKNN_CHECK(graph.ok()) << graph.status().ToString();
-    util::ThreadPool pool;
     ScenarioOptions scenario = flags.ToScenario();
     scenario.num_objects =
         ScaledObjectCount(flags.num_objects, graph->num_vertices());
@@ -42,8 +40,7 @@ void Run(const std::vector<std::string>& datasets, const CommonFlags& flags) {
     // G-Grid: one run provides both reporting modes.
     {
       gpusim::Device device(ScaledDeviceConfig(flags.scale));
-      auto algorithm = BuildAlgorithm("G-Grid", &*graph, &device, &pool,
-                                      core::GGridOptions{});
+      auto algorithm = BuildAlgorithm("G-Grid", &*graph, &device, core::GGridOptions{});
       GKNN_CHECK(algorithm.ok()) << algorithm.status().ToString();
       const RunResult r = RunScenario(algorithm->get(), *graph, scenario);
       row.push_back(FormatSeconds(r.amortized_seconds));
@@ -51,8 +48,7 @@ void Run(const std::vector<std::string>& datasets, const CommonFlags& flags) {
     }
     for (const char* name2 : {"V-Tree", "V-Tree (G)", "ROAD"}) {
       gpusim::Device device(ScaledDeviceConfig(flags.scale));
-      auto algorithm = BuildAlgorithm(name2, &*graph, &device, &pool,
-                                      core::GGridOptions{});
+      auto algorithm = BuildAlgorithm(name2, &*graph, &device, core::GGridOptions{});
       if (!algorithm.ok()) {
         // V-Tree (G) exceeding device memory reproduces the paper's
         // omission of that series on USA.

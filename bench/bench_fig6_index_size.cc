@@ -17,7 +17,6 @@
 #include "common/scenario.h"
 #include "common/table.h"
 #include "util/logging.h"
-#include "util/thread_pool.h"
 #include "workload/datasets.h"
 #include "workload/moving_objects.h"
 
@@ -32,11 +31,10 @@ void Run(const std::vector<std::string>& datasets, const CommonFlags& flags) {
   for (const std::string& name : datasets) {
     auto graph = LoadDataset(name, flags.scale, flags.seed, flags.dimacs_dir);
     GKNN_CHECK(graph.ok()) << graph.status().ToString();
-    util::ThreadPool pool(1);
     gpusim::Device device;  // sizing only; use the full-size device
 
     auto ggrid = baselines::GGridAlgorithm::Build(
-        &*graph, core::GGridOptions{}, &device, &pool);
+        &*graph, core::GGridOptions{}, &device);
     GKNN_CHECK(ggrid.ok()) << ggrid.status().ToString();
     auto vtree = baselines::VTree::Build(&*graph, baselines::VTree::Options{});
     GKNN_CHECK(vtree.ok()) << vtree.status().ToString();

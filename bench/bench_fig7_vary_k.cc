@@ -17,7 +17,6 @@
 #include "common/scenario.h"
 #include "common/table.h"
 #include "util/logging.h"
-#include "util/thread_pool.h"
 
 namespace gknn::bench {
 namespace {
@@ -27,7 +26,6 @@ void Run(const std::vector<std::string>& datasets,
   for (const std::string& name : datasets) {
     auto graph = LoadDataset(name, flags.scale, flags.seed, flags.dimacs_dir);
     GKNN_CHECK(graph.ok()) << graph.status().ToString();
-    util::ThreadPool pool;
     std::printf("Fig. 7: varying k on %s (|O|=%u, f=%.2f/s)\n\n",
                 name.c_str(), flags.num_objects, flags.frequency);
     TablePrinter table({"k", "G-Grid", "V-Tree", "V-Tree (G)", "ROAD"});
@@ -43,8 +41,7 @@ void Run(const std::vector<std::string>& datasets,
       devices.push_back(
           std::make_unique<gpusim::Device>(ScaledDeviceConfig(flags.scale)));
       auto algorithm = BuildAlgorithm(algo_name, &*graph,
-                                      devices.back().get(), &pool,
-                                      core::GGridOptions{});
+                                      devices.back().get(), core::GGridOptions{});
       if (algorithm.ok()) {
         algorithms.push_back(std::move(algorithm).ValueOrDie());
         available.push_back(true);

@@ -15,7 +15,6 @@
 #include "common/scenario.h"
 #include "common/table.h"
 #include "util/logging.h"
-#include "util/thread_pool.h"
 
 namespace gknn::bench {
 namespace {
@@ -25,7 +24,6 @@ void Run(const std::string& dataset, const std::vector<uint32_t>& sizes,
   auto graph = LoadDataset(dataset, flags.scale, flags.seed,
                            flags.dimacs_dir);
   GKNN_CHECK(graph.ok()) << graph.status().ToString();
-  util::ThreadPool pool;
   std::printf("Fig. 8: varying |O| on %s (k=%u, f=%.2f/s)\n\n",
               dataset.c_str(), flags.k, flags.frequency);
   TablePrinter table({"|O|", "G-Grid", "V-Tree", "V-Tree (G)", "ROAD"});
@@ -38,7 +36,7 @@ void Run(const std::string& dataset, const std::vector<uint32_t>& sizes,
       // property here.
       gpusim::Device device(ScaledDeviceConfig(flags.scale));
       auto algorithm =
-          BuildAlgorithm(name, &*graph, &device, &pool, core::GGridOptions{});
+          BuildAlgorithm(name, &*graph, &device, core::GGridOptions{});
       if (!algorithm.ok()) {
         row.push_back("OOM");
         continue;

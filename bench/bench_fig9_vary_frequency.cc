@@ -17,7 +17,6 @@
 #include "common/scenario.h"
 #include "common/table.h"
 #include "util/logging.h"
-#include "util/thread_pool.h"
 
 namespace gknn::bench {
 namespace {
@@ -27,7 +26,6 @@ void Run(const std::string& dataset, const std::vector<double>& frequencies,
   auto graph = LoadDataset(dataset, flags.scale, flags.seed,
                            flags.dimacs_dir);
   GKNN_CHECK(graph.ok()) << graph.status().ToString();
-  util::ThreadPool pool;
   std::printf("Fig. 9: varying update frequency f on %s (k=%u, |O|=%u)\n\n",
               dataset.c_str(), flags.k, flags.num_objects);
   TablePrinter table(
@@ -39,7 +37,7 @@ void Run(const std::string& dataset, const std::vector<double>& frequencies,
     for (const char* name : {"G-Grid", "V-Tree", "V-Tree (G)", "ROAD"}) {
       gpusim::Device device(ScaledDeviceConfig(flags.scale));
       auto algorithm =
-          BuildAlgorithm(name, &*graph, &device, &pool, core::GGridOptions{});
+          BuildAlgorithm(name, &*graph, &device, core::GGridOptions{});
       if (!algorithm.ok()) {
         row.push_back("OOM");
         continue;

@@ -134,9 +134,7 @@ BENCHMARK(BM_GraphGridBuild);
 void BM_GGridIngest(benchmark::State& state) {
   const auto& graph = BenchGraph();
   gpusim::Device device;
-  util::ThreadPool pool(1);
-  auto index = core::GGridIndex::Build(&graph, core::GGridOptions{}, &device,
-                                       &pool);
+  auto index = core::GGridIndex::Build(&graph, core::GGridOptions{}, &device);
   GKNN_CHECK(index.ok());
   workload::MovingObjectSimulator sim(&graph, {.num_objects = 500, .seed = 4});
   std::vector<workload::LocationUpdate> updates;
@@ -241,9 +239,7 @@ BENCHMARK(BM_TopKSelect)->Args({1000, 16})->Args({10000, 16})->Args({10000, 256}
 void BM_GGridQuery(benchmark::State& state) {
   const auto& graph = BenchGraph();
   gpusim::Device device;
-  util::ThreadPool pool(1);
-  auto index = core::GGridIndex::Build(&graph, core::GGridOptions{}, &device,
-                                       &pool);
+  auto index = core::GGridIndex::Build(&graph, core::GGridOptions{}, &device);
   GKNN_CHECK(index.ok());
   workload::MovingObjectSimulator sim(&graph,
                                       {.num_objects = 1000, .seed = 8});

@@ -92,12 +92,12 @@ RunResult RunScenario(KnnAlgorithm* algorithm, const roadnet::Graph& graph,
 
 util::Result<std::unique_ptr<KnnAlgorithm>> BuildAlgorithm(
     const std::string& name, const roadnet::Graph* graph,
-    gpusim::Device* device, util::ThreadPool* pool,
-    const core::GGridOptions& ggrid_options, uint32_t leaf_size) {
+    gpusim::Device* device, const core::GGridOptions& ggrid_options,
+    uint32_t leaf_size) {
   if (name == "G-Grid") {
     GKNN_ASSIGN_OR_RETURN(auto algorithm,
                           baselines::GGridAlgorithm::Build(
-                              graph, ggrid_options, device, pool));
+                              graph, ggrid_options, device));
     return std::unique_ptr<KnnAlgorithm>(std::move(algorithm));
   }
   if (name == "V-Tree") {

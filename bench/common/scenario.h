@@ -11,7 +11,6 @@
 #include "gpusim/device.h"
 #include "roadnet/graph.h"
 #include "util/result.h"
-#include "util/thread_pool.h"
 
 namespace gknn::bench {
 
@@ -71,8 +70,8 @@ inline constexpr const char* kAlgorithmNames[] = {
 /// tree-based baselines.
 util::Result<std::unique_ptr<baselines::KnnAlgorithm>> BuildAlgorithm(
     const std::string& name, const roadnet::Graph* graph,
-    gpusim::Device* device, util::ThreadPool* pool,
-    const core::GGridOptions& ggrid_options, uint32_t leaf_size = 128);
+    gpusim::Device* device, const core::GGridOptions& ggrid_options,
+    uint32_t leaf_size = 128);
 
 /// Loads one of the Table-II datasets at 1/scale of its real size (or the
 /// real DIMACS file if --dimacs_dir points at it). See

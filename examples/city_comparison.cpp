@@ -9,7 +9,6 @@
 
 #include "core/ggrid_index.h"
 #include "gpusim/device.h"
-#include "util/thread_pool.h"
 #include "util/timer.h"
 #include "workload/datasets.h"
 #include "workload/moving_objects.h"
@@ -32,9 +31,8 @@ int main() {
       return 1;
     }
     gpusim::Device device;
-    util::ThreadPool pool;
     auto index = core::GGridIndex::Build(&*graph, core::GGridOptions{},
-                                         &device, &pool);
+                                         &device);
     if (!index.ok()) {
       std::fprintf(stderr, "%s: %s\n", spec.name.c_str(),
                    index.status().ToString().c_str());

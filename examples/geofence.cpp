@@ -22,9 +22,8 @@ int main() {
       {.num_rings = 20, .num_spokes = 24, .seed = 7});
   if (!city.ok()) return 1;
   gpusim::Device device;
-  util::ThreadPool pool;
   auto server = server::QueryServer::Create(&*city, core::GGridOptions{},
-                                            &device, &pool);
+                                            &device);
   if (!server.ok()) return 1;
   std::printf("radial city: %u vertices, %u arcs\n", city->num_vertices(),
               city->num_edges());

@@ -28,15 +28,14 @@ int main() {
   std::printf("road network: %u vertices, %u arcs\n", graph->num_vertices(),
               graph->num_edges());
 
-  // 2. The runtime pieces: a (simulated) GPU and a CPU thread pool for the
+  // 2. The runtime piece: a (simulated) GPU for the
   //    refinement step.
   gpusim::Device device;
-  util::ThreadPool pool;
 
   // 3. Build the index. GGridOptions defaults are the paper's tuned values
   //    (delta_c=3, delta_v=2, delta_b=128, 2^eta=32, rho=1.8).
   auto index = core::GGridIndex::Build(&*graph, core::GGridOptions{},
-                                       &device, &pool);
+                                       &device);
   if (!index.ok()) {
     std::fprintf(stderr, "index build failed: %s\n",
                  index.status().ToString().c_str());

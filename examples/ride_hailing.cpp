@@ -10,7 +10,6 @@
 
 #include "core/ggrid_index.h"
 #include "gpusim/device.h"
-#include "util/thread_pool.h"
 #include "util/timer.h"
 #include "workload/moving_objects.h"
 #include "workload/queries.h"
@@ -24,9 +23,8 @@ int main() {
   if (!graph.ok()) return 1;
 
   gpusim::Device device;
-  util::ThreadPool pool;
   auto index = core::GGridIndex::Build(&*graph, core::GGridOptions{},
-                                       &device, &pool);
+                                       &device);
   if (!index.ok()) return 1;
 
   // A fleet of 500 cars reporting once per second.

@@ -14,7 +14,6 @@
 #include "baselines/vtree.h"
 #include "core/ggrid_index.h"
 #include "gpusim/device.h"
-#include "util/thread_pool.h"
 #include "util/timer.h"
 #include "workload/moving_objects.h"
 #include "workload/synthetic_network.h"
@@ -27,14 +26,11 @@ int main() {
   if (!graph.ok()) return 1;
 
   gpusim::Device device;
-  util::ThreadPool pool;
 
-  auto lazy = core::GGridIndex::Build(&*graph, core::GGridOptions{}, &device,
-                                      &pool);
+  auto lazy = core::GGridIndex::Build(&*graph, core::GGridOptions{}, &device);
   core::GGridOptions eager_options;
   eager_options.eager_updates = true;
-  auto eager = core::GGridIndex::Build(&*graph, eager_options, &device,
-                                       &pool);
+  auto eager = core::GGridIndex::Build(&*graph, eager_options, &device);
   auto vtree = baselines::VTree::Build(&*graph, baselines::VTree::Options{});
   if (!lazy.ok() || !eager.ok() || !vtree.ok()) return 1;
 

@@ -6,9 +6,9 @@ namespace gknn::baselines {
 
 util::Result<std::unique_ptr<GGridAlgorithm>> GGridAlgorithm::Build(
     const roadnet::Graph* graph, const core::GGridOptions& options,
-    gpusim::Device* device, util::ThreadPool* pool) {
+    gpusim::Device* device) {
   GKNN_ASSIGN_OR_RETURN(std::unique_ptr<core::GGridIndex> index,
-                        core::GGridIndex::Build(graph, options, device, pool));
+                        core::GGridIndex::Build(graph, options, device));
   return std::unique_ptr<GGridAlgorithm>(
       new GGridAlgorithm(std::move(index)));
 }

@@ -6,7 +6,6 @@
 #include "baselines/knn_algorithm.h"
 #include "core/ggrid_index.h"
 #include "gpusim/device.h"
-#include "util/thread_pool.h"
 
 namespace gknn::baselines {
 
@@ -20,7 +19,7 @@ class GGridAlgorithm : public KnnAlgorithm {
  public:
   static util::Result<std::unique_ptr<GGridAlgorithm>> Build(
       const roadnet::Graph* graph, const core::GGridOptions& options,
-      gpusim::Device* device, util::ThreadPool* pool);
+      gpusim::Device* device);
 
   std::string_view name() const override { return "G-Grid"; }
 

@@ -12,8 +12,7 @@ namespace gknn::core {
 using roadnet::EdgePoint;
 
 GGridIndex::GGridIndex(const roadnet::Graph* graph,
-                       const GGridOptions& options, gpusim::Device* device,
-                       util::ThreadPool* pool)
+                       const GGridOptions& options, gpusim::Device* device)
     : graph_(graph),
       options_(options),
       device_(device),
@@ -22,13 +21,11 @@ GGridIndex::GGridIndex(const roadnet::Graph* graph,
       updates_total_(registry_.GetCounter("gknn_updates_ingested_total")),
       tombstones_total_(registry_.GetCounter("gknn_tombstones_total")),
       clean_fallbacks_total_(
-          registry_.GetCounter("gknn_clean_fallbacks_total")) {
-  (void)pool;  // consumed in Build
-}
+          registry_.GetCounter("gknn_clean_fallbacks_total")) {}
 
 util::Result<std::unique_ptr<GGridIndex>> GGridIndex::Build(
     const roadnet::Graph* graph, const GGridOptions& options,
-    gpusim::Device* device, util::ThreadPool* pool) {
+    gpusim::Device* device) {
   if (options.delta_b == 0) {
     return util::Status::InvalidArgument("delta_b must be positive");
   }
@@ -38,8 +35,7 @@ util::Result<std::unique_ptr<GGridIndex>> GGridIndex::Build(
   if (options.rho < 1.0) {
     return util::Status::InvalidArgument("rho must be at least 1");
   }
-  std::unique_ptr<GGridIndex> index(
-      new GGridIndex(graph, options, device, pool));
+  std::unique_ptr<GGridIndex> index(new GGridIndex(graph, options, device));
 
   GKNN_ASSIGN_OR_RETURN(
       GraphGrid grid, GraphGrid::Build(graph, options.delta_c, options.delta_v,
@@ -81,7 +77,7 @@ util::Result<std::unique_ptr<GGridIndex>> GGridIndex::Build(
 
   index->engine_ = std::make_unique<KnnEngine>(
       device, index->grid_.get(), index->cleaner_.get(), &index->arena_,
-      &index->lists_, &index->object_table_, &index->objects_on_edge_, pool,
+      &index->lists_, &index->object_table_, &index->objects_on_edge_,
       &index->options_);
   index->engine_->SetTracer(&index->tracer_);
   return index;

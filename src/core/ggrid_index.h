@@ -1,6 +1,7 @@
 #ifndef GKNN_CORE_GGRID_INDEX_H_
 #define GKNN_CORE_GGRID_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -19,7 +20,6 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/result.h"
-#include "util/thread_pool.h"
 
 namespace gknn::core {
 
@@ -29,13 +29,19 @@ namespace gknn::core {
 ///
 /// Usage:
 ///   gpusim::Device device;
-///   util::ThreadPool pool;
-///   auto index = GGridIndex::Build(&graph, options, &device, &pool);
+///   auto index = GGridIndex::Build(&graph, options, &device);
 ///   index->Ingest(object_id, {edge, offset}, now);     // per update
 ///   auto result = index->QueryKnn({edge, offset}, k, now);
 ///
-/// The graph, device and pool must outlive the index. Not thread-safe: one
-/// index per server thread, like the paper's single query server.
+/// The graph and device must outlive the index.
+///
+/// Thread-safety (docs/CONCURRENCY.md): the query methods — QueryKnn,
+/// QueryRange, QueryKnnBatch — may run concurrently with each other; the
+/// lazy message cleaning they perform is serialized per cell inside
+/// MessageCleaner, and per-query scratch lives in KnnEngine workspaces.
+/// Everything that *writes* the index (Ingest, Remove, CleanCells,
+/// TrimCaches, Save/LoadSnapshot) requires exclusive access: no query may
+/// be in flight. QueryServer enforces this with a reader-writer lock.
 class GGridIndex {
  public:
   /// Size report matching Fig. 6's breakdown.
@@ -51,19 +57,22 @@ class GGridIndex {
     uint64_t total() const { return cpu_total() + grid_gpu; }
   };
 
-  /// Cumulative counters for the benchmark harness.
+  /// Cumulative counters for the benchmark harness. Relaxed atomics:
+  /// queries bump queries_processed (and clean_fallbacks) concurrently.
+  /// Read each field individually; the set is only mutually consistent
+  /// while no query or update is in flight.
   struct Counters {
-    uint64_t updates_ingested = 0;
-    uint64_t tombstones_written = 0;
-    uint64_t queries_processed = 0;
+    std::atomic<uint64_t> updates_ingested{0};
+    std::atomic<uint64_t> tombstones_written{0};
+    std::atomic<uint64_t> queries_processed{0};
     /// Cleaning batches that hit a device error and were transparently
     /// re-run on the host (the GPU pass rolls back transactionally first).
-    uint64_t clean_fallbacks = 0;
+    std::atomic<uint64_t> clean_fallbacks{0};
   };
 
   static util::Result<std::unique_ptr<GGridIndex>> Build(
       const roadnet::Graph* graph, const GGridOptions& options,
-      gpusim::Device* device, util::ThreadPool* pool);
+      gpusim::Device* device);
 
   /// Ingests one location update (paper Algorithm 1): appends the message
   /// to its cell's list, writes a departure tombstone to the previous cell
@@ -151,12 +160,14 @@ class GGridIndex {
   /// per-kernel timing, transfer-ledger volume/latency, memory breakdown —
   /// into the registry as gauges, plus this index's cumulative Counters.
   /// Call before Snapshot/Render so the exposition reconciles with
-  /// Device/TransferLedger state.
+  /// Device/TransferLedger state. Requires exclusive access (quiesced
+  /// queries) for a mutually consistent snapshot; QueryServer calls it
+  /// under its writer lock.
   void FoldDeviceMetrics();
 
  private:
   GGridIndex(const roadnet::Graph* graph, const GGridOptions& options,
-             gpusim::Device* device, util::ThreadPool* pool);
+             gpusim::Device* device);
 
   const roadnet::Graph* graph_;
   GGridOptions options_;

@@ -65,7 +65,7 @@ KnnEngine::KnnEngine(gpusim::Device* device, const GraphGrid* grid,
                      std::vector<MessageList>* lists,
                      const ObjectTable* object_table,
                      const EdgeObjectMap* objects_on_edge,
-                     util::ThreadPool* pool, const GGridOptions* options)
+                     const GGridOptions* options)
     : device_(device),
       grid_(grid),
       cleaner_(cleaner),
@@ -73,15 +73,28 @@ KnnEngine::KnnEngine(gpusim::Device* device, const GraphGrid* grid,
       lists_(lists),
       object_table_(object_table),
       objects_on_edge_(objects_on_edge),
-      pool_(pool),
       options_(options) {
-  for (unsigned i = 0; i < pool_->num_threads(); ++i) {
-    refine_workspaces_.push_back(
-        std::make_unique<roadnet::BoundedDijkstra>(&grid_->graph()));
+  // One workspace up front: the common single-threaded case then never
+  // allocates on the query path, only recycles through the freelist.
+  free_workspaces_.push_back(
+      std::make_unique<QueryWorkspace>(&grid_->graph()));
+}
+
+std::unique_ptr<KnnEngine::QueryWorkspace> KnnEngine::AcquireWorkspace() {
+  {
+    std::lock_guard<std::mutex> lock(ws_mu_);
+    if (!free_workspaces_.empty()) {
+      std::unique_ptr<QueryWorkspace> ws = std::move(free_workspaces_.back());
+      free_workspaces_.pop_back();
+      return ws;
+    }
   }
-  local_id_of_vertex_.assign(grid_->graph().num_vertices(), 0);
-  local_id_epoch_.assign(grid_->graph().num_vertices(), 0);
-  seed_epoch_of_.assign(grid_->graph().num_vertices(), 0);
+  return std::make_unique<QueryWorkspace>(&grid_->graph());
+}
+
+void KnnEngine::ReleaseWorkspace(std::unique_ptr<QueryWorkspace> workspace) {
+  std::lock_guard<std::mutex> lock(ws_mu_);
+  free_workspaces_.push_back(std::move(workspace));
 }
 
 util::Status KnnEngine::ValidateLocation(EdgePoint location) const {
@@ -101,6 +114,9 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::Query(
   if (k == 0) return util::Status::InvalidArgument("k must be positive");
   GKNN_RETURN_NOT_OK(ValidateLocation(location));
 
+  WorkspaceLease lease(this);
+  QueryWorkspace& ws = *lease;
+
   KnnStats local_stats;
   KnnStats* st = stats != nullptr ? stats : &local_stats;
   obs::QueryTraceRecord record;
@@ -116,6 +132,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::Query(
   auto finish = [&](util::Result<std::vector<KnnResultEntry>> result) {
     total.Stop();
     if (trace != nullptr) {
+      st->query_id = record.query_id;
       record.ok = result.ok();
       record.results =
           result.ok() ? static_cast<uint32_t>(result->size()) : 0;
@@ -128,10 +145,10 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::Query(
 
   if (mode == ExecMode::kCpuOnly) {
     ++counters_.cpu_queries;
-    return finish(QueryCpu(location, k, t_now, st, trace));
+    return finish(QueryCpu(location, k, t_now, st, trace, ws));
   }
   util::Result<std::vector<KnnResultEntry>> result =
-      QueryGpu(location, k, t_now, st, trace);
+      QueryGpu(location, k, t_now, st, trace, ws);
   if (!result.ok() && gpusim::IsDeviceError(result.status())) {
     ++counters_.gpu_failures;
     if (trace != nullptr) ++record.fault_events;
@@ -140,7 +157,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::Query(
       // The re-run traces as one kFallback phase; its inner phases get a
       // null record so the fallback span alone accounts for the time.
       obs::Span fallback = PhaseSpan(trace, obs::Phase::kFallback);
-      result = QueryCpu(location, k, t_now, st, nullptr);
+      result = QueryCpu(location, k, t_now, st, nullptr, ws);
       fallback.Stop();
     }
   }
@@ -149,7 +166,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::Query(
 
 util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
     EdgePoint location, uint32_t k, double t_now, KnnStats* stats,
-    obs::QueryTraceRecord* trace) {
+    obs::QueryTraceRecord* trace, QueryWorkspace& ws) {
   const roadnet::Graph& graph = grid_->graph();
   const Edge& query_edge = graph.edge(location.edge);
 
@@ -223,15 +240,15 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
   for (CellId c : l_cells) grid_->AppendCellVertices(c, &region_vertices);
   st.candidate_vertices = static_cast<uint32_t>(region_vertices.size());
 
-  ++query_epoch_;
+  ++ws.query_epoch;
   for (uint32_t i = 0; i < region_vertices.size(); ++i) {
-    local_id_of_vertex_[region_vertices[i]] = i;
-    local_id_epoch_[region_vertices[i]] = query_epoch_;
+    ws.local_id_of_vertex[region_vertices[i]] = i;
+    ws.local_id_epoch[region_vertices[i]] = ws.query_epoch;
   }
   // Local id of a vertex, or kInvalidVertex when it is outside the region.
   auto local_of = [&](VertexId v) -> uint32_t {
-    return local_id_epoch_[v] == query_epoch_ ? local_id_of_vertex_[v]
-                                              : kInvalidVertex;
+    return ws.local_id_epoch[v] == ws.query_epoch ? ws.local_id_of_vertex[v]
+                                                  : kInvalidVertex;
   };
 
   GKNN_ASSIGN_OR_RETURN(auto device_dist,
@@ -315,11 +332,17 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
   };
 
   // Per-candidate distance entries, computed and selected on the device.
+  // Ties break by object id before buffer position, so the selected
+  // *objects* do not depend on the order cleaning emitted the candidates
+  // in — a concurrent run and its single-threaded replay pick the same
+  // winners.
   struct DistEntry {
     Distance distance = kInfiniteDistance;
+    ObjectId object = std::numeric_limits<ObjectId>::max();
     uint32_t index = std::numeric_limits<uint32_t>::max();
     bool operator<(const DistEntry& other) const {
       if (distance != other.distance) return distance < other.distance;
+      if (object != other.object) return object < other.object;
       return index < other.index;
     }
   };
@@ -334,10 +357,10 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
             ->Launch("GPU_First_k/distances",
                      static_cast<uint32_t>(candidates.size()),
                      [&](ThreadCtx& ctx) {
+                       const Message& m = candidates[ctx.thread_id];
                        device_entries.Store(
                            ctx, ctx.thread_id,
-                           DistEntry{object_distance(ctx,
-                                                     candidates[ctx.thread_id]),
+                           DistEntry{object_distance(ctx, m), m.object,
                                      ctx.thread_id});
                        ctx.CountOps(2);
                      })
@@ -412,70 +435,61 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
   }
   st.unresolved_vertices = static_cast<uint32_t>(unresolved.size());
   // Mark the seeds so the refinement prune below can recognize them.
-  ++seed_epoch_;
+  ++ws.seed_epoch;
   for (const auto& [v, dv] : unresolved) {
     (void)dv;
-    seed_epoch_of_[v] = seed_epoch_;
+    ws.seed_epoch_of[v] = ws.seed_epoch;
   }
   unresolved_span.Stop();
 
-  // ---- Step 3 (Alg. 6): Refine_kNN on CPU threads -------------------------
+  // ---- Step 3 (Alg. 6): Refine_kNN on the host ---------------------------
   obs::Span refine_span = PhaseSpan(trace, obs::Phase::kRefine);
-  std::vector<std::vector<KnnResultEntry>> refined_per_worker(
-      refine_workspaces_.size());
-  const uint32_t workers =
-      unresolved.empty()
-          ? 0
-          : static_cast<uint32_t>(refine_workspaces_.size());
-  for (uint32_t w = 0; w < workers; ++w) {
-    pool_->Submit([&, w] {
-      // Each worker runs one multi-source bounded Dijkstra over its share
-      // of the unresolved vertices, each seeded at its already-computed
-      // distance D[v]. This is equivalent to the paper's per-vertex
-      // searches of radius l - D[v] (both settle exactly the locations
-      // within absolute distance l through some unresolved vertex) but
-      // shares the work their overlapping ranges would repeat.
-      roadnet::BoundedDijkstra& search = *refine_workspaces_[w];
-      std::vector<KnnResultEntry>& found = refined_per_worker[w];
-      search.BeginSearch();
-      for (uint32_t i = w; i < unresolved.size(); i += workers) {
-        search.SeedMore(unresolved[i].first, unresolved[i].second);
-      }
-      // The search bound starts at l and tightens as refinement discovers
-      // closer objects: each worker tracks its own kth-best estimate over
-      // candidates + its finds.
-      KthBound bound(k);
-      for (const KnnResultEntry& c : candidate_topk) {
-        bound.Offer(c.object, c.distance);
-      }
-      auto radius = [&]() -> Distance { return bound.threshold(); };
-      search.SearchPrunedDynamic(radius, [&](VertexId x, Distance dx) {
-        for (EdgeId id : graph.OutEdgeIds(x)) {
-          auto it = objects_on_edge_->find(id);
-          if (it == objects_on_edge_->end()) continue;
-          for (ObjectId o : it->second) {
-            const ObjectTable::Entry* entry = object_table_->Find(o);
-            if (entry == nullptr || entry->edge != id) continue;
-            found.push_back(KnnResultEntry{o, dx + entry->offset});
-            bound.Offer(o, dx + entry->offset);
+  std::vector<KnnResultEntry> refined;
+  if (!unresolved.empty()) {
+    // One multi-source bounded Dijkstra over all unresolved vertices, each
+    // seeded at its already-computed distance D[v]. Equivalent to the
+    // paper's per-vertex searches of radius l - D[v] (both settle exactly
+    // the locations within absolute distance l through some unresolved
+    // vertex) but shares the work their overlapping ranges would repeat,
+    // and settles vertices in one deterministic priority order — so a
+    // concurrent run and its single-threaded replay find the same objects.
+    roadnet::BoundedDijkstra& search = ws.search;
+    search.BeginSearch();
+    for (const auto& [v, dv] : unresolved) search.SeedMore(v, dv);
+    // The search bound starts at l and tightens as refinement discovers
+    // closer objects: the running kth-best estimate over candidates +
+    // finds.
+    KthBound bound(k);
+    for (const KnnResultEntry& c : candidate_topk) {
+      bound.Offer(c.object, c.distance);
+    }
+    search.SearchPrunedDynamic(
+        [&]() -> Distance { return bound.threshold(); },
+        [&](VertexId x, Distance dx) {
+          for (EdgeId id : graph.OutEdgeIds(x)) {
+            auto it = objects_on_edge_->find(id);
+            if (it == objects_on_edge_->end()) continue;
+            for (ObjectId o : it->second) {
+              const ObjectTable::Entry* entry = object_table_->Find(o);
+              if (entry == nullptr || entry->edge != id) continue;
+              refined.push_back(KnnResultEntry{o, dx + entry->offset});
+              bound.Offer(o, dx + entry->offset);
+            }
           }
-        }
-        // Prune: a non-seed region vertex settled at >= its SDist label
-        // adds nothing — its in-region continuations were already relaxed
-        // by GPU_SDist, and any out-of-region edge would have made it an
-        // unresolved seed itself (or its label is >= l, beyond the
-        // radius). Seeds always expand: they are the gateways out of the
-        // region.
-        const uint32_t lx = local_of(x);
-        if (lx != kInvalidVertex && seed_epoch_of_[x] != seed_epoch_ &&
-            dx >= dist_span[lx]) {
-          return false;
-        }
-        return true;
-      });
-    });
+          // Prune: a non-seed region vertex settled at >= its SDist label
+          // adds nothing — its in-region continuations were already relaxed
+          // by GPU_SDist, and any out-of-region edge would have made it an
+          // unresolved seed itself (or its label is >= l, beyond the
+          // radius). Seeds always expand: they are the gateways out of the
+          // region.
+          const uint32_t lx = local_of(x);
+          if (lx != kInvalidVertex && ws.seed_epoch_of[x] != ws.seed_epoch &&
+              dx >= dist_span[lx]) {
+            return false;
+          }
+          return true;
+        });
   }
-  if (workers > 0) pool_->Wait();
   refine_span.Stop();
 
   // ---- Final merge ---------------------------------------------------------
@@ -489,14 +503,12 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
     if (!inserted) it->second = std::min(it->second, e.distance);
   }
   uint32_t refined_objects = 0;
-  for (const auto& worker_found : refined_per_worker) {
-    for (const KnnResultEntry& e : worker_found) {
-      auto [it, inserted] = best.emplace(e.object, e.distance);
-      if (inserted) {
-        ++refined_objects;
-      } else {
-        it->second = std::min(it->second, e.distance);
-      }
+  for (const KnnResultEntry& e : refined) {
+    auto [it, inserted] = best.emplace(e.object, e.distance);
+    if (inserted) {
+      ++refined_objects;
+    } else {
+      it->second = std::min(it->second, e.distance);
     }
   }
   st.refined_objects = refined_objects;
@@ -514,7 +526,9 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
   st.gpu_seconds = device_->ClockSeconds() - device_clock_before;
   // Host time excludes the wall clock the simulator spent executing
   // kernels functionally — that work runs on the device in a real
-  // deployment and is billed through gpu_seconds.
+  // deployment and is billed through gpu_seconds. Under concurrent
+  // queries the ledger and clock deltas fold in any overlapping query's
+  // device work; exact per-query attribution needs a quiesced device.
   st.cpu_seconds =
       std::max(0.0, cpu_timer.ElapsedSeconds() -
                         (device_->sim_wall_seconds() - sim_wall_before));
@@ -526,6 +540,9 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRange(
     EdgePoint location, Distance radius, double t_now, KnnStats* stats,
     ExecMode mode) {
   GKNN_RETURN_NOT_OK(ValidateLocation(location));
+
+  WorkspaceLease lease(this);
+  QueryWorkspace& ws = *lease;
 
   KnnStats local_stats;
   KnnStats* st = stats != nullptr ? stats : &local_stats;
@@ -542,6 +559,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRange(
   auto finish = [&](util::Result<std::vector<KnnResultEntry>> result) {
     total.Stop();
     if (trace != nullptr) {
+      st->query_id = record.query_id;
       record.ok = result.ok();
       record.results =
           result.ok() ? static_cast<uint32_t>(result->size()) : 0;
@@ -554,17 +572,17 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRange(
 
   if (mode == ExecMode::kCpuOnly) {
     ++counters_.cpu_queries;
-    return finish(QueryRangeCpu(location, radius, t_now, st, trace));
+    return finish(QueryRangeCpu(location, radius, t_now, st, trace, ws));
   }
   util::Result<std::vector<KnnResultEntry>> result =
-      QueryRangeGpu(location, radius, t_now, st, trace);
+      QueryRangeGpu(location, radius, t_now, st, trace, ws);
   if (!result.ok() && gpusim::IsDeviceError(result.status())) {
     ++counters_.gpu_failures;
     if (trace != nullptr) ++record.fault_events;
     if (mode == ExecMode::kAuto) {
       ++counters_.fallback_queries;
       obs::Span fallback = PhaseSpan(trace, obs::Phase::kFallback);
-      result = QueryRangeCpu(location, radius, t_now, st, nullptr);
+      result = QueryRangeCpu(location, radius, t_now, st, nullptr, ws);
       fallback.Stop();
     }
   }
@@ -573,7 +591,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRange(
 
 util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeGpu(
     EdgePoint location, Distance radius, double t_now, KnnStats* stats,
-    obs::QueryTraceRecord* trace) {
+    obs::QueryTraceRecord* trace, QueryWorkspace& ws) {
   const roadnet::Graph& graph = grid_->graph();
   const Edge& query_edge = graph.edge(location.edge);
 
@@ -622,14 +640,14 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeGpu(
   std::vector<VertexId> region_vertices;
   for (CellId c : l_cells) grid_->AppendCellVertices(c, &region_vertices);
   st.candidate_vertices = static_cast<uint32_t>(region_vertices.size());
-  ++query_epoch_;
+  ++ws.query_epoch;
   for (uint32_t i = 0; i < region_vertices.size(); ++i) {
-    local_id_of_vertex_[region_vertices[i]] = i;
-    local_id_epoch_[region_vertices[i]] = query_epoch_;
+    ws.local_id_of_vertex[region_vertices[i]] = i;
+    ws.local_id_epoch[region_vertices[i]] = ws.query_epoch;
   }
   auto local_of = [&](VertexId v) -> uint32_t {
-    return local_id_epoch_[v] == query_epoch_ ? local_id_of_vertex_[v]
-                                              : kInvalidVertex;
+    return ws.local_id_epoch[v] == ws.query_epoch ? ws.local_id_of_vertex[v]
+                                                  : kInvalidVertex;
   };
   GKNN_ASSIGN_OR_RETURN(auto device_dist,
                         DeviceBuffer<Distance>::Allocate(
@@ -721,15 +739,15 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeGpu(
     }
   }
   st.unresolved_vertices = static_cast<uint32_t>(unresolved.size());
-  ++seed_epoch_;
+  ++ws.seed_epoch;
   for (const auto& [v, dv] : unresolved) {
     (void)dv;
-    seed_epoch_of_[v] = seed_epoch_;
+    ws.seed_epoch_of[v] = ws.seed_epoch;
   }
   unresolved_span.Stop();
   obs::Span refine_span = PhaseSpan(trace, obs::Phase::kRefine);
   if (!unresolved.empty()) {
-    roadnet::BoundedDijkstra& search = *refine_workspaces_[0];
+    roadnet::BoundedDijkstra& search = ws.search;
     search.BeginSearch();
     for (const auto& [v, dv] : unresolved) search.SeedMore(v, dv);
     search.SearchPruned(radius, [&](VertexId x, Distance dx) {
@@ -748,7 +766,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeGpu(
         }
       }
       const uint32_t lx = local_of(x);
-      return !(lx != kInvalidVertex && seed_epoch_of_[x] != seed_epoch_ &&
+      return !(lx != kInvalidVertex && ws.seed_epoch_of[x] != ws.seed_epoch &&
                dx >= dist_span[lx]);
     });
   }
@@ -780,7 +798,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeGpu(
 
 util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryCpu(
     EdgePoint location, uint32_t k, double t_now, KnnStats* stats,
-    obs::QueryTraceRecord* trace) {
+    obs::QueryTraceRecord* trace, QueryWorkspace& ws) {
   const roadnet::Graph& graph = grid_->graph();
   const Edge& query_edge = graph.edge(location.edge);
   KnnStats local_stats;
@@ -837,7 +855,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryCpu(
   // is the running kth-best bound over distinct objects — it starts
   // unbounded (the whole network is in scope when fewer than k objects are
   // known) and shrinks as objects are discovered.
-  roadnet::BoundedDijkstra& search = *refine_workspaces_[0];
+  roadnet::BoundedDijkstra& search = ws.search;
   search.BeginSearch();
   search.SeedMore(query_edge.target, query_edge.weight - location.offset);
   search.SearchPrunedDynamic(
@@ -867,7 +885,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryCpu(
 
 util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeCpu(
     EdgePoint location, Distance radius, double t_now, KnnStats* stats,
-    obs::QueryTraceRecord* trace) {
+    obs::QueryTraceRecord* trace, QueryWorkspace& ws) {
   const roadnet::Graph& graph = grid_->graph();
   const Edge& query_edge = graph.edge(location.edge);
   KnnStats local_stats;
@@ -915,7 +933,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeCpu(
       }
     }
   }
-  roadnet::BoundedDijkstra& search = *refine_workspaces_[0];
+  roadnet::BoundedDijkstra& search = ws.search;
   search.BeginSearch();
   search.SeedMore(query_edge.target, query_edge.weight - location.offset);
   search.SearchPruned(radius, [&](VertexId x, Distance dx) {

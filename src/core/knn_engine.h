@@ -1,8 +1,10 @@
 #ifndef GKNN_CORE_KNN_ENGINE_H_
 #define GKNN_CORE_KNN_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -16,7 +18,6 @@
 #include "obs/trace.h"
 #include "roadnet/dijkstra.h"
 #include "util/result.h"
-#include "util/thread_pool.h"
 
 namespace gknn::core {
 
@@ -54,16 +55,22 @@ struct KnnStats {
   uint64_t h2d_bytes = 0;             // transfer volume for this query
   uint64_t d2h_bytes = 0;
   double transfer_seconds = 0;        // modeled PCIe time for this query
+  /// Trace id of this query (0 when the engine has no tracer). Concurrent
+  /// callers use it to find their own record in the trace ring.
+  uint64_t query_id = 0;
   /// True when the answer came from the CPU-only path (requested via
   /// ExecMode::kCpuOnly or after a device error under kAuto).
   bool cpu_fallback = false;
 };
 
-/// Cumulative degradation counters of one engine (never reset).
+/// Cumulative degradation counters of one engine (never reset). The fields
+/// are relaxed atomics so concurrent queries can bump them; read them
+/// individually — the set is only mutually consistent while no query is in
+/// flight.
 struct EngineCounters {
-  uint64_t gpu_failures = 0;      // GPU-path queries that hit a device error
-  uint64_t fallback_queries = 0;  // kAuto queries re-run on the CPU path
-  uint64_t cpu_queries = 0;       // queries explicitly requested as kCpuOnly
+  std::atomic<uint64_t> gpu_failures{0};  // GPU-path queries with device error
+  std::atomic<uint64_t> fallback_queries{0};  // kAuto re-runs on the CPU path
+  std::atomic<uint64_t> cpu_queries{0};  // queries requested as kCpuOnly
 };
 
 /// The CPU-GPU collaborative kNN processor (paper §V, Algorithm 4):
@@ -71,15 +78,23 @@ struct EngineCounters {
 /// objects, their message lists are GPU-cleaned, GPU_SDist computes
 /// subgraph shortest-path distances, GPU_First_k extracts candidates,
 /// GPU_Unresolved finds boundary vertices whose unresolved range could
-/// hide closer objects, and Refine_kNN settles those ranges with bounded
-/// Dijkstra searches on CPU threads (Algorithm 6).
+/// hide closer objects, and Refine_kNN settles those ranges with a bounded
+/// multi-source Dijkstra on the host (Algorithm 6).
+///
+/// Thread-safety (docs/CONCURRENCY.md): Query and QueryRange may be called
+/// from any number of threads concurrently, provided no thread mutates the
+/// index structures (message lists, object table, grid) at the same time —
+/// lazy message cleaning is the one mutation queries perform themselves,
+/// and MessageCleaner serializes it per cell. Each in-flight query checks
+/// out a private QueryWorkspace (scratch vectors + Dijkstra state) from an
+/// internal freelist, so queries share no mutable engine state beyond the
+/// atomic counters and the tracer.
 class KnnEngine {
  public:
   KnnEngine(gpusim::Device* device, const GraphGrid* grid,
             MessageCleaner* cleaner, BucketArena* arena,
             std::vector<MessageList>* lists, const ObjectTable* object_table,
-            const EdgeObjectMap* objects_on_edge, util::ThreadPool* pool,
-            const GGridOptions* options);
+            const EdgeObjectMap* objects_on_edge, const GGridOptions* options);
 
   /// Answers one snapshot kNN query at time `t_now`. Returns up to k
   /// entries sorted by ascending network distance (fewer when the whole
@@ -103,10 +118,50 @@ class KnnEngine {
 
   /// Attaches the observability tracer: every Query/QueryRange then emits
   /// a QueryTraceRecord with per-phase spans. Null (the default) disables
-  /// tracing entirely — the query path takes no clock reads.
+  /// tracing entirely — the query path takes no clock reads. Not
+  /// thread-safe against in-flight queries; set it during setup.
   void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
  private:
+  /// Everything one in-flight query mutates on the host: the bounded
+  /// Dijkstra used by refinement and the epoch-stamped vertex maps (dense
+  /// vertex -> local id of the SDist region; membership of the unresolved
+  /// seed set). Checked out of `free_workspaces_` for the duration of a
+  /// query so concurrent queries never share scratch state.
+  struct QueryWorkspace {
+    explicit QueryWorkspace(const roadnet::Graph* graph)
+        : search(graph),
+          local_id_of_vertex(graph->num_vertices(), 0),
+          local_id_epoch(graph->num_vertices(), 0),
+          seed_epoch_of(graph->num_vertices(), 0) {}
+
+    roadnet::BoundedDijkstra search;
+    std::vector<uint32_t> local_id_of_vertex;
+    std::vector<uint64_t> local_id_epoch;
+    uint64_t query_epoch = 0;
+    std::vector<uint64_t> seed_epoch_of;
+    uint64_t seed_epoch = 0;
+  };
+
+  /// RAII checkout of a QueryWorkspace; returns it to the freelist on
+  /// destruction.
+  class WorkspaceLease {
+   public:
+    explicit WorkspaceLease(KnnEngine* engine)
+        : engine_(engine), workspace_(engine->AcquireWorkspace()) {}
+    ~WorkspaceLease() { engine_->ReleaseWorkspace(std::move(workspace_)); }
+    WorkspaceLease(const WorkspaceLease&) = delete;
+    WorkspaceLease& operator=(const WorkspaceLease&) = delete;
+    QueryWorkspace& operator*() { return *workspace_; }
+
+   private:
+    KnnEngine* engine_;
+    std::unique_ptr<QueryWorkspace> workspace_;
+  };
+
+  std::unique_ptr<QueryWorkspace> AcquireWorkspace();
+  void ReleaseWorkspace(std::unique_ptr<QueryWorkspace> workspace);
+
   util::Status ValidateLocation(roadnet::EdgePoint location) const;
 
   /// A span over `phase` charging into `trace`; a no-op span when the
@@ -122,19 +177,19 @@ class KnnEngine {
   /// CPU refinement). Any device error aborts the query and propagates.
   util::Result<std::vector<KnnResultEntry>> QueryGpu(
       roadnet::EdgePoint location, uint32_t k, double t_now, KnnStats* stats,
-      obs::QueryTraceRecord* trace);
+      obs::QueryTraceRecord* trace, QueryWorkspace& ws);
   /// Exact host-only execution: CleanCpu over the query's cells, then one
   /// bounded Dijkstra from the query point over the eagerly maintained
   /// object table, its radius shrinking with the running kth-best bound.
   util::Result<std::vector<KnnResultEntry>> QueryCpu(
       roadnet::EdgePoint location, uint32_t k, double t_now, KnnStats* stats,
-      obs::QueryTraceRecord* trace);
+      obs::QueryTraceRecord* trace, QueryWorkspace& ws);
   util::Result<std::vector<KnnResultEntry>> QueryRangeGpu(
       roadnet::EdgePoint location, roadnet::Distance radius, double t_now,
-      KnnStats* stats, obs::QueryTraceRecord* trace);
+      KnnStats* stats, obs::QueryTraceRecord* trace, QueryWorkspace& ws);
   util::Result<std::vector<KnnResultEntry>> QueryRangeCpu(
       roadnet::EdgePoint location, roadnet::Distance radius, double t_now,
-      KnnStats* stats, obs::QueryTraceRecord* trace);
+      KnnStats* stats, obs::QueryTraceRecord* trace, QueryWorkspace& ws);
   gpusim::Device* device_;
   const GraphGrid* grid_;
   MessageCleaner* cleaner_;
@@ -142,21 +197,12 @@ class KnnEngine {
   std::vector<MessageList>* lists_;
   const ObjectTable* object_table_;
   const EdgeObjectMap* objects_on_edge_;
-  util::ThreadPool* pool_;
   const GGridOptions* options_;
 
-  /// One bounded-Dijkstra workspace per CPU worker, reused across queries.
-  std::vector<std::unique_ptr<roadnet::BoundedDijkstra>> refine_workspaces_;
-
-  /// Dense vertex -> local-id map for the SDist region, epoch-stamped so
-  /// it resets in O(1) between queries.
-  std::vector<uint32_t> local_id_of_vertex_;
-  std::vector<uint64_t> local_id_epoch_;
-  uint64_t query_epoch_ = 0;
-
-  /// Epoch-stamped membership of the current query's unresolved set.
-  std::vector<uint64_t> seed_epoch_of_;
-  uint64_t seed_epoch_ = 0;
+  /// Freelist of reusable query workspaces; grows to the high-water mark
+  /// of concurrent queries. Guarded by ws_mu_.
+  std::mutex ws_mu_;
+  std::vector<std::unique_ptr<QueryWorkspace>> free_workspaces_;
 
   EngineCounters counters_;
 

@@ -58,8 +58,33 @@ void MessageCleaner::RecordOutcome(const Outcome& outcome, bool on_device) {
     messages_deduped_total_->Add(outcome.messages_shipped -
                                  outcome.latest.size());
   }
-  (on_device ? clean_batches_total_ : clean_cpu_batches_total_)->Increment();
-  pipeline_seconds_->Observe(outcome.pipeline_seconds);
+  // A batch counts only when it performed compaction work. Batches fully
+  // answered from compacted lists (the double-checked skip under the clean
+  // stripe locks) are visible through cells_served_compacted instead —
+  // this is what lets the clean-once property test assert "exactly one
+  // batch per dirty epoch" no matter how many readers race.
+  if (outcome.buckets_shipped > 0 || outcome.buckets_expired > 0) {
+    (on_device ? clean_batches_total_ : clean_cpu_batches_total_)
+        ->Increment();
+    pipeline_seconds_->Observe(outcome.pipeline_seconds);
+  }
+}
+
+std::vector<std::unique_lock<std::mutex>> MessageCleaner::LockCellStripes(
+    std::span<const CellId> cells) {
+  // Ascending, deduplicated stripe order makes concurrent batches with
+  // overlapping stripe sets acquire in one global order: no deadlock.
+  std::vector<size_t> stripes;
+  stripes.reserve(cells.size());
+  for (CellId cell : cells) stripes.push_back(cell % kCleanStripes);
+  std::sort(stripes.begin(), stripes.end());
+  stripes.erase(std::unique(stripes.begin(), stripes.end()), stripes.end());
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(stripes.size());
+  for (size_t stripe : stripes) {
+    locks.emplace_back(clean_stripes_[stripe]);
+  }
+  return locks;
 }
 
 util::Status MessageCleaner::EnsureCapacity(DeviceBuffer<Message>* buffer,
@@ -426,6 +451,10 @@ void MessageCleaner::Rollback(const Plan& plan, BucketArena* arena,
 util::Result<MessageCleaner::Outcome> MessageCleaner::Clean(
     std::span<const CellId> cells, double t_now, BucketArena* arena,
     std::vector<MessageList>* lists) {
+  // Held through commit/rollback: a racing batch on an overlapping stripe
+  // waits here, then finds the cells compacted inside its own Preprocess
+  // (the double-checked skip) and does no duplicate work.
+  const auto stripe_locks = LockCellStripes(cells);
   Plan plan = Preprocess(cells, t_now, arena, lists);
   if (plan.host_buckets.empty()) {
     // Nothing to ship (only expired buckets, compacted serves, or empty
@@ -434,7 +463,12 @@ util::Result<MessageCleaner::Outcome> MessageCleaner::Clean(
     RecordOutcome(plan.outcome, /*on_device=*/true);
     return std::move(plan.outcome);
   }
-  util::Result<std::vector<Message>> table_r = CompactOnDevice(&plan);
+  // The staging buffers (L.A, T, R) persist across batches; batches over
+  // disjoint cells still serialize their device phase.
+  util::Result<std::vector<Message>> table_r = [&] {
+    std::lock_guard<std::mutex> device_lock(device_mu_);
+    return CompactOnDevice(&plan);
+  }();
   if (!table_r.ok()) {
     Rollback(plan, arena, lists);
     if (rollbacks_total_ != nullptr) rollbacks_total_->Increment();
@@ -448,6 +482,7 @@ util::Result<MessageCleaner::Outcome> MessageCleaner::Clean(
 util::Result<MessageCleaner::Outcome> MessageCleaner::CleanCpu(
     std::span<const CellId> cells, double t_now, BucketArena* arena,
     std::vector<MessageList>* lists) {
+  const auto stripe_locks = LockCellStripes(cells);
   Plan plan = Preprocess(cells, t_now, arena, lists);
   Commit(&plan, CompactOnHost(plan), arena, lists);
   RecordOutcome(plan.outcome, /*on_device=*/false);

@@ -1,7 +1,9 @@
 #ifndef GKNN_CORE_MESSAGE_CLEANER_H_
 #define GKNN_CORE_MESSAGE_CLEANER_H_
 
+#include <array>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -29,6 +31,17 @@ namespace gknn::core {
 ///     table R — and copies R back to the host;
 ///  5. replaces each cleaned list's locked prefix with its compacted
 ///     messages (one latest message per object still in the cell).
+///
+/// Thread-safety (docs/CONCURRENCY.md): Clean/CleanCpu may be called from
+/// concurrent query threads. Each batch first acquires the clean stripe
+/// locks covering its cells, in ascending stripe order (deadlock-free),
+/// and holds them through commit or rollback, so two batches over
+/// disjoint stripes proceed in parallel while two racing on one cell
+/// serialize — the loser then finds the cell already compacted inside
+/// Preprocess (the double-checked skip) and serves it from the host
+/// without duplicating the clean. The device phase additionally
+/// serializes on an internal mutex because the staging buffers (L.A, T,
+/// R) persist across batches.
 class MessageCleaner {
  public:
   struct Options {
@@ -72,6 +85,11 @@ class MessageCleaner {
   /// Cleans the message lists of `cells` in one batch. Cells whose list is
   /// already locked are skipped (paper: "if the two pointers are pointing
   /// to different buckets, we can skip L safely").
+  ///
+  /// `gknn_clean_batches_total` counts only batches that performed
+  /// compaction work (shipped or expired at least one bucket); a batch
+  /// fully served from compacted lists does not increment it, which is
+  /// what makes "exactly one clean per dirty epoch" observable.
   ///
   /// Transactional: a device error (injected fault, memory exhaustion)
   /// rolls every touched list back to exactly its pre-clean state — no
@@ -143,9 +161,24 @@ class MessageCleaner {
   /// Folds one finished batch into the registry (no-op without one).
   void RecordOutcome(const Outcome& outcome, bool on_device);
 
+  /// Locks the clean stripes covering `cells` in ascending stripe order
+  /// and returns the held locks (released when the vector is destroyed).
+  std::vector<std::unique_lock<std::mutex>> LockCellStripes(
+      std::span<const CellId> cells);
+
   gpusim::Device* device_;
   Options options_;
   uint32_t mu_;  // mu(eta), precomputed
+
+  /// Striped per-cell clean locks: stripe = cell % kCleanStripes. Held
+  /// from Preprocess through Commit/Rollback so a cell is cleaned exactly
+  /// once per dirty epoch even under racing readers.
+  static constexpr size_t kCleanStripes = 64;
+  mutable std::array<std::mutex, kCleanStripes> clean_stripes_;
+
+  /// Serializes the device phase: the staging buffers below are reused
+  /// across batches and must not see two batches at once.
+  std::mutex device_mu_;
 
   // Observability handles, resolved once in SetMetricRegistry. All null
   // until then.

@@ -3,7 +3,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <deque>
 #include <limits>
+#include <mutex>
 #include <vector>
 
 #include "core/types.h"
@@ -26,6 +28,17 @@ struct Bucket {
 /// Pool allocator for buckets. Buckets are recycled rather than freed so
 /// steady-state update ingestion performs no heap allocation, and so the
 /// index can report its message-list memory exactly (Fig. 6).
+///
+/// Thread-safety: Alloc/Free are internally synchronized so concurrent
+/// cleaning passes over disjoint cells (docs/CONCURRENCY.md) can allocate
+/// simultaneously. Storage is a deque, never a vector: growth must not
+/// relocate existing buckets, because another thread may be holding a
+/// `bucket(id)` reference into the pool while this thread allocates.
+/// Bucket *contents* are not protected here — a bucket belongs to exactly
+/// one cell's list, and the owning cell's clean stripe lock (or the
+/// server's exclusive update lock) serializes access to it. MemoryBytes
+/// reads bucket capacities and must only run while list mutations are
+/// excluded (the server snapshots hold the exclusive lock).
 class BucketArena {
  public:
   explicit BucketArena(uint32_t delta_b) : delta_b_(delta_b) {}
@@ -38,13 +51,18 @@ class BucketArena {
   /// cached messages, O(f_Delta * |O|), not reserved slots).
   uint32_t Alloc() {
     uint32_t id;
-    if (!free_list_.empty()) {
-      id = free_list_.back();
-      free_list_.pop_back();
-    } else {
-      id = static_cast<uint32_t>(buckets_.size());
-      buckets_.emplace_back();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_list_.empty()) {
+        id = free_list_.back();
+        free_list_.pop_back();
+      } else {
+        id = static_cast<uint32_t>(buckets_.size());
+        buckets_.emplace_back();
+      }
     }
+    // The slot is now exclusively ours: resetting it needs no lock, and
+    // deque references stay valid while other threads allocate.
     Bucket& b = buckets_[id];
     b.messages.clear();
     b.latest_time = 0;
@@ -52,18 +70,27 @@ class BucketArena {
     return id;
   }
 
-  void Free(uint32_t id) { free_list_.push_back(id); }
+  void Free(uint32_t id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_list_.push_back(id);
+  }
 
   Bucket& bucket(uint32_t id) { return buckets_[id]; }
   const Bucket& bucket(uint32_t id) const { return buckets_[id]; }
 
   uint32_t num_buckets() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return static_cast<uint32_t>(buckets_.size());
   }
-  uint32_t num_free() const { return static_cast<uint32_t>(free_list_.size()); }
+  uint32_t num_free() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<uint32_t>(free_list_.size());
+  }
 
-  /// Bytes held by all buckets (live and pooled).
+  /// Bytes held by all buckets (live and pooled). Requires mutation
+  /// quiescence (see class comment).
   uint64_t MemoryBytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
     uint64_t bytes = buckets_.size() * sizeof(Bucket) +
                      free_list_.size() * sizeof(uint32_t);
     for (const Bucket& b : buckets_) {
@@ -74,7 +101,8 @@ class BucketArena {
 
  private:
   uint32_t delta_b_;
-  std::vector<Bucket> buckets_;
+  mutable std::mutex mu_;
+  std::deque<Bucket> buckets_;
   std::vector<uint32_t> free_list_;
 };
 
@@ -82,6 +110,10 @@ class BucketArena {
 /// (p_h), tail (p_t), and lock (p_l) pointers. Buckets strictly before p_l
 /// are locked for GPU cleaning; new messages keep appending at the tail,
 /// which is at or after p_l.
+///
+/// Not internally synchronized: a list is protected by its cell's clean
+/// stripe lock in MessageCleaner, or by the server's exclusive update
+/// lock for Append (docs/CONCURRENCY.md).
 class MessageList {
  public:
   bool empty() const { return head_ == kInvalidBucket; }

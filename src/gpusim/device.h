@@ -1,9 +1,11 @@
 #ifndef GKNN_GPUSIM_DEVICE_H_
 #define GKNN_GPUSIM_DEVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -51,8 +53,22 @@ struct KernelStats {
 /// functionally on the host (producing bit-exact results) while their
 /// device-side duration is charged to the clock according to DeviceConfig.
 ///
-/// Thread-safety: a Device is confined to one host thread, like a CUDA
-/// context used without streams from multiple threads.
+/// Thread-safety: the Device is internally synchronized, like a CUDA
+/// context used from multiple host threads with per-thread streams.
+/// Launches, transfers, allocations, and the fault schedule may race
+/// freely; the modeled clock, the transfer ledger, and every counter stay
+/// consistent. Two things become approximate when launches overlap
+/// (docs/CONCURRENCY.md):
+///   - per-launch hazard attribution (KernelStats::hazards may include
+///     hazards another thread's concurrent kernel recorded, and the sync
+///     epoch advances globally, so cross-iteration conflicts in a kernel
+///     that overlaps another thread's Sync can be missed — never falsely
+///     reported, because shadow memory is per buffer and buffers are not
+///     shared across concurrent launches);
+///   - clock deltas observed around a launch include every other thread's
+///     concurrent device work (one global device timeline).
+/// DeviceBuffers themselves are not shareable across concurrent kernels;
+/// each concurrent query works on buffers it owns.
 class Device {
  public:
   explicit Device(DeviceConfig config = DeviceConfig{})
@@ -78,6 +94,8 @@ class Device {
 
   // --- Fault injection ------------------------------------------------------
 
+  /// Direct injector access for tests and the CLI. Reading counters while
+  /// other threads drive the device is racy; quiesce (join workers) first.
   FaultInjector& fault_injector() { return faults_; }
   const FaultInjector& fault_injector() const { return faults_; }
 
@@ -85,20 +103,24 @@ class Device {
   /// spec disarms injection. InvalidArgument on grammar errors, in which
   /// case the current schedule is kept.
   util::Status SetFaultSpec(std::string_view spec) {
-    GKNN_ASSIGN_OR_RETURN(faults_,
+    GKNN_ASSIGN_OR_RETURN(FaultInjector parsed,
                           FaultInjector::Parse(spec, config_.fault_seed));
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    faults_ = std::move(parsed);
     return util::Status::OK();
   }
 
   /// Consulted by every launch path before the kernel body runs: an
   /// injected kernel fault means nothing executed (a failed launch).
   util::Status CheckKernelFault(std::string_view label) {
+    std::lock_guard<std::mutex> lock(fault_mu_);
     return faults_.Check(FaultSite::kKernel, label);
   }
 
   /// Consulted by every transfer path *before* bytes move, so a failed
   /// copy leaves both sides untouched.
   util::Status CheckTransferFault(std::string_view what) {
+    std::lock_guard<std::mutex> lock(fault_mu_);
     return faults_.Check(FaultSite::kTransfer, what);
   }
 
@@ -107,38 +129,61 @@ class Device {
   /// Reserves `bytes` of device memory; fails with ResourceExhausted when
   /// the configured capacity would be exceeded (used by DeviceBuffer).
   util::Status RegisterAlloc(uint64_t bytes) {
-    GKNN_RETURN_NOT_OK(faults_.Check(
-        FaultSite::kAlloc, std::to_string(bytes) + " bytes"));
-    if (bytes_allocated_ + bytes > config_.memory_bytes) {
-      return util::Status::ResourceExhausted(
-          "device memory exhausted: " + std::to_string(bytes_allocated_) +
-          " + " + std::to_string(bytes) + " > " +
-          std::to_string(config_.memory_bytes));
+    {
+      std::lock_guard<std::mutex> lock(fault_mu_);
+      GKNN_RETURN_NOT_OK(faults_.Check(
+          FaultSite::kAlloc, std::to_string(bytes) + " bytes"));
     }
-    bytes_allocated_ += bytes;
-    if (bytes_allocated_ > peak_bytes_) peak_bytes_ = bytes_allocated_;
+    // Reserve with a CAS loop so concurrent allocations never oversubscribe
+    // the configured capacity.
+    uint64_t current = bytes_allocated_.load(std::memory_order_relaxed);
+    do {
+      if (current + bytes > config_.memory_bytes) {
+        return util::Status::ResourceExhausted(
+            "device memory exhausted: " + std::to_string(current) + " + " +
+            std::to_string(bytes) + " > " +
+            std::to_string(config_.memory_bytes));
+      }
+    } while (!bytes_allocated_.compare_exchange_weak(
+        current, current + bytes, std::memory_order_relaxed));
+    const uint64_t now_allocated = current + bytes;
+    uint64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+    while (now_allocated > peak &&
+           !peak_bytes_.compare_exchange_weak(peak, now_allocated,
+                                              std::memory_order_relaxed)) {
+    }
     return util::Status::OK();
   }
 
   void RegisterFree(uint64_t bytes) {
-    GKNN_DCHECK(bytes <= bytes_allocated_);
-    bytes_allocated_ -= bytes;
+    GKNN_DCHECK(bytes <= bytes_allocated_.load(std::memory_order_relaxed));
+    bytes_allocated_.fetch_sub(bytes, std::memory_order_relaxed);
   }
 
-  uint64_t bytes_allocated() const { return bytes_allocated_; }
-  uint64_t peak_bytes() const { return peak_bytes_; }
+  uint64_t bytes_allocated() const {
+    return bytes_allocated_.load(std::memory_order_relaxed);
+  }
+  uint64_t peak_bytes() const {
+    return peak_bytes_.load(std::memory_order_relaxed);
+  }
 
   // --- Modeled clock --------------------------------------------------------
 
   /// Adds modeled device-busy time (kernels and synchronous transfers).
-  void AdvanceClock(double seconds) { clock_seconds_ += seconds; }
+  /// `seconds` may be negative (Stream::MoveKernelToStream re-books a
+  /// kernel from the synchronous timeline onto a stream).
+  void AdvanceClock(double seconds) { AtomicAdd(&clock_seconds_, seconds); }
 
   /// Total modeled device time since construction / ResetClock.
-  double ClockSeconds() const { return clock_seconds_; }
+  double ClockSeconds() const {
+    return clock_seconds_.load(std::memory_order_relaxed);
+  }
 
-  void ResetClock() { clock_seconds_ = 0; }
+  void ResetClock() { clock_seconds_.store(0, std::memory_order_relaxed); }
 
-  uint64_t kernel_launches() const { return kernel_launches_; }
+  uint64_t kernel_launches() const {
+    return kernel_launches_.load(std::memory_order_relaxed);
+  }
 
   /// Accumulated launch statistics per kernel label, for the observability
   /// registry's `gknn_kernel_*{kernel="..."}` gauges.
@@ -148,8 +193,10 @@ class Device {
     double modeled_seconds = 0;
   };
 
-  const std::map<std::string, KernelTotals, std::less<>>& kernel_totals()
-      const {
+  /// Per-kernel launch totals, copied under the device's stats lock so the
+  /// caller gets a consistent snapshot even while launches race.
+  std::map<std::string, KernelTotals, std::less<>> kernel_totals() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
     return kernel_totals_;
   }
 
@@ -157,9 +204,13 @@ class Device {
   /// itself). A real deployment runs this work on the device, so callers
   /// that measure their own CPU time subtract the delta of this counter to
   /// avoid billing simulation overhead as host work.
-  double sim_wall_seconds() const { return sim_wall_seconds_; }
+  double sim_wall_seconds() const {
+    return sim_wall_seconds_.load(std::memory_order_relaxed);
+  }
 
-  void AddSimWallSeconds(double seconds) { sim_wall_seconds_ += seconds; }
+  void AddSimWallSeconds(double seconds) {
+    AtomicAdd(&sim_wall_seconds_, seconds);
+  }
 
   // --- Hazard checking ------------------------------------------------------
 
@@ -171,35 +222,42 @@ class Device {
   /// explicit Sync() separates epochs — mirroring CUDA's happens-before
   /// edges (kernel launches on one stream are ordered; __syncthreads()
   /// orders accesses within a kernel).
-  uint64_t epoch() const { return epoch_; }
+  uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
 
   /// Advances the sync epoch, like cudaDeviceSynchronize: every access
   /// before the call happens-before every access after it.
-  void Sync() { ++epoch_; }
+  void Sync() { epoch_.fetch_add(1, std::memory_order_relaxed); }
 
   /// Marks the start of a labeled kernel so hazard reports can name it.
   /// Launch/LaunchIterative/LaunchWarps call this; kernels built from raw
-  /// loops may call it directly.
+  /// loops may call it directly. The label and the hazard baseline are
+  /// per host thread, so concurrent launches each report their own kernel
+  /// name.
   void BeginKernel(std::string_view label) {
-    current_kernel_ = label;
-    launch_hazard_base_ = hazard_count_;
+    CurrentKernelLabel() = std::string(label);
+    LaunchHazardBase() = hazard_count_.load(std::memory_order_relaxed);
   }
 
-  /// Hazards recorded since the matching BeginKernel.
+  /// Hazards recorded since the matching BeginKernel on this thread. When
+  /// other threads' kernels overlap, their hazards are included (the
+  /// counter is device-global).
   uint32_t KernelHazards() const {
-    return static_cast<uint32_t>(hazard_count_ - launch_hazard_base_);
+    return static_cast<uint32_t>(
+        hazard_count_.load(std::memory_order_relaxed) - LaunchHazardBase());
   }
 
   /// Called by DeviceBuffer's checked accessors: records the access in the
   /// buffer's shadow and files a HazardRecord on conflict.
   void RecordAccess(ShadowMemory* shadow, std::string_view buffer_name,
                     size_t index, uint32_t owner, AccessType type) {
-    auto prior = shadow->Record(index, epoch_, owner, type);
+    auto prior = shadow->Record(index, epoch_.load(std::memory_order_relaxed),
+                                owner, type);
     if (!prior) return;
-    ++hazard_count_;
+    hazard_count_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(stats_mu_);
     if (hazards_.size() < config_.max_hazard_records) {
       HazardRecord record;
-      record.kernel = current_kernel_;
+      record.kernel = CurrentKernelLabel();
       record.buffer = std::string(buffer_name);
       record.element = index;
       record.first_owner = prior->owner;
@@ -214,24 +272,31 @@ class Device {
   }
 
   /// Total hazards detected since construction / ClearHazards.
-  uint64_t hazard_count() const { return hazard_count_; }
+  uint64_t hazard_count() const {
+    return hazard_count_.load(std::memory_order_relaxed);
+  }
 
-  /// The recorded hazards (capped at config().max_hazard_records).
+  /// The recorded hazards (capped at config().max_hazard_records). Only
+  /// stable while no kernel is in flight; quiesce before iterating.
   const std::vector<HazardRecord>& hazards() const { return hazards_; }
 
   void ClearHazards() {
+    std::lock_guard<std::mutex> lock(stats_mu_);
     hazards_.clear();
-    hazard_count_ = 0;
-    launch_hazard_base_ = 0;
+    hazard_count_.store(0, std::memory_order_relaxed);
+    LaunchHazardBase() = 0;
   }
 
   /// OK when no hazard has been detected; otherwise an Internal error
   /// carrying the first hazard and the total count.
   util::Status HazardStatus() const {
-    if (hazard_count_ == 0) return util::Status::OK();
+    if (hazard_count() == 0) return util::Status::OK();
+    std::lock_guard<std::mutex> lock(stats_mu_);
     return util::Status::Internal(
-        std::to_string(hazard_count_) + " data hazard(s), first: " +
-        hazards_.front().ToString());
+        std::to_string(hazard_count_.load(std::memory_order_relaxed)) +
+        " data hazard(s), first: " +
+        (hazards_.empty() ? std::string("<record cap reached>")
+                          : hazards_.front().ToString()));
   }
 
   // --- Kernel launches ------------------------------------------------------
@@ -257,7 +322,7 @@ class Device {
       stats.total_ops += ctx.ops;
       if (ctx.ops > stats.max_thread_ops) stats.max_thread_ops = ctx.ops;
     }
-    FinishLaunch(&stats, n_threads, /*sync_points=*/0);
+    FinishLaunch(label, &stats, n_threads, /*sync_points=*/0);
     AddSimWallSeconds(std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - wall_start)
                           .count());
@@ -305,7 +370,7 @@ class Device {
       Sync();  // the device-wide barrier between iterations
       if (stop_when_stable && !any_changed) break;
     }
-    FinishLaunch(&stats, n_threads, /*sync_points=*/stats.iterations,
+    FinishLaunch(label, &stats, n_threads, /*sync_points=*/stats.iterations,
                  /*synced=*/true);
     AddSimWallSeconds(std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - wall_start)
@@ -323,17 +388,38 @@ class Device {
 
   /// Closes a launch executed outside Launch/LaunchIterative (LaunchWarps):
   /// stamps the hazard counter into `stats`, advances the epoch (kernel
-  /// boundary), and counts the launch.
-  void FinishExternalLaunch(KernelStats* stats) {
+  /// boundary), and counts the launch under `label`.
+  void FinishExternalLaunch(std::string_view label, KernelStats* stats) {
     stats->hazards = KernelHazards();
     Sync();
-    ++kernel_launches_;
-    AccumulateKernelTotals(*stats);
+    kernel_launches_.fetch_add(1, std::memory_order_relaxed);
+    AccumulateKernelTotals(label, *stats);
   }
 
  private:
-  void FinishLaunch(KernelStats* stats, uint32_t n_threads,
-                    uint32_t sync_points, bool synced = false) {
+  /// Relaxed atomic add for doubles via CAS (fetch_add on atomic<double>
+  /// is C++20; the CAS loop is portable across toolchains).
+  static void AtomicAdd(std::atomic<double>* target, double value) {
+    double current = target->load(std::memory_order_relaxed);
+    while (!target->compare_exchange_weak(current, current + value,
+                                          std::memory_order_relaxed)) {
+    }
+  }
+
+  // The kernel label and hazard baseline belong to the host thread driving
+  // the launch: concurrent launches each attribute their own reports.
+  static std::string& CurrentKernelLabel() {
+    static thread_local std::string label;
+    return label;
+  }
+  static uint64_t& LaunchHazardBase() {
+    static thread_local uint64_t base = 0;
+    return base;
+  }
+
+  void FinishLaunch(std::string_view label, KernelStats* stats,
+                    uint32_t n_threads, uint32_t sync_points,
+                    bool synced = false) {
     const uint32_t cores = config_.num_cores;
     const uint64_t waves =
         n_threads == 0 ? 1 : (n_threads + cores - 1) / cores;
@@ -345,12 +431,18 @@ class Device {
     stats->hazards = KernelHazards();
     if (!synced) Sync();  // implicit barrier at the kernel boundary
     AdvanceClock(stats->modeled_seconds);
-    ++kernel_launches_;
-    AccumulateKernelTotals(*stats);
+    kernel_launches_.fetch_add(1, std::memory_order_relaxed);
+    AccumulateKernelTotals(label, *stats);
   }
 
-  void AccumulateKernelTotals(const KernelStats& stats) {
-    KernelTotals& totals = kernel_totals_[current_kernel_];
+  void AccumulateKernelTotals(std::string_view label,
+                              const KernelStats& stats) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    auto it = kernel_totals_.find(label);
+    if (it == kernel_totals_.end()) {
+      it = kernel_totals_.emplace(std::string(label), KernelTotals{}).first;
+    }
+    KernelTotals& totals = it->second;
     ++totals.launches;
     totals.iterations += stats.iterations;
     totals.modeled_seconds += stats.modeled_seconds;
@@ -358,21 +450,22 @@ class Device {
 
   DeviceConfig config_;
   TransferLedger ledger_;
-  uint64_t bytes_allocated_ = 0;
-  uint64_t peak_bytes_ = 0;
-  uint64_t kernel_launches_ = 0;
-  double clock_seconds_ = 0;
-  double sim_wall_seconds_ = 0;
+  std::atomic<uint64_t> bytes_allocated_{0};
+  std::atomic<uint64_t> peak_bytes_{0};
+  std::atomic<uint64_t> kernel_launches_{0};
+  std::atomic<double> clock_seconds_{0};
+  std::atomic<double> sim_wall_seconds_{0};
 
+  // Serializes fault-schedule consultation (the injector's rule counters
+  // and seeded RNG are stateful).
+  std::mutex fault_mu_;
   FaultInjector faults_;
 
   // Hazard-detector state (see docs/HAZARD_CHECKER.md).
-  uint64_t epoch_ = 1;  // 0 is "never accessed" in shadow cells
-  uint64_t hazard_count_ = 0;
-  uint64_t launch_hazard_base_ = 0;
-  std::string current_kernel_;
+  std::atomic<uint64_t> epoch_{1};  // 0 is "never accessed" in shadow cells
+  std::atomic<uint64_t> hazard_count_{0};
+  mutable std::mutex stats_mu_;  // guards hazards_ and kernel_totals_
   std::vector<HazardRecord> hazards_;
-
   std::map<std::string, KernelTotals, std::less<>> kernel_totals_;
 };
 

@@ -1,6 +1,7 @@
 #ifndef GKNN_GPUSIM_TRANSFER_LEDGER_H_
 #define GKNN_GPUSIM_TRANSFER_LEDGER_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "gpusim/device_config.h"
@@ -10,6 +11,11 @@ namespace gknn::gpusim {
 /// Records every host<->device copy made through a Device, with the modeled
 /// PCIe time of each. Figure 10(c)/(d) of the paper ("DRAM-GPU transfer
 /// costs") are regenerated directly from this ledger.
+///
+/// Thread-safe: concurrent queries each run their own transfers, so the
+/// tallies are relaxed atomics and totals() returns a value snapshot (each
+/// field individually exact; the set is only mutually consistent when no
+/// transfer is in flight).
 class TransferLedger {
  public:
   struct Totals {
@@ -29,9 +35,9 @@ class TransferLedger {
     const double seconds = config.transfer_latency_seconds +
                            static_cast<double>(bytes) /
                                config.h2d_bytes_per_second;
-    totals_.h2d_bytes += bytes;
-    totals_.h2d_count += 1;
-    totals_.h2d_seconds += seconds;
+    h2d_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    h2d_count_.fetch_add(1, std::memory_order_relaxed);
+    AtomicAdd(&h2d_seconds_, seconds);
     return seconds;
   }
 
@@ -40,17 +46,46 @@ class TransferLedger {
     const double seconds = config.transfer_latency_seconds +
                            static_cast<double>(bytes) /
                                config.d2h_bytes_per_second;
-    totals_.d2h_bytes += bytes;
-    totals_.d2h_count += 1;
-    totals_.d2h_seconds += seconds;
+    d2h_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    d2h_count_.fetch_add(1, std::memory_order_relaxed);
+    AtomicAdd(&d2h_seconds_, seconds);
     return seconds;
   }
 
-  const Totals& totals() const { return totals_; }
-  void Reset() { totals_ = Totals{}; }
+  Totals totals() const {
+    Totals t;
+    t.h2d_bytes = h2d_bytes_.load(std::memory_order_relaxed);
+    t.d2h_bytes = d2h_bytes_.load(std::memory_order_relaxed);
+    t.h2d_count = h2d_count_.load(std::memory_order_relaxed);
+    t.d2h_count = d2h_count_.load(std::memory_order_relaxed);
+    t.h2d_seconds = h2d_seconds_.load(std::memory_order_relaxed);
+    t.d2h_seconds = d2h_seconds_.load(std::memory_order_relaxed);
+    return t;
+  }
+
+  void Reset() {
+    h2d_bytes_.store(0, std::memory_order_relaxed);
+    d2h_bytes_.store(0, std::memory_order_relaxed);
+    h2d_count_.store(0, std::memory_order_relaxed);
+    d2h_count_.store(0, std::memory_order_relaxed);
+    h2d_seconds_.store(0, std::memory_order_relaxed);
+    d2h_seconds_.store(0, std::memory_order_relaxed);
+  }
 
  private:
-  Totals totals_;
+  static void AtomicAdd(std::atomic<double>* target, double value) {
+    double current = target->load(std::memory_order_relaxed);
+    while (!target->compare_exchange_weak(current, current + value,
+                                          std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<uint64_t> h2d_bytes_{0};
+  std::atomic<uint64_t> d2h_bytes_{0};
+  std::atomic<uint64_t> h2d_count_{0};
+  std::atomic<uint64_t> d2h_count_{0};
+  std::atomic<double> h2d_seconds_{0};
+  std::atomic<double> d2h_seconds_{0};
 };
 
 }  // namespace gknn::gpusim

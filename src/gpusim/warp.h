@@ -114,7 +114,7 @@ util::Result<KernelStats> LaunchWarps(Device* device, std::string_view label,
       config.CyclesToSeconds(static_cast<double>(max_warp_cycles) *
                              static_cast<double>(waves));
   device->AdvanceClock(stats.modeled_seconds);
-  device->FinishExternalLaunch(&stats);
+  device->FinishExternalLaunch(label, &stats);
   device->AddSimWallSeconds(std::chrono::duration<double>(
                                 std::chrono::steady_clock::now() - wall_start)
                                 .count());

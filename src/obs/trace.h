@@ -127,9 +127,9 @@ class Span {
 /// recent records for postmortems.
 ///
 /// Thread-safety: StartSpan/StartTotal touch only the caller's record;
-/// FinishQuery, AnnotateLast and RecentTraces synchronize on the ring
-/// mutex, and the registry side is atomic — safe under the query server's
-/// concurrency model.
+/// FinishQuery, Annotate, AnnotateLast and RecentTraces synchronize on
+/// the ring mutex, and the registry side is atomic — safe under the query
+/// server's concurrency model (docs/CONCURRENCY.md).
 class Tracer {
  public:
   explicit Tracer(MetricRegistry* registry, const Clock* clock = nullptr,
@@ -162,7 +162,9 @@ class Tracer {
 
   /// Runs `fn` on the most recently finished record (if any) under the
   /// ring lock — lets the server attach retry/breaker context it only
-  /// knows after the engine returned.
+  /// knows after the engine returned. Only safe when one query is in
+  /// flight; concurrent callers must use Annotate(query_id, fn) so they
+  /// touch their own record instead of whichever finished last.
   template <typename Fn>
   void AnnotateLast(Fn&& fn) {
 #if GKNN_OBS
@@ -170,6 +172,30 @@ class Tracer {
     if (!ring_.empty()) fn(ring_.back());
 #else
     (void)fn;
+#endif
+  }
+
+  /// Runs `fn` on the finished record with id `query_id` (if still in the
+  /// ring) under the ring lock. Scans from the back: the record being
+  /// annotated almost always just finished. Returns whether it was found.
+  /// A `query_id` of 0 (engine had no tracer / record already evicted)
+  /// is a no-op.
+  template <typename Fn>
+  bool Annotate(uint64_t query_id, Fn&& fn) {
+#if GKNN_OBS
+    if (query_id == 0) return false;
+    std::lock_guard<std::mutex> lock(ring_mutex_);
+    for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+      if (it->query_id == query_id) {
+        fn(*it);
+        return true;
+      }
+    }
+    return false;
+#else
+    (void)query_id;
+    (void)fn;
+    return false;
 #endif
   }
 

@@ -1,7 +1,9 @@
 #include "server/query_server.h"
 
 #include <algorithm>
+#include <future>
 #include <string_view>
+#include <utility>
 
 #include "gpusim/fault_injector.h"
 #include "util/backoff.h"
@@ -11,10 +13,9 @@ namespace gknn::server {
 
 util::Result<std::unique_ptr<QueryServer>> QueryServer::Create(
     const roadnet::Graph* graph, const core::GGridOptions& options,
-    gpusim::Device* device, util::ThreadPool* pool,
-    const ServerOptions& server_options) {
+    gpusim::Device* device, const ServerOptions& server_options) {
   GKNN_ASSIGN_OR_RETURN(std::unique_ptr<core::GGridIndex> index,
-                        core::GGridIndex::Build(graph, options, device, pool));
+                        core::GGridIndex::Build(graph, options, device));
   return std::unique_ptr<QueryServer>(
       new QueryServer(std::move(index), server_options));
 }
@@ -32,7 +33,7 @@ void QueryServer::Deregister(core::ObjectId object, double time) {
   inbox.entries.push_back(Inbox::Entry{object, {}, time, true});
 }
 
-util::Status QueryServer::DrainLocked() {
+util::Status QueryServer::DrainExclusive() {
   util::Status first_error = util::Status::OK();
   for (Inbox& inbox : inboxes_) {
     std::vector<Inbox::Entry> batch;
@@ -71,23 +72,58 @@ util::Status QueryServer::DrainLocked() {
   return first_error;
 }
 
+util::Status QueryServer::TimedDrainExclusive() {
+  if (!obs::kEnabled) return DrainExclusive();
+  const obs::Clock& clock = index_->tracer().clock();
+  const double start = clock.NowSeconds();
+  util::Status status = DrainExclusive();
+  index_->metrics()
+      .GetHistogram("gknn_server_drain_seconds")
+      ->Observe(clock.NowSeconds() - start);
+  return status;
+}
+
+util::Status QueryServer::DrainIfPending() {
+  if (pending_updates() == 0) return util::Status::OK();
+  std::unique_lock<std::shared_mutex> lock(index_mutex_);
+  return TimedDrainExclusive();
+}
+
 template <typename RunFn>
-util::Result<std::vector<core::KnnResultEntry>> QueryServer::ExecuteLocked(
-    RunFn run) {
+util::Result<std::vector<core::KnnResultEntry>> QueryServer::ExecuteShared(
+    RunFn run, uint64_t* query_retries) {
   using core::ExecMode;
-  if (stats_.degraded) {
-    ++stats_.degraded_queries;
-    ++degraded_query_count_;
-    if (options_.probe_interval > 0 &&
-        degraded_query_count_ % options_.probe_interval == 0) {
+  // Degraded path. The decision (count the query, pace the probe) happens
+  // under breaker_mu_; the query itself runs without it so concurrent
+  // readers only serialize for a counter update.
+  bool degraded_now = false;
+  bool probe_due = false;
+  {
+    std::lock_guard<std::mutex> lock(breaker_mu_);
+    if (stats_.degraded.load(std::memory_order_relaxed)) {
+      degraded_now = true;
+      ++stats_.degraded_queries;
+      ++degraded_query_count_;
+      probe_due = options_.probe_interval > 0 &&
+                  degraded_query_count_ % options_.probe_interval == 0;
+    }
+  }
+  if (degraded_now) {
+    if (probe_due) {
       // Half-open probe: try the GPU once; success closes the breaker and
       // this probe's answer is the query's answer.
       auto probe = run(ExecMode::kGpuOnly);
       if (probe.ok()) {
-        stats_.degraded = false;
-        ++stats_.breaker_closes;
-        consecutive_query_failures_ = 0;
-        GKNN_LOG(Info) << "device recovered: circuit breaker closed";
+        std::lock_guard<std::mutex> lock(breaker_mu_);
+        // Another probe may have closed the breaker while ours ran.
+        if (stats_.degraded.load(std::memory_order_relaxed)) {
+          breaker_seq_.fetch_add(1, std::memory_order_release);
+          stats_.degraded.store(false, std::memory_order_relaxed);
+          stats_.breaker_closes.fetch_add(1, std::memory_order_relaxed);
+          breaker_seq_.fetch_add(1, std::memory_order_release);
+          consecutive_query_failures_ = 0;
+          GKNN_LOG(Info) << "device recovered: circuit breaker closed";
+        }
         return probe;
       }
       if (!gpusim::IsDeviceError(probe.status())) return probe;
@@ -103,23 +139,31 @@ util::Result<std::vector<core::KnnResultEntry>> QueryServer::ExecuteLocked(
   for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
       ++stats_.retries;
+      if (query_retries != nullptr) ++*query_retries;
       backoff.SleepNext();
     }
     auto result = run(ExecMode::kGpuOnly);
     if (result.ok()) {
+      std::lock_guard<std::mutex> lock(breaker_mu_);
       consecutive_query_failures_ = 0;
       return result;
     }
     if (!gpusim::IsDeviceError(result.status())) return result;
     ++stats_.gpu_failures;
   }
-  if (++consecutive_query_failures_ >= options_.breaker_threshold) {
-    stats_.degraded = true;
-    ++stats_.breaker_trips;
-    degraded_query_count_ = 0;
-    GKNN_LOG(Warning) << "circuit breaker open after "
-                      << consecutive_query_failures_
-                      << " consecutive device failures; serving from CPU";
+  {
+    std::lock_guard<std::mutex> lock(breaker_mu_);
+    if (++consecutive_query_failures_ >= options_.breaker_threshold &&
+        !stats_.degraded.load(std::memory_order_relaxed)) {
+      breaker_seq_.fetch_add(1, std::memory_order_release);
+      stats_.degraded.store(true, std::memory_order_relaxed);
+      stats_.breaker_trips.fetch_add(1, std::memory_order_relaxed);
+      breaker_seq_.fetch_add(1, std::memory_order_release);
+      degraded_query_count_ = 0;
+      GKNN_LOG(Warning) << "circuit breaker open after "
+                        << consecutive_query_failures_
+                        << " consecutive device failures; serving from CPU";
+    }
   }
   ++stats_.fallback_queries;
   return run(ExecMode::kCpuOnly);
@@ -127,51 +171,79 @@ util::Result<std::vector<core::KnnResultEntry>> QueryServer::ExecuteLocked(
 
 util::Result<std::vector<core::KnnResultEntry>> QueryServer::QueryKnn(
     roadnet::EdgePoint location, uint32_t k, double t_now) {
-  std::lock_guard<std::mutex> lock(index_mutex_);
-  GKNN_RETURN_NOT_OK(TimedDrainLocked());
-  const uint64_t retries_before =
-      stats_.retries.load(std::memory_order_relaxed);
-  auto result = ExecuteLocked([&](core::ExecMode mode) {
-    return index_->QueryKnn(location, k, t_now, nullptr, mode);
-  });
-  AnnotateLastTraceLocked(retries_before);
+  GKNN_RETURN_NOT_OK(DrainIfPending());
+  std::shared_lock<std::shared_mutex> lock(index_mutex_);
+  core::KnnStats stats;
+  uint64_t query_retries = 0;
+  auto result = ExecuteShared(
+      [&](core::ExecMode mode) {
+        return index_->QueryKnn(location, k, t_now, &stats, mode);
+      },
+      &query_retries);
+  AnnotateTrace(stats.query_id, query_retries);
   return result;
 }
 
 util::Result<std::vector<core::KnnResultEntry>> QueryServer::QueryRange(
     roadnet::EdgePoint location, roadnet::Distance radius, double t_now) {
-  std::lock_guard<std::mutex> lock(index_mutex_);
-  GKNN_RETURN_NOT_OK(TimedDrainLocked());
-  const uint64_t retries_before =
-      stats_.retries.load(std::memory_order_relaxed);
-  auto result = ExecuteLocked([&](core::ExecMode mode) {
-    return index_->QueryRange(location, radius, t_now, nullptr, mode);
-  });
-  AnnotateLastTraceLocked(retries_before);
+  GKNN_RETURN_NOT_OK(DrainIfPending());
+  std::shared_lock<std::shared_mutex> lock(index_mutex_);
+  core::KnnStats stats;
+  uint64_t query_retries = 0;
+  auto result = ExecuteShared(
+      [&](core::ExecMode mode) {
+        return index_->QueryRange(location, radius, t_now, &stats, mode);
+      },
+      &query_retries);
+  AnnotateTrace(stats.query_id, query_retries);
   return result;
 }
 
-util::Status QueryServer::TimedDrainLocked() {
-  if (!obs::kEnabled) return DrainLocked();
-  const obs::Clock& clock = index_->tracer().clock();
-  const double start = clock.NowSeconds();
-  util::Status status = DrainLocked();
-  index_->metrics()
-      .GetHistogram("gknn_server_drain_seconds")
-      ->Observe(clock.NowSeconds() - start);
-  return status;
+util::Result<std::vector<std::vector<core::KnnResultEntry>>>
+QueryServer::QueryKnnBatch(std::span<const roadnet::EdgePoint> locations,
+                           uint32_t k, double t_now) {
+  GKNN_RETURN_NOT_OK(DrainIfPending());
+  std::vector<std::vector<core::KnnResultEntry>> results(locations.size());
+  std::vector<util::Status> statuses(locations.size(), util::Status::OK());
+  std::vector<std::future<void>> tasks;
+  tasks.reserve(locations.size());
+  for (size_t i = 0; i < locations.size(); ++i) {
+    tasks.push_back(query_pool_->SubmitTask(
+        [this, &results, &statuses, location = locations[i], k, t_now, i] {
+          std::shared_lock<std::shared_mutex> lock(index_mutex_);
+          core::KnnStats stats;
+          uint64_t query_retries = 0;
+          auto result = ExecuteShared(
+              [&](core::ExecMode mode) {
+                return index_->QueryKnn(location, k, t_now, &stats, mode);
+              },
+              &query_retries);
+          AnnotateTrace(stats.query_id, query_retries);
+          if (result.ok()) {
+            results[i] = *std::move(result);
+          } else {
+            statuses[i] = result.status();
+          }
+        }));
+  }
+  // get() (not wait()) so an exception escaping a task — impossible for
+  // the query path itself, which reports through Status — still reaches
+  // the caller instead of being swallowed.
+  for (std::future<void>& task : tasks) task.get();
+  for (util::Status& status : statuses) {
+    if (!status.ok()) return std::move(status);
+  }
+  return results;
 }
 
-void QueryServer::AnnotateLastTraceLocked(uint64_t retries_before) {
+void QueryServer::AnnotateTrace(uint64_t query_id, uint64_t query_retries) {
   if (!obs::kEnabled) return;
-  const uint64_t retries =
-      stats_.retries.load(std::memory_order_relaxed) - retries_before;
-  index_->tracer().AnnotateLast([&](obs::QueryTraceRecord& record) {
-    record.retries = static_cast<uint32_t>(retries);
+  index_->tracer().Annotate(query_id, [&](obs::QueryTraceRecord& record) {
+    record.retries = static_cast<uint32_t>(query_retries);
   });
 }
 
-void QueryServer::FoldServerMetricsLocked() {
+void QueryServer::FoldServerMetricsExclusive() {
   if (!obs::kEnabled) return;
   index_->FoldDeviceMetrics();
   obs::MetricRegistry& registry = index_->metrics();
@@ -197,20 +269,20 @@ void QueryServer::FoldServerMetricsLocked() {
 }
 
 obs::RegistrySnapshot QueryServer::MetricsSnapshot() {
-  std::lock_guard<std::mutex> lock(index_mutex_);
-  FoldServerMetricsLocked();
+  std::unique_lock<std::shared_mutex> lock(index_mutex_);
+  FoldServerMetricsExclusive();
   return index_->metrics().Snapshot();
 }
 
 std::string QueryServer::MetricsPrometheus() {
-  std::lock_guard<std::mutex> lock(index_mutex_);
-  FoldServerMetricsLocked();
+  std::unique_lock<std::shared_mutex> lock(index_mutex_);
+  FoldServerMetricsExclusive();
   return index_->metrics().RenderPrometheusText();
 }
 
 std::string QueryServer::MetricsJson() {
-  std::lock_guard<std::mutex> lock(index_mutex_);
-  FoldServerMetricsLocked();
+  std::unique_lock<std::shared_mutex> lock(index_mutex_);
+  FoldServerMetricsExclusive();
   return index_->metrics().RenderJson();
 }
 

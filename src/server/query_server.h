@@ -4,6 +4,8 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -16,7 +18,8 @@
 
 namespace gknn::server {
 
-/// Degradation policy knobs (docs/ROBUSTNESS.md).
+/// Degradation policy knobs (docs/ROBUSTNESS.md) and concurrency sizing
+/// (docs/CONCURRENCY.md).
 struct ServerOptions {
   /// GPU attempts per query while the circuit breaker is closed (1 = no
   /// retry). Retries back off exponentially between attempts.
@@ -29,9 +32,22 @@ struct ServerOptions {
   /// While degraded, every Nth query additionally probes the GPU path; a
   /// successful probe closes the breaker.
   uint32_t probe_interval = 4;
+  /// Worker threads of the server-owned pool that fans out
+  /// QueryKnnBatch. 0 (the default) runs batches inline on the calling
+  /// thread — the right choice for single-threaded clients and for
+  /// deterministic tests. Single queries never touch the pool.
+  uint32_t query_threads = 0;
 };
 
 /// Degradation counters; snapshot via QueryServer::stats().
+///
+/// Consistency contract under concurrent queries: the monotonic counters
+/// (gpu_failures, retries, fallback_queries, degraded_queries,
+/// update_requeues) are independent relaxed atomics — each is exact, but
+/// one snapshot may catch them mid-query relative to each other. The
+/// breaker triple (breaker_trips, breaker_closes, degraded) is published
+/// through a seqlock, so within one snapshot it is mutually consistent
+/// and satisfies `degraded == (breaker_trips > breaker_closes)`.
 struct ServerStats {
   uint64_t gpu_failures = 0;      // GPU query attempts that returned an error
   uint64_t retries = 0;           // extra attempts after a failed one
@@ -47,25 +63,31 @@ struct ServerStats {
 /// (§II): data objects report location updates from many connections while
 /// kNN queries arrive concurrently.
 ///
-/// Concurrency model: producers call Report/Deregister from any thread;
-/// updates land in a striped in-memory inbox (cheap, lock per stripe —
-/// the message-list append itself is so cheap that G-Grid's laziness makes
-/// a single writer sufficient). Queries drain the inbox up to their
-/// timestamp and then run on the underlying index, serialized by the index
-/// mutex, exactly preserving snapshot semantics: a query at time t sees
-/// every update reported before it.
+/// Concurrency model (docs/CONCURRENCY.md): producers call
+/// Report/Deregister from any thread; updates land in a striped in-memory
+/// inbox (lock per stripe). Queries run under a reader-writer lock on the
+/// index: a query that finds buffered updates first takes the writer side,
+/// drains the inbox, releases, and then answers under the reader side —
+/// so any number of queries execute concurrently and only update
+/// application is exclusive. Snapshot semantics are preserved: a query at
+/// time t sees every update reported before it was issued. The lazy
+/// message cleaning queries perform is serialized per cell inside
+/// MessageCleaner, which is why the reader side is sufficient for them.
 ///
 /// Robustness: a query first runs on the GPU pipeline with bounded
 /// retries; when `breaker_threshold` consecutive queries exhaust their
 /// attempts the server trips into degraded mode and answers from the exact
 /// CPU path, probing the GPU every `probe_interval` queries until it
 /// recovers. Results are identical either way — only latency degrades.
+/// Breaker bookkeeping lives under its own leaf mutex so concurrent
+/// readers never serialize on it for longer than a counter update.
 class QueryServer {
  public:
-  /// Builds the server and its index. The graph must outlive the server.
+  /// Builds the server, its index, and its batch-query pool
+  /// (ServerOptions::query_threads). The graph must outlive the server.
   static util::Result<std::unique_ptr<QueryServer>> Create(
       const roadnet::Graph* graph, const core::GGridOptions& options,
-      gpusim::Device* device, util::ThreadPool* pool,
+      gpusim::Device* device,
       const ServerOptions& server_options = ServerOptions{});
 
   /// Reports an object location (producer-side, thread-safe, non-blocking
@@ -77,7 +99,9 @@ class QueryServer {
   void Deregister(core::ObjectId object, double time);
 
   /// Answers a snapshot kNN query at time t_now: drains every buffered
-  /// update, then queries the index. Thread-safe; queries serialize.
+  /// update (writer lock, skipped when the inbox is empty), then queries
+  /// the index under the reader lock. Thread-safe; queries from different
+  /// threads execute concurrently.
   util::Result<std::vector<core::KnnResultEntry>> QueryKnn(
       roadnet::EdgePoint location, uint32_t k, double t_now);
 
@@ -86,18 +110,32 @@ class QueryServer {
   util::Result<std::vector<core::KnnResultEntry>> QueryRange(
       roadnet::EdgePoint location, roadnet::Distance radius, double t_now);
 
+  /// Answers a batch of same-timestamp queries, draining the inbox once
+  /// and fanning the queries over the server's pool (inline when
+  /// query_threads == 0). results[i] answers locations[i]. The first
+  /// per-query error fails the whole batch (matching
+  /// GGridIndex::QueryKnnBatch); answers are identical to issuing the
+  /// queries one by one.
+  util::Result<std::vector<std::vector<core::KnnResultEntry>>> QueryKnnBatch(
+      std::span<const roadnet::EdgePoint> locations, uint32_t k,
+      double t_now);
+
   /// Buffered updates not yet applied to the index.
   uint64_t pending_updates() const;
 
-  /// Updates applied to the index so far.
+  /// Updates applied to the index so far. Lock-free (atomic counter).
   uint64_t applied_updates() const {
-    std::lock_guard<std::mutex> lock(index_mutex_);
-    return index_->counters().updates_ingested;
+    return index_->counters().updates_ingested.load(
+        std::memory_order_relaxed);
   }
 
-  /// Snapshot of the degradation counters. Lock-free: the counters are
-  /// atomics mutated on the query path, so monitoring threads polling this
-  /// never contend with queries for the index mutex.
+  /// Worker threads of the batch-query pool (0 = inline execution).
+  unsigned query_threads() const { return query_pool_->num_threads(); }
+
+  /// Snapshot of the degradation counters. Lock-free: monitoring threads
+  /// polling this never contend with queries for the index lock. See
+  /// ServerStats for the consistency contract; the breaker triple is read
+  /// through the seqlock so it never tears.
   ServerStats stats() const {
     ServerStats out;
     out.gpu_failures = stats_.gpu_failures.load(std::memory_order_relaxed);
@@ -106,19 +144,34 @@ class QueryServer {
         stats_.fallback_queries.load(std::memory_order_relaxed);
     out.degraded_queries =
         stats_.degraded_queries.load(std::memory_order_relaxed);
-    out.breaker_trips = stats_.breaker_trips.load(std::memory_order_relaxed);
-    out.breaker_closes =
-        stats_.breaker_closes.load(std::memory_order_relaxed);
     out.update_requeues =
         stats_.update_requeues.load(std::memory_order_relaxed);
-    out.degraded = stats_.degraded.load(std::memory_order_relaxed);
+    // Seqlock read of the breaker triple: retry while a writer is inside
+    // the odd window or published a new version between our loads.
+    uint64_t seq = breaker_seq_.load(std::memory_order_acquire);
+    for (;;) {
+      if ((seq & 1) == 0) {
+        out.breaker_trips =
+            stats_.breaker_trips.load(std::memory_order_relaxed);
+        out.breaker_closes =
+            stats_.breaker_closes.load(std::memory_order_relaxed);
+        out.degraded = stats_.degraded.load(std::memory_order_relaxed);
+        const uint64_t reread =
+            breaker_seq_.load(std::memory_order_acquire);
+        if (reread == seq) break;
+        seq = reread;
+      } else {
+        seq = breaker_seq_.load(std::memory_order_acquire);
+      }
+    }
     return out;
   }
 
   /// Point-in-time view of every metric the server can expose: folds the
   /// device totals, transfer ledger, memory breakdown and the degradation
   /// counters above into the index's registry, then snapshots it.
-  /// Thread-safe (takes the index mutex for the fold).
+  /// Thread-safe: takes the writer lock, so in-flight queries finish
+  /// first and the snapshot is mutually consistent.
   obs::RegistrySnapshot MetricsSnapshot();
 
   /// The same fold rendered as Prometheus text / one-line JSON
@@ -142,27 +195,44 @@ class QueryServer {
 
   QueryServer(std::unique_ptr<core::GGridIndex> index,
               const ServerOptions& options)
-      : index_(std::move(index)), options_(options) {}
+      : index_(std::move(index)),
+        options_(options),
+        query_pool_(options.query_threads == 0
+                        ? std::make_unique<util::ThreadPool>(
+                              util::ThreadPool::Inline{})
+                        : std::make_unique<util::ThreadPool>(
+                              options.query_threads)) {}
 
-  /// Moves every buffered update into the index (called under
-  /// index_mutex_). A transient device error re-queues the unapplied
+  /// Moves every buffered update into the index; requires the writer lock
+  /// on index_mutex_. A transient device error re-queues the unapplied
   /// remainder of the stripe at its front (order preserved) and keeps
   /// draining the other stripes; a permanent error (bad position) drops
   /// the poison entry, keeps draining, and is returned — a bad producer
   /// must not wedge the inbox.
-  util::Status DrainLocked();
+  util::Status DrainExclusive();
 
-  /// One query through the retry + circuit-breaker policy (called under
-  /// index_mutex_). `run` executes the query at a given ExecMode.
+  /// DrainExclusive wrapped in a gknn_server_drain_seconds observation.
+  util::Status TimedDrainExclusive();
+
+  /// Takes the writer lock and drains iff the inbox holds updates; the
+  /// common case (nothing buffered) never touches index_mutex_, so a
+  /// stream of queries against a quiet inbox stays fully concurrent.
+  util::Status DrainIfPending();
+
+  /// One query through the retry + circuit-breaker policy; requires the
+  /// reader lock on index_mutex_. `run` executes the query at a given
+  /// ExecMode; it may run several times (retries, probe, CPU fallback).
+  /// `query_retries` (optional) receives this query's own retry count —
+  /// the global stats_.retries counter is shared across concurrent
+  /// queries and cannot attribute retries to one of them.
   template <typename RunFn>
-  util::Result<std::vector<core::KnnResultEntry>> ExecuteLocked(RunFn run);
+  util::Result<std::vector<core::KnnResultEntry>> ExecuteShared(
+      RunFn run, uint64_t* query_retries = nullptr);
 
-  /// DrainLocked wrapped in a gknn_server_drain_seconds observation.
-  util::Status TimedDrainLocked();
-
-  /// Stamps server-side context (retry count) onto the query's trace
-  /// record, which the engine just pushed into the tracer's ring.
-  void AnnotateLastTraceLocked(uint64_t retries_before);
+  /// Stamps server-side context (this query's retry count) onto the trace
+  /// record the engine pushed for query `query_id`. Concurrent-safe: the
+  /// record is found by id, not by ring position.
+  void AnnotateTrace(uint64_t query_id, uint64_t query_retries);
 
   static constexpr size_t kStripes = 8;
 
@@ -173,9 +243,11 @@ class QueryServer {
     return inboxes_[object % kStripes];
   }
 
-  /// Mirror of ServerStats with atomic members. Writers run under
-  /// index_mutex_ (the query path), so plain relaxed increments are safe;
-  /// readers (stats(), monitoring threads) load without the mutex.
+  /// Mirror of ServerStats with atomic members, so queries running
+  /// concurrently under the reader lock can bump them and monitoring
+  /// threads can read them without any lock. The breaker triple
+  /// (breaker_trips / breaker_closes / degraded) is additionally
+  /// published through breaker_seq_ (writers hold breaker_mu_).
   struct AtomicServerStats {
     std::atomic<uint64_t> gpu_failures{0};
     std::atomic<uint64_t> retries{0};
@@ -188,19 +260,32 @@ class QueryServer {
   };
 
   /// Pushes the degradation counters into the index's registry as gauges
-  /// (called by MetricsSnapshot and the renderers, under index_mutex_).
-  void FoldServerMetricsLocked();
+  /// (called by MetricsSnapshot and the renderers, under the writer
+  /// lock).
+  void FoldServerMetricsExclusive();
 
   std::unique_ptr<core::GGridIndex> index_;
   ServerOptions options_;
-  mutable std::mutex index_mutex_;
-  Inbox inboxes_[kStripes];
 
-  // Breaker state. The atomic counters may be read lock-free; the breaker
-  // bookkeeping below them is guarded by index_mutex_.
+  /// Reader-writer lock over the index: queries hold it shared, update
+  /// drains / metric folds hold it exclusive. Lock ordering
+  /// (docs/CONCURRENCY.md): index_mutex_ -> inbox stripe mutexes ->
+  /// cleaner stripe mutexes -> cleaner device mutex; breaker_mu_ and the
+  /// tracer ring mutex are leaves.
+  mutable std::shared_mutex index_mutex_;
+  Inbox inboxes_[kStripes];
+  std::unique_ptr<util::ThreadPool> query_pool_;
+
   AtomicServerStats stats_;
-  uint32_t consecutive_query_failures_ = 0;
-  uint64_t degraded_query_count_ = 0;  // probes pace off this
+
+  /// Breaker bookkeeping: state transitions and the failure/probe
+  /// counters are serialized by breaker_mu_ (a leaf — never acquire
+  /// another lock under it); breaker_seq_ is the seqlock generation for
+  /// the published triple (odd while a transition is being written).
+  std::mutex breaker_mu_;
+  std::atomic<uint64_t> breaker_seq_{0};
+  uint32_t consecutive_query_failures_ = 0;  // guarded by breaker_mu_
+  uint64_t degraded_query_count_ = 0;        // guarded by breaker_mu_
 };
 
 }  // namespace gknn::server

@@ -15,6 +15,8 @@ ThreadPool::ThreadPool(unsigned num_threads) {
   }
 }
 
+ThreadPool::ThreadPool(Inline) {}  // no workers: Submit runs inline
+
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -25,12 +27,27 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    // Inline pool: synchronous execution, nothing ever queues, so Wait()
+    // trivially holds once Submit returns.
+    task();
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
   task_available_.notify_one();
+}
+
+std::future<void> ThreadPool::SubmitTask(std::function<void()> task) {
+  // std::function must be copyable, so the move-only packaged_task rides
+  // behind a shared_ptr.
+  auto packaged = std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> future = packaged->get_future();
+  Submit([packaged] { (*packaged)(); });
+  return future;
 }
 
 void ThreadPool::Wait() {

@@ -5,22 +5,39 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace gknn::util {
 
 /// Work-queue thread pool used for the CPU-parallel parts of the system:
-/// the per-unresolved-vertex Dijkstra searches of Refine_kNN (paper Alg. 6,
-/// "we use different threads in the CPU to run the algorithm in parallel")
-/// and the multi-query harness. A pool of size 1 degrades to inline
-/// execution order but keeps the same semantics.
+/// the server's concurrent query batches (QueryServer::QueryKnnBatch) and
+/// the multi-query harness. A pool of size 1 degrades to inline execution
+/// order but keeps the same semantics.
+///
+/// Thread-safety: Submit/SubmitTask/Wait may be called from any thread,
+/// including from inside pool tasks. Destruction drains the queue: tasks
+/// already submitted still run to completion before the workers join.
 class ThreadPool {
  public:
+  /// Tag selecting the zero-thread inline pool: no workers are spawned and
+  /// every submitted task runs synchronously on the submitting thread.
+  /// This is the degradation mode for single-threaded servers
+  /// (ServerOptions::query_threads == 0) and for tests that want
+  /// deterministic execution order.
+  struct Inline {};
+
   /// Creates a pool with `num_threads` workers; 0 means
   /// hardware_concurrency.
   explicit ThreadPool(unsigned num_threads = 0);
+
+  /// Creates an inline pool (num_threads() == 0, tasks run on the caller).
+  explicit ThreadPool(Inline);
+
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -28,14 +45,26 @@ class ThreadPool {
 
   unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
 
-  /// Enqueues a task for asynchronous execution.
+  /// Enqueues a task for asynchronous execution. The task must not throw;
+  /// an escaping exception terminates the worker (use SubmitTask when the
+  /// task can fail). On an inline pool the task runs before Submit returns.
   void Submit(std::function<void()> task);
+
+  /// Enqueues a task and returns a future that becomes ready when the task
+  /// completes. An exception thrown by the task is captured and rethrown
+  /// from future::get() on the waiting thread — this is how batch query
+  /// fan-out propagates per-query failures back to the caller. On an
+  /// inline pool the task runs synchronously and the future is ready on
+  /// return.
+  std::future<void> SubmitTask(std::function<void()> task);
 
   /// Blocks until every task submitted so far has finished.
   void Wait();
 
   /// Runs fn(i) for i in [0, n), distributing chunks over the workers, and
-  /// blocks until all iterations complete. Safe to call with n == 0.
+  /// blocks until all iterations complete. Safe to call with n == 0. An
+  /// inline pool (or a pool of one worker) runs all iterations on the
+  /// calling thread.
   void ParallelFor(uint64_t n, const std::function<void(uint64_t)>& fn);
 
  private:

@@ -11,7 +11,6 @@
 #include "baselines/brute_force.h"
 #include "core/ggrid_index.h"
 #include "gpusim/device.h"
-#include "util/thread_pool.h"
 #include "workload/moving_objects.h"
 #include "workload/queries.h"
 #include "workload/synthetic_network.h"
@@ -55,8 +54,7 @@ TEST_P(AblationModeTest, AnswersMatchOracleUnderMovement) {
       {.num_vertices = 300, .seed = 77});
   ASSERT_TRUE(graph.ok());
   gpusim::Device device;
-  util::ThreadPool pool(2);
-  auto index = GGridIndex::Build(&*graph, options, &device, &pool);
+  auto index = GGridIndex::Build(&*graph, options, &device);
   ASSERT_TRUE(index.ok()) << index.status().ToString();
   baselines::BruteForce oracle(&*graph);
 
@@ -102,8 +100,7 @@ TEST(EagerModeTest, CleansOnEveryIngest) {
   auto graph = workload::GenerateSyntheticRoadNetwork(
       {.num_vertices = 200, .seed = 80});
   gpusim::Device device;
-  util::ThreadPool pool(1);
-  auto index = GGridIndex::Build(&*graph, WithEager(), &device, &pool);
+  auto index = GGridIndex::Build(&*graph, WithEager(), &device);
   ASSERT_TRUE(index.ok());
   const uint64_t launches_before = device.kernel_launches();
   (*index)->Ingest(1, {0, 0}, 0.0);
@@ -118,8 +115,7 @@ TEST(NoShuffleModeTest, StillDeduplicatesMessages) {
   auto graph = workload::GenerateSyntheticRoadNetwork(
       {.num_vertices = 200, .seed = 81});
   gpusim::Device device;
-  util::ThreadPool pool(1);
-  auto index = GGridIndex::Build(&*graph, WithoutShuffle(), &device, &pool);
+  auto index = GGridIndex::Build(&*graph, WithoutShuffle(), &device);
   ASSERT_TRUE(index.ok());
   // 60 updates of the same object on one edge, then query: exactly one
   // message must survive cleaning.

@@ -30,7 +30,6 @@ class BaselineAgreementTest : public ::testing::Test {
         std::move(workload::GenerateSyntheticRoadNetwork(
                       {.num_vertices = 350, .seed = 42}))
             .ValueOrDie());
-    pool_ = std::make_unique<util::ThreadPool>(2);
 
     algorithms_.push_back(std::make_unique<BruteForce>(graph_.get()));
     algorithms_.push_back(std::make_unique<CpuGrid>(graph_.get()));
@@ -45,7 +44,7 @@ class BaselineAgreementTest : public ::testing::Test {
     ASSERT_TRUE(vtree_g.ok()) << vtree_g.status().ToString();
     algorithms_.push_back(std::move(vtree_g).ValueOrDie());
     auto ggrid = GGridAlgorithm::Build(graph_.get(), core::GGridOptions{},
-                                       &device_, pool_.get());
+                                       &device_);
     ASSERT_TRUE(ggrid.ok()) << ggrid.status().ToString();
     algorithms_.push_back(std::move(ggrid).ValueOrDie());
   }
@@ -78,7 +77,6 @@ class BaselineAgreementTest : public ::testing::Test {
 
   std::unique_ptr<Graph> graph_;
   gpusim::Device device_;
-  std::unique_ptr<util::ThreadPool> pool_;
   std::vector<std::unique_ptr<KnnAlgorithm>> algorithms_;
 };
 

@@ -1,0 +1,349 @@
+// Randomized concurrency test harness (docs/CONCURRENCY.md): the
+// reader-writer query protocol must be *invisible* in the answers. A
+// seeded generator drives epochs of updates; inside each epoch several
+// query threads race each other (and the lazy cleaning they trigger), and
+// every recorded answer must be bit-identical to a single-threaded replay
+// of the same trace and exact against a brute-force oracle.
+//
+// Also here, because they share the harness machinery:
+//  - the clean-once property: concurrent queries hammering one hot cell
+//    perform its cleaning exactly once per dirty epoch
+//    (gknn_clean_batches_total), racers serving from the compacted list;
+//  - the seqlock regression: ServerStats' breaker triple never tears
+//    while the breaker thrashes under concurrent queries.
+//
+// This binary is part of the TSan CI shard; it is FAULT_TOLERANT, so the
+// fault-injection matrix also replays it under device-error storms.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "baselines/brute_force.h"
+#include "core/ggrid_index.h"
+#include "gpusim/device.h"
+#include "obs/metrics.h"
+#include "server/query_server.h"
+#include "util/rng.h"
+#include "workload/synthetic_network.h"
+
+namespace gknn::server {
+namespace {
+
+using core::KnnResultEntry;
+using core::ObjectId;
+using roadnet::EdgePoint;
+using roadnet::Graph;
+
+bool FaultsActive() {
+  const char* faults = std::getenv("GKNN_FAULTS");
+  return faults != nullptr && faults[0] != '\0';
+}
+
+// --- Seeded trace generator -------------------------------------------------
+
+struct UpdateEvent {
+  ObjectId object;
+  EdgePoint position;
+  bool remove;
+};
+
+struct Epoch {
+  double time;
+  std::vector<UpdateEvent> updates;
+  std::vector<EdgePoint> queries;
+};
+
+/// Deterministic trace: per epoch, a batch of object moves (with a few
+/// deregistrations sprinkled in) followed by a batch of query points.
+std::vector<Epoch> GenerateTrace(const Graph& graph, uint32_t num_objects,
+                                 uint32_t num_epochs, uint32_t num_queries,
+                                 uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Epoch> epochs(num_epochs);
+  for (uint32_t e = 0; e < num_epochs; ++e) {
+    Epoch& epoch = epochs[e];
+    epoch.time = 1.0 + e;
+    for (ObjectId o = 0; o < num_objects; ++o) {
+      const uint32_t dice = static_cast<uint32_t>(rng.NextBounded(10));
+      if (dice == 0 && e > 0) {
+        epoch.updates.push_back({o, {}, /*remove=*/true});
+      } else if (dice < 8) {
+        const auto edge =
+            static_cast<roadnet::EdgeId>(rng.NextBounded(graph.num_edges()));
+        epoch.updates.push_back({o, {edge, 0}, /*remove=*/false});
+      }  // else: the object stays silent this epoch
+    }
+    for (uint32_t q = 0; q < num_queries; ++q) {
+      const auto edge =
+          static_cast<roadnet::EdgeId>(rng.NextBounded(graph.num_edges()));
+      epoch.queries.push_back({edge, 0});
+    }
+  }
+  return epochs;
+}
+
+/// Applies one epoch's updates to a server (the oracle keeps its own view
+/// via `positions`).
+void ApplyUpdates(QueryServer* server,
+                  std::map<ObjectId, EdgePoint>* positions,
+                  const Epoch& epoch) {
+  for (const UpdateEvent& u : epoch.updates) {
+    if (u.remove) {
+      server->Deregister(u.object, epoch.time);
+      positions->erase(u.object);
+    } else {
+      server->Report(u.object, u.position, epoch.time);
+      (*positions)[u.object] = u.position;
+    }
+  }
+}
+
+/// One epoch's queries fanned over `num_threads` racing threads; results
+/// land in their query's slot. Every thread issues full QueryServer
+/// queries, so the first arrivals race for the exclusive drain and the
+/// rest race each other under the shared lock.
+std::vector<std::vector<KnnResultEntry>> RaceQueries(
+    QueryServer* server, const Epoch& epoch, uint32_t k,
+    uint32_t num_threads) {
+  std::vector<std::vector<KnnResultEntry>> results(epoch.queries.size());
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (uint32_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load()) std::this_thread::yield();
+      for (size_t i = t; i < epoch.queries.size(); i += num_threads) {
+        auto r = server->QueryKnn(epoch.queries[i], k, epoch.time);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        results[i] = *std::move(r);
+      }
+    });
+  }
+  go.store(true);
+  for (auto& thread : threads) thread.join();
+  return results;
+}
+
+TEST(ConcurrentDifferentialTest, RacingQueriesMatchSerialReplayAndOracle) {
+  auto graph = std::move(workload::GenerateSyntheticRoadNetwork(
+                             {.num_vertices = 350, .seed = 31}))
+                   .ValueOrDie();
+  constexpr uint32_t kObjects = 48;
+  constexpr uint32_t kEpochs = 4;
+  constexpr uint32_t kQueriesPerEpoch = 12;
+  constexpr uint32_t kQueryThreads = 3;
+  constexpr uint32_t kK = 6;
+  const auto trace =
+      GenerateTrace(graph, kObjects, kEpochs, kQueriesPerEpoch, /*seed=*/32);
+
+  // Concurrent run: three query threads race per epoch.
+  gpusim::Device concurrent_device;
+  auto concurrent = std::move(QueryServer::Create(
+                                  &graph, core::GGridOptions{},
+                                  &concurrent_device))
+                        .ValueOrDie();
+  // Serial replay: the same trace, one thread, a twin device.
+  gpusim::Device replay_device;
+  auto replay = std::move(QueryServer::Create(&graph, core::GGridOptions{},
+                                              &replay_device))
+                    .ValueOrDie();
+  std::map<ObjectId, EdgePoint> positions;      // oracle's view
+  std::map<ObjectId, EdgePoint> positions_twin; // kept in lockstep
+
+  for (uint32_t e = 0; e < kEpochs; ++e) {
+    const Epoch& epoch = trace[e];
+    ApplyUpdates(concurrent.get(), &positions, epoch);
+    ApplyUpdates(replay.get(), &positions_twin, epoch);
+
+    const auto concurrent_results =
+        RaceQueries(concurrent.get(), epoch, kK, kQueryThreads);
+
+    // Brute-force oracle over this epoch's settled positions.
+    baselines::BruteForce oracle(&graph);
+    for (const auto& [object, position] : positions) {
+      oracle.Ingest(object, position, epoch.time);
+    }
+
+    for (size_t i = 0; i < epoch.queries.size(); ++i) {
+      auto serial = replay->QueryKnn(epoch.queries[i], kK, epoch.time);
+      ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+      auto want = oracle.QueryKnn(epoch.queries[i], kK, epoch.time);
+      ASSERT_TRUE(want.ok());
+
+      const auto& got = concurrent_results[i];
+      // Bit-identical to the single-threaded replay: same objects, same
+      // distances, same order (the engine's (distance, object) tie-break
+      // makes the exact answer unique, so thread scheduling and cleaning
+      // order must not show through).
+      ASSERT_EQ(got.size(), serial->size())
+          << "epoch " << e << " query " << i;
+      for (size_t r = 0; r < got.size(); ++r) {
+        EXPECT_EQ(got[r].object, (*serial)[r].object)
+            << "epoch " << e << " query " << i << " rank " << r;
+        EXPECT_EQ(got[r].distance, (*serial)[r].distance)
+            << "epoch " << e << " query " << i << " rank " << r;
+      }
+      // And exact against the oracle.
+      ASSERT_EQ(got.size(), want->size())
+          << "epoch " << e << " query " << i;
+      for (size_t r = 0; r < want->size(); ++r) {
+        EXPECT_EQ(got[r].distance, (*want)[r].distance)
+            << "epoch " << e << " query " << i << " rank " << r;
+      }
+    }
+  }
+}
+
+// --- Clean-once property ----------------------------------------------------
+
+uint64_t CleanBatchesTotal(core::GGridIndex* index) {
+  const auto snapshot = index->metrics().Snapshot();
+  uint64_t total = 0;
+  for (const char* key : {"gknn_clean_batches_total{path=\"gpu\"}",
+                          "gknn_clean_batches_total{path=\"cpu\"}"}) {
+    auto it = snapshot.counters.find(key);
+    if (it != snapshot.counters.end()) total += it->second;
+  }
+  return total;
+}
+
+TEST(ConcurrentDifferentialTest, HotCellIsCleanedExactlyOncePerDirtyEpoch) {
+  if (!obs::kEnabled) {
+    GTEST_SKIP() << "observability compiled out (GKNN_OBS=0)";
+  }
+  auto graph = std::move(workload::GenerateSyntheticRoadNetwork(
+                             {.num_vertices = 300, .seed = 41}))
+                   .ValueOrDie();
+  gpusim::Device device;
+  auto index = std::move(core::GGridIndex::Build(&graph,
+                                                 core::GGridOptions{},
+                                                 &device))
+                   .ValueOrDie();
+  // The object never changes cell, so each epoch dirties exactly one cell
+  // — the one every racing query's candidate region must cover.
+  constexpr roadnet::EdgeId kHotEdge = 5;
+  constexpr uint32_t kEpochs = 5;
+  constexpr uint32_t kThreads = 8;
+  for (uint32_t e = 0; e < kEpochs; ++e) {
+    const double t_now = 1.0 + e;
+    // Exclusive phase: dirty the hot cell (no queries in flight).
+    ASSERT_TRUE(index->Ingest(1, {kHotEdge, 0}, t_now).ok());
+    const uint64_t before = CleanBatchesTotal(index.get());
+
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    for (uint32_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        while (!go.load()) std::this_thread::yield();
+        auto r = index->QueryKnn({kHotEdge, 0}, 1, t_now);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        ASSERT_EQ(r->size(), 1u);
+        EXPECT_EQ((*r)[0].object, 1u);
+      });
+    }
+    go.store(true);
+    for (auto& thread : threads) thread.join();
+
+    const uint64_t delta = CleanBatchesTotal(index.get()) - before;
+    if (FaultsActive()) {
+      // A device error can force a retried query to re-ship after a
+      // rollback; the property weakens to "at least once".
+      EXPECT_GE(delta, 1u) << "epoch " << e;
+    } else {
+      // The winner ships the cell's messages; the other 7 queries find it
+      // compacted under the stripe lock and serve from the host copy.
+      EXPECT_EQ(delta, 1u) << "epoch " << e;
+    }
+  }
+}
+
+// --- Seqlock regression -----------------------------------------------------
+
+// stats() used to read the breaker fields as independent atomics, so a
+// poller could observe breaker_trips already bumped while degraded still
+// read false (a torn triple). The seqlock publishes the triple
+// atomically; this test thrashes the breaker under concurrent queries
+// while pollers assert the invariant on every snapshot.
+TEST(ConcurrentDifferentialTest, BreakerTripleNeverTearsUnderThrashing) {
+  auto graph = std::move(workload::GenerateSyntheticRoadNetwork(
+                             {.num_vertices = 250, .seed = 51}))
+                   .ValueOrDie();
+  gpusim::Device device;
+  ServerOptions options;
+  options.gpu_attempts = 1;
+  options.backoff_base_ms = 0;
+  options.breaker_threshold = 1;  // trip on the first failed query
+  options.probe_interval = 1;     // probe (and close) on the next one
+  auto server = std::move(QueryServer::Create(&graph, core::GGridOptions{},
+                                              &device, options))
+                    .ValueOrDie();
+  for (ObjectId o = 0; o < 16; ++o) {
+    server->Report(o, {o % graph.num_edges(), 0}, 1.0);
+  }
+  ASSERT_TRUE(server->QueryKnn({0, 0}, 3, 1.0).ok());
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> pollers;
+  for (int p = 0; p < 2; ++p) {
+    pollers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        const ServerStats stats = server->stats();
+        // The seqlock-published triple is internally consistent: the
+        // breaker is open iff there are more trips than closes, and a
+        // close never outruns its trip.
+        EXPECT_EQ(stats.degraded,
+                  stats.breaker_trips > stats.breaker_closes)
+            << "trips=" << stats.breaker_trips
+            << " closes=" << stats.breaker_closes;
+        EXPECT_LE(stats.breaker_closes, stats.breaker_trips);
+      }
+    });
+  }
+  std::vector<std::thread> queriers;
+  for (int q = 0; q < 2; ++q) {
+    queriers.emplace_back([&, q] {
+      for (int i = 0; i < 40; ++i) {
+        auto r = server->QueryKnn(
+            {static_cast<roadnet::EdgeId>((q * 61 + i * 7) %
+                                          graph.num_edges()),
+             0},
+            3, 2.0);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+      }
+    });
+  }
+  // The thrasher: flip the device between dead and healthy so trips and
+  // closes interleave with the queries.
+  for (int flip = 0; flip < 12; ++flip) {
+    ASSERT_TRUE(
+        device.SetFaultSpec(flip % 2 == 0 ? "kernel:after=0" : "").ok());
+    std::this_thread::yield();
+  }
+  for (auto& t : queriers) t.join();
+  done.store(true, std::memory_order_release);
+  for (auto& t : pollers) t.join();
+
+  // Leave the device healthy and confirm the breaker settles closed.
+  ASSERT_TRUE(device.SetFaultSpec("").ok());
+  for (int i = 0; i < 4 && server->stats().degraded; ++i) {
+    ASSERT_TRUE(server->QueryKnn({1, 0}, 3, 3.0).ok());
+  }
+  const ServerStats settled = server->stats();
+  EXPECT_EQ(settled.degraded,
+            settled.breaker_trips > settled.breaker_closes);
+  if (obs::kEnabled) {
+    // MetricsSnapshot quiesces queries (writer lock), so its gauges obey
+    // the same invariant.
+    const auto snapshot = server->MetricsSnapshot();
+    EXPECT_EQ(snapshot.gauges.at("gknn_server_degraded") == 1.0,
+              snapshot.gauges.at("gknn_server_breaker_trips") >
+                  snapshot.gauges.at("gknn_server_breaker_closes"));
+  }
+}
+
+}  // namespace
+}  // namespace gknn::server

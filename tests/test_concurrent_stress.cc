@@ -32,7 +32,7 @@ struct StressFixture {
         device(device_config),
         pool(4) {
     server = std::move(QueryServer::Create(&graph, core::GGridOptions{},
-                                           &device, &pool, server_options))
+                                           &device, server_options))
                  .ValueOrDie();
   }
   Graph graph;
@@ -63,9 +63,8 @@ TEST(ConcurrentStressTest, QueriesUpdatesAndPoolBurstsDoNotRace) {
     });
   }
 
-  // ThreadPool bursts: the same pool the index uses for Refine_kNN also
-  // carries producer work, so pool workers and query-triggered refinement
-  // interleave on the queue.
+  // ThreadPool bursts: producer work submitted through a pool races the
+  // raw producer threads and the queriers on the inbox stripes.
   std::thread submitter([&] {
     while (!go.load()) std::this_thread::yield();
     for (int burst = 0; burst < 8; ++burst) {

@@ -17,7 +17,6 @@
 #include "gpusim/device.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "util/thread_pool.h"
 #include "workload/moving_objects.h"
 #include "workload/queries.h"
 #include "workload/synthetic_network.h"
@@ -43,15 +42,11 @@ TEST(DifferentialKnnTest, AutoCpuAndOracleAgreeOnSeededTrace) {
 
   gpusim::Device auto_device;
   gpusim::Device cpu_device;
-  util::ThreadPool auto_pool(2);
-  util::ThreadPool cpu_pool(2);
   auto auto_index = std::move(core::GGridIndex::Build(
-                                  &graph, core::GGridOptions{}, &auto_device,
-                                  &auto_pool))
+                                  &graph, core::GGridOptions{}, &auto_device))
                         .ValueOrDie();
   auto cpu_index = std::move(core::GGridIndex::Build(
-                                 &graph, core::GGridOptions{}, &cpu_device,
-                                 &cpu_pool))
+                                 &graph, core::GGridOptions{}, &cpu_device))
                        .ValueOrDie();
   baselines::BruteForce oracle(&graph);
 
@@ -164,9 +159,8 @@ TEST(DifferentialKnnTest, ReplayIsDeterministic) {
   std::vector<std::vector<roadnet::Distance>> rounds[2];
   for (int round = 0; round < 2; ++round) {
     gpusim::Device device;
-    util::ThreadPool pool(2);
     auto index = std::move(core::GGridIndex::Build(
-                               &graph, core::GGridOptions{}, &device, &pool))
+                               &graph, core::GGridOptions{}, &device))
                      .ValueOrDie();
     workload::MovingObjectSimulator sim(&graph,
                                         {.num_objects = 150, .seed = 22});

@@ -21,7 +21,6 @@
 #include "gpusim/device_buffer.h"
 #include "server/query_server.h"
 #include "util/rng.h"
-#include "util/thread_pool.h"
 #include "workload/synthetic_network.h"
 
 namespace gknn {
@@ -324,8 +323,7 @@ TEST(FaultInjectionIndexTest, QueriesFallBackToExactCpuPath) {
   DeviceConfig config;
   config.faults = "kernel:every=1";  // every kernel launch fails
   Device device(config);
-  util::ThreadPool pool(2);
-  auto index = GGridIndex::Build(&*graph, GGridOptions{}, &device, &pool);
+  auto index = GGridIndex::Build(&*graph, GGridOptions{}, &device);
   ASSERT_TRUE(index.ok()) << index.status().ToString();
 
   baselines::BruteForce oracle(&*graph);
@@ -381,11 +379,9 @@ struct ServerFixture {
                             {.num_vertices = 300, .seed = seed}))
                   .ValueOrDie()),
         device(MakeConfig(faults)),
-        pool(2),
         oracle(&graph) {
     server = std::move(server::QueryServer::Create(
-                           &graph, GGridOptions{}, &device, &pool,
-                           server_options))
+                           &graph, GGridOptions{}, &device, server_options))
                  .ValueOrDie();
   }
 
@@ -414,7 +410,6 @@ struct ServerFixture {
 
   roadnet::Graph graph;
   Device device;
-  util::ThreadPool pool;
   baselines::BruteForce oracle;
   std::unique_ptr<server::QueryServer> server;
 };

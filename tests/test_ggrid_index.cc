@@ -49,9 +49,8 @@ struct IndexFixture {
       : graph(std::move(workload::GenerateSyntheticRoadNetwork(
                             {.num_vertices = vertices, .seed = seed}))
                   .ValueOrDie()),
-        pool(2),
         sim(&graph, {.num_objects = objects, .seed = seed + 1}) {
-    auto built = GGridIndex::Build(&graph, options, &device, &pool);
+    auto built = GGridIndex::Build(&graph, options, &device);
     GKNN_CHECK(built.ok()) << built.status().ToString();
     index = std::move(built).ValueOrDie();
     // Prime with the initial positions.
@@ -95,7 +94,6 @@ struct IndexFixture {
 
   Graph graph;
   gpusim::Device device;
-  util::ThreadPool pool;
   workload::MovingObjectSimulator sim;
   std::unique_ptr<GGridIndex> index;
 };
@@ -291,16 +289,15 @@ TEST(GGridIndexTest, RejectsInvalidOptions) {
   auto graph = workload::GenerateSyntheticRoadNetwork(
       {.num_vertices = 50, .seed = 23});
   gpusim::Device device;
-  util::ThreadPool pool(1);
   GGridOptions bad;
   bad.rho = 0.5;
-  EXPECT_FALSE(GGridIndex::Build(&*graph, bad, &device, &pool).ok());
+  EXPECT_FALSE(GGridIndex::Build(&*graph, bad, &device).ok());
   bad = GGridOptions{};
   bad.delta_b = 0;
-  EXPECT_FALSE(GGridIndex::Build(&*graph, bad, &device, &pool).ok());
+  EXPECT_FALSE(GGridIndex::Build(&*graph, bad, &device).ok());
   bad = GGridOptions{};
   bad.eta = 30;
-  EXPECT_FALSE(GGridIndex::Build(&*graph, bad, &device, &pool).ok());
+  EXPECT_FALSE(GGridIndex::Build(&*graph, bad, &device).ok());
 }
 
 TEST(GGridIndexTest, MatchesOracleOnRadialCityTopology) {
@@ -310,9 +307,8 @@ TEST(GGridIndexTest, MatchesOracleOnRadialCityTopology) {
       {.num_rings = 10, .num_spokes = 14, .seed = 61});
   ASSERT_TRUE(city.ok());
   gpusim::Device device;
-  util::ThreadPool pool(2);
   auto index =
-      GGridIndex::Build(&*city, GGridOptions{}, &device, &pool);
+      GGridIndex::Build(&*city, GGridOptions{}, &device);
   ASSERT_TRUE(index.ok());
   workload::MovingObjectSimulator sim(&*city,
                                       {.num_objects = 35, .seed = 62});

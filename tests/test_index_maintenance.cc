@@ -25,15 +25,13 @@ struct Fixture {
                    GGridOptions options = GGridOptions{})
       : graph(std::move(workload::GenerateSyntheticRoadNetwork(
                             {.num_vertices = vertices, .seed = seed}))
-                  .ValueOrDie()),
-        pool(2) {
-    index = std::move(GGridIndex::Build(&graph, options, &device, &pool))
+                  .ValueOrDie()) {
+    index = std::move(GGridIndex::Build(&graph, options, &device))
                 .ValueOrDie();
   }
 
   Graph graph;
   gpusim::Device device;
-  util::ThreadPool pool;
   std::unique_ptr<GGridIndex> index;
 };
 
@@ -182,9 +180,7 @@ TEST(SnapshotTest, SaveAndRestoreRoundTrip) {
 
   // Restore into a fresh index over the same graph.
   gpusim::Device device2;
-  util::ThreadPool pool2(1);
-  auto restored =
-      GGridIndex::Build(&fx.graph, GGridOptions{}, &device2, &pool2);
+  auto restored = GGridIndex::Build(&fx.graph, GGridOptions{}, &device2);
   ASSERT_TRUE(restored.ok());
   ASSERT_TRUE((*restored)->LoadSnapshot(path).ok());
   EXPECT_EQ((*restored)->object_table().size(),

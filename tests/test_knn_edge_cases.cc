@@ -19,14 +19,12 @@ using roadnet::EdgePoint;
 using roadnet::Graph;
 
 struct Fixture {
-  explicit Fixture(Graph g) : graph(std::move(g)), pool(2) {
-    index = std::move(GGridIndex::Build(&graph, GGridOptions{}, &device,
-                                        &pool))
+  explicit Fixture(Graph g) : graph(std::move(g)) {
+    index = std::move(GGridIndex::Build(&graph, GGridOptions{}, &device))
                 .ValueOrDie();
   }
   Graph graph;
   gpusim::Device device;
-  util::ThreadPool pool;
   std::unique_ptr<GGridIndex> index;
 };
 
@@ -154,8 +152,7 @@ TEST(KnnEdgeCaseTest, SingleCellGridStillWorks) {
   auto g = workload::GenerateSyntheticRoadNetwork(
       {.num_vertices = 40, .seed = 8});
   gpusim::Device device;
-  util::ThreadPool pool(1);
-  auto index = GGridIndex::Build(&*g, options, &device, &pool);
+  auto index = GGridIndex::Build(&*g, options, &device);
   ASSERT_TRUE(index.ok());
   EXPECT_EQ((*index)->grid().num_cells(), 1u);
   (*index)->Ingest(1, {0, 0}, 0.0);

@@ -22,15 +22,13 @@ struct Fixture {
   explicit Fixture(uint32_t vertices, uint64_t seed)
       : graph(std::move(workload::GenerateSyntheticRoadNetwork(
                             {.num_vertices = vertices, .seed = seed}))
-                  .ValueOrDie()),
-        pool(2) {
-    server = std::move(QueryServer::Create(&graph, core::GGridOptions{},
-                                           &device, &pool))
+                  .ValueOrDie()) {
+    server = std::move(
+                 QueryServer::Create(&graph, core::GGridOptions{}, &device))
                  .ValueOrDie();
   }
   Graph graph;
   gpusim::Device device;
-  util::ThreadPool pool;
   std::unique_ptr<QueryServer> server;
 };
 
@@ -185,9 +183,11 @@ TEST(QueryServerTest, MetricsExpositionReconciles) {
   EXPECT_EQ(snapshot.histograms.at("gknn_query_seconds").count,
             queries_total);
   EXPECT_GE(queries_total, 5u);
-  // Every server-level query drained the inbox first.
-  EXPECT_EQ(snapshot.histograms.at("gknn_server_drain_seconds").count, 5u);
+  // Only the first query found buffered updates; the rest skipped the
+  // drain entirely (the fast path never takes the writer lock).
+  EXPECT_GE(snapshot.histograms.at("gknn_server_drain_seconds").count, 1u);
   if (!faults_active) {
+    EXPECT_EQ(snapshot.histograms.at("gknn_server_drain_seconds").count, 1u);
     EXPECT_EQ(queries_total, 5u);
     // The folded gauges agree with the live sources they mirror.
     EXPECT_EQ(snapshot.counters.at("gknn_updates_ingested_total"), 20u);

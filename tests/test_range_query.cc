@@ -29,10 +29,8 @@ struct Fixture {
       : graph(std::move(workload::GenerateSyntheticRoadNetwork(
                             {.num_vertices = vertices, .seed = seed}))
                   .ValueOrDie()),
-        pool(2),
         sim(&graph, {.num_objects = objects, .seed = seed + 1}) {
-    index = std::move(GGridIndex::Build(&graph, GGridOptions{}, &device,
-                                        &pool))
+    index = std::move(GGridIndex::Build(&graph, GGridOptions{}, &device))
                 .ValueOrDie();
     std::vector<workload::LocationUpdate> snapshot;
     sim.EmitFullSnapshot(&snapshot);
@@ -76,7 +74,6 @@ struct Fixture {
 
   Graph graph;
   gpusim::Device device;
-  util::ThreadPool pool;
   workload::MovingObjectSimulator sim;
   std::unique_ptr<GGridIndex> index;
 };

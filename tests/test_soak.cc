@@ -19,7 +19,6 @@
 #include "gpusim/device.h"
 #include "roadnet/dijkstra.h"
 #include "util/rng.h"
-#include "util/thread_pool.h"
 #include "workload/synthetic_network.h"
 
 namespace gknn::core {
@@ -50,10 +49,9 @@ TEST_P(SoakTest, MixedWorkloadStaysCorrect) {
     device_config.faults = GetParam().faults;
   }
   gpusim::Device device(device_config);
-  util::ThreadPool pool(2);
   GGridOptions options;
   options.t_delta = 3.0;  // tight expiry to exercise bucket dropping
-  auto index = GGridIndex::Build(&graph, options, &device, &pool);
+  auto index = GGridIndex::Build(&graph, options, &device);
   ASSERT_TRUE(index.ok());
 
   // Shadow model: the true position of every live object.

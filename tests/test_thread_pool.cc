@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace gknn::util {
@@ -73,6 +77,100 @@ TEST(ThreadPoolTest, TasksSubmittedFromTasksComplete) {
   });
   pool.Wait();
   EXPECT_EQ(counter.load(), 10);
+}
+
+// --- SubmitTask: futures and exception propagation --------------------------
+
+TEST(ThreadPoolTest, SubmitTaskFutureBecomesReady) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.SubmitTask([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, SubmitTaskPropagatesExceptionToWaiter) {
+  ThreadPool pool(2);
+  auto ok = pool.SubmitTask([] {});
+  auto doomed = pool.SubmitTask(
+      [] { throw std::runtime_error("worker exploded"); });
+  EXPECT_NO_THROW(ok.get());
+  // The exception crosses threads via the future; the worker survives...
+  EXPECT_THROW(doomed.get(), std::runtime_error);
+  // ...and keeps serving tasks afterwards.
+  auto after = pool.SubmitTask([] {});
+  EXPECT_NO_THROW(after.get());
+}
+
+TEST(ThreadPoolTest, SubmitTaskExceptionCarriesMessage) {
+  ThreadPool pool(1);
+  auto f = pool.SubmitTask([] { throw std::runtime_error("specific"); });
+  try {
+    f.get();
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "specific");
+  }
+}
+
+// --- Shutdown semantics -----------------------------------------------------
+
+TEST(ThreadPoolTest, DestructionDrainsQueuedBatch) {
+  // A batch larger than the worker count sits partly queued when the
+  // destructor runs; every task must still execute (the documented
+  // contract QueryKnnBatch relies on if the server dies mid-batch).
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      futures.push_back(pool.SubmitTask([&counter] {
+        std::this_thread::yield();
+        counter.fetch_add(1);
+      }));
+    }
+    // Destructor joins here with most of the batch still queued.
+  }
+  EXPECT_EQ(counter.load(), 64);
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());  // all ready
+}
+
+// --- Inline (zero-thread) fallback ------------------------------------------
+
+TEST(ThreadPoolInlineTest, RunsTasksOnTheCallingThread) {
+  ThreadPool pool((ThreadPool::Inline{}));
+  EXPECT_EQ(pool.num_threads(), 0u);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.Submit([&] { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, caller);  // ran before Submit returned
+}
+
+TEST(ThreadPoolInlineTest, SubmitTaskIsReadyOnReturn) {
+  ThreadPool pool((ThreadPool::Inline{}));
+  int value = 0;
+  auto f = pool.SubmitTask([&value] { value = 42; });
+  EXPECT_EQ(value, 42);  // already ran
+  EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  f.get();
+}
+
+TEST(ThreadPoolInlineTest, SubmitTaskStillPropagatesExceptions) {
+  ThreadPool pool((ThreadPool::Inline{}));
+  auto f = pool.SubmitTask([] { throw std::runtime_error("inline"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolInlineTest, WaitAndParallelForWork) {
+  ThreadPool pool((ThreadPool::Inline{}));
+  pool.Wait();  // nothing queued, must not hang
+  std::vector<int> out(10, 0);
+  pool.ParallelFor(10, [&out](uint64_t i) { out[i] = 1; });
+  for (int v : out) EXPECT_EQ(v, 1);
 }
 
 }  // namespace

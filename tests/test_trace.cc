@@ -7,7 +7,6 @@
 
 #include "core/ggrid_index.h"
 #include "gpusim/device.h"
-#include "util/thread_pool.h"
 #include "workload/synthetic_network.h"
 
 namespace gknn::workload {
@@ -140,11 +139,10 @@ TEST(TraceTest, ReplayedTraceReproducesDirectRun) {
   // Apply the in-memory and the round-tripped trace to two fresh indexes;
   // every query must answer identically.
   gpusim::Device device_a, device_b;
-  util::ThreadPool pool(1);
   auto index_a =
-      core::GGridIndex::Build(&g, core::GGridOptions{}, &device_a, &pool);
+      core::GGridIndex::Build(&g, core::GGridOptions{}, &device_a);
   auto index_b =
-      core::GGridIndex::Build(&g, core::GGridOptions{}, &device_b, &pool);
+      core::GGridIndex::Build(&g, core::GGridOptions{}, &device_b);
   ASSERT_TRUE(index_a.ok());
   ASSERT_TRUE(index_b.ok());
   ASSERT_EQ(loaded->size(), events.size());

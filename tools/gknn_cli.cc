@@ -20,6 +20,9 @@
 //   --faults=SPEC                  fault-injection spec (same grammar as
 //                                  GKNN_FAULTS; see docs/ROBUSTNESS.md),
 //                                  e.g. --faults='alloc:p=0.05;seed=7'
+//   --threads=N                    worker threads of the server's batch-
+//                                  query pool (docs/CONCURRENCY.md);
+//                                  0 (default) answers batches inline
 //   --stats                        dump the stats block on exit
 //   --metrics[=FILE]               on exit, dump the observability registry
 //                                  (Prometheus text + one-line JSON, see
@@ -40,7 +43,6 @@
 #include "gpusim/device.h"
 #include "roadnet/dimacs.h"
 #include "server/query_server.h"
-#include "util/thread_pool.h"
 #include "util/timer.h"
 #include "workload/synthetic_network.h"
 #include "workload/trace.h"
@@ -149,6 +151,7 @@ int main(int argc, char** argv) {
   bool metrics_on_exit = false;
   std::string metrics_path;
   uint32_t synthetic = 0;
+  uint32_t query_threads = 0;
   uint64_t seed = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -158,6 +161,8 @@ int main(int argc, char** argv) {
       synthetic = static_cast<uint32_t>(std::stoul(arg.substr(12)));
     } else if (arg.rfind("--seed=", 0) == 0) {
       seed = std::stoull(arg.substr(7));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      query_threads = static_cast<uint32_t>(std::stoul(arg.substr(10)));
     } else if (arg.rfind("--faults=", 0) == 0) {
       fault_spec = arg.substr(9);
       have_fault_spec = true;
@@ -199,9 +204,10 @@ int main(int argc, char** argv) {
     device_config.faults = fault_spec;
   }
   gpusim::Device device(device_config);
-  util::ThreadPool pool;
+  server::ServerOptions server_options;
+  server_options.query_threads = query_threads;
   auto server = server::QueryServer::Create(&*graph, core::GGridOptions{},
-                                            &device, &pool);
+                                            &device, server_options);
   if (!server.ok()) {
     std::fprintf(stderr, "failed to build index: %s\n",
                  server.status().ToString().c_str());
