@@ -66,8 +66,10 @@ void RunBatchSharing(const std::string& dataset,
     std::vector<workload::LocationUpdate> updates;
     sim.AdvanceTo(2.0, &updates);
     for (const auto& u : updates) {
-      (*serial_index)->Ingest(u.object_id, u.position, u.time);
-      (*batch_index)->Ingest(u.object_id, u.position, u.time);
+      GKNN_CHECK(
+          (*serial_index)->Ingest(u.object_id, u.position, u.time).ok());
+      GKNN_CHECK(
+          (*batch_index)->Ingest(u.object_id, u.position, u.time).ok());
     }
     const auto queries = workload::GenerateQueries(
         *graph, {.num_queries = batch, .k = flags.k, .seed = flags.seed + 3});

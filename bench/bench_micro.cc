@@ -142,7 +142,10 @@ void BM_GGridIngest(benchmark::State& state) {
   size_t i = 0;
   for (auto _ : state) {
     const auto& u = updates[i % updates.size()];
-    (*index)->Ingest(u.object_id, u.position, u.time + static_cast<double>(i));
+    GKNN_CHECK((*index)
+                   ->Ingest(u.object_id, u.position,
+                            u.time + static_cast<double>(i))
+                   .ok());
     ++i;
   }
   state.SetItemsProcessed(state.iterations());
@@ -225,7 +228,7 @@ void BM_TopKSelect(benchmark::State& state) {
   for (auto& v : values) v = rng.Next();
   auto buf = gpusim::DeviceBuffer<uint64_t>::Allocate(&device, n);
   GKNN_CHECK(buf.ok());
-  buf->Upload(values);
+  GKNN_CHECK(buf->Upload(values).ok());
   for (auto _ : state) {
     auto result = gpusim::TopKSmallest<uint64_t>(
         &device, buf->device_span(), k,
@@ -246,7 +249,7 @@ void BM_GGridQuery(benchmark::State& state) {
   std::vector<workload::LocationUpdate> snapshot;
   sim.EmitFullSnapshot(&snapshot);
   for (const auto& u : snapshot) {
-    (*index)->Ingest(u.object_id, u.position, u.time);
+    GKNN_CHECK((*index)->Ingest(u.object_id, u.position, u.time).ok());
   }
   util::Rng rng(9);
   for (auto _ : state) {

@@ -44,7 +44,7 @@ int main() {
     std::vector<workload::LocationUpdate> updates;
     fleet.EmitFullSnapshot(&updates);
     for (const auto& u : updates) {
-      (*index)->Ingest(u.object_id, u.position, u.time);
+      if (!(*index)->Ingest(u.object_id, u.position, u.time).ok()) return 1;
     }
 
     const auto queries = workload::GenerateQueries(

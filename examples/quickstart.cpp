@@ -50,7 +50,7 @@ int main() {
   for (core::ObjectId car = 0; car < 10; ++car) {
     const roadnet::EdgeId edge = car * 97 % graph->num_edges();
     const uint32_t offset = graph->edge(edge).weight / 2;
-    (*index)->Ingest(car, {edge, offset}, /*time=*/0.0);
+    if (!(*index)->Ingest(car, {edge, offset}, /*time=*/0.0).ok()) return 1;
   }
   std::printf("ingested 10 car positions (%llu messages cached, 0 kernels "
               "run so far)\n",

@@ -33,7 +33,7 @@ int main() {
   std::vector<workload::LocationUpdate> updates;
   fleet.EmitFullSnapshot(&updates);
   for (const auto& u : updates) {
-    (*index)->Ingest(u.object_id, u.position, u.time);
+    if (!(*index)->Ingest(u.object_id, u.position, u.time).ok()) return 1;
   }
   std::printf("fleet of %u cars on a %u-vertex network\n",
               fleet.num_objects(), graph->num_vertices());
@@ -54,7 +54,7 @@ int main() {
     updates.clear();
     fleet.AdvanceTo(request.time, &updates);
     for (const auto& u : updates) {
-      (*index)->Ingest(u.object_id, u.position, u.time);
+      if (!(*index)->Ingest(u.object_id, u.position, u.time).ok()) return 1;
     }
     total_updates += updates.size();
 

@@ -46,13 +46,13 @@ int main() {
 
     util::Timer lazy_timer;
     for (const auto& u : updates) {
-      (*lazy)->Ingest(u.object_id, u.position, u.time);
+      if (!(*lazy)->Ingest(u.object_id, u.position, u.time).ok()) return 1;
     }
     const double lazy_ms = lazy_timer.ElapsedMillis();
 
     util::Timer eager_timer;
     for (const auto& u : updates) {
-      (*eager)->Ingest(u.object_id, u.position, u.time);
+      if (!(*eager)->Ingest(u.object_id, u.position, u.time).ok()) return 1;
     }
     const double eager_ms = eager_timer.ElapsedMillis();
 

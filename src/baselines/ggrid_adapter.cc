@@ -19,7 +19,12 @@ void GGridAlgorithm::Ingest(core::ObjectId object,
   const double sim_wall_before = device.sim_wall_seconds();
   const double clock_before = device.ClockSeconds();
   util::Timer timer;
-  index_->Ingest(object, position, time);
+  const util::Status ingested = index_->Ingest(object, position, time);
+  if (!ingested.ok()) {
+    // The benchmark Algorithm interface has no error channel; a workload
+    // position off the network is a harness bug, so surface it loudly.
+    GKNN_LOG(Warning) << "ggrid ingest failed: " << ingested.ToString();
+  }
   // Lazy ingestion runs no device work; the eager-update ablation does,
   // and its simulated kernels are billed to the device, not the host.
   costs_.cpu_seconds +=

@@ -82,7 +82,7 @@ KnnEngine::KnnEngine(gpusim::Device* device, const GraphGrid* grid,
 
 std::unique_ptr<KnnEngine::QueryWorkspace> KnnEngine::AcquireWorkspace() {
   {
-    std::lock_guard<std::mutex> lock(ws_mu_);
+    util::lockdep::MutexLock lock(ws_mu_);
     if (!free_workspaces_.empty()) {
       std::unique_ptr<QueryWorkspace> ws = std::move(free_workspaces_.back());
       free_workspaces_.pop_back();
@@ -93,7 +93,7 @@ std::unique_ptr<KnnEngine::QueryWorkspace> KnnEngine::AcquireWorkspace() {
 }
 
 void KnnEngine::ReleaseWorkspace(std::unique_ptr<QueryWorkspace> workspace) {
-  std::lock_guard<std::mutex> lock(ws_mu_);
+  util::lockdep::MutexLock lock(ws_mu_);
   free_workspaces_.push_back(std::move(workspace));
 }
 
@@ -262,6 +262,8 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
     }
     GKNN_RETURN_NOT_OK(device_dist.Upload(init).status());
   }
+  // gknn-lint: allow(device-span): host reads D only after the kernels
+  // complete; in-kernel accesses go through the checked Load/AtomicMin.
   auto dist_span = device_dist.device_span();
 
   // One thread per vertex entry (real or virtual); each relaxes the
@@ -290,7 +292,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
       "GPU_SDist", static_cast<uint32_t>(slots.size()),
       /*max_iters=*/std::max<uint32_t>(1, st.candidate_vertices),
       options_->sdist_early_exit,
-      [&](ThreadCtx& ctx, uint32_t) {
+      [this, &slots, &local_of, &device_dist](ThreadCtx& ctx, uint32_t) {
         const SlotRef ref = slots[ctx.thread_id];
         const GraphGrid::VertexSlot& slot = grid_->Slot(ref.cell, ref.slot);
         bool changed = false;
@@ -316,7 +318,8 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
 
   // ---- Step 2b: GPU_First_k — candidate distances + k smallest -----------
   obs::Span topk_span = PhaseSpan(trace, obs::Phase::kTopk);
-  auto object_distance = [&](ThreadCtx& ctx, const Message& m) -> Distance {
+  auto object_distance = [&graph, &local_of, &device_dist, location](
+                             ThreadCtx& ctx, const Message& m) -> Distance {
     const Edge& e = graph.edge(m.edge);
     Distance d = kInfiniteDistance;
     const uint32_t src = local_of(e.source);
@@ -351,12 +354,15 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
     GKNN_ASSIGN_OR_RETURN(auto device_entries,
                           DeviceBuffer<DistEntry>::Allocate(
                               device_, candidates.size(), "entries"));
+    // gknn-lint: allow(device-span): handed to gpusim::TopKSmallest, which
+    // performs its own checked accesses.
     auto entry_span = device_entries.device_span();
     GKNN_RETURN_NOT_OK(
         device_
             ->Launch("GPU_First_k/distances",
                      static_cast<uint32_t>(candidates.size()),
-                     [&](ThreadCtx& ctx) {
+                     [&candidates, &device_entries,
+                      &object_distance](ThreadCtx& ctx) {
                        const Message& m = candidates[ctx.thread_id];
                        device_entries.Store(
                            ctx, ctx.thread_id,
@@ -390,7 +396,8 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
   std::vector<UnresolvedEntry> unresolved;
   {
     const uint32_t n = static_cast<uint32_t>(region_vertices.size());
-    auto is_unresolved = [&](ThreadCtx& ctx, uint32_t i) {
+    auto is_unresolved = [this, &device_dist, l, &graph, &region_vertices,
+                          &in_l](ThreadCtx& ctx, uint32_t i) {
       if (device_dist.Load(ctx, i) >= l) return false;
       for (EdgeId id : graph.OutEdgeIds(region_vertices[i])) {
         if (!in_l[grid_->CellOfVertex(graph.edge(id).target)]) return true;
@@ -399,11 +406,14 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
     };
     GKNN_ASSIGN_OR_RETURN(
         auto flags, DeviceBuffer<uint32_t>::Allocate(device_, n, "flags"));
+    // gknn-lint: allow(device-span): handed to gpusim::ExclusiveScan, which
+    // performs its own checked accesses.
     auto flag_span = flags.device_span();
     GKNN_RETURN_NOT_OK(
         device_
             ->Launch("GPU_Unresolved/flag", n,
-                     [&](ThreadCtx& ctx) {
+                     [&flags, &is_unresolved, &graph,
+                      &region_vertices](ThreadCtx& ctx) {
                        flags.Store(ctx, ctx.thread_id,
                                    is_unresolved(ctx, ctx.thread_id) ? 1 : 0);
                        ctx.CountOps(
@@ -419,7 +429,8 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
       GKNN_RETURN_NOT_OK(
           device_
               ->Launch("GPU_Unresolved/scatter", n,
-                       [&](ThreadCtx& ctx) {
+                       [&is_unresolved, &compacted, &flags, &region_vertices,
+                        &device_dist](ThreadCtx& ctx) {
                          ctx.CountOps(1);
                          if (is_unresolved(ctx, ctx.thread_id)) {
                            compacted.Store(
@@ -660,6 +671,8 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeGpu(
     }
     GKNN_RETURN_NOT_OK(device_dist.Upload(init).status());
   }
+  // gknn-lint: allow(device-span): host reads D only after the kernels
+  // complete; in-kernel accesses go through the checked Load/AtomicMin.
   auto dist_span = device_dist.device_span();
   struct SlotRef {
     CellId cell;
@@ -677,7 +690,8 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeGpu(
       device_->LaunchIterative(
       "GPU_SDist", static_cast<uint32_t>(slots.size()),
       std::max<uint32_t>(1, st.candidate_vertices),
-      options_->sdist_early_exit, [&](ThreadCtx& ctx, uint32_t) {
+      options_->sdist_early_exit,
+      [this, &slots, &local_of, &device_dist](ThreadCtx& ctx, uint32_t) {
         const SlotRef ref = slots[ctx.thread_id];
         const GraphGrid::VertexSlot& slot = grid_->Slot(ref.cell, ref.slot);
         bool changed = false;

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -17,6 +16,7 @@
 #include "gpusim/device.h"
 #include "obs/trace.h"
 #include "roadnet/dijkstra.h"
+#include "util/lockdep.h"
 #include "util/result.h"
 
 namespace gknn::core {
@@ -200,8 +200,9 @@ class KnnEngine {
   const GGridOptions* options_;
 
   /// Freelist of reusable query workspaces; grows to the high-water mark
-  /// of concurrent queries. Guarded by ws_mu_.
-  std::mutex ws_mu_;
+  /// of concurrent queries. Guarded by ws_mu_ (a lock-order leaf: the
+  /// freelist pop/push never acquires anything else).
+  util::lockdep::Mutex ws_mu_{util::lockdep::kEngineWorkspaceClass};
   std::vector<std::unique_ptr<QueryWorkspace>> free_workspaces_;
 
   EngineCounters counters_;

@@ -70,21 +70,25 @@ void MessageCleaner::RecordOutcome(const Outcome& outcome, bool on_device) {
   }
 }
 
-std::vector<std::unique_lock<std::mutex>> MessageCleaner::LockCellStripes(
+util::lockdep::MultiLock MessageCleaner::LockCellStripes(
     std::span<const CellId> cells) {
   // Ascending, deduplicated stripe order makes concurrent batches with
-  // overlapping stripe sets acquire in one global order: no deadlock.
+  // overlapping stripe sets acquire in one global order: no deadlock. The
+  // stripes acquire as one ranked multi-lock, and lockdep's
+  // ascending-stripe rule asserts the order on every acquisition — an
+  // unsorted or duplicated set is reported as a violation rather than
+  // left as a latent ABBA window.
   std::vector<size_t> stripes;
   stripes.reserve(cells.size());
   for (CellId cell : cells) stripes.push_back(cell % kCleanStripes);
   std::sort(stripes.begin(), stripes.end());
   stripes.erase(std::unique(stripes.begin(), stripes.end()), stripes.end());
-  std::vector<std::unique_lock<std::mutex>> locks;
-  locks.reserve(stripes.size());
+  std::vector<util::lockdep::Mutex*> mutexes;
+  mutexes.reserve(stripes.size());
   for (size_t stripe : stripes) {
-    locks.emplace_back(clean_stripes_[stripe]);
+    mutexes.push_back(&clean_stripes_[stripe]);
   }
-  return locks;
+  return util::lockdep::MultiLock(std::move(mutexes));
 }
 
 util::Status MessageCleaner::EnsureCapacity(DeviceBuffer<Message>* buffer,
@@ -199,6 +203,9 @@ util::Result<std::vector<Message>> MessageCleaner::CompactOnDevice(
       &table_t_, static_cast<size_t>(num_objects) * n_bundles, "T"));
   GKNN_RETURN_NOT_OK(EnsureCapacity(&table_r_, num_objects, "R"));
 
+  // gknn-lint: allow(device-span): host-side staging writes into L.A
+  // between the chunk's EnqueueH2D and its kernel; kernels use the
+  // checked Load.
   auto msg_span = device_messages_.device_span();
   // T starts empty: a device-side memset kernel, one entry per thread.
   // Its cost is what makes small delta_b expensive — more buckets mean
@@ -209,7 +216,7 @@ util::Result<std::vector<Message>> MessageCleaner::CompactOnDevice(
           ->Launch("GPU_Memset_T",
                    static_cast<uint32_t>(static_cast<size_t>(num_objects) *
                                          n_bundles),
-                   [&](ThreadCtx& ctx) {
+                   [this](ThreadCtx& ctx) {
                      table_t_.Store(ctx, ctx.thread_id, kNullMessage);
                      ctx.CountOps(1);
                    })
@@ -227,18 +234,18 @@ util::Result<std::vector<Message>> MessageCleaner::CompactOnDevice(
   // *within* a bundle (each bundle owns its T column), which lockstep
   // arbitration resolves — any cross-bundle conflict is a real bug and is
   // flagged.
-  auto bucket_message = [&](const WarpCtx& warp, uint32_t bucket,
-                            uint32_t i) -> Message {
+  auto bucket_message = [this](const WarpCtx& warp, uint32_t bucket,
+                               uint32_t i) -> Message {
     return device_messages_.Load(
         warp, static_cast<size_t>(bucket) * options_.delta_b + i);
   };
-  auto t_load = [&](const WarpCtx& warp, uint32_t obj_idx,
-                    uint32_t bundle) -> Message {
+  auto t_load = [this, n_bundles](const WarpCtx& warp, uint32_t obj_idx,
+                                  uint32_t bundle) -> Message {
     return table_t_.Load(warp,
                          static_cast<size_t>(obj_idx) * n_bundles + bundle);
   };
-  auto t_store = [&](const WarpCtx& warp, uint32_t obj_idx, uint32_t bundle,
-                     const Message& m) {
+  auto t_store = [this, n_bundles](const WarpCtx& warp, uint32_t obj_idx,
+                                   uint32_t bundle, const Message& m) {
     table_t_.Store(warp, static_cast<size_t>(obj_idx) * n_bundles + bundle,
                    m);
   };
@@ -259,7 +266,9 @@ util::Result<std::vector<Message>> MessageCleaner::CompactOnDevice(
     const uint32_t first_bundle = first / width;
     const uint32_t chunk_bundles = (count + width - 1) / width;
     auto stats = LaunchWarps(
-        device_, "GPU_X_Shuffle", chunk_bundles, width, [&](WarpCtx& warp) {
+        device_, "GPU_X_Shuffle", chunk_bundles, width,
+        [this, &host_buckets, &object_index, &bucket_message, &t_load,
+         &t_store, first_bundle, width, n_buckets](WarpCtx& warp) {
           const uint32_t bundle = first_bundle + warp.warp_id();
           // Per-lane message cache Gamma (Alg. 3 line 1). The paper sizes
           // it eta, but a lane performs eta+1 cache steps per read round
@@ -377,9 +386,12 @@ util::Result<std::vector<Message>> MessageCleaner::CompactOnDevice(
   // ---- GPU_Collect — reduce T into R, one thread per object --------------
   std::vector<std::pair<ObjectId, uint32_t>> objects(object_index.begin(),
                                                      object_index.end());
+  // gknn-lint: allow(device-span): host reads R only after Synchronize;
+  // GPU_Collect itself writes through the checked Store.
   auto r_span = table_r_.device_span();
   auto collect_stats = device_->Launch(
-      "GPU_Collect", num_objects, [&](ThreadCtx& ctx) {
+      "GPU_Collect", num_objects,
+      [this, &objects, n_bundles](ThreadCtx& ctx) {
         const uint32_t idx = objects[ctx.thread_id].second;
         Message best = kNullMessage;
         for (uint32_t bundle = 0; bundle < n_bundles; ++bundle) {
@@ -466,7 +478,7 @@ util::Result<MessageCleaner::Outcome> MessageCleaner::Clean(
   // The staging buffers (L.A, T, R) persist across batches; batches over
   // disjoint cells still serialize their device phase.
   util::Result<std::vector<Message>> table_r = [&] {
-    std::lock_guard<std::mutex> device_lock(device_mu_);
+    util::lockdep::MutexLock device_lock(device_mu_);
     return CompactOnDevice(&plan);
   }();
   if (!table_r.ok()) {

@@ -1,9 +1,7 @@
 #ifndef GKNN_CORE_MESSAGE_CLEANER_H_
 #define GKNN_CORE_MESSAGE_CLEANER_H_
 
-#include <array>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -13,6 +11,7 @@
 #include "gpusim/device.h"
 #include "gpusim/device_buffer.h"
 #include "obs/metrics.h"
+#include "util/lockdep.h"
 #include "util/result.h"
 
 namespace gknn::core {
@@ -161,10 +160,11 @@ class MessageCleaner {
   /// Folds one finished batch into the registry (no-op without one).
   void RecordOutcome(const Outcome& outcome, bool on_device);
 
-  /// Locks the clean stripes covering `cells` in ascending stripe order
-  /// and returns the held locks (released when the vector is destroyed).
-  std::vector<std::unique_lock<std::mutex>> LockCellStripes(
-      std::span<const CellId> cells);
+  /// Locks the clean stripes covering `cells` as one ranked multi-lock in
+  /// ascending stripe order (released when the MultiLock is destroyed).
+  /// Lockdep asserts the ascending order on every acquisition
+  /// (docs/LOCKDEP.md).
+  util::lockdep::MultiLock LockCellStripes(std::span<const CellId> cells);
 
   gpusim::Device* device_;
   Options options_;
@@ -172,13 +172,15 @@ class MessageCleaner {
 
   /// Striped per-cell clean locks: stripe = cell % kCleanStripes. Held
   /// from Preprocess through Commit/Rollback so a cell is cleaned exactly
-  /// once per dirty epoch even under racing readers.
+  /// once per dirty epoch even under racing readers. Stripe i carries
+  /// lockdep instance key i (nestable cleaner.stripe class).
   static constexpr size_t kCleanStripes = 64;
-  mutable std::array<std::mutex, kCleanStripes> clean_stripes_;
+  mutable util::lockdep::StripedMutexes<kCleanStripes> clean_stripes_{
+      util::lockdep::kCleanerStripeClass};
 
   /// Serializes the device phase: the staging buffers below are reused
   /// across batches and must not see two batches at once.
-  std::mutex device_mu_;
+  util::lockdep::Mutex device_mu_{util::lockdep::kCleanerDeviceClass};
 
   // Observability handles, resolved once in SetMetricRegistry. All null
   // until then.

@@ -5,10 +5,10 @@
 #include <cstdint>
 #include <deque>
 #include <limits>
-#include <mutex>
 #include <vector>
 
 #include "core/types.h"
+#include "util/lockdep.h"
 #include "util/logging.h"
 
 namespace gknn::core {
@@ -52,7 +52,7 @@ class BucketArena {
   uint32_t Alloc() {
     uint32_t id;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::lockdep::MutexLock lock(mu_);
       if (!free_list_.empty()) {
         id = free_list_.back();
         free_list_.pop_back();
@@ -71,7 +71,7 @@ class BucketArena {
   }
 
   void Free(uint32_t id) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::lockdep::MutexLock lock(mu_);
     free_list_.push_back(id);
   }
 
@@ -79,18 +79,18 @@ class BucketArena {
   const Bucket& bucket(uint32_t id) const { return buckets_[id]; }
 
   uint32_t num_buckets() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::lockdep::MutexLock lock(mu_);
     return static_cast<uint32_t>(buckets_.size());
   }
   uint32_t num_free() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::lockdep::MutexLock lock(mu_);
     return static_cast<uint32_t>(free_list_.size());
   }
 
   /// Bytes held by all buckets (live and pooled). Requires mutation
   /// quiescence (see class comment).
   uint64_t MemoryBytes() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::lockdep::MutexLock lock(mu_);
     uint64_t bytes = buckets_.size() * sizeof(Bucket) +
                      free_list_.size() * sizeof(uint32_t);
     for (const Bucket& b : buckets_) {
@@ -101,7 +101,10 @@ class BucketArena {
 
  private:
   uint32_t delta_b_;
-  mutable std::mutex mu_;
+  /// core.arena in the lock order: taken under the clean stripe locks
+  /// (bucket recycling during commit) and under the server's exclusive
+  /// drain (appends); never held across another acquisition.
+  mutable util::lockdep::Mutex mu_{util::lockdep::kCoreArenaClass};
   std::deque<Bucket> buckets_;
   std::vector<uint32_t> free_list_;
 };

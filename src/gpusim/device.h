@@ -5,7 +5,6 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -15,6 +14,7 @@
 #include "gpusim/fault_injector.h"
 #include "gpusim/hazard.h"
 #include "gpusim/transfer_ledger.h"
+#include "util/lockdep.h"
 #include "util/logging.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -105,7 +105,7 @@ class Device {
   util::Status SetFaultSpec(std::string_view spec) {
     GKNN_ASSIGN_OR_RETURN(FaultInjector parsed,
                           FaultInjector::Parse(spec, config_.fault_seed));
-    std::lock_guard<std::mutex> lock(fault_mu_);
+    util::lockdep::MutexLock lock(fault_mu_);
     faults_ = std::move(parsed);
     return util::Status::OK();
   }
@@ -113,14 +113,14 @@ class Device {
   /// Consulted by every launch path before the kernel body runs: an
   /// injected kernel fault means nothing executed (a failed launch).
   util::Status CheckKernelFault(std::string_view label) {
-    std::lock_guard<std::mutex> lock(fault_mu_);
+    util::lockdep::MutexLock lock(fault_mu_);
     return faults_.Check(FaultSite::kKernel, label);
   }
 
   /// Consulted by every transfer path *before* bytes move, so a failed
   /// copy leaves both sides untouched.
   util::Status CheckTransferFault(std::string_view what) {
-    std::lock_guard<std::mutex> lock(fault_mu_);
+    util::lockdep::MutexLock lock(fault_mu_);
     return faults_.Check(FaultSite::kTransfer, what);
   }
 
@@ -130,7 +130,7 @@ class Device {
   /// the configured capacity would be exceeded (used by DeviceBuffer).
   util::Status RegisterAlloc(uint64_t bytes) {
     {
-      std::lock_guard<std::mutex> lock(fault_mu_);
+      util::lockdep::MutexLock lock(fault_mu_);
       GKNN_RETURN_NOT_OK(faults_.Check(
           FaultSite::kAlloc, std::to_string(bytes) + " bytes"));
     }
@@ -196,7 +196,7 @@ class Device {
   /// Per-kernel launch totals, copied under the device's stats lock so the
   /// caller gets a consistent snapshot even while launches race.
   std::map<std::string, KernelTotals, std::less<>> kernel_totals() const {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    util::lockdep::MutexLock lock(stats_mu_);
     return kernel_totals_;
   }
 
@@ -254,7 +254,7 @@ class Device {
                                 owner, type);
     if (!prior) return;
     hazard_count_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    util::lockdep::MutexLock lock(stats_mu_);
     if (hazards_.size() < config_.max_hazard_records) {
       HazardRecord record;
       record.kernel = CurrentKernelLabel();
@@ -281,7 +281,7 @@ class Device {
   const std::vector<HazardRecord>& hazards() const { return hazards_; }
 
   void ClearHazards() {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    util::lockdep::MutexLock lock(stats_mu_);
     hazards_.clear();
     hazard_count_.store(0, std::memory_order_relaxed);
     LaunchHazardBase() = 0;
@@ -291,7 +291,7 @@ class Device {
   /// carrying the first hazard and the total count.
   util::Status HazardStatus() const {
     if (hazard_count() == 0) return util::Status::OK();
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    util::lockdep::MutexLock lock(stats_mu_);
     return util::Status::Internal(
         std::to_string(hazard_count_.load(std::memory_order_relaxed)) +
         " data hazard(s), first: " +
@@ -437,7 +437,7 @@ class Device {
 
   void AccumulateKernelTotals(std::string_view label,
                               const KernelStats& stats) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    util::lockdep::MutexLock lock(stats_mu_);
     auto it = kernel_totals_.find(label);
     if (it == kernel_totals_.end()) {
       it = kernel_totals_.emplace(std::string(label), KernelTotals{}).first;
@@ -458,13 +458,14 @@ class Device {
 
   // Serializes fault-schedule consultation (the injector's rule counters
   // and seeded RNG are stateful).
-  std::mutex fault_mu_;
+  util::lockdep::Mutex fault_mu_{util::lockdep::kDeviceFaultClass};
   FaultInjector faults_;
 
   // Hazard-detector state (see docs/HAZARD_CHECKER.md).
   std::atomic<uint64_t> epoch_{1};  // 0 is "never accessed" in shadow cells
   std::atomic<uint64_t> hazard_count_{0};
-  mutable std::mutex stats_mu_;  // guards hazards_ and kernel_totals_
+  // guards hazards_ and kernel_totals_; device.stats leaf in the lock order
+  mutable util::lockdep::Mutex stats_mu_{util::lockdep::kDeviceStatsClass};
   std::vector<HazardRecord> hazards_;
   std::map<std::string, KernelTotals, std::less<>> kernel_totals_;
 };

@@ -20,7 +20,7 @@ util::Result<uint32_t> ExclusiveScan(Device* device,
       device
           ->LaunchIterative("ExclusiveScan", half, std::max(1u, 2 * levels),
                             /*stop_when_stable=*/false,
-                            [&](ThreadCtx& ctx, uint32_t) {
+                            [](ThreadCtx& ctx, uint32_t) {
                               ctx.CountOps(1);
                               return true;
                             })

@@ -54,7 +54,7 @@ util::Result<std::vector<T>> TopKSmallest(Device* device,
   }
 
   // Step 2: bitonic sort every block ascending, one bundle per block.
-  auto bitonic_sort = [&](WarpCtx& warp, std::vector<T>& regs) {
+  auto bitonic_sort = [width](WarpCtx& warp, std::vector<T>& regs) {
     for (uint32_t stage = 2; stage <= width; stage <<= 1) {
       for (uint32_t step = stage >> 1; step > 0; step >>= 1) {
         std::vector<T> partner = regs;
@@ -74,7 +74,7 @@ util::Result<std::vector<T>> TopKSmallest(Device* device,
     }
   };
   // Final merge pass for a bitonic sequence (the stage == width phase).
-  auto bitonic_merge = [&](WarpCtx& warp, std::vector<T>& regs) {
+  auto bitonic_merge = [width](WarpCtx& warp, std::vector<T>& regs) {
     for (uint32_t step = width >> 1; step > 0; step >>= 1) {
       std::vector<T> partner = regs;
       warp.ShflXor(partner, step);
@@ -88,7 +88,7 @@ util::Result<std::vector<T>> TopKSmallest(Device* device,
   };
 
   GKNN_RETURN_NOT_OK(LaunchWarps(device, "GPU_First_k/sort", n_blocks, width,
-                                 [&](WarpCtx& warp) {
+                                 [&bitonic_sort, &blocks](WarpCtx& warp) {
                                    bitonic_sort(warp, blocks[warp.warp_id()]);
                                  })
                          .status());
@@ -98,7 +98,8 @@ util::Result<std::vector<T>> TopKSmallest(Device* device,
   while (live > 1) {
     const uint32_t pairs = live / 2;
     auto merge_stats = LaunchWarps(
-        device, "GPU_First_k/merge", pairs, width, [&](WarpCtx& warp) {
+        device, "GPU_First_k/merge", pairs, width,
+        [&blocks, &bitonic_merge, width](WarpCtx& warp) {
       std::vector<T>& a = blocks[2 * warp.warp_id()];
       std::vector<T>& b = blocks[2 * warp.warp_id() + 1];
       // C[i] = min(A[i], B[width-1-i]): the B smallest of A ∪ B, bitonic.

@@ -104,7 +104,7 @@ double Histogram::Quantile(double q) const {
 }
 
 Counter* MetricRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::lockdep::MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -114,7 +114,7 @@ Counter* MetricRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge* MetricRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::lockdep::MutexLock lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -123,7 +123,7 @@ Gauge* MetricRegistry::GetGauge(std::string_view name) {
 }
 
 Histogram* MetricRegistry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::lockdep::MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -134,7 +134,7 @@ Histogram* MetricRegistry::GetHistogram(std::string_view name) {
 
 RegistrySnapshot MetricRegistry::Snapshot() const {
   RegistrySnapshot snapshot;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::lockdep::MutexLock lock(mutex_);
   for (const auto& [name, counter] : counters_) {
     snapshot.counters[name] = counter->Value();
   }

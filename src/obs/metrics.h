@@ -6,10 +6,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/lockdep.h"
 
 // GKNN_OBS selects whether the observability subsystem is compiled in.
 // The build sets it via -DGKNN_OBS=0 (CMake option GKNN_OBS=OFF); the
@@ -191,7 +192,8 @@ class MetricRegistry {
 
  private:
 #if GKNN_OBS
-  mutable std::mutex mutex_;
+  /// obs.registry in the lock order: a leaf — Get* only touches the maps.
+  mutable util::lockdep::Mutex mutex_{util::lockdep::kObsRegistryClass};
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;

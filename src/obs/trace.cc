@@ -71,13 +71,13 @@ void Tracer::FinishQuery(QueryTraceRecord record) {
     }
   }
 
-  std::lock_guard<std::mutex> lock(ring_mutex_);
+  util::lockdep::MutexLock lock(ring_mutex_);
   ring_.push_back(std::move(record));
   while (ring_.size() > ring_capacity_) ring_.pop_front();
 }
 
 std::vector<QueryTraceRecord> Tracer::RecentTraces() const {
-  std::lock_guard<std::mutex> lock(ring_mutex_);
+  util::lockdep::MutexLock lock(ring_mutex_);
   return std::vector<QueryTraceRecord>(ring_.begin(), ring_.end());
 }
 

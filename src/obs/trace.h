@@ -5,12 +5,12 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string_view>
 #include <vector>
 
 #include "obs/clock.h"
 #include "obs/metrics.h"
+#include "util/lockdep.h"
 
 namespace gknn::obs {
 
@@ -168,7 +168,7 @@ class Tracer {
   template <typename Fn>
   void AnnotateLast(Fn&& fn) {
 #if GKNN_OBS
-    std::lock_guard<std::mutex> lock(ring_mutex_);
+    util::lockdep::MutexLock lock(ring_mutex_);
     if (!ring_.empty()) fn(ring_.back());
 #else
     (void)fn;
@@ -184,7 +184,7 @@ class Tracer {
   bool Annotate(uint64_t query_id, Fn&& fn) {
 #if GKNN_OBS
     if (query_id == 0) return false;
-    std::lock_guard<std::mutex> lock(ring_mutex_);
+    util::lockdep::MutexLock lock(ring_mutex_);
     for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
       if (it->query_id == query_id) {
         fn(*it);
@@ -219,7 +219,10 @@ class Tracer {
   Histogram* query_seconds_;
   std::array<Histogram*, kNumPhases> phase_seconds_;
 
-  mutable std::mutex ring_mutex_;
+  /// obs.ring in the lock order: a leaf — push/annotate only touches the
+  /// deque (the registry side of FinishQuery goes through pre-resolved
+  /// atomic handles, never the registry mutex).
+  mutable util::lockdep::Mutex ring_mutex_{util::lockdep::kObsRingClass};
   std::deque<QueryTraceRecord> ring_;
 #endif
 };

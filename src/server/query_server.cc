@@ -23,13 +23,13 @@ util::Result<std::unique_ptr<QueryServer>> QueryServer::Create(
 void QueryServer::Report(core::ObjectId object, roadnet::EdgePoint position,
                          double time) {
   Inbox& inbox = InboxOf(object);
-  std::lock_guard<std::mutex> lock(inbox.mutex);
+  util::lockdep::MutexLock lock(inbox.mutex);
   inbox.entries.push_back(Inbox::Entry{object, position, time, false});
 }
 
 void QueryServer::Deregister(core::ObjectId object, double time) {
   Inbox& inbox = InboxOf(object);
-  std::lock_guard<std::mutex> lock(inbox.mutex);
+  util::lockdep::MutexLock lock(inbox.mutex);
   inbox.entries.push_back(Inbox::Entry{object, {}, time, true});
 }
 
@@ -38,7 +38,7 @@ util::Status QueryServer::DrainExclusive() {
   for (Inbox& inbox : inboxes_) {
     std::vector<Inbox::Entry> batch;
     {
-      std::lock_guard<std::mutex> lock(inbox.mutex);
+      util::lockdep::MutexLock lock(inbox.mutex);
       batch.swap(inbox.entries);
     }
     for (size_t i = 0; i < batch.size(); ++i) {
@@ -60,7 +60,7 @@ util::Status QueryServer::DrainExclusive() {
       // its batch at the *front* of the stripe (per-object FIFO order is
       // preserved) and move on; the next drain retries them.
       {
-        std::lock_guard<std::mutex> lock(inbox.mutex);
+        util::lockdep::MutexLock lock(inbox.mutex);
         inbox.entries.insert(inbox.entries.begin(), batch.begin() + i,
                              batch.end());
       }
@@ -85,7 +85,7 @@ util::Status QueryServer::TimedDrainExclusive() {
 
 util::Status QueryServer::DrainIfPending() {
   if (pending_updates() == 0) return util::Status::OK();
-  std::unique_lock<std::shared_mutex> lock(index_mutex_);
+  util::lockdep::ExclusiveLock lock(index_mutex_);
   return TimedDrainExclusive();
 }
 
@@ -99,7 +99,7 @@ util::Result<std::vector<core::KnnResultEntry>> QueryServer::ExecuteShared(
   bool degraded_now = false;
   bool probe_due = false;
   {
-    std::lock_guard<std::mutex> lock(breaker_mu_);
+    util::lockdep::MutexLock lock(breaker_mu_);
     if (stats_.degraded.load(std::memory_order_relaxed)) {
       degraded_now = true;
       ++stats_.degraded_queries;
@@ -114,7 +114,7 @@ util::Result<std::vector<core::KnnResultEntry>> QueryServer::ExecuteShared(
       // this probe's answer is the query's answer.
       auto probe = run(ExecMode::kGpuOnly);
       if (probe.ok()) {
-        std::lock_guard<std::mutex> lock(breaker_mu_);
+        util::lockdep::MutexLock lock(breaker_mu_);
         // Another probe may have closed the breaker while ours ran.
         if (stats_.degraded.load(std::memory_order_relaxed)) {
           breaker_seq_.fetch_add(1, std::memory_order_release);
@@ -144,7 +144,7 @@ util::Result<std::vector<core::KnnResultEntry>> QueryServer::ExecuteShared(
     }
     auto result = run(ExecMode::kGpuOnly);
     if (result.ok()) {
-      std::lock_guard<std::mutex> lock(breaker_mu_);
+      util::lockdep::MutexLock lock(breaker_mu_);
       consecutive_query_failures_ = 0;
       return result;
     }
@@ -152,7 +152,7 @@ util::Result<std::vector<core::KnnResultEntry>> QueryServer::ExecuteShared(
     ++stats_.gpu_failures;
   }
   {
-    std::lock_guard<std::mutex> lock(breaker_mu_);
+    util::lockdep::MutexLock lock(breaker_mu_);
     if (++consecutive_query_failures_ >= options_.breaker_threshold &&
         !stats_.degraded.load(std::memory_order_relaxed)) {
       breaker_seq_.fetch_add(1, std::memory_order_release);
@@ -172,7 +172,7 @@ util::Result<std::vector<core::KnnResultEntry>> QueryServer::ExecuteShared(
 util::Result<std::vector<core::KnnResultEntry>> QueryServer::QueryKnn(
     roadnet::EdgePoint location, uint32_t k, double t_now) {
   GKNN_RETURN_NOT_OK(DrainIfPending());
-  std::shared_lock<std::shared_mutex> lock(index_mutex_);
+  util::lockdep::SharedLock lock(index_mutex_);
   core::KnnStats stats;
   uint64_t query_retries = 0;
   auto result = ExecuteShared(
@@ -187,7 +187,7 @@ util::Result<std::vector<core::KnnResultEntry>> QueryServer::QueryKnn(
 util::Result<std::vector<core::KnnResultEntry>> QueryServer::QueryRange(
     roadnet::EdgePoint location, roadnet::Distance radius, double t_now) {
   GKNN_RETURN_NOT_OK(DrainIfPending());
-  std::shared_lock<std::shared_mutex> lock(index_mutex_);
+  util::lockdep::SharedLock lock(index_mutex_);
   core::KnnStats stats;
   uint64_t query_retries = 0;
   auto result = ExecuteShared(
@@ -210,7 +210,7 @@ QueryServer::QueryKnnBatch(std::span<const roadnet::EdgePoint> locations,
   for (size_t i = 0; i < locations.size(); ++i) {
     tasks.push_back(query_pool_->SubmitTask(
         [this, &results, &statuses, location = locations[i], k, t_now, i] {
-          std::shared_lock<std::shared_mutex> lock(index_mutex_);
+          util::lockdep::SharedLock lock(index_mutex_);
           core::KnnStats stats;
           uint64_t query_retries = 0;
           auto result = ExecuteShared(
@@ -266,22 +266,33 @@ void QueryServer::FoldServerMetricsExclusive() {
   set("gknn_server_degraded", snapshot.degraded ? 1.0 : 0.0);
   set("gknn_server_pending_updates",
       static_cast<double>(pending_updates()));
+  // Lock-discipline violations (docs/LOCKDEP.md). The lockdep layer keeps
+  // one process-global count; fold the delta so the registry counter stays
+  // monotone across snapshots. Zero always, unless a bug slipped past the
+  // rank table.
+  const uint64_t violations = util::lockdep::ViolationCount();
+  obs::Counter* violation_counter =
+      registry.GetCounter("gknn_lockdep_violations_total");
+  if (violations > folded_lockdep_violations_) {
+    violation_counter->Add(violations - folded_lockdep_violations_);
+  }
+  folded_lockdep_violations_ = violations;
 }
 
 obs::RegistrySnapshot QueryServer::MetricsSnapshot() {
-  std::unique_lock<std::shared_mutex> lock(index_mutex_);
+  util::lockdep::ExclusiveLock lock(index_mutex_);
   FoldServerMetricsExclusive();
   return index_->metrics().Snapshot();
 }
 
 std::string QueryServer::MetricsPrometheus() {
-  std::unique_lock<std::shared_mutex> lock(index_mutex_);
+  util::lockdep::ExclusiveLock lock(index_mutex_);
   FoldServerMetricsExclusive();
   return index_->metrics().RenderPrometheusText();
 }
 
 std::string QueryServer::MetricsJson() {
-  std::unique_lock<std::shared_mutex> lock(index_mutex_);
+  util::lockdep::ExclusiveLock lock(index_mutex_);
   FoldServerMetricsExclusive();
   return index_->metrics().RenderJson();
 }
@@ -289,7 +300,7 @@ std::string QueryServer::MetricsJson() {
 uint64_t QueryServer::pending_updates() const {
   uint64_t total = 0;
   for (const Inbox& inbox : inboxes_) {
-    std::lock_guard<std::mutex> lock(inbox.mutex);
+    util::lockdep::MutexLock lock(inbox.mutex);
     total += inbox.entries.size();
   }
   return total;

@@ -3,8 +3,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -13,6 +11,7 @@
 #include "gpusim/device.h"
 #include "obs/metrics.h"
 #include "roadnet/graph.h"
+#include "util/lockdep.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
 
@@ -189,7 +188,7 @@ class QueryServer {
       double time;
       bool remove;
     };
-    mutable std::mutex mutex;
+    mutable util::lockdep::Mutex mutex{util::lockdep::kServerInboxClass};
     std::vector<Entry> entries;
   };
 
@@ -271,8 +270,10 @@ class QueryServer {
   /// drains / metric folds hold it exclusive. Lock ordering
   /// (docs/CONCURRENCY.md): index_mutex_ -> inbox stripe mutexes ->
   /// cleaner stripe mutexes -> cleaner device mutex; breaker_mu_ and the
-  /// tracer ring mutex are leaves.
-  mutable std::shared_mutex index_mutex_;
+  /// tracer ring mutex are leaves. The ordering is enforced at runtime by
+  /// the lockdep classes (docs/LOCKDEP.md).
+  mutable util::lockdep::SharedMutex index_mutex_{
+      util::lockdep::kServerIndexClass};
   Inbox inboxes_[kStripes];
   std::unique_ptr<util::ThreadPool> query_pool_;
 
@@ -282,10 +283,15 @@ class QueryServer {
   /// counters are serialized by breaker_mu_ (a leaf — never acquire
   /// another lock under it); breaker_seq_ is the seqlock generation for
   /// the published triple (odd while a transition is being written).
-  std::mutex breaker_mu_;
+  util::lockdep::Mutex breaker_mu_{util::lockdep::kServerBreakerClass};
   std::atomic<uint64_t> breaker_seq_{0};
   uint32_t consecutive_query_failures_ = 0;  // guarded by breaker_mu_
   uint64_t degraded_query_count_ = 0;        // guarded by breaker_mu_
+
+  /// Lockdep violations already folded into the registry counter, so the
+  /// fold can add only the delta (guarded by the exclusive index lock, the
+  /// only context folds run in).
+  uint64_t folded_lockdep_violations_ = 0;
 };
 
 }  // namespace gknn::server

@@ -7,8 +7,12 @@ namespace gknn::util {
 
 namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+// Deliberately raw, not a lockdep::Mutex: GKNN_LOG runs while leaf locks
+// (breaker_mu_, device stats) are held, and lockdep itself logs its
+// violations — tracking this mutex would recurse and self-report.
+// gknn-lint: allow(raw-mutex): logging runs under held leaves and inside lockdep reports
 std::mutex& OutputMutex() {
-  static std::mutex* m = new std::mutex;
+  static std::mutex* m = new std::mutex;  // gknn-lint: allow(raw-mutex): see above
   return *m;
 }
 const char* LevelName(LogLevel level) {
@@ -49,6 +53,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
+    // gknn-lint: allow(raw-mutex): see OutputMutex
     std::lock_guard<std::mutex> lock(OutputMutex());
     std::cerr << stream_.str() << std::endl;
   }

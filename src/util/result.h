@@ -11,12 +11,15 @@ namespace gknn::util {
 
 /// Result<T> holds either a value of type T or an error Status.
 ///
+/// [[nodiscard]] like Status: a Result-returning call whose value *and*
+/// error are both ignored is a compile error (and a gknn_lint.py finding).
+///
 /// Usage:
 ///   Result<Graph> r = LoadGraph(path);
 ///   if (!r.ok()) return r.status();
 ///   Graph g = std::move(r).ValueOrDie();
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a Result holding a value (implicit on purpose so functions
   /// can `return value;`).

@@ -30,7 +30,13 @@ std::string_view StatusCodeToString(StatusCode code);
 ///
 /// The OK state carries no allocation: `rep_` is null, so returning OK from
 /// hot paths is free. Statuses are cheap to move and copyable.
-class Status {
+///
+/// The class is [[nodiscard]]: every expression returning a Status by
+/// value must be consumed (checked, returned, or assigned). Dropping one
+/// on the floor is a compile error under -Werror and is additionally
+/// flagged by tools/gknn_lint.py, so device errors and bad-argument
+/// reports cannot silently vanish.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

@@ -19,7 +19,7 @@ ThreadPool::ThreadPool(Inline) {}  // no workers: Submit runs inline
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    lockdep::MutexLock lock(mu_);
     shutdown_ = true;
   }
   task_available_.notify_all();
@@ -34,7 +34,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    lockdep::MutexLock lock(mu_);
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
@@ -51,7 +51,7 @@ std::future<void> ThreadPool::SubmitTask(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
+  lockdep::UniqueLock lock(mu_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
@@ -86,7 +86,7 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      lockdep::UniqueLock lock(mu_);
       task_available_.wait(lock,
                            [this] { return shutdown_ || !queue_.empty(); });
       if (queue_.empty()) {
@@ -98,7 +98,7 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      lockdep::MutexLock lock(mu_);
       if (--in_flight_ == 0) all_done_.notify_all();
     }
   }

@@ -7,10 +7,11 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "util/lockdep.h"
 
 namespace gknn::util {
 
@@ -72,9 +73,13 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
+  /// Queue lock; a leaf in the lock order (docs/CONCURRENCY.md): it is
+  /// released before any task runs, so tasks may start at the top of the
+  /// hierarchy. condition_variable_any because the lockdep wrapper is a
+  /// Lockable, not a std::unique_lock<std::mutex>.
+  lockdep::Mutex mu_{lockdep::kPoolQueueClass};
+  std::condition_variable_any task_available_;
+  std::condition_variable_any all_done_;
   uint64_t in_flight_ = 0;  // queued + running tasks
   bool shutdown_ = false;
 };

@@ -64,7 +64,7 @@ TEST_P(AblationModeTest, AnswersMatchOracleUnderMovement) {
   sim.EmitFullSnapshot(&updates);
   for (int step = 0; step <= 3; ++step) {
     for (const auto& u : updates) {
-      (*index)->Ingest(u.object_id, u.position, u.time);
+      ASSERT_TRUE((*index)->Ingest(u.object_id, u.position, u.time).ok());
       oracle.Ingest(u.object_id, u.position, u.time);
     }
     const double t = step * 1.0;
@@ -103,11 +103,11 @@ TEST(EagerModeTest, CleansOnEveryIngest) {
   auto index = GGridIndex::Build(&*graph, WithEager(), &device);
   ASSERT_TRUE(index.ok());
   const uint64_t launches_before = device.kernel_launches();
-  (*index)->Ingest(1, {0, 0}, 0.0);
+  ASSERT_TRUE((*index)->Ingest(1, {0, 0}, 0.0).ok());
   EXPECT_GT(device.kernel_launches(), launches_before);
   // And the cached-message count stays compacted at one per object.
-  (*index)->Ingest(1, {1, 0}, 0.1);
-  (*index)->Ingest(1, {2, 0}, 0.2);
+  ASSERT_TRUE((*index)->Ingest(1, {1, 0}, 0.1).ok());
+  ASSERT_TRUE((*index)->Ingest(1, {2, 0}, 0.2).ok());
   EXPECT_LE((*index)->cached_messages(), 2u);  // latest + possible tombstone
 }
 
@@ -120,7 +120,7 @@ TEST(NoShuffleModeTest, StillDeduplicatesMessages) {
   // 60 updates of the same object on one edge, then query: exactly one
   // message must survive cleaning.
   for (int i = 0; i < 60; ++i) {
-    (*index)->Ingest(7, {3, 0}, i * 0.01);
+    ASSERT_TRUE((*index)->Ingest(7, {3, 0}, i * 0.01).ok());
   }
   auto result = (*index)->QueryKnn({3, 0}, 1, 1.0);
   ASSERT_TRUE(result.ok());

@@ -57,7 +57,7 @@ struct IndexFixture {
     std::vector<workload::LocationUpdate> snapshot;
     sim.EmitFullSnapshot(&snapshot);
     for (const auto& u : snapshot) {
-      index->Ingest(u.object_id, u.position, u.time);
+      GKNN_CHECK(index->Ingest(u.object_id, u.position, u.time).ok());
     }
   }
 
@@ -135,7 +135,7 @@ TEST(GGridIndexTest, MatchesOracleWhileObjectsMove) {
     updates.clear();
     fx.sim.AdvanceTo(t, &updates);
     for (const auto& u : updates) {
-      fx.index->Ingest(u.object_id, u.position, u.time);
+      ASSERT_TRUE(fx.index->Ingest(u.object_id, u.position, u.time).ok());
     }
     const auto queries = workload::GenerateQueries(
         fx.graph, {.num_queries = 4, .k = 6, .seed = 100u + static_cast<uint32_t>(step)});
@@ -160,7 +160,7 @@ TEST(GGridIndexTest, MatchesOracleUnderTripMovement) {
   trips.EmitFullSnapshot(&updates);
   for (int step = 1; step <= 4; ++step) {
     for (const auto& u : updates) {
-      fx.index->Ingest(u.object_id, u.position, u.time);
+      ASSERT_TRUE(fx.index->Ingest(u.object_id, u.position, u.time).ok());
     }
     const double t = step * 1.0;
     const auto queries = workload::GenerateQueries(
@@ -204,7 +204,7 @@ TEST(GGridIndexTest, UpdatesAreLazyUntilQueried) {
   std::vector<workload::LocationUpdate> updates;
   fx.sim.AdvanceTo(3.0, &updates);
   for (const auto& u : updates) {
-    fx.index->Ingest(u.object_id, u.position, u.time);
+    ASSERT_TRUE(fx.index->Ingest(u.object_id, u.position, u.time).ok());
   }
   // Pure ingestion runs no GPU work: the cached messages pile up instead.
   EXPECT_EQ(fx.device.kernel_launches(), launches_after_build);
@@ -259,7 +259,7 @@ TEST(GGridIndexTest, ObjectTableTracksLatestPositions) {
   std::vector<workload::LocationUpdate> updates;
   fx.sim.AdvanceTo(2.0, &updates);
   for (const auto& u : updates) {
-    fx.index->Ingest(u.object_id, u.position, u.time);
+    ASSERT_TRUE(fx.index->Ingest(u.object_id, u.position, u.time).ok());
   }
   for (uint32_t o = 0; o < 20; ++o) {
     const auto* entry = fx.index->object_table().Find(o);
@@ -315,7 +315,7 @@ TEST(GGridIndexTest, MatchesOracleOnRadialCityTopology) {
   std::vector<workload::LocationUpdate> snapshot;
   sim.EmitFullSnapshot(&snapshot);
   for (const auto& u : snapshot) {
-    (*index)->Ingest(u.object_id, u.position, u.time);
+    ASSERT_TRUE((*index)->Ingest(u.object_id, u.position, u.time).ok());
   }
   const auto queries = workload::GenerateQueries(
       *city, {.num_queries = 8, .k = 6, .seed = 63});

@@ -51,7 +51,7 @@ TEST(DeviceTest, UploadDownloadRoundTrip) {
   auto buf = DeviceBuffer<int>::Allocate(&device, 8);
   ASSERT_TRUE(buf.ok());
   std::vector<int> in = {1, 2, 3, 4, 5, 6, 7, 8};
-  buf->Upload(in);
+  ASSERT_TRUE(buf->Upload(in).ok());
   EXPECT_EQ(*buf->Download(), in);
 }
 
@@ -64,12 +64,12 @@ TEST(DeviceTest, TransfersChargeLedgerAndClock) {
   EXPECT_EQ(device.ledger().totals().h2d_bytes, 0u);
   EXPECT_DOUBLE_EQ(device.ClockSeconds(), 0.0);
 
-  buf->Upload(data);
+  ASSERT_TRUE(buf->Upload(data).ok());
   EXPECT_EQ(device.ledger().totals().h2d_bytes, 4000u);
   EXPECT_EQ(device.ledger().totals().h2d_count, 1u);
   EXPECT_GT(device.ClockSeconds(), 0.0);
 
-  buf->Download();
+  ASSERT_TRUE(buf->Download().ok());
   EXPECT_EQ(device.ledger().totals().d2h_bytes, 4000u);
   EXPECT_EQ(device.ledger().totals().d2h_count, 1u);
 }
@@ -91,10 +91,11 @@ TEST(KernelTest, LaunchRunsEveryThread) {
   auto buf = DeviceBuffer<uint32_t>::Allocate(&device, 100);
   ASSERT_TRUE(buf.ok());
   auto span = buf->device_span();
-  device.Launch(100, [&](ThreadCtx& ctx) {
+  const auto launched = device.Launch(100, [&](ThreadCtx& ctx) {
     span[ctx.thread_id] = ctx.thread_id * 2;
     ctx.CountOps(1);
   });
+  ASSERT_TRUE(launched.ok());
   std::vector<uint32_t> out = *buf->Download();
   for (uint32_t i = 0; i < 100; ++i) ASSERT_EQ(out[i], i * 2);
 }
@@ -142,7 +143,7 @@ TEST(KernelTest, LaunchIterativeRespectsMaxIters) {
 
 TEST(WarpTest, ShflXorSwapsLaneRegisters) {
   Device device;
-  LaunchWarps(&device, 1, 8, [](WarpCtx& warp) {
+  const auto swap_launch = LaunchWarps(&device, 1, 8, [](WarpCtx& warp) {
     std::vector<int> regs(8);
     std::iota(regs.begin(), regs.end(), 0);
     warp.ShflXor(regs, 4);
@@ -155,24 +156,27 @@ TEST(WarpTest, ShflXorSwapsLaneRegisters) {
       EXPECT_EQ(regs[lane], static_cast<int>(lane));
     }
   });
+  ASSERT_TRUE(swap_launch.ok());
 }
 
 TEST(WarpTest, PaperButterflyExample) {
   // Paper §IV-C2: with 4 threads, shuffle_xor(2) exchanges lanes 0<->2 and
   // 1<->3.
   Device device;
-  LaunchWarps(&device, 1, 4, [](WarpCtx& warp) {
+  const auto butterfly = LaunchWarps(&device, 1, 4, [](WarpCtx& warp) {
     std::vector<char> regs = {'a', 'b', 'c', 'd'};
     warp.ShflXor(regs, 2);
     EXPECT_EQ(regs, (std::vector<char>{'c', 'd', 'a', 'b'}));
   });
+  ASSERT_TRUE(butterfly.ok());
 }
 
 TEST(WarpTest, EachWarpGetsDistinctId) {
   Device device;
   std::vector<uint32_t> seen;
-  LaunchWarps(&device, 5, 4,
-              [&](WarpCtx& warp) { seen.push_back(warp.warp_id()); });
+  const auto ids_launch = LaunchWarps(
+      &device, 5, 4, [&](WarpCtx& warp) { seen.push_back(warp.warp_id()); });
+  ASSERT_TRUE(ids_launch.ok());
   EXPECT_EQ(seen, (std::vector<uint32_t>{0, 1, 2, 3, 4}));
 }
 
@@ -205,9 +209,9 @@ TEST(StreamTest, PipelineOverlapsCopyAndCompute) {
   // 1 ms kernel. Pipelined total: copy0 (1ms) + kernel0 overlaps copy1 +
   // kernel1 = 3 ms, instead of 4 ms blocking.
   Stream stream(&device);
-  stream.EnqueueH2D(1'000'000);
+  ASSERT_TRUE(stream.EnqueueH2D(1'000'000).ok());
   stream.EnqueueKernelSeconds(1e-3);
-  stream.EnqueueH2D(1'000'000);
+  ASSERT_TRUE(stream.EnqueueH2D(1'000'000).ok());
   stream.EnqueueKernelSeconds(1e-3);
   const double total = stream.Synchronize();
   EXPECT_NEAR(total, 3e-3, 1e-9);
@@ -217,7 +221,7 @@ TEST(StreamTest, SynchronizeChargesDeviceClockOnce) {
   Device device;
   Stream stream(&device);
   const double before = device.ClockSeconds();
-  stream.EnqueueH2D(1000);
+  ASSERT_TRUE(stream.EnqueueH2D(1000).ok());
   stream.EnqueueKernelSeconds(1e-4);
   const double total = stream.Synchronize();
   EXPECT_NEAR(device.ClockSeconds() - before, total, 1e-12);
@@ -246,9 +250,9 @@ TEST(StreamTest, BlockingModeSerializesEverything) {
   // Same workload as the pipelined test: blocking mode must take the full
   // 4 ms (no copy/compute overlap).
   Stream stream(&device, /*pipelined=*/false);
-  stream.EnqueueH2D(1'000'000);
+  ASSERT_TRUE(stream.EnqueueH2D(1'000'000).ok());
   stream.EnqueueKernelSeconds(1e-3);
-  stream.EnqueueH2D(1'000'000);
+  ASSERT_TRUE(stream.EnqueueH2D(1'000'000).ok());
   stream.EnqueueKernelSeconds(1e-3);
   EXPECT_NEAR(stream.Synchronize(), 4e-3, 1e-9);
 }
@@ -260,10 +264,11 @@ TEST(DeviceTest, SimWallTracksFunctionalKernelExecution) {
   // wall time to sim_wall_seconds so callers can exclude it from CPU
   // accounting.
   volatile uint64_t sink = 0;
-  device.Launch(4, [&](ThreadCtx& ctx) {
+  const auto busy_launch = device.Launch(4, [&](ThreadCtx& ctx) {
     for (int i = 0; i < 100000; ++i) sink = sink + i;
     ctx.CountOps(100000);
   });
+  ASSERT_TRUE(busy_launch.ok());
   EXPECT_GT(device.sim_wall_seconds(), before);
 }
 
@@ -287,7 +292,7 @@ TEST(ScanTest, ExclusivePrefixSums) {
   Device device;
   auto buf = DeviceBuffer<uint32_t>::Allocate(&device, 6);
   ASSERT_TRUE(buf.ok());
-  buf->Upload({3, 1, 4, 1, 5, 9});
+  ASSERT_TRUE(buf->Upload({3, 1, 4, 1, 5, 9}).ok());
   auto span = buf->device_span();
   const uint32_t total = *ExclusiveScan(&device, span);
   EXPECT_EQ(total, 23u);
@@ -322,7 +327,7 @@ TEST(ScanTest, ChargesDeviceTime) {
   Device device;
   std::vector<uint32_t> values(1000, 1);
   const double before = device.ClockSeconds();
-  ExclusiveScan(&device, std::span<uint32_t>(values));
+  ASSERT_TRUE(ExclusiveScan(&device, std::span<uint32_t>(values)).ok());
   EXPECT_GT(device.ClockSeconds(), before);
 }
 
@@ -332,7 +337,7 @@ TEST(StreamTest, UploadAsyncMovesBytesEagerly) {
   ASSERT_TRUE(buf.ok());
   Stream stream(&device);
   std::vector<int> data = {4, 3, 2, 1};
-  UploadAsync(&stream, &*buf, data.data(), data.size());
+  ASSERT_TRUE(UploadAsync(&stream, &*buf, data.data(), data.size()).ok());
   // Data visible to kernels immediately, before Synchronize.
   EXPECT_EQ(buf->device_span()[0], 4);
   EXPECT_EQ(device.ledger().totals().h2d_bytes, 16u);

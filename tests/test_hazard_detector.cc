@@ -104,8 +104,10 @@ TEST(HazardDetectorTest, DisjointAndPrivateAccessesAreClean) {
 TEST(HazardDetectorTest, SharedReadsAreClean) {
   Device device(HazardOnConfig());
   auto buf = MustAllocate<int>(&device, 4, "lut");
-  device.Launch("SharedReads", 32,
-                [&](ThreadCtx& ctx) { (void)buf.Load(ctx, 0); });
+  ASSERT_TRUE(device
+                  .Launch("SharedReads", 32,
+                          [&](ThreadCtx& ctx) { (void)buf.Load(ctx, 0); })
+                  .ok());
   EXPECT_EQ(device.hazard_count(), 0u);
 }
 
@@ -116,10 +118,15 @@ TEST(HazardDetectorTest, KernelBoundaryEndsTheEpoch) {
   // Two back-to-back launches touching the same element from different
   // threads: the implicit sync at the kernel boundary orders them, exactly
   // like consecutive kernels on one CUDA stream.
-  device.Launch("First", 1, [&](ThreadCtx& ctx) { buf.Store(ctx, 2, 1); });
-  device.Launch("Second", 4, [&](ThreadCtx& ctx) {
-    if (ctx.thread_id == 3) buf.Store(ctx, 2, 2);
-  });
+  ASSERT_TRUE(
+      device.Launch("First", 1, [&](ThreadCtx& ctx) { buf.Store(ctx, 2, 1); })
+          .ok());
+  ASSERT_TRUE(device
+                  .Launch("Second", 4,
+                          [&](ThreadCtx& ctx) {
+                            if (ctx.thread_id == 3) buf.Store(ctx, 2, 2);
+                          })
+                  .ok());
   EXPECT_EQ(device.hazard_count(), 0u);
 }
 
@@ -140,12 +147,14 @@ TEST(HazardDetectorTest, IterationBarrierEndsTheEpoch) {
   EXPECT_EQ(stats.hazards, 0u);
 
   // Whereas the same writes within one iteration race.
-  device.LaunchIterative("Race", 2, /*max_iters=*/1,
-                         /*stop_when_stable=*/false,
-                         [&](ThreadCtx& ctx, uint32_t) {
-                           buf.Store(ctx, 0, 7);
-                           return false;
-                         });
+  ASSERT_TRUE(device
+                  .LaunchIterative("Race", 2, /*max_iters=*/1,
+                                   /*stop_when_stable=*/false,
+                                   [&](ThreadCtx& ctx, uint32_t) {
+                                     buf.Store(ctx, 0, 7);
+                                     return false;
+                                   })
+                  .ok());
   EXPECT_EQ(device.hazard_count(), 1u);
 }
 
@@ -153,47 +162,60 @@ TEST(HazardDetectorTest, AtomicsCommuteButConflictWithPlainWrites) {
   Device device(HazardOnConfig());
   auto buf = MustAllocate<int>(&device, 2, "dist");
   std::vector<int> init = {100, 100};
-  buf.Upload(init);
+  ASSERT_TRUE(buf.Upload(init).ok());
 
   // Many atomicMins on one element: allowed, and the min wins.
-  device.Launch("AtomicOnly", 8, [&](ThreadCtx& ctx) {
-    const int prev = buf.AtomicMin(ctx, 0, static_cast<int>(ctx.thread_id));
-    EXPECT_LE(prev, 100);
-  });
+  ASSERT_TRUE(device
+                  .Launch("AtomicOnly", 8,
+                          [&](ThreadCtx& ctx) {
+                            const int prev = buf.AtomicMin(
+                                ctx, 0, static_cast<int>(ctx.thread_id));
+                            EXPECT_LE(prev, 100);
+                          })
+                  .ok());
   EXPECT_EQ(device.hazard_count(), 0u);
   EXPECT_EQ((*buf.Download())[0], 0);
 
   // A plain read beside atomics is the relaxed idiom relaxation kernels
   // use — also allowed.
-  device.Launch("AtomicAndRead", 4, [&](ThreadCtx& ctx) {
-    if (ctx.thread_id % 2 == 0) {
-      buf.AtomicMin(ctx, 1, 50);
-    } else {
-      (void)buf.Load(ctx, 1);
-    }
-  });
+  ASSERT_TRUE(device
+                  .Launch("AtomicAndRead", 4,
+                          [&](ThreadCtx& ctx) {
+                            if (ctx.thread_id % 2 == 0) {
+                              buf.AtomicMin(ctx, 1, 50);
+                            } else {
+                              (void)buf.Load(ctx, 1);
+                            }
+                          })
+                  .ok());
   EXPECT_EQ(device.hazard_count(), 0u);
 
   // But a plain write racing an atomic is a bug in either order.
-  device.Launch("WriteThenAtomic", 2, [&](ThreadCtx& ctx) {
-    if (ctx.thread_id == 0) {
-      buf.Store(ctx, 0, 5);
-    } else {
-      buf.AtomicMin(ctx, 0, 3);
-    }
-  });
+  ASSERT_TRUE(device
+                  .Launch("WriteThenAtomic", 2,
+                          [&](ThreadCtx& ctx) {
+                            if (ctx.thread_id == 0) {
+                              buf.Store(ctx, 0, 5);
+                            } else {
+                              buf.AtomicMin(ctx, 0, 3);
+                            }
+                          })
+                  .ok());
   ASSERT_EQ(device.hazard_count(), 1u);
   EXPECT_EQ(device.hazards().back().first_access, AccessType::kWrite);
   EXPECT_EQ(device.hazards().back().second_access, AccessType::kAtomic);
 
   device.ClearHazards();
-  device.Launch("AtomicThenWrite", 2, [&](ThreadCtx& ctx) {
-    if (ctx.thread_id == 0) {
-      buf.AtomicMin(ctx, 0, 3);
-    } else {
-      buf.Store(ctx, 0, 5);
-    }
-  });
+  ASSERT_TRUE(device
+                  .Launch("AtomicThenWrite", 2,
+                          [&](ThreadCtx& ctx) {
+                            if (ctx.thread_id == 0) {
+                              buf.AtomicMin(ctx, 0, 3);
+                            } else {
+                              buf.Store(ctx, 0, 5);
+                            }
+                          })
+                  .ok());
   ASSERT_EQ(device.hazard_count(), 1u);
   EXPECT_EQ(device.hazards().back().first_access, AccessType::kAtomic);
   EXPECT_EQ(device.hazards().back().second_access, AccessType::kWrite);
@@ -206,11 +228,14 @@ TEST(HazardDetectorTest, BundleLanesShareOneOwner) {
   // Lanes of one bundle writing the same element run in lockstep; SIMT
   // arbitration resolves it ("one lane's write wins"), so it is not a
   // hazard. The paper's X-shuffle write rounds rely on exactly this.
-  LaunchWarps(&device, "IntraBundle", 1, 4, [&](WarpCtx& warp) {
-    for (uint32_t lane = 0; lane < warp.width(); ++lane) {
-      buf.Store(warp, 0, static_cast<int>(lane));
-    }
-  });
+  ASSERT_TRUE(LaunchWarps(&device, "IntraBundle", 1, 4,
+                          [&](WarpCtx& warp) {
+                            for (uint32_t lane = 0; lane < warp.width();
+                                 ++lane) {
+                              buf.Store(warp, 0, static_cast<int>(lane));
+                            }
+                          })
+                  .ok());
   EXPECT_EQ(device.hazard_count(), 0u);
 
   // Two *bundles* writing the same element do race.
@@ -248,9 +273,13 @@ TEST(HazardDetectorTest, RecordStorageIsCappedButCountingContinues) {
   Device device(config);
   auto buf = MustAllocate<int>(&device, 1, "hot");
 
-  device.Launch("ManyRaces", 8, [&](ThreadCtx& ctx) {
-    buf.Store(ctx, 0, static_cast<int>(ctx.thread_id));
-  });
+  ASSERT_TRUE(device
+                  .Launch("ManyRaces", 8,
+                          [&](ThreadCtx& ctx) {
+                            buf.Store(ctx, 0,
+                                      static_cast<int>(ctx.thread_id));
+                          })
+                  .ok());
   EXPECT_EQ(device.hazard_count(), 7u);
   EXPECT_EQ(device.hazards().size(), 2u);
   EXPECT_TRUE(device.HazardStatus().IsInternal());

@@ -37,13 +37,13 @@ struct Fixture {
 
 TEST(RemoveTest, RemovedObjectDisappearsFromResults) {
   Fixture fx(300, 1);
-  fx.index->Ingest(1, {5, 0}, 0.0);
-  fx.index->Ingest(2, {5, 1}, 0.0);
+  ASSERT_TRUE(fx.index->Ingest(1, {5, 0}, 0.0).ok());
+  ASSERT_TRUE(fx.index->Ingest(2, {5, 1}, 0.0).ok());
   auto before = fx.index->QueryKnn({5, 0}, 2, 0.0);
   ASSERT_TRUE(before.ok());
   ASSERT_EQ(before->size(), 2u);
 
-  fx.index->Remove(1, 0.5);
+  ASSERT_TRUE(fx.index->Remove(1, 0.5).ok());
   auto after = fx.index->QueryKnn({5, 0}, 2, 0.5);
   ASSERT_TRUE(after.ok());
   ASSERT_EQ(after->size(), 1u);
@@ -53,15 +53,15 @@ TEST(RemoveTest, RemovedObjectDisappearsFromResults) {
 
 TEST(RemoveTest, UnknownObjectIsNoop) {
   Fixture fx(200, 2);
-  fx.index->Remove(99, 0.0);  // must not crash or write tombstones
+  ASSERT_TRUE(fx.index->Remove(99, 0.0).ok());  // no crash, no tombstones
   EXPECT_EQ(fx.index->counters().tombstones_written, 0u);
 }
 
 TEST(RemoveTest, ReingestAfterRemoveResurrects) {
   Fixture fx(300, 3);
-  fx.index->Ingest(1, {4, 0}, 0.0);
-  fx.index->Remove(1, 1.0);
-  fx.index->Ingest(1, {4, 2}, 2.0);
+  ASSERT_TRUE(fx.index->Ingest(1, {4, 0}, 0.0).ok());
+  ASSERT_TRUE(fx.index->Remove(1, 1.0).ok());
+  ASSERT_TRUE(fx.index->Ingest(1, {4, 2}, 2.0).ok());
   auto result = fx.index->QueryKnn({4, 0}, 1, 2.0);
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->size(), 1u);
@@ -73,8 +73,8 @@ TEST(RemoveTest, EagerModeCleansImmediately) {
   GGridOptions options;
   options.eager_updates = true;
   Fixture fx(200, 4, options);
-  fx.index->Ingest(1, {3, 0}, 0.0);
-  fx.index->Remove(1, 0.5);
+  ASSERT_TRUE(fx.index->Ingest(1, {3, 0}, 0.0).ok());
+  ASSERT_TRUE(fx.index->Remove(1, 0.5).ok());
   // Tombstone was applied eagerly: nothing cached, object gone.
   EXPECT_EQ(fx.index->cached_messages(), 0u);
 }
@@ -86,7 +86,7 @@ TEST(TrimCachesTest, CompactsEveryOccupiedCell) {
   std::vector<workload::LocationUpdate> updates;
   sim.AdvanceTo(5.0, &updates);
   for (const auto& u : updates) {
-    fx.index->Ingest(u.object_id, u.position, u.time);
+    ASSERT_TRUE(fx.index->Ingest(u.object_id, u.position, u.time).ok());
   }
   const uint64_t before = fx.index->cached_messages();
   ASSERT_TRUE(fx.index->TrimCaches(5.0).ok());
@@ -103,7 +103,7 @@ TEST(TrimCachesTest, DropsExpiredMessagesOfDeadObjects) {
   GGridOptions options;
   options.t_delta = 1.0;
   Fixture fx(200, 7, options);
-  fx.index->Ingest(1, {2, 0}, 0.0);
+  ASSERT_TRUE(fx.index->Ingest(1, {2, 0}, 0.0).ok());
   // Object 1 never updates again; by t=10 its messages are expired.
   ASSERT_TRUE(fx.index->TrimCaches(10.0).ok());
   EXPECT_EQ(fx.index->cached_messages(), 0u);
@@ -116,7 +116,7 @@ TEST(BatchQueryTest, MatchesSequentialQueries) {
   std::vector<workload::LocationUpdate> snapshot;
   sim.EmitFullSnapshot(&snapshot);
   for (const auto& u : snapshot) {
-    fx.index->Ingest(u.object_id, u.position, u.time);
+    ASSERT_TRUE(fx.index->Ingest(u.object_id, u.position, u.time).ok());
   }
   const auto queries = workload::GenerateQueries(
       fx.graph, {.num_queries = 8, .k = 6, .seed = 10});
@@ -126,7 +126,7 @@ TEST(BatchQueryTest, MatchesSequentialQueries) {
   // Sequential reference on an identical twin index.
   Fixture twin(400, 8);
   for (const auto& u : snapshot) {
-    twin.index->Ingest(u.object_id, u.position, u.time);
+    ASSERT_TRUE(twin.index->Ingest(u.object_id, u.position, u.time).ok());
   }
   auto batch = fx.index->QueryKnnBatch(locations, 6, 0.0);
   ASSERT_TRUE(batch.ok()) << batch.status().ToString();
@@ -145,7 +145,8 @@ TEST(BatchQueryTest, MatchesSequentialQueries) {
 TEST(BatchQueryTest, AggregateStatsPopulated) {
   Fixture fx(300, 11);
   for (ObjectId o = 0; o < 40; ++o) {
-    fx.index->Ingest(o, {o % fx.graph.num_edges(), 0}, 0.0);
+    ASSERT_TRUE(
+        fx.index->Ingest(o, {o % fx.graph.num_edges(), 0}, 0.0).ok());
   }
   std::vector<EdgePoint> locations = {{1, 0}, {50, 0}, {200, 0}};
   KnnStats stats;
@@ -173,9 +174,9 @@ TEST(SnapshotTest, SaveAndRestoreRoundTrip) {
   std::vector<workload::LocationUpdate> updates;
   sim.AdvanceTo(3.0, &updates);
   for (const auto& u : updates) {
-    fx.index->Ingest(u.object_id, u.position, u.time);
+    ASSERT_TRUE(fx.index->Ingest(u.object_id, u.position, u.time).ok());
   }
-  fx.index->Remove(3, 3.0);
+  ASSERT_TRUE(fx.index->Remove(3, 3.0).ok());
   ASSERT_TRUE(fx.index->SaveSnapshot(path, 3.0).ok());
 
   // Restore into a fresh index over the same graph.
@@ -206,7 +207,7 @@ TEST(SnapshotTest, RejectsMismatchedGraph) {
       (std::filesystem::temp_directory_path() / "gknn_snapshot2.txt")
           .string();
   Fixture fx(300, 22);
-  fx.index->Ingest(1, {0, 0}, 0.0);
+  ASSERT_TRUE(fx.index->Ingest(1, {0, 0}, 0.0).ok());
   ASSERT_TRUE(fx.index->SaveSnapshot(path, 0.0).ok());
   Fixture other(301, 23);  // different graph
   EXPECT_FALSE(other.index->LoadSnapshot(path).ok());

@@ -39,7 +39,7 @@ TEST(KnnEdgeCaseTest, ObjectAheadOnSameEdgeUsesDirectPath) {
   const roadnet::EdgeId e = 5;
   const uint32_t w = fx.graph.edge(e).weight;
   ASSERT_GE(w, 4u);
-  fx.index->Ingest(1, {e, w - 1}, 0.0);  // ahead of the query
+  ASSERT_TRUE(fx.index->Ingest(1, {e, w - 1}, 0.0).ok());  // ahead of the query
   auto result = fx.index->QueryKnn({e, 1}, 1, 0.0);
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->size(), 1u);
@@ -51,7 +51,7 @@ TEST(KnnEdgeCaseTest, ObjectBehindOnSameEdgeGoesAround) {
   const roadnet::EdgeId e = 5;
   const uint32_t w = fx.graph.edge(e).weight;
   ASSERT_GE(w, 4u);
-  fx.index->Ingest(1, {e, 0}, 0.0);  // behind the query on a directed edge
+  ASSERT_TRUE(fx.index->Ingest(1, {e, 0}, 0.0).ok());  // behind the query on a directed edge
   auto result = fx.index->QueryKnn({e, w - 1}, 1, 0.0);
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->size(), 1u);
@@ -63,7 +63,7 @@ TEST(KnnEdgeCaseTest, ObjectBehindOnSameEdgeGoesAround) {
 
 TEST(KnnEdgeCaseTest, ObjectAtQueryPointHasDistanceZero) {
   auto fx = SyntheticFixture(300, 3);
-  fx.index->Ingest(1, {7, 3}, 0.0);
+  ASSERT_TRUE(fx.index->Ingest(1, {7, 3}, 0.0).ok());
   auto result = fx.index->QueryKnn({7, 3}, 1, 0.0);
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->size(), 1u);
@@ -80,8 +80,8 @@ TEST(KnnEdgeCaseTest, UnreachableObjectsAreOmitted) {
                                 {3, 2, 10}});
   ASSERT_TRUE(g.ok());
   Fixture fx(std::move(g).ValueOrDie());
-  fx.index->Ingest(1, {0, 5}, 0.0);  // on edge 0->1, unreachable from 2->3
-  fx.index->Ingest(2, {3, 5}, 0.0);  // on edge 2->3
+  ASSERT_TRUE(fx.index->Ingest(1, {0, 5}, 0.0).ok());  // on edge 0->1, unreachable from 2->3
+  ASSERT_TRUE(fx.index->Ingest(2, {3, 5}, 0.0).ok());  // on edge 2->3
   auto result = fx.index->QueryKnn({3, 0}, 2, 0.0);
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->size(), 1u);  // only the reachable object
@@ -100,7 +100,7 @@ TEST(KnnEdgeCaseTest, KOneOnCrowdedEdge) {
   const roadnet::EdgeId e = 2;
   const uint32_t w = fx.graph.edge(e).weight;
   for (ObjectId o = 0; o < 5; ++o) {
-    fx.index->Ingest(o, {e, std::min(w, o * (w / 5 + 1))}, 0.0);
+    ASSERT_TRUE(fx.index->Ingest(o, {e, std::min(w, o * (w / 5 + 1))}, 0.0).ok());
   }
   auto result = fx.index->QueryKnn({e, 0}, 1, 0.0);
   ASSERT_TRUE(result.ok());
@@ -113,7 +113,7 @@ TEST(KnnEdgeCaseTest, QueryAtEveryOffsetOfOneEdge) {
   auto fx = SyntheticFixture(250, 6);
   const roadnet::EdgeId e = 9;
   const uint32_t w = fx.graph.edge(e).weight;
-  fx.index->Ingest(1, {e, w / 2}, 0.0);
+  ASSERT_TRUE(fx.index->Ingest(1, {e, w / 2}, 0.0).ok());
   roadnet::Distance previous = roadnet::kInfiniteDistance;
   for (uint32_t offset = 0; offset <= w / 2; offset += std::max(1u, w / 10)) {
     auto result = fx.index->QueryKnn({e, offset}, 1, 0.0);
@@ -134,7 +134,7 @@ TEST(KnnEdgeCaseTest, AllObjectsInOneCellFarFromQuery) {
   auto fx = SyntheticFixture(400, 7);
   // Cluster: all objects on one edge.
   for (ObjectId o = 0; o < 10; ++o) {
-    fx.index->Ingest(o, {0, 0}, 0.0);
+    ASSERT_TRUE(fx.index->Ingest(o, {0, 0}, 0.0).ok());
   }
   // Query far away (an edge with a large id tends to be in a distant
   // lattice corner).
@@ -155,8 +155,8 @@ TEST(KnnEdgeCaseTest, SingleCellGridStillWorks) {
   auto index = GGridIndex::Build(&*g, options, &device);
   ASSERT_TRUE(index.ok());
   EXPECT_EQ((*index)->grid().num_cells(), 1u);
-  (*index)->Ingest(1, {0, 0}, 0.0);
-  (*index)->Ingest(2, {5, 0}, 0.0);
+  ASSERT_TRUE((*index)->Ingest(1, {0, 0}, 0.0).ok());
+  ASSERT_TRUE((*index)->Ingest(2, {5, 0}, 0.0).ok());
   auto result = (*index)->QueryKnn({0, 0}, 2, 0.0);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->size(), 2u);
@@ -165,7 +165,7 @@ TEST(KnnEdgeCaseTest, SingleCellGridStillWorks) {
 TEST(KnnEdgeCaseTest, RepeatedIdenticalIngestsStayCompact) {
   auto fx = SyntheticFixture(200, 9);
   for (int i = 0; i < 500; ++i) {
-    fx.index->Ingest(1, {3, 2}, i * 0.01);
+    ASSERT_TRUE(fx.index->Ingest(1, {3, 2}, i * 0.01).ok());
   }
   auto result = fx.index->QueryKnn({3, 0}, 1, 5.0);
   ASSERT_TRUE(result.ok());

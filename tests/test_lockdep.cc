@@ -1,0 +1,305 @@
+// Tests for the runtime lock-order validator (docs/LOCKDEP.md).
+//
+// All violation tests are regression-style, not death-style: a capturing
+// handler is installed via SetViolationHandler, the violating acquisition
+// proceeds (the checker reports potential deadlocks, it must not create
+// real ones), and the test asserts on what was captured. Test-local
+// LockClasses are distinct per test because the acquisition-order graph
+// is global and intentionally never reset — recorded edges are facts.
+
+#include "util/lockdep.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "server/query_server.h"
+#include "workload/synthetic_network.h"
+
+namespace gknn {
+namespace {
+
+namespace lockdep = util::lockdep;
+
+std::mutex g_capture_mu;  // plain std: must stay outside lockdep's view
+std::vector<lockdep::Violation>* g_captured = nullptr;
+
+void CaptureViolation(const lockdep::Violation& v) {
+  std::lock_guard<std::mutex> lock(g_capture_mu);
+  if (g_captured != nullptr) g_captured->push_back(v);
+}
+
+/// Installs the capturing handler for one test scope and restores the
+/// previous handler (and clears the count/status) on exit.
+class CaptureScope {
+ public:
+  CaptureScope() {
+    g_captured = &violations_;
+    previous_ = lockdep::SetViolationHandler(&CaptureViolation);
+    lockdep::ResetViolationsForTesting();
+  }
+  ~CaptureScope() {
+    lockdep::SetViolationHandler(previous_);
+    g_captured = nullptr;
+    lockdep::ResetViolationsForTesting();
+  }
+
+  CaptureScope(const CaptureScope&) = delete;
+  CaptureScope& operator=(const CaptureScope&) = delete;
+
+  const std::vector<lockdep::Violation>& violations() const {
+    return violations_;
+  }
+  size_t CountOf(lockdep::Violation::Kind kind) const {
+    size_t n = 0;
+    for (const auto& v : violations_) {
+      if (v.kind == kind) ++n;
+    }
+    return n;
+  }
+
+ private:
+  std::vector<lockdep::Violation> violations_;
+  lockdep::ViolationHandler previous_ = nullptr;
+};
+
+// The acceptance scenario: a deliberately seeded rank inversion — a
+// lower-ranked class acquired under a higher-ranked one — is rejected at
+// runtime, and because the legal order was observed first, the same
+// pattern also closes a cycle in the acquisition-order graph.
+TEST(LockdepTest, SeededRankInversionIsDetected) {
+  if (!lockdep::kEnabled) GTEST_SKIP() << "built with GKNN_LOCKDEP=0";
+  static lockdep::LockClass low{"test.inv.low", 10};
+  static lockdep::LockClass high{"test.inv.high", 20};
+  lockdep::Mutex a{low};
+  lockdep::Mutex b{high};
+
+  CaptureScope cap;
+  {
+    // The legal order is silent (and teaches the graph low -> high).
+    lockdep::MutexLock l1(a);
+    lockdep::MutexLock l2(b);
+  }
+  EXPECT_TRUE(cap.violations().empty());
+  EXPECT_TRUE(lockdep::LastViolationStatus().ok());
+
+  {
+    // The inversion: high held, low acquired.
+    lockdep::MutexLock l1(b);
+    lockdep::MutexLock l2(a);
+  }
+  EXPECT_EQ(cap.CountOf(lockdep::Violation::Kind::kRankInversion), 1u);
+  EXPECT_EQ(cap.CountOf(lockdep::Violation::Kind::kCycle), 1u);
+  EXPECT_GE(lockdep::ViolationCount(), 2u);
+
+  const auto status = lockdep::LastViolationStatus();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("lockdep violation"), std::string::npos);
+}
+
+// The pattern the rank check cannot see: two equal-rank classes taken in
+// opposite orders by two threads that never overlap. No deadlock ever
+// happens in-run; the order graph still flags the second direction the
+// moment it is first observed.
+TEST(LockdepTest, CycleDetectedAcrossThreadsThatNeverDeadlock) {
+  if (!lockdep::kEnabled) GTEST_SKIP() << "built with GKNN_LOCKDEP=0";
+  static lockdep::LockClass cx{"test.cycle.x", 40};
+  static lockdep::LockClass cy{"test.cycle.y", 40};
+  lockdep::Mutex x{cx};
+  lockdep::Mutex y{cy};
+
+  CaptureScope cap;
+  std::thread t1([&] {
+    lockdep::MutexLock l1(x);
+    lockdep::MutexLock l2(y);  // records x -> y; equal ranks, no inversion
+  });
+  t1.join();
+  EXPECT_TRUE(cap.violations().empty());
+
+  std::thread t2([&] {
+    lockdep::MutexLock l1(y);
+    lockdep::MutexLock l2(x);  // records y -> x: closes the cycle
+  });
+  t2.join();
+
+  ASSERT_EQ(cap.violations().size(), 1u);
+  EXPECT_EQ(cap.violations()[0].kind, lockdep::Violation::Kind::kCycle);
+  EXPECT_NE(cap.violations()[0].message.find("cycle"), std::string::npos);
+}
+
+TEST(LockdepTest, LeafClassesAreTerminal) {
+  if (!lockdep::kEnabled) GTEST_SKIP() << "built with GKNN_LOCKDEP=0";
+  static lockdep::LockClass leaf{"test.leaf", 60, false, true};
+  static lockdep::LockClass deeper{"test.leaf.deeper", 70};
+  lockdep::Mutex a{leaf};
+  lockdep::Mutex b{deeper};
+
+  CaptureScope cap;
+  {
+    // Rank-legal (60 < 70), still forbidden: leaves end the chain.
+    lockdep::MutexLock l1(a);
+    lockdep::MutexLock l2(b);
+  }
+  ASSERT_EQ(cap.violations().size(), 1u);
+  EXPECT_EQ(cap.violations()[0].kind, lockdep::Violation::Kind::kLeafHeld);
+}
+
+TEST(LockdepTest, NonNestableSameClassReentryIsFlagged) {
+  if (!lockdep::kEnabled) GTEST_SKIP() << "built with GKNN_LOCKDEP=0";
+  static lockdep::LockClass plain{"test.reentry", 80};
+  lockdep::Mutex a{plain};
+  lockdep::Mutex b{plain};
+
+  CaptureScope cap;
+  {
+    lockdep::MutexLock l1(a);
+    lockdep::MutexLock l2(b);  // second instance of a non-nestable class
+  }
+  ASSERT_EQ(cap.violations().size(), 1u);
+  EXPECT_EQ(cap.violations()[0].kind, lockdep::Violation::Kind::kSameClass);
+}
+
+// The cleaner's MultiLock discipline: a sorted stripe set is silent; an
+// out-of-order or duplicated set trips the ascending-stripe assertion.
+TEST(LockdepTest, MultiLockAssertsAscendingStripeOrder) {
+  if (!lockdep::kEnabled) GTEST_SKIP() << "built with GKNN_LOCKDEP=0";
+  static lockdep::LockClass stripes_cls{"test.stripes", 90, true};
+  lockdep::StripedMutexes<8> stripes{stripes_cls};
+
+  CaptureScope cap;
+  {
+    lockdep::MultiLock ok_lock({&stripes[1], &stripes[3], &stripes[6]});
+    EXPECT_EQ(ok_lock.size(), 3u);
+  }
+  EXPECT_TRUE(cap.violations().empty());
+
+  {
+    lockdep::MultiLock bad_lock({&stripes[4], &stripes[2]});
+  }
+  ASSERT_EQ(cap.violations().size(), 1u);
+  EXPECT_EQ(cap.violations()[0].kind, lockdep::Violation::Kind::kSameClass);
+  EXPECT_NE(cap.violations()[0].message.find("ascending"), std::string::npos);
+
+  {
+    // Two distinct instances sharing key 5: a duplicated stripe key is
+    // not "strictly ascending" either. (Two distinct Mutex objects, so
+    // no real self-deadlock on the underlying std::mutex.)
+    lockdep::Mutex dup_a{stripes_cls, 5};
+    lockdep::Mutex dup_b{stripes_cls, 5};
+    lockdep::MultiLock dup_lock({&dup_a, &dup_b});
+  }
+  EXPECT_EQ(cap.violations().size(), 2u);
+}
+
+// Out-of-order release is legal (condition-variable waits unlock
+// mid-stack) and must not confuse the held stack.
+TEST(LockdepTest, OutOfOrderReleaseIsSupported) {
+  static lockdep::LockClass c1{"test.ooo.a", 11};
+  static lockdep::LockClass c2{"test.ooo.b", 12};
+  lockdep::Mutex a{c1};
+  lockdep::Mutex b{c2};
+
+  CaptureScope cap;
+  a.lock();
+  b.lock();
+  a.unlock();  // mid-stack release
+  b.unlock();
+  if (lockdep::kEnabled) {
+    EXPECT_TRUE(cap.violations().empty());
+  }
+}
+
+// The wrappers must be real mutexes in every build configuration; with
+// GKNN_LOCKDEP=0 the API surface shrinks to inline no-op stubs.
+TEST(LockdepTest, WrappersExcludeUnderContention) {
+  static lockdep::LockClass cls{"test.contention", 15};
+  lockdep::Mutex mu{cls};
+  int counter = 0;
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        lockdep::MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(LockdepTest, DisabledBuildIsInertStub) {
+  if (lockdep::kEnabled) GTEST_SKIP() << "built with GKNN_LOCKDEP=1";
+  // The stubs must report nothing ever happened, so metric folds and
+  // status plumbing stay well-defined in production builds.
+  EXPECT_EQ(lockdep::ViolationCount(), 0u);
+  EXPECT_TRUE(lockdep::LastViolationStatus().ok());
+  EXPECT_EQ(lockdep::SetViolationHandler(nullptr), nullptr);
+  lockdep::ResetViolationsForTesting();
+}
+
+// The production lock discipline passes its own audit: a concurrent
+// QueryServer burst — producers racing queries racing metric folds, with
+// lazy cleaning underneath — finishes with zero violations.
+TEST(LockdepTest, ConcurrentServerHarnessIsViolationFree) {
+  auto graph = workload::GenerateSyntheticRoadNetwork(
+      {.num_vertices = 400, .seed = 11});
+  ASSERT_TRUE(graph.ok());
+  gpusim::Device device;
+  auto server =
+      server::QueryServer::Create(&*graph, core::GGridOptions{}, &device);
+  ASSERT_TRUE(server.ok());
+
+  CaptureScope cap;
+  constexpr uint32_t kObjects = 48;
+  constexpr int kRounds = 20;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+
+  for (int p = 0; p < 2; ++p) {
+    threads.emplace_back([&, p] {
+      while (!go.load()) std::this_thread::yield();
+      for (int r = 0; r < kRounds; ++r) {
+        for (uint32_t o = static_cast<uint32_t>(p); o < kObjects; o += 2) {
+          const auto edge =
+              static_cast<roadnet::EdgeId>((o * 31 + r) % graph->num_edges());
+          (*server)->Report(o, {edge, 0}, r * 0.01);
+        }
+      }
+    });
+  }
+  for (int q = 0; q < 3; ++q) {
+    threads.emplace_back([&, q] {
+      while (!go.load()) std::this_thread::yield();
+      for (int r = 0; r < kRounds; ++r) {
+        const auto edge =
+            static_cast<roadnet::EdgeId>((q * 17 + r) % graph->num_edges());
+        auto result = (*server)->QueryKnn({edge, 0}, 5, 1.0);
+        ASSERT_TRUE(result.ok());
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    while (!go.load()) std::this_thread::yield();
+    for (int r = 0; r < kRounds; ++r) {
+      (void)(*server)->MetricsSnapshot();
+    }
+  });
+
+  go.store(true);
+  for (auto& th : threads) th.join();
+
+  if (lockdep::kEnabled) {
+    EXPECT_EQ(cap.violations().size(), 0u)
+        << "first violation: " << cap.violations()[0].message;
+    EXPECT_EQ(lockdep::ViolationCount(), 0u);
+    EXPECT_TRUE(lockdep::LastViolationStatus().ok());
+  }
+}
+
+}  // namespace
+}  // namespace gknn

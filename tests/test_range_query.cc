@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/ggrid_index.h"
+#include "util/logging.h"
 #include "gpusim/device.h"
 #include "roadnet/dijkstra.h"
 #include "util/thread_pool.h"
@@ -35,7 +36,7 @@ struct Fixture {
     std::vector<workload::LocationUpdate> snapshot;
     sim.EmitFullSnapshot(&snapshot);
     for (const auto& u : snapshot) {
-      index->Ingest(u.object_id, u.position, u.time);
+      GKNN_CHECK(index->Ingest(u.object_id, u.position, u.time).ok());
     }
   }
 
@@ -91,7 +92,7 @@ TEST(RangeQueryTest, MatchesOracleAcrossRadii) {
 
 TEST(RangeQueryTest, ZeroRadiusFindsOnlyColocatedObjects) {
   Fixture fx(200, 5, 3);
-  fx.index->Ingest(0, {7, 4}, 0.0);
+  ASSERT_TRUE(fx.index->Ingest(0, {7, 4}, 0.0).ok());
   auto result = fx.index->QueryRange({7, 4}, 0, 0.0);
   ASSERT_TRUE(result.ok());
   bool found = false;
@@ -117,7 +118,7 @@ TEST(RangeQueryTest, WorksUnderMovement) {
     updates.clear();
     fx.sim.AdvanceTo(step * 1.0, &updates);
     for (const auto& u : updates) {
-      fx.index->Ingest(u.object_id, u.position, u.time);
+      ASSERT_TRUE(fx.index->Ingest(u.object_id, u.position, u.time).ok());
     }
     auto result = fx.index->QueryRange({3, 0}, 1500, step * 1.0);
     ASSERT_TRUE(result.ok());

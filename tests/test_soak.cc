@@ -74,13 +74,13 @@ TEST_P(SoakTest, MixedWorkloadStaysCorrect) {
       // Ingest: new object or move of an existing one.
       const ObjectId o = static_cast<ObjectId>(rng.NextBounded(60));
       const EdgePoint p = random_point();
-      (*index)->Ingest(o, p, now);
+      ASSERT_TRUE((*index)->Ingest(o, p, now).ok());
       shadow[o] = p;
     } else if (dice < 0.62 && !shadow.empty()) {
       // Remove a random live object.
       auto it = shadow.begin();
       std::advance(it, rng.NextBounded(shadow.size()));
-      (*index)->Remove(it->first, now);
+      ASSERT_TRUE((*index)->Remove(it->first, now).ok());
       shadow.erase(it);
     } else if (dice < 0.67) {
       ASSERT_TRUE((*index)->TrimCaches(now).ok());
@@ -88,7 +88,7 @@ TEST_P(SoakTest, MixedWorkloadStaysCorrect) {
       // Every live object re-reports (keeps the t_Delta contract: objects
       // that go quiet for too long would legitimately expire).
       for (auto& [o, p] : shadow) {
-        (*index)->Ingest(o, p, now);
+        ASSERT_TRUE((*index)->Ingest(o, p, now).ok());
       }
     } else {
       // Query and verify against the shadow model.

@@ -23,7 +23,7 @@ std::vector<uint64_t> RunTopK(Device* device,
                               uint32_t k) {
   auto buf = DeviceBuffer<uint64_t>::Allocate(device, values.size());
   GKNN_CHECK(buf.ok());
-  if (!values.empty()) buf->Upload(values);
+  if (!values.empty()) GKNN_CHECK(buf->Upload(values).ok());
   return *TopKSmallest<uint64_t>(device, buf->device_span(), k,
                                  std::numeric_limits<uint64_t>::max());
 }

@@ -151,12 +151,12 @@ TEST(TraceTest, ReplayedTraceReproducesDirectRun) {
     const TraceEvent& eb = (*loaded)[i];
     switch (ea.kind) {
       case TraceEvent::Kind::kUpdate:
-        (*index_a)->Ingest(ea.object, ea.position, ea.time);
-        (*index_b)->Ingest(eb.object, eb.position, eb.time);
+        ASSERT_TRUE((*index_a)->Ingest(ea.object, ea.position, ea.time).ok());
+        ASSERT_TRUE((*index_b)->Ingest(eb.object, eb.position, eb.time).ok());
         break;
       case TraceEvent::Kind::kRemove:
-        (*index_a)->Remove(ea.object, ea.time);
-        (*index_b)->Remove(eb.object, eb.time);
+        ASSERT_TRUE((*index_a)->Remove(ea.object, ea.time).ok());
+        ASSERT_TRUE((*index_b)->Remove(eb.object, eb.time).ok());
         break;
       case TraceEvent::Kind::kQuery: {
         auto ra = (*index_a)->QueryKnn(ea.position, ea.k, ea.time);

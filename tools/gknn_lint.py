@@ -1,0 +1,286 @@
+#!/usr/bin/env python3
+"""Repo-wide source lint enforcing the gknn concurrency contract.
+
+Rules (suppress one occurrence with `// gknn-lint: allow(<rule>): reason`
+on the same line or an immediately preceding comment line):
+
+  raw-mutex        std::mutex / std::shared_mutex / std guards /
+                   std::condition_variable declared in src/ outside
+                   src/util/lockdep.*. Locks must be the ranked
+                   util::lockdep wrappers so the runtime validator sees
+                   every acquisition (docs/LOCKDEP.md).
+  discarded-status A Status- or Result-returning call in statement
+                   position with the value discarded. The compiler
+                   enforces this too ([[nodiscard]] + -Werror), but the
+                   lint also runs where warnings are off.
+  device-span      DeviceBuffer<T>::device_span() outside src/gpusim/.
+                   Kernel code must use the checked Load/Store/AtomicMin
+                   accessors so the hazard detector attributes accesses
+                   (docs/HAZARD_CHECKER.md); host code touching a span
+                   must state why that is safe.
+  kernel-capture   A default-capture lambda ([&] or [=]) whose parameter
+                   list takes ThreadCtx&/WarpCtx&. Kernel lambdas must
+                   enumerate their captures: an accidental by-reference
+                   capture of a host temporary is exactly the dangling-
+                   pointer bug a real CUDA kernel launch turns into UB.
+  lockdep-table    The rank table in src/util/lockdep.h and the lock-
+                   order table in docs/CONCURRENCY.md must list the same
+                   classes with the same ranks.
+
+Exit status: 0 when clean, 1 when any finding is reported, 2 on usage
+errors.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+ALLOW_RE = re.compile(r"gknn-lint:\s*allow\(([a-z-]+)\)")
+
+# Files whose raw std primitives ARE the implementation of the contract.
+RAW_MUTEX_EXEMPT = ("src/util/lockdep.h", "src/util/lockdep.cc")
+
+RAW_MUTEX_RE = re.compile(
+    r"std::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"lock_guard|unique_lock|shared_lock|scoped_lock|"
+    r"condition_variable)\b")
+
+DEVICE_SPAN_RE = re.compile(r"(?:\.|->)device_span\(\)")
+
+KERNEL_CAPTURE_RE = re.compile(r"\[[&=]\]\s*\(\s*(?:const\s+)?(?:\w+::)*(?:ThreadCtx|WarpCtx)\s*&")
+
+# Declarations that make a name Status/Result-returning. Scanned over
+# headers; the resulting name set drives the discarded-status rule.
+STATUS_DECL_RE = re.compile(
+    r"(?:util::)?(?:Status|Result<[^;{=]*>)\s+(\w+)\(")
+
+# A statement-position call: a receiver chain ending in .Name(...) or
+# ->Name(...), or a bare Name(...) call, forming the whole statement.
+# Heuristic and line-based — the compiler catches what this misses.
+CALL_STMT_RE = re.compile(
+    r"^\s*(?:\(\*?\w+\)|\*?\w+)?(?:(?:\.|->)\w+)*(?:\.|->)(\w+)\(.*\);\s*$"
+    r"|^\s*(\w+)\(.*\);\s*$")
+
+# Names also declared with a non-Status return type anywhere; flagging
+# them would report the wrong overload (e.g. the baselines' void Ingest
+# vs GGridIndex's Status Ingest).
+VOID_DECL_RE = re.compile(r"(?:void|double|bool|int|uint\d+_t|size_t)\s+(\w+)\(")
+
+LOCKDEP_TABLE_BEGIN = "// gknn-lockdep-table-begin"
+LOCKDEP_TABLE_END = "// gknn-lockdep-table-end"
+LOCKDEP_CLASS_RE = re.compile(
+    r"LockClass\s+\w+\{\"([a-z.]+)\",\s*(\d+)(?:,\s*(true|false))?"
+    r"(?:,\s*(true|false))?\}")
+# docs/CONCURRENCY.md rows: | 100 | `server.index` | ...
+DOC_ROW_RE = re.compile(r"^\|\s*(\d+)\s*\|\s*`([a-z.]+)`")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def is_suppressed(lines, index, rule):
+    """Allow markers count on the flagged line or the comment block above."""
+    if (m := ALLOW_RE.search(lines[index])) and m.group(1) == rule:
+        return True
+    i = index - 1
+    while i >= 0 and lines[i].lstrip().startswith("//"):
+        if (m := ALLOW_RE.search(lines[i])) and m.group(1) == rule:
+            return True
+        i -= 1
+    return False
+
+
+def iter_source_files(root, subdirs, exts):
+    for sub in subdirs:
+        base = os.path.join(root, sub)
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = [d for d in dirnames
+                           if d not in ("lint_fixtures", "build")]
+            for name in sorted(filenames):
+                if name.endswith(exts):
+                    yield os.path.join(dirpath, name)
+
+
+def collect_status_names(root, files):
+    """Names declared ONLY with Status/Result return types."""
+    names = set()
+    ambiguous = set()
+    for path in iter_source_files(root, ["src"], (".h",)):
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                for m in STATUS_DECL_RE.finditer(line):
+                    names.add(m.group(1))
+    # A name that some scanned file also declares with another return
+    # type is ambiguous: a line-based lint cannot tell the overloads
+    # apart, so it only flags unambiguous names.
+    for path in files:
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                for m in VOID_DECL_RE.finditer(line):
+                    ambiguous.add(m.group(1))
+    names -= ambiguous
+    names.discard("operator")
+    return names
+
+
+def check_file(path, rel, lines, status_names, findings):
+    # lint_fixtures files are linted as if they lived in src/ so the
+    # fixture tests exercise every rule; the repo sweep skips them.
+    in_src = rel.startswith("src/") or "lint_fixtures/" in rel
+    prev_code = ";"
+    for i, line in enumerate(lines):
+        lineno = i + 1
+        code = line.split("//", 1)[0]
+        # A line can only open a new statement if the previous code line
+        # finished one; otherwise it is a continuation (wrapped call
+        # arguments, a multi-line assignment) and must not be flagged.
+        opens_statement = prev_code.rstrip().endswith((";", "{", "}", ":"))
+        if code.strip():
+            prev_code = code
+
+        if in_src and rel not in RAW_MUTEX_EXEMPT:
+            if RAW_MUTEX_RE.search(code) and not is_suppressed(
+                    lines, i, "raw-mutex"):
+                findings.append(Finding(
+                    rel, lineno, "raw-mutex",
+                    "raw std synchronization primitive; use the ranked "
+                    "util::lockdep wrappers (docs/LOCKDEP.md)"))
+
+        if in_src and not rel.startswith("src/gpusim/"):
+            if DEVICE_SPAN_RE.search(code) and not is_suppressed(
+                    lines, i, "device-span"):
+                findings.append(Finding(
+                    rel, lineno, "device-span",
+                    "device_span() bypasses the checked accessors the "
+                    "hazard detector instruments; use Load/Store/AtomicMin "
+                    "or annotate why the raw span is safe"))
+
+        if in_src:
+            if KERNEL_CAPTURE_RE.search(code) and not is_suppressed(
+                    lines, i, "kernel-capture"):
+                findings.append(Finding(
+                    rel, lineno, "kernel-capture",
+                    "kernel lambda with default capture; enumerate the "
+                    "captures explicitly"))
+
+        m = CALL_STMT_RE.match(code) if opens_statement else None
+        name = (m.group(1) or m.group(2)) if m else None
+        if name in status_names:
+            stripped = code.strip()
+            # Not a discard if the value is consumed or checked somehow.
+            if not stripped.startswith(("return", "co_return", "if", "while",
+                                        "for", "(void)")) \
+                    and "=" not in stripped.split("(", 1)[0] \
+                    and not is_suppressed(lines, i, "discarded-status"):
+                findings.append(Finding(
+                    rel, lineno, "discarded-status",
+                    f"result of Status/Result-returning call '{name}' "
+                    "is discarded"))
+
+
+def parse_lockdep_table(root):
+    path = os.path.join(root, "src", "util", "lockdep.h")
+    classes = {}
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    begin = text.find(LOCKDEP_TABLE_BEGIN)
+    end = text.find(LOCKDEP_TABLE_END)
+    if begin < 0 or end < 0:
+        return None
+    for m in LOCKDEP_CLASS_RE.finditer(text[begin:end]):
+        classes[m.group(1)] = int(m.group(2))
+    return classes
+
+
+def parse_doc_table(root):
+    path = os.path.join(root, "docs", "CONCURRENCY.md")
+    classes = {}
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            m = DOC_ROW_RE.match(line)
+            if m:
+                classes[m.group(2)] = int(m.group(1))
+    return classes
+
+
+def check_lockdep_table(root, findings):
+    code_table = parse_lockdep_table(root)
+    if code_table is None:
+        findings.append(Finding("src/util/lockdep.h", 1, "lockdep-table",
+                                "missing gknn-lockdep-table markers"))
+        return
+    doc_path = os.path.join(root, "docs", "CONCURRENCY.md")
+    if not os.path.exists(doc_path):
+        findings.append(Finding("docs/CONCURRENCY.md", 1, "lockdep-table",
+                                "docs/CONCURRENCY.md not found"))
+        return
+    doc_table = parse_doc_table(root)
+    for name, rank in sorted(code_table.items()):
+        if name not in doc_table:
+            findings.append(Finding(
+                "docs/CONCURRENCY.md", 1, "lockdep-table",
+                f"lock class `{name}` (rank {rank}) is in lockdep.h but "
+                "missing from the CONCURRENCY.md lock-order table"))
+        elif doc_table[name] != rank:
+            findings.append(Finding(
+                "docs/CONCURRENCY.md", 1, "lockdep-table",
+                f"lock class `{name}` has rank {rank} in lockdep.h but "
+                f"{doc_table[name]} in CONCURRENCY.md"))
+    for name, rank in sorted(doc_table.items()):
+        if name not in code_table:
+            findings.append(Finding(
+                "docs/CONCURRENCY.md", 1, "lockdep-table",
+                f"lock class `{name}` (rank {rank}) is documented but not "
+                "declared in src/util/lockdep.h"))
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: the lint's parent)")
+    parser.add_argument("paths", nargs="*",
+                        help="explicit files to lint instead of the repo "
+                             "sweep (table sync is skipped)")
+    args = parser.parse_args(argv)
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    findings = []
+
+    if args.paths:
+        files = [os.path.abspath(p) for p in args.paths]
+    else:
+        files = list(iter_source_files(
+            root, ["src", "tools", "bench", "examples", "tests"],
+            (".h", ".cc", ".cpp")))
+    status_names = collect_status_names(root, files)
+
+    for path in files:
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        check_file(path, rel, lines, status_names, findings)
+
+    if not args.paths:
+        check_lockdep_table(root, findings)
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"gknn_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("gknn_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
