@@ -4,7 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -15,6 +18,7 @@
 #include "core/message_cleaner.h"
 #include "core/mu.h"
 #include "gpusim/topk.h"
+#include "obs/metrics.h"
 #include "roadnet/dijkstra.h"
 #include "roadnet/partitioner.h"
 #include "util/min_heap.h"
@@ -265,15 +269,76 @@ BENCHMARK(BM_GGridQuery);
 }  // namespace
 }  // namespace gknn
 
-// Custom main instead of BENCHMARK_MAIN so `bench_micro --smoke` works: the
-// flag caps every benchmark at a minimal time budget, turning the binary
-// into a fast ctest smoke test that still executes every benchmark body.
+namespace {
+
+// Console reporter that additionally folds every finished run into an
+// obs::MetricRegistry, so --json can emit the same schema-tagged JSON
+// exposition the server's /metrics endpoint and bench --metrics use
+// (docs/OBSERVABILITY.md). Per benchmark instance we record the mean
+// real/cpu time per iteration as gauges plus items/s when the benchmark
+// reports throughput; scripts/bench_to_csv.py and the future regression
+// gate (ROADMAP item 5) key off these names.
+class RegistryReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit RegistryReporter(gknn::obs::MetricRegistry* registry)
+      : registry_(registry) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      const std::string name = run.benchmark_name();
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      registry_->GetGauge("gknn_bench_real_seconds{name=\"" + name + "\"}")
+          ->Set(run.real_accumulated_time / iters);
+      registry_->GetGauge("gknn_bench_cpu_seconds{name=\"" + name + "\"}")
+          ->Set(run.cpu_accumulated_time / iters);
+      auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        registry_
+            ->GetGauge("gknn_bench_items_per_second{name=\"" + name + "\"}")
+            ->Set(items->second.value);
+      }
+      registry_->GetCounter("gknn_bench_runs_total")->Increment();
+    }
+  }
+
+ private:
+  gknn::obs::MetricRegistry* registry_;
+};
+
+}  // namespace
+
+// Custom main instead of BENCHMARK_MAIN so two repo-specific flags work:
+//
+//   --smoke        caps every benchmark at a minimal time budget, turning
+//                  the binary into a fast ctest smoke test that still
+//                  executes every benchmark body.
+//   --json[=FILE]  after the run, writes a schema-tagged baseline file
+//                  ("gknn-bench/v1", wrapping the obs registry's
+//                  "gknn-metrics/v1" dump). FILE defaults to
+//                  BENCH_<rev>.json in the working directory, with <rev>
+//                  from --rev=<id> (committed baselines live under
+//                  bench/baselines/ — ROADMAP item 5, the committed perf
+//                  trajectory).
 int main(int argc, char** argv) {
   std::vector<char*> args;
   bool smoke = false;
+  bool emit_json = false;
+  std::string json_path;
+  std::string rev = "unknown";
   for (int i = 0; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--smoke") {
+    const std::string_view arg(argv[i]);
+    if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--json") {
+      emit_json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      emit_json = true;
+      json_path = std::string(arg.substr(7));
+    } else if (arg.rfind("--rev=", 0) == 0) {
+      rev = std::string(arg.substr(6));
     } else {
       args.push_back(argv[i]);
     }
@@ -285,7 +350,25 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
     return 1;
   }
-  benchmark::RunSpecifiedBenchmarks();
+  gknn::obs::MetricRegistry registry;
+  RegistryReporter reporter(&registry);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  if (emit_json) {
+    if (json_path.empty()) json_path = "BENCH_" + rev + ".json";
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "bench_micro: cannot open %s for writing\n",
+                   json_path.c_str());
+      return 1;
+    }
+    out << "{\"schema\":\"gknn-bench/v1\",\"rev\":\"" << rev
+        << "\",\"bench\":\"bench_micro\",\"smoke\":"
+        << (smoke ? "true" : "false")
+        << ",\"metrics\":" << registry.RenderJson() << "}\n";
+    out.close();
+    std::printf("bench_micro: wrote %s (schema gknn-bench/v1)\n",
+                json_path.c_str());
+  }
   return 0;
 }

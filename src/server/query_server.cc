@@ -172,6 +172,10 @@ util::Result<std::vector<core::KnnResultEntry>> QueryServer::ExecuteShared(
 util::Result<std::vector<core::KnnResultEntry>> QueryServer::QueryKnn(
     roadnet::EdgePoint location, uint32_t k, double t_now) {
   GKNN_RETURN_NOT_OK(DrainIfPending());
+  // gknn-check: allow(shared-block): the reader lock is the query protocol —
+  // kernels, transfers, and retry backoff run under it by design so queries
+  // never block each other; writers drain via DrainIfPending first. See
+  // docs/CONCURRENCY.md "reader-writer query protocol".
   util::lockdep::SharedLock lock(index_mutex_);
   core::KnnStats stats;
   uint64_t query_retries = 0;
@@ -187,6 +191,8 @@ util::Result<std::vector<core::KnnResultEntry>> QueryServer::QueryKnn(
 util::Result<std::vector<core::KnnResultEntry>> QueryServer::QueryRange(
     roadnet::EdgePoint location, roadnet::Distance radius, double t_now) {
   GKNN_RETURN_NOT_OK(DrainIfPending());
+  // gknn-check: allow(shared-block): same intentional design as QueryKnn —
+  // device work under the reader lock is the query protocol.
   util::lockdep::SharedLock lock(index_mutex_);
   core::KnnStats stats;
   uint64_t query_retries = 0;
@@ -210,6 +216,8 @@ QueryServer::QueryKnnBatch(std::span<const roadnet::EdgePoint> locations,
   for (size_t i = 0; i < locations.size(); ++i) {
     tasks.push_back(query_pool_->SubmitTask(
         [this, &results, &statuses, location = locations[i], k, t_now, i] {
+          // gknn-check: allow(shared-block): same intentional design as
+          // QueryKnn — device work under the reader lock is the protocol.
           util::lockdep::SharedLock lock(index_mutex_);
           core::KnnStats stats;
           uint64_t query_retries = 0;

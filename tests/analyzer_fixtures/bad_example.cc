@@ -1,0 +1,85 @@
+// Synthetic violations for tools/analyzer/gknn_check — at least one
+// finding per rule. This file is never compiled: the `gknn_check_fixture`
+// ctest analyzes it (explicit path, so it is treated as if it lived in
+// src/) and expects a non-zero exit. The repo sweep skips this directory.
+
+#include <mutex>
+
+namespace gknn {
+
+// Free Status-returning declaration: drives the by-name discard check.
+util::Status FreeStatusThing();
+
+struct AnalyzerBad {
+  // raw-mutex: must be a util::lockdep wrapper.
+  std::mutex raw_mu_;
+
+  util::lockdep::Mutex inbox_mu_{util::lockdep::kServerInboxClass};
+  util::lockdep::SharedMutex index_mu_{util::lockdep::kServerIndexClass};
+  util::lockdep::Mutex pool_mu_{util::lockdep::kPoolQueueClass};
+
+  gpusim::DeviceBuffer<uint32_t> staging_;
+  gpusim::Device* device_ = nullptr;
+
+  util::Status Apply() { return util::Status::OK(); }
+
+  void LockIndexExclusive() {
+    util::lockdep::ExclusiveLock lock(index_mu_);
+  }
+
+  // lock-order: rank inversion — server.inbox (200) held while acquiring
+  // server.index (100) directly.
+  void BadOrderDirect() {
+    util::lockdep::MutexLock a(inbox_mu_);
+    util::lockdep::ExclusiveLock b(index_mu_);
+  }
+
+  // lock-order: the same inversion one call away — the analyzer walks the
+  // call graph, not just the lexical scope.
+  void BadOrderViaCall() {
+    util::lockdep::MutexLock a(inbox_mu_);
+    LockIndexExclusive();
+  }
+
+  // lock-order: pool.queue (950) is a leaf class; holding it across any
+  // acquisition is forbidden.
+  void BadLeafNesting() {
+    util::lockdep::MutexLock a(pool_mu_);
+    util::lockdep::MutexLock b(inbox_mu_);
+  }
+
+  // shared-block: blocking sleep while holding the reader side.
+  void BadSharedSleep() {
+    util::lockdep::SharedLock lock(index_mu_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // status-drop: method result discarded in statement position (typed
+  // receiver) and a free-function result discarded (by-name set).
+  void BadDiscards() {
+    Apply();
+    FreeStatusThing();
+  }
+
+  // status-drop: a bound Status that is never examined.
+  void BadUnreadStatus() {
+    util::Status first_error = Apply();
+  }
+
+  // device-span: raw span bound outside src/gpusim/, then dereferenced
+  // while the stream still has queued async work.
+  void BadSpanAcrossPending(const uint32_t* src) {
+    gpusim::Stream stream(device_);
+    auto span = staging_.device_span();
+    stream.EnqueueH2D(staging_, src, 4);
+    span[0] = 1;
+  }
+
+  // device-span: raw span escapes the binding scope.
+  gpusim::DeviceSpan<uint32_t> BadSpanEscape() {
+    auto span = staging_.device_span();
+    return span;
+  }
+};
+
+}  // namespace gknn

@@ -1,0 +1,79 @@
+// The flip side of bad_example.cc: the same shapes either written
+// correctly (true negatives pinning the false-positive rate) or carrying
+// `gknn-check: allow(<rule>): reason` markers in both accepted positions
+// (same line, preceding comment block). The `gknn_check_suppressed` ctest
+// analyzes this file and expects a clean exit. Never compiled.
+
+#include <mutex>
+
+namespace gknn {
+
+util::Status FreeStatusThing();
+
+struct AnalyzerGood {
+  // gknn-check: allow(raw-mutex): fixture — preceding-comment marker form
+  std::mutex raw_mu_;
+
+  util::lockdep::Mutex inbox_mu_{util::lockdep::kServerInboxClass};
+  util::lockdep::SharedMutex index_mu_{util::lockdep::kServerIndexClass};
+
+  gpusim::DeviceBuffer<uint32_t> staging_;
+  gpusim::Device* device_ = nullptr;
+
+  util::Status Apply() { return util::Status::OK(); }
+
+  void LockInbox() {
+    util::lockdep::MutexLock lock(inbox_mu_);
+  }
+
+  // True negative: ranks ascend (100 -> 200), directly and via a call —
+  // no lock-order finding may be reported here.
+  void GoodOrder() {
+    util::lockdep::ExclusiveLock a(index_mu_);
+    util::lockdep::MutexLock b(inbox_mu_);
+  }
+  void GoodOrderViaCall() {
+    util::lockdep::ExclusiveLock a(index_mu_);
+    LockInbox();
+  }
+
+  // True negative: reader lock over pure in-memory work.
+  void GoodSharedRead(uint32_t* out) {
+    util::lockdep::SharedLock lock(index_mu_);
+    *out += 1;
+  }
+
+  // Suppressed shared-block: documented intentional design.
+  void AllowedSharedSleep() {
+    // gknn-check: allow(shared-block): fixture — documented design
+    util::lockdep::SharedLock lock(index_mu_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // True negative: results consumed.
+  util::Status GoodConsume() {
+    util::Status first_error = Apply();
+    if (!first_error.ok()) return first_error;
+    return FreeStatusThing();
+  }
+
+  // Suppressed discards, both marker positions.
+  void AllowedDiscards() {
+    Apply();  // gknn-check: allow(status-drop): fixture — same-line form
+    // gknn-check: allow(status-drop): fixture — comment-block form
+    FreeStatusThing();
+  }
+
+  // True negative: span bound and used only after the stream is drained,
+  // with the historical gknn-lint marker spelling for the style rule.
+  void GoodSpanAfterSync(const uint32_t* src) {
+    gpusim::Stream stream(device_);
+    stream.EnqueueH2D(staging_, src, 4);
+    stream.Synchronize();
+    // gknn-lint: allow(device-span): fixture — read happens post-sync
+    auto span = staging_.device_span();
+    span[0] = 1;
+  }
+};
+
+}  // namespace gknn

@@ -2,28 +2,19 @@
 // source rule. This file is never compiled: the `gknn_lint_fixture` ctest
 // lints it (explicit path, so it is checked as if it lived in src/) and
 // expects a non-zero exit. The repo-wide sweep excludes this directory.
-
-#include <mutex>
-#include <shared_mutex>
+//
+// The raw-mutex / discarded-status / device-span violations that used to
+// live here moved to tests/analyzer_fixtures/ — those rules are enforced
+// by tools/analyzer/gknn_check now.
 
 namespace gknn {
 
-struct BadExample {
-  std::mutex mu_;               // raw-mutex: must be util::lockdep::Mutex
-  std::shared_mutex index_mu_;  // raw-mutex: must be lockdep::SharedMutex
-};
-
-void Bad(core::GGridIndex* index, gpusim::DeviceBuffer<uint32_t>* buf,
-         gpusim::Device* device) {
-  std::lock_guard<std::mutex> guard(some_mu);  // raw-mutex: std guard
-
-  index->TrimCaches(0.5);  // discarded-status: Status result dropped
-
-  auto span = buf->device_span();  // device-span: bypasses checked accessors
-  span[0] = 1;
-
+void Bad(gpusim::Device* device, uint32_t* out) {
   // kernel-capture: default [&] capture on a kernel lambda.
-  device->Launch("GPU_Bad", 4, [&](gpusim::ThreadCtx& ctx) { span[ctx.tid] = 0; });
+  device->Launch("GPU_Bad", 4, [&](gpusim::ThreadCtx& ctx) { out[ctx.tid] = 0; });
+
+  // kernel-capture: default [=] capture with a qualified context type.
+  device->Launch("GPU_Bad2", 4, [=](const gpusim::WarpCtx& warp) { (void)warp; });
 }
 
 }  // namespace gknn

@@ -1,0 +1,298 @@
+// gknn_check — interprocedural static analyzer for this repository's
+// lock-order, Status-propagation, and device-lifetime invariants.
+//
+// Usage:
+//   gknn_check [--root=DIR] [--sarif=FILE] [--rule=r1,r2] [--compdb=FILE]
+//              [--dump-lock-graph] [paths...]
+//
+// Paths (files or directories) default to {src, tools} under --root.
+// Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
+//
+// Suppressions: `// gknn-check: allow(<rule>): reason` (the historical
+// `gknn-lint:` prefix is honored too) on the flagged line or in the
+// comment block directly above it.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+#include "lock_table.h"
+#include "model.h"
+#include "parser.h"
+#include "passes.h"
+#include "sarif.h"
+
+namespace fs = std::filesystem;
+using namespace gknn::check;
+
+namespace {
+
+std::string ReadAll(const fs::path& path) {
+  std::ifstream f(path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+bool HasSourceExt(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+std::string Relativize(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(p, root, ec);
+  if (ec || rel.empty()) return p.generic_string();
+  return rel.generic_string();
+}
+
+bool IsLockdepFile(const std::string& rel) {
+  return rel == "src/util/lockdep.h" || rel == "src/util/lockdep.cc";
+}
+
+/// Fixture directories are analyzed as if they lived under src/ so the
+/// bad/good example pairs exercise every rule.
+bool TreatAsSrc(const std::string& rel) {
+  if (rel.rfind("src/", 0) == 0) return true;
+  return rel.find("lint_fixtures/") != std::string::npos ||
+         rel.find("analyzer_fixtures/") != std::string::npos;
+}
+
+/// Parse compile_commands.json just enough to pull out the "file" entries.
+std::vector<std::string> CompdbFiles(const std::string& path) {
+  std::vector<std::string> out;
+  const std::string text = ReadAll(path);
+  size_t pos = 0;
+  while ((pos = text.find("\"file\"", pos)) != std::string::npos) {
+    pos = text.find(':', pos);
+    if (pos == std::string::npos) break;
+    const size_t q1 = text.find('"', pos);
+    if (q1 == std::string::npos) break;
+    const size_t q2 = text.find('"', q1 + 1);
+    if (q2 == std::string::npos) break;
+    out.push_back(text.substr(q1 + 1, q2 - q1 - 1));
+    pos = q2 + 1;
+  }
+  return out;
+}
+
+struct SuppressionIndex {
+  std::map<int, std::string> comments;
+  std::set<int> token_lines;
+};
+
+bool AllowedOnLine(const std::string& comment, const std::string& rule) {
+  const std::string needle = "allow(" + rule + ")";
+  const size_t at = comment.find(needle);
+  if (at == std::string::npos) return false;
+  // Require one of the recognized marker prefixes somewhere before it.
+  const size_t lint = comment.rfind("gknn-lint:", at);
+  const size_t check = comment.rfind("gknn-check:", at);
+  return lint != std::string::npos || check != std::string::npos;
+}
+
+bool IsSuppressed(const SuppressionIndex& idx, int line,
+                  const std::string& rule) {
+  auto on = [&](int l) {
+    auto it = idx.comments.find(l);
+    return it != idx.comments.end() && AllowedOnLine(it->second, rule);
+  };
+  if (on(line)) return true;
+  // Walk the comment-only block directly above the flagged line.
+  for (int l = line - 1; l >= 1; --l) {
+    if (idx.token_lines.count(l)) break;
+    if (!idx.comments.count(l)) break;
+    if (on(l)) return true;
+  }
+  return false;
+}
+
+void Usage() {
+  std::cerr
+      << "usage: gknn_check [--root=DIR] [--sarif=FILE] [--rule=r1,r2]\n"
+      << "                  [--compdb=FILE] [--dump-lock-graph] [paths...]\n"
+      << "rules: lock-order shared-block status-drop device-span raw-mutex\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  std::string sarif_path;
+  std::string compdb_path;
+  bool dump_lock_graph = false;
+  std::set<std::string> rule_filter;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) {
+      return arg.substr(std::string(prefix).size());
+    };
+    if (arg.rfind("--root=", 0) == 0) {
+      root = value("--root=");
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      sarif_path = value("--sarif=");
+    } else if (arg.rfind("--compdb=", 0) == 0) {
+      compdb_path = value("--compdb=");
+    } else if (arg.rfind("--rule=", 0) == 0) {
+      std::stringstream ss(value("--rule="));
+      std::string r;
+      while (std::getline(ss, r, ',')) {
+        if (!r.empty()) rule_filter.insert(r);
+      }
+    } else if (arg == "--dump-lock-graph") {
+      dump_lock_graph = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "gknn_check: unknown flag " << arg << "\n";
+      Usage();
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  Program program;
+  std::string error;
+  const fs::path lockdep_path = root / "src" / "util" / "lockdep.h";
+  if (!ParseLockdepHeader(lockdep_path.string(), &program.locks, &error)) {
+    std::cerr << "gknn_check: " << error << "\n";
+    return 2;
+  }
+  const fs::path doc_path = root / "docs" / "CONCURRENCY.md";
+  if (!ParseConcurrencyDoc(doc_path.string(), &program.doc_locks, &error)) {
+    std::cerr << "gknn_check: " << error << "\n";
+    return 2;
+  }
+
+  // --- Discover files. ---
+  if (paths.empty()) {
+    paths = {"src", "tools"};
+  }
+  std::vector<fs::path> files;
+  std::set<std::string> seen;
+  auto add_file = [&](const fs::path& p) {
+    if (!HasSourceExt(p)) return;
+    std::error_code ec;
+    const fs::path canon = fs::weakly_canonical(p, ec);
+    const std::string key = ec ? p.generic_string() : canon.generic_string();
+    if (seen.insert(key).second) files.push_back(p);
+  };
+  for (const std::string& ps : paths) {
+    fs::path p = fs::path(ps);
+    if (!p.is_absolute() && !fs::exists(p)) p = root / ps;
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (fs::recursive_directory_iterator it(p, ec), end; it != end;
+           it.increment(ec)) {
+        if (ec) break;
+        const std::string name = it->path().filename().string();
+        if (it->is_directory(ec)) {
+          if (name == "build" || name == ".git" ||
+              name == "lint_fixtures" || name == "analyzer_fixtures") {
+            it.disable_recursion_pending();
+          }
+          continue;
+        }
+        add_file(it->path());
+      }
+    } else if (fs::exists(p, ec)) {
+      add_file(p);
+    } else {
+      std::cerr << "gknn_check: no such path: " << ps << "\n";
+      return 2;
+    }
+  }
+  if (!compdb_path.empty()) {
+    for (const std::string& f : CompdbFiles(compdb_path)) {
+      std::error_code ec;
+      if (fs::exists(f, ec)) add_file(f);
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  // --- Lex + phase A over everything, then phase B. ---
+  std::vector<LexedFile> lexed;
+  std::map<std::string, SuppressionIndex> suppressions;
+  for (const fs::path& p : files) {
+    const std::string rel = Relativize(p, root);
+    if (IsLockdepFile(rel)) continue;  // the layer itself is exempt
+    LexedFile lf = Lex(rel, ReadAll(p));
+    SuppressionIndex& idx = suppressions[rel];
+    idx.comments = lf.comments;
+    for (const Token& t : lf.tokens) {
+      if (t.kind != TokenKind::kEnd) idx.token_lines.insert(t.line);
+    }
+    lexed.push_back(std::move(lf));
+  }
+  for (const LexedFile& lf : lexed) ScanStructure(lf, &program);
+
+  std::vector<Finding> findings;
+  for (const LexedFile& lf : lexed) {
+    ExtractEvents(lf, &program, &findings);
+    const bool as_src = TreatAsSrc(lf.path);
+    const bool gpusim = lf.path.rfind("src/gpusim/", 0) == 0;
+    StyleScan(lf, /*flag_raw_mutex=*/true,
+              /*flag_device_span=*/as_src && !gpusim, &findings);
+  }
+
+  ComputeSummaries(&program);
+  RunLockOrderPass(&program, lockdep_path.generic_string(),
+                   doc_path.generic_string(), &findings);
+  RunSharedBlockPass(&program, &findings);
+
+  if (dump_lock_graph) {
+    std::cout << DumpLockGraph(program);
+  }
+
+  // --- Filter: rule selection, then suppressions. ---
+  std::vector<Finding> kept;
+  int suppressed = 0;
+  for (const Finding& f : findings) {
+    if (!rule_filter.empty() && !rule_filter.count(f.rule)) continue;
+    auto it = suppressions.find(f.file);
+    if (it != suppressions.end() &&
+        IsSuppressed(it->second, f.line, f.rule)) {
+      ++suppressed;
+      continue;
+    }
+    kept.push_back(f);
+  }
+  std::sort(kept.begin(), kept.end());
+  kept.erase(std::unique(kept.begin(), kept.end(),
+                         [](const Finding& a, const Finding& b) {
+                           return a.file == b.file && a.line == b.line &&
+                                  a.rule == b.rule && a.message == b.message;
+                         }),
+             kept.end());
+
+  for (const Finding& f : kept) {
+    std::cerr << f.file << ":" << f.line << ": " << f.level << ": ["
+              << f.rule << "] " << f.message << "\n";
+  }
+
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path);
+    if (!out) {
+      std::cerr << "gknn_check: cannot write " << sarif_path << "\n";
+      return 2;
+    }
+    out << ToSarif(kept);
+  }
+
+  std::cerr << "gknn_check: " << lexed.size() << " files, "
+            << program.functions.size() << " functions, "
+            << program.edges.size() << " lock edges, " << kept.size()
+            << " finding(s), " << suppressed << " suppressed\n";
+  return kept.empty() ? 0 : 1;
+}

@@ -1,0 +1,258 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <cstring>
+
+namespace gknn::check {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuators, longest first so maximal munch works.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "+=", "-=", "*=", "/=", "|=", "&=", "^=", "%=",
+    "++", "--",
+};
+
+/// One stacked `#if` level: `active` says whether lines in the current
+/// branch are lexed; `taken` says whether any branch at this level has been
+/// active (so `#else`/`#elif` after a taken branch always skip).
+struct CondLevel {
+  bool active;
+  bool taken;
+};
+
+/// First token of a directive line after the '#'.
+std::string DirectiveName(const std::string& line) {
+  size_t i = line.find('#');
+  if (i == std::string::npos) return "";
+  ++i;
+  while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])))
+    ++i;
+  size_t j = i;
+  while (j < line.size() && IsIdentChar(line[j])) ++j;
+  return line.substr(i, j - i);
+}
+
+/// The expression after `#if` — only "0" matters (everything else is
+/// treated as true, matching the default-on build configuration).
+bool IfConditionTrue(const std::string& line) {
+  const size_t pos = line.find("if");
+  if (pos == std::string::npos) return true;
+  size_t i = pos + 2;
+  while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])))
+    ++i;
+  size_t j = i;
+  while (j < line.size() &&
+         !std::isspace(static_cast<unsigned char>(line[j]))) {
+    ++j;
+  }
+  const std::string expr = line.substr(i, j - i);
+  return expr != "0" && expr != "(0)";
+}
+
+}  // namespace
+
+LexedFile Lex(const std::string& path, const std::string& text) {
+  LexedFile out;
+  out.path = path;
+  std::vector<CondLevel> conds;
+  auto active = [&] {
+    for (const CondLevel& c : conds) {
+      if (!c.active) return false;
+    }
+    return true;
+  };
+
+  size_t i = 0;
+  int line = 1;
+  const size_t n = text.size();
+  bool at_line_start = true;
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: consume the full logical line (with
+    // backslash continuations) and update the conditional stack.
+    if (c == '#' && at_line_start) {
+      std::string directive;
+      while (i < n) {
+        if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
+          directive += ' ';
+          i += 2;
+          ++line;
+          continue;
+        }
+        if (text[i] == '\n') break;
+        directive += text[i];
+        ++i;
+      }
+      const std::string name = DirectiveName(directive);
+      if (name == "if") {
+        const bool on = active() && IfConditionTrue(directive);
+        conds.push_back({on, on});
+      } else if (name == "ifdef" || name == "ifndef") {
+        // Include guards and feature probes: take the first branch.
+        const bool on = active();
+        conds.push_back({on, on});
+      } else if (name == "elif") {
+        if (!conds.empty()) {
+          CondLevel& top = conds.back();
+          const bool parent_ok =
+              conds.size() == 1 ||
+              [&] {
+                for (size_t k = 0; k + 1 < conds.size(); ++k) {
+                  if (!conds[k].active) return false;
+                }
+                return true;
+              }();
+          top.active = parent_ok && !top.taken && IfConditionTrue(directive);
+          top.taken = top.taken || top.active;
+        }
+      } else if (name == "else") {
+        if (!conds.empty()) {
+          CondLevel& top = conds.back();
+          const bool parent_ok = [&] {
+            for (size_t k = 0; k + 1 < conds.size(); ++k) {
+              if (!conds[k].active) return false;
+            }
+            return true;
+          }();
+          top.active = parent_ok && !top.taken;
+          top.taken = top.taken || top.active;
+        }
+      } else if (name == "endif") {
+        if (!conds.empty()) conds.pop_back();
+      }
+      continue;  // next loop iteration handles the newline
+    }
+    at_line_start = false;
+
+    // Inactive conditional branch: skip to end of line, but keep scanning
+    // for directives (handled above at line starts).
+    if (!active()) {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      size_t j = i + 2;
+      while (j < n && text[j] != '\n') ++j;
+      std::string& slot = out.comments[line];
+      if (!slot.empty()) slot += ' ';
+      slot += text.substr(i + 2, j - i - 2);
+      i = j;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      size_t j = i + 2;
+      int start_line = line;
+      while (j + 1 < n && !(text[j] == '*' && text[j + 1] == '/')) {
+        if (text[j] == '\n') ++line;
+        ++j;
+      }
+      std::string body = text.substr(i + 2, j - i - 2);
+      std::string& slot = out.comments[start_line];
+      if (!slot.empty()) slot += ' ';
+      slot += body;
+      i = (j + 1 < n) ? j + 2 : n;
+      continue;
+    }
+
+    // Raw string literal R"delim(...)delim".
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      size_t j = i + 2;
+      std::string delim;
+      while (j < n && text[j] != '(') delim += text[j++];
+      const std::string close = ")" + delim + "\"";
+      size_t end = text.find(close, j);
+      if (end == std::string::npos) end = n;
+      for (size_t k = i; k < end && k < n; ++k) {
+        if (text[k] == '\n') ++line;
+      }
+      out.tokens.push_back({TokenKind::kString, "<raw>", line});
+      i = std::min(n, end + close.size());
+      continue;
+    }
+
+    // String / char literals.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      size_t j = i + 1;
+      while (j < n && text[j] != quote) {
+        if (text[j] == '\\') ++j;
+        if (j < n && text[j] == '\n') ++line;
+        ++j;
+      }
+      out.tokens.push_back({quote == '"' ? TokenKind::kString
+                                         : TokenKind::kChar,
+                            text.substr(i + 1, j - i - 1), line});
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(text[j])) ++j;
+      out.tokens.push_back({TokenKind::kIdent, text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < n && (IsIdentChar(text[j]) || text[j] == '.' ||
+                       text[j] == '\'')) {
+        // Exponent sign: 1e-5, 0x1p+3.
+        if ((text[j] == 'e' || text[j] == 'E' || text[j] == 'p' ||
+             text[j] == 'P') &&
+            j + 1 < n && (text[j + 1] == '+' || text[j + 1] == '-')) {
+          ++j;
+        }
+        ++j;
+      }
+      out.tokens.push_back({TokenKind::kNumber, text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+
+    // Punctuators: maximal munch over the multi-char table.
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      const size_t len = std::strlen(p);
+      if (text.compare(i, len, p) == 0) {
+        out.tokens.push_back({TokenKind::kPunct, p, line});
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      out.tokens.push_back({TokenKind::kPunct, std::string(1, c), line});
+      ++i;
+    }
+  }
+
+  out.max_line = line;
+  out.tokens.push_back({TokenKind::kEnd, "", line});
+  return out;
+}
+
+}  // namespace gknn::check

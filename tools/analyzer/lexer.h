@@ -1,0 +1,36 @@
+#ifndef GKNN_TOOLS_ANALYZER_LEXER_H_
+#define GKNN_TOOLS_ANALYZER_LEXER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "token.h"
+
+namespace gknn::check {
+
+/// The lexed form of one translation unit (or header).
+///
+/// Comments are not tokens: they land in `comments`, keyed by line, so the
+/// suppression scanner can find `gknn-check: allow(<rule>)` markers on the
+/// flagged line or the comment block above it without the parser having to
+/// skip them.
+///
+/// Preprocessor conditionals are resolved the way the production build
+/// resolves them: the *first* branch of every `#if`/`#ifdef`/`#ifndef` is
+/// taken (`#if 0` takes the `#else`), so compile-away gates like
+/// GKNN_LOCKDEP / GKNN_OBS are analyzed in their enabled form and the
+/// disabled stubs never produce duplicate definitions.
+struct LexedFile {
+  std::string path;      // as given to the lexer (repo-relative preferred)
+  std::vector<Token> tokens;
+  std::map<int, std::string> comments;  // line -> concatenated comment text
+  int max_line = 0;
+};
+
+/// Lexes `text` into tokens. Never fails: unrecognized bytes are skipped.
+LexedFile Lex(const std::string& path, const std::string& text);
+
+}  // namespace gknn::check
+
+#endif  // GKNN_TOOLS_ANALYZER_LEXER_H_

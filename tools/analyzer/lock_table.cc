@@ -1,0 +1,141 @@
+#include "lock_table.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace gknn::check {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return "";
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+void Insert(LockTable* table, LockClassInfo info) {
+  const int index = static_cast<int>(table->classes.size());
+  table->by_symbol[info.symbol] = index;
+  table->by_name[info.name] = index;
+  table->classes.push_back(std::move(info));
+}
+
+}  // namespace
+
+bool ParseLockdepHeader(const std::string& path, LockTable* table,
+                        std::string* error) {
+  const std::string text = ReadAll(path);
+  if (text.empty()) {
+    *error = "cannot read " + path;
+    return false;
+  }
+  const size_t begin = text.find("gknn-lockdep-table-begin");
+  const size_t end = text.find("gknn-lockdep-table-end");
+  if (begin == std::string::npos || end == std::string::npos || end < begin) {
+    *error = path + ": gknn-lockdep-table markers not found";
+    return false;
+  }
+  // Rows look like:
+  //   inline constinit LockClass kFoo{"a.b", 100, true, false};
+  size_t pos = begin;
+  while (true) {
+    pos = text.find("LockClass", pos);
+    if (pos == std::string::npos || pos > end) break;
+    pos += 9;
+    // symbol
+    while (pos < end && std::isspace(static_cast<unsigned char>(text[pos])))
+      ++pos;
+    size_t sym_end = pos;
+    while (sym_end < end &&
+           (std::isalnum(static_cast<unsigned char>(text[sym_end])) ||
+            text[sym_end] == '_')) {
+      ++sym_end;
+    }
+    LockClassInfo info;
+    info.symbol = text.substr(pos, sym_end - pos);
+    pos = text.find('{', sym_end);
+    if (pos == std::string::npos || pos > end) break;
+    const size_t close = text.find('}', pos);
+    if (close == std::string::npos || close > end) break;
+    const std::string args = text.substr(pos + 1, close - pos - 1);
+    // "name", rank[, nestable[, leaf]]
+    const size_t q1 = args.find('"');
+    const size_t q2 = args.find('"', q1 + 1);
+    if (q1 == std::string::npos || q2 == std::string::npos) {
+      pos = close;
+      continue;
+    }
+    info.name = args.substr(q1 + 1, q2 - q1 - 1);
+    std::string rest = args.substr(q2 + 1);
+    std::vector<std::string> fields;
+    std::string cur;
+    for (char c : rest) {
+      if (c == ',') {
+        fields.push_back(cur);
+        cur.clear();
+      } else if (!std::isspace(static_cast<unsigned char>(c))) {
+        cur += c;
+      }
+    }
+    fields.push_back(cur);
+    // fields[0] is empty (text before first comma was the quoted name).
+    if (fields.size() > 1) info.rank = std::atoi(fields[1].c_str());
+    if (fields.size() > 2) info.nestable = fields[2] == "true";
+    if (fields.size() > 3) info.leaf = fields[3] == "true";
+    Insert(table, std::move(info));
+    pos = close;
+  }
+  if (table->classes.empty()) {
+    *error = path + ": no LockClass rows between the lockdep-table markers";
+    return false;
+  }
+  return true;
+}
+
+bool ParseConcurrencyDoc(const std::string& path, LockTable* table,
+                         std::string* error) {
+  std::ifstream f(path);
+  if (!f) {
+    *error = "cannot read " + path;
+    return false;
+  }
+  std::string line;
+  while (std::getline(f, line)) {
+    // | 100 | `server.index` | ...
+    size_t i = 0;
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])))
+      ++i;
+    if (i >= line.size() || line[i] != '|') continue;
+    ++i;
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])))
+      ++i;
+    size_t j = i;
+    while (j < line.size() && std::isdigit(static_cast<unsigned char>(line[j])))
+      ++j;
+    if (j == i) continue;
+    LockClassInfo info;
+    info.rank = std::atoi(line.substr(i, j - i).c_str());
+    const size_t tick1 = line.find('`', j);
+    if (tick1 == std::string::npos) continue;
+    const size_t tick2 = line.find('`', tick1 + 1);
+    if (tick2 == std::string::npos) continue;
+    info.name = line.substr(tick1 + 1, tick2 - tick1 - 1);
+    info.symbol = info.name;
+    // Only rows whose backticked field looks like a lock class name.
+    bool plausible = !info.name.empty();
+    for (char c : info.name) {
+      if (!std::islower(static_cast<unsigned char>(c)) && c != '.') {
+        plausible = false;
+        break;
+      }
+    }
+    if (plausible && info.name.find('.') != std::string::npos) {
+      Insert(table, std::move(info));
+    }
+  }
+  return true;
+}
+
+}  // namespace gknn::check

@@ -1,0 +1,22 @@
+#ifndef GKNN_TOOLS_ANALYZER_LOCK_TABLE_H_
+#define GKNN_TOOLS_ANALYZER_LOCK_TABLE_H_
+
+#include <string>
+
+#include "model.h"
+
+namespace gknn::check {
+
+/// Parses the `gknn-lockdep-table-begin/end` block in src/util/lockdep.h:
+/// `inline constinit LockClass kFooClass{"a.b", 100, true, false};` rows.
+/// Returns false (with *error set) when the file or markers are missing.
+bool ParseLockdepHeader(const std::string& path, LockTable* table,
+                        std::string* error);
+
+/// Parses the `| rank | \`class.name\` | ...` rows of docs/CONCURRENCY.md.
+bool ParseConcurrencyDoc(const std::string& path, LockTable* table,
+                         std::string* error);
+
+}  // namespace gknn::check
+
+#endif  // GKNN_TOOLS_ANALYZER_LOCK_TABLE_H_

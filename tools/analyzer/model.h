@@ -1,0 +1,222 @@
+#ifndef GKNN_TOOLS_ANALYZER_MODEL_H_
+#define GKNN_TOOLS_ANALYZER_MODEL_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace gknn::check {
+
+// ---------------------------------------------------------------------------
+// Lock classes (parsed from src/util/lockdep.h and docs/CONCURRENCY.md)
+// ---------------------------------------------------------------------------
+
+struct LockClassInfo {
+  std::string name;    // e.g. "server.index"
+  std::string symbol;  // e.g. "kServerIndexClass"
+  int rank = 0;
+  bool nestable = false;
+  bool leaf = false;
+};
+
+struct LockTable {
+  std::vector<LockClassInfo> classes;
+  std::map<std::string, int> by_symbol;  // kServerIndexClass -> index
+  std::map<std::string, int> by_name;    // "server.index" -> index
+
+  const LockClassInfo* FindSymbol(const std::string& symbol) const {
+    auto it = by_symbol.find(symbol);
+    return it == by_symbol.end() ? nullptr : &classes[it->second];
+  }
+  const LockClassInfo* FindName(const std::string& name) const {
+    auto it = by_name.find(name);
+    return it == by_name.end() ? nullptr : &classes[it->second];
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Per-function events
+// ---------------------------------------------------------------------------
+
+/// Categories of "work you should not do while holding a reader lock" and
+/// of device-side effects, used by the blocking-under-shared-lock pass.
+enum class OpCategory {
+  kBlockingWait,    // SleepNext, sleep_for, wait/wait_for/wait_until
+  kDeviceTransfer,  // Upload/Download/EnqueueH2D/EnqueueD2H/UploadAsync
+  kDeviceSync,      // Stream::Synchronize
+  kDeviceAlloc,     // DeviceBuffer::Allocate / Device::RegisterAlloc
+};
+
+const char* OpCategoryName(OpCategory c);
+
+/// A lock acquisition with a lexical hold region [begin_pos, end_pos) in
+/// the owning function's token indices.
+struct AcquireEvent {
+  std::string class_symbol;  // lock class symbol (kServerIndexClass, ...)
+  bool shared = false;       // reader side of a SharedMutex
+  bool multi = false;        // MultiLock / striped set
+  int line = 0;
+  size_t begin_pos = 0;      // token index in the function body walk
+  size_t end_pos = 0;        // token index where the guard scope closes
+  // When >= 0: this acquisition is a call to a guard-returning function
+  // (e.g. `auto locks = LockCellStripes(...)`) and the held classes are the
+  // callee's transitive acquire set rather than `class_symbol`.
+  int via_callee = -1;
+};
+
+/// A call site inside a function body.
+struct CallEvent {
+  std::string callee_name;          // bare method/function name
+  std::string receiver_type;        // resolved class of the receiver, or ""
+  bool qualified = false;           // Class::Name(...) form
+  std::string qualifier;            // the Class in qualified calls
+  int line = 0;
+  size_t pos = 0;                   // token index
+  std::vector<int> resolved;        // function ids after resolution
+};
+
+struct OpEvent {
+  OpCategory category;
+  std::string detail;  // callee name for diagnostics
+  int line = 0;
+  size_t pos = 0;
+};
+
+/// A `Status`/`Result` value bound to a local variable.
+struct StatusVar {
+  std::string name;
+  int line = 0;
+  bool consumed = false;
+};
+
+/// A device span bound to a local variable (`auto s = buf.device_span()`).
+struct SpanVar {
+  std::string name;
+  std::string buffer;      // last identifier of the buffer expression
+  bool buffer_local = false;
+  int bind_line = 0;
+  size_t bind_pos = 0;
+};
+
+struct FunctionInfo {
+  int id = 0;
+  std::string qualified_name;  // Namespace-free "Class::Name" or "Name"
+  std::string class_name;      // enclosing class, or ""
+  std::string file;
+  int line = 0;
+  std::string return_type;     // unwrapped type key of the return type
+  bool returns_status = false;       // Status or Result<...>
+  bool returns_guard = false;        // MultiLock (lock-handle factory)
+  bool is_definition = false;
+  size_t body_begin = 0;       // token index just past the body '{'
+  size_t body_end = 0;         // token index of the matching '}'
+
+  std::vector<AcquireEvent> acquires;
+  std::vector<CallEvent> calls;
+  std::vector<OpEvent> ops;
+
+  // Summaries (computed by the interprocedural fixpoint).
+  std::set<std::string> acq_all;        // class symbols (transitive)
+  std::set<std::string> acq_excl;       // transitively, exclusive-mode only
+  std::set<int> ops_all;                // OpCategory values (transitive)
+  // One witness callee per summarized fact, for diagnostics.
+  std::map<std::string, int> acq_via;   // class symbol -> callee id (-1 direct)
+  std::map<int, int> ops_via;           // category -> callee id (-1 direct)
+};
+
+// ---------------------------------------------------------------------------
+// Program-wide model
+// ---------------------------------------------------------------------------
+
+/// Return-type signature of a declared function, kept even for functions
+/// with no analyzed definition (pure declarations in headers).
+struct RetSig {
+  std::string type_key;  // unwrapped last type identifier, "" when unknown
+  bool status = false;   // Status or Result<...>
+  bool guard = false;    // MultiLock (lock-handle factory)
+  bool known = false;
+};
+
+struct ClassInfo {
+  std::string name;
+  // member variable -> "type key" (last identifier of the unwrapped type;
+  // smart pointers and Result are unwrapped to the pointee).
+  std::map<std::string, std::string> members;
+  // member variable -> lock class symbol, for lockdep wrapper members.
+  std::map<std::string, std::string> lock_members;
+  std::set<std::string> shared_lock_members;   // SharedMutex members
+  std::set<std::string> striped_lock_members;  // StripedMutexes members
+  // method name -> return signature (from declarations and definitions).
+  std::map<std::string, RetSig> method_return;
+};
+
+/// One edge of the static lock acquisition-order graph: `from` is held at
+/// the point where `to` is acquired (directly or via `via`).
+struct LockEdge {
+  std::string from;  // lock class name, e.g. "server.index"
+  std::string to;
+  std::string file;
+  int line = 0;
+  std::string via;  // "" for direct acquisitions, else callee description
+};
+
+struct Program {
+  LockTable locks;
+  LockTable doc_locks;  // parsed from docs/CONCURRENCY.md (name+rank only)
+
+  std::vector<FunctionInfo> functions;
+  std::map<std::string, std::vector<int>> functions_by_name;  // bare name
+  std::map<std::string, ClassInfo> classes;
+
+  // Global (namespace-scope) lock variables, if any.
+  std::map<std::string, std::string> global_lock_vars;
+  std::set<std::string> global_shared_lock_vars;
+
+  // Free (namespace-scope) function signatures, including declarations.
+  std::map<std::string, RetSig> free_returns;
+
+  // Name-level status knowledge: a bare call name is status-returning when
+  // it appears in status_names and never in nonstatus_names. Mirrors the
+  // old regex lint's ambiguity filter for unresolvable call sites.
+  std::set<std::string> status_names;
+  std::set<std::string> nonstatus_names;
+
+  // Static lock graph, filled by the lock-order pass.
+  std::vector<LockEdge> edges;
+
+  FunctionInfo* FindMethod(const std::string& cls, const std::string& name) {
+    auto it = functions_by_name.find(name);
+    if (it == functions_by_name.end()) return nullptr;
+    for (int id : it->second) {
+      if (functions[id].class_name == cls) return &functions[id];
+    }
+    return nullptr;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Findings
+// ---------------------------------------------------------------------------
+
+struct Finding {
+  std::string rule;     // "lock-order", "shared-block", "status-drop",
+                        // "device-span", "raw-mutex"
+  std::string file;
+  int line = 0;
+  std::string message;
+  std::string level = "error";  // SARIF level: "error" | "warning"
+
+  bool operator<(const Finding& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    if (rule != o.rule) return rule < o.rule;
+    return message < o.message;
+  }
+};
+
+}  // namespace gknn::check
+
+#endif  // GKNN_TOOLS_ANALYZER_MODEL_H_

@@ -1,0 +1,317 @@
+#include "passes.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace gknn::check {
+
+const char* OpCategoryName(OpCategory c) {
+  switch (c) {
+    case OpCategory::kBlockingWait:
+      return "blocking-wait";
+    case OpCategory::kDeviceTransfer:
+      return "device-transfer";
+    case OpCategory::kDeviceSync:
+      return "device-sync";
+    case OpCategory::kDeviceAlloc:
+      return "device-alloc";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Lock classes held by an acquisition event: its own class, or — for a
+/// guard-returning call — everything the callee transitively acquires.
+std::set<std::string> HeldSymbols(const Program& program,
+                                  const AcquireEvent& a) {
+  if (a.via_callee >= 0) {
+    return program.functions[a.via_callee].acq_all;
+  }
+  return {a.class_symbol};
+}
+
+}  // namespace
+
+void ComputeSummaries(Program* program) {
+  // Seed with direct events.
+  for (FunctionInfo& f : program->functions) {
+    for (const AcquireEvent& a : f.acquires) {
+      if (a.via_callee >= 0) continue;  // flows through the call event
+      f.acq_all.insert(a.class_symbol);
+      f.acq_via.emplace(a.class_symbol, -1);
+      if (!a.shared) f.acq_excl.insert(a.class_symbol);
+    }
+    for (const OpEvent& op : f.ops) {
+      f.ops_all.insert(static_cast<int>(op.category));
+      f.ops_via.emplace(static_cast<int>(op.category), -1);
+    }
+  }
+  // Propagate along resolved calls to a fixpoint.
+  bool changed = true;
+  int fuel = 64;
+  while (changed && fuel-- > 0) {
+    changed = false;
+    for (FunctionInfo& f : program->functions) {
+      for (const CallEvent& c : f.calls) {
+        for (int id : c.resolved) {
+          const FunctionInfo& g = program->functions[id];
+          for (const std::string& s : g.acq_all) {
+            if (f.acq_all.insert(s).second) {
+              f.acq_via.emplace(s, id);
+              changed = true;
+            }
+          }
+          for (const std::string& s : g.acq_excl) {
+            if (f.acq_excl.insert(s).second) changed = true;
+          }
+          for (int cat : g.ops_all) {
+            if (f.ops_all.insert(cat).second) {
+              f.ops_via.emplace(cat, id);
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void RunLockOrderPass(Program* program, const std::string& lockdep_path,
+                      const std::string& doc_path,
+                      std::vector<Finding>* findings) {
+  auto add = [&](const std::string& file, int line, const std::string& msg) {
+    Finding fd;
+    fd.rule = "lock-order";
+    fd.file = file;
+    fd.line = line;
+    fd.message = msg;
+    fd.level = "error";
+    findings->push_back(fd);
+  };
+
+  // --- Build the static acquisition-order edge set. ---
+  std::map<std::pair<std::string, std::string>, LockEdge> edges;
+  auto record_edge = [&](const std::string& from_sym,
+                         const std::string& to_sym, const std::string& file,
+                         int line, const std::string& via) {
+    const LockClassInfo* from = program->locks.FindSymbol(from_sym);
+    const LockClassInfo* to = program->locks.FindSymbol(to_sym);
+    if (from == nullptr || to == nullptr) return;
+    const auto key = std::make_pair(from->name, to->name);
+    if (edges.count(key)) return;
+    LockEdge e;
+    e.from = from->name;
+    e.to = to->name;
+    e.file = file;
+    e.line = line;
+    e.via = via;
+    edges.emplace(key, e);
+  };
+
+  for (const FunctionInfo& f : program->functions) {
+    for (const AcquireEvent& a : f.acquires) {
+      if (a.via_callee < 0 &&
+          program->locks.FindSymbol(a.class_symbol) == nullptr) {
+        add(f.file, a.line,
+            "acquisition of unknown lock class symbol '" + a.class_symbol +
+                "' — not present in the lockdep table (src/util/lockdep.h)");
+        continue;
+      }
+      if (a.begin_pos >= a.end_pos) continue;  // degenerate (striped index)
+      const std::set<std::string> held = HeldSymbols(*program, a);
+      // Direct nested acquisitions inside this region.
+      for (const AcquireEvent& b : f.acquires) {
+        if (&b == &a) continue;
+        if (b.begin_pos < a.begin_pos || b.begin_pos >= a.end_pos) continue;
+        for (const std::string& h : held) {
+          for (const std::string& tgt : HeldSymbols(*program, b)) {
+            record_edge(h, tgt, f.file, b.line, "");
+          }
+        }
+      }
+      // Acquisitions reachable through calls made inside this region. A
+      // call at exactly begin_pos is the guard factory itself, not a
+      // nested acquisition.
+      for (const CallEvent& c : f.calls) {
+        if (c.pos <= a.begin_pos || c.pos >= a.end_pos) continue;
+        for (int id : c.resolved) {
+          const FunctionInfo& g = program->functions[id];
+          for (const std::string& h : held) {
+            for (const std::string& tgt : g.acq_all) {
+              record_edge(h, tgt, f.file, c.line,
+                          "call to " + g.qualified_name);
+            }
+          }
+        }
+      }
+    }
+  }
+  program->edges.clear();
+  for (const auto& [key, e] : edges) program->edges.push_back(e);
+
+  // --- Check every edge against the rank discipline. ---
+  for (const LockEdge& e : program->edges) {
+    const LockClassInfo* from = program->locks.FindName(e.from);
+    const LockClassInfo* to = program->locks.FindName(e.to);
+    if (from == nullptr || to == nullptr) continue;
+    const std::string via =
+        e.via.empty() ? std::string() : " (via " + e.via + ")";
+    if (e.from == e.to) {
+      if (!from->nestable) {
+        add(e.file, e.line,
+            "lock class '" + e.from +
+                "' is re-acquired while already held and is not nestable" +
+                via + "; for a SharedMutex this is a reader->writer upgrade "
+                      "deadlock");
+      }
+      continue;
+    }
+    if (from->leaf) {
+      add(e.file, e.line,
+          "leaf lock class '" + e.from + "' (rank " +
+              std::to_string(from->rank) + ") is held while acquiring '" +
+              e.to + "'" + via + "; leaf classes must never nest");
+    }
+    if (to->rank <= from->rank) {
+      add(e.file, e.line,
+          "rank inversion: acquiring '" + e.to + "' (rank " +
+              std::to_string(to->rank) + ") while holding '" + e.from +
+              "' (rank " + std::to_string(from->rank) + ")" + via +
+              "; the runtime lockdep would abort here");
+    }
+  }
+
+  // --- Cycle detection over the edge set (belt and braces: strict rank
+  // ascent already forbids cycles, so any cycle co-occurs with a rank
+  // finding, but report it explicitly with the full path). ---
+  std::map<std::string, std::vector<const LockEdge*>> adj;
+  for (const LockEdge& e : program->edges) {
+    if (e.from != e.to) adj[e.from].push_back(&e);
+  }
+  std::set<std::string> done;
+  std::vector<std::string> stack;
+  std::set<std::string> on_stack;
+  std::function<void(const std::string&)> dfs = [&](const std::string& v) {
+    if (done.count(v)) return;
+    on_stack.insert(v);
+    stack.push_back(v);
+    for (const LockEdge* e : adj[v]) {
+      if (on_stack.count(e->to)) {
+        std::string path;
+        bool in_cycle = false;
+        for (const std::string& s : stack) {
+          if (s == e->to) in_cycle = true;
+          if (in_cycle) path += s + " -> ";
+        }
+        path += e->to;
+        add(e->file, e->line, "lock-order cycle: " + path);
+      } else {
+        dfs(e->to);
+      }
+    }
+    stack.pop_back();
+    on_stack.erase(v);
+    done.insert(v);
+  };
+  for (const auto& [v, unused] : adj) dfs(v);
+
+  // --- Diff the runtime table against docs/CONCURRENCY.md. ---
+  for (const LockClassInfo& c : program->locks.classes) {
+    const LockClassInfo* doc = program->doc_locks.FindName(c.name);
+    if (doc == nullptr) {
+      add(doc_path, 1,
+          "lock class '" + c.name + "' (rank " + std::to_string(c.rank) +
+              ") is in src/util/lockdep.h but missing from the rank table "
+              "in docs/CONCURRENCY.md");
+    } else if (doc->rank != c.rank) {
+      add(doc_path, 1,
+          "lock class '" + c.name + "' has rank " + std::to_string(c.rank) +
+              " in src/util/lockdep.h but rank " + std::to_string(doc->rank) +
+              " in docs/CONCURRENCY.md");
+    }
+  }
+  for (const LockClassInfo& d : program->doc_locks.classes) {
+    if (program->locks.FindName(d.name) == nullptr) {
+      add(lockdep_path, 1,
+          "lock class '" + d.name +
+              "' is documented in docs/CONCURRENCY.md but missing from the "
+              "lockdep table in src/util/lockdep.h");
+    }
+  }
+}
+
+void RunSharedBlockPass(Program* program, std::vector<Finding>* findings) {
+  for (const FunctionInfo& f : program->functions) {
+    for (const AcquireEvent& a : f.acquires) {
+      if (!a.shared || a.begin_pos >= a.end_pos) continue;
+      const LockClassInfo* cls = program->locks.FindSymbol(a.class_symbol);
+      const std::string cls_name = cls ? cls->name : a.class_symbol;
+      // category -> one witness description
+      std::map<int, std::string> cats;
+      for (const OpEvent& op : f.ops) {
+        if (op.pos < a.begin_pos || op.pos >= a.end_pos) continue;
+        cats.emplace(static_cast<int>(op.category),
+                     "'" + op.detail + "' at line " +
+                         std::to_string(op.line));
+      }
+      for (const CallEvent& c : f.calls) {
+        if (c.pos < a.begin_pos || c.pos >= a.end_pos) continue;
+        for (int id : c.resolved) {
+          const FunctionInfo& g = program->functions[id];
+          for (int cat : g.ops_all) {
+            cats.emplace(cat, "call to " + g.qualified_name + " at line " +
+                                  std::to_string(c.line));
+          }
+        }
+      }
+      if (cats.empty()) continue;
+      std::string msg = "shared (reader) lock on '" + cls_name +
+                        "' is held across: ";
+      bool first = true;
+      for (const auto& [cat, witness] : cats) {
+        if (!first) msg += "; ";
+        first = false;
+        msg += std::string(OpCategoryName(static_cast<OpCategory>(cat))) +
+               " (" + witness + ")";
+      }
+      msg += " — long or blocking work under a reader lock stalls writers";
+      Finding fd;
+      fd.rule = "shared-block";
+      fd.file = f.file;
+      fd.line = a.line;
+      fd.message = msg;
+      fd.level = "warning";
+      findings->push_back(fd);
+    }
+  }
+}
+
+std::string DumpLockGraph(const Program& program) {
+  std::ostringstream out;
+  out << "# static lock graph (" << program.locks.classes.size()
+      << " classes, " << program.edges.size() << " edges)\n";
+  for (const LockClassInfo& c : program.locks.classes) {
+    out << "class " << c.name << " rank=" << c.rank
+        << (c.nestable ? " nestable" : "") << (c.leaf ? " leaf" : "")
+        << "\n";
+  }
+  std::vector<LockEdge> sorted = program.edges;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const LockEdge& a, const LockEdge& b) {
+              if (a.from != b.from) return a.from < b.from;
+              return a.to < b.to;
+            });
+  for (const LockEdge& e : sorted) {
+    out << "edge " << e.from << " -> " << e.to << "  [" << e.file << ":"
+        << e.line;
+    if (!e.via.empty()) out << " " << e.via;
+    out << "]\n";
+  }
+  return out.str();
+}
+
+}  // namespace gknn::check

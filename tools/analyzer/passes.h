@@ -1,0 +1,33 @@
+#ifndef GKNN_TOOLS_ANALYZER_PASSES_H_
+#define GKNN_TOOLS_ANALYZER_PASSES_H_
+
+#include <string>
+#include <vector>
+
+#include "model.h"
+
+namespace gknn::check {
+
+/// Interprocedural fixpoint: propagates acquired-lock-class and
+/// op-category summaries along the call graph until stable. Must run
+/// after ExtractEvents over every file.
+void ComputeSummaries(Program* program);
+
+/// Pass 1 — static lock order. Builds Program::edges (the static
+/// acquisition-order graph) and reports rank inversions, leaf-class
+/// nesting, same-class reacquisition, cycles, and drift between the
+/// lockdep table and docs/CONCURRENCY.md.
+void RunLockOrderPass(Program* program, const std::string& lockdep_path,
+                      const std::string& doc_path,
+                      std::vector<Finding>* findings);
+
+/// Pass 2 — blocking work reachable while a shared (reader) lock is held.
+/// One aggregated finding per (shared region, op category set).
+void RunSharedBlockPass(Program* program, std::vector<Finding>* findings);
+
+/// Human-readable dump of the static lock graph (classes then edges).
+std::string DumpLockGraph(const Program& program);
+
+}  // namespace gknn::check
+
+#endif  // GKNN_TOOLS_ANALYZER_PASSES_H_

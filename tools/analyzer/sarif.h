@@ -1,0 +1,16 @@
+#ifndef GKNN_TOOLS_ANALYZER_SARIF_H_
+#define GKNN_TOOLS_ANALYZER_SARIF_H_
+
+#include <string>
+#include <vector>
+
+#include "model.h"
+
+namespace gknn::check {
+
+/// Serializes findings as a SARIF 2.1.0 log (one run, tool "gknn_check").
+std::string ToSarif(const std::vector<Finding>& findings);
+
+}  // namespace gknn::check
+
+#endif  // GKNN_TOOLS_ANALYZER_SARIF_H_

@@ -1,0 +1,30 @@
+#ifndef GKNN_TOOLS_ANALYZER_TOKEN_H_
+#define GKNN_TOOLS_ANALYZER_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+namespace gknn::check {
+
+enum class TokenKind {
+  kIdent,
+  kNumber,
+  kString,
+  kChar,
+  kPunct,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int line = 0;
+
+  bool Is(TokenKind k, const char* t) const { return kind == k && text == t; }
+  bool IsIdent(const char* t) const { return Is(TokenKind::kIdent, t); }
+  bool IsPunct(const char* t) const { return Is(TokenKind::kPunct, t); }
+};
+
+}  // namespace gknn::check
+
+#endif  // GKNN_TOOLS_ANALYZER_TOKEN_H_

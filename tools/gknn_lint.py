@@ -4,20 +4,6 @@
 Rules (suppress one occurrence with `// gknn-lint: allow(<rule>): reason`
 on the same line or an immediately preceding comment line):
 
-  raw-mutex        std::mutex / std::shared_mutex / std guards /
-                   std::condition_variable declared in src/ outside
-                   src/util/lockdep.*. Locks must be the ranked
-                   util::lockdep wrappers so the runtime validator sees
-                   every acquisition (docs/LOCKDEP.md).
-  discarded-status A Status- or Result-returning call in statement
-                   position with the value discarded. The compiler
-                   enforces this too ([[nodiscard]] + -Werror), but the
-                   lint also runs where warnings are off.
-  device-span      DeviceBuffer<T>::device_span() outside src/gpusim/.
-                   Kernel code must use the checked Load/Store/AtomicMin
-                   accessors so the hazard detector attributes accesses
-                   (docs/HAZARD_CHECKER.md); host code touching a span
-                   must state why that is safe.
   kernel-capture   A default-capture lambda ([&] or [=]) whose parameter
                    list takes ThreadCtx&/WarpCtx&. Kernel lambdas must
                    enumerate their captures: an accidental by-reference
@@ -26,6 +12,12 @@ on the same line or an immediately preceding comment line):
   lockdep-table    The rank table in src/util/lockdep.h and the lock-
                    order table in docs/CONCURRENCY.md must list the same
                    classes with the same ranks.
+
+The raw-mutex, discarded-status (now `status-drop`), and device-span
+rules moved to the interprocedural analyzer `tools/analyzer/gknn_check`,
+which resolves receivers and call graphs instead of matching lines — see
+docs/STATIC_ANALYSIS.md. This lint keeps only the rules that are purely
+textual (lambda capture syntax, doc/table sync).
 
 Exit status: 0 when clean, 1 when any finding is reported, 2 on usage
 errors.
@@ -38,34 +30,7 @@ import sys
 
 ALLOW_RE = re.compile(r"gknn-lint:\s*allow\(([a-z-]+)\)")
 
-# Files whose raw std primitives ARE the implementation of the contract.
-RAW_MUTEX_EXEMPT = ("src/util/lockdep.h", "src/util/lockdep.cc")
-
-RAW_MUTEX_RE = re.compile(
-    r"std::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
-    r"lock_guard|unique_lock|shared_lock|scoped_lock|"
-    r"condition_variable)\b")
-
-DEVICE_SPAN_RE = re.compile(r"(?:\.|->)device_span\(\)")
-
 KERNEL_CAPTURE_RE = re.compile(r"\[[&=]\]\s*\(\s*(?:const\s+)?(?:\w+::)*(?:ThreadCtx|WarpCtx)\s*&")
-
-# Declarations that make a name Status/Result-returning. Scanned over
-# headers; the resulting name set drives the discarded-status rule.
-STATUS_DECL_RE = re.compile(
-    r"(?:util::)?(?:Status|Result<[^;{=]*>)\s+(\w+)\(")
-
-# A statement-position call: a receiver chain ending in .Name(...) or
-# ->Name(...), or a bare Name(...) call, forming the whole statement.
-# Heuristic and line-based — the compiler catches what this misses.
-CALL_STMT_RE = re.compile(
-    r"^\s*(?:\(\*?\w+\)|\*?\w+)?(?:(?:\.|->)\w+)*(?:\.|->)(\w+)\(.*\);\s*$"
-    r"|^\s*(\w+)\(.*\);\s*$")
-
-# Names also declared with a non-Status return type anywhere; flagging
-# them would report the wrong overload (e.g. the baselines' void Ingest
-# vs GGridIndex's Status Ingest).
-VOID_DECL_RE = re.compile(r"(?:void|double|bool|int|uint\d+_t|size_t)\s+(\w+)\(")
 
 LOCKDEP_TABLE_BEGIN = "// gknn-lockdep-table-begin"
 LOCKDEP_TABLE_END = "// gknn-lockdep-table-end"
@@ -104,65 +69,20 @@ def iter_source_files(root, subdirs, exts):
         base = os.path.join(root, sub)
         for dirpath, dirnames, filenames in os.walk(base):
             dirnames[:] = [d for d in dirnames
-                           if d not in ("lint_fixtures", "build")]
+                           if d not in ("lint_fixtures", "analyzer_fixtures",
+                                        "build")]
             for name in sorted(filenames):
                 if name.endswith(exts):
                     yield os.path.join(dirpath, name)
 
 
-def collect_status_names(root, files):
-    """Names declared ONLY with Status/Result return types."""
-    names = set()
-    ambiguous = set()
-    for path in iter_source_files(root, ["src"], (".h",)):
-        with open(path, encoding="utf-8") as f:
-            for line in f:
-                for m in STATUS_DECL_RE.finditer(line):
-                    names.add(m.group(1))
-    # A name that some scanned file also declares with another return
-    # type is ambiguous: a line-based lint cannot tell the overloads
-    # apart, so it only flags unambiguous names.
-    for path in files:
-        with open(path, encoding="utf-8") as f:
-            for line in f:
-                for m in VOID_DECL_RE.finditer(line):
-                    ambiguous.add(m.group(1))
-    names -= ambiguous
-    names.discard("operator")
-    return names
-
-
-def check_file(path, rel, lines, status_names, findings):
+def check_file(path, rel, lines, findings):
     # lint_fixtures files are linted as if they lived in src/ so the
     # fixture tests exercise every rule; the repo sweep skips them.
     in_src = rel.startswith("src/") or "lint_fixtures/" in rel
-    prev_code = ";"
     for i, line in enumerate(lines):
         lineno = i + 1
         code = line.split("//", 1)[0]
-        # A line can only open a new statement if the previous code line
-        # finished one; otherwise it is a continuation (wrapped call
-        # arguments, a multi-line assignment) and must not be flagged.
-        opens_statement = prev_code.rstrip().endswith((";", "{", "}", ":"))
-        if code.strip():
-            prev_code = code
-
-        if in_src and rel not in RAW_MUTEX_EXEMPT:
-            if RAW_MUTEX_RE.search(code) and not is_suppressed(
-                    lines, i, "raw-mutex"):
-                findings.append(Finding(
-                    rel, lineno, "raw-mutex",
-                    "raw std synchronization primitive; use the ranked "
-                    "util::lockdep wrappers (docs/LOCKDEP.md)"))
-
-        if in_src and not rel.startswith("src/gpusim/"):
-            if DEVICE_SPAN_RE.search(code) and not is_suppressed(
-                    lines, i, "device-span"):
-                findings.append(Finding(
-                    rel, lineno, "device-span",
-                    "device_span() bypasses the checked accessors the "
-                    "hazard detector instruments; use Load/Store/AtomicMin "
-                    "or annotate why the raw span is safe"))
 
         if in_src:
             if KERNEL_CAPTURE_RE.search(code) and not is_suppressed(
@@ -171,20 +91,6 @@ def check_file(path, rel, lines, status_names, findings):
                     rel, lineno, "kernel-capture",
                     "kernel lambda with default capture; enumerate the "
                     "captures explicitly"))
-
-        m = CALL_STMT_RE.match(code) if opens_statement else None
-        name = (m.group(1) or m.group(2)) if m else None
-        if name in status_names:
-            stripped = code.strip()
-            # Not a discard if the value is consumed or checked somehow.
-            if not stripped.startswith(("return", "co_return", "if", "while",
-                                        "for", "(void)")) \
-                    and "=" not in stripped.split("(", 1)[0] \
-                    and not is_suppressed(lines, i, "discarded-status"):
-                findings.append(Finding(
-                    rel, lineno, "discarded-status",
-                    f"result of Status/Result-returning call '{name}' "
-                    "is discarded"))
 
 
 def parse_lockdep_table(root):
@@ -262,13 +168,12 @@ def main(argv):
         files = list(iter_source_files(
             root, ["src", "tools", "bench", "examples", "tests"],
             (".h", ".cc", ".cpp")))
-    status_names = collect_status_names(root, files)
 
     for path in files:
         rel = os.path.relpath(path, root).replace(os.sep, "/")
         with open(path, encoding="utf-8") as f:
             lines = f.read().splitlines()
-        check_file(path, rel, lines, status_names, findings)
+        check_file(path, rel, lines, findings)
 
     if not args.paths:
         check_lockdep_table(root, findings)
