@@ -8,7 +8,7 @@
 //  2. Thread scaling: QueryServer::QueryKnnBatch fanned over the server's
 //     query pool at 1/2/4/8 threads. Reports wall-clock queries/sec and a
 //     *modeled multi-stream* queries/sec: per-query modeled cost (device
-//     clock + host time) measured serially, then LPT-packed onto T
+//     clock + host thread-CPU time) measured serially, then LPT-packed onto T
 //     streams — the throughput T independent GPU streams would sustain,
 //     which is the metric that scales on a host with fewer cores than
 //     streams (docs/CONCURRENCY.md).
@@ -126,11 +126,14 @@ bool RunThreadScaling(const std::string& dataset,
   sim.AdvanceTo(2.0, &updates);
 
   // Per-query modeled cost, measured serially on one server: the device
-  // modeled-clock delta the query consumed plus its host time. The inbox
-  // drain is paid by an untimed warmup query — it is one-off shared work,
-  // and folding it into a single query's cost would dominate the stream
-  // packing below. Each query's own first-touch cell cleaning stays in
-  // its cost: that work really belongs to that query.
+  // modeled-clock delta the query consumed plus its host CPU time. Host
+  // time is read from the measuring thread's CPU clock, not the wall
+  // clock, so other processes (or other tests under `ctest -j`) stealing
+  // the core inflate neither the costs nor the smoke gate built on them.
+  // The inbox drain is paid by an untimed warmup query — it is one-off
+  // shared work, and folding it into a single query's cost would dominate
+  // the stream packing below. Each query's own first-touch cell cleaning
+  // stays in its cost: that work really belongs to that query.
   std::vector<double> costs;
   {
     gpusim::Device device(ScaledDeviceConfig(flags.scale));
@@ -143,7 +146,7 @@ bool RunThreadScaling(const std::string& dataset,
     GKNN_CHECK((*server)->QueryKnn(queries[0].location, flags.k, 2.0).ok());
     for (const auto& q : queries) {
       const double device_before = device.ClockSeconds();
-      util::Timer timer;
+      util::ThreadCpuTimer timer;
       auto r = (*server)->QueryKnn(q.location, flags.k, 2.0);
       GKNN_CHECK(r.ok()) << r.status().ToString();
       costs.push_back((device.ClockSeconds() - device_before) +

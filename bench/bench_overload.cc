@@ -1,0 +1,231 @@
+// Overload spike experiment (docs/ROBUSTNESS.md "Overload control"): client
+// threads fire a traffic spike at a QueryServer running admission control,
+// per-query deadline budgets, and (optionally) brownout, while a seeded
+// device-fault storm pelts the simulated GPU. One table row per offered
+// concurrency level:
+//
+//   clients   spike threads issuing back-to-back queries
+//   ok/shed/expired/brownout   outcome buckets (exact accounting)
+//   goodput   completed-OK queries per wall second
+//   p50/p95   client-observed latency of the OK queries
+//
+// The interesting read: as offered load crosses the admission capacity,
+// goodput should plateau (not collapse) while the overflow moves into the
+// shed/expired buckets — graceful degradation instead of congestion
+// collapse.
+//
+// Usage: bench_overload [--dataset=NY] [--clients=1,2,4,8,16]
+//                       [--queries=N] [--max-inflight=N] [--max-queued=N]
+//                       [--deadline-ms=D] [--brownout]
+//                       [--faults=SPEC] [--smoke]
+//
+// --smoke runs a small spike and exits non-zero unless the overload
+// invariants hold: every query lands in exactly one bucket, the server
+// counters reconcile with the client tallies, and the slot/queue gauges
+// drain to zero (the CI gate for the overload-control layer).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/args.h"
+#include "common/scenario.h"
+#include "common/table.h"
+#include "server/query_server.h"
+#include "util/logging.h"
+#include "util/timer.h"
+#include "workload/moving_objects.h"
+#include "workload/queries.h"
+
+namespace gknn::bench {
+namespace {
+
+struct SpikeConfig {
+  uint32_t queries_per_client = 50;
+  server::ServerOptions server_options;
+  std::string faults;
+};
+
+struct SpikeResult {
+  uint64_t issued = 0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t expired = 0;
+  uint64_t other_errors = 0;
+  uint64_t brownout = 0;
+  double wall_seconds = 0;
+  double p50_latency = 0;
+  double p95_latency = 0;
+  bool accounting_exact = false;
+  bool gauges_drained = false;
+};
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t index = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[index];
+}
+
+SpikeResult RunSpike(const roadnet::Graph& graph, const CommonFlags& flags,
+                     const SpikeConfig& config, uint32_t clients) {
+  gpusim::DeviceConfig device_config = ScaledDeviceConfig(flags.scale);
+  device_config.faults = config.faults;
+  gpusim::Device device(device_config);
+  auto server = server::QueryServer::Create(&graph, core::GGridOptions{},
+                                            &device, config.server_options);
+  GKNN_CHECK(server.ok()) << server.status().ToString();
+
+  workload::MovingObjectSimulator sim(
+      &graph, {.num_objects = flags.num_objects, .seed = flags.seed});
+  std::vector<workload::LocationUpdate> updates;
+  sim.AdvanceTo(2.0, &updates);
+  for (const auto& u : updates) {
+    (*server)->Report(u.object_id, u.position, u.time);
+  }
+  const auto queries = workload::GenerateQueries(
+      graph, {.num_queries = std::max<uint32_t>(config.queries_per_client, 1),
+              .k = flags.k,
+              .seed = flags.seed + 7});
+  // Pay the inbox drain outside the spike so row one is not charged for
+  // shared warmup work. The warmup query runs before any deadline
+  // pressure exists, so it always completes.
+  {
+    auto warm = (*server)->QueryKnn(queries[0].location, flags.k, 2.0);
+    GKNN_CHECK(warm.ok()) << warm.status().ToString();
+  }
+  const auto baseline = (*server)->stats();
+
+  SpikeResult result;
+  std::atomic<uint64_t> ok{0}, shed{0}, expired{0}, other{0};
+  std::vector<std::vector<double>> latencies(clients);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> spike;
+  for (uint32_t c = 0; c < clients; ++c) {
+    spike.emplace_back([&, c] {
+      while (!go.load()) std::this_thread::yield();
+      for (uint32_t i = 0; i < config.queries_per_client; ++i) {
+        const auto& q = queries[(c * 31 + i) % queries.size()];
+        util::Timer timer;
+        auto r = (*server)->QueryKnn(q.location, flags.k, 2.0);
+        if (r.ok()) {
+          latencies[c].push_back(timer.ElapsedSeconds());
+          ok.fetch_add(1, std::memory_order_relaxed);
+        } else if (r.status().IsResourceExhausted()) {
+          shed.fetch_add(1, std::memory_order_relaxed);
+        } else if (r.status().IsDeadlineExceeded()) {
+          expired.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          other.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  util::Timer wall;
+  go.store(true);
+  for (auto& s : spike) s.join();
+  result.wall_seconds = wall.ElapsedSeconds();
+
+  result.issued = static_cast<uint64_t>(clients) * config.queries_per_client;
+  result.ok = ok.load();
+  result.shed = shed.load();
+  result.expired = expired.load();
+  result.other_errors = other.load();
+  const auto stats = (*server)->stats();
+  result.brownout = stats.brownout_queries - baseline.brownout_queries;
+  result.accounting_exact =
+      result.ok + result.shed + result.expired + result.other_errors ==
+          result.issued &&
+      stats.shed_queries - baseline.shed_queries == result.shed &&
+      stats.expired_queries - baseline.expired_queries == result.expired;
+  result.gauges_drained = (*server)->inflight_queries() == 0 &&
+                          (*server)->admission_queue_depth() == 0;
+
+  std::vector<double> all_latencies;
+  for (const auto& per_client : latencies) {
+    all_latencies.insert(all_latencies.end(), per_client.begin(),
+                         per_client.end());
+  }
+  std::sort(all_latencies.begin(), all_latencies.end());
+  result.p50_latency = Percentile(all_latencies, 0.50);
+  result.p95_latency = Percentile(all_latencies, 0.95);
+  return result;
+}
+
+}  // namespace
+}  // namespace gknn::bench
+
+int main(int argc, char** argv) {
+  using namespace gknn;  // NOLINT(build/namespaces)
+  bench::Args args(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.error().c_str());
+    return 1;
+  }
+  auto flags = bench::CommonFlags::Parse(args);
+  const bool smoke = args.GetBool("smoke", false);
+
+  bench::SpikeConfig config;
+  config.server_options.max_inflight =
+      static_cast<uint32_t>(args.GetInt("max-inflight", 2));
+  config.server_options.max_queued =
+      static_cast<uint32_t>(args.GetInt("max-queued", 2));
+  config.server_options.default_deadline_ms =
+      args.GetDouble("deadline-ms", 2000.0);
+  config.server_options.brownout = args.GetBool("brownout", smoke);
+  config.server_options.backoff_base_ms = 0;  // spikes, not retry timing
+  config.queries_per_client =
+      static_cast<uint32_t>(args.GetInt("queries", smoke ? 20 : 50));
+  config.faults = args.GetString("faults", "alloc:p=0.1;seed=29");
+  if (smoke) {
+    flags.scale = std::max<uint32_t>(flags.scale, 2000);
+    flags.num_objects = std::min<uint32_t>(flags.num_objects, 400);
+  }
+
+  std::vector<uint32_t> client_counts;
+  for (const auto& s : bench::SplitCsv(
+           args.GetString("clients", smoke ? "1,4,8" : "1,2,4,8,16"))) {
+    client_counts.push_back(static_cast<uint32_t>(std::stoul(s)));
+  }
+  const std::string dataset = args.GetString("dataset", "NY");
+  auto graph = bench::LoadDataset(dataset, flags.scale, flags.seed,
+                                  flags.dimacs_dir);
+  GKNN_CHECK(graph.ok()) << graph.status().ToString();
+
+  std::printf(
+      "Overload spike on %s (k=%u, |O|=%u): max_inflight=%u max_queued=%u "
+      "deadline=%.0fms brownout=%d faults='%s'\n\n",
+      dataset.c_str(), flags.k, flags.num_objects,
+      config.server_options.max_inflight, config.server_options.max_queued,
+      config.server_options.default_deadline_ms,
+      config.server_options.brownout ? 1 : 0, config.faults.c_str());
+  bench::TablePrinter table({"Clients", "Issued", "OK", "Shed", "Expired",
+                             "Brownout", "Goodput q/s", "p50", "p95"});
+  bool invariants_hold = true;
+  for (uint32_t clients : client_counts) {
+    const auto r = bench::RunSpike(*graph, flags, config, clients);
+    invariants_hold = invariants_hold && r.accounting_exact &&
+                      r.gauges_drained && r.other_errors == 0;
+    table.AddRow({std::to_string(clients), std::to_string(r.issued),
+                  std::to_string(r.ok), std::to_string(r.shed),
+                  std::to_string(r.expired), std::to_string(r.brownout),
+                  bench::FormatDouble(
+                      r.wall_seconds > 0
+                          ? static_cast<double>(r.ok) / r.wall_seconds
+                          : 0,
+                      0),
+                  bench::FormatSeconds(r.p50_latency),
+                  bench::FormatSeconds(r.p95_latency)});
+  }
+  table.Print();
+
+  if (!smoke) return 0;
+  std::printf("smoke: exact accounting, drained gauges, no foreign "
+              "statuses -- %s\n",
+              invariants_hold ? "PASS" : "FAIL");
+  return invariants_hold ? 0 : 1;
+}

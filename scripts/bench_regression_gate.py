@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Baseline regression gate for the committed bench_micro baselines.
+
+Runs `bench_micro --json` filtered to the gated benchmarks, then compares
+the fresh numbers against a committed baseline snapshot
+(bench/baselines/BENCH_<rev>.json, schema gknn-bench/v1) and fails when a
+gated metric regressed by more than the threshold:
+
+  * BM_GGridQuery   amortized query cost (cpu seconds/query, lower better)
+                    and throughput (queries/second, higher better)
+  * BM_GGridIngest  amortized ingest cost (cpu seconds/update, lower
+                    better) and throughput (updates/second, higher better)
+
+Noise handling: timing on a shared runner is jittery, so the gate is
+best-of-N (default two attempts). Every attempt's numbers are kept and the
+most favorable value per metric is the one compared — a transient stall
+must not fail the build, a real regression shows up in every attempt.
+
+Usage:
+  bench_regression_gate.py --bench=build/bench/bench_micro \
+      --baseline=bench/baselines/BENCH_4c682d8.json \
+      [--threshold=0.15] [--attempts=2] [--keep-json=DIR]
+
+Exit status: 0 when every gated metric is within threshold, 1 on
+regression (or when the fresh run is missing a gated metric), 2 on usage
+errors.
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+# (benchmark, metric, direction). Direction "lower" means the metric is a
+# cost (regression = fresh exceeds baseline); "higher" means a throughput
+# (regression = fresh falls short of baseline).
+GATED_METRICS = [
+    ("BM_GGridQuery", "gknn_bench_cpu_seconds", "lower"),
+    ("BM_GGridQuery", "gknn_bench_items_per_second", "higher"),
+    ("BM_GGridIngest", "gknn_bench_cpu_seconds", "lower"),
+    ("BM_GGridIngest", "gknn_bench_items_per_second", "higher"),
+]
+BENCH_FILTER = "BM_GGridQuery|BM_GGridIngest"
+
+
+def gauge_key(metric, bench):
+    return '%s{name="%s"}' % (metric, bench)
+
+
+def load_gauges(path):
+    with open(path) as f:
+        doc = json.load(f)
+    schema = doc.get("schema")
+    if schema != "gknn-bench/v1":
+        raise ValueError("%s: unexpected schema %r" % (path, schema))
+    return doc.get("metrics", {}).get("gauges", {})
+
+
+def run_bench(bench, out_json):
+    cmd = [
+        bench,
+        "--json=%s" % out_json,
+        "--rev=gate",
+        "--benchmark_filter=%s" % BENCH_FILTER,
+    ]
+    env = dict(os.environ)
+    # The gate measures the healthy fast path; a fault schedule or the
+    # shadow-memory hazard checker in the environment would gate the wrong
+    # thing.
+    env["GKNN_FAULTS"] = ""
+    env["GKNN_HAZARD_CHECK"] = "0"
+    proc = subprocess.run(cmd, env=env, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout)
+        raise RuntimeError("%s exited %d" % (" ".join(cmd), proc.returncode))
+    return load_gauges(out_json)
+
+
+def best(direction, values):
+    return min(values) if direction == "lower" else max(values)
+
+
+def is_regression(direction, fresh, base, threshold):
+    if direction == "lower":
+        return fresh > base * (1.0 + threshold)
+    return fresh < base / (1.0 + threshold)
+
+
+def format_value(metric, value):
+    if metric.endswith("_seconds"):
+        return "%.3f us" % (value * 1e6)
+    return "%.0f /s" % value
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="bench_micro baseline regression gate")
+    parser.add_argument("--bench", required=True,
+                        help="path to the built bench_micro binary")
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_<rev>.json to compare against")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed relative regression (default 0.15)")
+    parser.add_argument("--attempts", type=int, default=2,
+                        help="timing attempts; best value per metric wins")
+    parser.add_argument("--keep-json", default=None,
+                        help="directory to keep the fresh JSON files in")
+    args = parser.parse_args()
+    if args.attempts < 1:
+        parser.error("--attempts must be >= 1")
+
+    try:
+        baseline = load_gauges(args.baseline)
+    except (OSError, ValueError) as e:
+        sys.stderr.write("cannot load baseline: %s\n" % e)
+        return 2
+
+    out_dir = args.keep_json or tempfile.mkdtemp(prefix="bench_gate_")
+    os.makedirs(out_dir, exist_ok=True)
+    attempts = []
+    for attempt in range(args.attempts):
+        out_json = os.path.join(out_dir, "BENCH_gate_%d.json" % attempt)
+        try:
+            attempts.append(run_bench(args.bench, out_json))
+        except (RuntimeError, OSError, ValueError) as e:
+            sys.stderr.write("attempt %d failed: %s\n" % (attempt, e))
+            return 2
+
+    baseline_rev = re.sub(r"^BENCH_|\.json$", "",
+                          os.path.basename(args.baseline))
+    print("bench regression gate: baseline %s, threshold %.0f%%, "
+          "best of %d attempt(s)" %
+          (baseline_rev, args.threshold * 100, len(attempts)))
+    failures = 0
+    for bench_name, metric, direction in GATED_METRICS:
+        key = gauge_key(metric, bench_name)
+        if key not in baseline:
+            print("  SKIP %-14s %-28s (not in baseline)" %
+                  (bench_name, metric))
+            continue
+        fresh_values = [a[key] for a in attempts if key in a]
+        if not fresh_values:
+            print("  FAIL %-14s %-28s missing from the fresh run" %
+                  (bench_name, metric))
+            failures += 1
+            continue
+        base = baseline[key]
+        fresh = best(direction, fresh_values)
+        delta = (fresh - base) / base if base else float("inf")
+        bad = is_regression(direction, fresh, base, args.threshold)
+        print("  %s %-14s %-28s base=%s fresh=%s (%+.1f%%)" %
+              ("FAIL" if bad else "ok  ", bench_name, metric,
+               format_value(metric, base), format_value(metric, fresh),
+               delta * 100))
+        failures += bad
+    if failures:
+        print("regression gate FAILED: %d metric(s) regressed past %.0f%%"
+              % (failures, args.threshold * 100))
+        return 1
+    print("regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

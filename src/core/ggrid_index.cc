@@ -314,16 +314,16 @@ util::Status GGridIndex::CleanCells(std::span<const CellId> cells,
 
 util::Result<std::vector<KnnResultEntry>> GGridIndex::QueryKnn(
     EdgePoint location, uint32_t k, double t_now, KnnStats* stats,
-    ExecMode mode) {
+    ExecMode mode, const QueryControl* control) {
   ++counters_.queries_processed;
-  return engine_->Query(location, k, t_now, stats, mode);
+  return engine_->Query(location, k, t_now, stats, mode, control);
 }
 
 util::Result<std::vector<KnnResultEntry>> GGridIndex::QueryRange(
     EdgePoint location, roadnet::Distance radius, double t_now,
-    KnnStats* stats, ExecMode mode) {
+    KnnStats* stats, ExecMode mode, const QueryControl* control) {
   ++counters_.queries_processed;
-  return engine_->QueryRange(location, radius, t_now, stats, mode);
+  return engine_->QueryRange(location, radius, t_now, stats, mode, control);
 }
 
 uint64_t GGridIndex::cached_messages() const {

@@ -129,13 +129,15 @@ class GGridIndex {
   /// CPU-only path (see KnnEngine::Query).
   util::Result<std::vector<KnnResultEntry>> QueryKnn(
       roadnet::EdgePoint location, uint32_t k, double t_now,
-      KnnStats* stats = nullptr, ExecMode mode = ExecMode::kAuto);
+      KnnStats* stats = nullptr, ExecMode mode = ExecMode::kAuto,
+      const QueryControl* control = nullptr);
 
   /// Range query (extension): every object within network distance
   /// `radius`, sorted ascending.
   util::Result<std::vector<KnnResultEntry>> QueryRange(
       roadnet::EdgePoint location, roadnet::Distance radius, double t_now,
-      KnnStats* stats = nullptr, ExecMode mode = ExecMode::kAuto);
+      KnnStats* stats = nullptr, ExecMode mode = ExecMode::kAuto,
+      const QueryControl* control = nullptr);
 
   MemoryBreakdown Memory() const;
   const Counters& counters() const { return counters_; }

@@ -58,6 +58,30 @@ class KthBound {
   roadnet::Distance threshold_ = roadnet::kInfiniteDistance - 1;
 };
 
+/// Cooperative cancellation checkpoint (docs/ROBUSTNESS.md "Overload
+/// control"): consulted between pipeline phases. Returning the error from
+/// a phase boundary lets RAII unwind the workspace lease (and the
+/// caller's reader lock) without any phase observing a half-cancelled
+/// state.
+util::Status CheckBudget(const QueryControl* control, const char* phase) {
+  if (control != nullptr && control->deadline.Expired()) {
+    return util::Status::DeadlineExceeded(
+        std::string("query budget exhausted after ") + phase);
+  }
+  return util::Status::OK();
+}
+
+/// Candidate-ring target: rho*k, shrunk by the brownout rho_scale but
+/// never below k itself (a ring smaller than k forces a degenerate
+/// all-refinement query).
+double RhoK(const GGridOptions& options, uint32_t k,
+            const QueryControl* control) {
+  double scale = control != nullptr ? control->rho_scale : 1.0;
+  if (scale <= 0.0) scale = 1.0;
+  const double rho = std::max(1.0, options.rho * scale);
+  return rho * static_cast<double>(k);
+}
+
 }  // namespace
 
 KnnEngine::KnnEngine(gpusim::Device* device, const GraphGrid* grid,
@@ -110,9 +134,10 @@ util::Status KnnEngine::ValidateLocation(EdgePoint location) const {
 
 util::Result<std::vector<KnnResultEntry>> KnnEngine::Query(
     EdgePoint location, uint32_t k, double t_now, KnnStats* stats,
-    ExecMode mode) {
+    ExecMode mode, const QueryControl* control) {
   if (k == 0) return util::Status::InvalidArgument("k must be positive");
   GKNN_RETURN_NOT_OK(ValidateLocation(location));
+  GKNN_RETURN_NOT_OK(CheckBudget(control, "admission"));
 
   WorkspaceLease lease(this);
   QueryWorkspace& ws = *lease;
@@ -145,10 +170,13 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::Query(
 
   if (mode == ExecMode::kCpuOnly) {
     ++counters_.cpu_queries;
-    return finish(QueryCpu(location, k, t_now, st, trace, ws));
+    return finish(QueryCpu(location, k, t_now, st, trace, ws, control));
   }
   util::Result<std::vector<KnnResultEntry>> result =
-      QueryGpu(location, k, t_now, st, trace, ws);
+      QueryGpu(location, k, t_now, st, trace, ws, control);
+  // DeadlineExceeded is not a device error, so a budget abort propagates
+  // here instead of burning the remaining (already negative) budget on a
+  // CPU re-run.
   if (!result.ok() && gpusim::IsDeviceError(result.status())) {
     ++counters_.gpu_failures;
     if (trace != nullptr) ++record.fault_events;
@@ -157,7 +185,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::Query(
       // The re-run traces as one kFallback phase; its inner phases get a
       // null record so the fallback span alone accounts for the time.
       obs::Span fallback = PhaseSpan(trace, obs::Phase::kFallback);
-      result = QueryCpu(location, k, t_now, st, nullptr, ws);
+      result = QueryCpu(location, k, t_now, st, nullptr, ws, control);
       fallback.Stop();
     }
   }
@@ -166,7 +194,8 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::Query(
 
 util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
     EdgePoint location, uint32_t k, double t_now, KnnStats* stats,
-    obs::QueryTraceRecord* trace, QueryWorkspace& ws) {
+    obs::QueryTraceRecord* trace, QueryWorkspace& ws,
+    const QueryControl* control) {
   const roadnet::Graph& graph = grid_->graph();
   const Edge& query_edge = graph.edge(location.edge);
 
@@ -195,11 +224,12 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
   add_cell(grid_->CellOfVertex(query_edge.target));
   for (CellId c : grid_->NeighborCells(query_cell)) add_cell(c);
   expand_span.Stop();
+  GKNN_RETURN_NOT_OK(CheckBudget(control, "expand"));
 
   std::vector<Message> candidates;
   size_t clean_from = 0;     // cells in l_cells[clean_from..) not yet cleaned
   size_t frontier_from = 0;  // cells added in the previous ring
-  const double rho_k = options_->rho * static_cast<double>(k);
+  const double rho_k = RhoK(*options_, k, control);
   for (;;) {
     const std::span<const CellId> to_clean(l_cells.data() + clean_from,
                                            l_cells.size() - clean_from);
@@ -220,6 +250,10 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
     st.clean_pipeline_seconds += outcome.pipeline_seconds;
     candidates.insert(candidates.end(), outcome.latest.begin(),
                       outcome.latest.end());
+    // Per-iteration checkpoint: the clean/expand loop is the unbounded
+    // part of the pipeline (it can grow to the whole grid), so the budget
+    // is enforced every ring.
+    GKNN_RETURN_NOT_OK(CheckBudget(control, "clean"));
     if (static_cast<double>(candidates.size()) >= rho_k) break;
     // Expand one ring: neighbors(L) \ L. Only the previous ring can
     // contribute new neighbors.
@@ -315,6 +349,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
       }));
   st.sdist_iterations = sdist_stats.iterations;
   sdist_span.Stop();
+  GKNN_RETURN_NOT_OK(CheckBudget(control, "sdist"));
 
   // ---- Step 2b: GPU_First_k — candidate distances + k smallest -----------
   obs::Span topk_span = PhaseSpan(trace, obs::Phase::kTopk);
@@ -387,6 +422,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
                          ? candidate_topk.back().distance
                          : kInfiniteDistance;
   topk_span.Stop();
+  GKNN_RETURN_NOT_OK(CheckBudget(control, "topk"));
 
   // ---- Step 2c: GPU_Unresolved — boundary vertices with D[v] < l ---------
   // Stream compaction on the device: flag kernel -> exclusive scan ->
@@ -452,6 +488,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
     ws.seed_epoch_of[v] = ws.seed_epoch;
   }
   unresolved_span.Stop();
+  GKNN_RETURN_NOT_OK(CheckBudget(control, "unresolved"));
 
   // ---- Step 3 (Alg. 6): Refine_kNN on the host ---------------------------
   obs::Span refine_span = PhaseSpan(trace, obs::Phase::kRefine);
@@ -549,8 +586,9 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
 
 util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRange(
     EdgePoint location, Distance radius, double t_now, KnnStats* stats,
-    ExecMode mode) {
+    ExecMode mode, const QueryControl* control) {
   GKNN_RETURN_NOT_OK(ValidateLocation(location));
+  GKNN_RETURN_NOT_OK(CheckBudget(control, "admission"));
 
   WorkspaceLease lease(this);
   QueryWorkspace& ws = *lease;
@@ -583,17 +621,18 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRange(
 
   if (mode == ExecMode::kCpuOnly) {
     ++counters_.cpu_queries;
-    return finish(QueryRangeCpu(location, radius, t_now, st, trace, ws));
+    return finish(
+        QueryRangeCpu(location, radius, t_now, st, trace, ws, control));
   }
   util::Result<std::vector<KnnResultEntry>> result =
-      QueryRangeGpu(location, radius, t_now, st, trace, ws);
+      QueryRangeGpu(location, radius, t_now, st, trace, ws, control);
   if (!result.ok() && gpusim::IsDeviceError(result.status())) {
     ++counters_.gpu_failures;
     if (trace != nullptr) ++record.fault_events;
     if (mode == ExecMode::kAuto) {
       ++counters_.fallback_queries;
       obs::Span fallback = PhaseSpan(trace, obs::Phase::kFallback);
-      result = QueryRangeCpu(location, radius, t_now, st, nullptr, ws);
+      result = QueryRangeCpu(location, radius, t_now, st, nullptr, ws, control);
       fallback.Stop();
     }
   }
@@ -602,7 +641,8 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRange(
 
 util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeGpu(
     EdgePoint location, Distance radius, double t_now, KnnStats* stats,
-    obs::QueryTraceRecord* trace, QueryWorkspace& ws) {
+    obs::QueryTraceRecord* trace, QueryWorkspace& ws,
+    const QueryControl* control) {
   const roadnet::Graph& graph = grid_->graph();
   const Edge& query_edge = graph.edge(location.edge);
 
@@ -645,6 +685,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeGpu(
   st.clean_pipeline_seconds = outcome.pipeline_seconds;
   st.cells_examined = static_cast<uint32_t>(l_cells.size());
   st.candidate_objects = static_cast<uint32_t>(outcome.latest.size());
+  GKNN_RETURN_NOT_OK(CheckBudget(control, "clean"));
 
   // GPU_SDist over the region (same kernel as the kNN path).
   obs::Span sdist_span = PhaseSpan(trace, obs::Phase::kSdist);
@@ -714,6 +755,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeGpu(
       }));
   st.sdist_iterations = sdist_stats.iterations;
   sdist_span.Stop();
+  GKNN_RETURN_NOT_OK(CheckBudget(control, "sdist"));
 
   // In-range candidates of the cleaned region.
   obs::Span topk_span = PhaseSpan(trace, obs::Phase::kTopk);
@@ -759,6 +801,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeGpu(
     ws.seed_epoch_of[v] = ws.seed_epoch;
   }
   unresolved_span.Stop();
+  GKNN_RETURN_NOT_OK(CheckBudget(control, "unresolved"));
   obs::Span refine_span = PhaseSpan(trace, obs::Phase::kRefine);
   if (!unresolved.empty()) {
     roadnet::BoundedDijkstra& search = ws.search;
@@ -812,7 +855,8 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeGpu(
 
 util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryCpu(
     EdgePoint location, uint32_t k, double t_now, KnnStats* stats,
-    obs::QueryTraceRecord* trace, QueryWorkspace& ws) {
+    obs::QueryTraceRecord* trace, QueryWorkspace& ws,
+    const QueryControl* control) {
   const roadnet::Graph& graph = grid_->graph();
   const Edge& query_edge = graph.edge(location.edge);
   KnnStats local_stats;
@@ -844,6 +888,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryCpu(
   if (trace != nullptr) trace->cells_cleaned += outcome.cells_cleaned;
   st.cells_examined = static_cast<uint32_t>(l_cells.size());
   st.candidate_objects = static_cast<uint32_t>(outcome.latest.size());
+  GKNN_RETURN_NOT_OK(CheckBudget(control, "clean"));
 
   obs::Span refine_span = PhaseSpan(trace, obs::Phase::kRefine);
   std::unordered_map<ObjectId, Distance> best;
@@ -899,7 +944,8 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryCpu(
 
 util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeCpu(
     EdgePoint location, Distance radius, double t_now, KnnStats* stats,
-    obs::QueryTraceRecord* trace, QueryWorkspace& ws) {
+    obs::QueryTraceRecord* trace, QueryWorkspace& ws,
+    const QueryControl* control) {
   const roadnet::Graph& graph = grid_->graph();
   const Edge& query_edge = graph.edge(location.edge);
   KnnStats local_stats;
@@ -929,6 +975,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeCpu(
   if (trace != nullptr) trace->cells_cleaned += outcome.cells_cleaned;
   st.cells_examined = static_cast<uint32_t>(l_cells.size());
   st.candidate_objects = static_cast<uint32_t>(outcome.latest.size());
+  GKNN_RETURN_NOT_OK(CheckBudget(control, "clean"));
 
   obs::Span refine_span = PhaseSpan(trace, obs::Phase::kRefine);
   std::unordered_map<ObjectId, Distance> best;

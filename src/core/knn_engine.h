@@ -16,6 +16,7 @@
 #include "gpusim/device.h"
 #include "obs/trace.h"
 #include "roadnet/dijkstra.h"
+#include "util/deadline.h"
 #include "util/lockdep.h"
 #include "util/result.h"
 
@@ -38,6 +39,23 @@ enum class ExecMode : uint8_t {
   /// CPU-only path: host message compaction + bounded Dijkstra over the
   /// object table. Exact (same answers), just not accelerated.
   kCpuOnly,
+};
+
+/// Per-query execution controls threaded down from the server's overload
+/// layer (docs/ROBUSTNESS.md "Overload control"). Optional on every query
+/// entry point; null means "no budget, full fidelity".
+struct QueryControl {
+  /// Latency budget. The engine checks it at phase boundaries
+  /// (expand/clean/SDist/top-k/refine) — the cooperative cancellation
+  /// checkpoints — and aborts with Status::DeadlineExceeded, so a query
+  /// that blows its budget releases its workspace (and the caller its
+  /// reader lock) within one phase rather than running to completion.
+  util::Deadline deadline;
+  /// Brownout knob: scales the candidate-ring target rho*k. Values < 1
+  /// shrink the GPU-examined region under load. Answers stay exact — the
+  /// boundary refinement settles anything a smaller ring misses — the
+  /// query just shifts work from the device to host refinement.
+  double rho_scale = 1.0;
 };
 
 /// Per-query statistics surfaced to the benchmark harness.
@@ -103,7 +121,8 @@ class KnnEngine {
   /// CPU-only path, so only argument errors reach the caller.
   util::Result<std::vector<KnnResultEntry>> Query(
       roadnet::EdgePoint location, uint32_t k, double t_now,
-      KnnStats* stats = nullptr, ExecMode mode = ExecMode::kAuto);
+      KnnStats* stats = nullptr, ExecMode mode = ExecMode::kAuto,
+      const QueryControl* control = nullptr);
 
   /// Range variant (an extension beyond the paper): every object within
   /// network distance `radius` of `location`, sorted ascending. Uses the
@@ -112,7 +131,8 @@ class KnnEngine {
   /// radius as the bound.
   util::Result<std::vector<KnnResultEntry>> QueryRange(
       roadnet::EdgePoint location, roadnet::Distance radius, double t_now,
-      KnnStats* stats = nullptr, ExecMode mode = ExecMode::kAuto);
+      KnnStats* stats = nullptr, ExecMode mode = ExecMode::kAuto,
+      const QueryControl* control = nullptr);
 
   const EngineCounters& counters() const { return counters_; }
 
@@ -177,19 +197,23 @@ class KnnEngine {
   /// CPU refinement). Any device error aborts the query and propagates.
   util::Result<std::vector<KnnResultEntry>> QueryGpu(
       roadnet::EdgePoint location, uint32_t k, double t_now, KnnStats* stats,
-      obs::QueryTraceRecord* trace, QueryWorkspace& ws);
+      obs::QueryTraceRecord* trace, QueryWorkspace& ws,
+      const QueryControl* control);
   /// Exact host-only execution: CleanCpu over the query's cells, then one
   /// bounded Dijkstra from the query point over the eagerly maintained
   /// object table, its radius shrinking with the running kth-best bound.
   util::Result<std::vector<KnnResultEntry>> QueryCpu(
       roadnet::EdgePoint location, uint32_t k, double t_now, KnnStats* stats,
-      obs::QueryTraceRecord* trace, QueryWorkspace& ws);
+      obs::QueryTraceRecord* trace, QueryWorkspace& ws,
+      const QueryControl* control);
   util::Result<std::vector<KnnResultEntry>> QueryRangeGpu(
       roadnet::EdgePoint location, roadnet::Distance radius, double t_now,
-      KnnStats* stats, obs::QueryTraceRecord* trace, QueryWorkspace& ws);
+      KnnStats* stats, obs::QueryTraceRecord* trace, QueryWorkspace& ws,
+      const QueryControl* control);
   util::Result<std::vector<KnnResultEntry>> QueryRangeCpu(
       roadnet::EdgePoint location, roadnet::Distance radius, double t_now,
-      KnnStats* stats, obs::QueryTraceRecord* trace, QueryWorkspace& ws);
+      KnnStats* stats, obs::QueryTraceRecord* trace, QueryWorkspace& ws,
+      const QueryControl* control);
   gpusim::Device* device_;
   const GraphGrid* grid_;
   MessageCleaner* cleaner_;

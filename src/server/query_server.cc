@@ -5,9 +5,11 @@
 #include <string_view>
 #include <utility>
 
+#include "core/cost_model.h"
 #include "gpusim/fault_injector.h"
 #include "util/backoff.h"
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace gknn::server {
 
@@ -89,10 +91,163 @@ util::Status QueryServer::DrainIfPending() {
   return TimedDrainExclusive();
 }
 
+QueryServer::Admission QueryServer::Admit(const util::Deadline& deadline) {
+  Admission out;
+  if (options_.max_inflight == 0) {
+    // Admission control off: no queue, no shedding; keep the inflight
+    // gauge honest anyway.
+    util::lockdep::MutexLock lock(admission_mu_);
+    ++inflight_;
+    ++stats_.admitted_queries;
+    return out;
+  }
+  util::Timer wait_timer;
+  bool waited = false;
+  util::lockdep::UniqueLock lock(admission_mu_);
+  while (inflight_ >= options_.max_inflight) {
+    if (!waited) {
+      if (admission_queued_ >= options_.max_queued) {
+        // Reject-newest: the arrival is shed, everyone already waiting
+        // keeps its place — FIFO fairness for the admitted backlog.
+        out.status = util::Status::ResourceExhausted(
+            "admission queue full (" + std::to_string(admission_queued_) +
+            " waiting, " + std::to_string(inflight_) + " inflight)");
+        return out;
+      }
+      ++admission_queued_;
+      waited = true;
+    }
+    if (deadline.is_infinite()) {
+      admission_cv_.wait(lock);
+    } else {
+      admission_cv_.wait_until(lock, deadline.time_point());
+      if (inflight_ >= options_.max_inflight && deadline.Expired()) {
+        --admission_queued_;
+        out.status = util::Status::DeadlineExceeded(
+            "deadline expired waiting for an execution slot");
+        return out;
+      }
+    }
+  }
+  if (waited) --admission_queued_;
+  ++inflight_;
+  ++stats_.admitted_queries;
+  // Brownout pressure signal: this query had to queue, or admission is
+  // past half capacity — degrade before the queue fills and sheds.
+  out.brownout =
+      options_.brownout && (waited || inflight_ * 2 > options_.max_inflight);
+  out.waited_seconds = waited ? wait_timer.ElapsedSeconds() : 0.0;
+  return out;
+}
+
+void QueryServer::ReleaseSlot() {
+  {
+    util::lockdep::MutexLock lock(admission_mu_);
+    --inflight_;
+  }
+  admission_cv_.notify_one();
+}
+
+uint32_t QueryServer::inflight_queries() const {
+  util::lockdep::MutexLock lock(admission_mu_);
+  return inflight_;
+}
+
+uint32_t QueryServer::admission_queue_depth() const {
+  util::lockdep::MutexLock lock(admission_mu_);
+  return admission_queued_;
+}
+
+double QueryServer::PredictQueryGpuSeconds(uint32_t k) const {
+  const core::GGridOptions& opts = index_->options();
+  const roadnet::Graph& graph = index_->grid().graph();
+  core::CostModelInputs inputs;
+  inputs.k = k;
+  inputs.rho = opts.rho;
+  inputs.delta_b = opts.delta_b;
+  inputs.delta_c = opts.delta_c;
+  inputs.delta_v = opts.delta_v;
+  inputs.eta = opts.eta;
+  inputs.num_vertices = graph.num_vertices();
+  inputs.num_edges = graph.num_edges();
+  inputs.num_objects = index_->object_table().size();
+  return core::PredictCosts(inputs, index_->device().config())
+      .total_gpu_seconds;
+}
+
+template <typename IndexFn>
+util::Result<std::vector<core::KnnResultEntry>> QueryServer::ExecuteAdmitted(
+    const util::Deadline& deadline, double predicted_gpu_seconds,
+    IndexFn index_fn) {
+  Admission admission = Admit(deadline);
+  if (!admission.status.ok()) {
+    if (admission.status.IsDeadlineExceeded()) {
+      ++stats_.expired_queries;
+    } else {
+      ++stats_.shed_queries;
+    }
+    return admission.status;
+  }
+  // Slot held from here to the end of the query, error paths included.
+  struct SlotGuard {
+    QueryServer* server;
+    ~SlotGuard() { server->ReleaseSlot(); }
+  } slot_guard{this};
+  if (admission_wait_hist_ != nullptr) {
+    admission_wait_hist_->Observe(admission.waited_seconds);
+  }
+
+  core::QueryControl control;
+  control.deadline = deadline;
+  bool force_cpu = false;
+  if (admission.brownout) {
+    ++stats_.brownout_queries;
+    if (predicted_gpu_seconds > 0 &&
+        predicted_gpu_seconds < options_.brownout_cheap_gpu_seconds) {
+      // Cheap query: the ~100 µs device round-trip dominates it; under
+      // pressure answer from the host and leave the device to the
+      // expensive queries.
+      force_cpu = true;
+    } else {
+      control.rho_scale = options_.brownout_rho_scale;
+    }
+  }
+
+  auto finish = [&](util::Result<std::vector<core::KnnResultEntry>> result) {
+    if (!deadline.is_infinite() && deadline_slack_hist_ != nullptr) {
+      deadline_slack_hist_->Observe(std::max(0.0, deadline.RemainingSeconds()));
+    }
+    if (!result.ok() && result.status().IsDeadlineExceeded()) {
+      ++stats_.expired_queries;
+    }
+    return result;
+  };
+
+  util::Status drained = DrainIfPending();
+  if (!drained.ok()) return finish(std::move(drained));
+  // gknn-check: allow(shared-block): the reader lock is the query protocol —
+  // kernels, transfers, and retry backoff run under it by design so queries
+  // never block each other; writers drain via DrainIfPending first. See
+  // docs/CONCURRENCY.md "reader-writer query protocol".
+  util::lockdep::SharedLock lock(index_mutex_);
+  core::KnnStats stats;
+  uint64_t query_retries = 0;
+  auto result = ExecuteShared(
+      [&](core::ExecMode mode) { return index_fn(mode, &stats, &control); },
+      &query_retries, deadline, force_cpu);
+  AnnotateTrace(stats.query_id, query_retries);
+  return finish(std::move(result));
+}
+
 template <typename RunFn>
 util::Result<std::vector<core::KnnResultEntry>> QueryServer::ExecuteShared(
-    RunFn run, uint64_t* query_retries) {
+    RunFn run, uint64_t* query_retries, const util::Deadline& deadline,
+    bool force_cpu) {
   using core::ExecMode;
+  // Brownout routing decided at admission: a cheap degraded query goes
+  // straight to the exact CPU path, skipping the retry/breaker machinery
+  // (there is nothing to retry — no device work is attempted).
+  if (force_cpu) return run(ExecMode::kCpuOnly);
   // Degraded path. The decision (count the query, pace the probe) happens
   // under breaker_mu_; the query itself runs without it so concurrent
   // readers only serialize for a counter update.
@@ -138,6 +293,13 @@ util::Result<std::vector<core::KnnResultEntry>> QueryServer::ExecuteShared(
   const uint32_t attempts = std::max<uint32_t>(1, options_.gpu_attempts);
   for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
+      // A budgeted query does not sleep its remaining budget away in
+      // retry backoff: once the deadline is gone, stop retrying and
+      // report it (typed, not a device error — no fallback follows).
+      if (deadline.Expired()) {
+        return util::Status::DeadlineExceeded(
+            "query budget exhausted during retry backoff");
+      }
       ++stats_.retries;
       if (query_retries != nullptr) ++*query_retries;
       backoff.SleepNext();
@@ -171,68 +333,77 @@ util::Result<std::vector<core::KnnResultEntry>> QueryServer::ExecuteShared(
 
 util::Result<std::vector<core::KnnResultEntry>> QueryServer::QueryKnn(
     roadnet::EdgePoint location, uint32_t k, double t_now) {
-  GKNN_RETURN_NOT_OK(DrainIfPending());
-  // gknn-check: allow(shared-block): the reader lock is the query protocol —
-  // kernels, transfers, and retry backoff run under it by design so queries
-  // never block each other; writers drain via DrainIfPending first. See
-  // docs/CONCURRENCY.md "reader-writer query protocol".
-  util::lockdep::SharedLock lock(index_mutex_);
-  core::KnnStats stats;
-  uint64_t query_retries = 0;
-  auto result = ExecuteShared(
-      [&](core::ExecMode mode) {
-        return index_->QueryKnn(location, k, t_now, &stats, mode);
-      },
-      &query_retries);
-  AnnotateTrace(stats.query_id, query_retries);
-  return result;
+  return ExecuteAdmitted(
+      DefaultDeadline(),
+      options_.brownout ? PredictQueryGpuSeconds(k) : 0.0,
+      [&](core::ExecMode mode, core::KnnStats* stats,
+          const core::QueryControl* control) {
+        return index_->QueryKnn(location, k, t_now, stats, mode, control);
+      });
 }
 
 util::Result<std::vector<core::KnnResultEntry>> QueryServer::QueryRange(
     roadnet::EdgePoint location, roadnet::Distance radius, double t_now) {
-  GKNN_RETURN_NOT_OK(DrainIfPending());
-  // gknn-check: allow(shared-block): same intentional design as QueryKnn —
-  // device work under the reader lock is the query protocol.
-  util::lockdep::SharedLock lock(index_mutex_);
-  core::KnnStats stats;
-  uint64_t query_retries = 0;
-  auto result = ExecuteShared(
-      [&](core::ExecMode mode) {
-        return index_->QueryRange(location, radius, t_now, &stats, mode);
-      },
-      &query_retries);
-  AnnotateTrace(stats.query_id, query_retries);
-  return result;
+  // Range queries have no k for the cost model; brownout degrades them
+  // through the ring scale only.
+  return ExecuteAdmitted(
+      DefaultDeadline(), 0.0,
+      [&](core::ExecMode mode, core::KnnStats* stats,
+          const core::QueryControl* control) {
+        return index_->QueryRange(location, radius, t_now, stats, mode,
+                                  control);
+      });
 }
 
 util::Result<std::vector<std::vector<core::KnnResultEntry>>>
 QueryServer::QueryKnnBatch(std::span<const roadnet::EdgePoint> locations,
                            uint32_t k, double t_now) {
   GKNN_RETURN_NOT_OK(DrainIfPending());
+  const util::Deadline deadline = DefaultDeadline();
+  const double predicted =
+      options_.brownout ? PredictQueryGpuSeconds(k) : 0.0;
   std::vector<std::vector<core::KnnResultEntry>> results(locations.size());
   std::vector<util::Status> statuses(locations.size(), util::Status::OK());
   std::vector<std::future<void>> tasks;
   tasks.reserve(locations.size());
   for (size_t i = 0; i < locations.size(); ++i) {
-    tasks.push_back(query_pool_->SubmitTask(
-        [this, &results, &statuses, location = locations[i], k, t_now, i] {
-          // gknn-check: allow(shared-block): same intentional design as
-          // QueryKnn — device work under the reader lock is the protocol.
-          util::lockdep::SharedLock lock(index_mutex_);
-          core::KnnStats stats;
-          uint64_t query_retries = 0;
-          auto result = ExecuteShared(
-              [&](core::ExecMode mode) {
-                return index_->QueryKnn(location, k, t_now, &stats, mode);
-              },
-              &query_retries);
-          AnnotateTrace(stats.query_id, query_retries);
-          if (result.ok()) {
-            results[i] = *std::move(result);
-          } else {
-            statuses[i] = result.status();
-          }
-        }));
+    util::ThreadPool::Submission submission;
+    submission.deadline = deadline;
+    // Each fan-out task is a full admitted query: admission slot, budget,
+    // brownout — batch queries obey the same overload policy as single
+    // ones.
+    submission.run = [this, &results, &statuses, location = locations[i], k,
+                      t_now, i, deadline, predicted] {
+      auto result = ExecuteAdmitted(
+          deadline, predicted,
+          [&](core::ExecMode mode, core::KnnStats* stats,
+              const core::QueryControl* control) {
+            return index_->QueryKnn(location, k, t_now, stats, mode, control);
+          });
+      if (result.ok()) {
+        results[i] = *std::move(result);
+      } else {
+        statuses[i] = result.status();
+      }
+    };
+    submission.on_expired = [this, &statuses, i] {
+      // The budget died while the task sat in the pool queue; the pool
+      // dropped it before it took any lock.
+      ++stats_.expired_queries;
+      statuses[i] = util::Status::DeadlineExceeded(
+          "query budget exhausted in the batch queue");
+    };
+    std::optional<std::future<void>> task =
+        query_pool_->TrySubmitTask(std::move(submission));
+    if (!task.has_value()) {
+      // Bounded pool queue full (ServerOptions::max_queued): shed this
+      // query, typed, without blocking the submitter.
+      ++stats_.shed_queries;
+      statuses[i] =
+          util::Status::ResourceExhausted("batch query pool queue full");
+      continue;
+    }
+    tasks.push_back(std::move(*task));
   }
   // get() (not wait()) so an exception escaping a task — impossible for
   // the query path itself, which reports through Status — still reaches
@@ -274,6 +445,20 @@ void QueryServer::FoldServerMetricsExclusive() {
   set("gknn_server_degraded", snapshot.degraded ? 1.0 : 0.0);
   set("gknn_server_pending_updates",
       static_cast<double>(pending_updates()));
+  // Overload control (docs/ROBUSTNESS.md "Overload control").
+  set("gknn_server_admitted_queries",
+      static_cast<double>(snapshot.admitted_queries));
+  set("gknn_server_shed_queries", static_cast<double>(snapshot.shed_queries));
+  set("gknn_server_expired_queries",
+      static_cast<double>(snapshot.expired_queries));
+  set("gknn_server_brownout_queries",
+      static_cast<double>(snapshot.brownout_queries));
+  set("gknn_server_inflight_queries",
+      static_cast<double>(inflight_queries()));
+  set("gknn_server_admission_queue_depth",
+      static_cast<double>(admission_queue_depth()));
+  set("gknn_server_pool_expired_tasks",
+      static_cast<double>(query_pool_->expired_tasks()));
   // Lock-discipline violations (docs/LOCKDEP.md). The lockdep layer keeps
   // one process-global count; fold the delta so the registry counter stays
   // monotone across snapshots. Zero always, unless a bug slipped past the

@@ -2,6 +2,7 @@
 #define GKNN_SERVER_QUERY_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <span>
 #include <string>
@@ -11,6 +12,7 @@
 #include "gpusim/device.h"
 #include "obs/metrics.h"
 #include "roadnet/graph.h"
+#include "util/deadline.h"
 #include "util/lockdep.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
@@ -36,6 +38,34 @@ struct ServerOptions {
   /// thread — the right choice for single-threaded clients and for
   /// deterministic tests. Single queries never touch the pool.
   uint32_t query_threads = 0;
+
+  // ---- Overload control (docs/ROBUSTNESS.md "Overload control") ----
+
+  /// Per-query latency budget in milliseconds; 0 (the default) means
+  /// unlimited. A budgeted query either completes in time or returns
+  /// Status::DeadlineExceeded — while waiting for an admission slot,
+  /// while queued in the batch pool, or at the engine's phase-boundary
+  /// cancellation checkpoints.
+  double default_deadline_ms = 0;
+  /// Queries executing concurrently before new arrivals queue for a
+  /// slot; 0 (the default) disables admission control entirely.
+  uint32_t max_inflight = 0;
+  /// Arrivals allowed to wait for a slot once max_inflight is reached
+  /// (the admission queue). Beyond it the server sheds reject-newest
+  /// with Status::ResourceExhausted. 0 means no waiting room: anything
+  /// over max_inflight is shed immediately. Ignored when max_inflight
+  /// is 0. Also bounds the batch pool's task queue.
+  uint32_t max_queued = 0;
+  /// Brownout: under admission pressure (a query had to queue, or more
+  /// than half the inflight slots are busy), degrade admitted queries
+  /// before shedding arrivals — cheap queries (predicted device time
+  /// under brownout_cheap_gpu_seconds via the §VI cost model) skip the
+  /// GPU round-trip and run kCpuOnly; expensive ones shrink their
+  /// candidate ring by brownout_rho_scale. Answers stay exact either
+  /// way (docs/ROBUSTNESS.md); only latency/throughput trade off.
+  bool brownout = false;
+  double brownout_cheap_gpu_seconds = 100e-6;
+  double brownout_rho_scale = 0.5;
 };
 
 /// Degradation counters; snapshot via QueryServer::stats().
@@ -56,6 +86,14 @@ struct ServerStats {
   uint64_t breaker_closes = 0;
   uint64_t update_requeues = 0;   // drain batches re-queued on device errors
   bool degraded = false;          // breaker currently open
+  // Overload-control accounting (docs/ROBUSTNESS.md). Every query the
+  // server accepts ends in exactly one bucket: admitted (and then OK or
+  // its own error), shed (ResourceExhausted before getting a slot), or
+  // expired (DeadlineExceeded — waiting, queued, or mid-execution).
+  uint64_t admitted_queries = 0;  // granted an execution slot
+  uint64_t shed_queries = 0;      // rejected: admission queue full
+  uint64_t expired_queries = 0;   // returned DeadlineExceeded
+  uint64_t brownout_queries = 0;  // admitted but executed degraded
 };
 
 /// Thread-safe front end over a GGridIndex — the paper's "query server"
@@ -131,6 +169,14 @@ class QueryServer {
   /// Worker threads of the batch-query pool (0 = inline execution).
   unsigned query_threads() const { return query_pool_->num_threads(); }
 
+  /// Queries currently holding an execution slot. Tracked even with
+  /// admission control off (max_inflight == 0) so the gauge is always
+  /// meaningful.
+  uint32_t inflight_queries() const;
+
+  /// Arrivals currently waiting for an execution slot.
+  uint32_t admission_queue_depth() const;
+
   /// Snapshot of the degradation counters. Lock-free: monitoring threads
   /// polling this never contend with queries for the index lock. See
   /// ServerStats for the consistency contract; the breaker triple is read
@@ -145,6 +191,13 @@ class QueryServer {
         stats_.degraded_queries.load(std::memory_order_relaxed);
     out.update_requeues =
         stats_.update_requeues.load(std::memory_order_relaxed);
+    out.admitted_queries =
+        stats_.admitted_queries.load(std::memory_order_relaxed);
+    out.shed_queries = stats_.shed_queries.load(std::memory_order_relaxed);
+    out.expired_queries =
+        stats_.expired_queries.load(std::memory_order_relaxed);
+    out.brownout_queries =
+        stats_.brownout_queries.load(std::memory_order_relaxed);
     // Seqlock read of the breaker triple: retry while a writer is inside
     // the odd window or published a new version between our loads.
     uint64_t seq = breaker_seq_.load(std::memory_order_acquire);
@@ -200,7 +253,17 @@ class QueryServer {
                         ? std::make_unique<util::ThreadPool>(
                               util::ThreadPool::Inline{})
                         : std::make_unique<util::ThreadPool>(
-                              options.query_threads)) {}
+                              options.query_threads, options.max_queued)) {
+    if (obs::kEnabled) {
+      // Resolve the hot-path histogram handles once: Observe is
+      // atomics-only, so the query path never takes the registry mutex.
+      obs::MetricRegistry& registry = index_->metrics();
+      admission_wait_hist_ =
+          registry.GetHistogram("gknn_server_admission_wait_seconds");
+      deadline_slack_hist_ =
+          registry.GetHistogram("gknn_server_deadline_slack_seconds");
+    }
+  }
 
   /// Moves every buffered update into the index; requires the writer lock
   /// on index_mutex_. A transient device error re-queues the unapplied
@@ -226,7 +289,46 @@ class QueryServer {
   /// queries and cannot attribute retries to one of them.
   template <typename RunFn>
   util::Result<std::vector<core::KnnResultEntry>> ExecuteShared(
-      RunFn run, uint64_t* query_retries = nullptr);
+      RunFn run, uint64_t* query_retries = nullptr,
+      const util::Deadline& deadline = util::Deadline(),
+      bool force_cpu = false);
+
+  /// Outcome of one admission decision (docs/ROBUSTNESS.md "Overload
+  /// control").
+  struct Admission {
+    util::Status status = util::Status::OK();  // OK = slot granted
+    bool brownout = false;    // degrade this query (pressure observed)
+    double waited_seconds = 0;  // time spent queued for the slot
+  };
+
+  /// Takes (or waits for) an execution slot. With max_inflight == 0 this
+  /// only bumps the inflight gauge. Returns ResourceExhausted when the
+  /// admission queue is full (reject-newest shedding) and
+  /// DeadlineExceeded when the budget ran out while waiting. A granted
+  /// slot must be returned via ReleaseSlot().
+  Admission Admit(const util::Deadline& deadline);
+  void ReleaseSlot();
+
+  /// The per-query budget from ServerOptions::default_deadline_ms.
+  util::Deadline DefaultDeadline() const {
+    return options_.default_deadline_ms > 0
+               ? util::Deadline::AfterSeconds(options_.default_deadline_ms *
+                                              1e-3)
+               : util::Deadline();
+  }
+
+  /// §VI cost-model estimate of one query's device seconds, used by the
+  /// brownout policy to route cheap queries to the CPU path.
+  double PredictQueryGpuSeconds(uint32_t k) const;
+
+  /// The full admitted single-query path: admission, deadline budget,
+  /// brownout degradation, drain-if-pending, then ExecuteShared under the
+  /// reader lock. `index_fn(mode, stats, control)` runs one query against
+  /// the index. Centralizes the shed/expired/brownout accounting.
+  template <typename IndexFn>
+  util::Result<std::vector<core::KnnResultEntry>> ExecuteAdmitted(
+      const util::Deadline& deadline, double predicted_gpu_seconds,
+      IndexFn index_fn);
 
   /// Stamps server-side context (this query's retry count) onto the trace
   /// record the engine pushed for query `query_id`. Concurrent-safe: the
@@ -256,6 +358,10 @@ class QueryServer {
     std::atomic<uint64_t> breaker_closes{0};
     std::atomic<uint64_t> update_requeues{0};
     std::atomic<bool> degraded{false};
+    std::atomic<uint64_t> admitted_queries{0};
+    std::atomic<uint64_t> shed_queries{0};
+    std::atomic<uint64_t> expired_queries{0};
+    std::atomic<uint64_t> brownout_queries{0};
   };
 
   /// Pushes the degradation counters into the index's registry as gauges
@@ -287,6 +393,20 @@ class QueryServer {
   std::atomic<uint64_t> breaker_seq_{0};
   uint32_t consecutive_query_failures_ = 0;  // guarded by breaker_mu_
   uint64_t degraded_query_count_ = 0;        // guarded by breaker_mu_
+
+  /// Admission bookkeeping (docs/CONCURRENCY.md rank 902, a leaf: the
+  /// slot counters are the only thing touched under it, and the condvar
+  /// wait releases it, so a blocked admitter holds nothing).
+  mutable util::lockdep::Mutex admission_mu_{
+      util::lockdep::kServerAdmissionClass};
+  std::condition_variable_any admission_cv_;
+  uint32_t inflight_ = 0;          // guarded by admission_mu_
+  uint32_t admission_queued_ = 0;  // guarded by admission_mu_
+
+  /// Pre-resolved overload-metric handles (null when GKNN_OBS=0); see the
+  /// constructor.
+  obs::Histogram* admission_wait_hist_ = nullptr;
+  obs::Histogram* deadline_slack_hist_ = nullptr;
 
   /// Lockdep violations already folded into the registry counter, so the
   /// fold can add only the delta (guarded by the exclusive index lock, the

@@ -1,0 +1,73 @@
+#ifndef GKNN_UTIL_DEADLINE_H_
+#define GKNN_UTIL_DEADLINE_H_
+
+#include <chrono>
+#include <limits>
+
+namespace gknn::util {
+
+/// A point in time a unit of work must finish by, expressed on the steady
+/// (monotonic) clock so wall-clock adjustments cannot expire work early or
+/// extend a budget.
+///
+/// The default-constructed Deadline is infinite: it never expires and costs
+/// nothing to check beyond a branch, so APIs can thread a Deadline
+/// unconditionally and callers without a budget pass `Deadline()`.
+///
+/// Deadlines interoperate with condition-variable timed waits through
+/// `time_point()` — an admission queue sleeping for a slot wakes exactly
+/// when the query's budget runs out (see QueryServer::QueryKnn).
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Infinite deadline (never expires).
+  Deadline() = default;
+
+  /// Never expires; spelled-out alias of the default constructor.
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `seconds` from now. A non-positive budget yields a deadline
+  /// that is already expired — useful for tests and for "shed immediately
+  /// under pressure" policies.
+  static Deadline AfterSeconds(double seconds) {
+    Deadline d;
+    d.infinite_ = false;
+    d.when_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  /// Expires at an absolute steady-clock time point.
+  static Deadline At(Clock::time_point when) {
+    Deadline d;
+    d.infinite_ = false;
+    d.when_ = when;
+    return d;
+  }
+
+  bool is_infinite() const { return infinite_; }
+
+  bool Expired() const { return !infinite_ && Clock::now() >= when_; }
+
+  /// Seconds until expiry: +infinity for an infinite deadline, negative
+  /// once expired. This is the "slack" the server's deadline-slack
+  /// histogram observes at completion time.
+  double RemainingSeconds() const {
+    if (infinite_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(when_ - Clock::now()).count();
+  }
+
+  /// The absolute expiry instant. Only meaningful when !is_infinite();
+  /// callers gate timed waits on that (an infinite deadline waits
+  /// untimed).
+  Clock::time_point time_point() const { return when_; }
+
+ private:
+  bool infinite_ = true;
+  Clock::time_point when_{};
+};
+
+}  // namespace gknn::util
+
+#endif  // GKNN_UTIL_DEADLINE_H_

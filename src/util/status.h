@@ -20,6 +20,7 @@ enum class StatusCode {
   kIoError = 6,
   kInternal = 7,
   kNotImplemented = 8,
+  kDeadlineExceeded = 9,
 };
 
 /// Returns a human-readable name for a status code ("OK", "Invalid argument",
@@ -77,6 +78,9 @@ class [[nodiscard]] Status {
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -96,6 +100,9 @@ class [[nodiscard]] Status {
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsNotImplemented() const {
     return code() == StatusCode::kNotImplemented;
+  }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
   }
 
   /// The error message; empty for OK.

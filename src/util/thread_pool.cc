@@ -5,7 +5,8 @@
 
 namespace gknn::util {
 
-ThreadPool::ThreadPool(unsigned num_threads) {
+ThreadPool::ThreadPool(unsigned num_threads, size_t max_queued)
+    : max_queued_(max_queued) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -41,6 +42,22 @@ void ThreadPool::Submit(std::function<void()> task) {
   task_available_.notify_one();
 }
 
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  if (workers_.empty()) {
+    // Inline pool: nothing ever queues, so the bound cannot be exceeded.
+    task();
+    return true;
+  }
+  {
+    lockdep::MutexLock lock(mu_);
+    if (max_queued_ != 0 && queue_.size() >= max_queued_) return false;
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+  return true;
+}
+
 std::future<void> ThreadPool::SubmitTask(std::function<void()> task) {
   // std::function must be copyable, so the move-only packaged_task rides
   // behind a shared_ptr.
@@ -50,9 +67,52 @@ std::future<void> ThreadPool::SubmitTask(std::function<void()> task) {
   return future;
 }
 
+std::future<void> ThreadPool::SubmitTask(Submission submission) {
+  auto body = [this, run = std::move(submission.run),
+               on_expired = std::move(submission.on_expired),
+               deadline = submission.deadline] {
+    // The expiry check runs on the worker, immediately before execution:
+    // a task whose budget died while it sat in the queue is dropped here,
+    // before it takes any lock or touches the device.
+    if (deadline.Expired()) {
+      expired_tasks_.fetch_add(1, std::memory_order_relaxed);
+      if (on_expired) on_expired();
+      return;
+    }
+    run();
+  };
+  auto packaged = std::make_shared<std::packaged_task<void()>>(std::move(body));
+  std::future<void> future = packaged->get_future();
+  Submit([packaged] { (*packaged)(); });
+  return future;
+}
+
+std::optional<std::future<void>> ThreadPool::TrySubmitTask(
+    Submission submission) {
+  auto body = [this, run = std::move(submission.run),
+               on_expired = std::move(submission.on_expired),
+               deadline = submission.deadline] {
+    if (deadline.Expired()) {
+      expired_tasks_.fetch_add(1, std::memory_order_relaxed);
+      if (on_expired) on_expired();
+      return;
+    }
+    run();
+  };
+  auto packaged = std::make_shared<std::packaged_task<void()>>(std::move(body));
+  std::future<void> future = packaged->get_future();
+  if (!TrySubmit([packaged] { (*packaged)(); })) return std::nullopt;
+  return future;
+}
+
 void ThreadPool::Wait() {
   lockdep::UniqueLock lock(mu_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+size_t ThreadPool::queued() const {
+  lockdep::MutexLock lock(mu_);
+  return queue_.size();
 }
 
 void ThreadPool::ParallelFor(uint64_t n,

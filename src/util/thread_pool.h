@@ -1,16 +1,19 @@
 #ifndef GKNN_UTIL_THREAD_POOL_H_
 #define GKNN_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "util/deadline.h"
 #include "util/lockdep.h"
 
 namespace gknn::util {
@@ -32,9 +35,27 @@ class ThreadPool {
   /// deterministic execution order.
   struct Inline {};
 
+  /// A deadline-tagged unit of work. Workers check `deadline` immediately
+  /// before running `run`: an expired submission is dropped without
+  /// executing and `on_expired` (if set) runs in its place, so a queue
+  /// that backed up past the callers' latency budgets sheds the stale
+  /// work instead of burning cores on answers nobody is waiting for.
+  struct Submission {
+    std::function<void()> run;
+    /// Optional; invoked (on the worker) instead of `run` when the
+    /// deadline expired while queued. Must not throw.
+    std::function<void()> on_expired;
+    Deadline deadline;
+  };
+
   /// Creates a pool with `num_threads` workers; 0 means
-  /// hardware_concurrency.
-  explicit ThreadPool(unsigned num_threads = 0);
+  /// hardware_concurrency. `max_queued` bounds the number of tasks waiting
+  /// in the queue (not counting running ones); 0 means unbounded. When the
+  /// bound is reached, Submit/SubmitTask block is NOT the policy — they
+  /// still enqueue (internal callers like ParallelFor must not deadlock) —
+  /// the bound is enforced only through TrySubmit, which is what
+  /// admission-controlled callers use.
+  explicit ThreadPool(unsigned num_threads = 0, size_t max_queued = 0);
 
   /// Creates an inline pool (num_threads() == 0, tasks run on the caller).
   explicit ThreadPool(Inline);
@@ -59,6 +80,26 @@ class ThreadPool {
   /// return.
   std::future<void> SubmitTask(std::function<void()> task);
 
+  /// Bounded enqueue: returns false (and runs nothing) if the pool was
+  /// constructed with a `max_queued` bound and the queue is full. On an
+  /// unbounded or inline pool this never fails. This is the backpressure
+  /// primitive QueryServer's batch fan-out uses — a false return becomes
+  /// a typed ResourceExhausted for that query rather than unbounded queue
+  /// growth.
+  bool TrySubmit(std::function<void()> task);
+
+  /// Deadline-aware SubmitTask: the future becomes ready after either
+  /// `run` (deadline still live when a worker picked it up) or
+  /// `on_expired` (budget blown while queued). Inline pools evaluate the
+  /// deadline synchronously. Expired drops are counted in
+  /// expired_tasks().
+  std::future<void> SubmitTask(Submission submission);
+
+  /// Bounded, deadline-aware submission: TrySubmit's backpressure plus
+  /// Submission's expiry drop. Returns an empty optional (nothing runs,
+  /// on_expired included) when the queue bound rejects the task.
+  std::optional<std::future<void>> TrySubmitTask(Submission submission);
+
   /// Blocks until every task submitted so far has finished.
   void Wait();
 
@@ -67,6 +108,19 @@ class ThreadPool {
   /// inline pool (or a pool of one worker) runs all iterations on the
   /// calling thread.
   void ParallelFor(uint64_t n, const std::function<void(uint64_t)>& fn);
+
+  /// Queue bound this pool was constructed with (0 = unbounded).
+  size_t max_queued() const { return max_queued_; }
+
+  /// Tasks currently waiting in the queue (excludes running tasks).
+  /// Racy by nature; for gauges and tests, not control flow.
+  size_t queued() const;
+
+  /// Number of deadline-tagged submissions dropped before execution
+  /// because their deadline expired while queued.
+  uint64_t expired_tasks() const {
+    return expired_tasks_.load(std::memory_order_relaxed);
+  }
 
  private:
   void WorkerLoop();
@@ -77,11 +131,13 @@ class ThreadPool {
   /// released before any task runs, so tasks may start at the top of the
   /// hierarchy. condition_variable_any because the lockdep wrapper is a
   /// Lockable, not a std::unique_lock<std::mutex>.
-  lockdep::Mutex mu_{lockdep::kPoolQueueClass};
+  mutable lockdep::Mutex mu_{lockdep::kPoolQueueClass};
   std::condition_variable_any task_available_;
   std::condition_variable_any all_done_;
   uint64_t in_flight_ = 0;  // queued + running tasks
   bool shutdown_ = false;
+  size_t max_queued_ = 0;  // 0 = unbounded; enforced by TrySubmit only
+  std::atomic<uint64_t> expired_tasks_{0};
 };
 
 }  // namespace gknn::util

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <ctime>
 
 namespace gknn::util {
 
@@ -28,6 +29,41 @@ class Timer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// Per-thread CPU-time stopwatch: counts only cycles this thread actually
+/// burned, so the reading is insensitive to other processes (or other
+/// ctest shards) competing for cores. The batch-query smoke gate uses this
+/// instead of wall time — a loaded machine stretches wall time but not
+/// CPU time, so the modeled-scaling ratio stays stable under `ctest -j`.
+///
+/// Falls back to the wall clock on platforms without
+/// CLOCK_THREAD_CPUTIME_ID; the gate is then exactly as load-sensitive as
+/// it was before, no worse.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(Now()) {}
+
+  void Restart() { start_ = Now(); }
+
+  /// Thread CPU seconds since construction/Restart.
+  double ElapsedSeconds() const { return Now() - start_; }
+
+ private:
+  static double Now() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+      return static_cast<double>(ts.tv_sec) +
+             static_cast<double>(ts.tv_nsec) * 1e-9;
+    }
+#endif
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  double start_;
 };
 
 }  // namespace gknn::util

@@ -1,0 +1,80 @@
+#include "util/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace gknn::util {
+namespace {
+
+TEST(ExponentialBackoffTest, DoublesPerCallUpToTheCap) {
+  ExponentialBackoff backoff(/*base_ms=*/0.5, /*max_ms=*/3.0);
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 0.5);
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 1.0);
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 2.0);
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 3.0);  // capped, not 4.0
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 3.0);  // stays at the cap
+}
+
+TEST(ExponentialBackoffTest, BaseAboveMaxClampsFromTheFirstDelay) {
+  ExponentialBackoff backoff(/*base_ms=*/10.0, /*max_ms=*/2.0);
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 2.0);
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 2.0);
+}
+
+TEST(ExponentialBackoffTest, ResetRestartsTheSchedule) {
+  ExponentialBackoff backoff(/*base_ms=*/1.0, /*max_ms=*/100.0);
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 1.0);
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 2.0);
+  backoff.Reset();
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 1.0);
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 2.0);
+}
+
+TEST(ExponentialBackoffTest, ScheduleIsDeterministic) {
+  // No jitter by design (the header's contract): two instances with the
+  // same parameters produce identical schedules, which is what makes the
+  // server's retry timing reproducible in tests.
+  ExponentialBackoff a(0.1, 5.0);
+  ExponentialBackoff b(0.1, 5.0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.NextDelayMs(), b.NextDelayMs()) << "call " << i;
+  }
+}
+
+TEST(ExponentialBackoffTest, ZeroBaseStaysZero) {
+  // The server disables backoff by setting base 0 (e.g. tests that want
+  // fast retries); the schedule must stay at zero rather than escaping
+  // via doubling.
+  ExponentialBackoff backoff(/*base_ms=*/0.0, /*max_ms=*/5.0);
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 0.0);
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 0.0);
+}
+
+TEST(ExponentialBackoffTest, SleepNextIsANoopForNonPositiveDelay) {
+  ExponentialBackoff backoff(/*base_ms=*/0.0, /*max_ms=*/0.0);
+  const auto start = std::chrono::steady_clock::now();
+  backoff.SleepNext();
+  backoff.SleepNext();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  // Generous bound: a no-op must not sleep anywhere near a millisecond
+  // schedule. (Asserting exact zero would race the scheduler.)
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 0.5);
+}
+
+TEST(ExponentialBackoffTest, SleepNextConsumesTheSameScheduleAsNextDelay) {
+  // SleepNext advances the same internal schedule: after two sleeps of a
+  // zero-cost schedule the next queried delay matches the third step.
+  ExponentialBackoff sleeper(/*base_ms=*/0.0, /*max_ms=*/0.0);
+  sleeper.SleepNext();
+  sleeper.SleepNext();
+  EXPECT_DOUBLE_EQ(sleeper.NextDelayMs(), 0.0);
+
+  ExponentialBackoff probe(/*base_ms=*/1.0, /*max_ms=*/100.0);
+  probe.NextDelayMs();  // 1
+  probe.NextDelayMs();  // 2
+  EXPECT_DOUBLE_EQ(probe.NextDelayMs(), 4.0);
+}
+
+}  // namespace
+}  // namespace gknn::util

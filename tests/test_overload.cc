@@ -1,0 +1,453 @@
+// Overload-robustness harness (docs/ROBUSTNESS.md "Overload control"):
+// admission control, per-query deadline budgets, and graceful load
+// shedding in QueryServer. Deterministic unit cases pin the admission
+// state machine; the chaos section crosses a traffic spike with a seeded
+// device-fault storm and asserts the overload invariants:
+//
+//   1. no deadlock — every spike thread joins, slots and queue drain to 0;
+//   2. bounded queues — admission_queue_depth() never exceeds max_queued
+//      and inflight_queries() never exceeds max_inflight;
+//   3. exact accounting — every issued query lands in exactly one bucket
+//      (OK / ResourceExhausted shed / DeadlineExceeded expired) and the
+//      server counters reconcile with the callers' own tallies;
+//   4. admitted answers stay exact — every OK result is bit-identical to
+//      a serial replay of the same queries on a healthy twin server.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "server/query_server.h"
+#include "util/deadline.h"
+#include "workload/synthetic_network.h"
+
+namespace gknn::server {
+namespace {
+
+using roadnet::EdgePoint;
+using roadnet::Graph;
+
+// --- util::Deadline semantics ----------------------------------------------
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  util::Deadline d;
+  EXPECT_TRUE(d.is_infinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_EQ(d.RemainingSeconds(),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(DeadlineTest, NonPositiveBudgetIsAlreadyExpired) {
+  EXPECT_TRUE(util::Deadline::AfterSeconds(0.0).Expired());
+  EXPECT_TRUE(util::Deadline::AfterSeconds(-1.0).Expired());
+  EXPECT_LE(util::Deadline::AfterSeconds(-1.0).RemainingSeconds(), 0.0);
+}
+
+TEST(DeadlineTest, GenerousBudgetIsLiveAndCountsDown) {
+  util::Deadline d = util::Deadline::AfterSeconds(60.0);
+  EXPECT_FALSE(d.is_infinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_GT(d.RemainingSeconds(), 59.0);
+  EXPECT_LE(d.RemainingSeconds(), 60.0);
+}
+
+TEST(DeadlineTest, AtWrapsAnExplicitTimePoint) {
+  const auto past = util::Deadline::Clock::now() -
+                    std::chrono::milliseconds(1);
+  EXPECT_TRUE(util::Deadline::At(past).Expired());
+  const auto future = util::Deadline::Clock::now() +
+                      std::chrono::seconds(60);
+  util::Deadline d = util::Deadline::At(future);
+  EXPECT_FALSE(d.Expired());
+  EXPECT_EQ(d.time_point(), future);
+}
+
+// --- Fixture ----------------------------------------------------------------
+
+struct OverloadFixture {
+  explicit OverloadFixture(uint32_t vertices, uint64_t seed,
+                           const ServerOptions& server_options,
+                           const gpusim::DeviceConfig& device_config =
+                               gpusim::DeviceConfig{})
+      : graph(std::move(workload::GenerateSyntheticRoadNetwork(
+                            {.num_vertices = vertices, .seed = seed}))
+                  .ValueOrDie()),
+        device(device_config) {
+    server = std::move(QueryServer::Create(&graph, core::GGridOptions{},
+                                           &device, server_options))
+                 .ValueOrDie();
+  }
+
+  void IngestObjects(uint32_t count, double time) {
+    for (uint32_t o = 0; o < count; ++o) {
+      server->Report(o, {o % graph.num_edges(), 0}, time);
+    }
+  }
+
+  Graph graph;
+  gpusim::Device device;
+  std::unique_ptr<QueryServer> server;
+};
+
+/// Server options for a slot-holding scenario: a dead device plus a long
+/// backoff makes the first query camp on its admission slot for
+/// ~hold_ms while later arrivals contend for it deterministically.
+ServerOptions SlowQueryOptions(double hold_ms) {
+  ServerOptions options;
+  options.gpu_attempts = 2;
+  options.backoff_base_ms = hold_ms;
+  options.backoff_max_ms = hold_ms;
+  options.breaker_threshold = 1000;  // keep the breaker out of the picture
+  return options;
+}
+
+// --- Deterministic admission state machine ----------------------------------
+
+TEST(OverloadAdmissionTest, AdmissionOffOnlyTracksTheInflightGauge) {
+  ServerOptions options;  // max_inflight = 0: admission disabled
+  OverloadFixture fx(200, 3, options);
+  fx.IngestObjects(16, 1.0);
+  ASSERT_TRUE(fx.server->QueryKnn({0, 0}, 4, 2.0).ok());
+  const auto stats = fx.server->stats();
+  EXPECT_EQ(stats.admitted_queries, 1u);
+  EXPECT_EQ(stats.shed_queries, 0u);
+  EXPECT_EQ(stats.expired_queries, 0u);
+  EXPECT_EQ(fx.server->inflight_queries(), 0u);
+  EXPECT_EQ(fx.server->admission_queue_depth(), 0u);
+}
+
+TEST(OverloadAdmissionTest, RejectsNewestWhenSlotAndQueueAreFull) {
+  // max_inflight=1, max_queued=1: A camps on the slot (dead device +
+  // long backoff), B waits in the queue, C must be shed reject-newest.
+  ServerOptions options = SlowQueryOptions(/*hold_ms=*/400);
+  options.max_inflight = 1;
+  options.max_queued = 1;
+  gpusim::DeviceConfig device_config;
+  device_config.faults = "kernel:after=0";  // every launch fails
+  OverloadFixture fx(200, 5, options, device_config);
+  fx.IngestObjects(16, 1.0);
+  ASSERT_TRUE(fx.server->QueryKnn({0, 0}, 4, 1.5).ok());  // drain inbox
+
+  util::Status status_a, status_b, status_c;
+  std::thread a([&] {
+    auto r = fx.server->QueryKnn({1, 0}, 4, 2.0);
+    status_a = r.ok() ? util::Status::OK() : r.status();
+  });
+  // Give A time to take the slot and enter its backoff sleep.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(fx.server->inflight_queries(), 1u);
+  std::thread b([&] {
+    auto r = fx.server->QueryKnn({2, 0}, 4, 2.0);
+    status_b = r.ok() ? util::Status::OK() : r.status();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(fx.server->admission_queue_depth(), 1u);
+  std::thread c([&] {
+    auto r = fx.server->QueryKnn({3, 0}, 4, 2.0);
+    status_c = r.ok() ? util::Status::OK() : r.status();
+  });
+  a.join();
+  b.join();
+  c.join();
+
+  // A and B complete (CPU fallback masks the dead device); C was shed.
+  EXPECT_TRUE(status_a.ok()) << status_a.ToString();
+  EXPECT_TRUE(status_b.ok()) << status_b.ToString();
+  EXPECT_TRUE(status_c.IsResourceExhausted()) << status_c.ToString();
+
+  const auto stats = fx.server->stats();
+  EXPECT_EQ(stats.shed_queries, 1u);
+  EXPECT_EQ(stats.expired_queries, 0u);
+  EXPECT_EQ(stats.admitted_queries, 3u);  // drain query + A + B
+  EXPECT_EQ(fx.server->inflight_queries(), 0u);
+  EXPECT_EQ(fx.server->admission_queue_depth(), 0u);
+}
+
+TEST(OverloadAdmissionTest, BudgetExpiresWhileWaitingForASlot) {
+  // A camps on the slot far past everyone's budget; B's deadline dies in
+  // the admission queue. Both end as DeadlineExceeded (A's budget is
+  // gone by the time its retries give up), neither deadlocks.
+  ServerOptions options = SlowQueryOptions(/*hold_ms=*/300);
+  options.max_inflight = 1;
+  options.max_queued = 4;
+  options.default_deadline_ms = 80;
+  gpusim::DeviceConfig device_config;
+  device_config.faults = "kernel:after=0";
+  OverloadFixture fx(200, 7, options, device_config);
+  fx.IngestObjects(16, 1.0);
+  // Drain the inbox first with a healthy budget path: the drain query
+  // itself would also expire otherwise.
+  {
+    auto r = fx.server->QueryKnn({0, 0}, 4, 1.5);
+    ASSERT_TRUE(!r.ok() || r.ok());  // either way the inbox drained
+  }
+
+  util::Status status_a, status_b;
+  std::thread a([&] {
+    auto r = fx.server->QueryKnn({1, 0}, 4, 2.0);
+    status_a = r.ok() ? util::Status::OK() : r.status();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  std::thread b([&] {
+    auto r = fx.server->QueryKnn({2, 0}, 4, 2.0);
+    status_b = r.ok() ? util::Status::OK() : r.status();
+  });
+  a.join();
+  b.join();
+
+  EXPECT_TRUE(status_a.IsDeadlineExceeded()) << status_a.ToString();
+  EXPECT_TRUE(status_b.IsDeadlineExceeded()) << status_b.ToString();
+  const auto stats = fx.server->stats();
+  EXPECT_GE(stats.expired_queries, 2u);
+  EXPECT_EQ(stats.shed_queries, 0u);  // queue had room: nobody was shed
+  EXPECT_EQ(fx.server->inflight_queries(), 0u);
+  EXPECT_EQ(fx.server->admission_queue_depth(), 0u);
+}
+
+TEST(OverloadAdmissionTest, AlreadyExpiredBudgetNeverReachesTheDevice) {
+  ServerOptions options;
+  options.default_deadline_ms = 1e-9;  // expires before any checkpoint
+  OverloadFixture fx(200, 9, options);
+  // Empty inbox on purpose: with nothing to drain, the engine's admission
+  // checkpoint is the first thing a query reaches, so an already-expired
+  // budget must abort before any kernel launches.
+  const uint64_t kernels_before = fx.device.kernel_launches();
+  auto r = fx.server->QueryKnn({0, 0}, 4, 2.0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsDeadlineExceeded()) << r.status().ToString();
+  EXPECT_EQ(fx.device.kernel_launches(), kernels_before);
+  EXPECT_EQ(fx.server->stats().expired_queries, 1u);
+  EXPECT_EQ(fx.server->stats().gpu_failures, 0u);  // no retry was triggered
+}
+
+TEST(OverloadAdmissionTest, BrownoutDegradesInsteadOfShedding) {
+  // Brownout under pressure: with one slot and a queue, the waiting
+  // query must execute degraded (counted in brownout_queries) and still
+  // return the exact answer.
+  ServerOptions options = SlowQueryOptions(/*hold_ms=*/200);
+  options.max_inflight = 1;
+  options.max_queued = 2;
+  options.brownout = true;
+  gpusim::DeviceConfig device_config;
+  device_config.faults = "kernel:after=0";
+  OverloadFixture fx(200, 11, options, device_config);
+  fx.IngestObjects(24, 1.0);
+  ASSERT_TRUE(fx.server->QueryKnn({0, 0}, 6, 1.5).ok());  // drain inbox
+
+  util::Status status_a, status_b;
+  std::vector<core::KnnResultEntry> result_b;
+  std::thread a([&] {
+    auto r = fx.server->QueryKnn({1, 0}, 6, 2.0);
+    status_a = r.ok() ? util::Status::OK() : r.status();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::thread b([&] {
+    auto r = fx.server->QueryKnn({2, 0}, 6, 2.0);
+    status_b = r.ok() ? util::Status::OK() : r.status();
+    if (r.ok()) result_b = *r;
+  });
+  a.join();
+  b.join();
+  ASSERT_TRUE(status_a.ok()) << status_a.ToString();
+  ASSERT_TRUE(status_b.ok()) << status_b.ToString();
+  EXPECT_GE(fx.server->stats().brownout_queries, 1u);
+  EXPECT_EQ(fx.server->stats().shed_queries, 0u);
+
+  // Degraded execution, exact answer: replay B's query on a healthy,
+  // un-pressured twin and compare bit for bit.
+  gpusim::Device twin_device{gpusim::DeviceConfig{}};
+  auto twin = std::move(QueryServer::Create(&fx.graph, core::GGridOptions{},
+                                            &twin_device, ServerOptions{}))
+                  .ValueOrDie();
+  for (uint32_t o = 0; o < 24; ++o) {
+    twin->Report(o, {o % fx.graph.num_edges(), 0}, 1.0);
+  }
+  auto want = twin->QueryKnn({2, 0}, 6, 2.0);
+  ASSERT_TRUE(want.ok());
+  ASSERT_EQ(result_b.size(), want->size());
+  for (size_t i = 0; i < want->size(); ++i) {
+    EXPECT_EQ(result_b[i].object, (*want)[i].object) << "rank " << i;
+    EXPECT_EQ(result_b[i].distance, (*want)[i].distance) << "rank " << i;
+  }
+}
+
+// --- Batch path --------------------------------------------------------------
+
+TEST(OverloadBatchTest, ExpiredBatchBudgetFailsWithDeadlineExceeded) {
+  ServerOptions options;
+  options.query_threads = 2;
+  options.default_deadline_ms = 1e-9;
+  OverloadFixture fx(200, 13, options);
+  fx.IngestObjects(16, 1.0);
+  std::vector<EdgePoint> locations;
+  for (uint32_t i = 0; i < 8; ++i) {
+    locations.push_back({i % fx.graph.num_edges(), 0});
+  }
+  auto batch = fx.server->QueryKnnBatch(locations, 4, 2.0);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_TRUE(batch.status().IsDeadlineExceeded())
+      << batch.status().ToString();
+  EXPECT_GE(fx.server->stats().expired_queries, 1u);
+}
+
+TEST(OverloadBatchTest, FullPoolQueueShedsBatchQueries) {
+  // One worker stuck in a long retry backoff, queue bound 1: the fan-out
+  // cannot place the rest of the batch and must shed them with
+  // ResourceExhausted instead of growing the queue without bound.
+  ServerOptions options = SlowQueryOptions(/*hold_ms=*/150);
+  options.query_threads = 1;
+  options.max_queued = 1;
+  gpusim::DeviceConfig device_config;
+  device_config.faults = "kernel:after=0";
+  OverloadFixture fx(200, 15, options, device_config);
+  fx.IngestObjects(16, 1.0);
+  ASSERT_TRUE(fx.server->QueryKnn({0, 0}, 4, 1.5).ok());  // drain inbox
+  std::vector<EdgePoint> locations;
+  for (uint32_t i = 0; i < 8; ++i) {
+    locations.push_back({i % fx.graph.num_edges(), 0});
+  }
+  auto batch = fx.server->QueryKnnBatch(locations, 4, 2.0);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_TRUE(batch.status().IsResourceExhausted())
+      << batch.status().ToString();
+  EXPECT_GE(fx.server->stats().shed_queries, 1u);
+  // The server survives the shed batch: a single-query batch (which the
+  // drained pool queue always has room for) completes.
+  auto retry = fx.server->QueryKnnBatch(std::vector<EdgePoint>{{1, 0}}, 4,
+                                        3.0);
+  EXPECT_TRUE(retry.ok()) << retry.status().ToString();
+}
+
+// --- Chaos: traffic spike crossed with a device-fault storm ------------------
+
+TEST(OverloadChaosTest, SpikeUnderFaultStormKeepsEveryInvariant) {
+  constexpr uint32_t kObjects = 48;
+  constexpr int kThreads = 6;
+  constexpr int kQueriesPerThread = 10;
+  constexpr uint32_t kK = 5;
+  ServerOptions options;
+  options.max_inflight = 2;
+  options.max_queued = 2;
+  options.default_deadline_ms = 2000;  // generous: most queries complete
+  options.brownout = true;
+  options.backoff_base_ms = 0;  // keep retries fast under the storm
+  gpusim::DeviceConfig device_config;
+  device_config.faults = "alloc:p=0.15;seed=17";
+  OverloadFixture fx(300, 17, options, device_config);
+  fx.IngestObjects(kObjects, 1.0);
+  ASSERT_TRUE(fx.server->QueryKnn({0, 0}, kK, 1.5).ok());  // drain inbox
+
+  // Spike: every thread fires its queries back to back; a monitor thread
+  // samples the gauges, which must respect the configured bounds.
+  struct Outcome {
+    EdgePoint location;
+    util::Status status;
+    std::vector<core::KnnResultEntry> result;
+  };
+  std::vector<std::vector<Outcome>> outcomes(kThreads);
+  std::atomic<bool> go{false};
+  std::atomic<bool> done{false};
+  uint32_t max_inflight_seen = 0;
+  uint32_t max_queued_seen = 0;
+  std::thread monitor([&] {
+    while (!done.load()) {
+      max_inflight_seen =
+          std::max(max_inflight_seen, fx.server->inflight_queries());
+      max_queued_seen =
+          std::max(max_queued_seen, fx.server->admission_queue_depth());
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> spike;
+  for (int t = 0; t < kThreads; ++t) {
+    spike.emplace_back([&, t] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        const EdgePoint location{
+            static_cast<roadnet::EdgeId>((t * 101 + i * 37) %
+                                         fx.graph.num_edges()),
+            0};
+        auto r = fx.server->QueryKnn(location, kK, 2.0);
+        Outcome outcome;
+        outcome.location = location;
+        outcome.status = r.ok() ? util::Status::OK() : r.status();
+        if (r.ok()) outcome.result = *r;
+        outcomes[t].push_back(std::move(outcome));
+      }
+    });
+  }
+  go.store(true);
+  for (auto& s : spike) s.join();  // invariant 1: no deadlock — all join
+  done.store(true);
+  monitor.join();
+
+  // Invariant 2: the gauges never exceeded their bounds and drained.
+  EXPECT_LE(max_inflight_seen, options.max_inflight);
+  EXPECT_LE(max_queued_seen, options.max_queued);
+  EXPECT_EQ(fx.server->inflight_queries(), 0u);
+  EXPECT_EQ(fx.server->admission_queue_depth(), 0u);
+
+  // Invariant 3: exact accounting. Every outcome is OK, shed, or
+  // expired — nothing else — and the callers' tallies reconcile with
+  // the server counters.
+  uint64_t ok_count = 0, shed_count = 0, expired_count = 0;
+  for (const auto& per_thread : outcomes) {
+    for (const auto& outcome : per_thread) {
+      if (outcome.status.ok()) {
+        ++ok_count;
+      } else if (outcome.status.IsResourceExhausted()) {
+        ++shed_count;
+      } else if (outcome.status.IsDeadlineExceeded()) {
+        ++expired_count;
+      } else {
+        FAIL() << "unexpected status: " << outcome.status.ToString();
+      }
+    }
+  }
+  EXPECT_EQ(ok_count + shed_count + expired_count,
+            static_cast<uint64_t>(kThreads) * kQueriesPerThread);
+  const auto stats = fx.server->stats();
+  EXPECT_EQ(stats.shed_queries, shed_count);
+  EXPECT_EQ(stats.expired_queries, expired_count);
+  // Every OK query was admitted (+1 for the pre-spike drain query); an
+  // expired one was admitted only if its budget died mid-execution
+  // rather than in the admission queue, hence the bracket.
+  EXPECT_GE(stats.admitted_queries, ok_count + 1);
+  EXPECT_LE(stats.admitted_queries, ok_count + expired_count + 1);
+  EXPECT_GT(fx.device.fault_injector().total_injected(), 0u)
+      << "the storm never materialized; tighten the fault spec";
+
+  // Invariant 4: admitted answers are exact. Replay every OK query
+  // serially on a healthy twin; results must match bit for bit.
+  gpusim::Device twin_device{gpusim::DeviceConfig{}};
+  auto twin = std::move(QueryServer::Create(&fx.graph, core::GGridOptions{},
+                                            &twin_device, ServerOptions{}))
+                  .ValueOrDie();
+  for (uint32_t o = 0; o < kObjects; ++o) {
+    twin->Report(o, {o % fx.graph.num_edges(), 0}, 1.0);
+  }
+  for (const auto& per_thread : outcomes) {
+    for (const auto& outcome : per_thread) {
+      if (!outcome.status.ok()) continue;
+      auto want = twin->QueryKnn(outcome.location, kK, 2.0);
+      ASSERT_TRUE(want.ok());
+      ASSERT_EQ(outcome.result.size(), want->size());
+      for (size_t i = 0; i < want->size(); ++i) {
+        EXPECT_EQ(outcome.result[i].object, (*want)[i].object)
+            << "edge " << outcome.location.edge << " rank " << i;
+        EXPECT_EQ(outcome.result[i].distance, (*want)[i].distance)
+            << "edge " << outcome.location.edge << " rank " << i;
+      }
+    }
+  }
+  EXPECT_TRUE(fx.device.HazardStatus().ok())
+      << fx.device.HazardStatus().ToString();
+}
+
+}  // namespace
+}  // namespace gknn::server

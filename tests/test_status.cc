@@ -32,6 +32,20 @@ TEST(StatusTest, AllConstructorsMapToPredicates) {
   EXPECT_TRUE(Status::IoError("x").IsIoError());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
   EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+}
+
+TEST(StatusTest, DeadlineExceededCarriesCodeAndMessage) {
+  Status s = Status::DeadlineExceeded("query budget exhausted");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(s.ToString(), "Deadline exceeded: query budget exhausted");
+  // It must stay distinct from the device-error family: the server's
+  // retry/fallback machinery keys on that distinction
+  // (docs/ROBUSTNESS.md) — an expired budget must not trigger a retry.
+  EXPECT_FALSE(s.IsResourceExhausted());
+  EXPECT_FALSE(s.IsInternal());
+  EXPECT_FALSE(s.IsIoError());
 }
 
 TEST(StatusTest, CopyPreservesError) {

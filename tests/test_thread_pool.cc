@@ -138,6 +138,137 @@ TEST(ThreadPoolTest, DestructionDrainsQueuedBatch) {
   for (auto& f : futures) EXPECT_NO_THROW(f.get());  // all ready
 }
 
+// --- Bounded queue (TrySubmit) ----------------------------------------------
+
+TEST(ThreadPoolBoundedTest, TrySubmitRejectsWhenQueueFull) {
+  ThreadPool pool(1, /*max_queued=*/1);
+  EXPECT_EQ(pool.max_queued(), 1u);
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::atomic<bool> worker_busy{false};
+  pool.Submit([&, opened] {
+    worker_busy.store(true);
+    opened.wait();
+  });
+  // Wait until the worker has dequeued the gate task, so queued() reflects
+  // only what we enqueue next.
+  while (!worker_busy.load()) std::this_thread::yield();
+  std::atomic<int> ran{0};
+  EXPECT_TRUE(pool.TrySubmit([&] { ran.fetch_add(1); }));  // fills the queue
+  EXPECT_FALSE(pool.TrySubmit([&] { ran.fetch_add(1); }));  // bound enforced
+  EXPECT_EQ(pool.queued(), 1u);
+  gate.set_value();
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 1);  // the rejected task never ran
+}
+
+TEST(ThreadPoolBoundedTest, UnboundedPoolNeverRejects) {
+  ThreadPool pool(1);  // max_queued = 0: unbounded
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_TRUE(pool.TrySubmit([&] { ran.fetch_add(1); }));
+  }
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPoolBoundedTest, SubmitIgnoresTheBound) {
+  // The bound is backpressure for TrySubmit callers only; plain Submit
+  // (what ParallelFor uses internally) must never be refused, or a
+  // ParallelFor issued from inside a pool task could deadlock.
+  ThreadPool pool(1, /*max_queued=*/1);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&] { ran.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 16);
+}
+
+// --- Deadline-aware submissions ---------------------------------------------
+
+TEST(ThreadPoolDeadlineTest, ExpiredSubmissionIsDroppedNotRun) {
+  ThreadPool pool(1);
+  std::atomic<bool> ran{false};
+  std::atomic<bool> expired{false};
+  auto f = pool.SubmitTask(ThreadPool::Submission{
+      .run = [&] { ran.store(true); },
+      .on_expired = [&] { expired.store(true); },
+      .deadline = Deadline::AfterSeconds(-1.0)});  // already dead
+  f.get();
+  EXPECT_FALSE(ran.load());
+  EXPECT_TRUE(expired.load());
+  EXPECT_EQ(pool.expired_tasks(), 1u);
+}
+
+TEST(ThreadPoolDeadlineTest, LiveSubmissionRuns) {
+  ThreadPool pool(1);
+  std::atomic<bool> ran{false};
+  auto f = pool.SubmitTask(ThreadPool::Submission{
+      .run = [&] { ran.store(true); },
+      .on_expired = [] { FAIL() << "deadline should not have expired"; },
+      .deadline = Deadline::AfterSeconds(60.0)});
+  f.get();
+  EXPECT_TRUE(ran.load());
+  EXPECT_EQ(pool.expired_tasks(), 0u);
+}
+
+TEST(ThreadPoolDeadlineTest, DeadlineExpiresWhileQueued) {
+  // The expiry check runs on the worker at dequeue time: a submission
+  // whose budget dies while it waits behind a slow task is dropped.
+  ThreadPool pool(1);
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::atomic<bool> worker_busy{false};
+  pool.Submit([&, opened] {
+    worker_busy.store(true);
+    opened.wait();
+  });
+  while (!worker_busy.load()) std::this_thread::yield();
+  std::atomic<bool> ran{false};
+  std::atomic<bool> expired{false};
+  auto f = pool.SubmitTask(ThreadPool::Submission{
+      .run = [&] { ran.store(true); },
+      .on_expired = [&] { expired.store(true); },
+      .deadline = Deadline::AfterSeconds(5e-3)});
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.set_value();  // budget is long gone by the time the worker gets it
+  f.get();
+  EXPECT_FALSE(ran.load());
+  EXPECT_TRUE(expired.load());
+  EXPECT_EQ(pool.expired_tasks(), 1u);
+}
+
+TEST(ThreadPoolDeadlineTest, TrySubmitTaskRejectionRunsNothing) {
+  ThreadPool pool(1, /*max_queued=*/1);
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::atomic<bool> worker_busy{false};
+  pool.Submit([&, opened] {
+    worker_busy.store(true);
+    opened.wait();
+  });
+  while (!worker_busy.load()) std::this_thread::yield();
+  auto accepted = pool.TrySubmitTask(ThreadPool::Submission{
+      .run = [] {}, .deadline = Deadline()});
+  EXPECT_TRUE(accepted.has_value());
+  std::atomic<bool> ran{false};
+  std::atomic<bool> expired{false};
+  auto rejected = pool.TrySubmitTask(ThreadPool::Submission{
+      .run = [&] { ran.store(true); },
+      .on_expired = [&] { expired.store(true); },
+      .deadline = Deadline()});
+  EXPECT_FALSE(rejected.has_value());
+  gate.set_value();
+  pool.Wait();
+  accepted->get();
+  // Rejection means *nothing* happened: the caller owns the accounting
+  // (QueryServer records the shed), so on_expired must not fire either.
+  EXPECT_FALSE(ran.load());
+  EXPECT_FALSE(expired.load());
+  EXPECT_EQ(pool.expired_tasks(), 0u);
+}
+
 // --- Inline (zero-thread) fallback ------------------------------------------
 
 TEST(ThreadPoolInlineTest, RunsTasksOnTheCallingThread) {
@@ -163,6 +294,29 @@ TEST(ThreadPoolInlineTest, SubmitTaskStillPropagatesExceptions) {
   ThreadPool pool((ThreadPool::Inline{}));
   auto f = pool.SubmitTask([] { throw std::runtime_error("inline"); });
   EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolInlineTest, TrySubmitAlwaysAcceptsAndRunsInline) {
+  // An inline pool has no queue, so the bound is unreachable by
+  // construction; TrySubmit degrades to synchronous Submit.
+  ThreadPool pool((ThreadPool::Inline{}));
+  bool ran = false;
+  EXPECT_TRUE(pool.TrySubmit([&] { ran = true; }));
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPoolInlineTest, ExpiredSubmissionDropsSynchronously) {
+  ThreadPool pool((ThreadPool::Inline{}));
+  bool ran = false;
+  bool expired = false;
+  auto f = pool.SubmitTask(ThreadPool::Submission{
+      .run = [&] { ran = true; },
+      .on_expired = [&] { expired = true; },
+      .deadline = Deadline::AfterSeconds(-1.0)});
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(expired);  // already handled, before SubmitTask returned
+  EXPECT_EQ(pool.expired_tasks(), 1u);
+  f.get();
 }
 
 TEST(ThreadPoolInlineTest, WaitAndParallelForWork) {

@@ -23,6 +23,16 @@
 //   --threads=N                    worker threads of the server's batch-
 //                                  query pool (docs/CONCURRENCY.md);
 //                                  0 (default) answers batches inline
+//   --deadline-ms=D                per-query latency budget; queries that
+//                                  blow it return DeadlineExceeded
+//                                  (0 = unlimited)
+//   --max-inflight=N               admission control: concurrent query
+//                                  slots (0 = admission off)
+//   --max-queued=N                 arrivals allowed to wait for a slot;
+//                                  beyond that the server sheds with
+//                                  ResourceExhausted
+//   --brownout                     degrade admitted queries under pressure
+//                                  before shedding (docs/ROBUSTNESS.md)
 //   --stats                        dump the stats block on exit
 //   --metrics[=FILE]               on exit, dump the observability registry
 //                                  (Prometheus text + one-line JSON, see
@@ -110,6 +120,8 @@ void PrintStats(gknn::server::QueryServer& server,
       "robustness: degraded=%d gpu_failures=%llu retries=%llu "
       "fallback_queries=%llu degraded_queries=%llu breaker_trips=%llu "
       "breaker_closes=%llu update_requeues=%llu clean_fallbacks=%llu\n"
+      "overload: admitted=%llu shed=%llu expired=%llu brownout=%llu "
+      "inflight=%u queue_depth=%u\n"
       "faults: spec='%s' checks=%llu injected=%llu\n",
       static_cast<unsigned long long>(counters.updates_ingested),
       static_cast<unsigned long long>(counters.tombstones_written),
@@ -134,6 +146,11 @@ void PrintStats(gknn::server::QueryServer& server,
       static_cast<unsigned long long>(server_stats.breaker_closes),
       static_cast<unsigned long long>(server_stats.update_requeues),
       static_cast<unsigned long long>(counters.clean_fallbacks),
+      static_cast<unsigned long long>(server_stats.admitted_queries),
+      static_cast<unsigned long long>(server_stats.shed_queries),
+      static_cast<unsigned long long>(server_stats.expired_queries),
+      static_cast<unsigned long long>(server_stats.brownout_queries),
+      server.inflight_queries(), server.admission_queue_depth(),
       faults.spec().c_str(),
       static_cast<unsigned long long>(faults.total_checks()),
       static_cast<unsigned long long>(faults.total_injected()));
@@ -152,6 +169,10 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   uint32_t synthetic = 0;
   uint32_t query_threads = 0;
+  double deadline_ms = 0;
+  uint32_t max_inflight = 0;
+  uint32_t max_queued = 0;
+  bool brownout = false;
   uint64_t seed = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -163,6 +184,14 @@ int main(int argc, char** argv) {
       seed = std::stoull(arg.substr(7));
     } else if (arg.rfind("--threads=", 0) == 0) {
       query_threads = static_cast<uint32_t>(std::stoul(arg.substr(10)));
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      deadline_ms = std::stod(arg.substr(14));
+    } else if (arg.rfind("--max-inflight=", 0) == 0) {
+      max_inflight = static_cast<uint32_t>(std::stoul(arg.substr(15)));
+    } else if (arg.rfind("--max-queued=", 0) == 0) {
+      max_queued = static_cast<uint32_t>(std::stoul(arg.substr(13)));
+    } else if (arg == "--brownout") {
+      brownout = true;
     } else if (arg.rfind("--faults=", 0) == 0) {
       fault_spec = arg.substr(9);
       have_fault_spec = true;
@@ -206,6 +235,10 @@ int main(int argc, char** argv) {
   gpusim::Device device(device_config);
   server::ServerOptions server_options;
   server_options.query_threads = query_threads;
+  server_options.default_deadline_ms = deadline_ms;
+  server_options.max_inflight = max_inflight;
+  server_options.max_queued = max_queued;
+  server_options.brownout = brownout;
   auto server = server::QueryServer::Create(&*graph, core::GGridOptions{},
                                             &device, server_options);
   if (!server.ok()) {
