@@ -411,6 +411,51 @@ util::Result<GridPartition> PartitionIntoGrid(const Graph& graph,
   return result;
 }
 
+util::Result<std::vector<uint32_t>> AssignCellsToShards(
+    const GridPartition& partition, uint32_t num_shards) {
+  if (num_shards == 0) {
+    return util::Status::InvalidArgument("num_shards must be positive");
+  }
+  std::vector<uint64_t> cell_load(partition.num_cells, 0);
+  uint64_t total = 0;
+  for (uint32_t cell : partition.cell_of_vertex) {
+    if (cell >= partition.num_cells) {
+      return util::Status::InvalidArgument(
+          "partition maps a vertex to cell " + std::to_string(cell) +
+          " outside its " + std::to_string(partition.num_cells) +
+          "-cell grid");
+    }
+    ++cell_load[cell];
+    ++total;
+  }
+  // Sweep the Z-ordered cells once, cutting the sequence wherever the
+  // cumulative vertex load crosses the next multiple of total/num_shards.
+  // Every shard is a contiguous Z-range; the cut after shard s sits at the
+  // first cell whose cumulative load reaches ceil((s+1) * total /
+  // num_shards), so loads stay within one cell of ideal.
+  std::vector<uint32_t> shard_of_cell(partition.num_cells, 0);
+  if (total == 0) {
+    // Degenerate partition (no vertices): split the cell range evenly so
+    // the table is still a deterministic cover.
+    for (uint32_t cell = 0; cell < partition.num_cells; ++cell) {
+      shard_of_cell[cell] = static_cast<uint32_t>(
+          (static_cast<uint64_t>(cell) * num_shards) / partition.num_cells);
+    }
+    return shard_of_cell;
+  }
+  uint32_t shard = 0;
+  uint64_t seen = 0;
+  for (uint32_t cell = 0; cell < partition.num_cells; ++cell) {
+    shard_of_cell[cell] = shard;
+    seen += cell_load[cell];
+    while (shard + 1 < num_shards &&
+           seen * num_shards >= (static_cast<uint64_t>(shard) + 1) * total) {
+      ++shard;
+    }
+  }
+  return shard_of_cell;
+}
+
 util::Result<BisectionTree> BuildBisectionTree(
     const Graph& graph, uint32_t max_leaf_size,
     const PartitionOptions& options) {

@@ -52,6 +52,18 @@ util::Result<GridPartition> PartitionIntoGrid(const Graph& graph,
                                               uint32_t delta_c,
                                               const PartitionOptions& options);
 
+/// Maps every grid cell of `partition` to one of `num_shards` region
+/// shards (the ShardRouter's routing table, docs/SHARDING.md). Shards are
+/// contiguous Z-ranges of cells balanced by vertex count: the Z-curve
+/// keeps each shard spatially coherent (sibling cells of a bisection are
+/// Z-adjacent), so a query's candidate ring usually stays inside one
+/// shard. Deterministic — depends only on the partition, so two routers
+/// built from the same partition agree cell-for-cell. When num_shards
+/// exceeds the number of populated cells, trailing shards own no cells
+/// (legal; they simply hold no objects).
+util::Result<std::vector<uint32_t>> AssignCellsToShards(
+    const GridPartition& partition, uint32_t num_shards);
+
 /// A binary tree of nested vertex subsets produced by recursive bisection.
 /// The V-Tree and ROAD baselines build their hierarchies on this.
 struct BisectionTree {

@@ -178,7 +178,7 @@ double QueryServer::PredictQueryGpuSeconds(uint32_t k) const {
 template <typename IndexFn>
 util::Result<std::vector<core::KnnResultEntry>> QueryServer::ExecuteAdmitted(
     const util::Deadline& deadline, double predicted_gpu_seconds,
-    IndexFn index_fn) {
+    IndexFn index_fn, bool external_brownout) {
   Admission admission = Admit(deadline);
   if (!admission.status.ok()) {
     if (admission.status.IsDeadlineExceeded()) {
@@ -200,7 +200,7 @@ util::Result<std::vector<core::KnnResultEntry>> QueryServer::ExecuteAdmitted(
   core::QueryControl control;
   control.deadline = deadline;
   bool force_cpu = false;
-  if (admission.brownout) {
+  if (admission.brownout || external_brownout) {
     ++stats_.brownout_queries;
     if (predicted_gpu_seconds > 0 &&
         predicted_gpu_seconds < options_.brownout_cheap_gpu_seconds) {
@@ -340,6 +340,32 @@ util::Result<std::vector<core::KnnResultEntry>> QueryServer::QueryKnn(
           const core::QueryControl* control) {
         return index_->QueryKnn(location, k, t_now, stats, mode, control);
       });
+}
+
+util::Result<std::vector<core::KnnResultEntry>> QueryServer::QueryKnnRouted(
+    roadnet::EdgePoint location, uint32_t k, double t_now,
+    const util::Deadline& deadline, bool brownout_pressure) {
+  const bool degrade = options_.brownout || brownout_pressure;
+  return ExecuteAdmitted(
+      deadline, degrade ? PredictQueryGpuSeconds(k) : 0.0,
+      [&](core::ExecMode mode, core::KnnStats* stats,
+          const core::QueryControl* control) {
+        return index_->QueryKnn(location, k, t_now, stats, mode, control);
+      },
+      brownout_pressure);
+}
+
+util::Result<std::vector<core::KnnResultEntry>> QueryServer::QueryRangeRouted(
+    roadnet::EdgePoint location, roadnet::Distance radius, double t_now,
+    const util::Deadline& deadline, bool brownout_pressure) {
+  return ExecuteAdmitted(
+      deadline, 0.0,
+      [&](core::ExecMode mode, core::KnnStats* stats,
+          const core::QueryControl* control) {
+        return index_->QueryRange(location, radius, t_now, stats, mode,
+                                  control);
+      },
+      brownout_pressure);
 }
 
 util::Result<std::vector<core::KnnResultEntry>> QueryServer::QueryRange(

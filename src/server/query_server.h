@@ -147,6 +147,25 @@ class QueryServer {
   util::Result<std::vector<core::KnnResultEntry>> QueryRange(
       roadnet::EdgePoint location, roadnet::Distance radius, double t_now);
 
+  /// Router entry point (src/server/shard_router.h): one kNN query run
+  /// through the full admitted path — drain-if-pending, retry/breaker,
+  /// CPU fallback — but budgeted by the *caller's* deadline instead of
+  /// this server's default, and degraded when the caller already observed
+  /// overload pressure (`brownout_pressure`, OR-ed with this server's own
+  /// admission signal). The ShardRouter uses it to apply one router-level
+  /// deadline and brownout decision across every shard a query touches.
+  util::Result<std::vector<core::KnnResultEntry>> QueryKnnRouted(
+      roadnet::EdgePoint location, uint32_t k, double t_now,
+      const util::Deadline& deadline, bool brownout_pressure);
+
+  /// Range variant of QueryKnnRouted. The ShardRouter's cross-border
+  /// refinement uses it with radius = the merged kth distance: a bounded
+  /// range probe of a border shard costs the ring it touches, not the
+  /// full-k expansion a sparse remote region would force on QueryKnn.
+  util::Result<std::vector<core::KnnResultEntry>> QueryRangeRouted(
+      roadnet::EdgePoint location, roadnet::Distance radius, double t_now,
+      const util::Deadline& deadline, bool brownout_pressure);
+
   /// Answers a batch of same-timestamp queries, draining the inbox once
   /// and fanning the queries over the server's pool (inline when
   /// query_threads == 0). results[i] answers locations[i]. The first
@@ -325,10 +344,13 @@ class QueryServer {
   /// brownout degradation, drain-if-pending, then ExecuteShared under the
   /// reader lock. `index_fn(mode, stats, control)` runs one query against
   /// the index. Centralizes the shed/expired/brownout accounting.
+  /// `external_brownout` is pressure observed by a caller above this
+  /// server (the ShardRouter's admission gate); it forces the brownout
+  /// degradation even when this server's own admission saw none.
   template <typename IndexFn>
   util::Result<std::vector<core::KnnResultEntry>> ExecuteAdmitted(
       const util::Deadline& deadline, double predicted_gpu_seconds,
-      IndexFn index_fn);
+      IndexFn index_fn, bool external_brownout = false);
 
   /// Stamps server-side context (this query's retry count) onto the trace
   /// record the engine pushed for query `query_id`. Concurrent-safe: the

@@ -84,6 +84,7 @@ class LockClass {
 /// leaves.
 // gknn-lockdep-table-begin
 inline constinit LockClass kServerIndexClass{"server.index", 100};
+inline constinit LockClass kRouterObjectsClass{"router.objects", 150};
 inline constinit LockClass kServerInboxClass{"server.inbox", 200};
 inline constinit LockClass kCleanerStripeClass{"cleaner.stripe", 300, true};
 inline constinit LockClass kCleanerDeviceClass{"cleaner.device", 400};

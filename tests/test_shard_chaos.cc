@@ -1,0 +1,267 @@
+// Shard chaos tests (docs/SHARDING.md): kill one shard's device and the
+// router must keep answering exactly — the dead shard degrades to its CPU
+// fallback behind its own breaker while the other shards keep their GPU
+// path — and the per-shard/aggregate accounting must stay exact: failures
+// land on the dead shard only, the aggregate is the field-wise sum, and
+// the router-level admission quadruple (admitted/shed/expired) balances
+// against observed outcomes under a flood.
+//
+// FAULT_TOLERANT: under a GKNN_FAULTS storm every device misbehaves, so
+// the isolation assertions (only shard 1 failed) are gated on the storm
+// being off; exactness is asserted unconditionally.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "baselines/brute_force.h"
+#include "gpusim/device.h"
+#include "server/shard_router.h"
+#include "util/rng.h"
+#include "workload/synthetic_network.h"
+
+namespace gknn::server {
+namespace {
+
+using core::ObjectId;
+using roadnet::EdgePoint;
+using roadnet::Graph;
+
+bool FaultsActive() {
+  const char* faults = std::getenv("GKNN_FAULTS");
+  return faults != nullptr && faults[0] != '\0';
+}
+
+Graph MakeGraph(uint32_t num_vertices, uint64_t seed) {
+  return std::move(workload::GenerateSyntheticRoadNetwork(
+                       {.num_vertices = num_vertices, .seed = seed}))
+      .ValueOrDie();
+}
+
+TEST(ShardChaosTest, DeadShardDegradesToCpuWhileOthersServeGpu) {
+  const Graph graph = MakeGraph(300, 83);
+  ShardRouterOptions options;
+  options.num_shards = 4;
+  options.server.gpu_attempts = 1;   // fail fast to the CPU fallback
+  options.server.backoff_base_ms = 0;
+  options.server.breaker_threshold = 2;
+  auto router = std::move(ShardRouter::Create(&graph, core::GGridOptions{},
+                                              options))
+                    .ValueOrDie();
+
+  baselines::BruteForce oracle(&graph);
+  util::Rng rng(83);
+  for (ObjectId o = 0; o < 40; ++o) {
+    const EdgePoint position{
+        static_cast<roadnet::EdgeId>(rng.NextBounded(graph.num_edges())), 0};
+    router->Report(o, position, 1.0);
+    oracle.Ingest(o, position, 1.0);
+  }
+
+  // Kill shard 1's device: every kernel launch it attempts from now on
+  // errors immediately.
+  ASSERT_TRUE(router->device(1).SetFaultSpec("kernel:after=0").ok());
+
+  // k large enough that rings regularly reach shard 1 from anywhere.
+  for (int q = 0; q < 30; ++q) {
+    const EdgePoint location{
+        static_cast<roadnet::EdgeId>(rng.NextBounded(graph.num_edges())), 0};
+    auto got = router->QueryKnn(location, 10, 2.0);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    auto want = oracle.QueryKnn(location, 10, 2.0);
+    ASSERT_TRUE(want.ok());
+    ASSERT_EQ(got->size(), want->size()) << "query " << q;
+    for (size_t r = 0; r < want->size(); ++r) {
+      EXPECT_EQ((*got)[r].distance, (*want)[r].distance)
+          << "query " << q << " rank " << r;
+    }
+  }
+
+  // The dead shard took the failures and served via its CPU fallback.
+  const ServerStats dead = router->ShardStats(1);
+  EXPECT_GT(dead.gpu_failures, 0u);
+  EXPECT_GT(dead.fallback_queries + dead.degraded_queries, 0u);
+  if (!FaultsActive()) {
+    // Without an ambient storm, the blast radius is exactly one shard.
+    for (uint32_t s : {0u, 2u, 3u}) {
+      EXPECT_EQ(router->ShardStats(s).gpu_failures, 0u) << "shard " << s;
+      EXPECT_EQ(router->ShardStats(s).fallback_queries, 0u) << "shard " << s;
+    }
+  }
+
+  // Aggregate = field-wise sum of the shards (degraded = OR).
+  const ServerStats aggregate = router->AggregateStats();
+  uint64_t gpu_failures = 0, fallbacks = 0, trips = 0, closes = 0;
+  bool any_degraded = false;
+  for (uint32_t s = 0; s < router->num_shards(); ++s) {
+    const ServerStats stats = router->ShardStats(s);
+    gpu_failures += stats.gpu_failures;
+    fallbacks += stats.fallback_queries;
+    trips += stats.breaker_trips;
+    closes += stats.breaker_closes;
+    any_degraded = any_degraded || stats.degraded;
+  }
+  EXPECT_EQ(aggregate.gpu_failures, gpu_failures);
+  EXPECT_EQ(aggregate.fallback_queries, fallbacks);
+  EXPECT_EQ(aggregate.breaker_trips, trips);
+  EXPECT_EQ(aggregate.breaker_closes, closes);
+  EXPECT_EQ(aggregate.degraded, any_degraded);
+
+  // Revive the shard: the breaker probes, closes, and the GPU path
+  // returns — still exact.
+  ASSERT_TRUE(router->device(1).SetFaultSpec("").ok());
+  for (int q = 0; q < 12; ++q) {
+    const EdgePoint location{
+        static_cast<roadnet::EdgeId>(rng.NextBounded(graph.num_edges())), 0};
+    auto got = router->QueryKnn(location, 10, 3.0);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    auto want = oracle.QueryKnn(location, 10, 3.0);
+    ASSERT_TRUE(want.ok());
+    ASSERT_EQ(got->size(), want->size());
+  }
+  if (!FaultsActive()) {
+    EXPECT_FALSE(router->ShardStats(1).degraded)
+        << "breaker failed to close after the device recovered";
+  }
+}
+
+TEST(ShardChaosTest, UpdatesKeepFlowingThroughADeadShard) {
+  const Graph graph = MakeGraph(260, 89);
+  ShardRouterOptions options;
+  options.num_shards = 2;
+  options.server.gpu_attempts = 1;
+  options.server.backoff_base_ms = 0;
+  auto router = std::move(ShardRouter::Create(&graph, core::GGridOptions{},
+                                              options))
+                    .ValueOrDie();
+  ASSERT_TRUE(router->device(1).SetFaultSpec("kernel:after=0").ok());
+
+  // Updates (including cross-shard moves into and out of the dead shard)
+  // must not be lost: the inbox protocol is host-side, the CPU fallback
+  // drains it, and a revived device sees the settled state.
+  baselines::BruteForce oracle(&graph);
+  util::Rng rng(89);
+  double t = 1.0;
+  for (int round = 0; round < 3; ++round) {
+    for (ObjectId o = 0; o < 24; ++o) {
+      const EdgePoint position{
+          static_cast<roadnet::EdgeId>(rng.NextBounded(graph.num_edges())),
+          0};
+      router->Report(o, position, t);
+      oracle.Ingest(o, position, t);
+    }
+    for (int q = 0; q < 8; ++q) {
+      const EdgePoint location{
+          static_cast<roadnet::EdgeId>(rng.NextBounded(graph.num_edges())),
+          0};
+      auto got = router->QueryKnn(location, 6, t);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      auto want = oracle.QueryKnn(location, 6, t);
+      ASSERT_TRUE(want.ok());
+      ASSERT_EQ(got->size(), want->size());
+      for (size_t r = 0; r < want->size(); ++r) {
+        EXPECT_EQ((*got)[r].distance, (*want)[r].distance)
+            << "round " << round << " query " << q << " rank " << r;
+      }
+    }
+    t += 1.0;
+  }
+  EXPECT_EQ(router->pending_updates(), 0u)
+      << "a dead device must not strand inbox entries";
+}
+
+TEST(ShardChaosTest, RouterAdmissionShedsExactlyTheOverflow) {
+  const Graph graph = MakeGraph(220, 97);
+  ShardRouterOptions options;
+  options.num_shards = 2;
+  options.server.max_inflight = 1;
+  options.server.max_queued = 0;   // reject-newest with no waiting room
+  options.server.default_deadline_ms = 0;  // nothing can expire
+  // A dead device makes the slot-holder slow by construction: it burns
+  // gpu_attempts with real backoff before its CPU fallback answers.
+  options.server.gpu_attempts = 4;
+  options.server.backoff_base_ms = 25;
+  options.server.breaker_threshold = 1000;  // keep retrying, stay slow
+  auto router = std::move(ShardRouter::Create(&graph, core::GGridOptions{},
+                                              options))
+                    .ValueOrDie();
+  util::Rng rng(97);
+  for (ObjectId o = 0; o < 20; ++o) {
+    router->Report(
+        o,
+        {static_cast<roadnet::EdgeId>(rng.NextBounded(graph.num_edges())), 0},
+        1.0);
+  }
+  for (uint32_t s = 0; s < router->num_shards(); ++s) {
+    ASSERT_TRUE(router->device(s).SetFaultSpec("kernel:after=0").ok());
+  }
+
+  // The holder takes the only slot and sits in retry backoff; once the
+  // router has admitted it (observable through the counter, which bumps
+  // while the slot is held) every new arrival must be shed.
+  std::thread holder([&] {
+    auto r = router->QueryKnn({0, 0}, 4, 2.0);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+  });
+  while (router->router_stats().admitted_queries == 0) {
+    std::this_thread::yield();
+  }
+  auto overflow = router->QueryKnn({1, 0}, 4, 2.0);
+  ASSERT_FALSE(overflow.ok()) << "overflow query found a free slot";
+  EXPECT_TRUE(overflow.status().IsResourceExhausted())
+      << overflow.status().ToString();
+  holder.join();
+
+  // Heal the devices and confirm the books balance: both queries counted,
+  // one admitted, one shed, none expired.
+  for (uint32_t s = 0; s < router->num_shards(); ++s) {
+    ASSERT_TRUE(router->device(s).SetFaultSpec("").ok());
+  }
+  const RouterStats stats = router->router_stats();
+  EXPECT_EQ(stats.queries, 2u);
+  EXPECT_EQ(stats.admitted_queries, 1u);
+  EXPECT_EQ(stats.shed_queries, 1u);
+  EXPECT_EQ(stats.expired_queries, 0u);
+  EXPECT_EQ(stats.admitted_queries + stats.shed_queries, stats.queries);
+  // The slot is free again: the next arrival is admitted.
+  ASSERT_TRUE(router->QueryKnn({2, 0}, 4, 3.0).ok());
+  EXPECT_EQ(router->router_stats().admitted_queries, 2u);
+}
+
+TEST(ShardChaosTest, BrownoutPressurePropagatesToEveryShardTouched) {
+  const Graph graph = MakeGraph(220, 101);
+  ShardRouterOptions options;
+  options.num_shards = 2;
+  options.server.max_inflight = 1;  // any admitted query is >50% loaded
+  options.server.max_queued = 64;
+  options.server.brownout = true;
+  auto router = std::move(ShardRouter::Create(&graph, core::GGridOptions{},
+                                              options))
+                    .ValueOrDie();
+  util::Rng rng(101);
+  for (ObjectId o = 0; o < 16; ++o) {
+    router->Report(
+        o,
+        {static_cast<roadnet::EdgeId>(rng.NextBounded(graph.num_edges())), 0},
+        1.0);
+  }
+  for (int q = 0; q < 10; ++q) {
+    auto r = router->QueryKnn(
+        {static_cast<roadnet::EdgeId>(rng.NextBounded(graph.num_edges())),
+         0},
+        4, 2.0);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  // max_inflight=1 makes the pressure signal fire on every admitted
+  // query; the router counts the logical query once however many shards
+  // execute it degraded.
+  const RouterStats stats = router->router_stats();
+  EXPECT_EQ(stats.brownout_queries, stats.admitted_queries);
+  EXPECT_EQ(stats.brownout_queries, 10u);
+}
+
+}  // namespace
+}  // namespace gknn::server

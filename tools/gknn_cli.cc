@@ -16,6 +16,11 @@
 //
 // Flags:
 //   --graph=FILE | --synthetic=N   road network source
+//   --shards=N                     serve through a ShardRouter over N
+//                                  region shards, each with its own
+//                                  device/index/inbox (docs/SHARDING.md);
+//                                  1 (default) keeps the single-engine
+//                                  QueryServer path
 //   --seed=N                       workload seed
 //   --faults=SPEC                  fault-injection spec (same grammar as
 //                                  GKNN_FAULTS; see docs/ROBUSTNESS.md),
@@ -47,12 +52,14 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "core/ggrid_index.h"
 #include "gpusim/device.h"
 #include "roadnet/dimacs.h"
 #include "server/query_server.h"
+#include "server/shard_router.h"
 #include "util/timer.h"
 #include "workload/synthetic_network.h"
 #include "workload/trace.h"
@@ -76,10 +83,8 @@ void PrintHelp() {
 
 /// Dumps the full observability registry: Prometheus text to `out`, and —
 /// when writing to a file — the one-line JSON beside it (FILE.json).
-bool DumpMetrics(gknn::server::QueryServer& server,
+bool DumpMetrics(const std::string& text, const std::string& json,
                  const std::string& path) {
-  const std::string text = server.MetricsPrometheus();
-  const std::string json = server.MetricsJson();
   if (path.empty()) {
     std::fputs(text.c_str(), stdout);
     std::printf("%s\n", json.c_str());
@@ -156,6 +161,53 @@ void PrintStats(gknn::server::QueryServer& server,
       static_cast<unsigned long long>(faults.total_injected()));
 }
 
+/// Router-mode stats block: the router's logical-query counters, the
+/// fleet-wide aggregate, then one degradation line per shard.
+void PrintRouterStats(gknn::server::ShardRouter& router) {
+  const auto rs = router.router_stats();
+  const auto agg = router.AggregateStats();
+  std::printf(
+      "router: shards=%u queries=%llu admitted=%llu shed=%llu "
+      "expired=%llu brownout=%llu\n"
+      "fanout: phase2_shards=%llu refine_shards=%llu "
+      "border_refinements=%llu full_fanouts=%llu\n"
+      "routing: updates=%llu cross_shard_moves=%llu pending=%llu "
+      "applied=%llu\n"
+      "aggregate: degraded=%d gpu_failures=%llu retries=%llu "
+      "fallback_queries=%llu degraded_queries=%llu breaker_trips=%llu\n",
+      router.num_shards(), static_cast<unsigned long long>(rs.queries),
+      static_cast<unsigned long long>(rs.admitted_queries),
+      static_cast<unsigned long long>(rs.shed_queries),
+      static_cast<unsigned long long>(rs.expired_queries),
+      static_cast<unsigned long long>(rs.brownout_queries),
+      static_cast<unsigned long long>(rs.fanout_shards),
+      static_cast<unsigned long long>(rs.refine_shards),
+      static_cast<unsigned long long>(rs.border_refinements),
+      static_cast<unsigned long long>(rs.full_fanouts),
+      static_cast<unsigned long long>(rs.routed_updates),
+      static_cast<unsigned long long>(rs.cross_shard_moves),
+      static_cast<unsigned long long>(router.pending_updates()),
+      static_cast<unsigned long long>(router.applied_updates()),
+      agg.degraded ? 1 : 0,
+      static_cast<unsigned long long>(agg.gpu_failures),
+      static_cast<unsigned long long>(agg.retries),
+      static_cast<unsigned long long>(agg.fallback_queries),
+      static_cast<unsigned long long>(agg.degraded_queries),
+      static_cast<unsigned long long>(agg.breaker_trips));
+  for (uint32_t s = 0; s < router.num_shards(); ++s) {
+    const auto stats = router.ShardStats(s);
+    std::printf(
+        "  shard %u: degraded=%d gpu_failures=%llu fallback=%llu "
+        "kernels=%llu modeled_gpu=%.3f ms pending=%llu\n",
+        s, stats.degraded ? 1 : 0,
+        static_cast<unsigned long long>(stats.gpu_failures),
+        static_cast<unsigned long long>(stats.fallback_queries),
+        static_cast<unsigned long long>(router.device(s).kernel_launches()),
+        router.device(s).ClockSeconds() * 1e3,
+        static_cast<unsigned long long>(router.shard(s).pending_updates()));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -168,6 +220,7 @@ int main(int argc, char** argv) {
   bool metrics_on_exit = false;
   std::string metrics_path;
   uint32_t synthetic = 0;
+  uint32_t num_shards = 1;
   uint32_t query_threads = 0;
   double deadline_ms = 0;
   uint32_t max_inflight = 0;
@@ -180,6 +233,12 @@ int main(int argc, char** argv) {
       graph_path = arg.substr(8);
     } else if (arg.rfind("--synthetic=", 0) == 0) {
       synthetic = static_cast<uint32_t>(std::stoul(arg.substr(12)));
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      num_shards = static_cast<uint32_t>(std::stoul(arg.substr(9)));
+      if (num_shards == 0) {
+        std::fprintf(stderr, "--shards must be >= 1\n");
+        return 1;
+      }
     } else if (arg.rfind("--seed=", 0) == 0) {
       seed = std::stoull(arg.substr(7));
     } else if (arg.rfind("--threads=", 0) == 0) {
@@ -239,20 +298,86 @@ int main(int argc, char** argv) {
   server_options.max_inflight = max_inflight;
   server_options.max_queued = max_queued;
   server_options.brownout = brownout;
-  auto server = server::QueryServer::Create(&*graph, core::GGridOptions{},
-                                            &device, server_options);
-  if (!server.ok()) {
-    std::fprintf(stderr, "failed to build index: %s\n",
-                 server.status().ToString().c_str());
-    return 1;
+  std::unique_ptr<server::ShardRouter> router;
+  std::unique_ptr<server::QueryServer> single;
+  if (num_shards > 1) {
+    server::ShardRouterOptions router_options;
+    router_options.num_shards = num_shards;
+    router_options.server = server_options;
+    router_options.device = device_config;
+    auto built = server::ShardRouter::Create(&*graph, core::GGridOptions{},
+                                             router_options);
+    if (!built.ok()) {
+      std::fprintf(stderr, "failed to build shard router: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    router = std::move(built).ValueOrDie();
+    std::printf(
+        "ShardRouter ready: %u shards over %u cells (psi=%u). Type 'help' "
+        "for commands.\n",
+        router->num_shards(), router->shard(0).index().grid().num_cells(),
+        router->shard(0).index().grid().psi());
+    if (router->device(0).fault_injector().armed()) {
+      std::printf("fault injection armed on every shard: %s\n",
+                  router->device(0).fault_injector().spec().c_str());
+    }
+  } else {
+    auto built = server::QueryServer::Create(&*graph, core::GGridOptions{},
+                                             &device, server_options);
+    if (!built.ok()) {
+      std::fprintf(stderr, "failed to build index: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    single = std::move(built).ValueOrDie();
+    std::printf(
+        "G-Grid ready: %u cells (psi=%u). Type 'help' for commands.\n",
+        single->index().grid().num_cells(), single->index().grid().psi());
+    if (device.fault_injector().armed()) {
+      std::printf("fault injection armed: %s\n",
+                  device.fault_injector().spec().c_str());
+    }
   }
-  std::printf("G-Grid ready: %u cells (psi=%u). Type 'help' for commands.\n",
-              (*server)->index().grid().num_cells(),
-              (*server)->index().grid().psi());
-  if (device.fault_injector().armed()) {
-    std::printf("fault injection armed: %s\n",
-                device.fault_injector().spec().c_str());
-  }
+
+  // Every command below runs against whichever front end was built; the
+  // router exposes the same Report/Deregister/QueryKnn surface as a
+  // single-engine server (that equivalence is the point — see
+  // tests/test_shard_differential.cc).
+  const auto report = [&](core::ObjectId object, roadnet::EdgePoint position,
+                          double time) {
+    if (router != nullptr) {
+      router->Report(object, position, time);
+    } else {
+      single->Report(object, position, time);
+    }
+  };
+  const auto deregister = [&](core::ObjectId object, double time) {
+    if (router != nullptr) {
+      router->Deregister(object, time);
+    } else {
+      single->Deregister(object, time);
+    }
+  };
+  const auto query_knn = [&](roadnet::EdgePoint location, uint32_t k,
+                             double time) {
+    return router != nullptr ? router->QueryKnn(location, k, time)
+                             : single->QueryKnn(location, k, time);
+  };
+  const auto print_stats = [&] {
+    if (router != nullptr) {
+      PrintRouterStats(*router);
+    } else {
+      PrintStats(*single, device);
+    }
+  };
+  const auto dump_metrics = [&](const std::string& path) {
+    return router != nullptr
+               ? DumpMetrics(router->MetricsPrometheus(),
+                             router->MetricsJson(), path)
+               : DumpMetrics(single->MetricsPrometheus(),
+                             single->MetricsJson(), path);
+  };
 
   bool had_error = false;
   char line[512];
@@ -267,20 +392,19 @@ int main(int argc, char** argv) {
         had_error = true;
         continue;
       }
-      (*server)->Report(static_cast<core::ObjectId>(object),
-                        {static_cast<roadnet::EdgeId>(edge),
-                         static_cast<uint32_t>(offset)},
-                        time);
+      report(static_cast<core::ObjectId>(object),
+             {static_cast<roadnet::EdgeId>(edge),
+              static_cast<uint32_t>(offset)},
+             time);
       std::printf("ok\n");
     } else if (std::sscanf(line, "remove %llu %lf", &object, &time) == 2) {
-      (*server)->Deregister(static_cast<core::ObjectId>(object), time);
+      deregister(static_cast<core::ObjectId>(object), time);
       std::printf("ok\n");
     } else if (std::sscanf(line, "query %llu %llu %llu %lf", &edge, &offset,
                            &k, &time) == 4) {
-      auto result = (*server)->QueryKnn(
-          {static_cast<roadnet::EdgeId>(edge),
-           static_cast<uint32_t>(offset)},
-          static_cast<uint32_t>(k), time);
+      auto result = query_knn({static_cast<roadnet::EdgeId>(edge),
+                               static_cast<uint32_t>(offset)},
+                              static_cast<uint32_t>(k), time);
       if (!result.ok()) {
         std::printf("error: %s\n", result.status().ToString().c_str());
         had_error = true;
@@ -332,13 +456,13 @@ int main(int argc, char** argv) {
       for (const auto& e : *events) {
         switch (e.kind) {
           case workload::TraceEvent::Kind::kUpdate:
-            (*server)->Report(e.object, e.position, e.time);
+            report(e.object, e.position, e.time);
             break;
           case workload::TraceEvent::Kind::kRemove:
-            (*server)->Deregister(e.object, e.time);
+            deregister(e.object, e.time);
             break;
           case workload::TraceEvent::Kind::kQuery: {
-            auto result = (*server)->QueryKnn(e.position, e.k, e.time);
+            auto result = query_knn(e.position, e.k, e.time);
             if (!result.ok()) {
               std::printf("error: %s\n",
                           result.status().ToString().c_str());
@@ -355,7 +479,15 @@ int main(int argc, char** argv) {
                   events->size(), queries_run, query_errors,
                   replay_timer.ElapsedMillis());
     } else if (std::sscanf(line, "trim %lf", &time) == 1) {
-      auto status = (*server)->index().TrimCaches(time);
+      util::Status status = util::Status::OK();
+      if (router != nullptr) {
+        // Maintenance sweeps every shard; first failure wins.
+        for (uint32_t s = 0; s < router->num_shards() && status.ok(); ++s) {
+          status = router->shard(s).index().TrimCaches(time);
+        }
+      } else {
+        status = single->index().TrimCaches(time);
+      }
       if (status.ok()) {
         std::printf("ok\n");
       } else {
@@ -363,9 +495,9 @@ int main(int argc, char** argv) {
         had_error = true;
       }
     } else if (std::strncmp(line, "stats", 5) == 0) {
-      PrintStats(**server, device);
+      print_stats();
     } else if (std::strncmp(line, "metrics", 7) == 0) {
-      if (!DumpMetrics(**server, "")) had_error = true;
+      if (!dump_metrics("")) had_error = true;
     } else if (std::strncmp(line, "help", 4) == 0) {
       PrintHelp();
     } else if (std::strncmp(line, "quit", 4) == 0 ||
@@ -375,8 +507,8 @@ int main(int argc, char** argv) {
       std::printf("unrecognized command; type 'help'\n");
     }
   }
-  if (stats_on_exit) PrintStats(**server, device);
-  if (metrics_on_exit && !DumpMetrics(**server, metrics_path)) {
+  if (stats_on_exit) print_stats();
+  if (metrics_on_exit && !dump_metrics(metrics_path)) {
     had_error = true;
   }
   return had_error ? 1 : 0;
