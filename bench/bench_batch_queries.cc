@@ -5,21 +5,23 @@
 //  1. Device-pass sharing: issuing n simultaneous queries one-by-one vs
 //     GGridIndex::QueryKnnBatch, which cleans the union of their candidate
 //     regions in one device pass.
-//  2. Thread scaling: QueryServer::QueryKnnBatch fanned over the server's
-//     query pool at 1/2/4/8 threads. Reports wall-clock queries/sec and a
-//     *modeled multi-stream* queries/sec: per-query modeled cost (device
-//     clock + host thread-CPU time) measured serially, then LPT-packed onto T
-//     streams — the throughput T independent GPU streams would sustain,
-//     which is the metric that scales on a host with fewer cores than
-//     streams (docs/CONCURRENCY.md).
+//  2. Device scaling: the same batch raced through QueryServer over a
+//     gpusim::DeviceSet of 1/2/4 devices, placed by the multi-stream
+//     scheduler (gpusim/scheduler.h). Reports wall-clock queries/sec and a
+//     *measured multi-device* queries/sec: the makespan is the largest
+//     per-device modeled-clock delta (DeviceSet::MaxClockSeconds), so the
+//     number reflects where the scheduler actually put the work — not a
+//     modeled packing — yet stays load-insensitive (modeled clocks only;
+//     see docs/CONCURRENCY.md "Multi-device scheduling").
 //
 // Usage: bench_batch_queries [--dataset=FLA] [--batches=2,4,8,16]
-//                            [--threads=1,2,4,8] [--scale=N]
+//                            [--devices=1,2,4] [--scale=N]
 //                            [--objects=N] [--k=K] [--smoke]
 //
-// --smoke runs a small scenario and exits non-zero unless the modeled
-// 8-stream throughput is at least 4x the 1-stream throughput (the CI
-// regression gate for the concurrency layer).
+// --smoke runs a small scenario and exits non-zero unless the measured
+// multi-device throughput is monotone in the device count and at least
+// 1.5x the single-device figure at 2 devices (the CI regression gate for
+// the scheduler).
 
 #include <algorithm>
 #include <cstdio>
@@ -97,21 +99,16 @@ void RunBatchSharing(const std::string& dataset,
   table.Print();
 }
 
-/// Longest-processing-time packing of per-query modeled costs onto
-/// `streams` bins; returns the makespan (the busiest stream's total). With
-/// one stream this is simply the serial total.
-double MultiStreamMakespan(std::vector<double> costs, uint32_t streams) {
-  std::sort(costs.begin(), costs.end(), std::greater<double>());
-  std::vector<double> bins(std::max<uint32_t>(streams, 1), 0.0);
-  for (double c : costs) {
-    *std::min_element(bins.begin(), bins.end()) += c;
-  }
-  return *std::max_element(bins.begin(), bins.end());
-}
-
-/// Thread-scaling experiment. Returns false when the smoke gate fails.
-bool RunThreadScaling(const std::string& dataset,
-                      const std::vector<uint32_t>& thread_counts,
+/// Device-scaling experiment: one QueryServer per device count, each over
+/// a fresh gpusim::DeviceSet, the batch fanned over the server's query
+/// pool so concurrent queries hit the scheduler the way production load
+/// does. Throughput is *measured* from the per-device modeled clocks: the
+/// makespan of a run is max_i(clock_i_after - clock_i_before) — the
+/// busiest device's timeline — so a scheduler that dumps everything on
+/// one device shows no speedup no matter how many devices exist. Returns
+/// false when the smoke gate fails.
+bool RunDeviceScaling(const std::string& dataset,
+                      const std::vector<uint32_t>& device_counts,
                       const CommonFlags& flags, bool smoke) {
   auto graph = LoadDataset(dataset, flags.scale, flags.seed,
                            flags.dimacs_dir);
@@ -125,84 +122,104 @@ bool RunThreadScaling(const std::string& dataset,
   std::vector<workload::LocationUpdate> updates;
   sim.AdvanceTo(2.0, &updates);
 
-  // Per-query modeled cost, measured serially on one server: the device
-  // modeled-clock delta the query consumed plus its host CPU time. Host
-  // time is read from the measuring thread's CPU clock, not the wall
-  // clock, so other processes (or other tests under `ctest -j`) stealing
-  // the core inflate neither the costs nor the smoke gate built on them.
-  // The inbox drain is paid by an untimed warmup query — it is one-off
-  // shared work, and folding it into a single query's cost would dominate
-  // the stream packing below. Each query's own first-touch cell cleaning
-  // stays in its cost: that work really belongs to that query.
-  std::vector<double> costs;
-  {
-    gpusim::Device device(ScaledDeviceConfig(flags.scale));
-    auto server =
-        server::QueryServer::Create(&*graph, core::GGridOptions{}, &device);
-    GKNN_CHECK(server.ok());
-    for (const auto& u : updates) {
-      (*server)->Report(u.object_id, u.position, u.time);
-    }
-    GKNN_CHECK((*server)->QueryKnn(queries[0].location, flags.k, 2.0).ok());
-    for (const auto& q : queries) {
-      const double device_before = device.ClockSeconds();
-      util::ThreadCpuTimer timer;
-      auto r = (*server)->QueryKnn(q.location, flags.k, 2.0);
-      GKNN_CHECK(r.ok()) << r.status().ToString();
-      costs.push_back((device.ClockSeconds() - device_before) +
-                      timer.ElapsedSeconds());
-    }
-  }
-
-  std::printf("\nThread scaling on %s (k=%u, |O|=%u, %u queries): "
-              "QueryServer::QueryKnnBatch over the server's query pool\n\n",
+  std::printf("\nDevice scaling on %s (k=%u, |O|=%u, %u queries): "
+              "QueryKnnBatch over a DeviceSet via the multi-stream "
+              "scheduler\n\n",
               dataset.c_str(), flags.k, flags.num_objects, num_queries);
-  TablePrinter table({"Threads", "Wall q/s", "Modeled multi-stream q/s",
-                      "Modeled speedup"});
-  const double serial_makespan = MultiStreamMakespan(costs, 1);
-  double modeled_qps_1 = 0;
-  double modeled_qps_last = 0;
-  for (uint32_t threads : thread_counts) {
-    // A fresh server per row so caches and the device clock start equal.
-    gpusim::Device device(ScaledDeviceConfig(flags.scale));
+  TablePrinter table({"Devices", "Wall q/s", "Measured q/s (clock)",
+                      "Speedup", "Busiest/avg"});
+  std::vector<double> measured_qps;
+  double makespan_1 = 0;
+  for (uint32_t num_devices : device_counts) {
+    GKNN_CHECK(num_devices > 0);
+    // A fresh set + server per row so caches and every clock start equal.
+    gpusim::DeviceSet devices(num_devices, ScaledDeviceConfig(flags.scale));
     server::ServerOptions server_options;
-    server_options.query_threads = threads;
+    server_options.query_threads = 2 * num_devices;
     auto server = server::QueryServer::Create(
-        &*graph, core::GGridOptions{}, &device, server_options);
-    GKNN_CHECK(server.ok());
+        &*graph, core::GGridOptions{}, &devices, server_options);
+    GKNN_CHECK(server.ok()) << server.status().ToString();
     for (const auto& u : updates) {
       (*server)->Report(u.object_id, u.position, u.time);
     }
     std::vector<roadnet::EdgePoint> locations;
     for (const auto& q : queries) locations.push_back(q.location);
-    // Pay the drain + first cleaning outside the timed window.
+    // Pay the inbox drain + first cleaning outside the timed window (the
+    // grid mirror uploads already happened at build time).
     GKNN_CHECK((*server)->QueryKnn(locations[0], flags.k, 2.0).ok());
 
-    util::Timer timer;
-    auto rb = (*server)->QueryKnnBatch(locations, flags.k, 2.0);
-    GKNN_CHECK(rb.ok()) << rb.status().ToString();
-    const double wall_qps = num_queries / timer.ElapsedSeconds();
+    // Best of a few trials: OS thread-timing jitter can starve a pool
+    // thread for one batch and skew placement, but the balanced makespan
+    // is deterministic (modeled clocks, identical queries), so the best
+    // trial converges to it — while a scheduler that cannot balance
+    // fails every trial.
+    constexpr int kTrials = 3;
+    double wall_qps = 0;
+    double makespan = 0;
+    double balance = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      std::vector<double> clock_before(num_devices);
+      for (uint32_t i = 0; i < num_devices; ++i) {
+        clock_before[i] = devices.device(i).ClockSeconds();
+      }
+      util::Timer timer;
+      auto rb = (*server)->QueryKnnBatch(locations, flags.k, 2.0);
+      GKNN_CHECK(rb.ok()) << rb.status().ToString();
+      const double trial_wall_qps = num_queries / timer.ElapsedSeconds();
 
-    const double makespan = MultiStreamMakespan(costs, threads);
-    const double modeled_qps = num_queries / makespan;
-    if (threads == 1) modeled_qps_1 = modeled_qps;
-    modeled_qps_last = modeled_qps;
-    table.AddRow({std::to_string(threads), FormatDouble(wall_qps, 0),
-                  FormatDouble(modeled_qps, 0),
-                  FormatDouble(serial_makespan / makespan, 2) + "x"});
+      double trial_makespan = 0;
+      double total_busy = 0;
+      for (uint32_t i = 0; i < num_devices; ++i) {
+        const double busy =
+            devices.device(i).ClockSeconds() - clock_before[i];
+        trial_makespan = std::max(trial_makespan, busy);
+        total_busy += busy;
+      }
+      GKNN_CHECK(trial_makespan > 0) << "batch consumed no device time";
+      if (makespan == 0 || trial_makespan < makespan) {
+        makespan = trial_makespan;
+        wall_qps = trial_wall_qps;
+        // Busiest/avg = 1.00 is a perfectly balanced placement;
+        // num_devices means everything landed on one device.
+        balance = trial_makespan / (total_busy / num_devices);
+      }
+    }
+    const double qps = num_queries / makespan;
+    measured_qps.push_back(qps);
+    if (num_devices == device_counts.front()) makespan_1 = makespan;
+    table.AddRow({std::to_string(num_devices), FormatDouble(wall_qps, 0),
+                  FormatDouble(qps, 0),
+                  FormatDouble(makespan_1 / makespan, 2) + "x",
+                  FormatDouble(balance, 2)});
   }
   table.Print();
 
   if (!smoke) return true;
-  if (modeled_qps_1 <= 0) {
-    std::printf("SMOKE FAIL: no 1-thread row measured\n");
-    return false;
+  bool pass = true;
+  for (size_t i = 1; i < measured_qps.size(); ++i) {
+    if (measured_qps[i] < measured_qps[i - 1]) {
+      std::printf("SMOKE FAIL: measured q/s dropped from %.0f (%u devices) "
+                  "to %.0f (%u devices)\n",
+                  measured_qps[i - 1], device_counts[i - 1], measured_qps[i],
+                  device_counts[i]);
+      pass = false;
+    }
   }
-  const double scaling = modeled_qps_last / modeled_qps_1;
-  const bool pass = scaling >= 4.0;
-  std::printf("smoke: modeled %u-stream throughput is %.2fx the 1-stream "
-              "throughput (gate: >= 4x) -- %s\n",
-              thread_counts.back(), scaling, pass ? "PASS" : "FAIL");
+  for (size_t i = 0; i < device_counts.size(); ++i) {
+    if (device_counts[i] == 2 && measured_qps[i] < 1.5 * measured_qps[0]) {
+      std::printf("SMOKE FAIL: 2-device throughput %.0f q/s is below 1.5x "
+                  "the 1-device %.0f q/s\n",
+                  measured_qps[i], measured_qps[0]);
+      pass = false;
+    }
+  }
+  if (pass) {
+    std::printf("smoke: measured multi-device throughput is monotone "
+                "(%.2fx at %u devices; gate: monotone, >= 1.5x at 2) -- "
+                "PASS\n",
+                measured_qps.back() / measured_qps.front(),
+                device_counts.back());
+  }
   return pass;
 }
 
@@ -229,13 +246,13 @@ int main(int argc, char** argv) {
        bench::SplitCsv(args.GetString("batches", smoke ? "4" : "2,4,8,16"))) {
     batches.push_back(static_cast<uint32_t>(std::stoul(s)));
   }
-  std::vector<uint32_t> threads;
+  std::vector<uint32_t> devices;
   for (const auto& s :
-       bench::SplitCsv(args.GetString("threads", "1,2,4,8"))) {
-    threads.push_back(static_cast<uint32_t>(std::stoul(s)));
+       bench::SplitCsv(args.GetString("devices", "1,2,4"))) {
+    devices.push_back(static_cast<uint32_t>(std::stoul(s)));
   }
   const std::string dataset = args.GetString("dataset", smoke ? "NY" : "FLA");
   bench::RunBatchSharing(dataset, batches, flags);
-  if (!bench::RunThreadScaling(dataset, threads, flags, smoke)) return 1;
+  if (!bench::RunDeviceScaling(dataset, devices, flags, smoke)) return 1;
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
+#include <string>
 #include <string_view>
 
 #include "gpusim/fault_injector.h"
@@ -12,10 +14,11 @@ namespace gknn::core {
 using roadnet::EdgePoint;
 
 GGridIndex::GGridIndex(const roadnet::Graph* graph,
-                       const GGridOptions& options, gpusim::Device* device)
+                       const GGridOptions& options,
+                       gpusim::DeviceSet* devices)
     : graph_(graph),
       options_(options),
-      device_(device),
+      devices_(devices),
       arena_(options.delta_b),
       tracer_(&registry_, options.obs_clock, options.trace_ring_capacity),
       updates_total_(registry_.GetCounter("gknn_updates_ingested_total")),
@@ -26,6 +29,17 @@ GGridIndex::GGridIndex(const roadnet::Graph* graph,
 util::Result<std::unique_ptr<GGridIndex>> GGridIndex::Build(
     const roadnet::Graph* graph, const GGridOptions& options,
     gpusim::Device* device) {
+  auto owned = std::make_unique<gpusim::DeviceSet>(
+      std::vector<gpusim::Device*>{device});
+  GKNN_ASSIGN_OR_RETURN(std::unique_ptr<GGridIndex> index,
+                        Build(graph, options, owned.get()));
+  index->owned_set_ = std::move(owned);
+  return index;
+}
+
+util::Result<std::unique_ptr<GGridIndex>> GGridIndex::Build(
+    const roadnet::Graph* graph, const GGridOptions& options,
+    gpusim::DeviceSet* devices) {
   if (options.delta_b == 0) {
     return util::Status::InvalidArgument("delta_b must be positive");
   }
@@ -35,7 +49,7 @@ util::Result<std::unique_ptr<GGridIndex>> GGridIndex::Build(
   if (options.rho < 1.0) {
     return util::Status::InvalidArgument("rho must be at least 1");
   }
-  std::unique_ptr<GGridIndex> index(new GGridIndex(graph, options, device));
+  std::unique_ptr<GGridIndex> index(new GGridIndex(graph, options, devices));
 
   GKNN_ASSIGN_OR_RETURN(
       GraphGrid grid, GraphGrid::Build(graph, options.delta_c, options.delta_v,
@@ -44,24 +58,28 @@ util::Result<std::unique_ptr<GGridIndex>> GGridIndex::Build(
   index->lists_.resize(index->grid_->num_cells());
 
   // The paper keeps an identical copy of the graph grid in GPU memory
-  // (§III-A). The simulated kernels read the host arrays directly, so the
-  // device copy is modeled as an allocation of the same size plus its
-  // one-time upload — which makes Fig. 6's "G-Grid (GPU)" bar and the
-  // initial transfer cost real in the ledger. The mirror is accounting
-  // only, so a device error here degrades the size report rather than
-  // failing the build: the index still answers every query (via the CPU
-  // path if the device stays down).
-  auto mirror = gpusim::DeviceBuffer<uint8_t>::Allocate(
-      device, index->grid_->MemoryBytes());
-  if (mirror.ok()) {
-    index->grid_gpu_copy_ = std::move(mirror).ValueOrDie();
-    device->ledger().RecordH2D(index->grid_->MemoryBytes(),
-                               device->config());
-  } else if (gpusim::IsDeviceError(mirror.status())) {
-    GKNN_LOG(Warning) << "grid GPU mirror unavailable: "
-                      << mirror.status().ToString();
-  } else {
-    return mirror.status();
+  // (§III-A); with several devices, every device holds its own replica so
+  // any of them can serve any cell. The simulated kernels read the host
+  // arrays directly, so each copy is modeled as an allocation of the same
+  // size plus its one-time upload — which makes Fig. 6's "G-Grid (GPU)"
+  // bar and the initial transfer cost real in each device's ledger. The
+  // mirrors are accounting only, so a device error here degrades the size
+  // report rather than failing the build: the index still answers every
+  // query (via another device or the CPU path if a device stays down).
+  for (uint32_t i = 0; i < devices->size(); ++i) {
+    gpusim::Device* device = devices->device_ptr(i);
+    auto mirror = gpusim::DeviceBuffer<uint8_t>::Allocate(
+        device, index->grid_->MemoryBytes());
+    if (mirror.ok()) {
+      index->grid_gpu_copies_.push_back(std::move(mirror).ValueOrDie());
+      device->ledger().RecordH2D(index->grid_->MemoryBytes(),
+                                 device->config());
+    } else if (gpusim::IsDeviceError(mirror.status())) {
+      GKNN_LOG(Warning) << "grid GPU mirror unavailable on device " << i
+                        << ": " << mirror.status().ToString();
+    } else {
+      return mirror.status();
+    }
   }
 
   MessageCleaner::Options cleaner_options;
@@ -72,14 +90,17 @@ util::Result<std::unique_ptr<GGridIndex>> GGridIndex::Build(
   cleaner_options.use_x_shuffle = options.use_x_shuffle;
   cleaner_options.pipelined_transfer = options.pipelined_transfer;
   index->cleaner_ =
-      std::make_unique<MessageCleaner>(device, cleaner_options);
+      std::make_unique<MessageCleaner>(devices, cleaner_options);
   index->cleaner_->SetMetricRegistry(&index->registry_);
 
+  index->scheduler_ = std::make_unique<gpusim::Scheduler>(devices);
+
   index->engine_ = std::make_unique<KnnEngine>(
-      device, index->grid_.get(), index->cleaner_.get(), &index->arena_,
-      &index->lists_, &index->object_table_, &index->objects_on_edge_,
-      &index->options_);
+      devices->device_ptr(0), index->grid_.get(), index->cleaner_.get(),
+      &index->arena_, &index->lists_, &index->object_table_,
+      &index->objects_on_edge_, &index->options_);
   index->engine_->SetTracer(&index->tracer_);
+  index->engine_->set_scheduler(index->scheduler_.get());
   return index;
 }
 
@@ -300,9 +321,23 @@ GGridIndex::QueryKnnBatch(std::span<const roadnet::EdgePoint> locations,
 
 util::Status GGridIndex::CleanCells(std::span<const CellId> cells,
                                     double t_now) {
+  gpusim::Scheduler::Lease lease = scheduler_->Acquire();
   util::Result<MessageCleaner::Outcome> outcome =
-      cleaner_->Clean(cells, t_now, &arena_, &lists_);
-  if (!outcome.ok() && gpusim::IsDeviceError(outcome.status())) {
+      cleaner_->Clean(cells, t_now, &arena_, &lists_, lease.device_index());
+  bool device_error =
+      !outcome.ok() && gpusim::IsDeviceError(outcome.status());
+  scheduler_->ReportResult(lease.device_index(), device_error);
+  if (device_error && devices_->size() > 1) {
+    // Migrate the batch once to a different device before surrendering it
+    // to the host path (the failed pass rolled back transactionally).
+    gpusim::Scheduler::Lease retry =
+        scheduler_->AcquireAvoiding(lease.device_index());
+    outcome =
+        cleaner_->Clean(cells, t_now, &arena_, &lists_, retry.device_index());
+    device_error = !outcome.ok() && gpusim::IsDeviceError(outcome.status());
+    scheduler_->ReportResult(retry.device_index(), device_error);
+  }
+  if (device_error) {
     // The failed GPU pass rolled back transactionally, so the host pass
     // sees every message it saw.
     ++counters_.clean_fallbacks;
@@ -337,25 +372,91 @@ void GGridIndex::FoldDeviceMetrics() {
   auto set = [&](std::string_view name, double value) {
     registry_.GetGauge(name)->Set(value);
   };
-  // Device totals.
-  set("gknn_device_clock_seconds", device_->ClockSeconds());
-  set("gknn_device_kernel_launches",
-      static_cast<double>(device_->kernel_launches()));
-  set("gknn_device_sim_wall_seconds", device_->sim_wall_seconds());
-  set("gknn_device_bytes_allocated",
-      static_cast<double>(device_->bytes_allocated()));
-  set("gknn_device_peak_bytes", static_cast<double>(device_->peak_bytes()));
-  set("gknn_device_hazards", static_cast<double>(device_->hazard_count()));
-  // Transfer ledger.
-  const gpusim::TransferLedger::Totals totals = device_->ledger().totals();
-  set("gknn_transfer_h2d_bytes", static_cast<double>(totals.h2d_bytes));
-  set("gknn_transfer_d2h_bytes", static_cast<double>(totals.d2h_bytes));
-  set("gknn_transfer_h2d_count", static_cast<double>(totals.h2d_count));
-  set("gknn_transfer_d2h_count", static_cast<double>(totals.d2h_count));
-  set("gknn_transfer_h2d_seconds", totals.h2d_seconds);
-  set("gknn_transfer_d2h_seconds", totals.d2h_seconds);
-  // Per-kernel timing.
-  for (const auto& [kernel, k_totals] : device_->kernel_totals()) {
+  // Device totals and the transfer ledger. The unlabelled series is always
+  // the sum over every device of the set — at one device it is exactly
+  // that device's value, so single-device expositions are unchanged. With
+  // more than one device each gauge also appears per device under a
+  // `device="i"` label (no labels leak at N=1).
+  const uint32_t n_devices = devices_->size();
+  auto fold_device = [&](std::string_view suffix, gpusim::Device& dev) {
+    auto set_dev = [&](std::string_view name, double value) {
+      registry_.GetGauge(std::string(name) + std::string(suffix))
+          ->Set(value);
+    };
+    set_dev("gknn_device_clock_seconds", dev.ClockSeconds());
+    set_dev("gknn_device_kernel_launches",
+            static_cast<double>(dev.kernel_launches()));
+    set_dev("gknn_device_sim_wall_seconds", dev.sim_wall_seconds());
+    set_dev("gknn_device_bytes_allocated",
+            static_cast<double>(dev.bytes_allocated()));
+    set_dev("gknn_device_peak_bytes", static_cast<double>(dev.peak_bytes()));
+    set_dev("gknn_device_hazards", static_cast<double>(dev.hazard_count()));
+    const gpusim::TransferLedger::Totals totals = dev.ledger().totals();
+    set_dev("gknn_transfer_h2d_bytes", static_cast<double>(totals.h2d_bytes));
+    set_dev("gknn_transfer_d2h_bytes", static_cast<double>(totals.d2h_bytes));
+    set_dev("gknn_transfer_h2d_count", static_cast<double>(totals.h2d_count));
+    set_dev("gknn_transfer_d2h_count", static_cast<double>(totals.d2h_count));
+    set_dev("gknn_transfer_h2d_seconds", totals.h2d_seconds);
+    set_dev("gknn_transfer_d2h_seconds", totals.d2h_seconds);
+  };
+  // Unlabelled sums: accumulate with gauge adds via a scratch pass. The
+  // gauges are plain sets, so sum in host variables first.
+  {
+    double clock = 0, sim_wall = 0;
+    uint64_t launches = 0, bytes = 0, peak = 0, hazards = 0;
+    gpusim::TransferLedger::Totals sum{};
+    for (uint32_t i = 0; i < n_devices; ++i) {
+      gpusim::Device& dev = devices_->device(i);
+      clock += dev.ClockSeconds();
+      sim_wall += dev.sim_wall_seconds();
+      launches += dev.kernel_launches();
+      bytes += dev.bytes_allocated();
+      peak += dev.peak_bytes();
+      hazards += dev.hazard_count();
+      const gpusim::TransferLedger::Totals t = dev.ledger().totals();
+      sum.h2d_bytes += t.h2d_bytes;
+      sum.d2h_bytes += t.d2h_bytes;
+      sum.h2d_count += t.h2d_count;
+      sum.d2h_count += t.d2h_count;
+      sum.h2d_seconds += t.h2d_seconds;
+      sum.d2h_seconds += t.d2h_seconds;
+    }
+    set("gknn_device_clock_seconds", clock);
+    set("gknn_device_kernel_launches", static_cast<double>(launches));
+    set("gknn_device_sim_wall_seconds", sim_wall);
+    set("gknn_device_bytes_allocated", static_cast<double>(bytes));
+    set("gknn_device_peak_bytes", static_cast<double>(peak));
+    set("gknn_device_hazards", static_cast<double>(hazards));
+    set("gknn_transfer_h2d_bytes", static_cast<double>(sum.h2d_bytes));
+    set("gknn_transfer_d2h_bytes", static_cast<double>(sum.d2h_bytes));
+    set("gknn_transfer_h2d_count", static_cast<double>(sum.h2d_count));
+    set("gknn_transfer_d2h_count", static_cast<double>(sum.d2h_count));
+    set("gknn_transfer_h2d_seconds", sum.h2d_seconds);
+    set("gknn_transfer_d2h_seconds", sum.d2h_seconds);
+  }
+  if (n_devices > 1) {
+    for (uint32_t i = 0; i < n_devices; ++i) {
+      const std::string label = "{device=\"" + std::to_string(i) + "\"}";
+      fold_device(label, devices_->device(i));
+      const gpusim::DeviceSchedStats sched = scheduler_->device_stats(i);
+      set("gknn_sched_leases" + label, static_cast<double>(sched.leases));
+      set("gknn_sched_probes" + label, static_cast<double>(sched.probes));
+      set("gknn_sched_device_errors" + label,
+          static_cast<double>(sched.device_errors));
+      set("gknn_sched_unhealthy" + label, sched.unhealthy ? 1.0 : 0.0);
+    }
+  }
+  // Per-kernel timing, merged across the set (kernel names are shared).
+  std::map<std::string, gpusim::Device::KernelTotals> merged;
+  for (uint32_t i = 0; i < n_devices; ++i) {
+    for (const auto& [kernel, k_totals] : devices_->device(i).kernel_totals()) {
+      gpusim::Device::KernelTotals& m = merged[kernel];
+      m.launches += k_totals.launches;
+      m.iterations += k_totals.iterations;
+      m.modeled_seconds += k_totals.modeled_seconds;
+    }
+  }
+  for (const auto& [kernel, k_totals] : merged) {
     const std::string labels = "{kernel=\"" + kernel + "\"}";
     set("gknn_kernel_launches" + labels,
         static_cast<double>(k_totals.launches));
@@ -393,7 +494,8 @@ GGridIndex::MemoryBreakdown GGridIndex::Memory() const {
     registry += objects.capacity() * sizeof(ObjectId);
   }
   mem.support = registry;
-  mem.grid_gpu = grid_gpu_copy_.size_bytes();
+  mem.grid_gpu = 0;
+  for (const auto& copy : grid_gpu_copies_) mem.grid_gpu += copy.size_bytes();
   return mem;
 }
 

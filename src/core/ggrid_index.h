@@ -17,6 +17,8 @@
 #include "core/types.h"
 #include "gpusim/device.h"
 #include "gpusim/device_buffer.h"
+#include "gpusim/device_set.h"
+#include "gpusim/scheduler.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/result.h"
@@ -70,9 +72,20 @@ class GGridIndex {
     std::atomic<uint64_t> clean_fallbacks{0};
   };
 
+  /// Single-device form: wraps `device` in an internal singleton set. The
+  /// graph and device must outlive the index.
   static util::Result<std::unique_ptr<GGridIndex>> Build(
       const roadnet::Graph* graph, const GGridOptions& options,
       gpusim::Device* device);
+
+  /// Multi-device form: the index mirrors the grid onto every device of
+  /// the set, cleans and queries through a multi-stream scheduler that
+  /// spreads concurrent work across the devices, and migrates around a
+  /// failed fault domain. Answers are identical for every set size
+  /// (test_scheduler_differential). The set must outlive the index.
+  static util::Result<std::unique_ptr<GGridIndex>> Build(
+      const roadnet::Graph* graph, const GGridOptions& options,
+      gpusim::DeviceSet* devices);
 
   /// Ingests one location update (paper Algorithm 1): appends the message
   /// to its cell's list, writes a departure tombstone to the previous cell
@@ -145,7 +158,15 @@ class GGridIndex {
   const GraphGrid& grid() const { return *grid_; }
   const ObjectTable& object_table() const { return object_table_; }
   const GGridOptions& options() const { return options_; }
-  gpusim::Device& device() { return *device_; }
+  /// Device 0 of the set (the only device in single-device builds).
+  gpusim::Device& device() { return devices_->device(0); }
+  /// Every simulated device serving this index. Tests reach individual
+  /// fault domains through here (e.g. device_set().device(i).SetFaultSpec).
+  gpusim::DeviceSet& device_set() { return *devices_; }
+  const gpusim::DeviceSet& device_set() const { return *devices_; }
+  uint32_t num_devices() const { return devices_->size(); }
+  /// The multi-stream scheduler placing clean/query phase work.
+  gpusim::Scheduler& scheduler() { return *scheduler_; }
 
   /// Total messages currently cached across all message lists (pending +
   /// compacted).
@@ -158,25 +179,34 @@ class GGridIndex {
   const obs::MetricRegistry& metrics() const { return registry_; }
   obs::Tracer& tracer() { return tracer_; }
 
-  /// Folds the device's current totals — modeled clock, kernel launches,
-  /// per-kernel timing, transfer-ledger volume/latency, memory breakdown —
-  /// into the registry as gauges, plus this index's cumulative Counters.
-  /// Call before Snapshot/Render so the exposition reconciles with
-  /// Device/TransferLedger state. Requires exclusive access (quiesced
-  /// queries) for a mutually consistent snapshot; QueryServer calls it
-  /// under its writer lock.
+  /// Folds the device totals — modeled clock, kernel launches, per-kernel
+  /// timing, transfer-ledger volume/latency, memory breakdown — into the
+  /// registry as gauges, plus this index's cumulative Counters. Unlabelled
+  /// series are always sums over the whole set; with more than one device
+  /// each summed device gauge is additionally emitted per device under a
+  /// `device="i"` label (mirroring ShardRouter's shard labels), alongside
+  /// the scheduler's placement counters. Call before Snapshot/Render so
+  /// the exposition reconciles with Device/TransferLedger state. Requires
+  /// exclusive access (quiesced queries) for a mutually consistent
+  /// snapshot; QueryServer calls it under its writer lock.
   void FoldDeviceMetrics();
 
  private:
   GGridIndex(const roadnet::Graph* graph, const GGridOptions& options,
-             gpusim::Device* device);
+             gpusim::DeviceSet* devices);
 
   const roadnet::Graph* graph_;
   GGridOptions options_;
-  gpusim::Device* device_;
+  /// Owned only by the single-device Build form (wraps the caller's
+  /// device in an adopting singleton set).
+  std::unique_ptr<gpusim::DeviceSet> owned_set_;
+  gpusim::DeviceSet* devices_;
+  std::unique_ptr<gpusim::Scheduler> scheduler_;
 
   std::unique_ptr<GraphGrid> grid_;
-  gpusim::DeviceBuffer<uint8_t> grid_gpu_copy_;  // device-resident mirror
+  /// Device-resident grid mirror, one per device of the set (§III-A: the
+  /// grid is replicated, objects/messages are partitioned by cell).
+  std::vector<gpusim::DeviceBuffer<uint8_t>> grid_gpu_copies_;
   BucketArena arena_;
   std::vector<MessageList> lists_;
   ObjectTable object_table_;

@@ -172,15 +172,51 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::Query(
     ++counters_.cpu_queries;
     return finish(QueryCpu(location, k, t_now, st, trace, ws, control));
   }
+  // One GPU attempt: lease a device from the scheduler (or pin to the
+  // construction-time device without one), run the pipeline there, and
+  // feed the outcome back into the scheduler's health tracking. The lease
+  // spans only the attempt — a stream slot, not a query-lifetime claim.
+  uint32_t last_device = 0;
+  auto gpu_attempt =
+      [&](bool avoid_last) -> util::Result<std::vector<KnnResultEntry>> {
+    if (scheduler_ == nullptr) {
+      last_device = 0;
+      return QueryGpu(device_, 0, location, k, t_now, st, trace, ws, control);
+    }
+    gpusim::Scheduler::Lease sched_lease =
+        avoid_last ? scheduler_->AcquireAvoiding(last_device)
+                   : scheduler_->Acquire();
+    last_device = sched_lease.device_index();
+    util::Result<std::vector<KnnResultEntry>> r =
+        QueryGpu(sched_lease.device(), sched_lease.device_index(), location, k,
+                 t_now, st, trace, ws, control);
+    scheduler_->ReportResult(sched_lease.device_index(),
+                             !r.ok() && gpusim::IsDeviceError(r.status()));
+    return r;
+  };
   util::Result<std::vector<KnnResultEntry>> result =
-      QueryGpu(location, k, t_now, st, trace, ws, control);
+      gpu_attempt(/*avoid_last=*/false);
   // DeadlineExceeded is not a device error, so a budget abort propagates
   // here instead of burning the remaining (already negative) budget on a
   // CPU re-run.
   if (!result.ok() && gpusim::IsDeviceError(result.status())) {
     ++counters_.gpu_failures;
     if (trace != nullptr) ++record.fault_events;
-    if (mode == ExecMode::kAuto) {
+    if (mode == ExecMode::kAuto && scheduler_ != nullptr &&
+        scheduler_->num_devices() > 1) {
+      // Migrate once: re-run on a different device of the set before
+      // surrendering the query to the CPU path. One failed fault domain
+      // then costs a retry, not the GPU acceleration.
+      result = gpu_attempt(/*avoid_last=*/true);
+      if (result.ok()) {
+        ++counters_.migrated_queries;
+      } else if (gpusim::IsDeviceError(result.status())) {
+        ++counters_.gpu_failures;
+        if (trace != nullptr) ++record.fault_events;
+      }
+    }
+    if (!result.ok() && gpusim::IsDeviceError(result.status()) &&
+        mode == ExecMode::kAuto) {
       ++counters_.fallback_queries;
       // The re-run traces as one kFallback phase; its inner phases get a
       // null record so the fallback span alone accounts for the time.
@@ -193,18 +229,18 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::Query(
 }
 
 util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
-    EdgePoint location, uint32_t k, double t_now, KnnStats* stats,
-    obs::QueryTraceRecord* trace, QueryWorkspace& ws,
-    const QueryControl* control) {
+    gpusim::Device* device, uint32_t device_index, EdgePoint location,
+    uint32_t k, double t_now, KnnStats* stats, obs::QueryTraceRecord* trace,
+    QueryWorkspace& ws, const QueryControl* control) {
   const roadnet::Graph& graph = grid_->graph();
   const Edge& query_edge = graph.edge(location.edge);
 
   KnnStats local_stats;
   KnnStats& st = stats != nullptr ? *stats : local_stats;
   st = KnnStats{};
-  const auto ledger_before = device_->ledger().totals();
-  const double device_clock_before = device_->ClockSeconds();
-  const double sim_wall_before = device_->sim_wall_seconds();
+  const auto ledger_before = device->ledger().totals();
+  const double device_clock_before = device->ClockSeconds();
+  const double sim_wall_before = device->sim_wall_seconds();
   util::Timer cpu_timer;
 
   // ---- Step 1 (Alg. 4 lines 1-4): candidate cells + message cleaning -----
@@ -236,8 +272,9 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
     frontier_from = clean_from;
     clean_from = l_cells.size();
     obs::Span clean_span = PhaseSpan(trace, obs::Phase::kClean);
-    GKNN_ASSIGN_OR_RETURN(MessageCleaner::Outcome outcome,
-                          cleaner_->Clean(to_clean, t_now, arena_, lists_));
+    GKNN_ASSIGN_OR_RETURN(
+        MessageCleaner::Outcome outcome,
+        cleaner_->Clean(to_clean, t_now, arena_, lists_, device_index));
     clean_span.Stop();
     if (trace != nullptr) {
       trace->cells_cleaned += outcome.cells_cleaned;
@@ -287,7 +324,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
 
   GKNN_ASSIGN_OR_RETURN(auto device_dist,
                         DeviceBuffer<Distance>::Allocate(
-                            device_, region_vertices.size(), "D"));
+                            device, region_vertices.size(), "D"));
   {
     std::vector<Distance> init(region_vertices.size(), kInfiniteDistance);
     const uint32_t seed = local_of(query_edge.target);
@@ -322,7 +359,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
   }
   GKNN_ASSIGN_OR_RETURN(
       const auto sdist_stats,
-      device_->LaunchIterative(
+      device->LaunchIterative(
       "GPU_SDist", static_cast<uint32_t>(slots.size()),
       /*max_iters=*/std::max<uint32_t>(1, st.candidate_vertices),
       options_->sdist_early_exit,
@@ -388,12 +425,12 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
   if (!candidates.empty()) {
     GKNN_ASSIGN_OR_RETURN(auto device_entries,
                           DeviceBuffer<DistEntry>::Allocate(
-                              device_, candidates.size(), "entries"));
+                              device, candidates.size(), "entries"));
     // gknn-lint: allow(device-span): handed to gpusim::TopKSmallest, which
     // performs its own checked accesses.
     auto entry_span = device_entries.device_span();
     GKNN_RETURN_NOT_OK(
-        device_
+        device
             ->Launch("GPU_First_k/distances",
                      static_cast<uint32_t>(candidates.size()),
                      [&candidates, &device_entries,
@@ -410,7 +447,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
     // winners come back to the host (charged inside TopKSmallest).
     GKNN_ASSIGN_OR_RETURN(const auto selected,
                           gpusim::TopKSmallest<DistEntry>(
-                              device_, entry_span, k, DistEntry{}));
+                              device, entry_span, k, DistEntry{}));
     for (const DistEntry& e : selected) {
       if (e.distance != kInfiniteDistance) {
         candidate_topk.push_back(
@@ -441,12 +478,12 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
       return false;
     };
     GKNN_ASSIGN_OR_RETURN(
-        auto flags, DeviceBuffer<uint32_t>::Allocate(device_, n, "flags"));
+        auto flags, DeviceBuffer<uint32_t>::Allocate(device, n, "flags"));
     // gknn-lint: allow(device-span): handed to gpusim::ExclusiveScan, which
     // performs its own checked accesses.
     auto flag_span = flags.device_span();
     GKNN_RETURN_NOT_OK(
-        device_
+        device
             ->Launch("GPU_Unresolved/flag", n,
                      [&flags, &is_unresolved, &graph,
                       &region_vertices](ThreadCtx& ctx) {
@@ -457,13 +494,13 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
                      })
             .status());
     GKNN_ASSIGN_OR_RETURN(const uint32_t total,
-                          gpusim::ExclusiveScan(device_, flag_span));
+                          gpusim::ExclusiveScan(device, flag_span));
     if (total > 0) {
       GKNN_ASSIGN_OR_RETURN(auto compacted,
                             DeviceBuffer<UnresolvedEntry>::Allocate(
-                                device_, total, "unresolved"));
+                                device, total, "unresolved"));
       GKNN_RETURN_NOT_OK(
-          device_
+          device
               ->Launch("GPU_Unresolved/scatter", n,
                        [&is_unresolved, &compacted, &flags, &region_vertices,
                         &device_dist](ThreadCtx& ctx) {
@@ -566,12 +603,12 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
     final_topk.Offer(KnnResultEntry{object, distance});
   }
 
-  const auto ledger_after = device_->ledger().totals();
+  const auto ledger_after = device->ledger().totals();
   st.h2d_bytes = ledger_after.h2d_bytes - ledger_before.h2d_bytes;
   st.d2h_bytes = ledger_after.d2h_bytes - ledger_before.d2h_bytes;
   st.transfer_seconds =
       ledger_after.total_seconds() - ledger_before.total_seconds();
-  st.gpu_seconds = device_->ClockSeconds() - device_clock_before;
+  st.gpu_seconds = device->ClockSeconds() - device_clock_before;
   // Host time excludes the wall clock the simulator spent executing
   // kernels functionally — that work runs on the device in a real
   // deployment and is billed through gpu_seconds. Under concurrent
@@ -579,7 +616,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
   // device work; exact per-query attribution needs a quiesced device.
   st.cpu_seconds =
       std::max(0.0, cpu_timer.ElapsedSeconds() -
-                        (device_->sim_wall_seconds() - sim_wall_before));
+                        (device->sim_wall_seconds() - sim_wall_before));
 
   return final_topk.TakeSorted();
 }
@@ -624,12 +661,43 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRange(
     return finish(
         QueryRangeCpu(location, radius, t_now, st, trace, ws, control));
   }
+  // Same lease-per-attempt + migrate-once policy as Query above.
+  uint32_t last_device = 0;
+  auto gpu_attempt =
+      [&](bool avoid_last) -> util::Result<std::vector<KnnResultEntry>> {
+    if (scheduler_ == nullptr) {
+      last_device = 0;
+      return QueryRangeGpu(device_, 0, location, radius, t_now, st, trace, ws,
+                           control);
+    }
+    gpusim::Scheduler::Lease sched_lease =
+        avoid_last ? scheduler_->AcquireAvoiding(last_device)
+                   : scheduler_->Acquire();
+    last_device = sched_lease.device_index();
+    util::Result<std::vector<KnnResultEntry>> r =
+        QueryRangeGpu(sched_lease.device(), sched_lease.device_index(),
+                      location, radius, t_now, st, trace, ws, control);
+    scheduler_->ReportResult(sched_lease.device_index(),
+                             !r.ok() && gpusim::IsDeviceError(r.status()));
+    return r;
+  };
   util::Result<std::vector<KnnResultEntry>> result =
-      QueryRangeGpu(location, radius, t_now, st, trace, ws, control);
+      gpu_attempt(/*avoid_last=*/false);
   if (!result.ok() && gpusim::IsDeviceError(result.status())) {
     ++counters_.gpu_failures;
     if (trace != nullptr) ++record.fault_events;
-    if (mode == ExecMode::kAuto) {
+    if (mode == ExecMode::kAuto && scheduler_ != nullptr &&
+        scheduler_->num_devices() > 1) {
+      result = gpu_attempt(/*avoid_last=*/true);
+      if (result.ok()) {
+        ++counters_.migrated_queries;
+      } else if (gpusim::IsDeviceError(result.status())) {
+        ++counters_.gpu_failures;
+        if (trace != nullptr) ++record.fault_events;
+      }
+    }
+    if (!result.ok() && gpusim::IsDeviceError(result.status()) &&
+        mode == ExecMode::kAuto) {
       ++counters_.fallback_queries;
       obs::Span fallback = PhaseSpan(trace, obs::Phase::kFallback);
       result = QueryRangeCpu(location, radius, t_now, st, nullptr, ws, control);
@@ -640,7 +708,8 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRange(
 }
 
 util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeGpu(
-    EdgePoint location, Distance radius, double t_now, KnnStats* stats,
+    gpusim::Device* device, uint32_t device_index, EdgePoint location,
+    Distance radius, double t_now, KnnStats* stats,
     obs::QueryTraceRecord* trace, QueryWorkspace& ws,
     const QueryControl* control) {
   const roadnet::Graph& graph = grid_->graph();
@@ -649,8 +718,8 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeGpu(
   KnnStats local_stats;
   KnnStats& st = stats != nullptr ? *stats : local_stats;
   st = KnnStats{};
-  const double device_clock_before = device_->ClockSeconds();
-  const double sim_wall_before = device_->sim_wall_seconds();
+  const double device_clock_before = device->ClockSeconds();
+  const double sim_wall_before = device->sim_wall_seconds();
   util::Timer cpu_timer;
 
   // Clean the query's immediate cells; correctness beyond them comes from
@@ -671,8 +740,9 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeGpu(
   for (CellId nb : grid_->NeighborCells(query_cell)) add_cell(nb);
   expand_span.Stop();
   obs::Span clean_span = PhaseSpan(trace, obs::Phase::kClean);
-  GKNN_ASSIGN_OR_RETURN(MessageCleaner::Outcome outcome,
-                        cleaner_->Clean(l_cells, t_now, arena_, lists_));
+  GKNN_ASSIGN_OR_RETURN(
+      MessageCleaner::Outcome outcome,
+      cleaner_->Clean(l_cells, t_now, arena_, lists_, device_index));
   clean_span.Stop();
   if (trace != nullptr) {
     trace->cells_cleaned += outcome.cells_cleaned;
@@ -703,7 +773,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeGpu(
   };
   GKNN_ASSIGN_OR_RETURN(auto device_dist,
                         DeviceBuffer<Distance>::Allocate(
-                            device_, region_vertices.size(), "D"));
+                            device, region_vertices.size(), "D"));
   {
     std::vector<Distance> init(region_vertices.size(), kInfiniteDistance);
     const uint32_t seed = local_of(query_edge.target);
@@ -728,7 +798,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeGpu(
   // AtomicMin relaxation, same as the kNN path's GPU_SDist.
   GKNN_ASSIGN_OR_RETURN(
       const auto sdist_stats,
-      device_->LaunchIterative(
+      device->LaunchIterative(
       "GPU_SDist", static_cast<uint32_t>(slots.size()),
       std::max<uint32_t>(1, st.candidate_vertices),
       options_->sdist_early_exit,
@@ -836,10 +906,10 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeGpu(
   }
   std::sort(result.begin(), result.end());
 
-  st.gpu_seconds = device_->ClockSeconds() - device_clock_before;
+  st.gpu_seconds = device->ClockSeconds() - device_clock_before;
   st.cpu_seconds =
       std::max(0.0, cpu_timer.ElapsedSeconds() -
-                        (device_->sim_wall_seconds() - sim_wall_before));
+                        (device->sim_wall_seconds() - sim_wall_before));
   return result;
 }
 

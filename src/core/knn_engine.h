@@ -14,6 +14,7 @@
 #include "core/options.h"
 #include "core/types.h"
 #include "gpusim/device.h"
+#include "gpusim/scheduler.h"
 #include "obs/trace.h"
 #include "roadnet/dijkstra.h"
 #include "util/deadline.h"
@@ -89,6 +90,10 @@ struct EngineCounters {
   std::atomic<uint64_t> gpu_failures{0};  // GPU-path queries with device error
   std::atomic<uint64_t> fallback_queries{0};  // kAuto re-runs on the CPU path
   std::atomic<uint64_t> cpu_queries{0};  // queries requested as kCpuOnly
+  /// kAuto queries whose GPU attempt failed on one device and succeeded
+  /// after migrating to a different device of the set (multi-device only;
+  /// requires a scheduler).
+  std::atomic<uint64_t> migrated_queries{0};
 };
 
 /// The CPU-GPU collaborative kNN processor (paper §V, Algorithm 4):
@@ -135,6 +140,14 @@ class KnnEngine {
       const QueryControl* control = nullptr);
 
   const EngineCounters& counters() const { return counters_; }
+
+  /// Attaches the multi-device scheduler: each GPU-path query then leases
+  /// a device per attempt instead of pinning to the construction-time
+  /// device, and a device error under kAuto first migrates once to a
+  /// different device before falling back to the CPU path. Null (the
+  /// default) keeps every query on the construction-time device. Not
+  /// thread-safe against in-flight queries; set it during setup.
+  void set_scheduler(gpusim::Scheduler* scheduler) { scheduler_ = scheduler; }
 
   /// Attaches the observability tracer: every Query/QueryRange then emits
   /// a QueryTraceRecord with per-phase spans. Null (the default) disables
@@ -194,8 +207,11 @@ class KnnEngine {
   }
 
   /// The paper's pipeline (GPU cleaning + SDist + First_k + Unresolved +
-  /// CPU refinement). Any device error aborts the query and propagates.
+  /// CPU refinement), executed on `device` (index `device_index` of the
+  /// set, used to route cleaning to that device's staging context). Any
+  /// device error aborts the query and propagates.
   util::Result<std::vector<KnnResultEntry>> QueryGpu(
+      gpusim::Device* device, uint32_t device_index,
       roadnet::EdgePoint location, uint32_t k, double t_now, KnnStats* stats,
       obs::QueryTraceRecord* trace, QueryWorkspace& ws,
       const QueryControl* control);
@@ -207,6 +223,7 @@ class KnnEngine {
       obs::QueryTraceRecord* trace, QueryWorkspace& ws,
       const QueryControl* control);
   util::Result<std::vector<KnnResultEntry>> QueryRangeGpu(
+      gpusim::Device* device, uint32_t device_index,
       roadnet::EdgePoint location, roadnet::Distance radius, double t_now,
       KnnStats* stats, obs::QueryTraceRecord* trace, QueryWorkspace& ws,
       const QueryControl* control);
@@ -214,7 +231,11 @@ class KnnEngine {
       roadnet::EdgePoint location, roadnet::Distance radius, double t_now,
       KnnStats* stats, obs::QueryTraceRecord* trace, QueryWorkspace& ws,
       const QueryControl* control);
+  /// Construction-time device; every query runs here when no scheduler is
+  /// attached (single-device builds), and it seeds device_index 0.
   gpusim::Device* device_;
+  /// Optional multi-device placement (see set_scheduler). Not owned.
+  gpusim::Scheduler* scheduler_ = nullptr;
   const GraphGrid* grid_;
   MessageCleaner* cleaner_;
   BucketArena* arena_;

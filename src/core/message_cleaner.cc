@@ -19,8 +19,22 @@ using gpusim::ThreadCtx;
 using gpusim::WarpCtx;
 
 MessageCleaner::MessageCleaner(Device* device, const Options& options)
-    : device_(device), options_(options), mu_(Mu(options.eta)) {
+    : owned_set_(std::make_unique<gpusim::DeviceSet>(
+          std::vector<Device*>{device})),
+      devices_(owned_set_.get()),
+      options_(options),
+      mu_(Mu(options.eta)) {
   GKNN_CHECK(options_.delta_b > 0);
+  contexts_.push_back(std::make_unique<DeviceCtx>(device));
+}
+
+MessageCleaner::MessageCleaner(gpusim::DeviceSet* devices,
+                               const Options& options)
+    : devices_(devices), options_(options), mu_(Mu(options.eta)) {
+  GKNN_CHECK(options_.delta_b > 0);
+  for (uint32_t i = 0; i < devices_->size(); ++i) {
+    contexts_.push_back(std::make_unique<DeviceCtx>(devices_->device_ptr(i)));
+  }
 }
 
 void MessageCleaner::SetMetricRegistry(obs::MetricRegistry* registry) {
@@ -91,13 +105,14 @@ util::lockdep::MultiLock MessageCleaner::LockCellStripes(
   return util::lockdep::MultiLock(std::move(mutexes));
 }
 
-util::Status MessageCleaner::EnsureCapacity(DeviceBuffer<Message>* buffer,
+util::Status MessageCleaner::EnsureCapacity(Device* device,
+                                            DeviceBuffer<Message>* buffer,
                                             size_t needed,
                                             std::string_view name) {
   if (buffer->size() >= needed) return util::Status::OK();
   const size_t capacity = std::max(needed, buffer->size() * 2);
   GKNN_ASSIGN_OR_RETURN(
-      *buffer, DeviceBuffer<Message>::Allocate(device_, capacity, name));
+      *buffer, DeviceBuffer<Message>::Allocate(device, capacity, name));
   return util::Status::OK();
 }
 
@@ -177,7 +192,8 @@ MessageCleaner::Plan MessageCleaner::Preprocess(
 
 // ---- Phase 2 (GPU): upload + GPU_X_Shuffle + GPU_Collect ------------------
 util::Result<std::vector<Message>> MessageCleaner::CompactOnDevice(
-    Plan* plan) {
+    Plan* plan, DeviceCtx* ctx) {
+  Device* const device = ctx->device;
   const std::vector<std::vector<Message>>& host_buckets = plan->host_buckets;
 
   // Dense object index over every object appearing in the batch.
@@ -197,33 +213,35 @@ util::Result<std::vector<Message>> MessageCleaner::CompactOnDevice(
 
   // ---- Device memory (tables T and R, §IV-B2) ----------------------------
   GKNN_RETURN_NOT_OK(EnsureCapacity(
-      &device_messages_, static_cast<size_t>(n_buckets) * options_.delta_b,
-      "L.A"));
+      device, &ctx->device_messages,
+      static_cast<size_t>(n_buckets) * options_.delta_b, "L.A"));
   GKNN_RETURN_NOT_OK(EnsureCapacity(
-      &table_t_, static_cast<size_t>(num_objects) * n_bundles, "T"));
-  GKNN_RETURN_NOT_OK(EnsureCapacity(&table_r_, num_objects, "R"));
+      device, &ctx->table_t, static_cast<size_t>(num_objects) * n_bundles,
+      "T"));
+  GKNN_RETURN_NOT_OK(EnsureCapacity(device, &ctx->table_r, num_objects, "R"));
 
   // gknn-lint: allow(device-span): host-side staging writes into L.A
   // between the chunk's EnqueueH2D and its kernel; kernels use the
   // checked Load.
-  auto msg_span = device_messages_.device_span();
+  auto msg_span = ctx->device_messages.device_span();
   // T starts empty: a device-side memset kernel, one entry per thread.
   // Its cost is what makes small delta_b expensive — more buckets mean
   // more bundles, hence a wider T and a slower GPU_Collect (the paper's
   // Fig. 4a left branch).
   GKNN_RETURN_NOT_OK(
-      device_
+      device
           ->Launch("GPU_Memset_T",
                    static_cast<uint32_t>(static_cast<size_t>(num_objects) *
                                          n_bundles),
-                   [this](ThreadCtx& ctx) {
-                     table_t_.Store(ctx, ctx.thread_id, kNullMessage);
-                     ctx.CountOps(1);
+                   [ctx](ThreadCtx& thread) {
+                     ctx->table_t.Store(thread, thread.thread_id,
+                                        kNullMessage);
+                     thread.CountOps(1);
                    })
           .status());
 
   // ---- Pipelined upload + GPU_X_Shuffle (§IV-C, Alg. 3) ------------------
-  Stream stream(device_, options_.pipelined_transfer);
+  Stream stream(device, options_.pipelined_transfer);
   // Chunks are rounded to whole bundles so a kernel never reads buckets
   // from a chunk that has not "arrived" yet.
   const uint32_t chunk_buckets =
@@ -234,20 +252,20 @@ util::Result<std::vector<Message>> MessageCleaner::CompactOnDevice(
   // *within* a bundle (each bundle owns its T column), which lockstep
   // arbitration resolves — any cross-bundle conflict is a real bug and is
   // flagged.
-  auto bucket_message = [this](const WarpCtx& warp, uint32_t bucket,
-                               uint32_t i) -> Message {
-    return device_messages_.Load(
+  auto bucket_message = [this, ctx](const WarpCtx& warp, uint32_t bucket,
+                                    uint32_t i) -> Message {
+    return ctx->device_messages.Load(
         warp, static_cast<size_t>(bucket) * options_.delta_b + i);
   };
-  auto t_load = [this, n_bundles](const WarpCtx& warp, uint32_t obj_idx,
-                                  uint32_t bundle) -> Message {
-    return table_t_.Load(warp,
-                         static_cast<size_t>(obj_idx) * n_bundles + bundle);
+  auto t_load = [ctx, n_bundles](const WarpCtx& warp, uint32_t obj_idx,
+                                 uint32_t bundle) -> Message {
+    return ctx->table_t.Load(
+        warp, static_cast<size_t>(obj_idx) * n_bundles + bundle);
   };
-  auto t_store = [this, n_bundles](const WarpCtx& warp, uint32_t obj_idx,
-                                   uint32_t bundle, const Message& m) {
-    table_t_.Store(warp, static_cast<size_t>(obj_idx) * n_bundles + bundle,
-                   m);
+  auto t_store = [ctx, n_bundles](const WarpCtx& warp, uint32_t obj_idx,
+                                  uint32_t bundle, const Message& m) {
+    ctx->table_t.Store(warp,
+                       static_cast<size_t>(obj_idx) * n_bundles + bundle, m);
   };
 
   for (uint32_t first = 0; first < n_buckets; first += chunk_buckets) {
@@ -266,7 +284,7 @@ util::Result<std::vector<Message>> MessageCleaner::CompactOnDevice(
     const uint32_t first_bundle = first / width;
     const uint32_t chunk_bundles = (count + width - 1) / width;
     auto stats = LaunchWarps(
-        device_, "GPU_X_Shuffle", chunk_bundles, width,
+        device, "GPU_X_Shuffle", chunk_bundles, width,
         [this, &host_buckets, &object_index, &bucket_message, &t_load,
          &t_store, first_bundle, width, n_buckets](WarpCtx& warp) {
           const uint32_t bundle = first_bundle + warp.warp_id();
@@ -388,22 +406,22 @@ util::Result<std::vector<Message>> MessageCleaner::CompactOnDevice(
                                                      object_index.end());
   // gknn-lint: allow(device-span): host reads R only after Synchronize;
   // GPU_Collect itself writes through the checked Store.
-  auto r_span = table_r_.device_span();
-  auto collect_stats = device_->Launch(
+  auto r_span = ctx->table_r.device_span();
+  auto collect_stats = device->Launch(
       "GPU_Collect", num_objects,
-      [this, &objects, n_bundles](ThreadCtx& ctx) {
-        const uint32_t idx = objects[ctx.thread_id].second;
+      [ctx, &objects, n_bundles](ThreadCtx& thread) {
+        const uint32_t idx = objects[thread.thread_id].second;
         Message best = kNullMessage;
         for (uint32_t bundle = 0; bundle < n_bundles; ++bundle) {
-          const Message candidate = table_t_.Load(
-              ctx, static_cast<size_t>(idx) * n_bundles + bundle);
+          const Message candidate = ctx->table_t.Load(
+              thread, static_cast<size_t>(idx) * n_bundles + bundle);
           if (!IsNullMessage(candidate) &&
               (IsNullMessage(best) || candidate.seq > best.seq)) {
             best = candidate;
           }
         }
-        table_r_.Store(ctx, idx, best);
-        ctx.CountOps(n_bundles);
+        ctx->table_r.Store(thread, idx, best);
+        thread.CountOps(n_bundles);
       });
   GKNN_RETURN_NOT_OK(collect_stats.status());
   stream.MoveKernelToStream(*collect_stats);
@@ -462,7 +480,10 @@ void MessageCleaner::Rollback(const Plan& plan, BucketArena* arena,
 
 util::Result<MessageCleaner::Outcome> MessageCleaner::Clean(
     std::span<const CellId> cells, double t_now, BucketArena* arena,
-    std::vector<MessageList>* lists) {
+    std::vector<MessageList>* lists, uint32_t device_index) {
+  GKNN_DCHECK(device_index < contexts_.size());
+  DeviceCtx& ctx =
+      *contexts_[device_index < contexts_.size() ? device_index : 0];
   // Held through commit/rollback: a racing batch on an overlapping stripe
   // waits here, then finds the cells compacted inside its own Preprocess
   // (the double-checked skip) and does no duplicate work.
@@ -475,11 +496,12 @@ util::Result<MessageCleaner::Outcome> MessageCleaner::Clean(
     RecordOutcome(plan.outcome, /*on_device=*/true);
     return std::move(plan.outcome);
   }
-  // The staging buffers (L.A, T, R) persist across batches; batches over
-  // disjoint cells still serialize their device phase.
+  // Each device's staging buffers (L.A, T, R) persist across batches;
+  // batches placed on the same device serialize their device phase, while
+  // batches on different devices of the set overlap.
   util::Result<std::vector<Message>> table_r = [&] {
-    util::lockdep::MutexLock device_lock(device_mu_);
-    return CompactOnDevice(&plan);
+    util::lockdep::MutexLock device_lock(ctx.device_mu);
+    return CompactOnDevice(&plan, &ctx);
   }();
   if (!table_r.ok()) {
     Rollback(plan, arena, lists);

@@ -6,10 +6,13 @@
 #include <string_view>
 #include <vector>
 
+#include <memory>
+
 #include "core/message_list.h"
 #include "core/types.h"
 #include "gpusim/device.h"
 #include "gpusim/device_buffer.h"
+#include "gpusim/device_set.h"
 #include "obs/metrics.h"
 #include "util/lockdep.h"
 #include "util/result.h"
@@ -38,9 +41,11 @@ namespace gknn::core {
 /// disjoint stripes proceed in parallel while two racing on one cell
 /// serialize — the loser then finds the cell already compacted inside
 /// Preprocess (the double-checked skip) and serves it from the host
-/// without duplicating the clean. The device phase additionally
-/// serializes on an internal mutex because the staging buffers (L.A, T,
-/// R) persist across batches.
+/// without duplicating the clean. The device phase serializes on an
+/// internal per-device mutex because each device's staging buffers (L.A,
+/// T, R) persist across batches; built over a DeviceSet, batches placed
+/// on *different* devices overlap their device phases freely while the
+/// stripe locks still guarantee clean-once per cell.
 class MessageCleaner {
  public:
   struct Options {
@@ -71,7 +76,14 @@ class MessageCleaner {
     double pipeline_seconds = 0;
   };
 
+  /// Single-device form: wraps `device` in an internal singleton set.
   MessageCleaner(gpusim::Device* device, const Options& options);
+
+  /// Multi-device form: one staging context (buffers + device mutex) per
+  /// device of the set, so concurrent batches placed on distinct devices
+  /// run their device phases in parallel. The set must outlive the
+  /// cleaner.
+  MessageCleaner(gpusim::DeviceSet* devices, const Options& options);
 
   const Options& options() const { return options_; }
 
@@ -94,9 +106,14 @@ class MessageCleaner {
   /// rolls every touched list back to exactly its pre-clean state — no
   /// compaction applied, no bucket freed, no message lost — and returns
   /// the error. A retry or a CleanCpu afterwards sees every message.
+  ///
+  /// `device_index` selects which device of the set runs the device phase
+  /// (the scheduler's lease index); the result is identical whichever
+  /// device executes it.
   util::Result<Outcome> Clean(std::span<const CellId> cells, double t_now,
                               BucketArena* arena,
-                              std::vector<MessageList>* lists);
+                              std::vector<MessageList>* lists,
+                              uint32_t device_index = 0);
 
   /// Host-only cleaning: identical semantics and outcome to Clean (same
   /// survivors, same expiry, same list rewrites) computed by a sequential
@@ -133,10 +150,26 @@ class MessageCleaner {
   Plan Preprocess(std::span<const CellId> cells, double t_now,
                   BucketArena* arena, std::vector<MessageList>* lists);
 
-  /// Phase 2, GPU (§IV-C): upload + GPU_X_Shuffle + GPU_Collect. Returns
-  /// table R — the newest message per object, tombstones included — or the
-  /// first device error (partial device state is discarded by rollback).
-  util::Result<std::vector<Message>> CompactOnDevice(Plan* plan);
+  /// One device's staging state: the persistent buffers (L.A, T, R) plus
+  /// the mutex serializing that device's compaction phase. Batches placed
+  /// on different contexts never share device memory, so they overlap.
+  struct DeviceCtx {
+    explicit DeviceCtx(gpusim::Device* d) : device(d) {}
+    gpusim::Device* device;
+    /// Serializes this device's phase: the staging buffers below are
+    /// reused across batches and must not see two batches at once.
+    util::lockdep::Mutex device_mu{util::lockdep::kCleanerDeviceClass};
+    gpusim::DeviceBuffer<Message> device_messages;  // L.A, delta_b-strided
+    gpusim::DeviceBuffer<Message> table_t;          // intermediate results
+    gpusim::DeviceBuffer<Message> table_r;          // final results
+  };
+
+  /// Phase 2, GPU (§IV-C): upload + GPU_X_Shuffle + GPU_Collect on
+  /// `ctx`'s device. Returns table R — the newest message per object,
+  /// tombstones included — or the first device error (partial device
+  /// state is discarded by rollback). Caller holds ctx->device_mu.
+  util::Result<std::vector<Message>> CompactOnDevice(Plan* plan,
+                                                     DeviceCtx* ctx);
 
   /// Phase 2, host fallback: the same R computed by a sequential fold
   /// (newest seq per object), no device involved.
@@ -151,10 +184,12 @@ class MessageCleaner {
   void Rollback(const Plan& plan, BucketArena* arena,
                 std::vector<MessageList>* lists);
 
-  /// Grows a persistent device buffer to at least `needed` elements.
-  /// Buffers are reused across Clean calls: steady-state cleaning performs
-  /// no device allocation. `name` labels the buffer in hazard reports.
-  util::Status EnsureCapacity(gpusim::DeviceBuffer<Message>* buffer,
+  /// Grows a persistent device buffer on `device` to at least `needed`
+  /// elements. Buffers are reused across Clean calls: steady-state
+  /// cleaning performs no device allocation. `name` labels the buffer in
+  /// hazard reports.
+  util::Status EnsureCapacity(gpusim::Device* device,
+                              gpusim::DeviceBuffer<Message>* buffer,
                               size_t needed, std::string_view name);
 
   /// Folds one finished batch into the registry (no-op without one).
@@ -166,7 +201,9 @@ class MessageCleaner {
   /// (docs/LOCKDEP.md).
   util::lockdep::MultiLock LockCellStripes(std::span<const CellId> cells);
 
-  gpusim::Device* device_;
+  /// Owned only in the single-device form (wraps the caller's device).
+  std::unique_ptr<gpusim::DeviceSet> owned_set_;
+  gpusim::DeviceSet* devices_;
   Options options_;
   uint32_t mu_;  // mu(eta), precomputed
 
@@ -178,9 +215,8 @@ class MessageCleaner {
   mutable util::lockdep::StripedMutexes<kCleanStripes> clean_stripes_{
       util::lockdep::kCleanerStripeClass};
 
-  /// Serializes the device phase: the staging buffers below are reused
-  /// across batches and must not see two batches at once.
-  util::lockdep::Mutex device_mu_{util::lockdep::kCleanerDeviceClass};
+  /// One staging context per device of the set (index-aligned with it).
+  std::vector<std::unique_ptr<DeviceCtx>> contexts_;
 
   // Observability handles, resolved once in SetMetricRegistry. All null
   // until then.
@@ -194,10 +230,6 @@ class MessageCleaner {
   obs::Counter* clean_cpu_batches_total_ = nullptr;
   obs::Counter* rollbacks_total_ = nullptr;
   obs::Histogram* pipeline_seconds_ = nullptr;
-
-  gpusim::DeviceBuffer<Message> device_messages_;  // L.A, delta_b-strided
-  gpusim::DeviceBuffer<Message> table_t_;          // intermediate results
-  gpusim::DeviceBuffer<Message> table_r_;          // final results
 };
 
 }  // namespace gknn::core

@@ -2,8 +2,10 @@
 #define GKNN_CORE_MESSAGE_LIST_H_
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
 #include <cstdint>
-#include <deque>
 #include <limits>
 #include <vector>
 
@@ -31,9 +33,10 @@ struct Bucket {
 ///
 /// Thread-safety: Alloc/Free are internally synchronized so concurrent
 /// cleaning passes over disjoint cells (docs/CONCURRENCY.md) can allocate
-/// simultaneously. Storage is a deque, never a vector: growth must not
-/// relocate existing buckets, because another thread may be holding a
-/// `bucket(id)` reference into the pool while this thread allocates.
+/// simultaneously. Storage is a chain of geometrically growing chunks
+/// behind release-published atomic pointers: growth never relocates
+/// existing buckets, and `bucket(id)` is a wait-free index (bit math plus
+/// one acquire load) so the hot cleaning loops never touch the pool lock.
 /// Bucket *contents* are not protected here — a bucket belongs to exactly
 /// one cell's list, and the owning cell's clean stripe lock (or the
 /// server's exclusive update lock) serializes access to it. MemoryBytes
@@ -42,6 +45,15 @@ struct Bucket {
 class BucketArena {
  public:
   explicit BucketArena(uint32_t delta_b) : delta_b_(delta_b) {}
+
+  ~BucketArena() {
+    for (auto& chunk : chunks_) {
+      delete[] chunk.load(std::memory_order_relaxed);
+    }
+  }
+
+  BucketArena(const BucketArena&) = delete;
+  BucketArena& operator=(const BucketArena&) = delete;
 
   uint32_t delta_b() const { return delta_b_; }
 
@@ -57,13 +69,18 @@ class BucketArena {
         id = free_list_.back();
         free_list_.pop_back();
       } else {
-        id = static_cast<uint32_t>(buckets_.size());
-        buckets_.emplace_back();
+        id = num_buckets_;
+        const uint32_t chunk = ChunkOf(id);
+        if (chunks_[chunk].load(std::memory_order_relaxed) == nullptr) {
+          chunks_[chunk].store(new Bucket[ChunkSize(chunk)],
+                               std::memory_order_release);
+        }
+        ++num_buckets_;
       }
     }
-    // The slot is now exclusively ours: resetting it needs no lock, and
-    // deque references stay valid while other threads allocate.
-    Bucket& b = buckets_[id];
+    // The slot is now exclusively ours and chunks never move, so the
+    // reset needs no lock.
+    Bucket& b = bucket(id);
     b.messages.clear();
     b.latest_time = 0;
     b.next = kInvalidBucket;
@@ -75,12 +92,27 @@ class BucketArena {
     free_list_.push_back(id);
   }
 
-  Bucket& bucket(uint32_t id) { return buckets_[id]; }
-  const Bucket& bucket(uint32_t id) const { return buckets_[id]; }
+  /// Stable reference to a bucket, wait-free: any id obtained from Alloc
+  /// (directly or through a list head published under a stripe lock) sees
+  /// its chunk pointer via the release store that preceded the id's
+  /// existence.
+  Bucket& bucket(uint32_t id) {
+    const uint32_t adjusted = id + kFirstChunkSize;
+    const uint32_t high =
+        31 - static_cast<uint32_t>(std::countl_zero(adjusted));
+    const uint32_t chunk = high - kFirstChunkLog2;
+    GKNN_DCHECK(chunk < kNumChunks);
+    if (chunk >= kNumChunks) __builtin_unreachable();
+    return chunks_[chunk].load(
+        std::memory_order_acquire)[adjusted - (1u << high)];
+  }
+  const Bucket& bucket(uint32_t id) const {
+    return const_cast<BucketArena*>(this)->bucket(id);
+  }
 
   uint32_t num_buckets() const {
     util::lockdep::MutexLock lock(mu_);
-    return static_cast<uint32_t>(buckets_.size());
+    return num_buckets_;
   }
   uint32_t num_free() const {
     util::lockdep::MutexLock lock(mu_);
@@ -91,21 +123,37 @@ class BucketArena {
   /// quiescence (see class comment).
   uint64_t MemoryBytes() const {
     util::lockdep::MutexLock lock(mu_);
-    uint64_t bytes = buckets_.size() * sizeof(Bucket) +
+    uint64_t bytes = uint64_t{num_buckets_} * sizeof(Bucket) +
                      free_list_.size() * sizeof(uint32_t);
-    for (const Bucket& b : buckets_) {
-      bytes += b.messages.capacity() * sizeof(Message);
+    for (uint32_t id = 0; id < num_buckets_; ++id) {
+      bytes += bucket(id).messages.capacity() * sizeof(Message);
     }
     return bytes;
   }
 
  private:
+  // Chunk c holds kFirstChunkSize << c buckets, so 23 chunks cover every
+  // representable id while keeping the smallest allocation at 512.
+  static constexpr uint32_t kFirstChunkLog2 = 9;
+  static constexpr uint32_t kFirstChunkSize = 1u << kFirstChunkLog2;
+  static constexpr uint32_t kNumChunks = 32 - kFirstChunkLog2;
+
+  static uint32_t ChunkOf(uint32_t id) {
+    const uint32_t adjusted = id + kFirstChunkSize;
+    return 31 - static_cast<uint32_t>(std::countl_zero(adjusted)) -
+           kFirstChunkLog2;
+  }
+  static uint32_t ChunkSize(uint32_t chunk) {
+    return kFirstChunkSize << chunk;
+  }
+
   uint32_t delta_b_;
   /// core.arena in the lock order: taken under the clean stripe locks
   /// (bucket recycling during commit) and under the server's exclusive
   /// drain (appends); never held across another acquisition.
   mutable util::lockdep::Mutex mu_{util::lockdep::kCoreArenaClass};
-  std::deque<Bucket> buckets_;
+  uint32_t num_buckets_ = 0;
+  std::array<std::atomic<Bucket*>, kNumChunks> chunks_ = {};
   std::vector<uint32_t> free_list_;
 };
 

@@ -1,0 +1,119 @@
+#ifndef GKNN_GPUSIM_DEVICE_SET_H_
+#define GKNN_GPUSIM_DEVICE_SET_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "gpusim/device_config.h"
+#include "util/logging.h"
+
+namespace gknn::gpusim {
+
+/// A group of simulated GPUs (docs/GPU_SIMULATION.md "Multi-device").
+///
+/// Each Device in the set is a complete, independent fault domain: its own
+/// modeled clock, transfer ledger, memory budget, hazard shadow state, and
+/// FaultInjector — device i can die (SetFaultSpec(i, "kernel:after=0"))
+/// while the others keep serving. The set itself adds no synchronization:
+/// Device is internally thread-safe, and the set is an immutable container
+/// after construction, so any number of threads may use any device
+/// concurrently. Work placement across the set is the Scheduler's job
+/// (gpusim/scheduler.h).
+///
+/// Two construction modes:
+///  - owning: `DeviceSet(n, config)` builds n fresh devices from one
+///    config (each parses GKNN_FAULTS / config.faults independently, so an
+///    environment fault storm arms every device with its own schedule
+///    state);
+///  - adopting: `DeviceSet({&dev})` wraps existing devices without taking
+///    ownership — how the single-Device Build/Create entry points stay
+///    source-compatible (they wrap the caller's device in a singleton
+///    set). The adopted devices must outlive the set.
+class DeviceSet {
+ public:
+  /// Owning mode: n independent devices built from `config`.
+  explicit DeviceSet(uint32_t count, const DeviceConfig& config = {}) {
+    GKNN_CHECK(count > 0) << "a DeviceSet needs at least one device";
+    owned_.reserve(count);
+    devices_.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      owned_.push_back(std::make_unique<Device>(config));
+      devices_.push_back(owned_.back().get());
+    }
+  }
+
+  /// Adopting mode: wraps caller-owned devices (must outlive the set).
+  explicit DeviceSet(std::vector<Device*> devices)
+      : devices_(std::move(devices)) {
+    GKNN_CHECK(!devices_.empty()) << "a DeviceSet needs at least one device";
+    for (Device* d : devices_) GKNN_CHECK(d != nullptr);
+  }
+
+  DeviceSet(const DeviceSet&) = delete;
+  DeviceSet& operator=(const DeviceSet&) = delete;
+
+  uint32_t size() const { return static_cast<uint32_t>(devices_.size()); }
+
+  Device& device(uint32_t i) {
+    GKNN_DCHECK(i < devices_.size());
+    return *devices_[i];
+  }
+  const Device& device(uint32_t i) const {
+    GKNN_DCHECK(i < devices_.size());
+    return *devices_[i];
+  }
+  Device* device_ptr(uint32_t i) { return devices_[i]; }
+
+  // --- Aggregates over every device (monitoring / benchmarks) ------------
+
+  /// Sum of the per-device modeled clocks: total device-busy seconds
+  /// across the set.
+  double TotalClockSeconds() const {
+    double total = 0;
+    for (const Device* d : devices_) total += d->ClockSeconds();
+    return total;
+  }
+
+  /// The busiest device's modeled clock — the makespan of work placed on
+  /// the set since construction / per-device ResetClock. This is what the
+  /// measured multi-device throughput gate divides by
+  /// (bench_batch_queries).
+  double MaxClockSeconds() const {
+    double max_clock = 0;
+    for (const Device* d : devices_) {
+      if (d->ClockSeconds() > max_clock) max_clock = d->ClockSeconds();
+    }
+    return max_clock;
+  }
+
+  uint64_t TotalKernelLaunches() const {
+    uint64_t total = 0;
+    for (const Device* d : devices_) total += d->kernel_launches();
+    return total;
+  }
+
+  uint64_t TotalHazards() const {
+    uint64_t total = 0;
+    for (const Device* d : devices_) total += d->hazard_count();
+    return total;
+  }
+
+  uint64_t TotalFaultsInjected() const {
+    uint64_t total = 0;
+    for (const Device* d : devices_) {
+      total += d->fault_injector().total_injected();
+    }
+    return total;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Device>> owned_;  // empty in adopting mode
+  std::vector<Device*> devices_;
+};
+
+}  // namespace gknn::gpusim
+
+#endif  // GKNN_GPUSIM_DEVICE_SET_H_

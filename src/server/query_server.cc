@@ -22,6 +22,15 @@ util::Result<std::unique_ptr<QueryServer>> QueryServer::Create(
       new QueryServer(std::move(index), server_options));
 }
 
+util::Result<std::unique_ptr<QueryServer>> QueryServer::Create(
+    const roadnet::Graph* graph, const core::GGridOptions& options,
+    gpusim::DeviceSet* devices, const ServerOptions& server_options) {
+  GKNN_ASSIGN_OR_RETURN(std::unique_ptr<core::GGridIndex> index,
+                        core::GGridIndex::Build(graph, options, devices));
+  return std::unique_ptr<QueryServer>(
+      new QueryServer(std::move(index), server_options));
+}
+
 void QueryServer::Report(core::ObjectId object, roadnet::EdgePoint position,
                          double time) {
   Inbox& inbox = InboxOf(object);

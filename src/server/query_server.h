@@ -127,6 +127,14 @@ class QueryServer {
       gpusim::Device* device,
       const ServerOptions& server_options = ServerOptions{});
 
+  /// Multi-device form: the index schedules clean/query phase work across
+  /// every device of the set (see GGridIndex::Build). The set must outlive
+  /// the server.
+  static util::Result<std::unique_ptr<QueryServer>> Create(
+      const roadnet::Graph* graph, const core::GGridOptions& options,
+      gpusim::DeviceSet* devices,
+      const ServerOptions& server_options = ServerOptions{});
+
   /// Reports an object location (producer-side, thread-safe, non-blocking
   /// beyond a stripe lock).
   void Report(core::ObjectId object, roadnet::EdgePoint position,

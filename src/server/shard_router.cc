@@ -69,12 +69,14 @@ util::Result<std::unique_ptr<ShardRouter>> ShardRouter::Create(
   shard_options.default_deadline_ms = 0;
   shard_options.brownout = false;  // pressure arrives via QueryKnnRouted
 
+  const uint32_t devices_per_shard =
+      std::max<uint32_t>(1, router_options.devices_per_shard);
   for (uint32_t s = 0; s < router_options.num_shards; ++s) {
-    router->devices_.push_back(
-        std::make_unique<gpusim::Device>(router_options.device));
+    router->device_sets_.push_back(std::make_unique<gpusim::DeviceSet>(
+        devices_per_shard, router_options.device));
     GKNN_ASSIGN_OR_RETURN(
         std::unique_ptr<QueryServer> shard,
-        QueryServer::Create(graph, options, router->devices_.back().get(),
+        QueryServer::Create(graph, options, router->device_sets_.back().get(),
                             shard_options));
     router->shards_.push_back(std::move(shard));
   }

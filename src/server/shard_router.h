@@ -11,6 +11,7 @@
 
 #include "core/types.h"
 #include "gpusim/device.h"
+#include "gpusim/device_set.h"
 #include "obs/metrics.h"
 #include "roadnet/dijkstra.h"
 #include "roadnet/graph.h"
@@ -36,10 +37,15 @@ struct ShardRouterOptions {
   /// admission off and an inline pool — one admission decision and one
   /// budget govern every shard a query touches).
   ServerOptions server;
-  /// Configuration of each shard's device (fault spec defaults to
+  /// Configuration of each shard's devices (fault spec defaults to
   /// GKNN_FAULTS, so environment storms hit every shard; tests kill a
   /// single shard via device(s).SetFaultSpec).
   gpusim::DeviceConfig device;
+  /// Simulated devices per shard: each shard owns a DeviceSet of this
+  /// size and schedules its clean/query work across it (see
+  /// GGridIndex::Build's multi-device form). Composes with num_shards —
+  /// the process models num_shards * devices_per_shard GPUs in total.
+  uint32_t devices_per_shard = 1;
   /// Fan-out target: phase 1 selects shards around the query's home shard
   /// until they hold at least max(k, fanout_rho * k) objects (by the
   /// router's approximate per-shard counts). Purely a performance
@@ -136,7 +142,10 @@ class ShardRouter {
     return static_cast<uint32_t>(shards_.size());
   }
   QueryServer& shard(uint32_t s) { return *shards_[s]; }
-  gpusim::Device& device(uint32_t s) { return *devices_[s]; }
+  /// Device 0 of shard s's set (the only device at devices_per_shard=1).
+  gpusim::Device& device(uint32_t s) { return device_sets_[s]->device(0); }
+  /// Every device of shard s (size devices_per_shard).
+  gpusim::DeviceSet& device_set(uint32_t s) { return *device_sets_[s]; }
 
   /// The deterministic routing table (one shard id per grid cell).
   const std::vector<uint32_t>& cell_to_shard() const {
@@ -251,7 +260,7 @@ class ShardRouter {
 
   const roadnet::Graph* graph_;
   ShardRouterOptions options_;
-  std::vector<std::unique_ptr<gpusim::Device>> devices_;
+  std::vector<std::unique_ptr<gpusim::DeviceSet>> device_sets_;
   std::vector<std::unique_ptr<QueryServer>> shards_;
   const core::GraphGrid* grid_ = nullptr;  // shard 0's (all identical)
   std::vector<uint32_t> cell_to_shard_;

@@ -91,6 +91,7 @@ inline constinit LockClass kCleanerDeviceClass{"cleaner.device", 400};
 inline constinit LockClass kCoreArenaClass{"core.arena", 500};
 inline constinit LockClass kServerBreakerClass{"server.breaker", 900, false, true};
 inline constinit LockClass kServerAdmissionClass{"server.admission", 902, false, true};
+inline constinit LockClass kGpusimSchedulerClass{"gpusim.scheduler", 903, false, true};
 inline constinit LockClass kEngineWorkspaceClass{"engine.workspace", 905, false, true};
 inline constinit LockClass kObsRingClass{"obs.ring", 910, false, true};
 inline constinit LockClass kObsRegistryClass{"obs.registry", 920, false, true};

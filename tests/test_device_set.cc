@@ -1,0 +1,226 @@
+// DeviceSet units (docs/GPU_SIMULATION.md "Multi-device"): construction
+// modes, the aggregate accessors, and the independence of the per-device
+// fault domains. Also the FoldDeviceMetrics label protocol: unlabelled
+// device series are always the sum over the set (so a single-device
+// exposition is unchanged byte-for-byte), per-device `device="i"` labels
+// appear only when the set holds more than one device, and the
+// scheduler's placement gauges ride along with them.
+
+#include "gpusim/device_set.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/ggrid_index.h"
+#include "gpusim/device.h"
+#include "gpusim/scan.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
+#include "workload/synthetic_network.h"
+
+namespace gknn::gpusim {
+namespace {
+
+/// Advances a device's modeled clock with one real kernel (a scan over
+/// `n` values); returns the scan total.
+uint32_t RunScan(Device* device, uint32_t n) {
+  std::vector<uint32_t> values(n, 1);
+  auto total = ExclusiveScan(device, std::span<uint32_t>(values));
+  GKNN_CHECK(total.ok()) << total.status().ToString();
+  return *total;
+}
+
+TEST(DeviceSetTest, OwningModeBuildsIndependentDevices) {
+  DeviceSet set(3);
+  EXPECT_EQ(set.size(), 3u);
+  // Distinct device objects, all starting from a zeroed timeline.
+  EXPECT_NE(&set.device(0), &set.device(1));
+  EXPECT_NE(set.device_ptr(1), set.device_ptr(2));
+  EXPECT_EQ(set.TotalClockSeconds(), 0.0);
+  EXPECT_EQ(set.TotalKernelLaunches(), 0u);
+}
+
+TEST(DeviceSetTest, AdoptingModeWrapsWithoutOwnership) {
+  Device a, b;
+  {
+    DeviceSet set(std::vector<Device*>{&a, &b});
+    EXPECT_EQ(set.size(), 2u);
+    EXPECT_EQ(&set.device(0), &a);
+    EXPECT_EQ(&set.device(1), &b);
+    RunScan(&set.device(0), 64);
+  }
+  // The adopted device outlives the set, work and all.
+  EXPECT_GT(a.kernel_launches(), 0u);
+  EXPECT_EQ(b.kernel_launches(), 0u);
+}
+
+TEST(DeviceSetTest, AggregatesSumAndMaxOverTheSet) {
+  DeviceSet set(2);
+  RunScan(&set.device(0), 256);  // one launch on device 0
+  RunScan(&set.device(1), 256);  // two on device 1 -> it is the makespan
+  RunScan(&set.device(1), 256);
+
+  EXPECT_EQ(set.TotalKernelLaunches(),
+            set.device(0).kernel_launches() + set.device(1).kernel_launches());
+  const double clock0 = set.device(0).ClockSeconds();
+  const double clock1 = set.device(1).ClockSeconds();
+  EXPECT_DOUBLE_EQ(set.TotalClockSeconds(), clock0 + clock1);
+  EXPECT_DOUBLE_EQ(set.MaxClockSeconds(), clock1);
+  EXPECT_GT(clock1, clock0);
+}
+
+TEST(DeviceSetTest, FaultDomainsAreIndependent) {
+  DeviceSet set(2);
+  ASSERT_TRUE(set.device(0).SetFaultSpec("kernel:after=0").ok());
+
+  // Device 0 is dead: its kernels error and its clock freezes...
+  std::vector<uint32_t> values(32, 1);
+  auto dead = ExclusiveScan(&set.device(0), std::span<uint32_t>(values));
+  EXPECT_FALSE(dead.ok());
+  EXPECT_TRUE(IsDeviceError(dead.status())) << dead.status().ToString();
+
+  // ...while device 1 keeps serving, bit-exact.
+  EXPECT_EQ(RunScan(&set.device(1), 32), 32u);
+  EXPECT_GT(set.TotalFaultsInjected(), 0u);
+  EXPECT_EQ(set.device(1).fault_injector().total_injected(), 0u);
+
+  // Reviving device 0 costs the set nothing.
+  ASSERT_TRUE(set.device(0).SetFaultSpec("").ok());
+  EXPECT_EQ(RunScan(&set.device(0), 32), 32u);
+}
+
+// --- FoldDeviceMetrics label protocol ---------------------------------------
+
+/// The device/transfer gauges the fold emits (and, at N>1, re-emits per
+/// device under a device="i" label).
+const char* const kFoldedGauges[] = {
+    "gknn_device_clock_seconds",  "gknn_device_kernel_launches",
+    "gknn_device_sim_wall_seconds", "gknn_device_bytes_allocated",
+    "gknn_device_peak_bytes",     "gknn_device_hazards",
+    "gknn_transfer_h2d_bytes",    "gknn_transfer_d2h_bytes",
+    "gknn_transfer_h2d_count",    "gknn_transfer_d2h_count",
+    "gknn_transfer_h2d_seconds",  "gknn_transfer_d2h_seconds",
+};
+
+/// Builds an index over `num_devices` devices and pushes a small workload
+/// through it so every device-side gauge is non-trivial.
+std::unique_ptr<core::GGridIndex> BuildWorkedIndex(const roadnet::Graph* graph,
+                                                   DeviceSet* devices) {
+  auto index = std::move(core::GGridIndex::Build(graph, core::GGridOptions{},
+                                                 devices))
+                   .ValueOrDie();
+  util::Rng rng(17);
+  for (core::ObjectId o = 0; o < 24; ++o) {
+    GKNN_CHECK(index
+                   ->Ingest(o,
+                            {static_cast<roadnet::EdgeId>(
+                                 rng.NextBounded(graph->num_edges())),
+                             0},
+                            1.0)
+                   .ok());
+  }
+  for (int q = 0; q < 12; ++q) {
+    GKNN_CHECK(index
+                   ->QueryKnn({static_cast<roadnet::EdgeId>(
+                                   rng.NextBounded(graph->num_edges())),
+                               0},
+                              4, 2.0)
+                   .ok());
+  }
+  return index;
+}
+
+TEST(FoldDeviceMetricsTest, SingleDeviceExpositionHasNoDeviceLabels) {
+  if (!obs::kEnabled) {
+    GTEST_SKIP() << "observability compiled out (GKNN_OBS=0)";
+  }
+  const auto graph = std::move(workload::GenerateSyntheticRoadNetwork(
+                                   {.num_vertices = 260, .seed = 11}))
+                         .ValueOrDie();
+  DeviceSet devices(1);
+  auto index = BuildWorkedIndex(&graph, &devices);
+  index->FoldDeviceMetrics();
+  const auto snapshot = index->metrics().Snapshot();
+
+  // No label leaks: a single-device exposition looks exactly like the
+  // pre-DeviceSet one — no device="..." series, no scheduler gauges.
+  for (const auto& [name, value] : snapshot.gauges) {
+    (void)value;
+    EXPECT_EQ(name.find("device=\""), std::string::npos) << name;
+    EXPECT_EQ(name.find("gknn_sched_"), std::string::npos) << name;
+  }
+  // And the unlabelled series are the (sole) device's values.
+  EXPECT_DOUBLE_EQ(snapshot.gauges.at("gknn_device_clock_seconds"),
+                   devices.device(0).ClockSeconds());
+  EXPECT_DOUBLE_EQ(
+      snapshot.gauges.at("gknn_device_kernel_launches"),
+      static_cast<double>(devices.device(0).kernel_launches()));
+}
+
+TEST(FoldDeviceMetricsTest, PerDeviceSeriesSumToUnlabelledTotals) {
+  if (!obs::kEnabled) {
+    GTEST_SKIP() << "observability compiled out (GKNN_OBS=0)";
+  }
+  const auto graph = std::move(workload::GenerateSyntheticRoadNetwork(
+                                   {.num_vertices = 260, .seed = 13}))
+                         .ValueOrDie();
+  constexpr uint32_t kDevices = 3;
+  DeviceSet devices(kDevices);
+  auto index = BuildWorkedIndex(&graph, &devices);
+  index->FoldDeviceMetrics();
+  const auto snapshot = index->metrics().Snapshot();
+
+  for (const char* base : kFoldedGauges) {
+    auto total = snapshot.gauges.find(base);
+    ASSERT_NE(total, snapshot.gauges.end()) << base;
+    double sum = 0;
+    for (uint32_t i = 0; i < kDevices; ++i) {
+      const std::string labelled =
+          std::string(base) + "{device=\"" + std::to_string(i) + "\"}";
+      auto it = snapshot.gauges.find(labelled);
+      ASSERT_NE(it, snapshot.gauges.end()) << labelled;
+      sum += it->second;
+    }
+    // Same addends in the same order as the fold's own sum pass.
+    EXPECT_DOUBLE_EQ(total->second, sum) << base;
+  }
+
+  // The multi-device build really worked every device (the grid mirror
+  // upload alone gives each one H2D traffic).
+  for (uint32_t i = 0; i < kDevices; ++i) {
+    const std::string labelled =
+        "gknn_transfer_h2d_bytes{device=\"" + std::to_string(i) + "\"}";
+    EXPECT_GT(snapshot.gauges.at(labelled), 0.0) << labelled;
+  }
+
+  // Scheduler placement gauges ride along per device, and the lease total
+  // covers the queries that ran.
+  double leases = 0;
+  for (uint32_t i = 0; i < kDevices; ++i) {
+    const std::string label = "{device=\"" + std::to_string(i) + "\"}";
+    ASSERT_NE(snapshot.gauges.find("gknn_sched_leases" + label),
+              snapshot.gauges.end());
+    ASSERT_NE(snapshot.gauges.find("gknn_sched_unhealthy" + label),
+              snapshot.gauges.end());
+    leases += snapshot.gauges.at("gknn_sched_leases" + label);
+  }
+  EXPECT_GE(leases, 12.0);
+
+  // Labelled names stay single-block: one '{', one '}'.
+  for (const auto& [name, value] : snapshot.gauges) {
+    (void)value;
+    if (name.find("device=\"") != std::string::npos) {
+      EXPECT_EQ(std::count(name.begin(), name.end(), '{'), 1) << name;
+      EXPECT_EQ(std::count(name.begin(), name.end(), '}'), 1) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gknn::gpusim

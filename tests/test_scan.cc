@@ -1,0 +1,103 @@
+// Property/fuzz coverage for gpusim::ExclusiveScan against the standard
+// library oracle (std::exclusive_scan): random lengths (including the
+// power-of-two boundaries the Blelloch model cares about), duplicates,
+// zero-heavy inputs, and wrap-around totals. Also the transactional fault
+// contract: an injected kernel fault leaves the array untouched.
+
+#include "gpusim/scan.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "util/rng.h"
+
+namespace gknn::gpusim {
+namespace {
+
+/// Runs the device scan and checks it in-place against std::exclusive_scan
+/// plus the wrap-correct total.
+void CheckScan(Device* device, std::vector<uint32_t> values) {
+  std::vector<uint32_t> expected(values.size());
+  std::exclusive_scan(values.begin(), values.end(), expected.begin(), 0u);
+  // uint32 addition wraps in both the oracle total and the device scan.
+  uint32_t expected_total = 0;
+  for (uint32_t v : values) expected_total += v;
+
+  auto total = ExclusiveScan(device, std::span<uint32_t>(values));
+  ASSERT_TRUE(total.ok()) << total.status().ToString();
+  EXPECT_EQ(*total, expected_total);
+  EXPECT_EQ(values, expected);
+}
+
+TEST(ScanPropertyTest, HandCases) {
+  Device device;
+  CheckScan(&device, {});
+  CheckScan(&device, {7});
+  CheckScan(&device, {1, 2, 3, 4});
+  CheckScan(&device, {0, 0, 0});
+  CheckScan(&device, {5, 5, 5, 5, 5});  // duplicates
+}
+
+TEST(ScanPropertyTest, PowerOfTwoBoundaries) {
+  Device device;
+  util::Rng rng(91);
+  for (uint32_t base : {2u, 4u, 32u, 64u, 256u, 1024u}) {
+    for (uint32_t n : {base - 1, base, base + 1}) {
+      std::vector<uint32_t> values(n);
+      for (auto& v : values) v = static_cast<uint32_t>(rng.NextBounded(100));
+      CheckScan(&device, std::move(values));
+    }
+  }
+}
+
+TEST(ScanPropertyTest, RandomLengthsAndValuesMatchOracle) {
+  Device device;
+  util::Rng rng(92);
+  for (int trial = 0; trial < 40; ++trial) {
+    const uint32_t n = static_cast<uint32_t>(rng.NextBounded(600));
+    std::vector<uint32_t> values(n);
+    for (auto& v : values) {
+      // Mix of tiny duplicate-heavy values and large ones that overflow
+      // the running sum within a few hundred elements.
+      v = rng.NextBounded(4) == 0
+              ? static_cast<uint32_t>(rng.Next())
+              : static_cast<uint32_t>(rng.NextBounded(3));
+    }
+    CheckScan(&device, std::move(values));
+  }
+}
+
+TEST(ScanPropertyTest, ChargesLogarithmicSweeps) {
+  DeviceConfig config;
+  config.kernel_launch_seconds = 0;
+  Device small_device(config), large_device(config);
+  std::vector<uint32_t> small(64, 1), large(4096, 1);
+  ASSERT_TRUE(ExclusiveScan(&small_device, std::span<uint32_t>(small)).ok());
+  ASSERT_TRUE(ExclusiveScan(&large_device, std::span<uint32_t>(large)).ok());
+  // 2*log2(n) sweep phases over n/2 threads: the bigger scan costs more
+  // modeled time.
+  EXPECT_GT(large_device.ClockSeconds(), small_device.ClockSeconds());
+}
+
+TEST(ScanPropertyTest, InjectedFaultLeavesTheArrayUnmodified) {
+  Device device;
+  ASSERT_TRUE(device.SetFaultSpec("kernel:after=0").ok());
+  std::vector<uint32_t> values{3, 1, 4, 1, 5};
+  const std::vector<uint32_t> before = values;
+  auto total = ExclusiveScan(&device, std::span<uint32_t>(values));
+  ASSERT_FALSE(total.ok());
+  EXPECT_TRUE(IsDeviceError(total.status())) << total.status().ToString();
+  EXPECT_EQ(values, before) << "a failed scan must not tear the array";
+
+  // Clearing the fault makes the same array scan cleanly.
+  ASSERT_TRUE(device.SetFaultSpec("").ok());
+  CheckScan(&device, before);
+}
+
+}  // namespace
+}  // namespace gknn::gpusim

@@ -1,0 +1,502 @@
+// Scheduler-differential proof (docs/CONCURRENCY.md "Multi-device
+// scheduling"): where the multi-stream scheduler places work must be
+// *invisible* in the answers. Racing batched queries over DeviceSets of
+// 1, 2, and 4 devices must be bit-identical to a single-device serial
+// replay of the same trace and exact against the brute-force oracle —
+// placement shapes the modeled timelines, never the results.
+//
+// Also here:
+//  - the scheduler unit properties (least-outstanding placement, the
+//    AcquireAvoiding migration contract, unhealthy routing + the probe
+//    rotation) the differential suite builds on;
+//  - device chaos in the style of test_shard_chaos.cc: kill one device of
+//    the set mid-workload and queries must migrate to the surviving
+//    devices (or fall back to the CPU) with exact answers, exact
+//    error accounting, and no blast radius beyond the dead fault domain;
+//    clear the fault and the probe rotation restores the device.
+//
+// FAULT_TOLERANT: under a GKNN_FAULTS storm every device misbehaves, so
+// isolation assertions (only device 1 failed) are gated on the storm
+// being off; exactness is asserted unconditionally.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "baselines/brute_force.h"
+#include "core/ggrid_index.h"
+#include "gpusim/device_set.h"
+#include "gpusim/scheduler.h"
+#include "server/query_server.h"
+#include "util/rng.h"
+#include "workload/synthetic_network.h"
+
+namespace gknn::server {
+namespace {
+
+using core::KnnResultEntry;
+using core::ObjectId;
+using roadnet::EdgePoint;
+using roadnet::Graph;
+
+bool FaultsActive() {
+  const char* faults = std::getenv("GKNN_FAULTS");
+  return faults != nullptr && faults[0] != '\0';
+}
+
+Graph MakeGraph(uint32_t num_vertices, uint64_t seed) {
+  return std::move(workload::GenerateSyntheticRoadNetwork(
+                       {.num_vertices = num_vertices, .seed = seed}))
+      .ValueOrDie();
+}
+
+// --- Seeded trace generator -------------------------------------------------
+
+struct UpdateEvent {
+  ObjectId object;
+  EdgePoint position;
+  bool remove;
+};
+
+struct Epoch {
+  double time;
+  std::vector<UpdateEvent> updates;
+  std::vector<EdgePoint> queries;
+};
+
+std::vector<Epoch> GenerateTrace(const Graph& graph, uint32_t num_objects,
+                                 uint32_t num_epochs, uint32_t num_queries,
+                                 uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Epoch> epochs(num_epochs);
+  for (uint32_t e = 0; e < num_epochs; ++e) {
+    Epoch& epoch = epochs[e];
+    epoch.time = 1.0 + e;
+    for (ObjectId o = 0; o < num_objects; ++o) {
+      const uint32_t dice = static_cast<uint32_t>(rng.NextBounded(10));
+      if (dice == 0 && e > 0) {
+        epoch.updates.push_back({o, {}, /*remove=*/true});
+      } else if (dice < 8) {
+        const auto edge =
+            static_cast<roadnet::EdgeId>(rng.NextBounded(graph.num_edges()));
+        epoch.updates.push_back({o, {edge, 0}, /*remove=*/false});
+      }
+    }
+    for (uint32_t q = 0; q < num_queries; ++q) {
+      const auto edge =
+          static_cast<roadnet::EdgeId>(rng.NextBounded(graph.num_edges()));
+      epoch.queries.push_back({edge, 0});
+    }
+  }
+  return epochs;
+}
+
+void ApplyUpdates(QueryServer* server,
+                  std::map<ObjectId, EdgePoint>* positions,
+                  const Epoch& epoch) {
+  for (const UpdateEvent& u : epoch.updates) {
+    if (u.remove) {
+      server->Deregister(u.object, epoch.time);
+      positions->erase(u.object);
+    } else {
+      server->Report(u.object, u.position, epoch.time);
+      (*positions)[u.object] = u.position;
+    }
+  }
+}
+
+std::vector<std::vector<KnnResultEntry>> RaceQueries(QueryServer* server,
+                                                     const Epoch& epoch,
+                                                     uint32_t k,
+                                                     uint32_t num_threads) {
+  std::vector<std::vector<KnnResultEntry>> results(epoch.queries.size());
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (uint32_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load()) std::this_thread::yield();
+      for (size_t i = t; i < epoch.queries.size(); i += num_threads) {
+        auto r = server->QueryKnn(epoch.queries[i], k, epoch.time);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        results[i] = *std::move(r);
+      }
+    });
+  }
+  go.store(true);
+  for (auto& thread : threads) thread.join();
+  return results;
+}
+
+// --- The differential proof -------------------------------------------------
+
+class SchedulerDifferentialTest : public ::testing::TestWithParam<uint32_t> {};
+
+// Racing queries over an N-device set, placed by the scheduler, must be
+// bit-identical to a serial single-device replay of the same trace and
+// exact against the oracle — for every device count.
+TEST_P(SchedulerDifferentialTest, RacingQueriesMatchSerialReplayAndOracle) {
+  const uint32_t num_devices = GetParam();
+  const Graph graph = MakeGraph(350, 61);
+  constexpr uint32_t kObjects = 48;
+  constexpr uint32_t kEpochs = 4;
+  constexpr uint32_t kQueriesPerEpoch = 12;
+  constexpr uint32_t kK = 6;
+  const uint32_t query_threads = 2 * num_devices;
+  const auto trace =
+      GenerateTrace(graph, kObjects, kEpochs, kQueriesPerEpoch, /*seed=*/62);
+
+  // Concurrent run: 2 racing threads per device over the full set.
+  gpusim::DeviceSet concurrent_devices(num_devices);
+  auto concurrent = std::move(QueryServer::Create(&graph,
+                                                  core::GGridOptions{},
+                                                  &concurrent_devices))
+                        .ValueOrDie();
+  // Serial replay: the same trace, one thread, one device.
+  gpusim::DeviceSet replay_devices(1);
+  auto replay = std::move(QueryServer::Create(&graph, core::GGridOptions{},
+                                              &replay_devices))
+                    .ValueOrDie();
+  std::map<ObjectId, EdgePoint> positions;
+  std::map<ObjectId, EdgePoint> positions_twin;
+
+  for (uint32_t e = 0; e < kEpochs; ++e) {
+    const Epoch& epoch = trace[e];
+    ApplyUpdates(concurrent.get(), &positions, epoch);
+    ApplyUpdates(replay.get(), &positions_twin, epoch);
+
+    const auto concurrent_results =
+        RaceQueries(concurrent.get(), epoch, kK, query_threads);
+
+    baselines::BruteForce oracle(&graph);
+    for (const auto& [object, position] : positions) {
+      oracle.Ingest(object, position, epoch.time);
+    }
+
+    for (size_t i = 0; i < epoch.queries.size(); ++i) {
+      auto serial = replay->QueryKnn(epoch.queries[i], kK, epoch.time);
+      ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+      auto want = oracle.QueryKnn(epoch.queries[i], kK, epoch.time);
+      ASSERT_TRUE(want.ok());
+
+      const auto& got = concurrent_results[i];
+      // Bit-identical to the single-device serial replay: which device a
+      // phase ran on, stream interleaving, and cleaning order must not
+      // show through (the (distance, object) tie-break makes the exact
+      // answer unique).
+      ASSERT_EQ(got.size(), serial->size())
+          << num_devices << " devices, epoch " << e << " query " << i;
+      for (size_t r = 0; r < got.size(); ++r) {
+        EXPECT_EQ(got[r].object, (*serial)[r].object)
+            << num_devices << " devices, epoch " << e << " query " << i
+            << " rank " << r;
+        EXPECT_EQ(got[r].distance, (*serial)[r].distance)
+            << num_devices << " devices, epoch " << e << " query " << i
+            << " rank " << r;
+      }
+      // And exact against the oracle.
+      ASSERT_EQ(got.size(), want->size())
+          << num_devices << " devices, epoch " << e << " query " << i;
+      for (size_t r = 0; r < want->size(); ++r) {
+        EXPECT_EQ(got[r].distance, (*want)[r].distance)
+            << num_devices << " devices, epoch " << e << " query " << i
+            << " rank " << r;
+      }
+    }
+  }
+
+  // The scheduler really spread the trace: every device of the set took
+  // leases (placement balance is the bench gate's job; here we only prove
+  // the work was genuinely multi-device while the answers stayed serial).
+  gpusim::Scheduler& scheduler = concurrent->index().scheduler();
+  for (uint32_t i = 0; i < num_devices; ++i) {
+    EXPECT_GT(scheduler.device_stats(i).leases, 0u) << "device " << i;
+    EXPECT_EQ(scheduler.device_stats(i).outstanding, 0u) << "device " << i;
+  }
+  if (!FaultsActive()) {
+    for (uint32_t i = 0; i < num_devices; ++i) {
+      EXPECT_GT(concurrent_devices.device(i).kernel_launches(), 0u)
+          << "device " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DeviceCounts, SchedulerDifferentialTest,
+                         ::testing::Values(1u, 2u, 4u),
+                         [](const ::testing::TestParamInfo<uint32_t>& info) {
+                           return "devices" + std::to_string(info.param);
+                         });
+
+// --- Scheduler unit properties ---------------------------------------------
+
+TEST(SchedulerTest, LeastOutstandingPlacementSpreadsLeases) {
+  gpusim::DeviceSet devices(3);
+  gpusim::Scheduler scheduler(&devices);
+  // Three held leases land on three distinct devices: outstanding counts
+  // dominate the clock tie-break.
+  std::vector<gpusim::Scheduler::Lease> held;
+  std::set<uint32_t> placed;
+  for (int i = 0; i < 3; ++i) {
+    held.push_back(scheduler.Acquire());
+    placed.insert(held.back().device_index());
+  }
+  EXPECT_EQ(placed.size(), 3u);
+  EXPECT_EQ(scheduler.total_outstanding(), 3u);
+  held.clear();
+  EXPECT_EQ(scheduler.total_outstanding(), 0u);
+  for (uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(scheduler.device_stats(i).leases, 1u) << "device " << i;
+  }
+}
+
+TEST(SchedulerTest, AcquireAvoidingExcludesTheFailedDevice) {
+  gpusim::DeviceSet devices(2);
+  gpusim::Scheduler scheduler(&devices);
+  for (int i = 0; i < 16; ++i) {
+    const auto lease = scheduler.AcquireAvoiding(0);
+    EXPECT_EQ(lease.device_index(), 1u) << "iteration " << i;
+  }
+  // With a single device there is nowhere to migrate: degenerates to
+  // Acquire instead of deadlocking or asserting.
+  gpusim::DeviceSet lone(1);
+  gpusim::Scheduler lone_scheduler(&lone);
+  EXPECT_EQ(lone_scheduler.AcquireAvoiding(0).device_index(), 0u);
+}
+
+TEST(SchedulerTest, UnhealthyDeviceIsRoutedAroundAndProbedBack) {
+  gpusim::DeviceSet devices(2);
+  gpusim::SchedulerOptions options;
+  options.failure_threshold = 2;
+  options.probe_interval = 4;
+  gpusim::Scheduler scheduler(&devices, options);
+
+  // Two consecutive errors on device 0 take it out of rotation.
+  scheduler.ReportResult(0, /*device_error=*/true);
+  EXPECT_FALSE(scheduler.device_stats(0).unhealthy);
+  scheduler.ReportResult(0, /*device_error=*/true);
+  EXPECT_TRUE(scheduler.device_stats(0).unhealthy);
+  EXPECT_EQ(scheduler.device_stats(0).device_errors, 2u);
+
+  // Normal rounds now land on device 1; every probe_interval-th acquire
+  // probes device 0 instead.
+  uint32_t probes = 0;
+  for (int i = 0; i < 12; ++i) {
+    const auto lease = scheduler.Acquire();
+    if (lease.device_index() == 0) ++probes;
+  }
+  EXPECT_EQ(probes, scheduler.device_stats(0).probes);
+  EXPECT_GT(probes, 0u);
+  EXPECT_LT(probes, 12u);
+
+  // One probe success restores the device; a fresh error streak starts
+  // from zero.
+  scheduler.ReportResult(0, /*device_error=*/false);
+  EXPECT_FALSE(scheduler.device_stats(0).unhealthy);
+  scheduler.ReportResult(0, /*device_error=*/true);
+  EXPECT_FALSE(scheduler.device_stats(0).unhealthy);
+}
+
+TEST(SchedulerTest, EveryDeviceUnhealthyStillGrantsLeases) {
+  gpusim::DeviceSet devices(2);
+  gpusim::SchedulerOptions options;
+  options.failure_threshold = 1;
+  gpusim::Scheduler scheduler(&devices, options);
+  scheduler.ReportResult(0, true);
+  scheduler.ReportResult(1, true);
+  // The scheduler is not the last line of defense — the caller's CPU
+  // fallback is — so a fully-down set still yields a (doomed) lease.
+  const auto lease = scheduler.Acquire();
+  EXPECT_LT(lease.device_index(), 2u);
+}
+
+// --- Device chaos: engine-level migration ----------------------------------
+
+// Kill one device of a 4-device index and queries placed there must
+// migrate to a surviving device (counted in migrated_queries), the other
+// fault domains must keep their GPU path untouched, and the error books
+// must balance: every failed attempt the engine saw is an error the
+// scheduler recorded against the dead device.
+TEST(DeviceChaosTest, DeadDeviceMigratesQueriesOthersStayOnGpu) {
+  const Graph graph = MakeGraph(300, 71);
+  gpusim::DeviceSet devices(4);
+  auto index = std::move(core::GGridIndex::Build(&graph, core::GGridOptions{},
+                                                 &devices))
+                   .ValueOrDie();
+
+  baselines::BruteForce oracle(&graph);
+  util::Rng rng(71);
+  for (ObjectId o = 0; o < 40; ++o) {
+    const EdgePoint position{
+        static_cast<roadnet::EdgeId>(rng.NextBounded(graph.num_edges())), 0};
+    ASSERT_TRUE(index->Ingest(o, position, 1.0).ok());
+    oracle.Ingest(o, position, 1.0);
+  }
+  // Warm the set: a few healthy queries so every device has a timeline.
+  for (int q = 0; q < 8; ++q) {
+    const EdgePoint location{
+        static_cast<roadnet::EdgeId>(rng.NextBounded(graph.num_edges())), 0};
+    ASSERT_TRUE(index->QueryKnn(location, 5, 1.0).ok());
+  }
+
+  const uint64_t failures_before = index->engine_counters().gpu_failures;
+  const uint64_t fallbacks_before = index->engine_counters().fallback_queries;
+  std::vector<uint64_t> errors_before(4);
+  for (uint32_t i = 0; i < 4; ++i) {
+    errors_before[i] = index->scheduler().device_stats(i).device_errors;
+  }
+
+  // Kill device 1's fault domain: every kernel launch it attempts from
+  // now on errors immediately. The other three devices are untouched.
+  ASSERT_TRUE(index->device_set().device(1).SetFaultSpec("kernel:after=0").ok());
+
+  for (int q = 0; q < 30; ++q) {
+    const EdgePoint location{
+        static_cast<roadnet::EdgeId>(rng.NextBounded(graph.num_edges())), 0};
+    auto got = index->QueryKnn(location, 8, 2.0);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    auto want = oracle.QueryKnn(location, 8, 2.0);
+    ASSERT_TRUE(want.ok());
+    ASSERT_EQ(got->size(), want->size()) << "query " << q;
+    for (size_t r = 0; r < want->size(); ++r) {
+      EXPECT_EQ((*got)[r].distance, (*want)[r].distance)
+          << "query " << q << " rank " << r;
+    }
+  }
+
+  if (!FaultsActive()) {
+    // Work migrated off the dead device instead of falling to the CPU:
+    // the kAuto path re-leases AcquireAvoiding(1) and succeeds elsewhere.
+    EXPECT_GT(index->engine_counters().migrated_queries, 0u);
+    EXPECT_EQ(index->engine_counters().fallback_queries, fallbacks_before);
+
+    // Blast radius: errors landed on device 1 only...
+    for (uint32_t i : {0u, 2u, 3u}) {
+      EXPECT_EQ(index->scheduler().device_stats(i).device_errors,
+                errors_before[i])
+          << "device " << i;
+    }
+    const uint64_t dead_errors =
+        index->scheduler().device_stats(1).device_errors - errors_before[1];
+    EXPECT_GT(dead_errors, 0u);
+    EXPECT_TRUE(index->scheduler().device_stats(1).unhealthy);
+    // ...and the books balance exactly: every failed GPU attempt the
+    // engine counted is an error the scheduler pinned on device 1.
+    EXPECT_EQ(index->engine_counters().gpu_failures - failures_before,
+              dead_errors);
+  }
+
+  // Revive the fault domain: the probe rotation folds it back in without
+  // an explicit call — still exact.
+  ASSERT_TRUE(index->device_set().device(1).SetFaultSpec("").ok());
+  const uint64_t leases_at_revive = index->scheduler().device_stats(1).leases;
+  for (int q = 0; q < 25; ++q) {
+    const EdgePoint location{
+        static_cast<roadnet::EdgeId>(rng.NextBounded(graph.num_edges())), 0};
+    auto got = index->QueryKnn(location, 8, 3.0);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    auto want = oracle.QueryKnn(location, 8, 3.0);
+    ASSERT_TRUE(want.ok());
+    ASSERT_EQ(got->size(), want->size());
+  }
+  if (!FaultsActive()) {
+    EXPECT_FALSE(index->scheduler().device_stats(1).unhealthy)
+        << "probe rotation failed to restore the revived device";
+    EXPECT_GT(index->scheduler().device_stats(1).leases, leases_at_revive);
+  }
+}
+
+// --- Device chaos: server-level, mid-batch ---------------------------------
+
+// Kill a device while racing threads are mid-batch: the server's
+// retry/breaker machinery plus the scheduler's health routing must keep
+// every answer exact, and the dead fault domain must not poison the
+// others' GPU path.
+TEST(DeviceChaosTest, MidBatchDeviceDeathKeepsAnswersExact) {
+  const Graph graph = MakeGraph(280, 79);
+  gpusim::DeviceSet devices(2);
+  ServerOptions options;
+  options.gpu_attempts = 3;
+  options.backoff_base_ms = 0;
+  auto server = std::move(QueryServer::Create(&graph, core::GGridOptions{},
+                                              &devices, options))
+                    .ValueOrDie();
+  baselines::BruteForce oracle(&graph);
+  util::Rng rng(79);
+  for (ObjectId o = 0; o < 32; ++o) {
+    const EdgePoint position{
+        static_cast<roadnet::EdgeId>(rng.NextBounded(graph.num_edges())), 0};
+    server->Report(o, position, 1.0);
+    oracle.Ingest(o, position, 1.0);
+  }
+  ASSERT_TRUE(server->QueryKnn({0, 0}, 4, 1.0).ok());
+
+  // Pre-draw each thread's query points so the racing threads share no rng.
+  constexpr uint32_t kThreads = 4;
+  constexpr uint32_t kPerThread = 30;
+  std::vector<std::vector<EdgePoint>> points(kThreads);
+  for (auto& thread_points : points) {
+    for (uint32_t q = 0; q < kPerThread; ++q) {
+      thread_points.push_back(
+          {static_cast<roadnet::EdgeId>(rng.NextBounded(graph.num_edges())),
+           0});
+    }
+  }
+
+  // Threads only record their answers; the oracle comparison happens
+  // after the join (the oracle is not part of the race).
+  std::vector<std::vector<std::vector<KnnResultEntry>>> results(
+      kThreads, std::vector<std::vector<KnnResultEntry>>(kPerThread));
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (uint32_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load()) std::this_thread::yield();
+      for (uint32_t q = 0; q < kPerThread; ++q) {
+        auto got = server->QueryKnn(points[t][q], 6, 2.0);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        results[t][q] = *std::move(got);
+      }
+    });
+  }
+  go.store(true);
+  // The chaos thread: kill device 0 mid-batch, let the batch lean on
+  // device 1, then revive it so probes fold it back in — twice.
+  for (int flip = 0; flip < 4; ++flip) {
+    ASSERT_TRUE(devices.device(0)
+                    .SetFaultSpec(flip % 2 == 0 ? "kernel:after=0" : "")
+                    .ok());
+    std::this_thread::yield();
+  }
+  for (auto& thread : threads) thread.join();
+
+  // Every raced answer is exact, whichever device (or the CPU fallback)
+  // served it and whatever the fault spec was at that instant.
+  for (uint32_t t = 0; t < kThreads; ++t) {
+    for (uint32_t q = 0; q < kPerThread; ++q) {
+      auto want = oracle.QueryKnn(points[t][q], 6, 2.0);
+      ASSERT_TRUE(want.ok());
+      const auto& got = results[t][q];
+      ASSERT_EQ(got.size(), want->size()) << "thread " << t << " query " << q;
+      for (size_t r = 0; r < want->size(); ++r) {
+        EXPECT_EQ(got[r].distance, (*want)[r].distance)
+            << "thread " << t << " query " << q << " rank " << r;
+      }
+    }
+  }
+
+  // Leave both devices healthy; the set settles with no live leases.
+  ASSERT_TRUE(devices.device(0).SetFaultSpec("").ok());
+  EXPECT_EQ(server->index().scheduler().total_outstanding(), 0u);
+  if (!FaultsActive()) {
+    // Device 1's fault domain never failed anything.
+    EXPECT_EQ(server->index().scheduler().device_stats(1).device_errors, 0u);
+    EXPECT_FALSE(server->index().scheduler().device_stats(1).unhealthy);
+  }
+}
+
+}  // namespace
+}  // namespace gknn::server

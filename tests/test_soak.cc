@@ -17,6 +17,7 @@
 
 #include "core/ggrid_index.h"
 #include "gpusim/device.h"
+#include "gpusim/device_set.h"
 #include "roadnet/dijkstra.h"
 #include "util/rng.h"
 #include "workload/synthetic_network.h"
@@ -33,6 +34,10 @@ struct SoakParams {
   uint64_t seed;
   const char* faults;  // "" inherits the environment schedule (CI matrix)
   const char* label;
+  // Devices in the index's DeviceSet; >1 routes every GPU phase through
+  // the multi-stream scheduler (each device arms its own fault schedule,
+  // so a storm variant becomes a per-device fault storm).
+  uint32_t devices = 1;
 };
 
 class SoakTest : public ::testing::TestWithParam<SoakParams> {};
@@ -48,10 +53,10 @@ TEST_P(SoakTest, MixedWorkloadStaysCorrect) {
   if (GetParam().faults[0] != '\0') {
     device_config.faults = GetParam().faults;
   }
-  gpusim::Device device(device_config);
+  gpusim::DeviceSet devices(GetParam().devices, device_config);
   GGridOptions options;
   options.t_delta = 3.0;  // tight expiry to exercise bucket dropping
-  auto index = GGridIndex::Build(&graph, options, &device);
+  auto index = GGridIndex::Build(&graph, options, &devices);
   ASSERT_TRUE(index.ok());
 
   // Shadow model: the true position of every live object.
@@ -131,13 +136,17 @@ TEST_P(SoakTest, MixedWorkloadStaysCorrect) {
   ASSERT_TRUE((*index)->TrimCaches(now).ok());
   EXPECT_LE((*index)->cached_messages(), shadow.size());
   if (GetParam().faults[0] != '\0') {
-    // The schedule really fired (deterministic: single thread, seeded
-    // injector), and the index absorbed it via its fallbacks.
-    EXPECT_GT(device.fault_injector().total_injected(), 0u);
+    // The schedule really fired somewhere in the set (deterministic:
+    // single thread, seeded injectors), and the index absorbed it via its
+    // fallbacks — migration to a sibling device, or the CPU path.
+    EXPECT_GT(devices.TotalFaultsInjected(), 0u);
     EXPECT_GT((*index)->engine_counters().fallback_queries +
+                  (*index)->engine_counters().migrated_queries +
                   (*index)->counters().clean_fallbacks,
               0u);
   }
+  // The scheduler quiesced with the workload.
+  EXPECT_EQ((*index)->scheduler().total_outstanding(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -148,7 +157,18 @@ INSTANTIATE_TEST_SUITE_P(
                       SoakParams{1, "alloc:p=0.1;seed=7", "seed1_allocfaults"},
                       SoakParams{2, "any:every=9;seed=7", "seed2_anyfaults"},
                       SoakParams{3, "transfer:p=0.05;seed=7",
-                                 "seed3_transferfaults"}),
+                                 "seed3_transferfaults"},
+                      // Multi-device sweep: the same workload over 2- and
+                      // 4-device sets, clean and under per-device fault
+                      // storms (every device of the set arms the spec).
+                      SoakParams{6, "", "seed6_2dev", 2},
+                      SoakParams{7, "", "seed7_4dev", 4},
+                      SoakParams{6, "kernel:p=0.08;seed=7",
+                                 "seed6_2dev_kernelstorm", 2},
+                      SoakParams{7, "any:every=11;seed=9",
+                                 "seed7_4dev_anystorm", 4},
+                      SoakParams{8, "transfer:p=0.05;seed=5",
+                                 "seed8_4dev_transferstorm", 4}),
     [](const ::testing::TestParamInfo<SoakParams>& info) {
       return info.param.label;
     });

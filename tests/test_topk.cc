@@ -98,6 +98,35 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.k);
     });
 
+TEST(TopKTest, FuzzRandomLengthsTiesAndOversizedK) {
+  // Randomized sweep against the oracle: lengths drawn at random, values
+  // from a tiny range (so ties and long duplicate runs dominate the
+  // bitonic networks), and k frequently larger than n.
+  Device device;
+  util::Rng rng(20240801);
+  for (int trial = 0; trial < 60; ++trial) {
+    const uint32_t n = 1 + static_cast<uint32_t>(rng.NextBounded(300));
+    const uint32_t k = 1 + static_cast<uint32_t>(rng.NextBounded(2 * n));
+    std::vector<uint64_t> values(n);
+    for (auto& v : values) {
+      // Every eighth trial uses a wide value range; the rest squeeze the
+      // values into [0, 8) to force ties at the selection boundary.
+      v = trial % 8 == 0 ? rng.Next() : rng.NextBounded(8);
+    }
+    ASSERT_EQ(RunTopK(&device, values, k), Reference(values, k))
+        << "n=" << n << " k=" << k << " trial=" << trial;
+  }
+}
+
+TEST(TopKTest, AllValuesEqualReturnsKCopies) {
+  Device device;
+  const std::vector<uint64_t> values(97, 42);
+  EXPECT_EQ(RunTopK(&device, values, 10), Reference(values, 10));
+  // k > n with total ties: exactly n copies come back, never a sentinel.
+  const auto result = RunTopK(&device, values, 200);
+  EXPECT_EQ(result, std::vector<uint64_t>(97, 42));
+}
+
 TEST(TopKTest, WideBlocksPayCrossWarpPenalty) {
   // k > 32 forces bundles wider than the warp: modeled time per element
   // must exceed the narrow-block case.

@@ -21,6 +21,12 @@
 //                                  device/index/inbox (docs/SHARDING.md);
 //                                  1 (default) keeps the single-engine
 //                                  QueryServer path
+//   --devices=N                    simulated GPUs per engine: a
+//                                  gpusim::DeviceSet of N independent
+//                                  fault domains behind the multi-stream
+//                                  scheduler (docs/GPU_SIMULATION.md
+//                                  "Multi-device"); composes with
+//                                  --shards=S for S x N devices total
 //   --seed=N                       workload seed
 //   --faults=SPEC                  fault-injection spec (same grammar as
 //                                  GKNN_FAULTS; see docs/ROBUSTNESS.md),
@@ -57,6 +63,7 @@
 
 #include "core/ggrid_index.h"
 #include "gpusim/device.h"
+#include "gpusim/device_set.h"
 #include "roadnet/dimacs.h"
 #include "server/query_server.h"
 #include "server/shard_router.h"
@@ -110,13 +117,21 @@ bool DumpMetrics(const std::string& text, const std::string& json,
   return true;
 }
 
-void PrintStats(gknn::server::QueryServer& server,
-                gknn::gpusim::Device& device) {
+void PrintStats(gknn::server::QueryServer& server) {
   const auto& counters = server.index().counters();
   const auto& engine = server.index().engine_counters();
   const auto server_stats = server.stats();
   const auto mem = server.index().Memory();
-  const auto& faults = device.fault_injector();
+  gknn::gpusim::DeviceSet& devices = server.index().device_set();
+  unsigned long long h2d_bytes = 0, d2h_bytes = 0;
+  unsigned long long fault_checks = 0, fault_injected = 0;
+  for (uint32_t i = 0; i < devices.size(); ++i) {
+    const auto totals = devices.device(i).ledger().totals();
+    h2d_bytes += totals.h2d_bytes;
+    d2h_bytes += totals.d2h_bytes;
+    fault_checks += devices.device(i).fault_injector().total_checks();
+    fault_injected += devices.device(i).fault_injector().total_injected();
+  }
   std::printf(
       "updates=%llu tombstones=%llu queries=%llu cached_messages=%llu "
       "pending=%llu\n"
@@ -136,10 +151,8 @@ void PrintStats(gknn::server::QueryServer& server,
       static_cast<unsigned long long>(mem.cpu_total()),
       static_cast<unsigned long long>(mem.grid_gpu),
       static_cast<unsigned long long>(mem.total()),
-      static_cast<unsigned long long>(device.kernel_launches()),
-      device.ClockSeconds() * 1e3,
-      static_cast<unsigned long long>(device.ledger().totals().h2d_bytes),
-      static_cast<unsigned long long>(device.ledger().totals().d2h_bytes),
+      static_cast<unsigned long long>(devices.TotalKernelLaunches()),
+      devices.TotalClockSeconds() * 1e3, h2d_bytes, d2h_bytes,
       server_stats.degraded ? 1 : 0,
       static_cast<unsigned long long>(server_stats.gpu_failures +
                                       engine.gpu_failures),
@@ -156,9 +169,23 @@ void PrintStats(gknn::server::QueryServer& server,
       static_cast<unsigned long long>(server_stats.expired_queries),
       static_cast<unsigned long long>(server_stats.brownout_queries),
       server.inflight_queries(), server.admission_queue_depth(),
-      faults.spec().c_str(),
-      static_cast<unsigned long long>(faults.total_checks()),
-      static_cast<unsigned long long>(faults.total_injected()));
+      devices.device(0).fault_injector().spec().c_str(), fault_checks,
+      fault_injected);
+  // With more than one device, one placement line per fault domain.
+  if (devices.size() > 1) {
+    for (uint32_t i = 0; i < devices.size(); ++i) {
+      const auto sched = server.index().scheduler().device_stats(i);
+      std::printf(
+          "  device %u: kernels=%llu modeled_gpu=%.3f ms leases=%llu "
+          "errors=%llu unhealthy=%d\n",
+          i,
+          static_cast<unsigned long long>(devices.device(i).kernel_launches()),
+          devices.device(i).ClockSeconds() * 1e3,
+          static_cast<unsigned long long>(sched.leases),
+          static_cast<unsigned long long>(sched.device_errors),
+          sched.unhealthy ? 1 : 0);
+    }
+  }
 }
 
 /// Router-mode stats block: the router's logical-query counters, the
@@ -221,6 +248,7 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   uint32_t synthetic = 0;
   uint32_t num_shards = 1;
+  uint32_t num_devices = 1;
   uint32_t query_threads = 0;
   double deadline_ms = 0;
   uint32_t max_inflight = 0;
@@ -237,6 +265,12 @@ int main(int argc, char** argv) {
       num_shards = static_cast<uint32_t>(std::stoul(arg.substr(9)));
       if (num_shards == 0) {
         std::fprintf(stderr, "--shards must be >= 1\n");
+        return 1;
+      }
+    } else if (arg.rfind("--devices=", 0) == 0) {
+      num_devices = static_cast<uint32_t>(std::stoul(arg.substr(10)));
+      if (num_devices == 0) {
+        std::fprintf(stderr, "--devices must be >= 1\n");
         return 1;
       }
     } else if (arg.rfind("--seed=", 0) == 0) {
@@ -291,7 +325,6 @@ int main(int argc, char** argv) {
     }
     device_config.faults = fault_spec;
   }
-  gpusim::Device device(device_config);
   server::ServerOptions server_options;
   server_options.query_threads = query_threads;
   server_options.default_deadline_ms = deadline_ms;
@@ -299,10 +332,12 @@ int main(int argc, char** argv) {
   server_options.max_queued = max_queued;
   server_options.brownout = brownout;
   std::unique_ptr<server::ShardRouter> router;
+  std::unique_ptr<gpusim::DeviceSet> devices;  // single-server mode only
   std::unique_ptr<server::QueryServer> single;
   if (num_shards > 1) {
     server::ShardRouterOptions router_options;
     router_options.num_shards = num_shards;
+    router_options.devices_per_shard = num_devices;
     router_options.server = server_options;
     router_options.device = device_config;
     auto built = server::ShardRouter::Create(&*graph, core::GGridOptions{},
@@ -314,17 +349,19 @@ int main(int argc, char** argv) {
     }
     router = std::move(built).ValueOrDie();
     std::printf(
-        "ShardRouter ready: %u shards over %u cells (psi=%u). Type 'help' "
-        "for commands.\n",
-        router->num_shards(), router->shard(0).index().grid().num_cells(),
+        "ShardRouter ready: %u shards x %u devices over %u cells (psi=%u). "
+        "Type 'help' for commands.\n",
+        router->num_shards(), num_devices,
+        router->shard(0).index().grid().num_cells(),
         router->shard(0).index().grid().psi());
     if (router->device(0).fault_injector().armed()) {
       std::printf("fault injection armed on every shard: %s\n",
                   router->device(0).fault_injector().spec().c_str());
     }
   } else {
+    devices = std::make_unique<gpusim::DeviceSet>(num_devices, device_config);
     auto built = server::QueryServer::Create(&*graph, core::GGridOptions{},
-                                             &device, server_options);
+                                             devices.get(), server_options);
     if (!built.ok()) {
       std::fprintf(stderr, "failed to build index: %s\n",
                    built.status().ToString().c_str());
@@ -332,11 +369,13 @@ int main(int argc, char** argv) {
     }
     single = std::move(built).ValueOrDie();
     std::printf(
-        "G-Grid ready: %u cells (psi=%u). Type 'help' for commands.\n",
-        single->index().grid().num_cells(), single->index().grid().psi());
-    if (device.fault_injector().armed()) {
+        "G-Grid ready: %u cells (psi=%u), %u device(s). Type 'help' for "
+        "commands.\n",
+        single->index().grid().num_cells(), single->index().grid().psi(),
+        num_devices);
+    if (devices->device(0).fault_injector().armed()) {
       std::printf("fault injection armed: %s\n",
-                  device.fault_injector().spec().c_str());
+                  devices->device(0).fault_injector().spec().c_str());
     }
   }
 
@@ -368,7 +407,7 @@ int main(int argc, char** argv) {
     if (router != nullptr) {
       PrintRouterStats(*router);
     } else {
-      PrintStats(*single, device);
+      PrintStats(*single);
     }
   };
   const auto dump_metrics = [&](const std::string& path) {
