@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Assert gknn_check output is identical at --jobs=1 and --jobs=N.
+
+The parallel front end lexes and extracts per-TU events concurrently but
+must merge findings in file order, so the report (and the SARIF log) has
+to be byte-identical regardless of the worker count. This is the ctest
+behind that promise: run the sweep twice, diff stderr report + SARIF.
+Exit 0 iff both match.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run(tool, root, jobs, sarif):
+    proc = subprocess.run(
+        [tool, "--root=" + root, "--jobs=%d" % jobs, "--sarif=" + sarif],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+    with open(sarif, "r", encoding="utf-8") as fh:
+        return proc.stderr.decode("utf-8", "replace"), fh.read()
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.stderr.write(
+            "usage: analyzer_jobs_determinism.py GKNN_CHECK ROOT\n")
+        return 2
+    tool, root = sys.argv[1], sys.argv[2]
+    jobs = max(2, os.cpu_count() or 2)
+    with tempfile.TemporaryDirectory(prefix="gknn_jobs_") as tmp:
+        rep1, sarif1 = run(tool, root, 1, os.path.join(tmp, "j1.sarif"))
+        repn, sarifn = run(tool, root, jobs, os.path.join(tmp, "jn.sarif"))
+    if rep1 != repn:
+        sys.stderr.write("report differs between --jobs=1 and --jobs=%d\n"
+                         "--- jobs=1 ---\n%s--- jobs=%d ---\n%s"
+                         % (jobs, rep1, jobs, repn))
+        return 1
+    if sarif1 != sarifn:
+        sys.stderr.write(
+            "SARIF differs between --jobs=1 and --jobs=%d\n" % jobs)
+        return 1
+    print("gknn_check deterministic across --jobs=1 and --jobs=%d" % jobs)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

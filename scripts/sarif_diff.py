@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Diff two gknn_check SARIF logs and fail on NEW findings.
+
+The committed baseline (tools/analyzer/baseline.sarif) records the
+accepted findings of the repo sweep. CI and the `gknn_check_repo` ctest
+re-run the analyzer, diff against the baseline, and fail iff a finding
+appears that the baseline does not contain — fixed findings never fail
+the gate (they just mean the baseline can be tightened).
+
+Two invocation modes:
+
+  sarif_diff.py BASELINE.sarif CURRENT.sarif
+      Diff two existing logs.
+
+  sarif_diff.py --baseline BASELINE.sarif --tool PATH/gknn_check \
+                [--root DIR] [--out CURRENT.sarif]
+      Run the analyzer (its exit code is ignored; findings are expected),
+      write its SARIF next to a temp dir (or --out), then diff.
+
+Findings are keyed by (ruleId, file, message) with multiplicity — line
+numbers are deliberately excluded so unrelated edits that shift a
+baselined finding do not trip the gate. Exit codes: 0 = no new findings,
+1 = new findings (each is printed), 2 = usage/IO error.
+"""
+
+import argparse
+import collections
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def load_findings(path):
+    """Returns a Counter of (ruleId, file, message) and a sample map."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        sys.stderr.write("sarif_diff: cannot read %s: %s\n" % (path, exc))
+        sys.exit(2)
+    counts = collections.Counter()
+    samples = {}
+    for run in doc.get("runs", []):
+        for res in run.get("results", []):
+            uri = ""
+            line = 0
+            locs = res.get("locations", [])
+            if locs:
+                phys = locs[0].get("physicalLocation", {})
+                uri = phys.get("artifactLocation", {}).get("uri", "")
+                line = phys.get("region", {}).get("startLine", 0)
+            key = (
+                res.get("ruleId", ""),
+                uri,
+                res.get("message", {}).get("text", ""),
+            )
+            counts[key] += 1
+            samples.setdefault(key, line)
+    return counts, samples
+
+
+def run_tool(tool, root, out_path):
+    cmd = [tool, "--sarif=" + out_path]
+    if root:
+        cmd.append("--root=" + root)
+    try:
+        # A non-zero exit just means the sweep has findings; the diff
+        # below decides whether any of them are new.
+        proc = subprocess.run(
+            cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+    except OSError as exc:
+        sys.stderr.write("sarif_diff: cannot run %s: %s\n" % (tool, exc))
+        sys.exit(2)
+    sys.stderr.write(proc.stdout.decode("utf-8", "replace"))
+    if not os.path.exists(out_path):
+        sys.stderr.write("sarif_diff: %s produced no SARIF output\n" % tool)
+        sys.exit(2)
+
+
+def main():
+    ap = argparse.ArgumentParser(add_help=True)
+    ap.add_argument("logs", nargs="*", help="BASELINE.sarif CURRENT.sarif")
+    ap.add_argument("--baseline", help="baseline SARIF log")
+    ap.add_argument("--tool", help="gknn_check binary to run for CURRENT")
+    ap.add_argument("--root", help="--root to pass to the tool")
+    ap.add_argument("--out", help="where to write the tool's SARIF log")
+    args = ap.parse_args()
+
+    tmpdir = None
+    if args.tool:
+        baseline = args.baseline
+        if not baseline or args.logs:
+            ap.error("--tool mode takes --baseline and no positional logs")
+        current = args.out
+        if not current:
+            tmpdir = tempfile.TemporaryDirectory(prefix="gknn_sarif_")
+            current = os.path.join(tmpdir.name, "current.sarif")
+        run_tool(args.tool, args.root, current)
+    else:
+        if len(args.logs) != 2:
+            ap.error("need BASELINE.sarif CURRENT.sarif (or --tool mode)")
+        baseline, current = args.logs
+
+    base_counts, _ = load_findings(baseline)
+    cur_counts, cur_lines = load_findings(current)
+
+    new = cur_counts - base_counts
+    fixed = base_counts - cur_counts
+
+    for key in sorted(fixed):
+        rule, uri, _ = key
+        print("fixed (baseline can be tightened): [%s] %s x%d"
+              % (rule, uri, fixed[key]))
+
+    if not new:
+        print("sarif_diff: no new findings (%d current, %d baselined)"
+              % (sum(cur_counts.values()), sum(base_counts.values())))
+        return 0
+
+    print("sarif_diff: %d NEW finding(s) vs %s:"
+          % (sum(new.values()), baseline))
+    for key in sorted(new):
+        rule, uri, message = key
+        print("  %s:%d: [%s] %s%s"
+              % (uri, cur_lines.get(key, 0), rule, message,
+                 " x%d" % new[key] if new[key] > 1 else ""))
+    print("Fix the findings, suppress them with a "
+          "'// gknn-check: allow(<rule>): reason' comment, or (for an "
+          "accepted debt) regenerate tools/analyzer/baseline.sarif.")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -274,7 +274,8 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
     obs::Span clean_span = PhaseSpan(trace, obs::Phase::kClean);
     GKNN_ASSIGN_OR_RETURN(
         MessageCleaner::Outcome outcome,
-        cleaner_->Clean(to_clean, t_now, arena_, lists_, device_index));
+        cleaner_->Clean(to_clean, t_now, arena_, lists_, device_index,
+                        control != nullptr ? &control->deadline : nullptr));
     clean_span.Stop();
     if (trace != nullptr) {
       trace->cells_cleaned += outcome.cells_cleaned;
@@ -539,6 +540,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
     // and settles vertices in one deterministic priority order — so a
     // concurrent run and its single-threaded replay find the same objects.
     roadnet::BoundedDijkstra& search = ws.search;
+    search.set_deadline(control != nullptr ? &control->deadline : nullptr);
     search.BeginSearch();
     for (const auto& [v, dv] : unresolved) search.SeedMore(v, dv);
     // The search bound starts at l and tightens as refinement discovers
@@ -576,6 +578,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryGpu(
         });
   }
   refine_span.Stop();
+  GKNN_RETURN_NOT_OK(CheckBudget(control, "refine"));
 
   // ---- Final merge ---------------------------------------------------------
   // Candidates beyond the top k cannot enter the answer (their distance is
@@ -742,7 +745,8 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeGpu(
   obs::Span clean_span = PhaseSpan(trace, obs::Phase::kClean);
   GKNN_ASSIGN_OR_RETURN(
       MessageCleaner::Outcome outcome,
-      cleaner_->Clean(l_cells, t_now, arena_, lists_, device_index));
+      cleaner_->Clean(l_cells, t_now, arena_, lists_, device_index,
+                      control != nullptr ? &control->deadline : nullptr));
   clean_span.Stop();
   if (trace != nullptr) {
     trace->cells_cleaned += outcome.cells_cleaned;
@@ -875,6 +879,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeGpu(
   obs::Span refine_span = PhaseSpan(trace, obs::Phase::kRefine);
   if (!unresolved.empty()) {
     roadnet::BoundedDijkstra& search = ws.search;
+    search.set_deadline(control != nullptr ? &control->deadline : nullptr);
     search.BeginSearch();
     for (const auto& [v, dv] : unresolved) search.SeedMore(v, dv);
     search.SearchPruned(radius, [&](VertexId x, Distance dx) {
@@ -898,6 +903,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeGpu(
     });
   }
   refine_span.Stop();
+  GKNN_RETURN_NOT_OK(CheckBudget(control, "refine"));
 
   std::vector<KnnResultEntry> result;
   result.reserve(best.size());
@@ -985,6 +991,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryCpu(
   // unbounded (the whole network is in scope when fewer than k objects are
   // known) and shrinks as objects are discovered.
   roadnet::BoundedDijkstra& search = ws.search;
+  search.set_deadline(control != nullptr ? &control->deadline : nullptr);
   search.BeginSearch();
   search.SeedMore(query_edge.target, query_edge.weight - location.offset);
   search.SearchPrunedDynamic(
@@ -1002,6 +1009,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryCpu(
         return true;
       });
   refine_span.Stop();
+  GKNN_RETURN_NOT_OK(CheckBudget(control, "refine"));
   st.refined_objects = static_cast<uint32_t>(best.size());
 
   util::BoundedTopK<KnnResultEntry> final_topk(k);
@@ -1065,6 +1073,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeCpu(
     }
   }
   roadnet::BoundedDijkstra& search = ws.search;
+  search.set_deadline(control != nullptr ? &control->deadline : nullptr);
   search.BeginSearch();
   search.SeedMore(query_edge.target, query_edge.weight - location.offset);
   search.SearchPruned(radius, [&](VertexId x, Distance dx) {
@@ -1080,6 +1089,7 @@ util::Result<std::vector<KnnResultEntry>> KnnEngine::QueryRangeCpu(
     return true;
   });
   refine_span.Stop();
+  GKNN_RETURN_NOT_OK(CheckBudget(control, "refine"));
   st.refined_objects = static_cast<uint32_t>(best.size());
 
   std::vector<KnnResultEntry> result;

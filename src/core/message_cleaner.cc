@@ -192,7 +192,7 @@ MessageCleaner::Plan MessageCleaner::Preprocess(
 
 // ---- Phase 2 (GPU): upload + GPU_X_Shuffle + GPU_Collect ------------------
 util::Result<std::vector<Message>> MessageCleaner::CompactOnDevice(
-    Plan* plan, DeviceCtx* ctx) {
+    Plan* plan, DeviceCtx* ctx, const util::Deadline* deadline) {
   Device* const device = ctx->device;
   const std::vector<std::vector<Message>>& host_buckets = plan->host_buckets;
 
@@ -269,6 +269,13 @@ util::Result<std::vector<Message>> MessageCleaner::CompactOnDevice(
   };
 
   for (uint32_t first = 0; first < n_buckets; first += chunk_buckets) {
+    // Per-chunk deadline checkpoint: each chunk is a bounded unit of
+    // device work, so polling here bounds the whole compaction by the
+    // query budget; the caller's rollback restores the lists exactly.
+    if (deadline != nullptr && deadline->Expired()) {
+      return util::Status::DeadlineExceeded(
+          "clean: query budget exhausted between compaction chunks");
+    }
     const uint32_t count = std::min(chunk_buckets, n_buckets - first);
     // Upload this chunk of buckets. Slots beyond each bucket's fill are
     // never read (the kernel carries the per-bucket counts), so no padding
@@ -480,7 +487,8 @@ void MessageCleaner::Rollback(const Plan& plan, BucketArena* arena,
 
 util::Result<MessageCleaner::Outcome> MessageCleaner::Clean(
     std::span<const CellId> cells, double t_now, BucketArena* arena,
-    std::vector<MessageList>* lists, uint32_t device_index) {
+    std::vector<MessageList>* lists, uint32_t device_index,
+    const util::Deadline* deadline) {
   GKNN_DCHECK(device_index < contexts_.size());
   DeviceCtx& ctx =
       *contexts_[device_index < contexts_.size() ? device_index : 0];
@@ -501,7 +509,7 @@ util::Result<MessageCleaner::Outcome> MessageCleaner::Clean(
   // batches on different devices of the set overlap.
   util::Result<std::vector<Message>> table_r = [&] {
     util::lockdep::MutexLock device_lock(ctx.device_mu);
-    return CompactOnDevice(&plan, &ctx);
+    return CompactOnDevice(&plan, &ctx, deadline);
   }();
   if (!table_r.ok()) {
     Rollback(plan, arena, lists);

@@ -14,6 +14,7 @@
 #include "gpusim/device_buffer.h"
 #include "gpusim/device_set.h"
 #include "obs/metrics.h"
+#include "util/deadline.h"
 #include "util/lockdep.h"
 #include "util/result.h"
 
@@ -110,10 +111,15 @@ class MessageCleaner {
   /// `device_index` selects which device of the set runs the device phase
   /// (the scheduler's lease index); the result is identical whichever
   /// device executes it.
+  ///
+  /// `deadline`, when non-null, is polled between pipelined device chunks;
+  /// on expiry the batch rolls back (same transactional guarantee as a
+  /// device error) and DeadlineExceeded is returned.
   util::Result<Outcome> Clean(std::span<const CellId> cells, double t_now,
                               BucketArena* arena,
                               std::vector<MessageList>* lists,
-                              uint32_t device_index = 0);
+                              uint32_t device_index = 0,
+                              const util::Deadline* deadline = nullptr);
 
   /// Host-only cleaning: identical semantics and outcome to Clean (same
   /// survivors, same expiry, same list rewrites) computed by a sequential
@@ -168,8 +174,8 @@ class MessageCleaner {
   /// `ctx`'s device. Returns table R — the newest message per object,
   /// tombstones included — or the first device error (partial device
   /// state is discarded by rollback). Caller holds ctx->device_mu.
-  util::Result<std::vector<Message>> CompactOnDevice(Plan* plan,
-                                                     DeviceCtx* ctx);
+  util::Result<std::vector<Message>> CompactOnDevice(
+      Plan* plan, DeviceCtx* ctx, const util::Deadline* deadline);
 
   /// Phase 2, host fallback: the same R computed by a sequential fold
   /// (newest seq per object), no device involved.

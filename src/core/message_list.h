@@ -245,6 +245,10 @@ class MessageList {
       head_ = tail_ = kInvalidBucket;
     } else {
       uint32_t prev = head_;
+      // gknn-check: allow(deadline-checkpoint): bounded walk of this
+      // cell's own bucket chain under its stripe lock — the chain length
+      // is capped by the cell's message count, and the rollback must
+      // complete to keep the list consistent.
       while (arena->bucket(prev).next != lock_bucket) {
         prev = arena->bucket(prev).next;
       }

@@ -235,7 +235,7 @@ class Device {
   /// name.
   void BeginKernel(std::string_view label) {
     CurrentKernelLabel() = std::string(label);
-    LaunchHazardBase() = hazard_count_.load(std::memory_order_relaxed);
+    LaunchHazardBase() = hazard_count_.load(std::memory_order_acquire);
   }
 
   /// Hazards recorded since the matching BeginKernel on this thread. When
@@ -243,7 +243,7 @@ class Device {
   /// counter is device-global).
   uint32_t KernelHazards() const {
     return static_cast<uint32_t>(
-        hazard_count_.load(std::memory_order_relaxed) - LaunchHazardBase());
+        hazard_count_.load(std::memory_order_acquire) - LaunchHazardBase());
   }
 
   /// Called by DeviceBuffer's checked accessors: records the access in the
@@ -273,7 +273,7 @@ class Device {
 
   /// Total hazards detected since construction / ClearHazards.
   uint64_t hazard_count() const {
-    return hazard_count_.load(std::memory_order_relaxed);
+    return hazard_count_.load(std::memory_order_acquire);
   }
 
   /// The recorded hazards (capped at config().max_hazard_records). Only
@@ -283,7 +283,9 @@ class Device {
   void ClearHazards() {
     util::lockdep::MutexLock lock(stats_mu_);
     hazards_.clear();
-    hazard_count_.store(0, std::memory_order_relaxed);
+    // Release pairs with the acquire in hazard_count(): a reader that
+    // observes the reset count also observes the cleared records.
+    hazard_count_.store(0, std::memory_order_release);
     LaunchHazardBase() = 0;
   }
 

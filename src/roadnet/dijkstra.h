@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "roadnet/graph.h"
+#include "util/deadline.h"
 #include "util/min_heap.h"
 
 namespace gknn::roadnet {
@@ -89,13 +90,29 @@ class BoundedDijkstra {
     SearchPrunedDynamic([radius] { return radius; }, visit);
   }
 
+  /// Attaches a query deadline: the search polls it every 64 settled
+  /// vertices and stops early (setting cancelled()) once it expires. Null
+  /// (the default) disables polling. The pointer must outlive the search.
+  void set_deadline(const util::Deadline* deadline) { deadline_ = deadline; }
+
+  /// True when the previous Search/Run stopped because the attached
+  /// deadline expired rather than because the frontier was exhausted.
+  bool cancelled() const { return cancelled_; }
+
   /// As SearchPruned with a radius re-evaluated at every step. The radius
   /// must be non-increasing over the search (a shrinking kNN bound); the
   /// search stops as soon as the next settled distance exceeds it.
   void SearchPrunedDynamic(
       const std::function<Distance()>& radius,
       const std::function<bool(VertexId, Distance)>& visit) {
+    cancelled_ = false;
+    uint32_t settled = 0;
     while (!heap_.empty()) {
+      if (deadline_ != nullptr && (++settled & 63u) == 0 &&
+          deadline_->Expired()) {
+        cancelled_ = true;
+        break;
+      }
       auto [v, d] = heap_.Pop();
       if (d > radius()) break;
       if (!visit(v, d)) continue;
@@ -130,6 +147,8 @@ class BoundedDijkstra {
   std::vector<uint64_t> epoch_of_;
   uint64_t epoch_ = 0;
   util::IndexedMinHeap<Distance> heap_;
+  const util::Deadline* deadline_ = nullptr;
+  bool cancelled_ = false;
 };
 
 }  // namespace gknn::roadnet

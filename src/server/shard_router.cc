@@ -236,6 +236,9 @@ std::vector<uint32_t> ShardRouter::SelectShards(uint32_t home,
   in[home] = 1;
   uint64_t covered = shard_objects_[home].load(std::memory_order_relaxed);
   std::vector<uint32_t> frontier{home};
+  // gknn-check: allow(deadline-checkpoint): BFS over the shard topology
+  // visits each of the (few, fixed) shards at most once via `in`; it
+  // terminates in at most num_shards() iterations with no device work.
   while (covered < target && !frontier.empty()) {
     std::vector<uint32_t> next;
     for (uint32_t s : frontier) {
@@ -359,11 +362,17 @@ ShardRouter::QueryKnnInternal(roadnet::EdgePoint location, uint32_t k,
     } else {
       std::vector<uint8_t> reachable(num_shards(), 0);
       std::unique_ptr<roadnet::BoundedDijkstra> dijkstra = AcquireDijkstra();
+      dijkstra->set_deadline(&deadline);
       dijkstra->RunFromPoint(
           location, bound, [&](roadnet::VertexId v, roadnet::Distance) {
             reachable[cell_to_shard_[grid_->CellOfVertex(v)]] = 1;
           });
+      const bool expired = dijkstra->cancelled();
       ReleaseDijkstra(std::move(dijkstra));
+      if (expired) {
+        return util::Status::DeadlineExceeded(
+            "route: query budget exhausted during border refinement");
+      }
       for (uint32_t s = 0; s < num_shards(); ++s) {
         if (!queried[s] && reachable[s]) extra.push_back(s);
       }
@@ -454,6 +463,9 @@ std::unique_ptr<roadnet::BoundedDijkstra> ShardRouter::AcquireDijkstra() {
 
 void ShardRouter::ReleaseDijkstra(
     std::unique_ptr<roadnet::BoundedDijkstra> dijkstra) {
+  // The deadline pointer belongs to the query that borrowed the searcher;
+  // it must not survive into the pool.
+  dijkstra->set_deadline(nullptr);
   util::lockdep::MutexLock lock(dijkstra_mu_);
   dijkstra_pool_.push_back(std::move(dijkstra));
 }

@@ -1,0 +1,67 @@
+// Synthetic atomic-publication violations — analyzed (never compiled) by
+// the `gknn_check_atomic_bad` ctest, which pins the exact finding count.
+//
+// The shape mirrors the BucketArena chunk-directory race: a pointer
+// published under a mutex and read wait-free outside it. Re-introducing
+// that bug (a relaxed publication store) must be flagged.
+
+#include <atomic>
+
+namespace gknn {
+
+struct Bucket {
+  int payload;
+};
+
+struct AtomicPubBad {
+  util::lockdep::Mutex mu_{util::lockdep::kCoreArenaClass};
+  std::atomic<Bucket*> chunk_;
+  std::atomic<uint32_t> value_;
+  std::atomic<uint64_t> seq_;
+  std::atomic<uint32_t> payload_a_;
+  std::atomic<uint32_t> payload_b_;
+
+  // Finding 1: the PR-9 BucketArena race — a relaxed store publishes the
+  // chunk pointer; readers outside mu_ can see the pointer before the
+  // Bucket contents.
+  void PublishRelaxed(Bucket* b) {
+    util::lockdep::MutexLock lock(mu_);
+    chunk_.store(b, std::memory_order_relaxed);
+  }
+
+  // Finding 2: the matching reader-side bug — a relaxed load outside the
+  // owning lock.
+  Bucket* ReadRelaxed() { return chunk_.load(std::memory_order_relaxed); }
+
+  // Finding 3 (warning): a plain assignment to a published atomic relies
+  // on the implicit order; publication should be spelled release.
+  void PublishImplicit(uint32_t v) {
+    util::lockdep::MutexLock lock(mu_);
+    value_ = v;
+  }
+
+  uint32_t ReadValue() { return value_.load(std::memory_order_acquire); }
+
+  // Finding 4: a seqlock write bracket whose seq updates are relaxed —
+  // the bracket exists but orders nothing.
+  void SeqWriteWeak(uint32_t v) {
+    util::lockdep::MutexLock lock(mu_);
+    seq_.fetch_add(1, std::memory_order_relaxed);
+    payload_a_.store(v, std::memory_order_relaxed);
+    seq_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Finding 5: the matching weak read bracket (relaxed seq loads).
+  uint32_t SeqReadWeak() {
+    uint32_t out = 0;
+    for (;;) {
+      const uint64_t before = seq_.load(std::memory_order_relaxed);
+      out = payload_a_.load(std::memory_order_relaxed);
+      const uint64_t after = seq_.load(std::memory_order_relaxed);
+      if (before == after) break;
+    }
+    return out;
+  }
+};
+
+}  // namespace gknn

@@ -1,0 +1,59 @@
+// Correct atomic publication protocols — the `gknn_check_atomic_good`
+// ctest asserts zero atomic-publication findings here. Each shape is the
+// fixed counterpart of a violation in atomic_pub_bad.cc.
+
+#include <atomic>
+
+namespace gknn {
+
+struct Bucket {
+  int payload;
+};
+
+struct AtomicPubGood {
+  util::lockdep::Mutex mu_{util::lockdep::kCoreArenaClass};
+  std::atomic<Bucket*> chunk_;
+  std::atomic<uint64_t> seq_;
+  std::atomic<uint32_t> payload_a_;
+  std::atomic<uint64_t> counter_;
+  std::atomic<bool> flag_;
+
+  // Release publication under the owning lock, acquire load outside —
+  // the BucketArena pattern as shipped.
+  void Publish(Bucket* b) {
+    util::lockdep::MutexLock lock(mu_);
+    chunk_.store(b, std::memory_order_release);
+  }
+  Bucket* Read() { return chunk_.load(std::memory_order_acquire); }
+
+  // Correct seqlock: release fetch_add bracket around the relaxed writes,
+  // acquire loads bracketing the relaxed reads.
+  void SeqWrite(uint32_t v) {
+    util::lockdep::MutexLock lock(mu_);
+    seq_.fetch_add(1, std::memory_order_release);
+    payload_a_.store(v, std::memory_order_relaxed);
+    seq_.fetch_add(1, std::memory_order_release);
+  }
+  uint32_t SeqRead() {
+    uint32_t out = 0;
+    for (;;) {
+      const uint64_t before = seq_.load(std::memory_order_acquire);
+      out = payload_a_.load(std::memory_order_relaxed);
+      const uint64_t after = seq_.load(std::memory_order_acquire);
+      if (before == after) break;
+    }
+    return out;
+  }
+
+  // Lock-free statistics counter: no store anywhere, so there is no
+  // publication protocol to enforce — relaxed everywhere is idiomatic.
+  void Bump() { counter_.fetch_add(1, std::memory_order_relaxed); }
+  uint64_t Count() { return counter_.load(std::memory_order_relaxed); }
+
+  // A flag stored without any lock has no inferable owning lock either;
+  // ordering is the caller's protocol, not this pass's.
+  void Raise() { flag_.store(true, std::memory_order_relaxed); }
+  bool Raised() { return flag_.load(std::memory_order_relaxed); }
+};
+
+}  // namespace gknn

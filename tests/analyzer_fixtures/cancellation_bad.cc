@@ -1,0 +1,61 @@
+// Query-path loops with no deadline checkpoint — the
+// `gknn_check_deadline_bad` ctest pins the exact finding count. The class
+// is named QueryServer so its QueryKnn/QueryRange methods are recognized
+// as query entry points, and every loop below is reachable from one.
+
+namespace gknn {
+
+struct Query {
+  bool flag;
+};
+
+class QueryServer {
+ public:
+  // Finding 1: an unbounded condition-driven loop directly on the entry
+  // point, never polling the budget.
+  util::Status QueryKnn(const Query& q) {
+    while (!Done()) {
+      Step();
+    }
+    Helper();
+    Ship();
+    return util::Status::OK();
+  }
+
+  // Finding 2: a loop where only one branch polls — the else path cycles
+  // head -> Step -> head without ever reaching the checkpoint block.
+  util::Status QueryRange(const Query& q) {
+    while (!Done()) {
+      if (q.flag) {
+        GKNN_RETURN_NOT_OK(CheckBudget("range"));
+      }
+      Step();
+    }
+    return util::Status::OK();
+  }
+
+ private:
+  // Finding 3: the same bug one call away — reachability is transitive.
+  void Helper() {
+    while (!Done()) {
+      Step();
+    }
+  }
+
+  // Finding 4: a counted loop is normally exempt, but not when each
+  // iteration performs device work.
+  void Ship() {
+    for (uint32_t i = 0; i < chunks_; ++i) {
+      stream_->EnqueueH2D(i);
+    }
+  }
+
+  bool Done();
+  void Step();
+  util::Status CheckBudget(const char* phase);
+
+  uint32_t chunks_ = 0;
+  gpusim::Stream* stream_ = nullptr;
+};
+
+}  // namespace gknn

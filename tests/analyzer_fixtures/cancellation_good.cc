@@ -1,0 +1,84 @@
+// Query-path loops with full deadline checkpoint coverage — the
+// `gknn_check_deadline_good` ctest asserts zero deadline-checkpoint
+// findings. Each shape is the covered counterpart of a loop in
+// cancellation_bad.cc.
+
+namespace gknn {
+
+struct Query {
+  bool flag;
+};
+
+class QueryServer {
+ public:
+  // The poll sits on every cyclic path: head -> poll -> Step -> head.
+  util::Status QueryKnn(const Query& q) {
+    while (!Done()) {
+      if (deadline_.Expired()) {
+        break;
+      }
+      Step();
+    }
+    Helper();
+    Ship();
+    Walk();
+    return util::Status::OK();
+  }
+
+  // An infinite loop is fine when the checkpoint is unavoidable.
+  util::Status QueryRange(const Query& q) {
+    for (;;) {
+      GKNN_RETURN_NOT_OK(CheckBudget("range"));
+      if (Done()) {
+        break;
+      }
+      Step();
+    }
+    return util::Status::OK();
+  }
+
+ private:
+  // The poll arrives through a callee: Checked()'s op summary includes
+  // the deadline poll, so the call site is a checkpoint block.
+  void Helper() {
+    while (!Done()) {
+      Checked();
+    }
+  }
+
+  // Device work per chunk, budget polled per chunk.
+  void Ship() {
+    for (uint32_t i = 0; i < chunks_; ++i) {
+      if (deadline_.Expired()) {
+        return;
+      }
+      stream_->EnqueueH2D(i);
+    }
+  }
+
+  // A counted loop with no device work is bounded by construction and
+  // needs no checkpoint.
+  void Walk() {
+    for (uint32_t i = 0; i < chunks_; ++i) {
+      Accumulate(i);
+    }
+  }
+
+  void Checked() {
+    if (deadline_.Expired()) {
+      return;
+    }
+    Step();
+  }
+
+  bool Done();
+  void Step();
+  void Accumulate(uint32_t i);
+  util::Status CheckBudget(const char* phase);
+
+  util::Deadline deadline_;
+  uint32_t chunks_ = 0;
+  gpusim::Stream* stream_ = nullptr;
+};
+
+}  // namespace gknn

@@ -1,0 +1,51 @@
+// Stream-lease lifetime violations — the `gknn_check_lease_bad` ctest
+// pins the exact finding count. FakeScheduler mirrors gpusim::Scheduler's
+// Acquire() so both the typed-declaration and the auto-bind paths record
+// a lease variable.
+
+#include <utility>
+
+namespace gknn {
+
+class FakeScheduler {
+ public:
+  gpusim::Scheduler::Lease Acquire();
+};
+
+struct LeaseBad {
+  FakeScheduler* sched_ = nullptr;
+  gpusim::DeviceSet* devices_ = nullptr;
+  gpusim::Scheduler::Lease stash_;
+
+  // Finding 1: the lease escapes by return — it would outlive the
+  // scheduler epoch that issued it.
+  gpusim::Scheduler::Lease Grab() {
+    gpusim::Scheduler::Lease lease = sched_->Acquire();
+    return lease;
+  }
+
+  // Finding 2: the lease escapes into a member, same problem by storage.
+  void Stash() {
+    auto lease = sched_->Acquire();
+    stash_ = std::move(lease);
+  }
+
+  // Finding 3: use after move — the moved-from lease no longer owns a
+  // stream slot, so stream() reads a dead handle.
+  uint32_t UseAfterMove() {
+    auto lease = sched_->Acquire();
+    Consume(std::move(lease));
+    return lease.stream();
+  }
+
+  // Finding 4: metrics fold while the lease is still live — its stream's
+  // counters get drained now and again when the lease retires.
+  void FoldWhileLive(gpusim::DeviceMetrics* m) {
+    auto lease = sched_->Acquire();
+    devices_->FoldDeviceMetrics(m);
+  }
+
+  void Consume(gpusim::Scheduler::Lease lease);
+};
+
+}  // namespace gknn

@@ -1,0 +1,49 @@
+// Correct stream-lease lifetimes — the `gknn_check_lease_good` ctest
+// asserts zero lease-lifetime findings. Each shape is the fixed
+// counterpart of a violation in lease_bad.cc.
+
+#include <utility>
+
+namespace gknn {
+
+class FakeScheduler {
+ public:
+  gpusim::Scheduler::Lease Acquire();
+};
+
+struct LeaseGood {
+  FakeScheduler* sched_ = nullptr;
+  gpusim::DeviceSet* devices_ = nullptr;
+
+  // Use, then hand the lease off exactly once: every use precedes the
+  // move, and nothing touches the moved-from shell.
+  uint32_t UseThenConsume() {
+    auto lease = sched_->Acquire();
+    const uint32_t stream = lease.stream();
+    Consume(std::move(lease));
+    return stream;
+  }
+
+  // The fold runs after the lease's scope closed, so its stream counters
+  // were already retired by the destructor.
+  void FoldAfterScope(gpusim::DeviceMetrics* m) {
+    {
+      auto lease = sched_->Acquire();
+      Work(lease.stream());
+    }
+    devices_->FoldDeviceMetrics(m);
+  }
+
+  // Folding after the lease was moved away is also fine — this function
+  // no longer holds the slot.
+  void FoldAfterHandoff(gpusim::DeviceMetrics* m) {
+    auto lease = sched_->Acquire();
+    Consume(std::move(lease));
+    devices_->FoldDeviceMetrics(m);
+  }
+
+  void Consume(gpusim::Scheduler::Lease lease);
+  void Work(uint32_t stream);
+};
+
+}  // namespace gknn

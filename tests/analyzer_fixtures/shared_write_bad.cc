@@ -1,0 +1,37 @@
+// Writes to own-class members while the class's SharedMutex is held in
+// shared (reader) mode — the `gknn_check_shared_write_bad` ctest pins the
+// exact finding count.
+
+#include <vector>
+
+namespace gknn {
+
+struct SharedWriteBad {
+  util::lockdep::SharedMutex index_mu_{util::lockdep::kServerIndexClass};
+
+  uint64_t counter_ = 0;
+  std::vector<uint32_t> items_;
+  uint32_t dirty_ = 0;
+
+  // Finding 1: a plain member increment under the reader lock.
+  // Finding 2: a container mutator under the reader lock.
+  uint64_t ReadAndBump() {
+    util::lockdep::SharedLock lock(index_mu_);
+    counter_ += 1;
+    items_.push_back(1);
+    return counter_;
+  }
+
+  // Finding 3: the same race one call away — the callee writes a member
+  // without taking any exclusive lock, and the caller invokes it while
+  // holding the reader side.
+  uint64_t ReadViaHelper() {
+    util::lockdep::SharedLock lock(index_mu_);
+    Touch();
+    return counter_;
+  }
+
+  void Touch() { dirty_ = 1; }
+};
+
+}  // namespace gknn

@@ -1,0 +1,57 @@
+// Reader-mode access patterns that must NOT be flagged — the
+// `gknn_check_shared_write_good` ctest asserts zero shared-write findings.
+
+#include <atomic>
+#include <vector>
+
+namespace gknn {
+
+struct SharedWriteGood {
+  util::lockdep::SharedMutex index_mu_{util::lockdep::kServerIndexClass};
+  util::lockdep::Mutex inbox_mu_{util::lockdep::kServerInboxClass};
+
+  uint64_t counter_ = 0;
+  std::vector<uint32_t> items_;
+  std::atomic<uint64_t> hits_;
+
+  // Pure reads under the shared lock are the whole point of the mode.
+  uint64_t Read() {
+    util::lockdep::SharedLock lock(index_mu_);
+    return counter_ + items_.size();
+  }
+
+  // A write covered by a nested exclusive region is safe (inbox_mu_ ranks
+  // above index_mu_, so the nesting is also lock-order clean).
+  void ReadThenRecord() {
+    util::lockdep::SharedLock lock(index_mu_);
+    util::lockdep::MutexLock inner(inbox_mu_);
+    counter_ += 1;
+  }
+
+  // Atomic members are the sanctioned way to count under the reader lock.
+  uint64_t ReadCounted() {
+    util::lockdep::SharedLock lock(index_mu_);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return counter_;
+  }
+
+  // Locals (per-query workspace) are thread-confined; mutating them under
+  // the shared lock is fine and must not be confused with member writes.
+  uint64_t ReadIntoScratch() {
+    util::lockdep::SharedLock lock(index_mu_);
+    std::vector<uint32_t> scratch;
+    scratch.push_back(1);
+    uint64_t total = 0;
+    total += scratch.size();
+    return total;
+  }
+
+  // Exclusive-mode writes are the normal mutation path.
+  void Rebuild() {
+    util::lockdep::ExclusiveLock lock(index_mu_);
+    items_.clear();
+    counter_ = 0;
+  }
+};
+
+}  // namespace gknn

@@ -1,0 +1,221 @@
+// Unit tests for the analyzer's statement-level CFG builder (BuildCfg)
+// and the reachability primitive the deadline-checkpoint pass is built
+// on (CanReachAvoiding). These link the gknn_check front end directly —
+// the fixtures under tests/analyzer_fixtures/ cover the passes
+// end-to-end; this file pins the graph shapes the passes assume.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cfg.h"
+#include "dataflow.h"
+#include "lexer.h"
+
+namespace gknn::check {
+namespace {
+
+struct Body {
+  LexedFile lexed;
+  size_t begin = 0;  // first token inside the outermost { }
+  size_t end = 0;    // index of the closing }
+};
+
+// Lexes a snippet of the form `void f() { ... }` and locates the body.
+Body LexBody(const std::string& src) {
+  Body b;
+  b.lexed = Lex("cfg_test.cc", src);
+  const std::vector<Token>& t = b.lexed.tokens;
+  size_t open = 0;
+  while (open < t.size() && !t[open].IsPunct("{")) ++open;
+  EXPECT_LT(open, t.size()) << "snippet has no body";
+  int depth = 0;
+  size_t close = open;
+  for (; close < t.size(); ++close) {
+    if (t[close].IsPunct("{")) ++depth;
+    if (t[close].IsPunct("}") && --depth == 0) break;
+  }
+  b.begin = open + 1;
+  b.end = close;
+  return b;
+}
+
+// Block containing the nth occurrence (1-based) of an identifier token.
+int BlockOf(const Cfg& cfg, const Body& b, const std::string& ident,
+            int nth = 1) {
+  int seen = 0;
+  for (size_t i = b.begin; i < b.end; ++i) {
+    if (b.lexed.tokens[i].IsIdent(ident.c_str()) && ++seen == nth) {
+      return cfg.BlockAt(i);
+    }
+  }
+  return -1;
+}
+
+bool HasEdge(const Cfg& cfg, int from, int to) {
+  if (from < 0 || to < 0) return false;
+  const std::vector<int>& s = cfg.blocks[from].succs;
+  return std::find(s.begin(), s.end(), to) != s.end();
+}
+
+TEST(AnalyzerCfg, EarlyReturnTerminatesItsPath) {
+  Body b = LexBody(
+      "void f() {\n"
+      "  if (cond()) {\n"
+      "    return;\n"
+      "  }\n"
+      "  tail();\n"
+      "}\n");
+  const Cfg cfg = BuildCfg(b.lexed.tokens, b.begin, b.end);
+
+  const int cond = BlockOf(cfg, b, "cond");
+  const int tail = BlockOf(cfg, b, "tail");
+  int ret = -1;
+  for (size_t i = b.begin; i < b.end; ++i) {
+    if (b.lexed.tokens[i].IsIdent("return")) ret = cfg.BlockAt(i);
+  }
+  ASSERT_GE(cond, 0);
+  ASSERT_GE(tail, 0);
+  ASSERT_GE(ret, 0);
+
+  // The condition branches to both the return and the fallthrough tail;
+  // the return block flows nowhere.
+  EXPECT_TRUE(HasEdge(cfg, cond, ret));
+  EXPECT_TRUE(HasEdge(cfg, cond, tail));
+  EXPECT_TRUE(cfg.blocks[ret].succs.empty());
+  EXPECT_FALSE(HasEdge(cfg, ret, tail));
+}
+
+TEST(AnalyzerCfg, SwitchFallthroughAndBreak) {
+  Body b = LexBody(
+      "void f(int x) {\n"
+      "  switch (x) {\n"
+      "    case 0:\n"
+      "      alpha();\n"
+      "    case 1:\n"
+      "      beta();\n"
+      "      break;\n"
+      "    case 2:\n"
+      "      gamma();\n"
+      "  }\n"
+      "  tail();\n"
+      "}\n");
+  const Cfg cfg = BuildCfg(b.lexed.tokens, b.begin, b.end);
+
+  const int alpha = BlockOf(cfg, b, "alpha");
+  const int beta = BlockOf(cfg, b, "beta");
+  const int gamma = BlockOf(cfg, b, "gamma");
+  const int tail = BlockOf(cfg, b, "tail");
+  ASSERT_GE(alpha, 0);
+  ASSERT_GE(beta, 0);
+  ASSERT_GE(gamma, 0);
+  ASSERT_GE(tail, 0);
+
+  // case 0 falls through into case 1; the break jumps past the switch;
+  // breaking out of case 1 must not fall into case 2.
+  EXPECT_TRUE(HasEdge(cfg, alpha, beta));
+  EXPECT_FALSE(HasEdge(cfg, alpha, gamma));
+  EXPECT_FALSE(HasEdge(cfg, beta, gamma));
+  // Both the broken case and the last case reach the statement after the
+  // switch (directly or through the break edge).
+  EXPECT_TRUE(CanReachAvoiding(cfg, beta, tail, {}));
+  EXPECT_TRUE(CanReachAvoiding(cfg, gamma, tail, {}));
+}
+
+TEST(AnalyzerCfg, RangeForIsACountedLoop) {
+  Body b = LexBody(
+      "void f() {\n"
+      "  for (const auto& v : items_) {\n"
+      "    use(v);\n"
+      "  }\n"
+      "  tail();\n"
+      "}\n");
+  const Cfg cfg = BuildCfg(b.lexed.tokens, b.begin, b.end);
+
+  ASSERT_EQ(cfg.loops.size(), 1u);
+  const CfgLoop& loop = cfg.loops[0];
+  EXPECT_EQ(loop.kind, CfgLoop::Kind::kRangeFor);
+  EXPECT_TRUE(loop.counted);
+  EXPECT_FALSE(loop.infinite);
+
+  // The body latches back to the head, and the head is a loop member.
+  ASSERT_FALSE(loop.latches.empty());
+  for (int latch : loop.latches) {
+    EXPECT_TRUE(HasEdge(cfg, latch, loop.head));
+    EXPECT_TRUE(loop.Contains(latch));
+  }
+  EXPECT_TRUE(loop.Contains(loop.head));
+  const int use = BlockOf(cfg, b, "use");
+  EXPECT_TRUE(loop.Contains(use));
+}
+
+TEST(AnalyzerCfg, LambdaBodyIsOpaque) {
+  Body b = LexBody(
+      "void f() {\n"
+      "  auto fn = [&](int x) {\n"
+      "    while (busy()) {\n"
+      "      spin();\n"
+      "    }\n"
+      "  };\n"
+      "  run(fn);\n"
+      "}\n");
+  const Cfg cfg = BuildCfg(b.lexed.tokens, b.begin, b.end);
+
+  // The while lives inside the lambda: no loop may leak into the outer
+  // function's graph, and the whole binding is one straight-line block.
+  EXPECT_TRUE(cfg.loops.empty());
+  const int decl = BlockOf(cfg, b, "fn");
+  const int spin = BlockOf(cfg, b, "spin");
+  EXPECT_EQ(decl, spin);
+  const int run = BlockOf(cfg, b, "run");
+  EXPECT_TRUE(HasEdge(cfg, decl, run));
+}
+
+TEST(AnalyzerCfg, CanReachAvoidingFindsCheckpointDodge) {
+  // The shape the deadline-checkpoint pass hunts: a loop where only one
+  // branch polls. The else path cycles head -> step -> head without ever
+  // touching the poll block.
+  Body b = LexBody(
+      "void f() {\n"
+      "  while (more()) {\n"
+      "    if (flag()) {\n"
+      "      poll();\n"
+      "    }\n"
+      "    step();\n"
+      "  }\n"
+      "}\n");
+  const Cfg cfg = BuildCfg(b.lexed.tokens, b.begin, b.end);
+
+  ASSERT_EQ(cfg.loops.size(), 1u);
+  const CfgLoop& loop = cfg.loops[0];
+  const int poll = BlockOf(cfg, b, "poll");
+  ASSERT_GE(poll, 0);
+  ASSERT_FALSE(loop.latches.empty());
+
+  std::set<int> members;
+  for (int i = loop.first_block; i < loop.past_block; ++i) members.insert(i);
+
+  // With the poll block forbidden there is still a head -> latch path
+  // (the dodge). Once step() also polls, there is not.
+  bool dodge = false;
+  for (int latch : loop.latches) {
+    dodge = dodge ||
+            CanReachAvoiding(cfg, loop.head, latch, {poll}, &members);
+  }
+  EXPECT_TRUE(dodge);
+
+  const int step = BlockOf(cfg, b, "step");
+  ASSERT_GE(step, 0);
+  bool dodge_both = false;
+  for (int latch : loop.latches) {
+    dodge_both = dodge_both ||
+                 CanReachAvoiding(cfg, loop.head, latch, {poll, step},
+                                  &members);
+  }
+  EXPECT_FALSE(dodge_both);
+}
+
+}  // namespace
+}  // namespace gknn::check

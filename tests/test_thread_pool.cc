@@ -250,7 +250,7 @@ TEST(ThreadPoolDeadlineTest, TrySubmitTaskRejectionRunsNothing) {
   });
   while (!worker_busy.load()) std::this_thread::yield();
   auto accepted = pool.TrySubmitTask(ThreadPool::Submission{
-      .run = [] {}, .deadline = Deadline()});
+      .run = [] {}, .on_expired = nullptr, .deadline = Deadline()});
   EXPECT_TRUE(accepted.has_value());
   std::atomic<bool> ran{false};
   std::atomic<bool> expired{false};

@@ -1,0 +1,401 @@
+#include "cfg.h"
+
+#include <algorithm>
+
+namespace gknn::check {
+namespace {
+
+using Tokens = std::vector<Token>;
+
+/// t[open] is ( [ { — index of the matching close, or `limit`.
+size_t MatchForward(const Tokens& t, size_t open, size_t limit) {
+  const std::string& o = t[open].text;
+  const std::string c = o == "(" ? ")" : o == "[" ? "]" : "}";
+  int depth = 0;
+  for (size_t j = open; j < limit; ++j) {
+    if (t[j].kind != TokenKind::kPunct) continue;
+    if (t[j].text == o) {
+      ++depth;
+    } else if (t[j].text == c && --depth == 0) {
+      return j;
+    }
+  }
+  return limit;
+}
+
+bool IsCallKeyword(const std::string& s) {
+  return s == "sizeof" || s == "alignof" || s == "decltype" ||
+         s == "noexcept" || s == "if" || s == "while" || s == "for" ||
+         s == "switch";
+}
+
+struct Builder {
+  const Tokens& t;
+  size_t body_end;
+  Cfg cfg;
+  std::vector<std::vector<int>*> break_stack;
+  std::vector<int> continue_stack;
+
+  struct StmtResult {
+    size_t next = 0;
+    std::vector<int> exits;  // blocks that fall through to what follows
+    int entry = -1;          // first block of the statement, -1 if empty
+  };
+
+  Builder(const Tokens& tokens, size_t end) : t(tokens), body_end(end) {}
+
+  int NewBlock(size_t b, size_t e) {
+    CfgBlock blk;
+    blk.begin = b;
+    blk.end = e;
+    blk.line = b < t.size() ? t[b].line : 0;
+    cfg.blocks.push_back(blk);
+    return static_cast<int>(cfg.blocks.size()) - 1;
+  }
+
+  void Edge(int from, int to) {
+    if (from < 0 || to < 0) return;
+    std::vector<int>& s = cfg.blocks[from].succs;
+    if (std::find(s.begin(), s.end(), to) != s.end()) return;
+    s.push_back(to);
+    cfg.blocks[to].preds.push_back(from);
+  }
+
+  int ConnectNew(const std::vector<int>& preds, size_t b, size_t e) {
+    const int id = NewBlock(b, e);
+    for (int p : preds) Edge(p, id);
+    return id;
+  }
+
+  bool RangeHasCall(size_t b, size_t e) const {
+    for (size_t j = b; j + 1 < e; ++j) {
+      if (t[j].kind == TokenKind::kIdent && !IsCallKeyword(t[j].text) &&
+          t[j + 1].IsPunct("(")) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool CondIsTrue(size_t b, size_t e) const {
+    if (e != b + 1) return false;
+    return t[b].IsIdent("true") ||
+           (t[b].kind == TokenKind::kNumber && t[b].text == "1");
+  }
+
+  /// End of a simple statement starting at `i`: index just past its `;`.
+  /// Bracket groups of every kind — including lambda bodies and brace
+  /// initializers — are skipped, so their semicolons do not terminate the
+  /// enclosing statement.
+  size_t SimpleEnd(size_t i, size_t e) const {
+    int depth = 0;
+    for (size_t j = i; j < e; ++j) {
+      if (t[j].kind != TokenKind::kPunct) continue;
+      const std::string& s = t[j].text;
+      if (s == "(" || s == "[" || s == "{") ++depth;
+      else if (s == ")" || s == "]" || s == "}") --depth;
+      else if (s == ";" && depth <= 0) return j + 1;
+    }
+    return e;
+  }
+
+  StmtResult ParseLoopTail(CfgLoop loop, int head, size_t body_start,
+                           size_t e, std::vector<int> head_exit) {
+    std::vector<int> breaks;
+    break_stack.push_back(&breaks);
+    continue_stack.push_back(head);
+    StmtResult body = ParseStmt(body_start, e, {head});
+    continue_stack.pop_back();
+    break_stack.pop_back();
+    for (int x : body.exits) Edge(x, head);
+    loop.latches = body.exits;
+    loop.past_block = static_cast<int>(cfg.blocks.size());
+    loop.end_pos = body.next;
+    cfg.loops.push_back(loop);
+    StmtResult out;
+    out.next = body.next;
+    out.entry = head;
+    out.exits = breaks;
+    for (int x : head_exit) out.exits.push_back(x);
+    return out;
+  }
+
+  StmtResult ParseStmt(size_t i, size_t e, std::vector<int> preds) {
+    StmtResult out;
+    if (i >= e) {
+      out.next = e;
+      out.exits = std::move(preds);
+      return out;
+    }
+    const Token& tk = t[i];
+
+    if (tk.IsPunct(";")) {
+      out.next = i + 1;
+      out.exits = std::move(preds);
+      return out;
+    }
+
+    if (tk.IsPunct("{")) {
+      const size_t close = MatchForward(t, i, e);
+      out.exits = ParseSeq(i + 1, close, std::move(preds), -1, nullptr,
+                           &out.entry);
+      out.next = close + 1;
+      return out;
+    }
+
+    if (tk.IsIdent("if") && i + 1 < e && t[i + 1].IsPunct("(")) {
+      const size_t close = MatchForward(t, i + 1, e);
+      const int cond = ConnectNew(preds, i, close + 1);
+      StmtResult then = ParseStmt(close + 1, e, {cond});
+      out.entry = cond;
+      if (then.next < e && t[then.next].IsIdent("else")) {
+        StmtResult els = ParseStmt(then.next + 1, e, {cond});
+        out.exits = then.exits;
+        out.exits.insert(out.exits.end(), els.exits.begin(),
+                         els.exits.end());
+        out.next = els.next;
+      } else {
+        out.exits = then.exits;
+        out.exits.push_back(cond);
+        out.next = then.next;
+      }
+      return out;
+    }
+
+    if (tk.IsIdent("while") && i + 1 < e && t[i + 1].IsPunct("(")) {
+      const size_t close = MatchForward(t, i + 1, e);
+      CfgLoop loop;
+      loop.kind = CfgLoop::Kind::kWhile;
+      loop.begin_pos = i;
+      loop.line = tk.line;
+      loop.infinite = CondIsTrue(i + 2, close);
+      loop.cond_has_call = RangeHasCall(i + 2, close);
+      loop.first_block = static_cast<int>(cfg.blocks.size());
+      const int head = ConnectNew(preds, i, close + 1);
+      loop.head = head;
+      return ParseLoopTail(loop, head, close + 1, e,
+                           loop.infinite ? std::vector<int>{}
+                                         : std::vector<int>{head});
+    }
+
+    if (tk.IsIdent("for") && i + 1 < e && t[i + 1].IsPunct("(")) {
+      const size_t close = MatchForward(t, i + 1, e);
+      // Top-level ';' positions inside the header decide the form.
+      size_t s1 = close, s2 = close;
+      bool range_for = false;
+      int depth = 0;
+      for (size_t j = i + 2; j < close; ++j) {
+        if (t[j].kind != TokenKind::kPunct) continue;
+        const std::string& s = t[j].text;
+        if (s == "(" || s == "[" || s == "{") ++depth;
+        else if (s == ")" || s == "]" || s == "}") --depth;
+        else if (depth == 0 && s == ":" && s1 == close) {
+          range_for = true;
+          break;
+        } else if (depth == 0 && s == ";") {
+          if (s1 == close) s1 = j;
+          else if (s2 == close) s2 = j;
+        }
+      }
+      CfgLoop loop;
+      loop.begin_pos = i;
+      loop.line = tk.line;
+      loop.first_block = static_cast<int>(cfg.blocks.size());
+      if (range_for) {
+        loop.kind = CfgLoop::Kind::kRangeFor;
+        loop.counted = true;
+      } else {
+        loop.kind = CfgLoop::Kind::kFor;
+        loop.infinite = s1 < close && s1 + 1 == s2;  // empty condition
+        loop.counted = s1 < close && s2 < close && s1 + 1 < s2 &&
+                       s2 + 1 < close;  // non-empty cond and increment
+        if (s1 < close && s2 < close) {
+          loop.cond_has_call = RangeHasCall(s1 + 1, s2);
+        }
+      }
+      const int head = ConnectNew(preds, i, close + 1);
+      loop.head = head;
+      return ParseLoopTail(loop, head, close + 1, e,
+                           loop.infinite ? std::vector<int>{}
+                                         : std::vector<int>{head});
+    }
+
+    if (tk.IsIdent("do")) {
+      // The condition block is created first (so `continue` can target
+      // it); its token range is patched once the trailing while is found.
+      const int cond = NewBlock(i, i);
+      CfgLoop loop;
+      loop.kind = CfgLoop::Kind::kDoWhile;
+      loop.begin_pos = i;
+      loop.line = tk.line;
+      loop.first_block = cond;
+      std::vector<int> breaks;
+      break_stack.push_back(&breaks);
+      continue_stack.push_back(cond);
+      StmtResult body = ParseStmt(i + 1, e, std::move(preds));
+      continue_stack.pop_back();
+      break_stack.pop_back();
+      size_t j = body.next;
+      size_t close = j;
+      if (j < e && t[j].IsIdent("while") && j + 1 < e &&
+          t[j + 1].IsPunct("(")) {
+        close = MatchForward(t, j + 1, e);
+        cfg.blocks[cond].begin = j;
+        cfg.blocks[cond].end = close + 1;
+        cfg.blocks[cond].line = t[j].line;
+        loop.infinite = CondIsTrue(j + 2, close);
+        loop.cond_has_call = RangeHasCall(j + 2, close);
+      }
+      for (int x : body.exits) Edge(x, cond);
+      const int body_entry = body.entry >= 0 ? body.entry : cond;
+      Edge(cond, body_entry);
+      loop.head = body_entry;
+      loop.latches = {cond};
+      loop.past_block = static_cast<int>(cfg.blocks.size());
+      size_t next = close + 1;
+      if (next < e && t[next].IsPunct(";")) ++next;
+      loop.end_pos = next;
+      cfg.loops.push_back(loop);
+      out.next = next;
+      out.entry = cond == body_entry ? cond : body_entry;
+      out.exits = breaks;
+      if (!loop.infinite) out.exits.push_back(cond);
+      return out;
+    }
+
+    if (tk.IsIdent("switch") && i + 1 < e && t[i + 1].IsPunct("(")) {
+      const size_t close = MatchForward(t, i + 1, e);
+      const int head = ConnectNew(preds, i, close + 1);
+      out.entry = head;
+      size_t ob = close + 1;
+      if (ob >= e || !t[ob].IsPunct("{")) {  // malformed; treat as simple
+        out.next = SimpleEnd(i, e);
+        out.exits = {head};
+        return out;
+      }
+      const size_t cb = MatchForward(t, ob, e);
+      std::vector<int> breaks;
+      break_stack.push_back(&breaks);
+      bool saw_default = false;
+      std::vector<int> fall =
+          ParseSeq(ob + 1, cb, {}, head, &saw_default, nullptr);
+      break_stack.pop_back();
+      out.exits = std::move(fall);
+      out.exits.insert(out.exits.end(), breaks.begin(), breaks.end());
+      if (!saw_default) out.exits.push_back(head);
+      out.next = cb + 1;
+      return out;
+    }
+
+    if (tk.IsIdent("break") || tk.IsIdent("continue")) {
+      const size_t end = SimpleEnd(i, e);
+      const int blk = ConnectNew(preds, i, end);
+      out.entry = blk;
+      if (tk.IsIdent("break")) {
+        if (!break_stack.empty()) break_stack.back()->push_back(blk);
+      } else {
+        if (!continue_stack.empty()) Edge(blk, continue_stack.back());
+      }
+      out.next = end;
+      return out;  // no fallthrough exits
+    }
+
+    if (tk.IsIdent("return") || tk.IsIdent("co_return") ||
+        tk.IsIdent("throw") || tk.IsIdent("goto")) {
+      const size_t end = SimpleEnd(i, e);
+      out.entry = ConnectNew(preds, i, end);
+      out.next = end;
+      return out;  // terminator: no exits
+    }
+
+    if (tk.IsIdent("try")) {
+      StmtResult body = ParseStmt(i + 1, e, preds);
+      out.entry = body.entry;
+      out.exits = body.exits;
+      size_t j = body.next;
+      while (j < e && t[j].IsIdent("catch") && j + 1 < e &&
+             t[j + 1].IsPunct("(")) {
+        const size_t close = MatchForward(t, j + 1, e);
+        StmtResult handler =
+            ParseStmt(close + 1, e,
+                      body.entry >= 0 ? std::vector<int>{body.entry} : preds);
+        out.exits.insert(out.exits.end(), handler.exits.begin(),
+                         handler.exits.end());
+        j = handler.next;
+      }
+      out.next = j;
+      return out;
+    }
+
+    // Simple statement.
+    const size_t end = SimpleEnd(i, e);
+    out.entry = ConnectNew(preds, i, end);
+    out.exits = {out.entry};
+    out.next = end > i ? end : i + 1;
+    return out;
+  }
+
+  /// Parses a statement sequence. When `switch_head` >= 0, `case`/`default`
+  /// labels at this level add an entry edge from the switch head to the
+  /// statement that follows them (fallthrough between cases is the natural
+  /// sequential flow).
+  std::vector<int> ParseSeq(size_t b, size_t e, std::vector<int> preds,
+                            int switch_head, bool* saw_default,
+                            int* entry_out) {
+    size_t i = b;
+    std::vector<int> cur = std::move(preds);
+    if (entry_out != nullptr) *entry_out = -1;
+    while (i < e) {
+      if (t[i].IsPunct(";")) {
+        ++i;
+        continue;
+      }
+      bool labeled = false;
+      if (switch_head >= 0) {
+        while (i < e &&
+               (t[i].IsIdent("case") || t[i].IsIdent("default"))) {
+          labeled = true;
+          if (t[i].IsIdent("default")) {
+            if (saw_default != nullptr) *saw_default = true;
+            i += (i + 1 < e && t[i + 1].IsPunct(":")) ? 2 : 1;
+            continue;
+          }
+          // case <expr> :  — scan to the top-level ':' ("::" is one token).
+          size_t j = i + 1;
+          int depth = 0;
+          while (j < e) {
+            if (t[j].kind == TokenKind::kPunct) {
+              const std::string& s = t[j].text;
+              if (s == "(" || s == "[" || s == "{") ++depth;
+              else if (s == ")" || s == "]" || s == "}") --depth;
+              else if (s == ":" && depth == 0) break;
+            }
+            ++j;
+          }
+          i = j < e ? j + 1 : e;
+        }
+        if (i >= e) break;
+      }
+      if (labeled) cur.push_back(switch_head);
+      StmtResult r = ParseStmt(i, e, std::move(cur));
+      if (entry_out != nullptr && *entry_out < 0 && r.entry >= 0) {
+        *entry_out = r.entry;
+      }
+      cur = std::move(r.exits);
+      i = r.next > i ? r.next : i + 1;
+    }
+    return cur;
+  }
+};
+
+}  // namespace
+
+Cfg BuildCfg(const std::vector<Token>& tokens, size_t body_begin,
+             size_t body_end) {
+  Builder builder(tokens, body_end);
+  builder.ParseSeq(body_begin, body_end, {}, -1, nullptr,
+                   &builder.cfg.entry);
+  return std::move(builder.cfg);
+}
+
+}  // namespace gknn::check

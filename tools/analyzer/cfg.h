@@ -1,0 +1,75 @@
+#ifndef GKNN_TOOLS_ANALYZER_CFG_H_
+#define GKNN_TOOLS_ANALYZER_CFG_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "token.h"
+
+namespace gknn::check {
+
+/// One basic block of the statement-level control-flow graph. Granularity
+/// is one block per simple statement or per control-flow header (the
+/// condition of an if/while/for/switch), so blocks own disjoint token
+/// ranges [begin, end) inside the function body and dataflow facts can be
+/// positioned by token index.
+struct CfgBlock {
+  size_t begin = 0;  // token index, inclusive
+  size_t end = 0;    // token index, exclusive
+  int line = 0;
+  std::vector<int> succs;
+  std::vector<int> preds;
+};
+
+/// A natural loop discovered during construction (while / do-while / for /
+/// range-for). `blocks` is the contiguous id range [first_block,
+/// past_block) of every block belonging to the loop, head included —
+/// construction order makes loop bodies contiguous.
+struct CfgLoop {
+  enum class Kind { kWhile, kDoWhile, kFor, kRangeFor };
+  Kind kind = Kind::kWhile;
+  int head = -1;              // condition block (entry of every iteration)
+  std::vector<int> latches;   // blocks with a back edge to `head`
+  int first_block = -1;       // id range of member blocks, head included
+  int past_block = -1;
+  size_t begin_pos = 0;       // token span of the whole loop statement
+  size_t end_pos = 0;
+  int line = 0;
+  bool infinite = false;      // for(;;) / while(true) / while(1)
+  bool counted = false;       // range-for, or 3-clause for with cond & inc
+  bool cond_has_call = false; // the condition contains a call
+
+  bool Contains(int block) const {
+    return block >= first_block && block < past_block;
+  }
+};
+
+struct Cfg {
+  std::vector<CfgBlock> blocks;
+  std::vector<CfgLoop> loops;
+  int entry = -1;  // -1 for an empty body
+
+  /// Block whose token range contains `pos`, or -1. Ranges are disjoint.
+  int BlockAt(size_t pos) const {
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      if (pos >= blocks[i].begin && pos < blocks[i].end) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+};
+
+/// Builds the statement-level CFG for a function body spanning tokens
+/// [body_begin, body_end). Understands if/else chains, while, do-while,
+/// 3-clause for, range-for, switch with case fallthrough, break, continue
+/// and return. Lambda bodies and brace initializers inside a statement are
+/// opaque: their tokens stay inside the enclosing statement's block and
+/// their control flow never leaks into the outer graph.
+Cfg BuildCfg(const std::vector<Token>& tokens, size_t body_begin,
+             size_t body_end);
+
+}  // namespace gknn::check
+
+#endif  // GKNN_TOOLS_ANALYZER_CFG_H_

@@ -1,0 +1,131 @@
+#include "dataflow.h"
+
+#include <deque>
+
+namespace gknn::check {
+
+ForwardDataflow::ForwardDataflow(const Cfg& cfg, int num_facts, Meet meet)
+    : cfg_(cfg),
+      num_facts_(num_facts),
+      meet_(meet),
+      words_((static_cast<size_t>(num_facts) + 63) / 64) {
+  if (words_ == 0) words_ = 1;
+  const size_t n = cfg.blocks.size();
+  gen_.assign(n, Bits(words_, 0));
+  kill_.assign(n, Bits(words_, 0));
+  in_.assign(n, Bits(words_, 0));
+  out_.assign(n, Bits(words_, 0));
+  entry_.assign(words_, 0);
+}
+
+bool ForwardDataflow::Has(const Bits& b, int fact) {
+  return (b[fact / 64] >> (fact % 64)) & 1;
+}
+
+void ForwardDataflow::Set(Bits* b, int fact) {
+  (*b)[fact / 64] |= uint64_t{1} << (fact % 64);
+}
+
+void ForwardDataflow::AddGen(int block, int fact) {
+  if (block < 0 || fact < 0 || fact >= num_facts_) return;
+  Set(&gen_[block], fact);
+}
+
+void ForwardDataflow::AddKill(int block, int fact) {
+  if (block < 0 || fact < 0 || fact >= num_facts_) return;
+  Set(&kill_[block], fact);
+}
+
+void ForwardDataflow::AddEntryFact(int fact) {
+  if (fact < 0 || fact >= num_facts_) return;
+  Set(&entry_, fact);
+}
+
+void ForwardDataflow::Solve() {
+  const size_t n = cfg_.blocks.size();
+  std::deque<int> worklist;
+  std::vector<bool> queued(n, false);
+  for (size_t b = 0; b < n; ++b) {
+    worklist.push_back(static_cast<int>(b));
+    queued[b] = true;
+  }
+  while (!worklist.empty()) {
+    const int b = worklist.front();
+    worklist.pop_front();
+    queued[b] = false;
+
+    // The virtual function entry acts as one more predecessor (with OUT =
+    // entry facts) of the entry block, so a loop head in first position
+    // still meets the incoming facts correctly.
+    Bits in(words_, 0);
+    bool first = true;
+    auto meet_in = [&](const Bits& x) {
+      if (first) {
+        in = x;
+        first = false;
+      } else if (meet_ == Meet::kUnion) {
+        for (size_t w = 0; w < words_; ++w) in[w] |= x[w];
+      } else {
+        for (size_t w = 0; w < words_; ++w) in[w] &= x[w];
+      }
+    };
+    const std::vector<int>& preds = cfg_.blocks[b].preds;
+    if (b == cfg_.entry || preds.empty()) meet_in(entry_);
+    for (int p : preds) meet_in(out_[p]);
+    in_[b] = in;
+
+    Bits out(words_, 0);
+    for (size_t w = 0; w < words_; ++w) {
+      out[w] = (in[w] & ~kill_[b][w]) | gen_[b][w];
+    }
+    if (out != out_[b]) {
+      out_[b] = std::move(out);
+      for (int s : cfg_.blocks[b].succs) {
+        if (!queued[s]) {
+          worklist.push_back(s);
+          queued[s] = true;
+        }
+      }
+    }
+  }
+}
+
+bool ForwardDataflow::InHas(int block, int fact) const {
+  if (block < 0 || static_cast<size_t>(block) >= in_.size()) return false;
+  if (fact < 0 || fact >= num_facts_) return false;
+  return Has(in_[block], fact);
+}
+
+bool ForwardDataflow::OutHas(int block, int fact) const {
+  if (block < 0 || static_cast<size_t>(block) >= out_.size()) return false;
+  if (fact < 0 || fact >= num_facts_) return false;
+  return Has(out_[block], fact);
+}
+
+bool CanReachAvoiding(const Cfg& cfg, int from, int to,
+                      const std::set<int>& avoid,
+                      const std::set<int>* within) {
+  if (from < 0 || to < 0) return false;
+  if (avoid.count(from) || avoid.count(to)) return false;
+  if (within != nullptr && (!within->count(from) || !within->count(to))) {
+    return false;
+  }
+  if (from == to) return true;
+  std::vector<bool> seen(cfg.blocks.size(), false);
+  std::deque<int> queue{from};
+  seen[from] = true;
+  while (!queue.empty()) {
+    const int b = queue.front();
+    queue.pop_front();
+    for (int s : cfg.blocks[b].succs) {
+      if (seen[s] || avoid.count(s)) continue;
+      if (within != nullptr && !within->count(s)) continue;
+      if (s == to) return true;
+      seen[s] = true;
+      queue.push_back(s);
+    }
+  }
+  return false;
+}
+
+}  // namespace gknn::check

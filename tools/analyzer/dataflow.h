@@ -1,0 +1,63 @@
+#ifndef GKNN_TOOLS_ANALYZER_DATAFLOW_H_
+#define GKNN_TOOLS_ANALYZER_DATAFLOW_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "cfg.h"
+
+namespace gknn::check {
+
+/// Forward worklist dataflow over bit-vector fact sets. Facts are small
+/// integers (variable ids, lock modes, checkpoint flags); each block has
+/// gen/kill sets and the solver iterates IN/OUT to a fixpoint:
+///
+///   IN(b)  = meet over preds p of OUT(p)      (union = may, intersect = must)
+///   OUT(b) = (IN(b) - kill(b)) | gen(b)
+///
+/// For must-analyses the IN of the entry block (and of unreachable blocks)
+/// is the empty set, not top, so facts never materialize from nowhere.
+class ForwardDataflow {
+ public:
+  enum class Meet { kUnion, kIntersect };
+
+  ForwardDataflow(const Cfg& cfg, int num_facts, Meet meet);
+
+  void AddGen(int block, int fact);
+  void AddKill(int block, int fact);
+  /// Facts that hold on entry to the function.
+  void AddEntryFact(int fact);
+
+  /// Iterates to a fixpoint. Terminates: fact sets grow (union) or shrink
+  /// (intersect) monotonically within a finite lattice.
+  void Solve();
+
+  bool InHas(int block, int fact) const;
+  bool OutHas(int block, int fact) const;
+
+ private:
+  using Bits = std::vector<uint64_t>;
+  static bool Has(const Bits& b, int fact);
+  static void Set(Bits* b, int fact);
+
+  const Cfg& cfg_;
+  int num_facts_;
+  Meet meet_;
+  size_t words_;
+  std::vector<Bits> gen_, kill_, in_, out_;
+  Bits entry_;
+};
+
+/// True when `to` can be reached from `from` without entering any block in
+/// `avoid` (both endpoints must themselves stay out of `avoid`). When
+/// `within` is non-null the walk is confined to that block set — the loop
+/// passes use it to ask "is there a cyclic path through this loop that
+/// dodges every checkpoint block?".
+bool CanReachAvoiding(const Cfg& cfg, int from, int to,
+                      const std::set<int>& avoid,
+                      const std::set<int>* within = nullptr);
+
+}  // namespace gknn::check
+
+#endif  // GKNN_TOOLS_ANALYZER_DATAFLOW_H_

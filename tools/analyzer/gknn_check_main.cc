@@ -1,25 +1,35 @@
 // gknn_check — interprocedural static analyzer for this repository's
-// lock-order, Status-propagation, and device-lifetime invariants.
+// lock-order, Status-propagation, device-lifetime, and
+// concurrency-protocol invariants.
 //
 // Usage:
 //   gknn_check [--root=DIR] [--sarif=FILE] [--rule=r1,r2] [--compdb=FILE]
-//              [--dump-lock-graph] [paths...]
+//              [--jobs=N] [--dump-lock-graph] [paths...]
 //
 // Paths (files or directories) default to {src, tools} under --root.
 // Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
+//
+// The per-TU front end (lex + event extraction) runs on N threads
+// (default: hardware concurrency); whole-program structure scanning and
+// the passes are sequential, and findings are merged in sorted file
+// order, so output is identical for every --jobs value.
 //
 // Suppressions: `// gknn-check: allow(<rule>): reason` (the historical
 // `gknn-lint:` prefix is honored too) on the flagged line or in the
 // comment block directly above it.
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <map>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "lexer.h"
@@ -117,8 +127,11 @@ bool IsSuppressed(const SuppressionIndex& idx, int line,
 void Usage() {
   std::cerr
       << "usage: gknn_check [--root=DIR] [--sarif=FILE] [--rule=r1,r2]\n"
-      << "                  [--compdb=FILE] [--dump-lock-graph] [paths...]\n"
-      << "rules: lock-order shared-block status-drop device-span raw-mutex\n";
+      << "                  [--compdb=FILE] [--jobs=N] [--dump-lock-graph]\n"
+      << "                  [paths...]\n"
+      << "rules: lock-order shared-block status-drop device-span raw-mutex\n"
+      << "       atomic-publication deadline-checkpoint shared-write\n"
+      << "       lease-lifetime\n";
 }
 
 }  // namespace
@@ -128,6 +141,8 @@ int main(int argc, char** argv) {
   std::string sarif_path;
   std::string compdb_path;
   bool dump_lock_graph = false;
+  int jobs = static_cast<int>(std::thread::hardware_concurrency());
+  if (jobs < 1) jobs = 1;
   std::set<std::string> rule_filter;
   std::vector<std::string> paths;
 
@@ -147,6 +162,12 @@ int main(int argc, char** argv) {
       std::string r;
       while (std::getline(ss, r, ',')) {
         if (!r.empty()) rule_filter.insert(r);
+      }
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = std::atoi(value("--jobs=").c_str());
+      if (jobs < 1) {
+        std::cerr << "gknn_check: --jobs must be >= 1\n";
+        return 2;
       }
     } else if (arg == "--dump-lock-graph") {
       dump_lock_graph = true;
@@ -221,35 +242,80 @@ int main(int argc, char** argv) {
   }
   std::sort(files.begin(), files.end());
 
-  // --- Lex + phase A over everything, then phase B. ---
-  std::vector<LexedFile> lexed;
-  std::map<std::string, SuppressionIndex> suppressions;
+  // --- Front end. Lexing and per-TU event extraction parallelize over
+  // files (each translation unit only writes its own FunctionInfo entries
+  // and a private finding buffer); structure scanning stays sequential in
+  // sorted file order so function ids — and therefore all downstream
+  // output — are deterministic for every --jobs value. ---
+  struct Unit {
+    fs::path path;
+    std::string rel;
+  };
+  std::vector<Unit> units;
   for (const fs::path& p : files) {
     const std::string rel = Relativize(p, root);
     if (IsLockdepFile(rel)) continue;  // the layer itself is exempt
-    LexedFile lf = Lex(rel, ReadAll(p));
-    SuppressionIndex& idx = suppressions[rel];
-    idx.comments = lf.comments;
-    for (const Token& t : lf.tokens) {
+    units.push_back({p, rel});
+  }
+
+  auto run_parallel = [&](const std::function<void(size_t)>& fn) {
+    std::atomic<size_t> next{0};
+    auto worker = [&] {
+      for (size_t i = next.fetch_add(1); i < units.size();
+           i = next.fetch_add(1)) {
+        fn(i);
+      }
+    };
+    if (jobs <= 1 || units.size() <= 1) {
+      worker();
+      return;
+    }
+    std::vector<std::thread> threads;
+    const int n = std::min<int>(jobs, static_cast<int>(units.size()));
+    threads.reserve(n);
+    for (int k = 0; k < n; ++k) threads.emplace_back(worker);
+    for (std::thread& th : threads) th.join();
+  };
+
+  std::vector<LexedFile> lexed(units.size());
+  std::vector<SuppressionIndex> unit_suppressions(units.size());
+  run_parallel([&](size_t i) {
+    lexed[i] = Lex(units[i].rel, ReadAll(units[i].path));
+    SuppressionIndex& idx = unit_suppressions[i];
+    idx.comments = lexed[i].comments;
+    for (const Token& t : lexed[i].tokens) {
       if (t.kind != TokenKind::kEnd) idx.token_lines.insert(t.line);
     }
-    lexed.push_back(std::move(lf));
+  });
+  std::map<std::string, SuppressionIndex> suppressions;
+  for (size_t i = 0; i < units.size(); ++i) {
+    suppressions.emplace(units[i].rel, std::move(unit_suppressions[i]));
   }
+
   for (const LexedFile& lf : lexed) ScanStructure(lf, &program);
 
-  std::vector<Finding> findings;
-  for (const LexedFile& lf : lexed) {
-    ExtractEvents(lf, &program, &findings);
+  std::vector<std::vector<Finding>> unit_findings(units.size());
+  run_parallel([&](size_t i) {
+    const LexedFile& lf = lexed[i];
+    ExtractEvents(lf, &program, &unit_findings[i]);
     const bool as_src = TreatAsSrc(lf.path);
     const bool gpusim = lf.path.rfind("src/gpusim/", 0) == 0;
     StyleScan(lf, /*flag_raw_mutex=*/true,
-              /*flag_device_span=*/as_src && !gpusim, &findings);
+              /*flag_device_span=*/as_src && !gpusim, &unit_findings[i]);
+  });
+  std::vector<Finding> findings;
+  for (std::vector<Finding>& uf : unit_findings) {
+    findings.insert(findings.end(), uf.begin(), uf.end());
   }
 
   ComputeSummaries(&program);
   RunLockOrderPass(&program, lockdep_path.generic_string(),
                    doc_path.generic_string(), &findings);
   RunSharedBlockPass(&program, &findings);
+  RunAtomicPublicationPass(&program, &findings);
+  RunDeadlineCheckpointPass(&program, &findings);
+  RunSharedWritePass(&program, &findings);
+  RunLeaseLifetimePass(&program, &findings);
 
   if (dump_lock_graph) {
     std::cout << DumpLockGraph(program);

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "cfg.h"
 #include "lexer.h"
 
 namespace gknn::check {
@@ -48,6 +49,7 @@ enum class OpCategory {
   kDeviceTransfer,  // Upload/Download/EnqueueH2D/EnqueueD2H/UploadAsync
   kDeviceSync,      // Stream::Synchronize
   kDeviceAlloc,     // DeviceBuffer::Allocate / Device::RegisterAlloc
+  kDeadlinePoll,    // Deadline::Expired/RemainingSeconds, CheckBudget
 };
 
 const char* OpCategoryName(OpCategory c);
@@ -92,6 +94,60 @@ struct StatusVar {
   bool consumed = false;
 };
 
+/// One access to an atomic data member, with its lexical position so the
+/// atomic-publication pass can intersect it with lock hold regions.
+struct AtomicAccess {
+  enum class Kind { kLoad, kStore, kRmw };
+  Kind kind = Kind::kLoad;
+  std::string owner;   // class owning the field
+  std::string field;   // dotted member path within the owner (a.b)
+  std::string order;   // "relaxed", "release", ... ; "" = default seq_cst
+  bool explicit_order = false;
+  int line = 0;
+  size_t pos = 0;
+};
+
+/// A direct write to a (non-atomic or atomic) member of the enclosing
+/// class: assignment, compound assignment, ++/--, or a mutating container
+/// call (push_back & co). Input to the shared-write pass.
+struct FieldWrite {
+  std::string field;
+  bool atomic = false;
+  bool via_mutator = false;  // push_back/clear/... rather than assignment
+  int line = 0;
+  size_t pos = 0;
+};
+
+/// A local `Scheduler::Lease` (move-only stream slot) and its lifecycle
+/// events, input to the lease-lifetime pass.
+struct LeaseVar {
+  std::string name;
+  int line = 0;
+  size_t pos = 0;        // declaration position
+  size_t scope_end = 0;  // token index where the enclosing scope closes
+};
+
+struct LeaseMove {
+  std::string name;
+  int line = 0;
+  size_t pos = 0;
+};
+
+struct LeaseUse {
+  std::string name;
+  std::string member;  // method called on the lease, "" for a bare use
+  int line = 0;
+  size_t pos = 0;
+};
+
+struct LeaseEscape {
+  enum class Kind { kReturn, kMemberStore };
+  Kind kind = Kind::kReturn;
+  std::string name;
+  std::string detail;  // member the lease is stored into, if any
+  int line = 0;
+};
+
 /// A device span bound to a local variable (`auto s = buf.device_span()`).
 struct SpanVar {
   std::string name;
@@ -118,6 +174,16 @@ struct FunctionInfo {
   std::vector<CallEvent> calls;
   std::vector<OpEvent> ops;
 
+  // Statement-level CFG of the body (built during event extraction) and
+  // the event streams consumed by the v2 dataflow passes.
+  Cfg cfg;
+  std::vector<AtomicAccess> atomics;
+  std::vector<FieldWrite> field_writes;
+  std::vector<LeaseVar> leases;
+  std::vector<LeaseMove> lease_moves;
+  std::vector<LeaseUse> lease_uses;
+  std::vector<LeaseEscape> lease_escapes;
+
   // Summaries (computed by the interprocedural fixpoint).
   std::set<std::string> acq_all;        // class symbols (transitive)
   std::set<std::string> acq_excl;       // transitively, exclusive-mode only
@@ -125,6 +191,10 @@ struct FunctionInfo {
   // One witness callee per summarized fact, for diagnostics.
   std::map<std::string, int> acq_via;   // class symbol -> callee id (-1 direct)
   std::map<int, int> ops_via;           // category -> callee id (-1 direct)
+  // Shared-write pass: this function directly writes a non-atomic member
+  // of its own class outside any exclusive hold region.
+  bool unguarded_write = false;
+  std::string unguarded_witness;        // "field at line N"
 };
 
 // ---------------------------------------------------------------------------
@@ -149,6 +219,9 @@ struct ClassInfo {
   std::map<std::string, std::string> lock_members;
   std::set<std::string> shared_lock_members;   // SharedMutex members
   std::set<std::string> striped_lock_members;  // StripedMutexes members
+  // Members whose declared type mentions std::atomic anywhere (including
+  // std::array<std::atomic<T>, N> — element access stays atomic).
+  std::set<std::string> atomic_members;
   // method name -> return signature (from declarations and definitions).
   std::map<std::string, RetSig> method_return;
 };

@@ -467,7 +467,16 @@ size_t DeclOrFunction(const LexedFile& file, size_t i, const std::string& cls,
             }
           }
         } else if (at_class_scope && !sig.key.empty()) {
-          program->classes[cls].members[var.name] = sig.key;
+          ClassInfo& ci = program->classes[cls];
+          ci.members[var.name] = sig.key;
+          // std::atomic anywhere in the declared type (including
+          // array<atomic<T>, N>) makes element accesses atomic.
+          for (size_t k = var.type_b; k < var.type_e; ++k) {
+            if (t[k].IsIdent("atomic")) {
+              ci.atomic_members.insert(var.name);
+              break;
+            }
+          }
         }
       }
     }
@@ -952,6 +961,102 @@ struct BodyWalker {
     return "";
   }
 
+  /// A receiver chain plus leaf resolved to a dotted member path of the
+  /// enclosing class (`this->` allowed; locals shadow members).
+  struct FieldPath {
+    std::string path;
+    bool atomic = false;  // atomicity of the LAST path element
+    bool ok = false;
+  };
+
+  FieldPath ResolveFieldPath(const std::vector<ChainElem>& elems) const {
+    FieldPath out;
+    if (cls == nullptr || elems.empty()) return out;
+    size_t k = 0;
+    if (elems[0].name == "this") {
+      ++k;
+      if (k >= elems.size()) return out;
+    } else if (locals.count(elems[0].name)) {
+      return out;  // a local shadows any member of the same name
+    }
+    const ClassInfo* ci = cls;
+    for (; k < elems.size(); ++k) {
+      const ChainElem& e = elems[k];
+      if (e.is_call || ci == nullptr) return FieldPath{};
+      auto mt = ci->members.find(e.name);
+      if (mt == ci->members.end()) return FieldPath{};
+      out.atomic = ci->atomic_members.count(e.name) > 0;
+      if (!out.path.empty()) out.path += ".";
+      out.path += e.name;
+      auto nx = program.classes.find(mt->second);
+      ci = nx == program.classes.end() ? nullptr : &nx->second;
+    }
+    out.ok = true;
+    return out;
+  }
+
+  /// Parses the explicit memory_order argument (if any) of the atomic
+  /// operation whose argument list spans (b, e): both the classic
+  /// `std::memory_order_release` spelling and `memory_order::release`.
+  static void ParseOrder(const Tokens& t, size_t b, size_t e,
+                         AtomicAccess* access) {
+    for (size_t k = b; k < e; ++k) {
+      if (t[k].kind != TokenKind::kIdent) continue;
+      const std::string& s = t[k].text;
+      if (s.rfind("memory_order_", 0) == 0) {
+        access->explicit_order = true;
+        access->order = s.substr(13);
+        return;
+      }
+      if (s == "memory_order" && k + 2 < e && t[k + 1].IsPunct("::") &&
+          t[k + 2].kind == TokenKind::kIdent) {
+        access->explicit_order = true;
+        access->order = t[k + 2].text;
+        return;
+      }
+    }
+  }
+
+  void AddAtomicAccess(AtomicAccess::Kind kind, const FieldPath& fp,
+                       size_t order_b, size_t order_e, int line, size_t pos) {
+    AtomicAccess aa;
+    aa.kind = kind;
+    aa.owner = f.class_name;
+    aa.field = fp.path;
+    aa.line = line;
+    aa.pos = pos;
+    if (order_e > order_b) ParseOrder(t, order_b, order_e, &aa);
+    f.atomics.push_back(aa);
+  }
+
+  const LeaseVar* FindLease(const std::string& name) const {
+    for (const LeaseVar& lv : f.leases) {
+      if (lv.name == name) return &lv;
+    }
+    return nullptr;
+  }
+
+  void NoteLeaseLocal(const std::string& name, int line, size_t pos) {
+    LeaseVar lv;
+    lv.name = name;
+    lv.line = line;
+    lv.pos = pos;
+    lv.scope_end = ScopeClose();
+    f.leases.push_back(lv);
+  }
+
+  /// First token of the statement containing `i` (walks back to the
+  /// previous ; { or }).
+  size_t StmtBegin(size_t i) const {
+    size_t j = i;
+    while (j > f.body_begin && !(t[j - 1].IsPunct(";") ||
+                                 t[j - 1].IsPunct("{") ||
+                                 t[j - 1].IsPunct("}"))) {
+      --j;
+    }
+    return j;
+  }
+
   bool StatementStart(size_t i) const {
     size_t j = i;
     while (j > f.body_begin &&
@@ -1023,6 +1128,7 @@ struct BodyWalker {
       sv.decl_end = SkipToSemi(t, j);
       statuses.push_back(sv);
     }
+    if (sig.key == "Lease") NoteLeaseLocal(name, t[j].line, j);
     return true;
   }
 
@@ -1119,6 +1225,52 @@ void BodyWalker::HandleCall(size_t i) {
         receiver_type == "DeviceBuffer")) ||
       name == "RegisterAlloc") {
     add_op(OpCategory::kDeviceAlloc);
+  }
+  // Deadline observation points for the deadline-checkpoint pass. Matched
+  // by name because parameters are untyped in this parser: `deadline` and
+  // `control->deadline` both surface as bare Expired() calls.
+  if (name == "Expired" || name == "RemainingSeconds" ||
+      name == "CheckBudget") {
+    add_op(OpCategory::kDeadlinePoll);
+  }
+
+  // Atomic member operations (x_.store(v, order) / load / RMW) feed the
+  // atomic-publication pass.
+  static const std::set<std::string> kAtomicRmwNames = {
+      "exchange",       "fetch_add", "fetch_sub",
+      "fetch_and",      "fetch_or",  "fetch_xor",
+      "compare_exchange_weak",       "compare_exchange_strong",
+  };
+  if ((name == "store" || name == "load" || kAtomicRmwNames.count(name)) &&
+      !chain.qualified && !chain.elems.empty()) {
+    const FieldPath fp = ResolveFieldPath(chain.elems);
+    if (fp.ok && fp.atomic) {
+      const AtomicAccess::Kind kind =
+          name == "store" ? AtomicAccess::Kind::kStore
+          : name == "load" ? AtomicAccess::Kind::kLoad
+                           : AtomicAccess::Kind::kRmw;
+      const size_t after = SkipBalancedForward(t, i + 1);
+      AddAtomicAccess(kind, fp, i + 2, after > 0 ? after - 1 : i + 2,
+                      t[i].line, i);
+    }
+  }
+
+  // Mutating container calls on a member (counts as a field write for the
+  // shared-write pass).
+  static const std::set<std::string> kMutatorNames = {
+      "push_back", "pop_back", "emplace_back", "emplace", "clear",
+      "insert",    "erase",    "resize",       "reserve", "assign",
+  };
+  if (kMutatorNames.count(name) && !chain.qualified && !chain.elems.empty()) {
+    const FieldPath fp = ResolveFieldPath(chain.elems);
+    if (fp.ok && !fp.atomic) {
+      FieldWrite fw;
+      fw.field = fp.path;
+      fw.via_mutator = true;
+      fw.line = t[i].line;
+      fw.pos = i;
+      f.field_writes.push_back(fw);
+    }
   }
 
   // Stream pending-work tracking for the device-span pass.
@@ -1299,6 +1451,7 @@ void BodyWalker::Walk() {
             sv.decl_end = stmt_end;
             statuses.push_back(sv);
           }
+          if (sig.type_key == "Lease") NoteLeaseLocal(name, t[j].line, j);
         }
       }
       continue;
@@ -1324,7 +1477,122 @@ void BodyWalker::Walk() {
                      "error");
         }
       }
+      // return lease; — a stream lease escaping its acquiring scope.
+      if (FindLease(t[i + 1].text) != nullptr) {
+        LeaseEscape esc;
+        esc.kind = LeaseEscape::Kind::kReturn;
+        esc.name = t[i + 1].text;
+        esc.line = tk.line;
+        f.lease_escapes.push_back(esc);
+      }
       continue;
+    }
+
+    // Lease lifecycle: std::move transfers, uses, return-by-move escapes.
+    if (const LeaseVar* lv = FindLease(tk.text);
+        lv != nullptr && i != lv->pos) {
+      const bool is_move = i >= f.body_begin + 2 && t[i - 1].IsPunct("(") &&
+                           t[i - 2].IsIdent("move");
+      if (is_move) {
+        if (t[StmtBegin(i)].IsIdent("return")) {
+          LeaseEscape esc;
+          esc.kind = LeaseEscape::Kind::kReturn;
+          esc.name = tk.text;
+          esc.line = tk.line;
+          f.lease_escapes.push_back(esc);
+        } else {
+          LeaseMove mv;
+          mv.name = tk.text;
+          mv.line = tk.line;
+          mv.pos = i;
+          f.lease_moves.push_back(mv);
+        }
+      } else {
+        LeaseUse use;
+        use.name = tk.text;
+        use.line = tk.line;
+        use.pos = i;
+        if (i + 2 < f.body_end && t[i + 1].IsPunct(".") &&
+            t[i + 2].kind == TokenKind::kIdent) {
+          use.member = t[i + 2].text;
+        }
+        f.lease_uses.push_back(use);
+      }
+    }
+
+    // Member writes and operator-form atomic accesses. Only the leaf of a
+    // member path is inspected — intermediates (next token . -> ::) are
+    // reached later in the walk.
+    if (cls != nullptr && !IsKeyword(tk.text) && !IsSpecifier(tk.text) &&
+        i + 1 < f.body_end && !t[i + 1].IsPunct(".") &&
+        !t[i + 1].IsPunct("->") && !t[i + 1].IsPunct("::")) {
+      static const std::set<std::string> kAssignOps = {
+          "=",  "+=", "-=", "*=",  "/=",  "%=",
+          "&=", "|=", "^=", "<<=", ">>=",
+      };
+      size_t wend = i + 1;
+      bool indexed = false;
+      if (t[i + 1].IsPunct("[")) {
+        wend = SkipBalancedForward(t, i + 1);
+        indexed = true;
+      }
+      const Chain wchain = WalkReceiver(t, i);
+      bool write = false, rmw = false;
+      if (wend < f.body_end && t[wend].kind == TokenKind::kPunct &&
+          kAssignOps.count(t[wend].text)) {
+        write = true;
+        rmw = !t[wend].IsPunct("=");
+      } else if (wend < f.body_end &&
+                 (t[wend].IsPunct("++") || t[wend].IsPunct("--"))) {
+        write = true;
+        rmw = true;
+      } else if (wchain.base_pos > f.body_begin &&
+                 (t[wchain.base_pos - 1].IsPunct("++") ||
+                  t[wchain.base_pos - 1].IsPunct("--"))) {
+        write = true;
+        rmw = true;
+      }
+      const bool value_read = !write && !indexed && !t[i + 1].IsPunct("(");
+      if (write || value_read) {
+        std::vector<ChainElem> full = wchain.elems;
+        ChainElem leaf;
+        leaf.name = tk.text;
+        full.push_back(leaf);
+        const FieldPath fp = ResolveFieldPath(full);
+        if (fp.ok && write && fp.atomic) {
+          // Plain assignment / ++ on an atomic member: a store or RMW at
+          // the default order with nothing spelled out.
+          AddAtomicAccess(rmw ? AtomicAccess::Kind::kRmw
+                              : AtomicAccess::Kind::kStore,
+                          fp, 0, 0, tk.line, i);
+        } else if (fp.ok && write) {
+          FieldWrite fw;
+          fw.field = fp.path;
+          fw.atomic = false;
+          fw.line = tk.line;
+          fw.pos = i;
+          f.field_writes.push_back(fw);
+        }
+        if (fp.ok && write && !rmw) {
+          // member_ = std::move(lease); — the lease outlives its scope.
+          const size_t stmt_end = SkipToSemi(t, wend);
+          for (size_t k = wend + 1; k < stmt_end; ++k) {
+            if (t[k].kind == TokenKind::kIdent &&
+                FindLease(t[k].text) != nullptr) {
+              LeaseEscape esc;
+              esc.kind = LeaseEscape::Kind::kMemberStore;
+              esc.name = t[k].text;
+              esc.detail = fp.path;
+              esc.line = tk.line;
+              f.lease_escapes.push_back(esc);
+            }
+          }
+        }
+        if (fp.ok && !write && fp.atomic && value_read) {
+          // Implicit value read of an atomic member (default seq_cst).
+          AddAtomicAccess(AtomicAccess::Kind::kLoad, fp, 0, 0, tk.line, i);
+        }
+      }
     }
 
     // Span variable uses.
@@ -1399,6 +1667,7 @@ void ExtractEvents(const LexedFile& file, Program* program,
     if (f.body_end <= f.body_begin) continue;
     BodyWalker walker(file, f, *program, *findings);
     walker.Walk();
+    f.cfg = BuildCfg(file.tokens, f.body_begin, f.body_end);
   }
 }
 

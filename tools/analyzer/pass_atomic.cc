@@ -1,0 +1,217 @@
+// Atomic publication protocol pass.
+//
+// An atomic member that is written under a lock and read outside it is a
+// publication channel: the writer must use release (or stronger) stores
+// and cross-thread readers must use acquire (or stronger) loads, unless
+// both sides sit inside a correctly-ordered seqlock bracket (a fetch_add
+// release pair around the writes, an acquire load pair around the reads
+// of a companion "seq" counter).
+//
+// The owning lock of a field is inferred, not declared: it is the
+// intersection of the lock-class sets held at every store. Fields with no
+// stores, or whose stores are not consistently under any lock (lock-free
+// counters), are out of scope. Relaxed RMWs are also out of scope — a
+// fetch_add on a counter is not publication.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "passes.h"
+
+namespace gknn::check {
+
+namespace {
+
+struct SiteInfo {
+  const FunctionInfo* fn = nullptr;
+  const AtomicAccess* access = nullptr;
+  std::set<std::string> held;  // lock class symbols held at the access
+};
+
+std::set<std::string> HeldAt(const Program& program, const FunctionInfo& f,
+                             size_t pos) {
+  std::set<std::string> held;
+  for (const AcquireEvent& a : f.acquires) {
+    if (!(a.begin_pos < pos && pos < a.end_pos)) continue;
+    if (a.via_callee >= 0) {
+      const auto& acq = program.functions[a.via_callee].acq_all;
+      held.insert(acq.begin(), acq.end());
+    } else {
+      held.insert(a.class_symbol);
+    }
+  }
+  return held;
+}
+
+bool Intersects(const std::set<std::string>& a,
+                const std::set<std::string>& b) {
+  for (const std::string& s : a) {
+    if (b.count(s)) return true;
+  }
+  return false;
+}
+
+bool IsSeqField(const std::string& field) {
+  return field.find("seq") != std::string::npos;
+}
+
+bool WriteBracketOrder(const std::string& order) {
+  return order == "release" || order == "acq_rel" || order == "seq_cst";
+}
+
+bool ReadBracketOrder(const std::string& order) {
+  // "" means an implicit or default-argument seq_cst access.
+  return order.empty() || order == "acquire" || order == "seq_cst";
+}
+
+/// Looks for accesses to a companion seq-named atomic of the same owner on
+/// both sides of `pos` within the same function. Returns 0 when there is
+/// no bracket, 1 for a correctly-ordered bracket, -1 for a bracket whose
+/// memory orders are too weak to order the protected accesses.
+int SeqlockBracket(const FunctionInfo& fn, const AtomicAccess& at,
+                   bool write_side) {
+  const AtomicAccess* before = nullptr;
+  const AtomicAccess* after = nullptr;
+  for (const AtomicAccess& other : fn.atomics) {
+    if (other.owner != at.owner || !IsSeqField(other.field)) continue;
+    const bool shape_ok = write_side
+                              ? other.kind == AtomicAccess::Kind::kRmw
+                              : other.kind == AtomicAccess::Kind::kLoad;
+    if (!shape_ok) continue;
+    if (other.pos < at.pos &&
+        (before == nullptr || other.pos > before->pos)) {
+      before = &other;
+    }
+    if (other.pos > at.pos && (after == nullptr || other.pos < after->pos)) {
+      after = &other;
+    }
+  }
+  if (before == nullptr || after == nullptr) return 0;
+  auto order_ok = [&](const AtomicAccess& a) {
+    return write_side ? WriteBracketOrder(a.order) : ReadBracketOrder(a.order);
+  };
+  return order_ok(*before) && order_ok(*after) ? 1 : -1;
+}
+
+}  // namespace
+
+void RunAtomicPublicationPass(Program* program,
+                              std::vector<Finding>* findings) {
+  auto add = [&](const FunctionInfo& fn, const AtomicAccess& at,
+                 const std::string& msg, const std::string& level) {
+    Finding fd;
+    fd.rule = "atomic-publication";
+    fd.file = fn.file;
+    fd.line = at.line;
+    fd.message = msg;
+    fd.level = level;
+    findings->push_back(fd);
+  };
+
+  // Group every atomic access by (owner class, field path).
+  std::map<std::pair<std::string, std::string>, std::vector<SiteInfo>> fields;
+  for (const FunctionInfo& f : program->functions) {
+    for (const AtomicAccess& at : f.atomics) {
+      SiteInfo site;
+      site.fn = &f;
+      site.access = &at;
+      site.held = HeldAt(*program, f, at.pos);
+      fields[{at.owner, at.field}].push_back(site);
+    }
+  }
+
+  for (const auto& [key, sites] : fields) {
+    // Infer the owning lock: intersection of held sets over all stores.
+    bool has_store = false;
+    std::set<std::string> owning;
+    bool first_store = true;
+    for (const SiteInfo& s : sites) {
+      if (s.access->kind != AtomicAccess::Kind::kStore) continue;
+      has_store = true;
+      if (first_store) {
+        owning = s.held;
+        first_store = false;
+      } else {
+        std::set<std::string> both;
+        for (const std::string& sym : owning) {
+          if (s.held.count(sym)) both.insert(sym);
+        }
+        owning = std::move(both);
+      }
+    }
+    // No stores (counter RMWed in place) or no consistent owning lock
+    // (lock-free field): no publication protocol to enforce.
+    if (!has_store || owning.empty()) continue;
+
+    // Readers outside the owning lock are what make the field published.
+    bool outside_reader = false;
+    for (const SiteInfo& s : sites) {
+      if (s.access->kind == AtomicAccess::Kind::kLoad &&
+          !Intersects(s.held, owning)) {
+        outside_reader = true;
+        break;
+      }
+    }
+    if (!outside_reader) continue;
+
+    const std::string what =
+        "'" + key.first + "::" + key.second + "' (published: stored under " +
+        *owning.begin() + ", read outside it)";
+
+    for (const SiteInfo& s : sites) {
+      const AtomicAccess& at = *s.access;
+      if (at.kind == AtomicAccess::Kind::kStore) {
+        if (at.order == "relaxed") {
+          const int bracket = SeqlockBracket(*s.fn, at, /*write_side=*/true);
+          if (bracket == 1) continue;
+          if (bracket == -1) {
+            add(*s.fn, at,
+                "relaxed store to " + what +
+                    " sits inside a seqlock bracket whose seq counter "
+                    "updates are not release-ordered; use fetch_add(1, "
+                    "memory_order_release) on both sides",
+                "error");
+          } else {
+            add(*s.fn, at,
+                "relaxed store to " + what +
+                    " is not ordered: a reader outside the lock can observe "
+                    "the pointer/value before the writes it guards; use "
+                    "memory_order_release (or bracket with a seq counter)",
+                "error");
+          }
+        } else if (!at.explicit_order && at.order.empty()) {
+          add(*s.fn, at,
+              "store to " + what +
+                  " relies on an implicit memory order; make the "
+                  "publication explicit with memory_order_release",
+              "warning");
+        }
+      } else if (at.kind == AtomicAccess::Kind::kLoad &&
+                 !Intersects(s.held, owning)) {
+        if (at.order == "relaxed") {
+          const int bracket = SeqlockBracket(*s.fn, at, /*write_side=*/false);
+          if (bracket == 1) continue;
+          if (bracket == -1) {
+            add(*s.fn, at,
+                "relaxed load of " + what +
+                    " sits inside a seqlock read bracket whose seq counter "
+                    "loads are not acquire-ordered; load the seq counter "
+                    "with memory_order_acquire on both sides",
+                "error");
+          } else {
+            add(*s.fn, at,
+                "relaxed load of " + what +
+                    " outside its owning lock; the reader can see the "
+                    "published value without the writes that precede it; "
+                    "use memory_order_acquire (or a seqlock read bracket)",
+                "error");
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace gknn::check

@@ -1,0 +1,113 @@
+// StreamLease lifetime pass.
+//
+// Scheduler::Lease is a move-only RAII slot on a device stream. Three
+// protocol violations are checked per function:
+//
+//   1. Escape — returning a lease (by name or std::move) or storing it
+//      into a member lets it outlive the scheduler epoch that issued it.
+//   2. Use after move — a forward may-moved dataflow over the CFG marks
+//      every block reachable from a std::move(lease); any later use of
+//      the moved-from lease is flagged.
+//   3. Fold while live — DeviceSet::FoldDeviceMetrics drains per-stream
+//      counters; running it while a lease is still held double-counts the
+//      in-flight stream's work when the lease destructor retires it.
+
+#include <string>
+#include <vector>
+
+#include "dataflow.h"
+#include "passes.h"
+
+namespace gknn::check {
+
+void RunLeaseLifetimePass(Program* program, std::vector<Finding>* findings) {
+  auto add = [&](const FunctionInfo& f, int line, const std::string& msg) {
+    Finding fd;
+    fd.rule = "lease-lifetime";
+    fd.file = f.file;
+    fd.line = line;
+    fd.message = msg;
+    fd.level = "error";
+    findings->push_back(fd);
+  };
+
+  for (const FunctionInfo& f : program->functions) {
+    if (f.leases.empty()) continue;
+
+    for (const LeaseEscape& esc : f.lease_escapes) {
+      if (esc.kind == LeaseEscape::Kind::kReturn) {
+        add(f, esc.line,
+            "stream lease '" + esc.name +
+                "' is returned from '" + f.qualified_name +
+                "'; leases must not escape their acquiring scope — do the "
+                "stream work here and let the lease retire");
+      } else {
+        add(f, esc.line,
+            "stream lease '" + esc.name + "' is stored into member '" +
+                esc.detail +
+                "'; leases must not outlive their acquiring scope");
+      }
+    }
+
+    // --- Use after move (may-analysis, union meet). ---
+    if (!f.lease_moves.empty() && !f.cfg.blocks.empty()) {
+      ForwardDataflow moved(f.cfg, static_cast<int>(f.leases.size()),
+                            ForwardDataflow::Meet::kUnion);
+      auto lease_index = [&](const std::string& name) {
+        for (size_t k = 0; k < f.leases.size(); ++k) {
+          if (f.leases[k].name == name) return static_cast<int>(k);
+        }
+        return -1;
+      };
+      for (const LeaseMove& mv : f.lease_moves) {
+        moved.AddGen(f.cfg.BlockAt(mv.pos), lease_index(mv.name));
+      }
+      moved.Solve();
+      for (const LeaseUse& use : f.lease_uses) {
+        const int idx = lease_index(use.name);
+        if (idx < 0) continue;
+        const int block = f.cfg.BlockAt(use.pos);
+        bool after_move = block >= 0 && moved.InHas(block, idx);
+        if (!after_move) {
+          for (const LeaseMove& mv : f.lease_moves) {
+            if (mv.name == use.name && mv.pos < use.pos &&
+                f.cfg.BlockAt(mv.pos) == block) {
+              after_move = true;
+              break;
+            }
+          }
+        }
+        if (after_move) {
+          add(f, use.line,
+              "stream lease '" + use.name + "' is used" +
+                  (use.member.empty() ? "" : " ('" + use.member + "')") +
+                  " after being moved away; the moved-from lease no longer "
+                  "owns a stream slot");
+        }
+      }
+    }
+
+    // --- DeviceSet metrics fold while a lease is live. ---
+    for (const CallEvent& c : f.calls) {
+      if (c.callee_name != "FoldDeviceMetrics") continue;
+      for (const LeaseVar& lv : f.leases) {
+        if (!(lv.pos < c.pos && c.pos < lv.scope_end)) continue;
+        bool moved_before = false;
+        for (const LeaseMove& mv : f.lease_moves) {
+          if (mv.name == lv.name && mv.pos < c.pos) {
+            moved_before = true;
+            break;
+          }
+        }
+        if (moved_before) continue;
+        add(f, c.line,
+            "DeviceSet metrics fold runs while stream lease '" + lv.name +
+                "' (acquired at line " + std::to_string(lv.line) +
+                ") is still live; release the lease first so its stream's "
+                "counters are retired exactly once");
+      }
+    }
+  }
+}
+
+}  // namespace gknn::check

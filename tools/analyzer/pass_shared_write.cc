@@ -1,0 +1,81 @@
+// Shared-mode write pass.
+//
+// A SharedMutex held in shared (reader) mode promises other readers that
+// the guarded state is quiescent. Writing a non-atomic member of the
+// lock-owning class inside such a region — directly, or by calling a
+// same-class method that writes without taking an exclusive lock — is a
+// data race with the other readers.
+//
+// Scope is deliberately same-class: query code routinely mutates
+// thread-confined helpers (per-query workspaces, stack-local builders)
+// under the server's shared lock, and those writes are fine. Only writes
+// to members of the class whose shared lock is held are flagged.
+
+#include <string>
+#include <vector>
+
+#include "passes.h"
+
+namespace gknn::check {
+
+namespace {
+
+/// True when an exclusive hold region inside `f` covers `pos` (a nested
+/// writer lock makes the write safe).
+bool UnderExclusive(const FunctionInfo& f, size_t pos) {
+  for (const AcquireEvent& a : f.acquires) {
+    if (!a.shared && a.begin_pos < pos && pos < a.end_pos) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void RunSharedWritePass(Program* program, std::vector<Finding>* findings) {
+  auto add = [&](const FunctionInfo& f, int line, const std::string& msg) {
+    Finding fd;
+    fd.rule = "shared-write";
+    fd.file = f.file;
+    fd.line = line;
+    fd.message = msg;
+    fd.level = "error";
+    findings->push_back(fd);
+  };
+
+  for (const FunctionInfo& f : program->functions) {
+    for (const AcquireEvent& a : f.acquires) {
+      if (!a.shared || a.begin_pos >= a.end_pos) continue;
+      const LockClassInfo* cls = program->locks.FindSymbol(a.class_symbol);
+      const std::string lock_name = cls ? cls->name : a.class_symbol;
+
+      for (const FieldWrite& w : f.field_writes) {
+        if (w.atomic) continue;
+        if (!(a.begin_pos < w.pos && w.pos < a.end_pos)) continue;
+        if (UnderExclusive(f, w.pos)) continue;
+        add(f, w.line,
+            "member '" + w.field + "' of " +
+                (f.class_name.empty() ? "this class" : f.class_name) +
+                " is " + (w.via_mutator ? "mutated" : "written") +
+                " while '" + lock_name +
+                "' is held in shared (reader) mode; take the exclusive "
+                "lock or make the member atomic");
+      }
+
+      for (const CallEvent& c : f.calls) {
+        if (!(a.begin_pos < c.pos && c.pos < a.end_pos)) continue;
+        if (UnderExclusive(f, c.pos)) continue;
+        for (int id : c.resolved) {
+          const FunctionInfo& g = program->functions[id];
+          if (g.class_name != f.class_name || !g.unguarded_write) continue;
+          add(f, c.line,
+              "call to '" + g.qualified_name + "' while '" + lock_name +
+                  "' is held in shared (reader) mode; the callee writes "
+                  "member " + g.unguarded_witness +
+                  " without an exclusive lock");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace gknn::check

@@ -18,6 +18,8 @@ const char* OpCategoryName(OpCategory c) {
       return "device-sync";
     case OpCategory::kDeviceAlloc:
       return "device-alloc";
+    case OpCategory::kDeadlinePoll:
+      return "deadline-poll";
   }
   return "unknown";
 }
@@ -48,6 +50,24 @@ void ComputeSummaries(Program* program) {
     for (const OpEvent& op : f.ops) {
       f.ops_all.insert(static_cast<int>(op.category));
       f.ops_via.emplace(static_cast<int>(op.category), -1);
+    }
+    // Shared-write summary: a direct write to a non-atomic member of the
+    // enclosing class with no exclusive hold region covering it.
+    for (const FieldWrite& w : f.field_writes) {
+      if (w.atomic) continue;
+      bool guarded = false;
+      for (const AcquireEvent& a : f.acquires) {
+        if (a.shared) continue;
+        if (a.begin_pos < w.pos && w.pos < a.end_pos) {
+          guarded = true;
+          break;
+        }
+      }
+      if (!guarded && !f.unguarded_write) {
+        f.unguarded_write = true;
+        f.unguarded_witness =
+            "'" + w.field + "' at line " + std::to_string(w.line);
+      }
     }
   }
   // Propagate along resolved calls to a fixpoint.

@@ -25,6 +25,31 @@ void RunLockOrderPass(Program* program, const std::string& lockdep_path,
 /// One aggregated finding per (shared region, op category set).
 void RunSharedBlockPass(Program* program, std::vector<Finding>* findings);
 
+/// Pass 3 — atomic publication protocol. Groups atomic member accesses by
+/// (owner, field), infers each field's owning lock from the intersection
+/// of lock sets held at stores, and requires release stores / acquire
+/// loads (or a correctly-ordered seqlock bracket) whenever the field is
+/// read outside that lock.
+void RunAtomicPublicationPass(Program* program,
+                              std::vector<Finding>* findings);
+
+/// Pass 4 — deadline checkpoint coverage. Every unbounded loop in a
+/// function reachable from a QueryServer/ShardRouter query entry point
+/// must have no cyclic path that dodges every deadline-poll block.
+void RunDeadlineCheckpointPass(Program* program,
+                               std::vector<Finding>* findings);
+
+/// Pass 5 — writes to non-atomic members of the lock-owning class while a
+/// shared_mutex is held in shared mode (directly or via a same-class
+/// callee that writes unguarded).
+void RunSharedWritePass(Program* program, std::vector<Finding>* findings);
+
+/// Pass 6 — StreamLease lifetime: leases must not escape their acquiring
+/// scope (return / member store), must not be used after std::move, and
+/// must be released before a DeviceSet metrics fold consumes their
+/// stream's counters.
+void RunLeaseLifetimePass(Program* program, std::vector<Finding>* findings);
+
 /// Human-readable dump of the static lock graph (classes then edges).
 std::string DumpLockGraph(const Program& program);
 

@@ -64,6 +64,19 @@ constexpr RuleMeta kRules[] = {
     {"raw-mutex",
      "Use the util::lockdep wrappers instead of raw std synchronization "
      "primitives so lock ordering is validated at runtime."},
+    {"atomic-publication",
+     "Atomic fields stored under a lock and read outside it must use "
+     "release stores and acquire loads, or a correctly-ordered seqlock "
+     "bracket."},
+    {"deadline-checkpoint",
+     "Unbounded loops reachable from a query entry point must poll the "
+     "request deadline on every iteration path."},
+    {"shared-write",
+     "Non-atomic members must not be written while the owning class's "
+     "shared_mutex is held in shared (reader) mode."},
+    {"lease-lifetime",
+     "Scheduler stream leases must not escape their acquiring scope, be "
+     "used after move, or stay live across a DeviceSet metrics fold."},
 };
 
 }  // namespace
